@@ -1,0 +1,53 @@
+//! Ablation bench: the PC-set method's 64-stream data-parallel mode vs
+//! one-vector-at-a-time execution (the capability §6 credits the PC-set
+//! method with over the parallel technique).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uds_bench::runner::stimulus;
+use uds_netlist::generators::iscas::Iscas85;
+use uds_pcset::PcSetSimulator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_streams");
+    group.sample_size(10);
+    for circuit in [Iscas85::C432, Iscas85::C880] {
+        let nl = circuit.build();
+        let stim = stimulus(&nl, 128);
+        let width = nl.primary_inputs().len();
+
+        group.bench_function(BenchmarkId::new("sequential", circuit), |b| {
+            let mut sim = PcSetSimulator::compile(&nl).unwrap();
+            b.iter(|| {
+                for vector in &stim {
+                    sim.simulate_vector(vector);
+                }
+            });
+        });
+        // Same 128 vectors packed as 64 lanes x 2 steps.
+        let packed: Vec<Vec<u64>> = (0..2)
+            .map(|step| {
+                (0..width)
+                    .map(|i| {
+                        let mut word = 0u64;
+                        for lane in 0..64 {
+                            word |= (stim[step * 64 + lane][i] as u64) << lane;
+                        }
+                        word
+                    })
+                    .collect()
+            })
+            .collect();
+        group.bench_function(BenchmarkId::new("64-stream", circuit), |b| {
+            let mut sim = PcSetSimulator::compile(&nl).unwrap();
+            b.iter(|| {
+                for words in &packed {
+                    sim.simulate_streams(words);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: how long each technique takes to *compile* a circuit
+//! (netlist analysis + code generation). The paper excludes compile
+//! time from its tables; this bench documents that it is modest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uds_netlist::generators::iscas::Iscas85;
+use uds_parallel::{Optimization, ParallelSimulator};
+use uds_pcset::PcSetSimulator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(10);
+    for circuit in [Iscas85::C880, Iscas85::C7552] {
+        let nl = circuit.build();
+        group.bench_function(BenchmarkId::new("pc-set", circuit), |b| {
+            b.iter(|| PcSetSimulator::compile(&nl).unwrap());
+        });
+        for optimization in [
+            Optimization::None,
+            Optimization::PathTracingTrimming,
+            Optimization::CycleBreaking,
+        ] {
+            group.bench_function(
+                BenchmarkId::new(format!("parallel-{optimization}"), circuit),
+                |b| {
+                    b.iter(|| ParallelSimulator::compile(&nl, optimization).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

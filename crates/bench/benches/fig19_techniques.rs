@@ -1,0 +1,62 @@
+//! Criterion bench for the paper's Fig. 19: the four simulation
+//! techniques on representative circuits (one single-word, one
+//! multi-word). Vector counts are scaled down; the `tables` binary runs
+//! the full 5,000-vector sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uds_bench::runner::stimulus;
+use uds_eventsim::ConventionalEventDriven;
+use uds_netlist::generators::iscas::Iscas85;
+use uds_netlist::Logic3;
+use uds_parallel::{Optimization, ParallelSimulator};
+use uds_pcset::PcSetSimulator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19");
+    group.sample_size(10);
+    for circuit in [Iscas85::C432, Iscas85::C1908] {
+        let nl = circuit.build();
+        let stim = stimulus(&nl, 100);
+        let stim3: Vec<Vec<Logic3>> = stim
+            .iter()
+            .map(|v| v.iter().map(|&b| Logic3::from_bool(b)).collect())
+            .collect();
+
+        group.bench_function(BenchmarkId::new("interpreted-3v", circuit), |b| {
+            let mut sim = ConventionalEventDriven::<Logic3>::new(&nl).unwrap();
+            b.iter(|| {
+                for v in &stim3 {
+                    sim.simulate_vector(v);
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("interpreted-2v", circuit), |b| {
+            let mut sim = ConventionalEventDriven::<bool>::new(&nl).unwrap();
+            b.iter(|| {
+                for v in &stim {
+                    sim.simulate_vector(v);
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("pc-set", circuit), |b| {
+            let mut sim = PcSetSimulator::compile(&nl).unwrap();
+            b.iter(|| {
+                for v in &stim {
+                    sim.simulate_vector(v);
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("parallel", circuit), |b| {
+            let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+            b.iter(|| {
+                for v in &stim {
+                    sim.simulate_vector(v);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

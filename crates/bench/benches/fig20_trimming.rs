@@ -1,0 +1,34 @@
+//! Criterion bench for the paper's Fig. 20: bit-field trimming on
+//! multi-word circuits (single-word circuits are unaffected, as the
+//! paper shows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uds_bench::runner::stimulus;
+use uds_netlist::generators::iscas::Iscas85;
+use uds_parallel::{Optimization, ParallelSimulator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20");
+    group.sample_size(10);
+    for circuit in [Iscas85::C1908, Iscas85::C6288] {
+        let nl = circuit.build();
+        let stim = stimulus(&nl, 100);
+        for optimization in [Optimization::None, Optimization::Trimming] {
+            group.bench_function(
+                BenchmarkId::new(format!("{optimization}"), circuit),
+                |b| {
+                    let mut sim = ParallelSimulator::compile(&nl, optimization).unwrap();
+                    b.iter(|| {
+                        for v in &stim {
+                            sim.simulate_vector(v);
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the paper's Fig. 23: path-tracing vs
+//! cycle-breaking shift elimination vs the unoptimized technique.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uds_bench::runner::stimulus;
+use uds_netlist::generators::iscas::Iscas85;
+use uds_parallel::{Optimization, ParallelSimulator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig23");
+    group.sample_size(10);
+    for circuit in [Iscas85::C880, Iscas85::C2670] {
+        let nl = circuit.build();
+        let stim = stimulus(&nl, 100);
+        for optimization in [
+            Optimization::None,
+            Optimization::PathTracing,
+            Optimization::CycleBreaking,
+        ] {
+            group.bench_function(
+                BenchmarkId::new(format!("{optimization}"), circuit),
+                |b| {
+                    let mut sim = ParallelSimulator::compile(&nl, optimization).unwrap();
+                    b.iter(|| {
+                        for v in &stim {
+                            sim.simulate_vector(v);
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

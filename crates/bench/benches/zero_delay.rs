@@ -1,0 +1,36 @@
+//! Criterion bench for the §5 zero-delay aside: compiled LCC vs
+//! interpreted levelized simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uds_bench::runner::stimulus;
+use uds_eventsim::zero_delay::{ZeroDelayCompiled, ZeroDelayInterpreted};
+use uds_netlist::generators::iscas::Iscas85;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_delay");
+    group.sample_size(10);
+    for circuit in [Iscas85::C880, Iscas85::C5315] {
+        let nl = circuit.build();
+        let stim = stimulus(&nl, 200);
+        group.bench_function(BenchmarkId::new("interpreted", circuit), |b| {
+            let mut sim = ZeroDelayInterpreted::new(&nl).unwrap();
+            b.iter(|| {
+                for v in &stim {
+                    sim.simulate_vector(v);
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("compiled", circuit), |b| {
+            let mut sim = ZeroDelayCompiled::compile(&nl).unwrap();
+            b.iter(|| {
+                for v in &stim {
+                    sim.simulate_vector(v);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Benchmark harness for the paper's evaluation section (§5).
+//!
+//! Every table and figure of the evaluation is regenerated here:
+//!
+//! | Experiment | Paper | Regenerate with |
+//! |---|---|---|
+//! | Fig. 19 | technique comparison (seconds) | `tables fig19` / `benches/fig19_techniques.rs` |
+//! | zero-delay aside | compiled ≈ 1/23 interpreted | `tables zero-delay` / `benches/zero_delay.rs` |
+//! | Fig. 20 | bit-field trimming | `tables fig20` / `benches/fig20_trimming.rs` |
+//! | Fig. 21 | retained shifts | `tables fig21` |
+//! | Fig. 22 | bit-field widths | `tables fig22` |
+//! | Fig. 23 | shift-elimination performance | `tables fig23` / `benches/fig23_shift_elim.rs` |
+//! | Fig. 24 | shift elimination + trimming | `tables fig24` / `benches/fig24_combined.rs` |
+//!
+//! Run the whole evaluation with
+//! `cargo run --release -p uds-bench --bin tables -- all --vectors 5000`.
+//!
+//! [`paper`] embeds the numbers the paper reports so the `tables` binary
+//! can print paper-vs-measured side by side; [`runner`] holds the
+//! measurement code shared by the binary and the Criterion benches.
+
+pub mod paper;
+pub mod runner;
+pub mod table;

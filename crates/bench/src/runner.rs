@@ -1,0 +1,208 @@
+//! Measurement code shared by the `tables` binary and the Criterion
+//! benches.
+//!
+//! Methodology mirrors §5 of the paper: each circuit is driven with
+//! seeded random vectors; reported times exclude circuit compilation and
+//! stimulus generation (the paper excludes reading vectors, printing
+//! output, and compiling circuit descriptions).
+
+use std::time::Instant;
+
+use uds_core::vectors::RandomVectors;
+use uds_eventsim::zero_delay::{ZeroDelayCompiled, ZeroDelayInterpreted};
+use uds_eventsim::ConventionalEventDriven;
+use uds_netlist::generators::iscas::Iscas85;
+use uds_netlist::{levelize, Logic3, Netlist};
+use uds_parallel::{Optimization, ParallelSimulator};
+use uds_pcset::PcSetSimulator;
+
+/// Stimulus seed used everywhere, so every engine sees the same stream.
+pub const STIMULUS_SEED: u64 = 0x5EED_1990;
+
+/// Pre-generates `vectors` random input vectors for `netlist`.
+pub fn stimulus(netlist: &Netlist, vectors: usize) -> Vec<Vec<bool>> {
+    RandomVectors::new(netlist.primary_inputs().len(), STIMULUS_SEED)
+        .take(vectors)
+        .collect()
+}
+
+/// Times `run` over all of `stimulus`, in seconds.
+pub fn time_over(stimulus: &[Vec<bool>], mut run: impl FnMut(&[bool])) -> f64 {
+    let start = Instant::now();
+    for vector in stimulus {
+        run(vector);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Measured seconds for one circuit under the four Fig. 19 techniques.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Fig19Measurement {
+    pub interpreted_3v: f64,
+    pub interpreted_2v: f64,
+    pub pc_set: f64,
+    pub parallel: f64,
+}
+
+/// Runs the Fig. 19 comparison on one circuit.
+pub fn fig19(netlist: &Netlist, vectors: usize) -> Fig19Measurement {
+    let stimulus = stimulus(netlist, vectors);
+    let stimulus_3v: Vec<Vec<Logic3>> = stimulus
+        .iter()
+        .map(|v| v.iter().map(|&b| Logic3::from_bool(b)).collect())
+        .collect();
+
+    // The interpreted baselines use the *conventional* engine — timing
+    // wheel, linked event records, per-pin activation — the cost model
+    // of the simulators the paper compares against (DESIGN.md §4).
+    let mut e3 = ConventionalEventDriven::<Logic3>::new(netlist).expect("combinational");
+    let start = Instant::now();
+    for vector in &stimulus_3v {
+        e3.simulate_vector(vector);
+    }
+    let interpreted_3v = start.elapsed().as_secs_f64();
+
+    let mut e2 = ConventionalEventDriven::<bool>::new(netlist).expect("combinational");
+    let interpreted_2v = time_over(&stimulus, |v| {
+        e2.simulate_vector(v);
+    });
+
+    let mut pc = PcSetSimulator::compile(netlist).expect("combinational");
+    let pc_set = time_over(&stimulus, |v| pc.simulate_vector(v));
+
+    let mut par = ParallelSimulator::compile(netlist, Optimization::None).expect("combinational");
+    let parallel = time_over(&stimulus, |v| par.simulate_vector(v));
+
+    Fig19Measurement {
+        interpreted_3v,
+        interpreted_2v,
+        pc_set,
+        parallel,
+    }
+}
+
+/// Measured seconds for one parallel-technique optimization level.
+pub fn time_parallel(netlist: &Netlist, optimization: Optimization, vectors: usize) -> f64 {
+    let stimulus = stimulus(netlist, vectors);
+    let mut sim = ParallelSimulator::compile(netlist, optimization).expect("combinational");
+    time_over(&stimulus, |v| sim.simulate_vector(v))
+}
+
+/// Straight-line word operations per vector for one optimization level —
+/// the generated-code-size proxy. On the paper's 1990 scalar CPU, runtime
+/// was proportional to this statement count; the op-count reduction is
+/// therefore the faithful reproduction of Figs. 20, 23 and 24, while
+/// wall-clock on a modern out-of-order core compresses per-op
+/// differences (see EXPERIMENTS.md).
+pub fn word_ops(netlist: &Netlist, optimization: Optimization) -> usize {
+    ParallelSimulator::compile(netlist, optimization)
+        .expect("combinational")
+        .stats()
+        .word_ops
+}
+
+/// Fig. 20 static columns: levels (= depth + 1) and words per field.
+pub fn levels_and_words(netlist: &Netlist) -> (u32, u32) {
+    let depth = levelize(netlist).expect("combinational").depth;
+    ((depth + 1), (depth + 1).div_ceil(32))
+}
+
+/// Fig. 21/22 static analysis for one circuit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShiftAnalysis {
+    /// Shifts in the unoptimized code: one per gate.
+    pub unoptimized_shifts: usize,
+    pub path_tracing_shifts: usize,
+    pub cycle_breaking_shifts: usize,
+    /// Maximum bit-field width (bits): unoptimized = levels.
+    pub unoptimized_width: u32,
+    pub path_tracing_width: u32,
+    pub cycle_breaking_width: u32,
+}
+
+/// Runs both shift-elimination analyses on one circuit.
+pub fn shift_analysis(netlist: &Netlist) -> ShiftAnalysis {
+    let levels = levelize(netlist).expect("combinational");
+    let pt = uds_parallel::path_tracing::align(netlist).expect("combinational");
+    let cb = uds_parallel::cycle_breaking::align(netlist).expect("combinational");
+    let pt_stats = pt.stats(netlist, &levels);
+    let cb_stats = cb.alignment.stats(netlist, &levels);
+    ShiftAnalysis {
+        unoptimized_shifts: netlist.gate_count(),
+        path_tracing_shifts: pt_stats.retained_shifts,
+        cycle_breaking_shifts: cb_stats.retained_shifts,
+        unoptimized_width: levels.depth + 1,
+        path_tracing_width: pt_stats.max_width_bits,
+        cycle_breaking_width: cb_stats.max_width_bits,
+    }
+}
+
+/// Zero-delay comparison (the §5 aside): seconds for interpreted vs
+/// compiled levelized zero-delay simulation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ZeroDelayMeasurement {
+    pub interpreted: f64,
+    pub compiled: f64,
+}
+
+/// Runs the zero-delay comparison on one circuit.
+pub fn zero_delay(netlist: &Netlist, vectors: usize) -> ZeroDelayMeasurement {
+    let stimulus = stimulus(netlist, vectors);
+    let mut interp = ZeroDelayInterpreted::new(netlist).expect("combinational");
+    let interpreted = time_over(&stimulus, |v| interp.simulate_vector(v));
+    let mut comp = ZeroDelayCompiled::compile(netlist).expect("combinational");
+    let compiled = time_over(&stimulus, |v| comp.simulate_vector(v));
+    ZeroDelayMeasurement {
+        interpreted,
+        compiled,
+    }
+}
+
+/// The circuits a bench sweep covers, with their built netlists.
+pub fn suite() -> Vec<(Iscas85, Netlist)> {
+    Iscas85::ALL
+        .iter()
+        .map(|&circuit| (circuit, circuit.build()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig19_measures_all_four_techniques() {
+        let nl = Iscas85::C432.build();
+        let m = fig19(&nl, 20);
+        for value in [m.interpreted_3v, m.interpreted_2v, m.pc_set, m.parallel] {
+            assert!(value >= 0.0);
+        }
+    }
+
+    #[test]
+    fn levels_and_words_match_calibration() {
+        for (circuit, nl) in suite() {
+            let (levels, words) = levels_and_words(&nl);
+            if circuit != Iscas85::C6288 {
+                assert_eq!(levels, circuit.target().depth + 1, "{circuit}");
+            }
+            assert_eq!(words as usize, circuit.target().words, "{circuit}");
+        }
+    }
+
+    #[test]
+    fn shift_analysis_orders_hold_on_c432() {
+        let nl = Iscas85::C432.build();
+        let analysis = shift_analysis(&nl);
+        assert_eq!(analysis.unoptimized_shifts, 160);
+        assert!(analysis.path_tracing_shifts < analysis.unoptimized_shifts);
+        assert!(analysis.path_tracing_width <= analysis.unoptimized_width);
+        assert!(analysis.cycle_breaking_width > analysis.path_tracing_width);
+    }
+
+    #[test]
+    fn stimulus_is_deterministic() {
+        let nl = Iscas85::C432.build();
+        assert_eq!(stimulus(&nl, 5), stimulus(&nl, 5));
+    }
+}

@@ -1,0 +1,106 @@
+//! Fixed-width plain-text tables for the `tables` binary.
+
+/// A simple right-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit_row = |cells: &[String], out: &mut String| {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    // First column left-aligned (circuit names).
+                    out.push_str(&format!("{cell:<width$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>width$}"));
+                }
+            }
+            out.push('\n');
+        };
+        emit_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats seconds with millisecond resolution.
+pub fn seconds(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a speedup/ratio.
+pub fn ratio(numerator: f64, denominator: f64) -> String {
+    if denominator <= 0.0 {
+        "-".to_owned()
+    } else {
+        format!("{:.1}x", numerator / denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["circuit", "a", "bb"]);
+        t.row(vec!["c432".into(), "1.0".into(), "2".into()]);
+        t.row(vec!["c6288".into(), "10.25".into(), "3".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("circuit"));
+        assert!(lines[2].starts_with("c432"));
+        // All rows the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(seconds(1.23456), "1.235");
+        assert_eq!(ratio(10.0, 2.0), "5.0x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+    }
+}

@@ -1,0 +1,155 @@
+//! Lockstep cross-validation of simulation engines.
+//!
+//! Runs any set of engines on the same stimulus and demands bit-exact
+//! agreement on final values everywhere and on histories wherever both
+//! engines expose one. This is the library form of the invariant the
+//! workspace's integration tests enforce.
+
+use std::fmt;
+
+use uds_netlist::{NetId, Netlist};
+
+use crate::UnitDelaySimulator;
+
+/// A disagreement between two engines.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Mismatch {
+    /// Index of the vector (0-based) at which the engines diverged.
+    pub vector_index: usize,
+    /// The reference engine's name.
+    pub reference: &'static str,
+    /// The diverging engine's name.
+    pub candidate: &'static str,
+    /// The net that differs.
+    pub net: NetId,
+    /// Net name, for readable reports.
+    pub net_name: String,
+    /// Reference history (or single final value).
+    pub expected: Vec<bool>,
+    /// Candidate history (or single final value).
+    pub got: Vec<bool>,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vector {}: {} disagrees with {} on net {} ({}): expected {:?}, got {:?}",
+            self.vector_index,
+            self.candidate,
+            self.reference,
+            self.net,
+            self.net_name,
+            self.expected,
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for Mismatch {}
+
+/// Feeds every vector of `stimulus` to all `simulators` and compares
+/// them against the first (the reference).
+///
+/// Checks, per vector: the final value of every net, and the complete
+/// history of every net for which both the reference and the candidate
+/// report one.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+///
+/// # Panics
+///
+/// Panics if `simulators` is empty or a vector length does not match
+/// the netlist.
+pub fn run(
+    netlist: &Netlist,
+    simulators: &mut [Box<dyn UnitDelaySimulator>],
+    stimulus: impl IntoIterator<Item = Vec<bool>>,
+) -> Result<(), Mismatch> {
+    assert!(
+        !simulators.is_empty(),
+        "cross-checking needs at least one engine"
+    );
+    for (vector_index, vector) in stimulus.into_iter().enumerate() {
+        for sim in simulators.iter_mut() {
+            sim.simulate_vector(&vector);
+        }
+        let (reference, candidates) = simulators.split_first_mut().expect("nonempty");
+        for candidate in candidates.iter() {
+            for net in netlist.net_ids() {
+                let expected_final = reference.final_value(net);
+                let got_final = candidate.final_value(net);
+                if expected_final != got_final {
+                    return Err(Mismatch {
+                        vector_index,
+                        reference: reference.engine_name(),
+                        candidate: candidate.engine_name(),
+                        net,
+                        net_name: netlist.net_name(net).to_owned(),
+                        expected: vec![expected_final],
+                        got: vec![got_final],
+                    });
+                }
+                if let (Some(expected), Some(got)) =
+                    (reference.history(net), candidate.history(net))
+                {
+                    if expected != got {
+                        return Err(Mismatch {
+                            vector_index,
+                            reference: reference.engine_name(),
+                            candidate: candidate.engine_name(),
+                            net,
+                            net_name: netlist.net_name(net).to_owned(),
+                            expected,
+                            got,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::RandomVectors;
+    use crate::{build_simulator, Engine};
+    use uds_netlist::generators::iscas::c17;
+
+    #[test]
+    fn all_engines_agree_on_c17() {
+        let nl = c17();
+        let mut sims: Vec<Box<dyn UnitDelaySimulator>> = Engine::ALL
+            .iter()
+            .map(|&e| build_simulator(&nl, e).unwrap())
+            .collect();
+        run(&nl, &mut sims, RandomVectors::new(5, 99).take(200)).unwrap();
+    }
+
+    #[test]
+    fn a_broken_candidate_is_caught() {
+        // Use two different circuits' simulators of the same port shape:
+        // an inverter vs a buffer must mismatch.
+        use uds_netlist::{GateKind, NetlistBuilder};
+        let build = |kind: GateKind| {
+            let mut b = NetlistBuilder::new();
+            let a = b.input("a");
+            let y = b.gate(kind, &[a], "y").unwrap();
+            b.output(y);
+            b.finish().unwrap()
+        };
+        let good = build(GateKind::Buf);
+        let bad = build(GateKind::Not);
+        let mut sims: Vec<Box<dyn UnitDelaySimulator>> = vec![
+            build_simulator(&good, Engine::Parallel).unwrap(),
+            build_simulator(&bad, Engine::Parallel).unwrap(),
+        ];
+        let err = run(&good, &mut sims, vec![vec![true]]).unwrap_err();
+        assert_eq!(err.vector_index, 0);
+        assert!(err.to_string().contains("disagrees"));
+    }
+}

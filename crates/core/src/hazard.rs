@@ -1,0 +1,160 @@
+//! Hazard analysis over unit-delay histories.
+//!
+//! §3 of the paper notes that the parallel technique's bit-fields make
+//! hazard analysis cheap: "such analysis could be done quickly by using
+//! a binary search technique and comparison fields of the form 0...01...1
+//! and 1...10...0" — i.e. a field is hazard-free exactly when it is a
+//! *monotone* step function of time. This module implements that check:
+//!
+//! * [`classify`] inspects one history;
+//! * [`scan`] sweeps a whole simulator state after a vector and reports
+//!   every hazardous net;
+//! * [`is_monotone_step`] is the word-level primitive (the paper's
+//!   comparison-field test) applied to a packed history.
+
+use uds_netlist::{NetId, Netlist};
+
+use crate::UnitDelaySimulator;
+
+/// What one net did during one vector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activity {
+    /// No transitions at all.
+    Stable,
+    /// Exactly one clean edge.
+    CleanEdge,
+    /// Initial and final values agree but the net pulsed in between.
+    StaticHazard,
+    /// Initial and final values differ and the net changed more than
+    /// once on the way.
+    DynamicHazard,
+}
+
+/// Classifies one history (values at times `0..=depth`).
+///
+/// # Panics
+///
+/// Panics on an empty history.
+pub fn classify(history: &[bool]) -> Activity {
+    let transitions = history.windows(2).filter(|p| p[0] != p[1]).count();
+    let ends_equal = history[0] == *history.last().expect("histories are nonempty");
+    match (transitions, ends_equal) {
+        (0, _) => Activity::Stable,
+        (1, false) => Activity::CleanEdge,
+        (_, true) => Activity::StaticHazard,
+        (_, false) => Activity::DynamicHazard,
+    }
+}
+
+/// The paper's comparison-field test on a packed history: the `width`
+/// low bits of `field` are hazard-free iff they equal `0…01…1` or
+/// `1…10…0` or a constant — i.e. at most one transition.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 64.
+pub fn is_monotone_step(field: u64, width: u32) -> bool {
+    assert!((1..=64).contains(&width), "width must be in 1..=64");
+    let mask = if width == 64 { !0 } else { (1u64 << width) - 1 };
+    let field = field & mask;
+    // Transitions are the set bits of field XOR (field >> 1) within the
+    // low width-1 bits.
+    let transitions = (field ^ (field >> 1)) & (mask >> 1);
+    transitions.count_ones() <= 1
+}
+
+/// One hazardous net found by [`scan`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hazard {
+    /// The affected net.
+    pub net: NetId,
+    /// Static or dynamic.
+    pub activity: Activity,
+    /// The offending history.
+    pub history: Vec<bool>,
+}
+
+/// Scans every net after a vector and returns all hazards, in net-id
+/// order. Nets whose engine does not expose a history are skipped.
+pub fn scan(netlist: &Netlist, simulator: &dyn UnitDelaySimulator) -> Vec<Hazard> {
+    let mut hazards = Vec::new();
+    for net in netlist.net_ids() {
+        let Some(history) = simulator.history(net) else {
+            continue;
+        };
+        let activity = classify(&history);
+        if matches!(activity, Activity::StaticHazard | Activity::DynamicHazard) {
+            hazards.push(Hazard {
+                net,
+                activity,
+                history,
+            });
+        }
+    }
+    hazards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::{GateKind, NetlistBuilder};
+    use uds_parallel::{Optimization, ParallelSimulator};
+
+    #[test]
+    fn classification_table() {
+        assert_eq!(classify(&[false, false, false]), Activity::Stable);
+        assert_eq!(classify(&[false, true, true]), Activity::CleanEdge);
+        assert_eq!(classify(&[false, true, false]), Activity::StaticHazard);
+        assert_eq!(
+            classify(&[false, true, false, true]),
+            Activity::DynamicHazard
+        );
+        assert_eq!(classify(&[true]), Activity::Stable);
+    }
+
+    #[test]
+    fn monotone_step_matches_classification() {
+        for width in 1u32..=10 {
+            for pattern in 0u64..(1 << width) {
+                let history: Vec<bool> = (0..width).map(|i| pattern >> i & 1 != 0).collect();
+                let hazard_free = matches!(
+                    classify(&history),
+                    Activity::Stable | Activity::CleanEdge
+                );
+                assert_eq!(
+                    is_monotone_step(pattern, width),
+                    hazard_free,
+                    "width {width} pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_step_full_width() {
+        assert!(is_monotone_step(!0u64, 64));
+        assert!(is_monotone_step(0, 64));
+        assert!(is_monotone_step(!0u64 << 20, 64));
+        assert!(!is_monotone_step(0b101, 64));
+    }
+
+    #[test]
+    fn scan_finds_the_classic_static_hazard() {
+        // y = AND(a, NOT a) pulses on a rising a.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let na = b.gate(GateKind::Not, &[a], "na").unwrap();
+        let y = b.gate(GateKind::And, &[a, na], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        sim.simulate_vector(&[false]);
+        assert!(scan(&nl, &sim).is_empty());
+        sim.simulate_vector(&[true]);
+        let hazards = scan(&nl, &sim);
+        assert_eq!(hazards.len(), 1);
+        assert_eq!(hazards[0].net, y);
+        assert_eq!(hazards[0].activity, Activity::StaticHazard);
+        assert_eq!(hazards[0].history, vec![false, true, false]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Common abstractions over the unit-delay simulators.
+//!
+//! The technique crates ([`uds_pcset`], [`uds_parallel`], the
+//! [`uds_eventsim`] baselines) each expose their own compile/run API;
+//! this crate ties them together for users who want to mix, compare or
+//! validate them:
+//!
+//! * [`UnitDelaySimulator`] — one trait over every engine, plus
+//!   [`build_simulator`] to construct any [`Engine`] by name;
+//! * [`vectors`] — deterministic stimulus generators (random streams,
+//!   walking ones, exhaustive);
+//! * [`waveform`] — dense per-net time histories with edge/transition
+//!   queries;
+//! * [`hazard`] — static/dynamic hazard detection over unit-delay
+//!   histories (the analysis §3 of the paper sketches for the parallel
+//!   technique's bit-fields);
+//! * [`crosscheck`] — the workspace's strongest invariant as a library
+//!   function: run N engines in lockstep and demand identical waveforms.
+//!
+//! # Example
+//!
+//! ```
+//! use uds_core::{build_simulator, Engine, UnitDelaySimulator};
+//! use uds_core::vectors::RandomVectors;
+//! use uds_netlist::generators::iscas::c17;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = c17();
+//! let mut sim = build_simulator(&nl, Engine::ParallelPathTracingTrimming)?;
+//! for vector in RandomVectors::new(nl.primary_inputs().len(), 42).take(100) {
+//!     sim.simulate_vector(&vector);
+//! }
+//! let out = nl.primary_outputs()[0];
+//! println!("{}", sim.final_value(out));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod crosscheck;
+pub mod hazard;
+pub mod sequential;
+mod simulator;
+pub mod vcd;
+pub mod vectors;
+pub mod waveform;
+
+pub use simulator::{build_simulator, BuildSimulatorError, Engine, TracedEventSim, UnitDelaySimulator};

@@ -1,0 +1,383 @@
+//! The engine-agnostic simulator trait and constructors.
+
+use std::fmt;
+
+use uds_eventsim::EventDrivenUnitDelay;
+use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
+use uds_parallel::{Optimization, ParallelSimulator};
+use uds_pcset::PcSetSimulator;
+
+/// A unit-delay simulator: feed vectors, read back settled values and
+/// (where supported) complete time histories.
+///
+/// Implemented by the PC-set simulator, every optimization level of the
+/// parallel technique, and the traced event-driven baseline, so
+/// comparison harnesses and examples can be written once.
+pub trait UnitDelaySimulator {
+    /// Short engine name for reports (e.g. `"pc-set"`).
+    fn engine_name(&self) -> &'static str;
+
+    /// Simulates one input vector (parallel to the primary inputs).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the vector length does not match the
+    /// primary-input count.
+    fn simulate_vector(&mut self, inputs: &[bool]);
+
+    /// The settled value of any net for the last vector.
+    fn final_value(&self, net: NetId) -> bool;
+
+    /// The complete history of `net` at times `0..=depth()` for the
+    /// last vector, or `None` when the engine did not track it for this
+    /// net.
+    fn history(&self, net: NetId) -> Option<Vec<bool>>;
+
+    /// Circuit depth (histories have `depth() + 1` entries).
+    fn depth(&self) -> u32;
+
+    /// Restores the consistent power-up state (circuit settled under
+    /// all-zero inputs).
+    fn reset(&mut self);
+}
+
+impl UnitDelaySimulator for PcSetSimulator {
+    fn engine_name(&self) -> &'static str {
+        "pc-set"
+    }
+
+    fn simulate_vector(&mut self, inputs: &[bool]) {
+        PcSetSimulator::simulate_vector(self, inputs);
+    }
+
+    fn final_value(&self, net: NetId) -> bool {
+        PcSetSimulator::final_value(self, net)
+    }
+
+    fn history(&self, net: NetId) -> Option<Vec<bool>> {
+        PcSetSimulator::history(self, net)
+    }
+
+    fn depth(&self) -> u32 {
+        PcSetSimulator::depth(self)
+    }
+
+    fn reset(&mut self) {
+        PcSetSimulator::reset(self);
+    }
+}
+
+impl UnitDelaySimulator for ParallelSimulator {
+    fn engine_name(&self) -> &'static str {
+        match self.optimization() {
+            Optimization::None => "parallel",
+            Optimization::Trimming => "parallel+trim",
+            Optimization::PathTracing => "parallel+pt",
+            Optimization::PathTracingTrimming => "parallel+pt+trim",
+            Optimization::CycleBreaking => "parallel+cb",
+            Optimization::CycleBreakingTrimming => "parallel+cb+trim",
+        }
+    }
+
+    fn simulate_vector(&mut self, inputs: &[bool]) {
+        ParallelSimulator::simulate_vector(self, inputs);
+    }
+
+    fn final_value(&self, net: NetId) -> bool {
+        ParallelSimulator::final_value(self, net)
+    }
+
+    fn history(&self, net: NetId) -> Option<Vec<bool>> {
+        ParallelSimulator::history(self, net)
+    }
+
+    fn depth(&self) -> u32 {
+        ParallelSimulator::depth(self)
+    }
+
+    fn reset(&mut self) {
+        ParallelSimulator::reset(self);
+    }
+}
+
+/// The interpreted event-driven baseline wrapped to record complete
+/// waveforms, so it satisfies [`UnitDelaySimulator`] and can serve as
+/// the reference in cross-checks.
+#[derive(Clone, Debug)]
+pub struct TracedEventSim {
+    inner: EventDrivenUnitDelay<bool>,
+    waveform: Vec<Vec<bool>>,
+    depth: u32,
+}
+
+impl TracedEventSim {
+    /// Builds the traced baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] for cyclic or sequential netlists.
+    pub fn new(netlist: &Netlist) -> Result<Self, LevelizeError> {
+        let depth = levelize(netlist)?.depth;
+        let inner = EventDrivenUnitDelay::new(netlist)?;
+        let waveform = inner
+            .values()
+            .iter()
+            .map(|&v| vec![v; depth as usize + 1])
+            .collect();
+        Ok(TracedEventSim {
+            inner,
+            waveform,
+            depth,
+        })
+    }
+
+    /// Event statistics of the most recent vector are available through
+    /// the wrapped simulator.
+    pub fn inner(&self) -> &EventDrivenUnitDelay<bool> {
+        &self.inner
+    }
+}
+
+impl UnitDelaySimulator for TracedEventSim {
+    fn engine_name(&self) -> &'static str {
+        "event-driven"
+    }
+
+    fn simulate_vector(&mut self, inputs: &[bool]) {
+        for (net, row) in self.waveform.iter_mut().enumerate() {
+            let last = *row.last().expect("rows are depth + 1 long");
+            row.fill(last);
+            let _ = net;
+        }
+        let waveform = &mut self.waveform;
+        self.inner.simulate_vector_traced(inputs, |t, net, v| {
+            for slot in &mut waveform[net.index()][t as usize..] {
+                *slot = v;
+            }
+        });
+    }
+
+    fn final_value(&self, net: NetId) -> bool {
+        *self.waveform[net.index()]
+            .last()
+            .expect("rows are depth + 1 long")
+    }
+
+    fn history(&self, net: NetId) -> Option<Vec<bool>> {
+        Some(self.waveform[net.index()].clone())
+    }
+
+    fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        for (net, row) in self.waveform.iter_mut().enumerate() {
+            row.fill(self.inner.value(NetId::from_index(net)));
+        }
+    }
+}
+
+/// Every engine the workspace provides, constructible by name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Engine {
+    /// Interpreted event-driven unit-delay (two-valued), traced.
+    EventDriven,
+    /// The PC-set method (§2).
+    PcSet,
+    /// The parallel technique, unoptimized (§3).
+    Parallel,
+    /// Parallel with bit-field trimming.
+    ParallelTrimming,
+    /// Parallel with path-tracing shift elimination.
+    ParallelPathTracing,
+    /// Parallel with path tracing and trimming.
+    ParallelPathTracingTrimming,
+    /// Parallel with cycle-breaking shift elimination.
+    ParallelCycleBreaking,
+}
+
+impl Engine {
+    /// All engines in comparison order.
+    pub const ALL: [Engine; 7] = [
+        Engine::EventDriven,
+        Engine::PcSet,
+        Engine::Parallel,
+        Engine::ParallelTrimming,
+        Engine::ParallelPathTracing,
+        Engine::ParallelPathTracingTrimming,
+        Engine::ParallelCycleBreaking,
+    ];
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::EventDriven => "event-driven",
+            Engine::PcSet => "pc-set",
+            Engine::Parallel => "parallel",
+            Engine::ParallelTrimming => "parallel+trim",
+            Engine::ParallelPathTracing => "parallel+pt",
+            Engine::ParallelPathTracingTrimming => "parallel+pt+trim",
+            Engine::ParallelCycleBreaking => "parallel+cb",
+        })
+    }
+}
+
+/// Error from [`build_simulator`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BuildSimulatorError {
+    /// The engine that failed to build.
+    pub engine: Engine,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for BuildSimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot build {} simulator: {}", self.engine, self.reason)
+    }
+}
+
+impl std::error::Error for BuildSimulatorError {}
+
+/// Builds any engine as a boxed [`UnitDelaySimulator`].
+///
+/// # Errors
+///
+/// Returns [`BuildSimulatorError`] for cyclic or sequential netlists.
+pub fn build_simulator(
+    netlist: &Netlist,
+    engine: Engine,
+) -> Result<Box<dyn UnitDelaySimulator>, BuildSimulatorError> {
+    let err = |reason: String| BuildSimulatorError { engine, reason };
+    Ok(match engine {
+        Engine::EventDriven => {
+            Box::new(TracedEventSim::new(netlist).map_err(|e| err(e.to_string()))?)
+        }
+        Engine::PcSet => Box::new(PcSetSimulator::compile(netlist).map_err(|e| err(e.to_string()))?),
+        Engine::Parallel => Box::new(
+            ParallelSimulator::compile(netlist, Optimization::None)
+                .map_err(|e| err(e.to_string()))?,
+        ),
+        Engine::ParallelTrimming => Box::new(
+            ParallelSimulator::compile(netlist, Optimization::Trimming)
+                .map_err(|e| err(e.to_string()))?,
+        ),
+        Engine::ParallelPathTracing => Box::new(
+            ParallelSimulator::compile(netlist, Optimization::PathTracing)
+                .map_err(|e| err(e.to_string()))?,
+        ),
+        Engine::ParallelPathTracingTrimming => Box::new(
+            ParallelSimulator::compile(netlist, Optimization::PathTracingTrimming)
+                .map_err(|e| err(e.to_string()))?,
+        ),
+        Engine::ParallelCycleBreaking => Box::new(
+            ParallelSimulator::compile(netlist, Optimization::CycleBreaking)
+                .map_err(|e| err(e.to_string()))?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::generators::iscas::c17;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn every_engine_builds_and_agrees_on_finals() {
+        let nl = c17();
+        let mut sims: Vec<Box<dyn UnitDelaySimulator>> = Engine::ALL
+            .iter()
+            .map(|&e| build_simulator(&nl, e).unwrap())
+            .collect();
+        for pattern in 0u32..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
+            for sim in &mut sims {
+                sim.simulate_vector(&inputs);
+            }
+            for &po in nl.primary_outputs() {
+                let reference = sims[0].final_value(po);
+                for sim in &sims[1..] {
+                    assert_eq!(
+                        sim.final_value(po),
+                        reference,
+                        "{} diverged on {pattern:05b}",
+                        sim.engine_name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_event_sim_histories_reset_between_vectors() {
+        // A buffer chain: history must show the *current* vector's edge,
+        // not remnants of older ones.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let x = b.gate(GateKind::Buf, &[a], "x").unwrap();
+        let y = b.gate(GateKind::Buf, &[x], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let mut sim = TracedEventSim::new(&nl).unwrap();
+        sim.simulate_vector(&[true]);
+        assert_eq!(sim.history(y).unwrap(), vec![false, false, true]);
+        sim.simulate_vector(&[true]);
+        assert_eq!(
+            sim.history(y).unwrap(),
+            vec![true, true, true],
+            "stable vector: flat history at the held value"
+        );
+        sim.simulate_vector(&[false]);
+        assert_eq!(sim.history(y).unwrap(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn engines_report_consistent_depth() {
+        let nl = c17();
+        for engine in Engine::ALL {
+            let sim = build_simulator(&nl, engine).unwrap();
+            assert_eq!(sim.depth(), 3, "{engine}");
+        }
+    }
+
+    #[test]
+    fn reset_via_trait() {
+        let nl = c17();
+        for engine in Engine::ALL {
+            let mut sim = build_simulator(&nl, engine).unwrap();
+            let po = nl.primary_outputs()[0];
+            let before = sim.final_value(po);
+            sim.simulate_vector(&[true; 5]);
+            sim.reset();
+            assert_eq!(sim.final_value(po), before, "{engine}");
+        }
+    }
+
+    #[test]
+    fn cyclic_netlist_fails_to_build() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let x = b.fresh_net();
+        let y = b.fresh_net();
+        b.gate_onto(GateKind::And, &[a, y], x).unwrap();
+        b.gate_onto(GateKind::Not, &[x], y).unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        for engine in Engine::ALL {
+            let result = build_simulator(&nl, engine);
+            assert!(result.is_err(), "{engine}");
+        }
+    }
+
+    #[test]
+    fn engine_display_round_trips_names() {
+        for engine in Engine::ALL {
+            let sim = build_simulator(&c17(), engine).unwrap();
+            assert_eq!(sim.engine_name(), engine.to_string());
+        }
+    }
+}

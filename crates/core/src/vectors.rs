@@ -1,0 +1,156 @@
+//! Deterministic stimulus generators.
+//!
+//! The paper's evaluation drives each circuit with "5,000 randomly
+//! generated vectors"; [`RandomVectors`] reproduces that (seeded, so
+//! every run and every engine sees the same stream). The structured
+//! generators are useful in tests and examples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Endless stream of uniformly random vectors of a fixed width.
+///
+/// # Example
+///
+/// ```
+/// use uds_core::vectors::RandomVectors;
+///
+/// let first: Vec<Vec<bool>> = RandomVectors::new(3, 7).take(2).collect();
+/// let again: Vec<Vec<bool>> = RandomVectors::new(3, 7).take(2).collect();
+/// assert_eq!(first, again, "seeded: reproducible");
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomVectors {
+    width: usize,
+    rng: StdRng,
+}
+
+impl RandomVectors {
+    /// A stream of `width`-bit vectors from `seed`.
+    pub fn new(width: usize, seed: u64) -> Self {
+        RandomVectors {
+            width,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for RandomVectors {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Vec<bool>> {
+        Some((0..self.width).map(|_| self.rng.gen()).collect())
+    }
+}
+
+/// Walking-ones: vector `k` has exactly bit `k % width` set. Exercises
+/// one-input-at-a-time sensitivities.
+#[derive(Clone, Debug)]
+pub struct WalkingOnes {
+    width: usize,
+    position: usize,
+}
+
+impl WalkingOnes {
+    /// A walking-ones stream of `width`-bit vectors.
+    pub fn new(width: usize) -> Self {
+        WalkingOnes { width, position: 0 }
+    }
+}
+
+impl Iterator for WalkingOnes {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Vec<bool>> {
+        if self.width == 0 {
+            return None;
+        }
+        let vector = (0..self.width).map(|i| i == self.position).collect();
+        self.position = (self.position + 1) % self.width;
+        Some(vector)
+    }
+}
+
+/// All `2^width` vectors in binary counting order (bit 0 of the counter
+/// is input 0). Finite; `None` after the last pattern.
+#[derive(Clone, Debug)]
+pub struct Exhaustive {
+    width: usize,
+    next: Option<u64>,
+}
+
+impl Exhaustive {
+    /// Exhaustive stimulus for up to 63 inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 63` (the pattern space would not fit a `u64`).
+    pub fn new(width: usize) -> Self {
+        assert!(width <= 63, "exhaustive stimulus is limited to 63 inputs");
+        Exhaustive {
+            width,
+            next: Some(0),
+        }
+    }
+}
+
+impl Iterator for Exhaustive {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Vec<bool>> {
+        let current = self.next?;
+        self.next = if current + 1 < (1u64 << self.width) {
+            Some(current + 1)
+        } else {
+            None
+        };
+        Some((0..self.width).map(|i| current >> i & 1 != 0).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible_and_seed_sensitive() {
+        let a: Vec<_> = RandomVectors::new(8, 1).take(5).collect();
+        let b: Vec<_> = RandomVectors::new(8, 1).take(5).collect();
+        let c: Vec<_> = RandomVectors::new(8, 2).take(5).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|v| v.len() == 8));
+    }
+
+    #[test]
+    fn walking_ones_walks() {
+        let vs: Vec<_> = WalkingOnes::new(3).take(4).collect();
+        assert_eq!(vs[0], vec![true, false, false]);
+        assert_eq!(vs[1], vec![false, true, false]);
+        assert_eq!(vs[2], vec![false, false, true]);
+        assert_eq!(vs[3], vec![true, false, false], "wraps");
+    }
+
+    #[test]
+    fn exhaustive_covers_everything_once() {
+        let vs: Vec<_> = Exhaustive::new(3).collect();
+        assert_eq!(vs.len(), 8);
+        let as_numbers: Vec<u32> = vs
+            .iter()
+            .map(|v| v.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
+            .collect();
+        assert_eq!(as_numbers, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exhaustive_zero_width_is_single_empty_vector() {
+        let vs: Vec<_> = Exhaustive::new(0).collect();
+        assert_eq!(vs, vec![Vec::<bool>::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "63")]
+    fn exhaustive_rejects_wide_circuits() {
+        let _ = Exhaustive::new(64);
+    }
+}

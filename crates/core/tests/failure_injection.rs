@@ -1,0 +1,159 @@
+//! Failure injection: malformed circuits and misuse must produce typed
+//! errors (or documented panics), never silent corruption.
+
+use uds_core::{build_simulator, Engine};
+use uds_netlist::{bench_format, levelize, validate, GateKind, NetlistBuilder};
+
+fn cyclic() -> uds_netlist::Netlist {
+    let mut b = NetlistBuilder::named("cyclic");
+    let a = b.input("a");
+    let x = b.fresh_net();
+    let y = b.fresh_net();
+    b.gate_onto(GateKind::And, &[a, y], x).unwrap();
+    b.gate_onto(GateKind::Not, &[x], y).unwrap();
+    b.output(y);
+    b.finish().unwrap()
+}
+
+fn sequential() -> uds_netlist::Netlist {
+    let mut b = NetlistBuilder::named("seq");
+    let d = b.input("d");
+    let q = b.gate(GateKind::Dff, &[d], "q").unwrap();
+    b.output(q);
+    b.finish().unwrap()
+}
+
+#[test]
+fn every_engine_rejects_cycles_and_flip_flops() {
+    for nl in [cyclic(), sequential()] {
+        for engine in Engine::ALL {
+            let result = build_simulator(&nl, engine);
+            let err = result.err().unwrap_or_else(|| {
+                panic!("{engine} accepted the {} netlist", nl.name())
+            });
+            let text = err.to_string();
+            assert!(
+                text.contains("cycle") || text.contains("sequential"),
+                "{engine}: unhelpful error `{text}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn levelize_error_survives_error_chain() {
+    let err = levelize(&cyclic()).unwrap_err();
+    let boxed: Box<dyn std::error::Error> = Box::new(err);
+    assert!(boxed.to_string().contains("cycle"));
+}
+
+#[test]
+fn validation_reports_every_issue_at_once() {
+    let mut b = NetlistBuilder::new();
+    let a = b.input("a");
+    let ghost = b.fresh_net(); // undriven, read below
+    let dead = b.gate(GateKind::Not, &[a], "dead").unwrap(); // dangling
+    let y = b.gate(GateKind::And, &[a, ghost], "y").unwrap();
+    b.output(y);
+    let _ = dead;
+    let nl = b.finish().unwrap();
+    let err = validate::check(&nl, validate::Mode::Combinational).unwrap_err();
+    assert!(err.issues.len() >= 2, "{err}");
+}
+
+#[test]
+fn bench_parser_survives_garbage() {
+    for garbage in [
+        "",
+        "\n\n\n",
+        "###",
+        "()",
+        "= AND(a, b)",
+        "y = (a, b)",
+        "y = AND",
+        "INPUT(a) OUTPUT(b)",
+        "y = AND(a,)",
+        &"x".repeat(10_000),
+        "y = AND(a, b)\u{0}",
+        "\u{FEFF}INPUT(a)",
+    ] {
+        // Must never panic; error or empty netlist are both acceptable.
+        let _ = bench_format::parse(garbage, "garbage");
+    }
+}
+
+#[test]
+fn wrong_vector_length_panics_with_message() {
+    let nl = uds_netlist::generators::iscas::c17();
+    for engine in Engine::ALL {
+        let mut sim = build_simulator(&nl, engine).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.simulate_vector(&[true]); // c17 has 5 inputs
+        }));
+        let payload = result.expect_err("short vector must not be accepted");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("input vector length"),
+            "{engine}: panic message `{message}`"
+        );
+    }
+}
+
+#[test]
+fn empty_circuit_simulates() {
+    // Zero gates, zero inputs: every engine should handle the degenerate
+    // case without panicking.
+    let mut b = NetlistBuilder::named("empty");
+    let a = b.input("a");
+    b.output(a);
+    let nl = b.finish().unwrap();
+    for engine in Engine::ALL {
+        let mut sim = build_simulator(&nl, engine).unwrap();
+        sim.simulate_vector(&[true]);
+        assert!(sim.final_value(a), "{engine}");
+        sim.simulate_vector(&[false]);
+        assert!(!sim.final_value(a), "{engine}");
+    }
+}
+
+#[test]
+fn single_gate_depth_one_circuit() {
+    let mut b = NetlistBuilder::named("one");
+    let a = b.input("a");
+    let y = b.gate(GateKind::Not, &[a], "y").unwrap();
+    b.output(y);
+    let nl = b.finish().unwrap();
+    for engine in Engine::ALL {
+        let mut sim = build_simulator(&nl, engine).unwrap();
+        sim.simulate_vector(&[false]);
+        assert!(sim.final_value(y), "{engine}");
+        assert_eq!(sim.depth(), 1, "{engine}");
+        if let Some(history) = sim.history(y) {
+            assert_eq!(history.len(), 2, "{engine}");
+        }
+    }
+}
+
+#[test]
+fn wide_fanin_gates_work_everywhere() {
+    // A 12-input NAND exercises the >scratch-array path in the
+    // interpreted engines and n-ary operand pools in the compiled ones.
+    let mut b = NetlistBuilder::named("wide");
+    let inputs: Vec<_> = (0..12).map(|i| b.input(format!("i{i}"))).collect();
+    let y = b.gate(GateKind::Nand, &inputs, "y").unwrap();
+    b.output(y);
+    let nl = b.finish().unwrap();
+    for engine in Engine::ALL {
+        let mut sim = build_simulator(&nl, engine).unwrap();
+        sim.simulate_vector(&vec![true; 12]);
+        assert!(!sim.final_value(y), "{engine}: all-ones NAND");
+        let mut vector = vec![true; 12];
+        vector[7] = false;
+        sim.simulate_vector(&vector);
+        assert!(sim.final_value(y), "{engine}: one-zero NAND");
+    }
+}

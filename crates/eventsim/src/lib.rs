@@ -1,0 +1,40 @@
+//! Interpreted simulation baselines.
+//!
+//! The paper's Fig. 19 compares its compiled techniques against
+//! "conventional unit-delay event-driven simulators, which used a
+//! three-valued and a two-valued logic model respectively", and §5 adds a
+//! zero-delay aside (compiled LCC ≈ 1/23 of interpreted). This crate
+//! implements those baselines:
+//!
+//! * [`EventDrivenUnitDelay`] — a classic interpreted event-driven
+//!   unit-delay simulator, generic over the logic family
+//!   ([`LogicFamily`]): `bool` for the two-valued model, `Logic3` for the
+//!   three-valued model;
+//! * [`zero_delay::ZeroDelayInterpreted`] and
+//!   [`zero_delay::ZeroDelayCompiled`] — levelized zero-delay simulation,
+//!   interpreted vs compiled-to-straight-line-ops.
+//!
+//! # Example
+//!
+//! ```
+//! use uds_netlist::generators::iscas::c17;
+//! use uds_netlist::NetId;
+//! use uds_eventsim::EventDrivenUnitDelay;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = c17();
+//! let mut sim = EventDrivenUnitDelay::<bool>::new(&nl)?;
+//! let stats = sim.simulate_vector(&[true, false, true, false, true]);
+//! assert!(stats.gate_evaluations > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod conventional;
+mod logic_family;
+mod unit_delay;
+pub mod zero_delay;
+
+pub use conventional::ConventionalEventDriven;
+pub use logic_family::LogicFamily;
+pub use unit_delay::{EventDrivenUnitDelay, SimStats};

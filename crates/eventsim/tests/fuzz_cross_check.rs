@@ -1,0 +1,34 @@
+use uds_eventsim::{ConventionalEventDriven, EventDrivenUnitDelay};
+use uds_netlist::generators::random::{layered, LayeredConfig};
+
+#[test]
+fn fuzz_conventional_vs_optimized_xor_heavy() {
+    let mut mismatches = 0;
+    for seed in 0..400u64 {
+        let mut cfg = LayeredConfig::new("fuzz", 60, 8);
+        cfg.primary_inputs = 5;
+        cfg.xor_fraction = 0.8;
+        cfg.inverter_fraction = 0.2;
+        cfg.locality = 0.2;
+        cfg.seed = seed;
+        let nl = layered(&cfg).unwrap();
+        let mut conv = ConventionalEventDriven::<bool>::new(&nl).unwrap();
+        let mut opt = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        'outer: for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let p = (state >> 33) as u32;
+            let inputs: Vec<bool> = (0..5).map(|i| p >> i & 1 != 0).collect();
+            conv.simulate_vector(&inputs);
+            opt.simulate_vector(&inputs);
+            for net in nl.net_ids() {
+                if conv.value(net) != opt.value(net) {
+                    mismatches += 1;
+                    eprintln!("MISMATCH seed {seed} net {net}");
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "{mismatches} seeds diverged");
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the interpreted baselines: the two
+//! event-driven engines must agree with each other and with a direct
+//! topological oracle on randomized circuits and vector sequences.
+
+use proptest::prelude::*;
+
+use uds_eventsim::{ConventionalEventDriven, EventDrivenUnitDelay};
+use uds_eventsim::zero_delay::{ZeroDelayCompiled, ZeroDelayInterpreted};
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{levelize, Logic3, Netlist};
+
+fn circuit_strategy() -> impl Strategy<Value = (Netlist, u64)> {
+    (1u32..=12, 0usize..=60, 1usize..=10, any::<u64>()).prop_map(|(depth, extra, pis, seed)| {
+        let mut config = LayeredConfig::new("prop", depth as usize + extra, depth);
+        config.primary_inputs = pis;
+        config.primary_outputs = 3;
+        config.seed = seed;
+        config.xor_fraction = 0.35;
+        (layered(&config).expect("valid config"), seed)
+    })
+}
+
+fn vectors(width: usize, seed: u64, count: usize) -> Vec<Vec<bool>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..width).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conventional_and_optimized_agree((nl, seed) in circuit_strategy()) {
+        let width = nl.primary_inputs().len();
+        let mut conventional = ConventionalEventDriven::<bool>::new(&nl).unwrap();
+        let mut optimized = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        for vector in vectors(width, seed ^ 0xE1, 6) {
+            conventional.simulate_vector(&vector);
+            optimized.simulate_vector(&vector);
+            for net in nl.net_ids() {
+                prop_assert_eq!(conventional.value(net), optimized.value(net), "net {}", net);
+            }
+        }
+    }
+
+    #[test]
+    fn three_valued_agrees_on_fully_driven_inputs((nl, seed) in circuit_strategy()) {
+        // With no X inputs, Kleene logic must coincide with boolean.
+        let width = nl.primary_inputs().len();
+        let mut two = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        let mut three = EventDrivenUnitDelay::<Logic3>::new(&nl).unwrap();
+        for vector in vectors(width, seed ^ 0xE2, 4) {
+            two.simulate_vector(&vector);
+            let l3: Vec<Logic3> = vector.iter().map(|&b| Logic3::from_bool(b)).collect();
+            three.simulate_vector(&l3);
+            for net in nl.net_ids() {
+                prop_assert_eq!(
+                    three.value(net),
+                    Logic3::from_bool(two.value(net)),
+                    "net {}", net
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn settled_values_match_zero_delay((nl, seed) in circuit_strategy()) {
+        let width = nl.primary_inputs().len();
+        let mut event = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        let mut zd_interp = ZeroDelayInterpreted::new(&nl).unwrap();
+        let mut zd_comp = ZeroDelayCompiled::compile(&nl).unwrap();
+        for vector in vectors(width, seed ^ 0xE3, 4) {
+            event.simulate_vector(&vector);
+            zd_interp.simulate_vector(&vector);
+            zd_comp.simulate_vector(&vector);
+            for net in nl.net_ids() {
+                prop_assert_eq!(event.value(net), zd_interp.value(net), "net {}", net);
+                prop_assert_eq!(event.value(net), zd_comp.value(net), "net {}", net);
+            }
+        }
+    }
+
+    #[test]
+    fn settle_time_is_bounded_by_depth((nl, seed) in circuit_strategy()) {
+        let depth = levelize(&nl).unwrap().depth;
+        let width = nl.primary_inputs().len();
+        let mut sim = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        let mut conventional = ConventionalEventDriven::<bool>::new(&nl).unwrap();
+        for vector in vectors(width, seed ^ 0xE4, 4) {
+            prop_assert!(sim.simulate_vector(&vector).settle_time <= depth);
+            prop_assert!(conventional.simulate_vector(&vector).settle_time <= depth);
+        }
+    }
+
+    #[test]
+    fn repeating_a_vector_is_quiescent((nl, seed) in circuit_strategy()) {
+        let width = nl.primary_inputs().len();
+        let mut sim = ConventionalEventDriven::<bool>::new(&nl).unwrap();
+        for vector in vectors(width, seed ^ 0xE5, 3) {
+            sim.simulate_vector(&vector);
+            let stats = sim.simulate_vector(&vector);
+            prop_assert_eq!(stats.events, 0);
+            prop_assert_eq!(stats.gate_evaluations, 0);
+        }
+    }
+
+    #[test]
+    fn per_pin_activation_never_under_evaluates((nl, seed) in circuit_strategy()) {
+        // The conventional engine re-evaluates per triggering pin, so its
+        // evaluation count dominates the memoized engine's.
+        let width = nl.primary_inputs().len();
+        let mut conventional = ConventionalEventDriven::<bool>::new(&nl).unwrap();
+        let mut optimized = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        for vector in vectors(width, seed ^ 0xE6, 4) {
+            let c = conventional.simulate_vector(&vector);
+            let o = optimized.simulate_vector(&vector);
+            prop_assert!(c.gate_evaluations >= o.gate_evaluations);
+            prop_assert_eq!(c.events, o.events, "committed changes must agree");
+        }
+    }
+}

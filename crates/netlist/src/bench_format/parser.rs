@@ -1,0 +1,305 @@
+//! `.bench` parsing.
+
+use std::fmt;
+
+use crate::{BuildError, GateKind, Netlist, NetlistBuilder};
+
+/// What went wrong on a particular line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseErrorKind {
+    /// The line is not a comment, declaration, or assignment.
+    Syntax {
+        /// A short description of what was expected.
+        expected: &'static str,
+    },
+    /// The gate keyword is not recognized.
+    UnknownGateKind {
+        /// The offending keyword.
+        keyword: String,
+    },
+    /// A signal name is empty or contains whitespace/parentheses.
+    BadName {
+        /// The offending name.
+        name: String,
+    },
+    /// Structural error from the netlist builder (duplicate driver, bad
+    /// arity, duplicate input declaration).
+    Build(BuildError),
+}
+
+/// Parse error with a 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// The specific problem.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::Syntax { expected } => write!(f, "expected {expected}"),
+            ParseErrorKind::UnknownGateKind { keyword } => {
+                write!(f, "unknown gate kind `{keyword}`")
+            }
+            ParseErrorKind::BadName { name } => write!(f, "bad signal name `{name}`"),
+            ParseErrorKind::Build(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ParseErrorKind::Build(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// Accepts the ISCAS-85/89 dialect: `INPUT(x)` / `OUTPUT(x)`
+/// declarations, `y = KIND(a, b, …)` assignments, `#` comments, blank
+/// lines, and names containing anything except whitespace, `(`, `)`, `,`
+/// and `=`. Forward references are fine — declaration order is free.
+///
+/// The result is **not** validated beyond what the builder enforces
+/// (duplicate drivers, arity); run [`crate::validate::check`] for full
+/// structural checking.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number for syntax problems,
+/// unknown gate keywords, and structural builder errors.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::bench_format;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = bench_format::parse(bench_format::C17, "c17")?;
+/// assert_eq!(nl.gate_count(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<Netlist, ParseError> {
+    let mut b = NetlistBuilder::named(name);
+
+    for (index, raw_line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = strip_keyword_call(line, "INPUT") {
+            let signal = check_name(rest, line_no)?;
+            let net = b.get_or_create_net(signal);
+            b.declare_input(net);
+            continue;
+        }
+        if let Some(rest) = strip_keyword_call(line, "OUTPUT") {
+            let signal = check_name(rest, line_no)?;
+            let net = b.get_or_create_net(signal);
+            b.output(net);
+            continue;
+        }
+
+        // Assignment: NAME = KIND(arg, ...)
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(ParseError {
+                line: line_no,
+                kind: ParseErrorKind::Syntax {
+                    expected: "INPUT(...), OUTPUT(...), or `name = KIND(...)`",
+                },
+            });
+        };
+        let lhs = check_name(lhs.trim(), line_no)?;
+        let rhs = rhs.trim();
+        let Some(open) = rhs.find('(') else {
+            return Err(ParseError {
+                line: line_no,
+                kind: ParseErrorKind::Syntax {
+                    expected: "`KIND(arg, ...)` on the right-hand side",
+                },
+            });
+        };
+        if !rhs.ends_with(')') {
+            return Err(ParseError {
+                line: line_no,
+                kind: ParseErrorKind::Syntax {
+                    expected: "closing `)`",
+                },
+            });
+        }
+        let keyword = rhs[..open].trim();
+        let kind: GateKind = keyword.parse().map_err(|_| ParseError {
+            line: line_no,
+            kind: ParseErrorKind::UnknownGateKind {
+                keyword: keyword.to_owned(),
+            },
+        })?;
+        let args_text = &rhs[open + 1..rhs.len() - 1];
+        let mut inputs = Vec::new();
+        if !args_text.trim().is_empty() {
+            for arg in args_text.split(',') {
+                let arg = check_name(arg.trim(), line_no)?;
+                inputs.push(b.get_or_create_net(arg));
+            }
+        }
+        let output = b.get_or_create_net(lhs);
+        b.gate_onto(kind, &inputs, output).map_err(|err| ParseError {
+            line: line_no,
+            kind: ParseErrorKind::Build(err),
+        })?;
+    }
+
+    b.finish().map_err(|err| ParseError {
+        line: 0,
+        kind: ParseErrorKind::Build(err),
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// If `line` is `KEYWORD ( inner )` (case-insensitive keyword), returns
+/// `inner` trimmed.
+fn strip_keyword_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let prefix_len = keyword.len();
+    let prefix = line.get(..prefix_len)?;
+    if !prefix.eq_ignore_ascii_case(keyword) {
+        return None;
+    }
+    let rest = line[prefix_len..].trim_start();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner.trim())
+}
+
+fn check_name(name: &str, line: usize) -> Result<&str, ParseError> {
+    let bad = name.is_empty()
+        || name
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '='));
+    if bad {
+        Err(ParseError {
+            line,
+            kind: ParseErrorKind::BadName {
+                name: name.to_owned(),
+            },
+        })
+    } else {
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn parses_minimal_circuit() {
+        let nl = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "mini").unwrap();
+        assert_eq!(nl.name(), "mini");
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.primary_inputs().len(), 2);
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+    }
+
+    #[test]
+    fn tolerates_forward_references_and_odd_order() {
+        let text = "y = AND(a, b)\nOUTPUT(y)\nINPUT(b)\nINPUT(a)\n";
+        let nl = parse(text, "fwd").unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+    }
+
+    #[test]
+    fn tolerates_comments_blanks_and_case() {
+        let text = "# header\n\n  input( a )\nINPUT(b)\nOUTPUT(y) # trailing\ny = nand(a,b)\n";
+        let nl = parse(text, "messy").unwrap();
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.gate(nl.gate_ids().next().unwrap()).kind, GateKind::Nand);
+    }
+
+    #[test]
+    fn parses_dff_and_constants() {
+        let text = "INPUT(d)\nOUTPUT(q)\nq = DFF(d)\nk = CONST1()\nOUTPUT(k)\n";
+        let nl = parse(text, "seq").unwrap();
+        assert!(nl.is_sequential());
+        assert_eq!(nl.gate_count(), 2);
+    }
+
+    #[test]
+    fn unknown_keyword_is_reported_with_line() {
+        let err = parse("INPUT(a)\ny = FROB(a, a)\n", "x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::UnknownGateKind { .. }));
+    }
+
+    #[test]
+    fn syntax_error_is_reported_with_line() {
+        let err = parse("INPUT(a)\nthis is nonsense\n", "x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::Syntax { .. }));
+    }
+
+    #[test]
+    fn missing_close_paren_is_reported() {
+        let err = parse("y = AND(a, b\n", "x").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, ParseErrorKind::Syntax { .. }));
+    }
+
+    #[test]
+    fn duplicate_driver_is_reported() {
+        let err = parse("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n", "x").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Build(BuildError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_arity_is_reported() {
+        let err = parse("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n", "x").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Build(BuildError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let err = parse("INPUT()\n", "x").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadName { .. }));
+        let err = parse("y y = AND(a, b)\n", "x").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadName { .. }));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse("INPUT(a)\ny = FROB(a)\n", "x").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn input_as_substring_of_name_still_parses_as_assignment() {
+        // A net literally named INPUTX on the LHS must not be mistaken
+        // for an INPUT declaration.
+        let text = "INPUT(a)\nINPUTX = NOT(a)\nOUTPUT(INPUTX)\n";
+        let nl = parse(text, "tricky").unwrap();
+        assert!(nl.find_net("INPUTX").is_some());
+        assert_eq!(nl.primary_inputs().len(), 1);
+    }
+}

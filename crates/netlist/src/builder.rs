@@ -1,0 +1,362 @@
+//! Programmatic netlist construction.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::netlist::{Gate, Netlist};
+use crate::{GateId, GateKind, NetId};
+
+/// Error produced while building a netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// A gate was given an input count outside its kind's legal arity.
+    BadArity {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// The number of inputs supplied.
+        got: usize,
+    },
+    /// Two drivers were attached to the same net.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: String,
+    },
+    /// The same name was used for two different nets.
+    DuplicateName {
+        /// The reused name.
+        name: String,
+    },
+    /// A primary output was declared for a net id that does not exist.
+    UnknownNet,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} inputs")
+            }
+            BuildError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` already has a driver")
+            }
+            BuildError::DuplicateName { name } => {
+                write!(f, "net name `{name}` already in use")
+            }
+            BuildError::UnknownNet => write!(f, "reference to a net that was never declared"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::{NetlistBuilder, GateKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::named("half_adder");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let sum = b.gate(GateKind::Xor, &[a, c], "sum")?;
+/// let carry = b.gate(GateKind::And, &[a, c], "carry")?;
+/// b.output(sum);
+/// b.output(carry);
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    net_names: Vec<String>,
+    name_index: HashMap<String, NetId>,
+    gates: Vec<Gate>,
+    driver: Vec<Option<GateId>>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    fresh_counter: u64,
+    error: Option<BuildError>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for an unnamed circuit.
+    pub fn new() -> Self {
+        Self::named("unnamed")
+    }
+
+    /// Creates an empty builder with a circuit name.
+    pub fn named(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            ..NetlistBuilder::default()
+        }
+    }
+
+    /// Number of nets declared so far.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of gates added so far.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Declares a new primary input net.
+    ///
+    /// If the name is already taken the error is deferred to
+    /// [`NetlistBuilder::finish`], so construction code can stay free of
+    /// `?` on every line.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.intern_new(name.into());
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Declares a fresh, uniquely named net with no driver yet.
+    ///
+    /// Useful when wiring gates whose output name does not matter; the
+    /// generated names look like `_t0`, `_t1`, ….
+    pub fn fresh_net(&mut self) -> NetId {
+        loop {
+            let name = format!("_t{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.name_index.contains_key(&name) {
+                return self.intern_new(name);
+            }
+        }
+    }
+
+    /// Adds a gate driving a newly named net and returns that net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BadArity`] if `inputs.len()` is illegal for
+    /// `kind`, or [`BuildError::DuplicateName`] if `output_name` is taken.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output_name: impl Into<String>,
+    ) -> Result<NetId, BuildError> {
+        let name = output_name.into();
+        if self.name_index.contains_key(&name) {
+            return Err(BuildError::DuplicateName { name });
+        }
+        let out = self.intern_new(name);
+        self.gate_onto(kind, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Adds a gate driving an existing (so far driverless) net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BadArity`] for an illegal input count or
+    /// [`BuildError::MultipleDrivers`] if `output` already has a driver.
+    pub fn gate_onto(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, BuildError> {
+        if !kind.accepts_inputs(inputs.len()) {
+            return Err(BuildError::BadArity {
+                kind,
+                got: inputs.len(),
+            });
+        }
+        if self.driver[output].is_some() {
+            return Err(BuildError::MultipleDrivers {
+                net: self.net_names[output].clone(),
+            });
+        }
+        let id = GateId::from_index(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        self.driver[output] = Some(id);
+        Ok(id)
+    }
+
+    /// Convenience: adds a gate with an auto-generated output name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BadArity`] for an illegal input count.
+    pub fn gate_fresh(&mut self, kind: GateKind, inputs: &[NetId]) -> Result<NetId, BuildError> {
+        let out = self.fresh_net();
+        self.gate_onto(kind, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Interns a named net with no driver, or returns the existing net
+    /// with that name.
+    ///
+    /// Used by parsers, where a name may be referenced before the line
+    /// that defines it.
+    pub fn get_or_create_net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        self.intern_new(name.to_owned())
+    }
+
+    /// Declares an already-interned net to be a primary input.
+    /// Idempotent.
+    pub fn declare_input(&mut self, net: NetId) {
+        if net.index() >= self.net_names.len() {
+            self.error.get_or_insert(BuildError::UnknownNet);
+            return;
+        }
+        if !self.primary_inputs.contains(&net) {
+            self.primary_inputs.push(net);
+        }
+    }
+
+    /// Marks a net as a primary output. Marking the same net twice is
+    /// idempotent.
+    pub fn output(&mut self, net: NetId) {
+        if net.index() >= self.net_names.len() {
+            self.error.get_or_insert(BuildError::UnknownNet);
+            return;
+        }
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred error (duplicate input name, unknown
+    /// output net) if any occurred.
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); self.net_names.len()];
+        for (idx, gate) in self.gates.iter().enumerate() {
+            let gid = GateId::from_index(idx);
+            for &input in &gate.inputs {
+                let list = &mut fanout[input];
+                if list.last() != Some(&gid) && !list.contains(&gid) {
+                    list.push(gid);
+                }
+            }
+        }
+        Ok(Netlist {
+            name: self.name,
+            net_names: self.net_names,
+            name_index: self.name_index,
+            gates: self.gates,
+            driver: self.driver,
+            fanout,
+            primary_inputs: self.primary_inputs,
+            primary_outputs: self.primary_outputs,
+        })
+    }
+
+    fn intern_new(&mut self, name: String) -> NetId {
+        if self.name_index.contains_key(&name) {
+            self.error
+                .get_or_insert(BuildError::DuplicateName { name: name.clone() });
+        }
+        let id = NetId::from_index(self.net_names.len());
+        self.name_index.insert(name.clone(), id);
+        self.net_names.push(name);
+        self.driver.push(None);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_gate_output_name_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let c = b.input("C");
+        b.gate(GateKind::And, &[a, c], "D").unwrap();
+        let err = b.gate(GateKind::Or, &[a, c], "D").unwrap_err();
+        assert_eq!(err, BuildError::DuplicateName { name: "D".into() });
+    }
+
+    #[test]
+    fn duplicate_input_name_is_deferred_to_finish() {
+        let mut b = NetlistBuilder::new();
+        b.input("A");
+        b.input("A");
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, BuildError::DuplicateName { name: "A".into() });
+    }
+
+    #[test]
+    fn bad_arity_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let err = b.gate(GateKind::And, &[a], "D").unwrap_err();
+        assert!(matches!(err, BuildError::BadArity { got: 1, .. }));
+    }
+
+    #[test]
+    fn double_driver_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, c], "D").unwrap();
+        let err = b.gate_onto(GateKind::Or, &[a, c], d).unwrap_err();
+        assert_eq!(err, BuildError::MultipleDrivers { net: "D".into() });
+    }
+
+    #[test]
+    fn fresh_nets_get_unique_names() {
+        let mut b = NetlistBuilder::new();
+        let x = b.fresh_net();
+        let y = b.fresh_net();
+        assert_ne!(x, y);
+        let nl_names: Vec<_> = vec![x, y];
+        assert_eq!(nl_names.len(), 2);
+    }
+
+    #[test]
+    fn fresh_net_skips_taken_names() {
+        let mut b = NetlistBuilder::new();
+        b.input("_t0");
+        let x = b.fresh_net();
+        let nl = {
+            b.output(x);
+            // drive x so the netlist is sensible
+            let mut b = b;
+            let a = b.input("A");
+            b.gate_onto(GateKind::Buf, &[a], x).unwrap();
+            b.finish().unwrap()
+        };
+        assert_eq!(nl.net_name(x), "_t1");
+    }
+
+    #[test]
+    fn output_is_idempotent() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        b.output(a);
+        b.output(a);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn error_display_is_lowercase_prose() {
+        let err = BuildError::MultipleDrivers { net: "N".into() };
+        assert_eq!(err.to_string(), "net `N` already has a driver");
+    }
+}

@@ -1,0 +1,208 @@
+//! Fan-in cone extraction: carve out the sub-netlist a set of outputs
+//! actually depends on.
+//!
+//! Useful for debugging a single miscompared output, for shrinking
+//! counterexamples, and for per-output analysis of the compiled
+//! techniques (a cone is itself a valid circuit for every simulator in
+//! the workspace).
+
+use crate::{NetId, Netlist, NetlistBuilder};
+
+/// The result of [`extract`]: the cone netlist plus id maps back into
+/// the original.
+#[derive(Clone, Debug)]
+pub struct Cone {
+    /// The extracted sub-netlist. Its primary inputs are the original
+    /// primary inputs (and undriven nets) the cone reaches; its primary
+    /// outputs are the requested roots, in request order.
+    pub netlist: Netlist,
+    /// For each cone net, the original net it mirrors.
+    pub original_net: Vec<NetId>,
+}
+
+impl Cone {
+    /// Maps an original net into the cone, if it is part of it.
+    pub fn to_cone(&self, original: NetId) -> Option<NetId> {
+        self.original_net
+            .iter()
+            .position(|&n| n == original)
+            .map(NetId::from_index)
+    }
+}
+
+/// Extracts the transitive fan-in cone of `roots`.
+///
+/// # Panics
+///
+/// Panics if a root id is out of range for `netlist`.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::{NetlistBuilder, GateKind, cone};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new();
+/// let a = b.input("a");
+/// let x = b.input("b");
+/// let y = b.gate(GateKind::Not, &[a], "y")?;   // cone of y: a only
+/// let z = b.gate(GateKind::And, &[a, x], "z")?;
+/// b.output(y);
+/// b.output(z);
+/// let nl = b.finish()?;
+///
+/// let cone = cone::extract(&nl, &[y]);
+/// assert_eq!(cone.netlist.gate_count(), 1);
+/// assert_eq!(cone.netlist.primary_inputs().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract(netlist: &Netlist, roots: &[NetId]) -> Cone {
+    assert!(
+        roots.iter().all(|&n| n.index() < netlist.net_count()),
+        "cone root out of range"
+    );
+
+    // Mark the transitive fan-in.
+    let mut in_cone = vec![false; netlist.net_count()];
+    let mut gate_in_cone = vec![false; netlist.gate_count()];
+    let mut stack: Vec<NetId> = roots.to_vec();
+    while let Some(net) = stack.pop() {
+        if in_cone[net] {
+            continue;
+        }
+        in_cone[net] = true;
+        if let Some(gid) = netlist.driver(net) {
+            gate_in_cone[gid.index()] = true;
+            for &input in &netlist.gate(gid).inputs {
+                stack.push(input);
+            }
+        }
+    }
+
+    // Rebuild, preserving relative net order (so levelized order is
+    // preserved too).
+    let mut b = NetlistBuilder::named(format!("{}_cone", netlist.name()));
+    let mut original_net = Vec::new();
+    let mut map = vec![None; netlist.net_count()];
+    for net in netlist.net_ids() {
+        if !in_cone[net] {
+            continue;
+        }
+        let new_id = b.get_or_create_net(netlist.net_name(net));
+        map[net.index()] = Some(new_id);
+        original_net.push(net);
+        if netlist.driver(net).is_none() {
+            b.declare_input(new_id);
+        }
+    }
+    for gid in netlist.gate_ids() {
+        if !gate_in_cone[gid.index()] {
+            continue;
+        }
+        let gate = netlist.gate(gid);
+        let inputs: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|&n| map[n.index()].expect("fan-in nets are in the cone"))
+            .collect();
+        let output = map[gate.output.index()].expect("driven net is in the cone");
+        b.gate_onto(gate.kind, &inputs, output)
+            .expect("cone gates mirror well-formed gates");
+    }
+    for &root in roots {
+        b.output(map[root.index()].expect("roots are in the cone"));
+    }
+    let cone_netlist = b.finish().expect("cone of a built netlist builds");
+    Cone {
+        netlist: cone_netlist,
+        original_net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::iscas::{c17, Iscas85};
+    use crate::test_oracle::eval_oracle;
+    use crate::{levelize, validate, GateKind};
+
+    #[test]
+    fn cone_of_everything_is_the_whole_circuit() {
+        let nl = c17();
+        let cone = extract(&nl, nl.primary_outputs());
+        assert_eq!(cone.netlist.gate_count(), nl.gate_count());
+        assert_eq!(cone.netlist.net_count(), nl.net_count());
+        validate::check(&cone.netlist, validate::Mode::Combinational).unwrap();
+    }
+
+    #[test]
+    fn cone_preserves_function() {
+        let nl = c17();
+        let root = nl.primary_outputs()[0];
+        let cone = extract(&nl, &[root]);
+        let cone_root = cone.to_cone(root).unwrap();
+        for pattern in 0u32..32 {
+            let mut full_inputs = std::collections::HashMap::new();
+            for (i, &pi) in nl.primary_inputs().iter().enumerate() {
+                full_inputs.insert(nl.net_name(pi), pattern >> i & 1 != 0);
+            }
+            let full = eval_oracle(&nl, &full_inputs);
+            // The cone shares input names; reuse the same assignment.
+            let cone_inputs: std::collections::HashMap<&str, bool> = cone
+                .netlist
+                .primary_inputs()
+                .iter()
+                .map(|&pi| {
+                    let name = cone.netlist.net_name(pi);
+                    (name, full_inputs[name])
+                })
+                .collect();
+            let cone_out = eval_oracle(&cone.netlist, &cone_inputs);
+            assert_eq!(
+                cone_out[cone.netlist.net_name(cone_root)],
+                full[nl.net_name(root)],
+                "pattern {pattern:05b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cone_is_smaller_for_single_outputs() {
+        let nl = Iscas85::C880.build();
+        let root = nl.primary_outputs()[0];
+        let cone = extract(&nl, &[root]);
+        assert!(cone.netlist.gate_count() < nl.gate_count());
+        assert!(cone.netlist.gate_count() > 0);
+        validate::check_lenient(&cone.netlist, validate::Mode::Combinational).unwrap();
+        // Depth can only shrink.
+        let full_depth = levelize(&nl).unwrap().depth;
+        let cone_depth = levelize(&cone.netlist).unwrap().depth;
+        assert!(cone_depth <= full_depth);
+    }
+
+    #[test]
+    fn unrelated_logic_is_excluded() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let other = b.input("other");
+        let y = b.gate(GateKind::Not, &[a], "y").unwrap();
+        let z = b.gate(GateKind::Not, &[other], "z").unwrap();
+        b.output(y);
+        b.output(z);
+        let nl = b.finish().unwrap();
+        let cone = extract(&nl, &[y]);
+        assert_eq!(cone.netlist.gate_count(), 1);
+        assert!(cone.netlist.find_net("other").is_none());
+        assert!(cone.netlist.find_net("z").is_none());
+        let _ = z;
+    }
+
+    #[test]
+    fn duplicate_roots_collapse() {
+        let nl = c17();
+        let root = nl.primary_outputs()[0];
+        let cone = extract(&nl, &[root, root]);
+        assert_eq!(cone.netlist.primary_outputs().len(), 1);
+    }
+}

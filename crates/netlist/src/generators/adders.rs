@@ -1,0 +1,250 @@
+//! Adder structures.
+
+use crate::{BuildError, GateKind, NetId, NetlistBuilder};
+
+use super::GenerateError;
+
+/// How exclusive-OR functions are realized inside generated arithmetic.
+///
+/// The paper's deepest benchmark (c6288) is built from NOR gates only,
+/// which roughly doubles its logic depth compared to a library with a
+/// native XOR cell. The style knob lets generated arithmetic reproduce
+/// either depth profile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AdderStyle {
+    /// Use native `XOR` gates (shallow: one level per XOR).
+    #[default]
+    NativeXor,
+    /// Expand every XOR into AND/NOT/OR (three levels per XOR), as a
+    /// NOR-only library would. Deep, like ISCAS-85 c6288.
+    ExpandedXor,
+}
+
+/// Emits `a XOR b` in the requested style; returns the output net.
+pub(crate) fn xor2(
+    b: &mut NetlistBuilder,
+    style: AdderStyle,
+    a: NetId,
+    bb: NetId,
+) -> Result<NetId, BuildError> {
+    match style {
+        AdderStyle::NativeXor => b.gate_fresh(GateKind::Xor, &[a, bb]),
+        AdderStyle::ExpandedXor => {
+            let na = b.gate_fresh(GateKind::Not, &[a])?;
+            let nb = b.gate_fresh(GateKind::Not, &[bb])?;
+            let left = b.gate_fresh(GateKind::And, &[a, nb])?;
+            let right = b.gate_fresh(GateKind::And, &[na, bb])?;
+            b.gate_fresh(GateKind::Or, &[left, right])
+        }
+    }
+}
+
+/// A full adder: returns `(sum, carry_out)`.
+pub(crate) fn full_adder(
+    b: &mut NetlistBuilder,
+    style: AdderStyle,
+    a: NetId,
+    bb: NetId,
+    cin: NetId,
+) -> Result<(NetId, NetId), BuildError> {
+    let axb = xor2(b, style, a, bb)?;
+    let sum = xor2(b, style, axb, cin)?;
+    let and1 = b.gate_fresh(GateKind::And, &[a, bb])?;
+    let and2 = b.gate_fresh(GateKind::And, &[axb, cin])?;
+    let carry = b.gate_fresh(GateKind::Or, &[and1, and2])?;
+    Ok((sum, carry))
+}
+
+/// A half adder: returns `(sum, carry_out)`.
+pub(crate) fn half_adder(
+    b: &mut NetlistBuilder,
+    style: AdderStyle,
+    a: NetId,
+    bb: NetId,
+) -> Result<(NetId, NetId), BuildError> {
+    let sum = xor2(b, style, a, bb)?;
+    let carry = b.gate_fresh(GateKind::And, &[a, bb])?;
+    Ok((sum, carry))
+}
+
+/// Builds an `n`-bit ripple-carry adder.
+///
+/// Ports: inputs `a0..`, `b0..`, `cin`; outputs `s0..` and `cout`. The
+/// carry chain makes the depth grow linearly with `n`, which produces the
+/// long thin PC-sets that stress the unit-delay code generators.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::generators::adders::{ripple_carry_adder, AdderStyle};
+/// use uds_netlist::levelize;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = ripple_carry_adder(8, AdderStyle::NativeXor)?;
+/// assert_eq!(nl.primary_inputs().len(), 17); // a, b, cin
+/// assert_eq!(nl.primary_outputs().len(), 9); // s, cout
+/// assert!(levelize(&nl)?.depth >= 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ripple_carry_adder(n: usize, style: AdderStyle) -> Result<crate::Netlist, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::new("adder width must be at least 1"));
+    }
+    let mut b = NetlistBuilder::named(format!("rca{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..n {
+        let (sum, cout) = full_adder(&mut b, style, a[i], bb[i], carry)
+            .map_err(|e| GenerateError::new(e.to_string()))?;
+        b.output(sum);
+        carry = cout;
+    }
+    b.output(carry);
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+/// Builds an `n`-bit carry-lookahead adder (4-bit lookahead blocks,
+/// rippling between blocks).
+///
+/// Shallower than [`ripple_carry_adder`] for the same width; useful to
+/// contrast PC-set sizes between adder architectures.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `n == 0`.
+pub fn carry_lookahead_adder(n: usize) -> Result<crate::Netlist, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::new("adder width must be at least 1"));
+    }
+    let mut b = NetlistBuilder::named(format!("cla{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+
+    let build = |b: &mut NetlistBuilder| -> Result<(), BuildError> {
+        // Per-bit propagate/generate.
+        let mut p = Vec::with_capacity(n);
+        let mut g = Vec::with_capacity(n);
+        for i in 0..n {
+            p.push(b.gate_fresh(GateKind::Xor, &[a[i], bb[i]])?);
+            g.push(b.gate_fresh(GateKind::And, &[a[i], bb[i]])?);
+        }
+        // Lookahead carries in blocks of 4: c[i+1] = g[i] | p[i]c[i],
+        // flattened inside a block so the AND terms all source the block
+        // carry-in directly.
+        let mut carries = Vec::with_capacity(n + 1);
+        carries.push(cin);
+        let mut block_cin = cin;
+        for block_start in (0..n).step_by(4) {
+            let block_end = (block_start + 4).min(n);
+            for i in block_start..block_end {
+                // c_{i+1} = g_i | p_i g_{i-1} | ... | p_i..p_bs * block_cin
+                let mut terms: Vec<NetId> = vec![g[i]];
+                for k in (block_start..i).rev() {
+                    let mut ands: Vec<NetId> = p[k + 1..=i].to_vec();
+                    ands.push(g[k]);
+                    terms.push(b.gate_fresh(GateKind::And, &ands)?);
+                }
+                let mut ands: Vec<NetId> = p[block_start..=i].to_vec();
+                ands.push(block_cin);
+                terms.push(b.gate_fresh(GateKind::And, &ands)?);
+                let carry = if terms.len() == 1 {
+                    terms[0]
+                } else {
+                    b.gate_fresh(GateKind::Or, &terms)?
+                };
+                carries.push(carry);
+            }
+            block_cin = carries[block_end];
+        }
+        for i in 0..n {
+            let sum = b.gate_fresh(GateKind::Xor, &[p[i], carries[i]])?;
+            b.output(sum);
+        }
+        b.output(carries[n]);
+        Ok(())
+    };
+    build(&mut b).map_err(|e| GenerateError::new(e.to_string()))?;
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_oracle::eval_oracle;
+    use crate::{levelize, validate};
+
+    fn add_via(nl: &crate::Netlist, n: usize, a: u64, b: u64, cin: bool) -> u64 {
+        let mut inputs = std::collections::HashMap::new();
+        let names: Vec<String> = (0..n)
+            .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+            .collect();
+        for i in 0..n {
+            inputs.insert(names[2 * i].as_str(), a >> i & 1 != 0);
+            inputs.insert(names[2 * i + 1].as_str(), b >> i & 1 != 0);
+        }
+        inputs.insert("cin", cin);
+        let out = eval_oracle(nl, &inputs);
+        let mut result = 0u64;
+        // Sum bits are the first n primary outputs in declaration order,
+        // carry-out is the last.
+        for (i, &po) in nl.primary_outputs().iter().enumerate() {
+            if out[nl.net_name(po)] {
+                result |= 1 << i;
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        for style in [AdderStyle::NativeXor, AdderStyle::ExpandedXor] {
+            let nl = ripple_carry_adder(6, style).unwrap();
+            validate::check(&nl, validate::Mode::Combinational).unwrap();
+            for (a, b, cin) in [(0u64, 0u64, false), (63, 1, false), (21, 42, true), (63, 63, true)] {
+                let got = add_via(&nl, 6, a, b, cin);
+                assert_eq!(got, a + b + cin as u64, "{a}+{b}+{cin} ({style:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_adder_adds() {
+        let nl = carry_lookahead_adder(9).unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+        for (a, b, cin) in [(0u64, 0, false), (511, 1, false), (300, 211, true), (511, 511, true)] {
+            let got = add_via(&nl, 9, a, b, cin);
+            assert_eq!(got, a + b + cin as u64, "{a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn lookahead_is_shallower_than_ripple() {
+        let rca = ripple_carry_adder(16, AdderStyle::NativeXor).unwrap();
+        let cla = carry_lookahead_adder(16).unwrap();
+        let d_rca = levelize(&rca).unwrap().depth;
+        let d_cla = levelize(&cla).unwrap().depth;
+        assert!(d_cla < d_rca, "cla depth {d_cla} !< rca depth {d_rca}");
+    }
+
+    #[test]
+    fn expanded_xor_is_deeper() {
+        let shallow = ripple_carry_adder(8, AdderStyle::NativeXor).unwrap();
+        let deep = ripple_carry_adder(8, AdderStyle::ExpandedXor).unwrap();
+        assert!(
+            levelize(&deep).unwrap().depth > levelize(&shallow).unwrap().depth
+        );
+    }
+
+    #[test]
+    fn zero_width_is_rejected() {
+        assert!(ripple_carry_adder(0, AdderStyle::NativeXor).is_err());
+        assert!(carry_lookahead_adder(0).is_err());
+    }
+}

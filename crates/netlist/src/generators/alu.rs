@@ -1,0 +1,139 @@
+//! A small ALU slice, the structural flavor of control/datapath
+//! benchmarks such as ISCAS-85 c880 (which contains an 8-bit ALU).
+
+use crate::{BuildError, GateKind, NetId, Netlist, NetlistBuilder};
+
+use super::adders::{full_adder, AdderStyle};
+use super::GenerateError;
+
+/// Builds an `n`-bit ALU with four operations selected by `s1 s0`:
+///
+/// | `s1` | `s0` | result |
+/// |------|------|--------|
+/// | 0 | 0 | `a AND b` |
+/// | 0 | 1 | `a OR b`  |
+/// | 1 | 0 | `a XOR b` |
+/// | 1 | 1 | `a + b + cin` |
+///
+/// Ports: inputs `a0..`, `b0..`, `s0`, `s1`, `cin`; outputs `y0..y{n-1}`,
+/// `cout` (meaningful only for the add operation).
+///
+/// The select lines fan out to every bit slice, and the adder's carry
+/// chain reconverges with the logical results in the output muxes — a
+/// dense mixture of the structures that make shift elimination
+/// interesting.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::generators::alu::alu;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = alu(8)?;
+/// assert_eq!(nl.primary_inputs().len(), 8 + 8 + 3);
+/// assert_eq!(nl.primary_outputs().len(), 9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn alu(n: usize) -> Result<Netlist, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::new("ALU width must be at least 1"));
+    }
+    let mut b = NetlistBuilder::named(format!("alu{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+    let s0 = b.input("s0");
+    let s1 = b.input("s1");
+    let cin = b.input("cin");
+
+    let result = (|| -> Result<(), BuildError> {
+        let ns0 = b.gate_fresh(GateKind::Not, &[s0])?;
+        let ns1 = b.gate_fresh(GateKind::Not, &[s1])?;
+        // One-hot operation selects.
+        let sel_and = b.gate_fresh(GateKind::And, &[ns1, ns0])?;
+        let sel_or = b.gate_fresh(GateKind::And, &[ns1, s0])?;
+        let sel_xor = b.gate_fresh(GateKind::And, &[s1, ns0])?;
+        let sel_add = b.gate_fresh(GateKind::And, &[s1, s0])?;
+
+        let mut carry = cin;
+        for i in 0..n {
+            let and_i = b.gate_fresh(GateKind::And, &[a[i], bb[i]])?;
+            let or_i = b.gate_fresh(GateKind::Or, &[a[i], bb[i]])?;
+            let xor_i = b.gate_fresh(GateKind::Xor, &[a[i], bb[i]])?;
+            let (sum_i, cout) = full_adder(&mut b, AdderStyle::NativeXor, a[i], bb[i], carry)?;
+            carry = cout;
+
+            let t_and = b.gate_fresh(GateKind::And, &[sel_and, and_i])?;
+            let t_or = b.gate_fresh(GateKind::And, &[sel_or, or_i])?;
+            let t_xor = b.gate_fresh(GateKind::And, &[sel_xor, xor_i])?;
+            let t_add = b.gate_fresh(GateKind::And, &[sel_add, sum_i])?;
+            let y = b.gate(
+                GateKind::Or,
+                &[t_and, t_or, t_xor, t_add],
+                format!("y{i}"),
+            )?;
+            b.output(y);
+        }
+        let cout = b.gate(GateKind::Buf, &[carry], "cout")?;
+        b.output(cout);
+        Ok(())
+    })();
+    result.map_err(|e| GenerateError::new(e.to_string()))?;
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_oracle::eval_oracle;
+    use crate::validate;
+    use std::collections::HashMap;
+
+    fn run(nl: &Netlist, n: usize, a: u64, b: u64, s: u8, cin: bool) -> (u64, bool) {
+        let mut inputs = HashMap::new();
+        let names: Vec<String> = (0..n)
+            .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+            .collect();
+        for i in 0..n {
+            inputs.insert(names[2 * i].as_str(), a >> i & 1 != 0);
+            inputs.insert(names[2 * i + 1].as_str(), b >> i & 1 != 0);
+        }
+        inputs.insert("s0", s & 1 != 0);
+        inputs.insert("s1", s & 2 != 0);
+        inputs.insert("cin", cin);
+        let out = eval_oracle(nl, &inputs);
+        let mut y = 0u64;
+        for i in 0..n {
+            if out[&format!("y{i}")] {
+                y |= 1 << i;
+            }
+        }
+        (y, out["cout"])
+    }
+
+    #[test]
+    fn all_four_operations_work() {
+        let n = 6;
+        let nl = alu(n).unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+        let mask = (1u64 << n) - 1;
+        for (a, b) in [(0u64, 0u64), (63, 21), (42, 21), (63, 63), (1, 62)] {
+            assert_eq!(run(&nl, n, a, b, 0, false).0, a & b, "AND {a},{b}");
+            assert_eq!(run(&nl, n, a, b, 1, false).0, a | b, "OR {a},{b}");
+            assert_eq!(run(&nl, n, a, b, 2, false).0, a ^ b, "XOR {a},{b}");
+            let (sum, cout) = run(&nl, n, a, b, 3, true);
+            let full = a + b + 1;
+            assert_eq!(sum, full & mask, "ADD {a},{b}");
+            assert_eq!(cout, full > mask, "ADD carry {a},{b}");
+        }
+    }
+
+    #[test]
+    fn zero_width_is_rejected() {
+        assert!(alu(0).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Magnitude/equality comparators.
+
+use crate::{BuildError, GateKind, NetId, Netlist, NetlistBuilder};
+
+use super::GenerateError;
+
+/// Builds an `n`-bit comparator.
+///
+/// Ports: inputs `a0..`, `b0..`; outputs `eq` (a == b), `gt` (a > b),
+/// `lt` (a < b). Implemented as a ripple from the most significant bit:
+/// `gt_i = gt_{i+1} | (eq_{i+1} & a_i & !b_i)`, which yields a linear-depth
+/// structure with reconvergent fanout at every stage.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::generators::comparator::comparator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = comparator(8)?;
+/// assert_eq!(nl.primary_outputs().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn comparator(n: usize) -> Result<Netlist, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::new("comparator width must be at least 1"));
+    }
+    let mut b = NetlistBuilder::named(format!("cmp{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+
+    let result = (|| -> Result<(NetId, NetId, NetId), BuildError> {
+        // Per-bit equality and strict dominance.
+        let mut eq_so_far: Option<NetId> = None;
+        let mut gt_so_far: Option<NetId> = None;
+        let mut lt_so_far: Option<NetId> = None;
+        for i in (0..n).rev() {
+            let eq_bit = b.gate_fresh(GateKind::Xnor, &[a[i], bb[i]])?;
+            let nb = b.gate_fresh(GateKind::Not, &[bb[i]])?;
+            let na = b.gate_fresh(GateKind::Not, &[a[i]])?;
+            let gt_bit = b.gate_fresh(GateKind::And, &[a[i], nb])?;
+            let lt_bit = b.gate_fresh(GateKind::And, &[na, bb[i]])?;
+            match (eq_so_far, gt_so_far, lt_so_far) {
+                (None, None, None) => {
+                    eq_so_far = Some(eq_bit);
+                    gt_so_far = Some(gt_bit);
+                    lt_so_far = Some(lt_bit);
+                }
+                (Some(eq), Some(gt), Some(lt)) => {
+                    let gt_here = b.gate_fresh(GateKind::And, &[eq, gt_bit])?;
+                    let lt_here = b.gate_fresh(GateKind::And, &[eq, lt_bit])?;
+                    gt_so_far = Some(b.gate_fresh(GateKind::Or, &[gt, gt_here])?);
+                    lt_so_far = Some(b.gate_fresh(GateKind::Or, &[lt, lt_here])?);
+                    eq_so_far = Some(b.gate_fresh(GateKind::And, &[eq, eq_bit])?);
+                }
+                _ => unreachable!("all three accumulators advance together"),
+            }
+        }
+        Ok((
+            eq_so_far.expect("n >= 1"),
+            gt_so_far.expect("n >= 1"),
+            lt_so_far.expect("n >= 1"),
+        ))
+    })();
+    let (eq, gt, lt) = result.map_err(|e| GenerateError::new(e.to_string()))?;
+
+    // Name the outputs by buffering onto named nets.
+    let build_named = |b: &mut NetlistBuilder, src: NetId, name: &str| -> Result<NetId, BuildError> {
+        b.gate(GateKind::Buf, &[src], name)
+    };
+    let eq = build_named(&mut b, eq, "eq").map_err(|e| GenerateError::new(e.to_string()))?;
+    let gt = build_named(&mut b, gt, "gt").map_err(|e| GenerateError::new(e.to_string()))?;
+    let lt = build_named(&mut b, lt, "lt").map_err(|e| GenerateError::new(e.to_string()))?;
+    b.output(eq);
+    b.output(gt);
+    b.output(lt);
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_oracle::eval_oracle;
+    use crate::validate;
+    use std::collections::HashMap;
+
+    #[test]
+    fn compares_exhaustively_4bit() {
+        let nl = comparator(4).unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+        let names: Vec<String> = (0..4)
+            .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+            .collect();
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                let mut inputs = HashMap::new();
+                for i in 0..4 {
+                    inputs.insert(names[2 * i].as_str(), a >> i & 1 != 0);
+                    inputs.insert(names[2 * i + 1].as_str(), b >> i & 1 != 0);
+                }
+                let out = eval_oracle(&nl, &inputs);
+                assert_eq!(out["eq"], a == b, "{a} vs {b}");
+                assert_eq!(out["gt"], a > b, "{a} vs {b}");
+                assert_eq!(out["lt"], a < b, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_comparator() {
+        let nl = comparator(1).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("a0", true);
+        inputs.insert("b0", false);
+        let out = eval_oracle(&nl, &inputs);
+        assert!(out["gt"] && !out["eq"] && !out["lt"]);
+    }
+
+    #[test]
+    fn zero_width_is_rejected() {
+        assert!(comparator(0).is_err());
+    }
+}

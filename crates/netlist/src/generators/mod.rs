@@ -1,0 +1,47 @@
+//! Structural circuit generators.
+//!
+//! Real benchmark netlists cannot be redistributed with this repository,
+//! so this module supplies two substitutes:
+//!
+//! * classic parametric structures ([`adders`], [`multiplier`], [`trees`],
+//!   [`comparator`], [`alu`]) built gate-by-gate, exactly as a structural
+//!   HDL netlist would elaborate them;
+//! * a seeded random layered-DAG generator ([`random`]) that hits an exact
+//!   gate count and logic depth;
+//! * an ISCAS-85-like suite ([`iscas`]) that calibrates the above to the
+//!   published statistics of the ten paper benchmarks (gate count, port
+//!   counts, depth — hence bit-field word counts).
+
+pub mod adders;
+pub mod alu;
+pub mod comparator;
+pub mod iscas;
+pub mod multiplier;
+pub mod random;
+pub mod shifter;
+pub mod trees;
+
+use std::fmt;
+
+/// Error returned by generators when a parameter set is unsatisfiable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GenerateError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl GenerateError {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
+        GenerateError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot generate circuit: {}", self.reason)
+    }
+}
+
+impl std::error::Error for GenerateError {}

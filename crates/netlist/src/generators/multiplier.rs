@@ -1,0 +1,242 @@
+//! Array multiplier, the structural stand-in for ISCAS-85 c6288.
+//!
+//! c6288 is a 16×16 carry-save array multiplier built from NOR gates; its
+//! 125 logic levels dominate the paper's tables (4-word bit-fields). The
+//! generator below builds the same architecture: an AND-gate partial
+//! product matrix feeding a carry-save adder array, with a final ripple
+//! vector-merge adder. With [`AdderStyle::ExpandedXor`] the depth lands in
+//! the same 4-word band as the original.
+
+use crate::{BuildError, GateKind, NetId, Netlist, NetlistBuilder};
+
+use super::adders::{full_adder, half_adder, AdderStyle};
+use super::GenerateError;
+
+/// Builds an `n × m`-bit array multiplier (`a` is `n` bits, `b` is `m`
+/// bits, product is `n + m` bits).
+///
+/// Ports: inputs `a0..a{n-1}`, `b0..b{m-1}`; outputs `p0..p{n+m-1}`.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if either width is zero.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::generators::multiplier::array_multiplier;
+/// use uds_netlist::generators::adders::AdderStyle;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = array_multiplier(4, 4, AdderStyle::NativeXor)?;
+/// assert_eq!(nl.primary_outputs().len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn array_multiplier(n: usize, m: usize, style: AdderStyle) -> Result<Netlist, GenerateError> {
+    if n == 0 || m == 0 {
+        return Err(GenerateError::new("multiplier widths must be at least 1"));
+    }
+    let mut b = NetlistBuilder::named(format!("mul{n}x{m}"));
+    let a: Vec<NetId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..m).map(|j| b.input(format!("b{j}"))).collect();
+
+    let result = build(&mut b, &a, &bb, style);
+    let product = result.map_err(|e| GenerateError::new(e.to_string()))?;
+    for p in product {
+        b.output(p);
+    }
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+fn build(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    bb: &[NetId],
+    style: AdderStyle,
+) -> Result<Vec<NetId>, BuildError> {
+    let n = a.len();
+    let m = bb.len();
+
+    // Partial product matrix: pp[j][i] = a_i AND b_j.
+    let mut pp = Vec::with_capacity(m);
+    for &bj in bb {
+        let row: Result<Vec<NetId>, BuildError> =
+            a.iter().map(|&ai| b.gate_fresh(GateKind::And, &[ai, bj])).collect();
+        pp.push(row?);
+    }
+
+    let mut product = Vec::with_capacity(n + m);
+
+    if m == 1 {
+        // Product is the single partial-product row; the top bit
+        // (weight n) is always zero.
+        let mut bits = pp.remove(0);
+        bits.push(b.gate_fresh(GateKind::Const0, &[])?);
+        return Ok(bits);
+    }
+
+    // Carry-save rows. `sum[i]` / `carry[i]` hold the running row outputs
+    // for weight `row + i` after processing row `row`.
+    let mut sum: Vec<NetId> = pp[0].clone();
+    let mut carry: Vec<Option<NetId>> = vec![None; n];
+
+    for row in 1..m {
+        product.push(sum[0]);
+        let mut new_sum = Vec::with_capacity(n);
+        let mut new_carry = Vec::with_capacity(n);
+        for i in 0..n {
+            // Operands at weight row + i: this row's partial product,
+            // the previous row's sum at one weight higher, and the
+            // previous row's carry at the same weight.
+            let p = pp[row][i];
+            let s_above = if i + 1 < n { Some(sum[i + 1]) } else { None };
+            let c_above = carry[i];
+            let (s, c) = match (s_above, c_above) {
+                (Some(x), Some(y)) => {
+                    // Full adder on (p, x, y).
+                    full_adder(b, style, p, x, y)?
+                }
+                (Some(x), None) | (None, Some(x)) => half_adder(b, style, p, x)?,
+                (None, None) => {
+                    // Nothing to add; pass the partial product through.
+                    let zero_c = None;
+                    new_sum.push(p);
+                    new_carry.push(zero_c);
+                    continue;
+                }
+            };
+            new_sum.push(s);
+            new_carry.push(Some(c));
+        }
+        sum = new_sum;
+        carry = new_carry;
+    }
+
+    // Vector-merge: ripple-add the remaining sums and carries.
+    // Weight m - 1 + i holds sum[i]; weight m + i holds carry[i].
+    product.push(sum[0]);
+    let mut cin: Option<NetId> = None;
+    for i in 1..n {
+        let s = sum[i];
+        let c_below = carry[i - 1];
+        let (bit, cout) = match (c_below, cin) {
+            (Some(x), Some(y)) => {
+                let (bit, cout) = full_adder(b, style, s, x, y)?;
+                (bit, Some(cout))
+            }
+            (Some(x), None) | (None, Some(x)) => {
+                let (bit, cout) = half_adder(b, style, s, x)?;
+                (bit, Some(cout))
+            }
+            (None, None) => (s, None),
+        };
+        product.push(bit);
+        cin = cout;
+    }
+    // Top bit (weight n + m - 1): the last carry of the final row plus the
+    // ripple carry. The product of an n×m multiplier always fits in
+    // n + m bits, so these two can never both be 1 and a plain OR is the
+    // correct (and carry-free) combination.
+    match (carry[n - 1], cin) {
+        (Some(x), Some(y)) => {
+            let bit = b.gate_fresh(GateKind::Or, &[x, y])?;
+            product.push(bit);
+        }
+        (Some(x), None) | (None, Some(x)) => product.push(x),
+        (None, None) => {
+            let zero = b.gate_fresh(GateKind::Const0, &[])?;
+            product.push(zero);
+        }
+    }
+
+    debug_assert_eq!(product.len(), n + m);
+    Ok(product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_oracle::eval_oracle;
+    use crate::{levelize, validate};
+
+    fn multiply_via(nl: &Netlist, n: usize, m: usize, a: u64, b: u64) -> u64 {
+        let mut inputs = std::collections::HashMap::new();
+        let names: Vec<String> = (0..n)
+            .map(|i| format!("a{i}"))
+            .chain((0..m).map(|j| format!("b{j}")))
+            .collect();
+        for i in 0..n {
+            inputs.insert(names[i].as_str(), a >> i & 1 != 0);
+        }
+        for j in 0..m {
+            inputs.insert(names[n + j].as_str(), b >> j & 1 != 0);
+        }
+        let out = eval_oracle(nl, &inputs);
+        let mut result = 0u64;
+        for (i, &po) in nl.primary_outputs().iter().enumerate() {
+            if out[nl.net_name(po)] {
+                result |= 1 << i;
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn multiplies_4x4_exhaustively() {
+        let nl = array_multiplier(4, 4, AdderStyle::NativeXor).unwrap();
+        validate::check_lenient(&nl, validate::Mode::Combinational).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                assert_eq!(multiply_via(&nl, 4, 4, a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplies_rectangular() {
+        let nl = array_multiplier(5, 3, AdderStyle::ExpandedXor).unwrap();
+        for (a, b) in [(31u64, 7u64), (0, 5), (19, 6), (31, 0)] {
+            assert_eq!(multiply_via(&nl, 5, 3, a, b), a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn multiplies_by_one_bit() {
+        let nl = array_multiplier(4, 1, AdderStyle::NativeXor).unwrap();
+        for a in 0u64..16 {
+            assert_eq!(multiply_via(&nl, 4, 1, a, 1), a);
+            assert_eq!(multiply_via(&nl, 4, 1, a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn sixteen_by_sixteen_matches_c6288_scale() {
+        let nl = array_multiplier(16, 16, AdderStyle::ExpandedXor).unwrap();
+        let levels = levelize(&nl).unwrap();
+        // c6288: 2406 gates, 125 levels => 4-word bit-fields. The stand-in
+        // must land in the same 4-word band (97..=127 levels).
+        assert!(
+            (97..=127).contains(&levels.depth),
+            "depth {} outside the 4-word band",
+            levels.depth
+        );
+        assert!(
+            (1800..=3400).contains(&nl.gate_count()),
+            "gate count {} far from c6288's 2406",
+            nl.gate_count()
+        );
+        // Spot-check functionality at full width.
+        assert_eq!(
+            multiply_via(&nl, 16, 16, 0xFFFF, 0xFFFF),
+            0xFFFFu64 * 0xFFFF
+        );
+        assert_eq!(multiply_via(&nl, 16, 16, 54321, 1234), 54321 * 1234);
+    }
+
+    #[test]
+    fn zero_width_is_rejected() {
+        assert!(array_multiplier(0, 4, AdderStyle::NativeXor).is_err());
+        assert!(array_multiplier(4, 0, AdderStyle::NativeXor).is_err());
+    }
+}

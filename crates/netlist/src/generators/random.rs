@@ -1,0 +1,368 @@
+//! Seeded random layered-DAG circuits with exact gate count and depth.
+//!
+//! This is the workhorse behind the synthetic ISCAS-85 suite: given a
+//! target (primary inputs, primary outputs, gates, depth) it produces a
+//! deterministic pseudo-random circuit hitting the gate count and depth
+//! *exactly*, which is what the paper's tables are sensitive to (depth
+//! decides bit-field word counts; gate count decides generated-code size).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateKind, NetId, Netlist, NetlistBuilder};
+
+use super::GenerateError;
+
+/// Parameters for [`layered`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct LayeredConfig {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs (at least 1).
+    pub primary_inputs: usize,
+    /// Minimum number of primary outputs. Nets that end up driving
+    /// nothing are also promoted to primary outputs so the circuit has no
+    /// dead logic, which can push the final count slightly above this.
+    pub primary_outputs: usize,
+    /// Exact number of gates (at least `depth`).
+    pub gates: usize,
+    /// Exact logic depth (at least 1).
+    pub depth: u32,
+    /// Fraction of 2-input gates drawn from {XOR, XNOR} instead of
+    /// {AND, NAND, OR, NOR}. `0.0..=1.0`.
+    pub xor_fraction: f64,
+    /// Fraction of gates that are single-input inverters/buffers.
+    pub inverter_fraction: f64,
+    /// Probability that each *extra* gate input (beyond the first, which
+    /// always comes from the previous level) is drawn from the previous
+    /// level rather than uniformly from all lower levels. High locality
+    /// produces small PC-sets (the paper's c2670 anomaly); low locality
+    /// produces wide PC-sets.
+    pub locality: f64,
+    /// Maximum gate fan-in (at least 2).
+    pub max_fanin: usize,
+    /// How far below the current level a non-local input may reach
+    /// (at least 1; `usize::MAX` means "any lower level"). Small windows
+    /// keep minlevels close to levels even when `locality < 1`, which is
+    /// how narrow PC-sets arise without degenerating to a pipeline.
+    pub leak_window: usize,
+    /// RNG seed; equal configs produce identical netlists.
+    pub seed: u64,
+}
+
+impl LayeredConfig {
+    /// A reasonable starting point: mostly NAND/NOR, fan-in up to 4,
+    /// moderate locality.
+    pub fn new(name: impl Into<String>, gates: usize, depth: u32) -> Self {
+        LayeredConfig {
+            name: name.into(),
+            primary_inputs: 16,
+            primary_outputs: 8,
+            gates,
+            depth,
+            xor_fraction: 0.1,
+            inverter_fraction: 0.1,
+            locality: 0.4,
+            max_fanin: 4,
+            leak_window: usize::MAX,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Generates a random layered DAG per `config`.
+///
+/// Guarantees, for any accepted config:
+///
+/// * gate count is exactly `config.gates`;
+/// * circuit depth is exactly `config.depth`;
+/// * the netlist passes strict validation (no dangling or undriven nets);
+/// * output is a pure function of `config` (including `seed`).
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] for unsatisfiable configs: zero inputs,
+/// `gates < depth`, `depth == 0`, `max_fanin < 2`, or fractions outside
+/// `0.0..=1.0`.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::generators::random::{layered, LayeredConfig};
+/// use uds_netlist::levelize;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = layered(&LayeredConfig::new("demo", 500, 20))?;
+/// assert_eq!(nl.gate_count(), 500);
+/// assert_eq!(levelize(&nl)?.depth, 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn layered(config: &LayeredConfig) -> Result<Netlist, GenerateError> {
+    validate_config(config)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::named(config.name.clone());
+
+    let pis: Vec<NetId> = (0..config.primary_inputs)
+        .map(|i| b.input(format!("pi{i}")))
+        .collect();
+
+    // Distribute gates over levels 1..=depth, at least one per level.
+    let depth = config.depth as usize;
+    let mut gates_at = vec![1usize; depth + 1];
+    gates_at[0] = 0;
+    for _ in 0..(config.gates - depth) {
+        let level = rng.gen_range(1..=depth);
+        gates_at[level] += 1;
+    }
+
+    // nets_by_level[l] = nets whose exact level is l.
+    let mut nets_by_level: Vec<Vec<NetId>> = vec![Vec::new(); depth + 1];
+    nets_by_level[0] = pis.clone();
+    // Nets that nothing reads yet, kept per level for consumption bias.
+    let mut unread: Vec<Vec<NetId>> = vec![Vec::new(); depth + 1];
+    unread[0] = pis;
+
+    let mark_read = |unread: &mut Vec<Vec<NetId>>, level: usize, net: NetId| {
+        if let Some(pos) = unread[level].iter().position(|&n| n == net) {
+            unread[level].swap_remove(pos);
+        }
+    };
+
+    for level in 1..=depth {
+        for g in 0..gates_at[level] {
+            let from_prev = pick(&nets_by_level[level - 1], &mut rng);
+            mark_read(&mut unread, level - 1, from_prev);
+
+            let roll: f64 = rng.gen();
+            let (kind, fanin) = if roll < config.inverter_fraction {
+                let kind = if rng.gen_bool(0.7) {
+                    GateKind::Not
+                } else {
+                    GateKind::Buf
+                };
+                (kind, 1)
+            } else {
+                let kind = if rng.gen_bool(config.xor_fraction) {
+                    *pick_slice(&[GateKind::Xor, GateKind::Xnor], &mut rng)
+                } else {
+                    *pick_slice(
+                        &[GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor],
+                        &mut rng,
+                    )
+                };
+                // Fan-in biased toward 2 (roughly geometric).
+                let mut fanin = 2;
+                while fanin < config.max_fanin && rng.gen_bool(0.3) {
+                    fanin += 1;
+                }
+                (kind, fanin)
+            };
+
+            let mut inputs = vec![from_prev];
+            for _ in 1..fanin {
+                let src_level = if rng.gen_bool(config.locality) {
+                    level - 1
+                } else {
+                    let lowest = level - config.leak_window.min(level);
+                    rng.gen_range(lowest..level)
+                };
+                // Prefer an unread net at that level so logic gets used.
+                let net = if !unread[src_level].is_empty() && rng.gen_bool(0.75) {
+                    let idx = rng.gen_range(0..unread[src_level].len());
+                    unread[src_level][idx]
+                } else {
+                    pick(&nets_by_level[src_level], &mut rng)
+                };
+                mark_read(&mut unread, src_level, net);
+                inputs.push(net);
+            }
+
+            let out = b
+                .gate(kind, &inputs, format!("n{level}_{g}"))
+                .map_err(|e| GenerateError::new(e.to_string()))?;
+            nets_by_level[level].push(out);
+            unread[level].push(out);
+        }
+    }
+
+    // Primary outputs: every unread net (no dead logic), plus random
+    // high-level nets until the requested minimum is met.
+    let mut outputs: Vec<NetId> = Vec::new();
+    let mut chosen = std::collections::HashSet::new();
+    for level in (1..=depth).rev() {
+        // Unread primary inputs (level 0) stay plain inputs; promoting
+        // them to outputs would create trivially constant "logic".
+        for &net in &unread[level] {
+            if chosen.insert(net) {
+                outputs.push(net);
+            }
+        }
+    }
+    // Top up from the highest levels downward, randomizing within a level.
+    'top_up: for level in (1..=depth).rev() {
+        if outputs.len() >= config.primary_outputs {
+            break;
+        }
+        let mut candidates: Vec<NetId> = nets_by_level[level]
+            .iter()
+            .copied()
+            .filter(|n| !chosen.contains(n))
+            .collect();
+        while !candidates.is_empty() {
+            let idx = rng.gen_range(0..candidates.len());
+            let net = candidates.swap_remove(idx);
+            chosen.insert(net);
+            outputs.push(net);
+            if outputs.len() >= config.primary_outputs {
+                break 'top_up;
+            }
+        }
+    }
+    for net in outputs {
+        b.output(net);
+    }
+
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+fn validate_config(config: &LayeredConfig) -> Result<(), GenerateError> {
+    if config.primary_inputs == 0 {
+        return Err(GenerateError::new("need at least one primary input"));
+    }
+    if config.depth == 0 {
+        return Err(GenerateError::new("depth must be at least 1"));
+    }
+    if config.gates < config.depth as usize {
+        return Err(GenerateError::new(format!(
+            "gates ({}) must be at least depth ({})",
+            config.gates, config.depth
+        )));
+    }
+    if config.max_fanin < 2 {
+        return Err(GenerateError::new("max_fanin must be at least 2"));
+    }
+    if config.leak_window == 0 {
+        return Err(GenerateError::new("leak_window must be at least 1"));
+    }
+    for (name, value) in [
+        ("xor_fraction", config.xor_fraction),
+        ("inverter_fraction", config.inverter_fraction),
+        ("locality", config.locality),
+    ] {
+        if !(0.0..=1.0).contains(&value) {
+            return Err(GenerateError::new(format!(
+                "{name} must be within 0.0..=1.0 (got {value})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn pick(nets: &[NetId], rng: &mut StdRng) -> NetId {
+    nets[rng.gen_range(0..nets.len())]
+}
+
+fn pick_slice<'a, T>(items: &'a [T], rng: &mut StdRng) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{levelize, validate};
+
+    #[test]
+    fn hits_exact_gate_count_and_depth() {
+        for (gates, depth) in [(50usize, 10u32), (500, 25), (1000, 40), (40, 40)] {
+            let nl = layered(&LayeredConfig::new("t", gates, depth)).unwrap();
+            assert_eq!(nl.gate_count(), gates);
+            assert_eq!(levelize(&nl).unwrap().depth, depth);
+        }
+    }
+
+    #[test]
+    fn passes_strict_validation() {
+        let nl = layered(&LayeredConfig::new("t", 300, 20)).unwrap();
+        validate::check_lenient(&nl, validate::Mode::Combinational).unwrap();
+        // No dead logic: every non-PI net is read or is an output.
+        for net in nl.net_ids() {
+            let read = !nl.fanout(net).is_empty() || nl.is_primary_output(net);
+            assert!(read || nl.is_primary_input(net), "dead net {net}");
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let config = LayeredConfig::new("t", 200, 15);
+        let a = layered(&config).unwrap();
+        let b = layered(&config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut config = LayeredConfig::new("t", 200, 15);
+        let a = layered(&config).unwrap();
+        config.seed = 99;
+        let b = layered(&config).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn meets_minimum_primary_outputs() {
+        let mut config = LayeredConfig::new("t", 400, 12);
+        config.primary_outputs = 30;
+        let nl = layered(&config).unwrap();
+        assert!(nl.primary_outputs().len() >= 30, "{}", nl.primary_outputs().len());
+    }
+
+    #[test]
+    fn locality_shrinks_level_spread() {
+        // With locality 1.0 every input comes from the previous level, so
+        // level - minlevel should be 0 for all gates with fanin satisfied
+        // from level-1 nets.
+        let mut config = LayeredConfig::new("tight", 300, 20);
+        config.locality = 1.0;
+        let tight = layered(&config).unwrap();
+        let lt = levelize(&tight).unwrap();
+        let spread_tight: u32 = tight
+            .net_ids()
+            .map(|n| lt.net_level[n] - lt.net_minlevel[n])
+            .sum();
+
+        let mut config = LayeredConfig::new("loose", 300, 20);
+        config.locality = 0.0;
+        config.seed = 0x5eed;
+        let loose = layered(&config).unwrap();
+        let ll = levelize(&loose).unwrap();
+        let spread_loose: u32 = loose
+            .net_ids()
+            .map(|n| ll.net_level[n] - ll.net_minlevel[n])
+            .sum();
+        assert!(
+            spread_tight < spread_loose,
+            "tight {spread_tight} !< loose {spread_loose}"
+        );
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let base = LayeredConfig::new("t", 100, 10);
+        let mut c = base.clone();
+        c.primary_inputs = 0;
+        assert!(layered(&c).is_err());
+        let mut c = base.clone();
+        c.depth = 0;
+        assert!(layered(&c).is_err());
+        let mut c = base.clone();
+        c.gates = 5;
+        assert!(layered(&c).is_err());
+        let mut c = base.clone();
+        c.max_fanin = 1;
+        assert!(layered(&c).is_err());
+        let mut c = base.clone();
+        c.locality = 1.5;
+        assert!(layered(&c).is_err());
+    }
+}

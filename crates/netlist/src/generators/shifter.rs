@@ -1,0 +1,190 @@
+//! Barrel shifter and priority encoder — two more datapath shapes for
+//! the generator library (wide select fanout, long unbalanced
+//! priority chains).
+
+use crate::{BuildError, GateKind, NetId, Netlist, NetlistBuilder};
+
+use super::GenerateError;
+
+/// Builds a logical-left barrel shifter: `y = d << s` over `2^stages`
+/// bit positions, zero-filling.
+///
+/// Ports: data `d0..d{2^stages-1}`, shift amount `s0..s{stages-1}`,
+/// outputs `y0..`. Each stage is a row of 2:1 muxes controlled by one
+/// select bit, so the select nets fan out across entire rows — a dense
+/// source of the alignment conflicts shift elimination must handle.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `stages == 0` or `stages > 10`.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::generators::shifter::barrel_shifter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = barrel_shifter(3)?; // 8-bit shifter
+/// assert_eq!(nl.primary_outputs().len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn barrel_shifter(stages: usize) -> Result<Netlist, GenerateError> {
+    if stages == 0 {
+        return Err(GenerateError::new("barrel shifter needs at least 1 stage"));
+    }
+    if stages > 10 {
+        return Err(GenerateError::new("barrel shifter larger than 1024 bits"));
+    }
+    let width = 1usize << stages;
+    let mut b = NetlistBuilder::named(format!("bshift{width}"));
+    let mut row: Vec<NetId> = (0..width).map(|i| b.input(format!("d{i}"))).collect();
+    let selects: Vec<NetId> = (0..stages).map(|i| b.input(format!("s{i}"))).collect();
+
+    let result = (|| -> Result<(), BuildError> {
+        let zero = b.gate_fresh(GateKind::Const0, &[])?;
+        for (stage, &select) in selects.iter().enumerate() {
+            let amount = 1usize << stage;
+            let not_select = b.gate_fresh(GateKind::Not, &[select])?;
+            let mut next = Vec::with_capacity(width);
+            for position in 0..width {
+                // y[p] = select ? row[p - amount] : row[p]
+                let shifted_src = if position >= amount {
+                    row[position - amount]
+                } else {
+                    zero
+                };
+                let keep = b.gate_fresh(GateKind::And, &[row[position], not_select])?;
+                let take = b.gate_fresh(GateKind::And, &[shifted_src, select])?;
+                next.push(b.gate_fresh(GateKind::Or, &[keep, take])?);
+            }
+            row = next;
+        }
+        for (position, &net) in row.iter().enumerate() {
+            let named = b.gate(GateKind::Buf, &[net], format!("y{position}"))?;
+            b.output(named);
+        }
+        Ok(())
+    })();
+    result.map_err(|e| GenerateError::new(e.to_string()))?;
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+/// Builds an `n`-input priority encoder: output `y_k` is high iff input
+/// `k` is the highest-indexed asserted input; `valid` is high iff any
+/// input is asserted.
+///
+/// Ports: inputs `i0..i{n-1}`; outputs `y0..y{n-1}`, `valid`.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `n < 2`.
+pub fn priority_encoder(n: usize) -> Result<Netlist, GenerateError> {
+    if n < 2 {
+        return Err(GenerateError::new("priority encoder needs at least 2 inputs"));
+    }
+    let mut b = NetlistBuilder::named(format!("prienc{n}"));
+    let inputs: Vec<NetId> = (0..n).map(|i| b.input(format!("i{i}"))).collect();
+
+    let result = (|| -> Result<(), BuildError> {
+        // none_above[k] = NOT(i_{k+1} | ... | i_{n-1}), built as a chain.
+        let mut any_above = Vec::with_capacity(n); // any_above[k]
+        let mut running: Option<NetId> = None;
+        for k in (0..n).rev() {
+            any_above.push(running);
+            running = Some(match running {
+                None => inputs[k],
+                Some(acc) => b.gate_fresh(GateKind::Or, &[acc, inputs[k]])?,
+            });
+        }
+        any_above.reverse(); // any_above[k] = OR of inputs above k (None for top)
+        for k in 0..n {
+            let y = match any_above[k] {
+                None => b.gate(GateKind::Buf, &[inputs[k]], format!("y{k}"))?,
+                Some(above) => {
+                    let none_above = b.gate_fresh(GateKind::Not, &[above])?;
+                    b.gate(GateKind::And, &[inputs[k], none_above], format!("y{k}"))?
+                }
+            };
+            b.output(y);
+        }
+        let valid = b.gate(
+            GateKind::Buf,
+            &[running.expect("n >= 2")],
+            "valid",
+        )?;
+        b.output(valid);
+        Ok(())
+    })();
+    result.map_err(|e| GenerateError::new(e.to_string()))?;
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_oracle::eval_oracle;
+    use crate::validate;
+    use std::collections::HashMap;
+
+    #[test]
+    fn barrel_shifts_exhaustively() {
+        let stages = 3;
+        let width = 8usize;
+        let nl = barrel_shifter(stages).unwrap();
+        validate::check_lenient(&nl, validate::Mode::Combinational).unwrap();
+        let dnames: Vec<String> = (0..width).map(|i| format!("d{i}")).collect();
+        let snames: Vec<String> = (0..stages).map(|i| format!("s{i}")).collect();
+        for data in [0b1011_0001u32, 0b1111_1111, 0b0000_0001] {
+            for shift in 0..width {
+                let mut inputs = HashMap::new();
+                for (i, name) in dnames.iter().enumerate() {
+                    inputs.insert(name.as_str(), data >> i & 1 != 0);
+                }
+                for (bit, name) in snames.iter().enumerate() {
+                    inputs.insert(name.as_str(), shift >> bit & 1 != 0);
+                }
+                let out = eval_oracle(&nl, &inputs);
+                let expected = (data << shift) & 0xFF;
+                for position in 0..width {
+                    assert_eq!(
+                        out[&format!("y{position}")],
+                        expected >> position & 1 != 0,
+                        "data {data:08b} << {shift}, bit {position}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_highest() {
+        let n = 6;
+        let nl = priority_encoder(n).unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+        let names: Vec<String> = (0..n).map(|i| format!("i{i}")).collect();
+        for pattern in 0u32..(1 << n) {
+            let mut inputs = HashMap::new();
+            for (i, name) in names.iter().enumerate() {
+                inputs.insert(name.as_str(), pattern >> i & 1 != 0);
+            }
+            let out = eval_oracle(&nl, &inputs);
+            let highest = (0..n).rev().find(|&k| pattern >> k & 1 != 0);
+            for k in 0..n {
+                assert_eq!(
+                    out[&format!("y{k}")],
+                    Some(k) == highest,
+                    "pattern {pattern:06b} bit {k}"
+                );
+            }
+            assert_eq!(out["valid"], pattern != 0, "pattern {pattern:06b}");
+        }
+    }
+
+    #[test]
+    fn size_limits() {
+        assert!(barrel_shifter(0).is_err());
+        assert!(barrel_shifter(11).is_err());
+        assert!(priority_encoder(1).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Tree-shaped structures: parity trees, reduction trees, multiplexer
+//! trees and decoders.
+//!
+//! Balanced XOR trees are the structural flavor of the ISCAS-85
+//! error-correcting circuits (c499/c1355); multiplexer trees and decoders
+//! add the wide, shallow, high-fanout shapes that appear in the
+//! control-dominated benchmarks.
+
+use crate::{BuildError, GateKind, NetId, Netlist, NetlistBuilder};
+
+use super::GenerateError;
+
+/// Builds a balanced reduction tree of 2-input `kind` gates over `n`
+/// inputs (`i0..`), producing a single output `y`.
+///
+/// With [`GateKind::Xor`] this is a parity tree of depth `ceil(log2 n)`.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `n < 2` or `kind` is not a 2-input-capable
+/// logic kind.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::generators::trees::reduction_tree;
+/// use uds_netlist::{GateKind, levelize};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = reduction_tree(GateKind::Xor, 32)?;
+/// assert_eq!(levelize(&nl)?.depth, 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reduction_tree(kind: GateKind, n: usize) -> Result<Netlist, GenerateError> {
+    if n < 2 {
+        return Err(GenerateError::new("reduction tree needs at least 2 inputs"));
+    }
+    if !kind.accepts_inputs(2) {
+        return Err(GenerateError::new(format!(
+            "gate kind {kind} cannot form a 2-input tree"
+        )));
+    }
+    let mut b = NetlistBuilder::named(format!("{}tree{n}", kind.bench_keyword().to_lowercase()));
+    let mut layer: Vec<NetId> = (0..n).map(|i| b.input(format!("i{i}"))).collect();
+    let result = (|| -> Result<NetId, BuildError> {
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+            let mut chunks = layer.chunks_exact(2);
+            for pair in &mut chunks {
+                next.push(b.gate_fresh(kind, &[pair[0], pair[1]])?);
+            }
+            if let [odd] = chunks.remainder() {
+                next.push(*odd);
+            }
+            layer = next;
+        }
+        Ok(layer[0])
+    })();
+    let y = result.map_err(|e| GenerateError::new(e.to_string()))?;
+    b.output(y);
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+/// Builds a `2^sel_bits : 1` multiplexer tree.
+///
+/// Ports: data inputs `d0..`, select inputs `s0..`, output `y`.
+/// Each 2:1 mux is `y = (a & !s) | (b & s)`, so the select nets fan out
+/// across the whole tree — a good stress for shift-elimination (the
+/// reconvergent fanout forces retained shifts).
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `sel_bits == 0` or the tree would exceed
+/// 20 select bits (1M data inputs).
+pub fn mux_tree(sel_bits: usize) -> Result<Netlist, GenerateError> {
+    if sel_bits == 0 {
+        return Err(GenerateError::new("mux tree needs at least 1 select bit"));
+    }
+    if sel_bits > 20 {
+        return Err(GenerateError::new("mux tree larger than 2^20 inputs"));
+    }
+    let n = 1usize << sel_bits;
+    let mut b = NetlistBuilder::named(format!("mux{n}"));
+    let mut layer: Vec<NetId> = (0..n).map(|i| b.input(format!("d{i}"))).collect();
+    let sel: Vec<NetId> = (0..sel_bits).map(|i| b.input(format!("s{i}"))).collect();
+    let result = (|| -> Result<NetId, BuildError> {
+        for (bit, &s) in sel.iter().enumerate() {
+            let ns = b.gate_fresh(GateKind::Not, &[s])?;
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks_exact(2) {
+                let low = b.gate_fresh(GateKind::And, &[pair[0], ns])?;
+                let high = b.gate_fresh(GateKind::And, &[pair[1], s])?;
+                next.push(b.gate_fresh(GateKind::Or, &[low, high])?);
+            }
+            debug_assert_eq!(next.len() << (bit + 1), n);
+            layer = next;
+        }
+        Ok(layer[0])
+    })();
+    let y = result.map_err(|e| GenerateError::new(e.to_string()))?;
+    b.output(y);
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+/// Builds an `n`-to-`2^n` one-hot decoder with an enable input.
+///
+/// Ports: inputs `a0..a{n-1}`, `en`; outputs `y0..y{2^n-1}` where
+/// `y_k = en & (a == k)`.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if `n == 0` or `n > 16`.
+pub fn decoder(n: usize) -> Result<Netlist, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::new("decoder needs at least 1 address bit"));
+    }
+    if n > 16 {
+        return Err(GenerateError::new("decoder larger than 2^16 outputs"));
+    }
+    let mut b = NetlistBuilder::named(format!("dec{n}"));
+    let addr: Vec<NetId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let en = b.input("en");
+    let result = (|| -> Result<(), BuildError> {
+        let mut not_addr = Vec::with_capacity(n);
+        for &a in &addr {
+            not_addr.push(b.gate_fresh(GateKind::Not, &[a])?);
+        }
+        for k in 0..(1usize << n) {
+            let mut terms: Vec<NetId> = (0..n)
+                .map(|bit| if k >> bit & 1 != 0 { addr[bit] } else { not_addr[bit] })
+                .collect();
+            terms.push(en);
+            let y = b.gate(GateKind::And, &terms, format!("y{k}"))?;
+            b.output(y);
+        }
+        Ok(())
+    })();
+    result.map_err(|e| GenerateError::new(e.to_string()))?;
+    b.finish().map_err(|e| GenerateError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_oracle::eval_oracle;
+    use crate::{levelize, validate};
+    use std::collections::HashMap;
+
+    #[test]
+    fn parity_tree_computes_parity() {
+        let nl = reduction_tree(GateKind::Xor, 9).unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+        for pattern in [0u32, 1, 0b101010101, 0b111111111, 0b100000001] {
+            let mut inputs = HashMap::new();
+            let names: Vec<String> = (0..9).map(|i| format!("i{i}")).collect();
+            for (i, name) in names.iter().enumerate() {
+                inputs.insert(name.as_str(), pattern >> i & 1 != 0);
+            }
+            let out = eval_oracle(&nl, &inputs);
+            let want = pattern.count_ones() % 2 == 1;
+            assert_eq!(out.values().next(), Some(&want), "pattern {pattern:b}");
+        }
+    }
+
+    #[test]
+    fn and_tree_is_logarithmic() {
+        let nl = reduction_tree(GateKind::And, 64).unwrap();
+        assert_eq!(levelize(&nl).unwrap().depth, 6);
+        assert_eq!(nl.gate_count(), 63);
+    }
+
+    #[test]
+    fn tree_rejects_not_and_constants() {
+        assert!(reduction_tree(GateKind::Not, 8).is_err());
+        assert!(reduction_tree(GateKind::Const0, 8).is_err());
+        assert!(reduction_tree(GateKind::Xor, 1).is_err());
+    }
+
+    #[test]
+    fn mux_selects_every_input() {
+        let sel_bits = 3;
+        let nl = mux_tree(sel_bits).unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+        let n = 1usize << sel_bits;
+        for selected in 0..n {
+            let mut inputs = HashMap::new();
+            let dnames: Vec<String> = (0..n).map(|i| format!("d{i}")).collect();
+            let snames: Vec<String> = (0..sel_bits).map(|i| format!("s{i}")).collect();
+            for (i, name) in dnames.iter().enumerate() {
+                inputs.insert(name.as_str(), i == selected);
+            }
+            for (bit, name) in snames.iter().enumerate() {
+                inputs.insert(name.as_str(), selected >> bit & 1 != 0);
+            }
+            let out = eval_oracle(&nl, &inputs);
+            assert_eq!(out.values().next(), Some(&true), "select {selected}");
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let nl = decoder(3).unwrap();
+        validate::check(&nl, validate::Mode::Combinational).unwrap();
+        for k in 0usize..8 {
+            let mut inputs = HashMap::new();
+            let names: Vec<String> = (0..3).map(|i| format!("a{i}")).collect();
+            for (bit, name) in names.iter().enumerate() {
+                inputs.insert(name.as_str(), k >> bit & 1 != 0);
+            }
+            inputs.insert("en", true);
+            let out = eval_oracle(&nl, &inputs);
+            for j in 0..8 {
+                assert_eq!(out[&format!("y{j}")], j == k, "k={k} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_enable_gates_everything() {
+        let nl = decoder(2).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("a0", true);
+        inputs.insert("a1", true);
+        inputs.insert("en", false);
+        let out = eval_oracle(&nl, &inputs);
+        assert!(out.values().all(|&v| !v));
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        assert!(mux_tree(0).is_err());
+        assert!(mux_tree(21).is_err());
+        assert!(decoder(0).is_err());
+        assert!(decoder(17).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed arena handles for nets and gates.
+
+use std::fmt;
+
+/// Handle to a net (a named signal) inside a [`crate::Netlist`].
+///
+/// `NetId`s are dense indices: every net of a netlist with `n` nets has an
+/// id in `0..n`, so they can index plain vectors. The `From`/`Index`
+/// conversions below make that convenient without giving up the type
+/// distinction from [`GateId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+/// Handle to a gate inside a [`crate::Netlist`].
+///
+/// Dense indices, like [`NetId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub(crate) u32);
+
+macro_rules! impl_id {
+    ($name:ident, $letter:literal) => {
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Intended for code that has already obtained a valid dense
+            /// index (e.g. by iterating `0..netlist.net_count()`).
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id index exceeds u32 range"))
+            }
+
+            /// Returns the raw dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl<T> std::ops::Index<$name> for Vec<T> {
+            type Output = T;
+            #[inline]
+            fn index(&self, id: $name) -> &T {
+                &self[id.index()]
+            }
+        }
+
+        impl<T> std::ops::IndexMut<$name> for Vec<T> {
+            #[inline]
+            fn index_mut(&mut self, id: $name) -> &mut T {
+                &mut self[id.index()]
+            }
+        }
+
+        impl<T> std::ops::Index<$name> for [T] {
+            type Output = T;
+            #[inline]
+            fn index(&self, id: $name) -> &T {
+                &self[id.index()]
+            }
+        }
+
+        impl<T> std::ops::IndexMut<$name> for [T] {
+            #[inline]
+            fn index_mut(&mut self, id: $name) -> &mut T {
+                &mut self[id.index()]
+            }
+        }
+    };
+}
+
+impl_id!(NetId, "n");
+impl_id!(GateId, "g");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_index_vectors() {
+        let v = vec![10, 20, 30];
+        assert_eq!(v[NetId::from_index(1)], 20);
+        assert_eq!(v[GateId::from_index(2)], 30);
+    }
+
+    #[test]
+    fn ids_round_trip_indices() {
+        for i in [0usize, 1, 77, 1 << 20] {
+            assert_eq!(NetId::from_index(i).index(), i);
+            assert_eq!(GateId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn debug_formats_distinguish_kinds() {
+        assert_eq!(format!("{:?}", NetId::from_index(4)), "n4");
+        assert_eq!(format!("{:?}", GateId::from_index(4)), "g4");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(GateId::from_index(0) < GateId::from_index(9));
+    }
+}

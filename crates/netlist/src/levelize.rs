@@ -1,0 +1,354 @@
+//! Levelization: the foundation of both compiled techniques.
+//!
+//! The paper bases everything on the well-known Levelized Compiled Code
+//! levelization pass and its `minlevel` variant:
+//!
+//! * the **level** of a net is the length (in gates) of the *longest* path
+//!   from the primary inputs — the latest time, in gate delays, at which
+//!   the net may still change;
+//! * the **minlevel** is the length of the *shortest* such path — the
+//!   earliest time at which input changes can reach the net.
+//!
+//! Both are computed in one worklist pass, the paper's "count" algorithm
+//! (§2 steps 1–6), which is a variation of topological sorting and
+//! therefore also yields the gate evaluation order that every code
+//! generator in this workspace uses.
+
+use std::fmt;
+
+use crate::{GateId, GateKind, NetId, Netlist};
+
+/// Levelization results for a netlist.
+///
+/// All vectors are dense, indexed by [`NetId`] / [`GateId`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Levels {
+    /// Longest-path level of each net. Level 0 nets are primary inputs,
+    /// constant-gate outputs and undriven nets.
+    pub net_level: Vec<u32>,
+    /// Shortest-path level of each net.
+    pub net_minlevel: Vec<u32>,
+    /// Longest-path level of each gate (its output nets share it).
+    pub gate_level: Vec<u32>,
+    /// Shortest-path level of each gate.
+    pub gate_minlevel: Vec<u32>,
+    /// Gates in a valid evaluation order (ascending level).
+    pub topo_gates: Vec<GateId>,
+    /// The circuit depth: the maximum net level. The parallel technique
+    /// allocates `depth + 1` bits per bit-field.
+    pub depth: u32,
+}
+
+impl Levels {
+    /// Number of distinct time points `0..=depth`, i.e. the bit-field
+    /// width `n = depth + 1` of the paper's §3.
+    pub fn time_points(&self) -> u32 {
+        self.depth + 1
+    }
+}
+
+/// Error returned by [`levelize`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LevelizeError {
+    /// The netlist contains a combinational cycle; the payload is the set
+    /// of gates that could not be ordered.
+    Cycle {
+        /// Gates participating in (or downstream of) the cycle.
+        unordered_gates: Vec<GateId>,
+    },
+    /// The netlist contains flip-flops; cut them first with
+    /// [`crate::sequential::cut_flip_flops`].
+    Sequential {
+        /// The first flip-flop encountered.
+        gate: GateId,
+    },
+}
+
+impl fmt::Display for LevelizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelizeError::Cycle { unordered_gates } => write!(
+                f,
+                "combinational cycle: {} gate(s) could not be levelized",
+                unordered_gates.len()
+            ),
+            LevelizeError::Sequential { gate } => {
+                write!(f, "netlist is sequential (flip-flop at {gate}); cut it first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LevelizeError {}
+
+/// Levelizes an acyclic combinational netlist.
+///
+/// Runs the paper's generalized count algorithm once, producing levels,
+/// minlevels and a topological gate order in `O(nets + pins)`.
+///
+/// Gates with no inputs (constant generators) and undriven nets are
+/// assigned level 0, matching the paper's treatment of constant signals.
+///
+/// # Errors
+///
+/// * [`LevelizeError::Sequential`] if any gate is a [`GateKind::Dff`];
+/// * [`LevelizeError::Cycle`] if the combinational graph is cyclic.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::{NetlistBuilder, GateKind, levelize};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The gate of the paper's Fig. 2: inputs at minlevels 2, 3, 4.
+/// let mut b = NetlistBuilder::new();
+/// let i0 = b.input("i0");
+/// let mut chain2 = i0;
+/// for step in 0..2 { chain2 = b.gate(GateKind::Buf, &[chain2], format!("a{step}"))?; }
+/// let mut chain3 = i0;
+/// for step in 0..3 { chain3 = b.gate(GateKind::Buf, &[chain3], format!("b{step}"))?; }
+/// let mut chain4 = i0;
+/// for step in 0..4 { chain4 = b.gate(GateKind::Buf, &[chain4], format!("c{step}"))?; }
+/// let out = b.gate(GateKind::And, &[chain2, chain3, chain4], "out")?;
+/// b.output(out);
+/// let nl = b.finish()?;
+/// let levels = levelize(&nl)?;
+/// assert_eq!(levels.net_minlevel[out], 3);
+/// assert_eq!(levels.net_level[out], 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levelize(netlist: &Netlist) -> Result<Levels, LevelizeError> {
+    for gid in netlist.gate_ids() {
+        if netlist.gate(gid).kind == GateKind::Dff {
+            return Err(LevelizeError::Sequential { gate: gid });
+        }
+    }
+
+    let nets = netlist.net_count();
+    let gates = netlist.gate_count();
+
+    let mut net_level = vec![0u32; nets];
+    let mut net_minlevel = vec![0u32; nets];
+    let mut gate_level = vec![0u32; gates];
+    let mut gate_minlevel = vec![0u32; gates];
+
+    // Step 1: counts. For a gate, the number of input pins (with
+    // multiplicity); for a net, the number of driving gates (0 or 1 in the
+    // single-driver model).
+    let mut gate_count: Vec<usize> = netlist.gates().iter().map(|g| g.inputs.len()).collect();
+
+    let mut topo_gates = Vec::with_capacity(gates);
+    // Step 2: all undriven nets (primary inputs, dangling) are sources.
+    let mut net_queue: Vec<NetId> = netlist
+        .net_ids()
+        .filter(|&n| netlist.driver(n).is_none())
+        .collect();
+    // Zero-input gates (constant generators) are immediately ready.
+    let mut gate_queue: Vec<GateId> = (0..gates)
+        .map(GateId::from_index)
+        .filter(|&g| gate_count[g.index()] == 0)
+        .collect();
+
+    let mut processed_gates = 0usize;
+    loop {
+        if let Some(net) = net_queue.pop() {
+            // Step 4: a net takes its driving gate's level; sources stay 0.
+            if let Some(driver) = netlist.driver(net) {
+                net_level[net] = gate_level[driver];
+                net_minlevel[net] = gate_minlevel[driver];
+            }
+            for &gate in netlist.fanout(net) {
+                let pins = netlist
+                    .gate(gate)
+                    .inputs
+                    .iter()
+                    .filter(|&&input| input == net)
+                    .count();
+                let count = &mut gate_count[gate.index()];
+                debug_assert!(*count >= pins);
+                *count -= pins;
+                if *count == 0 {
+                    gate_queue.push(gate);
+                }
+            }
+            continue;
+        }
+        if let Some(gate) = gate_queue.pop() {
+            // Step 5: max+1 for level, min+1 for minlevel; constant
+            // generators (no inputs) stay at level 0 like other sources.
+            let inputs = &netlist.gate(gate).inputs;
+            if inputs.is_empty() {
+                gate_level[gate] = 0;
+                gate_minlevel[gate] = 0;
+            } else {
+                gate_level[gate] =
+                    inputs.iter().map(|&n| net_level[n]).max().unwrap_or(0) + 1;
+                gate_minlevel[gate] =
+                    inputs.iter().map(|&n| net_minlevel[n]).min().unwrap_or(0) + 1;
+            }
+            topo_gates.push(gate);
+            processed_gates += 1;
+            net_queue.push(netlist.gate(gate).output);
+            continue;
+        }
+        break;
+    }
+
+    if processed_gates != gates {
+        let unordered_gates = (0..gates)
+            .map(GateId::from_index)
+            .filter(|&g| gate_count[g.index()] != 0)
+            .collect();
+        return Err(LevelizeError::Cycle { unordered_gates });
+    }
+
+    let depth = net_level.iter().copied().max().unwrap_or(0);
+    Ok(Levels {
+        net_level,
+        net_minlevel,
+        gate_level,
+        gate_minlevel,
+        topo_gates,
+        depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    /// The paper's Fig. 1: `D = A & B; E = C & D;`.
+    fn fig1() -> (Netlist, NetId, NetId) {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bb = b.input("B");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, bb], "D").unwrap();
+        let e = b.gate(GateKind::And, &[c, d], "E").unwrap();
+        b.output(e);
+        (b.finish().unwrap(), d, e)
+    }
+
+    #[test]
+    fn fig1_levels() {
+        let (nl, d, e) = fig1();
+        let lv = levelize(&nl).unwrap();
+        assert_eq!(lv.net_level[d], 1);
+        assert_eq!(lv.net_level[e], 2);
+        assert_eq!(lv.net_minlevel[d], 1);
+        // E's shortest path comes through C directly.
+        assert_eq!(lv.net_minlevel[e], 1);
+        assert_eq!(lv.depth, 2);
+        assert_eq!(lv.time_points(), 3);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let (nl, d, e) = fig1();
+        let lv = levelize(&nl).unwrap();
+        let pos_d = lv
+            .topo_gates
+            .iter()
+            .position(|&g| nl.gate(g).output == d)
+            .unwrap();
+        let pos_e = lv
+            .topo_gates
+            .iter()
+            .position(|&g| nl.gate(g).output == e)
+            .unwrap();
+        assert!(pos_d < pos_e);
+        assert_eq!(lv.topo_gates.len(), nl.gate_count());
+    }
+
+    #[test]
+    fn primary_inputs_are_level_zero() {
+        let (nl, _, _) = fig1();
+        let lv = levelize(&nl).unwrap();
+        for &pi in nl.primary_inputs() {
+            assert_eq!(lv.net_level[pi], 0);
+            assert_eq!(lv.net_minlevel[pi], 0);
+        }
+    }
+
+    #[test]
+    fn constant_gates_are_level_zero() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let k = b.gate(GateKind::Const1, &[], "K").unwrap();
+        let o = b.gate(GateKind::And, &[a, k], "O").unwrap();
+        b.output(o);
+        let nl = b.finish().unwrap();
+        let lv = levelize(&nl).unwrap();
+        assert_eq!(lv.net_level[k], 0);
+        assert_eq!(lv.net_minlevel[k], 0);
+        assert_eq!(lv.net_level[o], 1);
+    }
+
+    #[test]
+    fn repeated_pin_is_counted_with_multiplicity() {
+        // Paper §2 step 4d note: a net on two pins decrements the count by 2.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let d = b.gate(GateKind::Xor, &[a, a], "D").unwrap();
+        b.output(d);
+        let nl = b.finish().unwrap();
+        let lv = levelize(&nl).unwrap();
+        assert_eq!(lv.net_level[d], 1);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        // x = AND(a, y); y = NOT(x) — a combinational loop.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let x = b.fresh_net();
+        let y = b.fresh_net();
+        b.gate_onto(GateKind::And, &[a, y], x).unwrap();
+        b.gate_onto(GateKind::Not, &[x], y).unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        match levelize(&nl) {
+            Err(LevelizeError::Cycle { unordered_gates }) => {
+                assert_eq!(unordered_gates.len(), 2);
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_netlist_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let q = b.gate(GateKind::Dff, &[a], "Q").unwrap();
+        b.output(q);
+        let nl = b.finish().unwrap();
+        assert!(matches!(
+            levelize(&nl),
+            Err(LevelizeError::Sequential { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_chain_has_expected_depth() {
+        let mut b = NetlistBuilder::new();
+        let mut net = b.input("A");
+        for step in 0..100 {
+            net = b.gate(GateKind::Not, &[net], format!("n{step}")).unwrap();
+        }
+        b.output(net);
+        let nl = b.finish().unwrap();
+        let lv = levelize(&nl).unwrap();
+        assert_eq!(lv.depth, 100);
+        assert_eq!(lv.net_minlevel[net], 100);
+    }
+
+    #[test]
+    fn empty_netlist_levelizes() {
+        let nl = NetlistBuilder::new().finish().unwrap();
+        let lv = levelize(&nl).unwrap();
+        assert_eq!(lv.depth, 0);
+        assert!(lv.topo_gates.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! The immutable netlist arena.
+
+use std::collections::HashMap;
+
+use crate::{GateId, GateKind, NetId};
+
+/// A gate instance: a [`GateKind`] applied to input nets, driving one
+/// output net.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Gate {
+    /// The logic function.
+    pub kind: GateKind,
+    /// Input nets, in declaration order. A net may appear more than once
+    /// (the paper's PC-set algorithm explicitly accounts for this).
+    pub inputs: Vec<NetId>,
+    /// The single net driven by this gate.
+    pub output: NetId,
+}
+
+/// An immutable gate-level netlist.
+///
+/// Built with [`crate::NetlistBuilder`] or parsed from ISCAS-85 `.bench`
+/// text via [`crate::bench_format::parse`]. Nets and gates are stored in
+/// dense arenas indexed by [`NetId`] and [`GateId`].
+///
+/// The model is **single-driver**: every net is driven by at most one gate
+/// (nets with no driver are primary inputs or dangling). The paper's wired
+/// AND/OR connections are modeled by inserting an explicit resolution gate,
+/// the standard practice in modern netlist databases.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) net_names: Vec<String>,
+    pub(crate) name_index: HashMap<String, NetId>,
+    pub(crate) gates: Vec<Gate>,
+    /// Per net: the gate driving it, if any.
+    pub(crate) driver: Vec<Option<GateId>>,
+    /// Per net: the gates that read it (with multiplicity collapsed; a gate
+    /// listing a net twice appears once here).
+    pub(crate) fanout: Vec<Vec<GateId>>,
+    pub(crate) primary_inputs: Vec<NetId>,
+    pub(crate) primary_outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// The circuit name (e.g. `"c432"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the circuit name (the structure stays immutable).
+    pub fn rename(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Iterates over all net ids, `n0..`.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.net_count()).map(NetId::from_index)
+    }
+
+    /// Iterates over all gate ids, `g0..`.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gate_count()).map(GateId::from_index)
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids from this netlist never are).
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id]
+    }
+
+    /// All gates, indexable by [`GateId`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id]
+    }
+
+    /// Looks a net up by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The gate driving `net`, or `None` for primary inputs and dangling
+    /// nets.
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        self.driver[net]
+    }
+
+    /// The gates that read `net` (each listed once, even if the gate uses
+    /// the net on several input pins).
+    pub fn fanout(&self, net: NetId) -> &[GateId] {
+        &self.fanout[net]
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Returns `true` if `net` is a primary input.
+    pub fn is_primary_input(&self, net: NetId) -> bool {
+        // Primary input lists are short-ish; but this is on hot paths in
+        // compilers, so use the driver array: a net is a PI iff it has no
+        // driver and is in the PI list. Compilers call this per net, so we
+        // precompute via contains on the (sorted-free) list only when the
+        // driver is absent, which is rare for internal nets.
+        self.driver[net].is_none() && self.primary_inputs.contains(&net)
+    }
+
+    /// Returns `true` if `net` is a primary output.
+    pub fn is_primary_output(&self, net: NetId) -> bool {
+        self.primary_outputs.contains(&net)
+    }
+
+    /// Returns `true` if any gate is a [`GateKind::Dff`] (i.e. the netlist
+    /// is sequential and must be cut before compiled unit-delay
+    /// simulation; see [`crate::sequential`]).
+    pub fn is_sequential(&self) -> bool {
+        self.gates.iter().any(|g| g.kind == GateKind::Dff)
+    }
+
+    /// Total number of gate input pins (counts multiplicity).
+    pub fn pin_count(&self) -> usize {
+        self.gates.iter().map(|g| g.inputs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn accessors_reflect_structure() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let c = b.input("B");
+        let d = b.gate(GateKind::And, &[a, c], "D").unwrap();
+        let e = b.gate(GateKind::Not, &[d], "E").unwrap();
+        b.output(e);
+        let nl = b.finish().unwrap();
+
+        assert_eq!(nl.net_count(), 4);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.net_name(d), "D");
+        assert_eq!(nl.find_net("E"), Some(e));
+        assert_eq!(nl.find_net("nope"), None);
+        assert!(nl.is_primary_input(a));
+        assert!(!nl.is_primary_input(d));
+        assert!(nl.is_primary_output(e));
+        assert!(!nl.is_primary_output(d));
+        assert!(!nl.is_sequential());
+        assert_eq!(nl.pin_count(), 3);
+
+        let and_gate = nl.driver(d).unwrap();
+        assert_eq!(nl.gate(and_gate).kind, GateKind::And);
+        assert_eq!(nl.gate(and_gate).inputs, vec![a, c]);
+        assert_eq!(nl.fanout(d), &[nl.driver(e).unwrap()]);
+        assert!(nl.fanout(e).is_empty());
+    }
+
+    #[test]
+    fn fanout_deduplicates_repeated_pins() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        // A appears on both pins of the same gate.
+        let d = b.gate(GateKind::Xor, &[a, a], "D").unwrap();
+        b.output(d);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.fanout(a).len(), 1);
+        // ...but the pin multiplicity is preserved on the gate itself.
+        assert_eq!(nl.gate(nl.driver(d).unwrap()).inputs.len(), 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Support for synchronous sequential circuits.
+//!
+//! The paper's techniques require acyclic circuits, but §1 notes they
+//! "can be applied to a wide variety of synchronous sequential circuits by
+//! requiring that any cycle in the network contain at least one flip-flop.
+//! The circuit could then be broken at the flip-flops by treating the
+//! flip-flop inputs as primary outputs and the outputs as primary inputs."
+//! [`cut_flip_flops`] performs exactly that transformation and returns the
+//! bookkeeping needed to run multi-cycle simulations on the cut circuit.
+
+use std::fmt;
+
+use crate::{GateKind, NetId, Netlist, NetlistBuilder};
+
+/// One flip-flop that was cut out of a sequential netlist.
+///
+/// Both ids refer to nets of the *cut* (combinational) netlist, whose net
+/// ids coincide with the original netlist's (the cut preserves net order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StateElement {
+    /// The flip-flop's data input — a pseudo primary output of the cut
+    /// circuit. Its value at the end of clock cycle `k` becomes `q`'s
+    /// value during cycle `k + 1`.
+    pub d: NetId,
+    /// The flip-flop's output — a pseudo primary input of the cut circuit.
+    pub q: NetId,
+}
+
+/// The result of cutting a sequential netlist at its flip-flops.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CutCircuit {
+    /// The acyclic combinational remainder. Flip-flop outputs are
+    /// appended to the primary inputs, flip-flop inputs to the primary
+    /// outputs.
+    pub combinational: Netlist,
+    /// One entry per cut flip-flop, in original gate order.
+    pub state: Vec<StateElement>,
+}
+
+impl CutCircuit {
+    /// Number of state bits (cut flip-flops).
+    pub fn state_bits(&self) -> usize {
+        self.state.len()
+    }
+}
+
+/// Error returned by [`cut_flip_flops`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CutError {
+    /// A flip-flop output net is also a declared primary input.
+    DffDrivesPrimaryInput {
+        /// The conflicting net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for CutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CutError::DffDrivesPrimaryInput { net } => {
+                write!(f, "flip-flop drives declared primary input {net}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CutError {}
+
+/// Cuts every flip-flop out of `netlist`, turning each `Q` into a pseudo
+/// primary input and each `D` into a pseudo primary output.
+///
+/// Net ids and names are preserved; gate ids are renumbered (flip-flops
+/// disappear). Running the cut circuit for one input vector simulates one
+/// clock cycle; feeding each [`StateElement::d`] final value back into
+/// [`StateElement::q`] advances the state.
+///
+/// Calling this on a purely combinational netlist is allowed and returns
+/// an identical netlist with an empty state list.
+///
+/// # Errors
+///
+/// Returns [`CutError::DffDrivesPrimaryInput`] if a flip-flop output is
+/// also declared as a primary input (a malformed netlist).
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::{NetlistBuilder, GateKind};
+/// use uds_netlist::sequential::cut_flip_flops;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 1-bit toggle register: q' = q XOR en.
+/// let mut b = NetlistBuilder::named("toggle");
+/// let en = b.input("en");
+/// let q = b.get_or_create_net("q");
+/// let d = b.gate(GateKind::Xor, &[en, q], "d")?;
+/// b.gate_onto(GateKind::Dff, &[d], q)?;
+/// b.output(q);
+/// let nl = b.finish()?;
+///
+/// let cut = cut_flip_flops(&nl)?;
+/// assert_eq!(cut.state_bits(), 1);
+/// assert!(!cut.combinational.is_sequential());
+/// assert!(cut.combinational.primary_inputs().contains(&cut.state[0].q));
+/// assert!(cut.combinational.primary_outputs().contains(&cut.state[0].d));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cut_flip_flops(netlist: &Netlist) -> Result<CutCircuit, CutError> {
+    let mut b = NetlistBuilder::named(netlist.name());
+
+    // Recreate all nets in id order so ids are preserved.
+    for net in netlist.net_ids() {
+        b.get_or_create_net(netlist.net_name(net));
+    }
+
+    for &pi in netlist.primary_inputs() {
+        b.declare_input(pi);
+    }
+
+    let mut state = Vec::new();
+    for gate in netlist.gates() {
+        if gate.kind == GateKind::Dff {
+            let q = gate.output;
+            if netlist.primary_inputs().contains(&q) {
+                return Err(CutError::DffDrivesPrimaryInput { net: q });
+            }
+            state.push(StateElement {
+                d: gate.inputs[0],
+                q,
+            });
+            b.declare_input(q);
+        } else {
+            b.gate_onto(gate.kind, &gate.inputs, gate.output)
+                .expect("cut preserves a well-formed gate");
+        }
+    }
+
+    for &po in netlist.primary_outputs() {
+        b.output(po);
+    }
+    for element in &state {
+        b.output(element.d);
+    }
+
+    let combinational = b
+        .finish()
+        .expect("cut of a built netlist cannot fail to build");
+    Ok(CutCircuit {
+        combinational,
+        state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{levelize, GateKind, NetlistBuilder};
+
+    fn toggle() -> Netlist {
+        let mut b = NetlistBuilder::named("toggle");
+        let en = b.input("en");
+        let q = b.get_or_create_net("q");
+        let d = b.gate(GateKind::Xor, &[en, q], "d").unwrap();
+        b.gate_onto(GateKind::Dff, &[d], q).unwrap();
+        b.output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cut_removes_dffs_and_breaks_cycles() {
+        let nl = toggle();
+        assert!(nl.is_sequential());
+        assert!(levelize(&nl).is_err());
+
+        let cut = cut_flip_flops(&nl).unwrap();
+        assert!(!cut.combinational.is_sequential());
+        let levels = levelize(&cut.combinational).unwrap();
+        assert_eq!(levels.depth, 1);
+        assert_eq!(cut.state_bits(), 1);
+    }
+
+    #[test]
+    fn net_names_and_ids_are_preserved() {
+        let nl = toggle();
+        let cut = cut_flip_flops(&nl).unwrap();
+        assert_eq!(nl.net_count(), cut.combinational.net_count());
+        for net in nl.net_ids() {
+            assert_eq!(nl.net_name(net), cut.combinational.net_name(net));
+        }
+    }
+
+    #[test]
+    fn d_becomes_output_q_becomes_input() {
+        let nl = toggle();
+        let cut = cut_flip_flops(&nl).unwrap();
+        let element = cut.state[0];
+        assert_eq!(cut.combinational.net_name(element.d), "d");
+        assert_eq!(cut.combinational.net_name(element.q), "q");
+        assert!(cut.combinational.primary_inputs().contains(&element.q));
+        assert!(cut.combinational.primary_outputs().contains(&element.d));
+    }
+
+    #[test]
+    fn combinational_netlist_passes_through() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, c], "D").unwrap();
+        b.output(d);
+        let nl = b.finish().unwrap();
+        let cut = cut_flip_flops(&nl).unwrap();
+        assert_eq!(cut.state_bits(), 0);
+        assert_eq!(cut.combinational, nl);
+    }
+
+    #[test]
+    fn dff_driving_primary_input_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        // Malformed: PI net also driven by DFF. The builder allows it
+        // (declare_input then gate_onto), validation would flag it; the
+        // cutter must reject it explicitly.
+        let pi = b.input("PI");
+        let d = b.gate(GateKind::Buf, &[a], "D").unwrap();
+        b.gate_onto(GateKind::Dff, &[d], pi).unwrap();
+        b.output(pi);
+        let nl = b.finish().unwrap();
+        assert!(matches!(
+            cut_flip_flops(&nl),
+            Err(CutError::DffDrivesPrimaryInput { .. })
+        ));
+    }
+
+    #[test]
+    fn shift_register_cuts_to_parallel_buffers() {
+        // d0 -> DFF -> q0 -> DFF -> q1
+        let mut b = NetlistBuilder::named("shift2");
+        let din = b.input("din");
+        let q0 = b.get_or_create_net("q0");
+        let q1 = b.get_or_create_net("q1");
+        b.gate_onto(GateKind::Dff, &[din], q0).unwrap();
+        b.gate_onto(GateKind::Dff, &[q0], q1).unwrap();
+        b.output(q1);
+        let nl = b.finish().unwrap();
+        let cut = cut_flip_flops(&nl).unwrap();
+        assert_eq!(cut.state_bits(), 2);
+        assert_eq!(cut.combinational.gate_count(), 0);
+        // All logic is in the feedback wiring now.
+        let levels = levelize(&cut.combinational).unwrap();
+        assert_eq!(levels.depth, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Circuit statistics, used to calibrate the synthetic ISCAS-85 suite and
+//! to report the size/depth columns of the paper's tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{levelize, GateKind, LevelizeError, Netlist};
+
+/// Aggregate statistics of a combinational netlist.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub primary_inputs: usize,
+    /// Number of primary outputs.
+    pub primary_outputs: usize,
+    /// Number of gates.
+    pub gates: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Gate counts by kind.
+    pub by_kind: BTreeMap<GateKind, usize>,
+    /// Circuit depth (maximum net level); the paper's "levels" column is
+    /// `depth` here (number of gate levels on the longest path).
+    pub depth: u32,
+    /// Mean gate fan-in.
+    pub avg_fanin: f64,
+    /// Mean net fan-out (over driven nets and primary inputs).
+    pub avg_fanout: f64,
+    /// Number of gates at each level `1..=depth` (index 0 counts level-0
+    /// constant generators, normally zero).
+    pub gates_per_level: Vec<usize>,
+}
+
+impl CircuitStats {
+    /// Computes statistics for a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LevelizeError`] for cyclic or sequential netlists.
+    pub fn compute(netlist: &Netlist) -> Result<CircuitStats, LevelizeError> {
+        let levels = levelize(netlist)?;
+        let mut by_kind = BTreeMap::new();
+        for gate in netlist.gates() {
+            *by_kind.entry(gate.kind).or_insert(0usize) += 1;
+        }
+        let gates = netlist.gate_count();
+        let pins = netlist.pin_count();
+        let fanout_total: usize = netlist.net_ids().map(|n| netlist.fanout(n).len()).sum();
+        let sources = netlist
+            .net_ids()
+            .filter(|&n| netlist.driver(n).is_some() || netlist.is_primary_input(n))
+            .count();
+        let mut gates_per_level = vec![0usize; levels.depth as usize + 1];
+        for gid in netlist.gate_ids() {
+            gates_per_level[levels.gate_level[gid] as usize] += 1;
+        }
+        Ok(CircuitStats {
+            name: netlist.name().to_owned(),
+            primary_inputs: netlist.primary_inputs().len(),
+            primary_outputs: netlist.primary_outputs().len(),
+            gates,
+            nets: netlist.net_count(),
+            by_kind,
+            depth: levels.depth,
+            avg_fanin: if gates == 0 { 0.0 } else { pins as f64 / gates as f64 },
+            avg_fanout: if sources == 0 {
+                0.0
+            } else {
+                fanout_total as f64 / sources as f64
+            },
+            gates_per_level,
+        })
+    }
+
+    /// Number of 32-bit words a parallel-technique bit-field needs for this
+    /// circuit (`ceil((depth + 1) / 32)`), the parenthesized figure in the
+    /// paper's Fig. 20 "Levels" column.
+    pub fn bitfield_words(&self) -> usize {
+        ((self.depth as usize + 1) + 31) / 32
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} gates, {} nets, {} PI, {} PO, depth {} ({} word bit-fields)",
+            self.name,
+            self.gates,
+            self.nets,
+            self.primary_inputs,
+            self.primary_outputs,
+            self.depth,
+            self.bitfield_words()
+        )?;
+        write!(f, "  kinds:")?;
+        for (kind, count) in &self.by_kind {
+            write!(f, " {kind}={count}")?;
+        }
+        write!(
+            f,
+            "\n  avg fan-in {:.2}, avg fan-out {:.2}",
+            self.avg_fanin, self.avg_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, NetlistBuilder};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::named("sample");
+        let a = b.input("A");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, c], "D").unwrap();
+        let e = b.gate(GateKind::Not, &[d], "E").unwrap();
+        b.output(e);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let stats = CircuitStats::compute(&sample()).unwrap();
+        assert_eq!(stats.gates, 2);
+        assert_eq!(stats.nets, 4);
+        assert_eq!(stats.primary_inputs, 2);
+        assert_eq!(stats.primary_outputs, 1);
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.by_kind[&GateKind::And], 1);
+        assert_eq!(stats.by_kind[&GateKind::Not], 1);
+        assert_eq!(stats.gates_per_level, vec![0, 1, 1]);
+        assert!((stats.avg_fanin - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitfield_words_rounds_up() {
+        let mut stats = CircuitStats::compute(&sample()).unwrap();
+        stats.depth = 31; // 32 time points -> 1 word
+        assert_eq!(stats.bitfield_words(), 1);
+        stats.depth = 32; // 33 time points -> 2 words
+        assert_eq!(stats.bitfield_words(), 2);
+        stats.depth = 124; // 125 time points -> 4 words (c6288)
+        assert_eq!(stats.bitfield_words(), 4);
+    }
+
+    #[test]
+    fn display_mentions_name_and_depth() {
+        let text = CircuitStats::compute(&sample()).unwrap().to_string();
+        assert!(text.contains("sample"));
+        assert!(text.contains("depth 2"));
+    }
+}

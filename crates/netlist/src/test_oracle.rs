@@ -1,0 +1,31 @@
+//! Test-only reference evaluator, independent of every simulator crate.
+
+use std::collections::HashMap;
+
+use crate::{levelize, Netlist};
+
+/// Evaluates a combinational netlist by direct topological-order
+/// interpretation, returning the value of every primary output by name.
+///
+/// # Panics
+///
+/// Panics on cyclic/sequential netlists and on missing input names — this
+/// is a test oracle, not a public API.
+pub(crate) fn eval_oracle(nl: &Netlist, inputs: &HashMap<&str, bool>) -> HashMap<String, bool> {
+    let levels = levelize(nl).unwrap();
+    let mut value = vec![false; nl.net_count()];
+    for &pi in nl.primary_inputs() {
+        value[pi] = *inputs
+            .get(nl.net_name(pi))
+            .unwrap_or_else(|| panic!("missing input {}", nl.net_name(pi)));
+    }
+    for &gid in &levels.topo_gates {
+        let gate = nl.gate(gid);
+        let bits: Vec<bool> = gate.inputs.iter().map(|&i| value[i]).collect();
+        value[gate.output] = gate.kind.eval_bits(&bits);
+    }
+    nl.primary_outputs()
+        .iter()
+        .map(|&po| (nl.net_name(po).to_owned(), value[po]))
+        .collect()
+}

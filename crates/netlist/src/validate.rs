@@ -1,0 +1,272 @@
+//! Structural validation with typed diagnostics.
+//!
+//! The compiled-simulation code generators assume a well-formed acyclic
+//! netlist. [`check`] verifies that assumption up front and reports every
+//! problem it finds, so that malformed input (e.g. a hand-written `.bench`
+//! file) produces a clear error instead of a panic deep inside a compiler.
+
+use std::fmt;
+
+use crate::{levelize, GateId, GateKind, LevelizeError, NetId, Netlist};
+
+/// One structural problem found in a netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Issue {
+    /// A gate has an input count outside its kind's arity.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Its kind.
+        kind: GateKind,
+        /// The number of inputs it has.
+        got: usize,
+    },
+    /// A net is read by some gate (or is a primary output) but has no
+    /// driver and is not a primary input.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+    },
+    /// A net drives nothing and is not a primary output (dead logic).
+    DanglingNet {
+        /// The unused net.
+        net: NetId,
+    },
+    /// A primary input is also driven by a gate.
+    DrivenPrimaryInput {
+        /// The doubly-sourced net.
+        net: NetId,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    Cycle {
+        /// Gates that could not be ordered.
+        gates: Vec<GateId>,
+    },
+    /// The netlist contains flip-flops (only an issue when validating in
+    /// [`Mode::Combinational`]).
+    Sequential {
+        /// The first flip-flop.
+        gate: GateId,
+    },
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Issue::BadArity { gate, kind, got } => {
+                write!(f, "gate {gate} of kind {kind} has {got} inputs")
+            }
+            Issue::UndrivenNet { net } => write!(f, "net {net} is read but never driven"),
+            Issue::DanglingNet { net } => write!(f, "net {net} drives nothing"),
+            Issue::DrivenPrimaryInput { net } => {
+                write!(f, "primary input {net} is also driven by a gate")
+            }
+            Issue::Cycle { gates } => {
+                write!(f, "combinational cycle involving {} gate(s)", gates.len())
+            }
+            Issue::Sequential { gate } => write!(f, "flip-flop {gate} in combinational context"),
+        }
+    }
+}
+
+/// Error carrying every issue found by [`check`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidateError {
+    /// All problems, in discovery order. Never empty.
+    pub issues: Vec<Issue>,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist validation failed with {} issue(s):", self.issues.len())?;
+        for issue in &self.issues {
+            write!(f, "\n  - {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// What kind of netlist is expected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// Purely combinational: flip-flops are an error. This is what every
+    /// code generator in the workspace requires.
+    #[default]
+    Combinational,
+    /// Flip-flops allowed (cycles through them are fine); use before
+    /// [`crate::sequential::cut_flip_flops`].
+    Sequential,
+}
+
+/// Checks a netlist for structural problems.
+///
+/// Dangling nets are reported as issues but many realistic flows tolerate
+/// them; use [`check_lenient`] to ignore them.
+///
+/// # Errors
+///
+/// Returns a [`ValidateError`] listing every discovered [`Issue`].
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::{NetlistBuilder, GateKind, validate};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new();
+/// let a = b.input("A");
+/// let c = b.input("C");
+/// let d = b.gate(GateKind::And, &[a, c], "D")?;
+/// b.output(d);
+/// let nl = b.finish()?;
+/// validate::check(&nl, validate::Mode::Combinational)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn check(netlist: &Netlist, mode: Mode) -> Result<(), ValidateError> {
+    run(netlist, mode, true)
+}
+
+/// Like [`check`] but does not report dangling (unused) nets.
+///
+/// # Errors
+///
+/// Returns a [`ValidateError`] listing every discovered [`Issue`].
+pub fn check_lenient(netlist: &Netlist, mode: Mode) -> Result<(), ValidateError> {
+    run(netlist, mode, false)
+}
+
+fn run(netlist: &Netlist, mode: Mode, report_dangling: bool) -> Result<(), ValidateError> {
+    let mut issues = Vec::new();
+
+    for gid in netlist.gate_ids() {
+        let gate = netlist.gate(gid);
+        if !gate.kind.accepts_inputs(gate.inputs.len()) {
+            issues.push(Issue::BadArity {
+                gate: gid,
+                kind: gate.kind,
+                got: gate.inputs.len(),
+            });
+        }
+        if mode == Mode::Combinational && gate.kind == GateKind::Dff {
+            issues.push(Issue::Sequential { gate: gid });
+        }
+    }
+
+    for net in netlist.net_ids() {
+        let driven = netlist.driver(net).is_some();
+        let is_pi = netlist.primary_inputs().contains(&net);
+        let read = !netlist.fanout(net).is_empty() || netlist.is_primary_output(net);
+        if driven && is_pi {
+            issues.push(Issue::DrivenPrimaryInput { net });
+        }
+        if !driven && !is_pi && read {
+            issues.push(Issue::UndrivenNet { net });
+        }
+        if report_dangling && !read && !is_pi {
+            issues.push(Issue::DanglingNet { net });
+        }
+    }
+
+    // Cycle check on combinational netlists only; levelize also rejects
+    // DFFs, which we have already reported above.
+    if mode == Mode::Combinational && !netlist.is_sequential() {
+        if let Err(LevelizeError::Cycle { unordered_gates }) = levelize(netlist) {
+            issues.push(Issue::Cycle {
+                gates: unordered_gates,
+            });
+        }
+    }
+
+    if issues.is_empty() {
+        Ok(())
+    } else {
+        Err(ValidateError { issues })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn clean_netlist_passes() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, c], "D").unwrap();
+        b.output(d);
+        let nl = b.finish().unwrap();
+        assert!(check(&nl, Mode::Combinational).is_ok());
+    }
+
+    #[test]
+    fn undriven_net_is_reported() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let ghost = b.fresh_net();
+        let d = b.gate(GateKind::And, &[a, ghost], "D").unwrap();
+        b.output(d);
+        let nl = b.finish().unwrap();
+        let err = check(&nl, Mode::Combinational).unwrap_err();
+        assert!(err
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::UndrivenNet { net } if *net == ghost)));
+    }
+
+    #[test]
+    fn dangling_net_reported_only_in_strict_mode() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let c = b.input("C");
+        let _dead = b.gate(GateKind::Or, &[a, c], "DEAD").unwrap();
+        let d = b.gate(GateKind::And, &[a, c], "D").unwrap();
+        b.output(d);
+        let nl = b.finish().unwrap();
+        assert!(check(&nl, Mode::Combinational).is_err());
+        assert!(check_lenient(&nl, Mode::Combinational).is_ok());
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let x = b.fresh_net();
+        let y = b.fresh_net();
+        b.gate_onto(GateKind::And, &[a, y], x).unwrap();
+        b.gate_onto(GateKind::Not, &[x], y).unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let err = check(&nl, Mode::Combinational).unwrap_err();
+        assert!(err.issues.iter().any(|i| matches!(i, Issue::Cycle { .. })));
+    }
+
+    #[test]
+    fn dff_rejected_combinational_allowed_sequential() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let q = b.gate(GateKind::Dff, &[a], "Q").unwrap();
+        b.output(q);
+        let nl = b.finish().unwrap();
+        assert!(check(&nl, Mode::Combinational).is_err());
+        assert!(check(&nl, Mode::Sequential).is_ok());
+    }
+
+    #[test]
+    fn error_display_lists_all_issues() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let ghost = b.fresh_net();
+        let d = b.gate(GateKind::And, &[a, ghost], "D").unwrap();
+        b.output(d);
+        let nl = b.finish().unwrap();
+        let err = check(&nl, Mode::Combinational).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("validation failed"));
+        assert!(text.contains("never driven"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the netlist substrate: levelization
+//! invariants, generator guarantees, and format round-trips over
+//! randomized circuits.
+
+use proptest::prelude::*;
+
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{bench_format, levelize, validate, GateKind, Netlist};
+
+/// A proptest strategy producing random-but-valid layered configs.
+fn config_strategy() -> impl Strategy<Value = LayeredConfig> {
+    (
+        1u32..=30,      // depth
+        0usize..=200,   // extra gates beyond depth
+        1usize..=40,    // primary inputs
+        0usize..=20,    // primary outputs (minimum)
+        0.0f64..=1.0,   // xor fraction
+        0.0f64..=0.3,   // inverter fraction
+        0.0f64..=1.0,   // locality
+        2usize..=6,     // max fanin
+        any::<u64>(),   // seed
+    )
+        .prop_map(
+            |(depth, extra, pis, pos, xor, inv, locality, fanin, seed)| LayeredConfig {
+                name: "prop".to_owned(),
+                primary_inputs: pis,
+                primary_outputs: pos,
+                gates: depth as usize + extra,
+                depth,
+                xor_fraction: xor,
+                inverter_fraction: inv,
+                locality,
+                max_fanin: fanin,
+                leak_window: usize::MAX,
+                seed,
+            },
+        )
+}
+
+fn build(config: &LayeredConfig) -> Netlist {
+    layered(config).expect("strategy emits valid configs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_hits_exact_gates_and_depth(config in config_strategy()) {
+        let nl = build(&config);
+        prop_assert_eq!(nl.gate_count(), config.gates);
+        let levels = levelize(&nl).unwrap();
+        prop_assert_eq!(levels.depth, config.depth);
+    }
+
+    #[test]
+    fn generated_netlists_validate(config in config_strategy()) {
+        let nl = build(&config);
+        validate::check_lenient(&nl, validate::Mode::Combinational).unwrap();
+    }
+
+    #[test]
+    fn minlevel_never_exceeds_level(config in config_strategy()) {
+        let nl = build(&config);
+        let levels = levelize(&nl).unwrap();
+        for net in nl.net_ids() {
+            prop_assert!(levels.net_minlevel[net] <= levels.net_level[net]);
+        }
+        for gid in nl.gate_ids() {
+            prop_assert!(levels.gate_minlevel[gid.index()] <= levels.gate_level[gid.index()]);
+        }
+    }
+
+    #[test]
+    fn levels_are_longest_paths(config in config_strategy()) {
+        // level(gate) = 1 + max(level(inputs)); checked independently of
+        // the worklist by re-deriving over the topo order.
+        let nl = build(&config);
+        let levels = levelize(&nl).unwrap();
+        for &gid in &levels.topo_gates {
+            let gate = nl.gate(gid);
+            let expected = gate
+                .inputs
+                .iter()
+                .map(|&n| levels.net_level[n])
+                .max()
+                .map_or(0, |m| m + 1);
+            prop_assert_eq!(levels.gate_level[gid.index()], expected);
+            prop_assert_eq!(levels.net_level[gate.output], expected);
+        }
+    }
+
+    #[test]
+    fn topo_order_is_a_valid_schedule(config in config_strategy()) {
+        let nl = build(&config);
+        let levels = levelize(&nl).unwrap();
+        let mut ready = vec![false; nl.net_count()];
+        for net in nl.net_ids() {
+            if nl.driver(net).is_none() {
+                ready[net] = true;
+            }
+        }
+        for &gid in &levels.topo_gates {
+            for &input in &nl.gate(gid).inputs {
+                prop_assert!(ready[input], "input {input} used before it is driven");
+            }
+            ready[nl.gate(gid).output] = true;
+        }
+        prop_assert_eq!(levels.topo_gates.len(), nl.gate_count());
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_structure(config in config_strategy()) {
+        let nl = build(&config);
+        let text = bench_format::write(&nl);
+        let reparsed = bench_format::parse(&text, nl.name()).unwrap();
+        prop_assert_eq!(nl.gate_count(), reparsed.gate_count());
+        prop_assert_eq!(nl.net_count(), reparsed.net_count());
+        prop_assert_eq!(nl.primary_inputs().len(), reparsed.primary_inputs().len());
+        prop_assert_eq!(nl.primary_outputs().len(), reparsed.primary_outputs().len());
+        for (a, b) in nl.gates().iter().zip(reparsed.gates()) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.inputs.len(), b.inputs.len());
+        }
+        // Net names survive (ids may renumber; look up by name).
+        for net in nl.net_ids() {
+            prop_assert!(reparsed.find_net(nl.net_name(net)).is_some());
+        }
+    }
+
+    #[test]
+    fn cone_extraction_preserves_root_functions(
+        config in config_strategy(),
+        root_selector in any::<u32>(),
+        pattern in any::<u64>(),
+    ) {
+        use uds_netlist::cone;
+        let nl = build(&config);
+        let outputs = nl.primary_outputs();
+        prop_assume!(!outputs.is_empty());
+        let root = outputs[root_selector as usize % outputs.len()];
+        let cone = cone::extract(&nl, &[root]);
+        let cone_root = cone.to_cone(root).expect("root is in its own cone");
+
+        // Evaluate both with the same named input assignment.
+        let assignment = |name: &str, nl: &Netlist| -> bool {
+            let position = nl
+                .primary_inputs()
+                .iter()
+                .position(|&pi| nl.net_name(pi) == name);
+            position.map_or(false, |p| pattern >> (p % 64) & 1 != 0)
+        };
+        let full_inputs: std::collections::HashMap<&str, bool> = nl
+            .primary_inputs()
+            .iter()
+            .map(|&pi| (nl.net_name(pi), assignment(nl.net_name(pi), &nl)))
+            .collect();
+        let cone_inputs: std::collections::HashMap<&str, bool> = cone
+            .netlist
+            .primary_inputs()
+            .iter()
+            .map(|&pi| {
+                let name = cone.netlist.net_name(pi);
+                (name, full_inputs[name])
+            })
+            .collect();
+
+        let eval = |nl: &Netlist, inputs: &std::collections::HashMap<&str, bool>, net| {
+            let levels = levelize(nl).unwrap();
+            let mut value = vec![false; nl.net_count()];
+            for &pi in nl.primary_inputs() {
+                value[pi] = inputs[nl.net_name(pi)];
+            }
+            for &gid in &levels.topo_gates {
+                let gate = nl.gate(gid);
+                let bits: Vec<bool> = gate.inputs.iter().map(|&n| value[n]).collect();
+                value[gate.output] = gate.kind.eval_bits(&bits);
+            }
+            value[net]
+        };
+        prop_assert_eq!(
+            eval(&nl, &full_inputs, root),
+            eval(&cone.netlist, &cone_inputs, cone_root)
+        );
+        prop_assert!(cone.netlist.gate_count() <= nl.gate_count());
+    }
+
+    #[test]
+    fn word_and_bit_eval_agree(
+        kind in prop::sample::select(vec![
+            GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor,
+            GateKind::Xor, GateKind::Xnor,
+        ]),
+        inputs in prop::collection::vec(any::<bool>(), 2..=8),
+    ) {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        let from_words = kind.eval_words(&words) & 1 != 0;
+        prop_assert_eq!(kind.eval_bits(&inputs), from_words);
+    }
+
+    #[test]
+    fn gate_eval_word_parallelism(
+        kind in prop::sample::select(vec![
+            GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor,
+            GateKind::Xor, GateKind::Xnor,
+        ]),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        // Evaluating words is exactly 64 independent bit evaluations.
+        let word = kind.eval_words(&[a, b]);
+        for bit in 0..64 {
+            let scalar = kind.eval_bits(&[a >> bit & 1 != 0, b >> bit & 1 != 0]);
+            prop_assert_eq!(word >> bit & 1 != 0, scalar, "bit {}", bit);
+        }
+    }
+}

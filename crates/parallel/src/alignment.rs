@@ -1,0 +1,313 @@
+//! Net/gate alignments and the shift bookkeeping shared by both
+//! shift-elimination algorithms (§4).
+//!
+//! An *alignment* assigns to every net (and gate) the time represented
+//! by bit 0 of its bit-field. Shifts are eliminated wherever the paper's
+//! conditions (1)–(4) hold locally; where they cannot hold, a shift is
+//! *retained*. With shifts moved to gate inputs (Fig. 18), the shift a
+//! gate needs for an input is fully determined by the alignments:
+//!
+//! ```text
+//! input shift  s = align(input net) − (align(gate) − 1)
+//! output shift s = align(gate) − align(output net)
+//! ```
+//!
+//! `s = 0` means no shift; `s > 0` a left shift by `s` (requires
+//! previous-vector bits, hence the strict `align < minlevel` condition);
+//! `s < 0` a right shift by `−s` (top-bit replication only).
+
+use uds_netlist::{GateId, Levels, NetId, Netlist};
+
+use crate::bitfield::WORD_BITS;
+
+/// A shift retained in the generated code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShiftKind {
+    /// No shift needed.
+    None,
+    /// Left shift by the given amount (cycle breaking only).
+    Left(u32),
+    /// Right shift by the given amount.
+    Right(u32),
+}
+
+impl ShiftKind {
+    /// Classifies a signed shift amount.
+    pub fn from_amount(s: i32) -> ShiftKind {
+        match s.cmp(&0) {
+            std::cmp::Ordering::Equal => ShiftKind::None,
+            std::cmp::Ordering::Greater => ShiftKind::Left(s as u32),
+            std::cmp::Ordering::Less => ShiftKind::Right((-s) as u32),
+        }
+    }
+}
+
+/// An alignment assignment for every net and gate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Alignment {
+    /// Per-net alignment (time of bit 0), possibly negative.
+    pub net_align: Vec<i32>,
+    /// Per-gate alignment.
+    pub gate_align: Vec<i32>,
+}
+
+/// Aggregate statistics for the paper's Figs. 21–22.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AlignmentStats {
+    /// Shifts retained in the generated code (Fig. 21).
+    pub retained_shifts: usize,
+    /// Widest bit-field in bits (Fig. 22).
+    pub max_width_bits: u32,
+    /// Widest bit-field in 32-bit words.
+    pub max_width_words: u32,
+    /// Total words across all net fields (memory footprint).
+    pub total_field_words: usize,
+}
+
+impl Alignment {
+    /// The signed shift needed to present `input` to `gate`
+    /// (`align(input) − (align(gate) − 1)`).
+    pub fn input_shift(&self, gate: GateId, input: NetId) -> i32 {
+        self.net_align[input] - (self.gate_align[gate.index()] - 1)
+    }
+
+    /// The signed shift needed to store `gate`'s result into its output
+    /// field (`align(gate) − align(output)`); nonzero only under cycle
+    /// breaking, where a removed gate–output edge can leave them apart.
+    pub fn output_shift(&self, netlist: &Netlist, gate: GateId) -> i32 {
+        self.gate_align[gate.index()] - self.net_align[netlist.gate(gate).output]
+    }
+
+    /// Field width in bits of `net` under this alignment
+    /// (`level − align + 1`).
+    pub fn width(&self, levels: &Levels, net: NetId) -> u32 {
+        let width = i64::from(levels.net_level[net]) - i64::from(self.net_align[net]) + 1;
+        u32::try_from(width).expect("alignment never exceeds a net's level")
+    }
+
+    /// Counts the shifts the code generator will retain: one per
+    /// (gate, distinct input net) with a nonzero input shift, plus one
+    /// per gate with a nonzero output shift.
+    pub fn retained_shifts(&self, netlist: &Netlist) -> usize {
+        let mut count = 0;
+        for gid in netlist.gate_ids() {
+            let gate = netlist.gate(gid);
+            let mut seen: Vec<NetId> = Vec::with_capacity(gate.inputs.len());
+            for &input in &gate.inputs {
+                if seen.contains(&input) {
+                    continue;
+                }
+                seen.push(input);
+                if self.input_shift(gid, input) != 0 {
+                    count += 1;
+                }
+            }
+            if self.output_shift(netlist, gid) != 0 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Statistics for the paper's Figs. 21–22.
+    pub fn stats(&self, netlist: &Netlist, levels: &Levels) -> AlignmentStats {
+        let mut max_width_bits = 0;
+        let mut total_field_words = 0usize;
+        for net in netlist.net_ids() {
+            let width = self.width(levels, net);
+            max_width_bits = max_width_bits.max(width);
+            total_field_words += width.div_ceil(WORD_BITS) as usize;
+        }
+        AlignmentStats {
+            retained_shifts: self.retained_shifts(netlist),
+            max_width_bits,
+            max_width_words: max_width_bits.div_ceil(WORD_BITS),
+            total_field_words,
+        }
+    }
+
+    /// Verifies the correctness conditions the code generator relies on.
+    ///
+    /// * every net: `align ≤ minlevel` (condition 1 — otherwise changes
+    ///   would be lost);
+    /// * every net presented through a **left** shift: `align < minlevel`
+    ///   (the shifted-in low bits must be previous-vector values);
+    /// * every gate with a **left** output shift: `align(gate) <
+    ///   minlevel(gate)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated condition.
+    pub fn validate(&self, netlist: &Netlist, levels: &Levels) -> Result<(), String> {
+        for net in netlist.net_ids() {
+            if self.net_align[net] > levels.net_minlevel[net] as i32 {
+                return Err(format!(
+                    "net {net} aligned at {} above its minlevel {}",
+                    self.net_align[net], levels.net_minlevel[net]
+                ));
+            }
+        }
+        for gid in netlist.gate_ids() {
+            for &input in &netlist.gate(gid).inputs {
+                let s = self.input_shift(gid, input);
+                if s > 0 && self.net_align[input] >= levels.net_minlevel[input] as i32 {
+                    return Err(format!(
+                        "left-shifted net {input} needs align < minlevel {} (has {})",
+                        levels.net_minlevel[input], self.net_align[input]
+                    ));
+                }
+            }
+            let s = self.output_shift(netlist, gid);
+            if s != 0 && self.gate_align[gid.index()] >= levels.gate_minlevel[gid.index()] as i32 {
+                return Err(format!(
+                    "output-shifted gate {gid} needs align < minlevel {} (has {})",
+                    levels.gate_minlevel[gid.index()],
+                    self.gate_align[gid.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Subtracts `delta` from every alignment (the paper's second pass:
+    /// "reduce all alignments by a constant amount"). Shift amounts are
+    /// differences of alignments and therefore unchanged; widths grow.
+    pub fn lower_all(&mut self, delta: i32) {
+        for a in &mut self.net_align {
+            *a -= delta;
+        }
+        for a in &mut self.gate_align {
+            *a -= delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::{levelize, GateKind, NetlistBuilder};
+
+    /// A → NOT → B; AND(A, B) → C (the paper's Fig. 11).
+    fn fig11() -> (Netlist, NetId, NetId, NetId, GateId, GateId) {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.gate(GateKind::Not, &[a], "B").unwrap();
+        let c = b.gate(GateKind::And, &[a, bn], "C").unwrap();
+        b.output(c);
+        let nl = b.finish().unwrap();
+        let not_gate = nl.driver(bn).unwrap();
+        let and_gate = nl.driver(c).unwrap();
+        (nl, a, bn, c, not_gate, and_gate)
+    }
+
+    #[test]
+    fn shifts_follow_the_alignment_formula() {
+        let (nl, a, bn, c, not_gate, and_gate) = fig11();
+        // The alignment the path-tracing algorithm would produce:
+        // C=1, AND=1, B=0, NOT=0, A=-1.
+        let mut net_align = vec![0i32; nl.net_count()];
+        net_align[a] = -1;
+        net_align[bn] = 0;
+        net_align[c] = 1;
+        let mut gate_align = vec![0i32; nl.gate_count()];
+        gate_align[not_gate.index()] = 0;
+        gate_align[and_gate.index()] = 1;
+        let alignment = Alignment {
+            net_align,
+            gate_align,
+        };
+
+        assert_eq!(alignment.input_shift(and_gate, a), -1, "right shift by 1");
+        assert_eq!(alignment.input_shift(and_gate, bn), 0);
+        assert_eq!(alignment.input_shift(not_gate, a), 0);
+        assert_eq!(alignment.output_shift(&nl, and_gate), 0);
+        assert_eq!(alignment.retained_shifts(&nl), 1);
+
+        let levels = levelize(&nl).unwrap();
+        alignment.validate(&nl, &levels).unwrap();
+        assert_eq!(alignment.width(&levels, a), 2); // level 0, align -1
+        assert_eq!(alignment.width(&levels, c), 2); // level 2, align 1
+    }
+
+    #[test]
+    fn validate_rejects_alignment_above_minlevel() {
+        let (nl, a, ..) = fig11();
+        let mut alignment = Alignment {
+            net_align: vec![0; nl.net_count()],
+            gate_align: vec![1; nl.gate_count()],
+        };
+        alignment.net_align[a] = 1; // A's minlevel is 0
+        let levels = levelize(&nl).unwrap();
+        assert!(alignment.validate(&nl, &levels).is_err());
+    }
+
+    #[test]
+    fn validate_requires_strictness_for_left_shifts() {
+        let (nl, a, bn, c, not_gate, and_gate) = fig11();
+        // Force a left shift at the AND's B input: align(B) = 1 with
+        // align(AND) = 1 gives s = 1 - 0 = +1; B's minlevel is 1, so
+        // align == minlevel must be rejected.
+        let mut net_align = vec![0i32; nl.net_count()];
+        net_align[a] = 0;
+        net_align[bn] = 1;
+        net_align[c] = 1;
+        let mut gate_align = vec![0i32; nl.gate_count()];
+        gate_align[not_gate.index()] = 1;
+        gate_align[and_gate.index()] = 1;
+        let alignment = Alignment {
+            net_align,
+            gate_align,
+        };
+        let levels = levelize(&nl).unwrap();
+        assert!(alignment.validate(&nl, &levels).is_err());
+    }
+
+    #[test]
+    fn lower_all_preserves_shifts_and_grows_widths() {
+        let (nl, a, _, c, _, and_gate) = fig11();
+        let levels = levelize(&nl).unwrap();
+        let mut alignment = Alignment {
+            net_align: vec![0, 0, 1],
+            gate_align: vec![0, 1],
+        };
+        let before = alignment.input_shift(and_gate, a);
+        let width_before = alignment.width(&levels, c);
+        alignment.lower_all(2);
+        assert_eq!(alignment.input_shift(and_gate, a), before);
+        assert_eq!(alignment.width(&levels, c), width_before + 2);
+    }
+
+    #[test]
+    fn shift_kind_classification() {
+        assert_eq!(ShiftKind::from_amount(0), ShiftKind::None);
+        assert_eq!(ShiftKind::from_amount(3), ShiftKind::Left(3));
+        assert_eq!(ShiftKind::from_amount(-2), ShiftKind::Right(2));
+    }
+
+    #[test]
+    fn repeated_pins_count_one_shift() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let x = b.gate(GateKind::Not, &[a], "x").unwrap();
+        let y = b.gate(GateKind::Xor, &[x, x], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let xg = nl.driver(x).unwrap();
+        let yg = nl.driver(y).unwrap();
+        // Shift-free baseline is align = level (a=0, x=1, y=2; gates 1, 2);
+        // push y's gate one step later so x needs one right shift there.
+        let mut net_align = vec![0i32; nl.net_count()];
+        net_align[x] = 1;
+        net_align[y] = 3;
+        let mut gate_align = vec![0i32; nl.gate_count()];
+        gate_align[xg.index()] = 1;
+        gate_align[yg.index()] = 3;
+        let alignment = Alignment {
+            net_align,
+            gate_align,
+        };
+        // x appears on both XOR pins but contributes a single shift.
+        assert_eq!(alignment.input_shift(yg, x), -1);
+        assert_eq!(alignment.retained_shifts(&nl), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Bit-field layout: one field per net, one bit per time unit, packed
+//! into 32-bit words exactly as the paper's implementation does.
+
+/// Bits per machine word. The paper's implementation and its tables
+/// (1/2/4 words per field) are in terms of 32-bit words, so the arena
+/// word type is `u32`.
+pub const WORD_BITS: u32 = 32;
+
+/// Placement of one net's bit-field inside the word arena.
+///
+/// Bit `i` of the field (bit `i % 32` of word `base + i / 32`)
+/// represents the net's value at time `align + i`. In the unoptimized
+/// technique `align` is 0 for every net; shift elimination assigns
+/// differing (possibly negative) alignments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FieldLayout {
+    /// First word of the field in the arena.
+    pub base: u32,
+    /// Field width in bits (time points covered).
+    pub width: u32,
+    /// Words allocated (`ceil(width / 32)`).
+    pub words: u32,
+    /// Time represented by bit 0.
+    pub align: i32,
+}
+
+impl FieldLayout {
+    /// Creates a layout; `words` is derived from `width`.
+    pub fn new(base: u32, width: u32, align: i32) -> Self {
+        FieldLayout {
+            base,
+            width,
+            words: width.div_ceil(WORD_BITS),
+            align,
+        }
+    }
+
+    /// The bit index holding the value at `time`, or `None` if the field
+    /// does not cover that time.
+    pub fn bit_of_time(&self, time: i64) -> Option<u32> {
+        let offset = time - i64::from(self.align);
+        if offset < 0 || offset >= i64::from(self.width) {
+            None
+        } else {
+            Some(offset as u32)
+        }
+    }
+
+    /// Reads the bit for `time` from the arena, replicating the top bit
+    /// for times beyond the field (a net never changes after its level)
+    /// and the bottom bit for earlier times (it cannot have changed yet).
+    pub fn read_time(&self, arena: &[u32], time: i64) -> bool {
+        let offset = (time - i64::from(self.align)).clamp(0, i64::from(self.width) - 1) as u32;
+        self.read_bit(arena, offset)
+    }
+
+    /// Reads field bit `bit` (must be `< width`... clamped to the top
+    /// word's valid range by construction).
+    pub fn read_bit(&self, arena: &[u32], bit: u32) -> bool {
+        debug_assert!(bit < self.width);
+        let word = arena[(self.base + bit / WORD_BITS) as usize];
+        word >> (bit % WORD_BITS) & 1 != 0
+    }
+
+    /// Writes field bit `bit`.
+    pub fn write_bit(&self, arena: &mut [u32], bit: u32, value: bool) {
+        debug_assert!(bit < self.width);
+        let word = &mut arena[(self.base + bit / WORD_BITS) as usize];
+        let mask = 1u32 << (bit % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// The bit index of the final (settled) value: the value at the
+    /// net's level, which is the highest time the field represents
+    /// meaningfully (`width - 1`).
+    pub fn final_bit(&self) -> u32 {
+        self.width - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_up() {
+        assert_eq!(FieldLayout::new(0, 1, 0).words, 1);
+        assert_eq!(FieldLayout::new(0, 32, 0).words, 1);
+        assert_eq!(FieldLayout::new(0, 33, 0).words, 2);
+        assert_eq!(FieldLayout::new(0, 125, 0).words, 4);
+    }
+
+    #[test]
+    fn bit_of_time_respects_alignment() {
+        let f = FieldLayout::new(0, 4, -1);
+        assert_eq!(f.bit_of_time(-1), Some(0));
+        assert_eq!(f.bit_of_time(0), Some(1));
+        assert_eq!(f.bit_of_time(2), Some(3));
+        assert_eq!(f.bit_of_time(3), None);
+        assert_eq!(f.bit_of_time(-2), None);
+    }
+
+    #[test]
+    fn read_write_bits_across_words() {
+        let f = FieldLayout::new(1, 40, 0);
+        let mut arena = vec![0u32; 3];
+        f.write_bit(&mut arena, 0, true);
+        f.write_bit(&mut arena, 35, true);
+        assert!(f.read_bit(&arena, 0));
+        assert!(f.read_bit(&arena, 35));
+        assert!(!f.read_bit(&arena, 34));
+        assert_eq!(arena[0], 0, "field starts at word 1");
+        assert_eq!(arena[1], 1);
+        assert_eq!(arena[2], 1 << 3);
+        f.write_bit(&mut arena, 35, false);
+        assert!(!f.read_bit(&arena, 35));
+    }
+
+    #[test]
+    fn read_time_replicates_at_the_edges() {
+        let f = FieldLayout::new(0, 3, 1); // times 1..=3
+        let mut arena = vec![0u32; 1];
+        f.write_bit(&mut arena, 0, true); // time 1 = 1
+        f.write_bit(&mut arena, 2, false); // time 3 = 0 (already)
+        assert!(f.read_time(&arena, 0), "below field: bottom bit");
+        assert!(f.read_time(&arena, 1));
+        assert!(!f.read_time(&arena, 3));
+        assert!(!f.read_time(&arena, 99), "beyond field: top bit");
+    }
+
+    #[test]
+    fn final_bit_is_top_of_width() {
+        assert_eq!(FieldLayout::new(0, 19, 0).final_bit(), 18);
+    }
+}

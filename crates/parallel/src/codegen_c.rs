@@ -1,0 +1,305 @@
+//! C code emission for the parallel technique — the output format of the
+//! paper's Figs. 6, 8, and 18.
+//!
+//! The emitted translation unit declares one `unsigned` word per field
+//! word plus the scratch words, and a `simulate_one_vector` function
+//! whose statements correspond one-to-one to the compiled word ops, so
+//! its line count tracks the generated-code-size comparison between the
+//! techniques.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use uds_netlist::{GateKind, Netlist};
+
+use crate::program::WOp;
+use crate::ParallelSimulator;
+
+/// Emits the compiled program as a C translation unit.
+///
+/// `simulator` must have been compiled from `netlist` (they are matched
+/// by net count only; compiling from a different netlist of equal size
+/// produces misleading names).
+///
+/// # Panics
+///
+/// Panics if the arena implied by `simulator` is smaller than the
+/// netlist requires.
+pub fn emit(netlist: &Netlist, simulator: &ParallelSimulator) -> String {
+    let program = simulator.program();
+    // Name every arena word: field words get net-derived names,
+    // scratch words get t<k>. Sanitized stems are deduplicated (and the
+    // aliases themselves reserved), so no two nets share a C variable.
+    let mut names: Vec<String> = (0..program.arena_words).map(|w| format!("t{w}")).collect();
+    let mut used: HashMap<String, usize> = HashMap::new();
+    // Reserve the generic scratch names so a net literally named `t5`
+    // dedups instead of aliasing scratch word 5.
+    for name in &names {
+        used.insert(name.clone(), 0);
+    }
+    for net in netlist.net_ids() {
+        let layout = simulator.field_layout(net);
+        let mut stem = sanitize(netlist.net_name(net));
+        match used.entry(stem.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                *entry.get_mut() += 1;
+                stem = format!("{stem}_d{}", entry.get());
+                used.insert(stem.clone(), 0);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(0);
+            }
+        }
+        for w in 0..layout.words {
+            names[(layout.base + w) as usize] = if layout.words == 1 {
+                stem.clone()
+            } else {
+                format!("{stem}_w{w}")
+            };
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* parallel-technique unit-delay simulation of `{}` ({}) */",
+        netlist.name(),
+        simulator.optimization()
+    );
+    let _ = writeln!(out, "#include <stdint.h>");
+    let _ = writeln!(out, "typedef uint32_t word;");
+    // Initializers reproduce the simulator's consistent power-up state
+    // (every field filled with the value the circuit settles to under
+    // all-zero inputs), so the first vector's retained bits are right.
+    let initial = simulator.initial_arena();
+    for (slot, name) in names.iter().enumerate() {
+        let value = if initial[slot] != 0 { "~(word)0" } else { "0" };
+        let _ = writeln!(out, "static word {name} = {value};");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "void simulate_one_vector(const word *pi)\n{{");
+
+    for op in &program.ops {
+        match *op {
+            WOp::Eval {
+                kind,
+                dst,
+                first_operand,
+                operand_count,
+            } => {
+                let operands: Vec<&str> = (first_operand..first_operand + u32::from(operand_count))
+                    .map(|i| names[program.operands[i as usize] as usize].as_str())
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "    {} = {};",
+                    names[dst as usize],
+                    gate_expression(kind, &operands)
+                );
+            }
+            WOp::MergeShl1Low { dst, src } => {
+                let _ = writeln!(
+                    out,
+                    "    {} |= {} << 1;",
+                    names[dst as usize], names[src as usize]
+                );
+            }
+            WOp::MergeShl1 { dst, src, carry } => {
+                let _ = writeln!(
+                    out,
+                    "    {} |= ({} << 1) | ({} >> 31);",
+                    names[dst as usize], names[src as usize], names[carry as usize]
+                );
+            }
+            WOp::BroadcastBit { dst, src, bit } => {
+                let _ = writeln!(
+                    out,
+                    "    {} = (word)0 - ({} >> {bit} & 1);",
+                    names[dst as usize], names[src as usize]
+                );
+            }
+            WOp::ExtractBit { dst, src, bit } => {
+                let _ = writeln!(
+                    out,
+                    "    {} = {} >> {bit} & 1;",
+                    names[dst as usize], names[src as usize]
+                );
+            }
+            WOp::Zero { dst } => {
+                let _ = writeln!(out, "    {} = 0;", names[dst as usize]);
+            }
+            WOp::InputBroadcast { dst, words, index } => {
+                for w in 0..u32::from(words) {
+                    let _ = writeln!(
+                        out,
+                        "    {} = (word)0 - pi[{index}];",
+                        names[(dst + w) as usize]
+                    );
+                }
+            }
+            WOp::InputAligned {
+                dst,
+                words,
+                neg_bits,
+                index,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    /* input {index}: {neg_bits} previous-value bit(s) */"
+                );
+                let _ = writeln!(
+                    out,
+                    "    load_aligned_input(&{}, {words}, {neg_bits}, pi[{index}]);",
+                    names[dst as usize]
+                );
+            }
+            WOp::ShiftField {
+                dst,
+                dst_words,
+                src,
+                src_width,
+                shift,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    shift_field(&{}, {dst_words}, &{}, {src_width}, {shift});",
+                    names[dst as usize], names[src as usize]
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Number of lines [`emit`] produces.
+pub fn line_count(netlist: &Netlist, simulator: &ParallelSimulator) -> usize {
+    emit(netlist, simulator).lines().count()
+}
+
+fn gate_expression(kind: GateKind, operands: &[&str]) -> String {
+    let join = |sep: &str| operands.join(sep);
+    match kind {
+        GateKind::And => join(" & "),
+        GateKind::Nand => format!("~({})", join(" & ")),
+        GateKind::Or => join(" | "),
+        GateKind::Nor => format!("~({})", join(" | ")),
+        GateKind::Xor => join(" ^ "),
+        GateKind::Xnor => format!("~({})", join(" ^ ")),
+        GateKind::Not => format!("~{}", operands[0]),
+        GateKind::Buf => operands[0].to_owned(),
+        GateKind::Const0 => "(word)0".to_owned(),
+        GateKind::Const1 => "~(word)0".to_owned(),
+        GateKind::Dff => unreachable!("sequential gates are rejected at compile time"),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    if name.starts_with(|c: char| c.is_ascii_digit()) {
+        out.push('s');
+    }
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('s');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Optimization;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    fn fig6() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.input("B");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, bn], "D").unwrap();
+        let e = b.gate(GateKind::And, &[d, c], "E").unwrap();
+        b.output(e);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn unoptimized_code_has_fig6_shape() {
+        let nl = fig6();
+        let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let code = emit(&nl, &sim);
+        // Fig. 6: initialization moves the final value into bit 0; each
+        // gate is an AND followed by a shift-merge.
+        assert!(
+            code.contains("D = D >> 2 & 1;"),
+            "expected extract-bit init:\n{code}"
+        );
+        assert!(code.contains("|="), "expected shift-merge:\n{code}");
+        assert!(code.contains("A & B"), "{code}");
+    }
+
+    #[test]
+    fn shift_eliminated_code_has_fig10_shape() {
+        let nl = fig6();
+        let sim = ParallelSimulator::compile(&nl, Optimization::PathTracing).unwrap();
+        let code = emit(&nl, &sim);
+        // Fig. 10: no shifts at all, plain assignments.
+        assert!(!code.contains("<< 1"), "{code}");
+        assert!(!code.contains("shift_field"), "{code}");
+        assert!(code.contains("D = A & B;"), "{code}");
+        assert!(code.contains("E = D & C;"), "{code}");
+    }
+
+    #[test]
+    fn dedup_chain_cannot_alias_nets() {
+        // n.1 and n_1 sanitize identically; a third net literally named
+        // n_1_d1 must not collide with the generated alias either.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("n.1");
+        let c = b.input("n_1");
+        let d = b.input("n_1_d1");
+        let y = b.gate(GateKind::And, &[a, c, d], "t0").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let code = emit(&nl, &sim);
+        let decls: Vec<&str> = code
+            .lines()
+            .filter(|l| l.starts_with("static word "))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for decl in &decls {
+            assert!(seen.insert(*decl), "duplicate declaration {decl}:\n{code}");
+        }
+        // The net named like a scratch word got deduplicated too.
+        assert!(code.contains("t0_d1"), "{code}");
+    }
+
+    #[test]
+    fn declarations_carry_settled_initializers() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let y = b.gate(GateKind::Not, &[a], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let code = emit(&nl, &sim);
+        // y settles to 1 under all-zero inputs: its field initializes to
+        // all-ones so the first vector's retained bit 0 is correct.
+        assert!(code.contains("static word y = ~(word)0;"), "{code}");
+        assert!(code.contains("static word a = 0;"), "{code}");
+    }
+
+    #[test]
+    fn shift_statements_track_retained_shifts() {
+        let nl = fig6();
+        let unopt = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let aligned = ParallelSimulator::compile(&nl, Optimization::PathTracing).unwrap();
+        let shifts = |sim: &ParallelSimulator| emit(&nl, sim).matches("<< 1").count();
+        assert_eq!(shifts(&unopt), nl.gate_count());
+        assert_eq!(shifts(&aligned), 0);
+        assert!(line_count(&nl, &unopt) > 0);
+    }
+}

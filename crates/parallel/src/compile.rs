@@ -1,0 +1,203 @@
+//! The unoptimized parallel-technique compiler (§3), with optional
+//! bit-field trimming (§4, Fig. 9).
+//!
+//! Every net gets an identically shaped field: `n = depth + 1` bits at
+//! alignment 0, rounded up to whole 32-bit words. Per input vector the
+//! generated code
+//!
+//! 1. re-initializes each field: primary inputs broadcast their new bit
+//!    through every word; other nets move their final value into bit 0
+//!    and clear the rest;
+//! 2. simulates each gate in levelized order: one bit-parallel
+//!    evaluation per word into a scratch field, then the one-bit
+//!    shift-merge of Fig. 6/8 into the output field.
+//!
+//! With trimming enabled, low-constant and gap words are replaced by
+//! single broadcasts and their evaluations/shift parts disappear.
+
+use uds_netlist::{levelize, LevelizeError, Netlist};
+use uds_pcset::PcSets;
+
+use crate::bitfield::{FieldLayout, WORD_BITS};
+use crate::program::{Program, WOp};
+use crate::trimming::{classify, WordClass};
+
+/// Output of the unoptimized compiler.
+pub(crate) struct Compiled {
+    pub program: Program,
+    pub layouts: Vec<FieldLayout>,
+    pub depth: u32,
+    /// Words of gate simulation skipped by trimming (0 when disabled).
+    pub trimmed_words: usize,
+}
+
+pub(crate) fn compile(netlist: &Netlist, trim: bool) -> Result<Compiled, LevelizeError> {
+    let levels = levelize(netlist)?;
+    let n = levels.depth + 1;
+    let words = n.div_ceil(WORD_BITS);
+
+    // Field layout: one uniform field per net, then one scratch field.
+    let layouts: Vec<FieldLayout> = netlist
+        .net_ids()
+        .map(|net| FieldLayout::new(net.index() as u32 * words, n, 0))
+        .collect();
+    let scratch = netlist.net_count() as u32 * words;
+    let arena_words = (scratch + words) as usize;
+
+    let pcsets = if trim {
+        Some(PcSets::compute(netlist)?)
+    } else {
+        None
+    };
+    let word_classes: Vec<Vec<WordClass>> = match &pcsets {
+        Some(sets) => netlist
+            .net_ids()
+            .map(|net| {
+                let times = sets.net[net].times();
+                classify(&layouts[net], times, times[0])
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let class_of = |net: uds_netlist::NetId, w: u32| -> WordClass {
+        match &pcsets {
+            Some(_) => word_classes[net][w as usize],
+            None => WordClass::Active,
+        }
+    };
+
+    let mut ops = Vec::new();
+    let mut operands = Vec::new();
+    let mut trimmed_words = 0usize;
+
+    // --- Per-vector initialization -------------------------------------
+    let final_bit = n - 1;
+    let final_word_offset = final_bit / WORD_BITS;
+    let final_bit_in_word = (final_bit % WORD_BITS) as u8;
+
+    let narrow = |value: usize, what: &str| -> u16 {
+        u16::try_from(value).unwrap_or_else(|_| panic!("{what} ({value}) exceeds u16"))
+    };
+    for (index, &pi) in netlist.primary_inputs().iter().enumerate() {
+        ops.push(WOp::InputBroadcast {
+            dst: layouts[pi].base,
+            words: narrow(words as usize, "words per field"),
+            index: narrow(index, "primary input index"),
+        });
+    }
+    for net in netlist.net_ids() {
+        if netlist.driver(net).is_none() {
+            continue; // primary inputs handled above; dangling sources stay 0
+        }
+        let base = layouts[net].base;
+        let final_src = base + final_word_offset;
+        // Reads of the final bit (extract + low-constant broadcasts)
+        // must precede the zeroing of upper words.
+        match class_of(net, 0) {
+            WordClass::LowConstant => {
+                // Broadcast the previous final value through every
+                // low-constant word (the minlevel is >= 32).
+                for w in 0..words {
+                    if class_of(net, w) == WordClass::LowConstant {
+                        ops.push(WOp::BroadcastBit {
+                            dst: base + w,
+                            src: final_src,
+                            bit: final_bit_in_word,
+                        });
+                    }
+                }
+            }
+            WordClass::Active => {
+                ops.push(WOp::ExtractBit {
+                    dst: base,
+                    src: final_src,
+                    bit: final_bit_in_word,
+                });
+            }
+            WordClass::Gap => unreachable!("word 0 is low-constant or contains the minlevel"),
+        }
+        for w in 1..words {
+            if class_of(net, w) == WordClass::Active {
+                ops.push(WOp::Zero { dst: base + w });
+            }
+        }
+    }
+
+    // --- Gate simulations, levelized order ------------------------------
+    for &gid in &levels.topo_gates {
+        let gate = netlist.gate(gid);
+        let out = gate.output;
+        let out_base = layouts[out].base;
+
+        // Which scratch (intermediate) words are needed: an active word
+        // consumes scratch[w] and scratch[w-1] (shift carry).
+        let mut scratch_needed = vec![false; words as usize];
+        let mut any_active = false;
+        for w in 0..words {
+            if class_of(out, w) == WordClass::Active {
+                any_active = true;
+                scratch_needed[w as usize] = true;
+                if w > 0 {
+                    scratch_needed[w as usize - 1] = true;
+                }
+            } else {
+                trimmed_words += 1;
+            }
+        }
+        debug_assert!(any_active, "every net's level word is active");
+
+        for w in 0..words {
+            if !scratch_needed[w as usize] {
+                continue;
+            }
+            let first_operand = u32::try_from(operands.len()).expect("operand pool fits u32");
+            for &input in &gate.inputs {
+                operands.push(layouts[input].base + w);
+            }
+            ops.push(WOp::Eval {
+                kind: gate.kind,
+                dst: scratch + w,
+                first_operand,
+                operand_count: narrow(gate.inputs.len(), "gate fan-in"),
+            });
+        }
+        for w in 0..words {
+            match class_of(out, w) {
+                WordClass::Active => {
+                    if w == 0 {
+                        ops.push(WOp::MergeShl1Low {
+                            dst: out_base,
+                            src: scratch,
+                        });
+                    } else {
+                        ops.push(WOp::MergeShl1 {
+                            dst: out_base + w,
+                            src: scratch + w,
+                            carry: scratch + w - 1,
+                        });
+                    }
+                }
+                WordClass::Gap => {
+                    ops.push(WOp::BroadcastBit {
+                        dst: out_base + w,
+                        src: out_base + w - 1,
+                        bit: (WORD_BITS - 1) as u8,
+                    });
+                }
+                WordClass::LowConstant => {} // initialization covered it
+            }
+        }
+    }
+
+    Ok(Compiled {
+        program: Program {
+            ops,
+            operands,
+            arena_words,
+            input_count: netlist.primary_inputs().len(),
+        },
+        layouts,
+        depth: levels.depth,
+        trimmed_words,
+    })
+}

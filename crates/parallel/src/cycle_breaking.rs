@@ -1,0 +1,249 @@
+//! The cycle-breaking shift-elimination algorithm (§4, Figs. 15–16).
+//!
+//! A depth-first search over the undirected network graph removes every
+//! back edge, leaving a spanning forest. A second DFS assigns
+//! alignments along the forest edges: nets and the gates driving them
+//! share an alignment; a gate's inputs sit one time unit earlier. Each
+//! removed edge is where a (possibly multi-bit, left or right) shift may
+//! be retained.
+//!
+//! A final pass lowers all alignments by a constant so that every vertex
+//! satisfies the strict `align < minlevel` condition, making left shifts
+//! safe (their shifted-in bits must be previous-vector values). This
+//! lowering is the paper's "second pass ... to (possibly) reduce all
+//! alignments by a constant amount", and it is one of the reasons the
+//! algorithm "tends to greatly expand the size of the bit-fields" — the
+//! expansion that Fig. 23 shows erasing the benefit of the eliminated
+//! shifts.
+
+use uds_netlist::{levelize, LevelizeError, Netlist};
+
+use crate::undirected::{PinRole, UndirectedGraph, Vertex};
+use crate::Alignment;
+
+/// Result of the cycle-breaking algorithm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CycleBreaking {
+    /// The alignment to compile with.
+    pub alignment: Alignment,
+    /// Indices (into [`UndirectedGraph::edges`]) of the removed edges.
+    pub removed_edges: Vec<usize>,
+    /// The constant subtracted by the strictness pass.
+    pub lowered_by: i32,
+}
+
+/// Runs cycle breaking and returns alignments plus diagnostics.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] for cyclic or sequential netlists.
+///
+/// # Example
+///
+/// ```
+/// use uds_netlist::{NetlistBuilder, GateKind};
+/// use uds_parallel::cycle_breaking;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new();
+/// let a = b.input("A");
+/// let bn = b.gate(GateKind::Not, &[a], "B")?;
+/// let c = b.gate(GateKind::And, &[a, bn], "C")?;
+/// b.output(c);
+/// let nl = b.finish()?;
+/// let result = cycle_breaking::align(&nl)?;
+/// // Fig. 13's single weight-1 cycle: one removed edge, one shift.
+/// assert_eq!(result.removed_edges.len(), 1);
+/// assert_eq!(result.alignment.retained_shifts(&nl), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn align(netlist: &Netlist) -> Result<CycleBreaking, LevelizeError> {
+    let levels = levelize(netlist)?;
+    let graph = UndirectedGraph::new(netlist);
+    let removed_edges = graph.break_cycles();
+
+    const UNASSIGNED: i32 = i32::MAX / 2;
+    let mut alignment = Alignment {
+        net_align: vec![UNASSIGNED; netlist.net_count()],
+        gate_align: vec![UNASSIGNED; netlist.gate_count()],
+    };
+
+    // Second DFS: assign alignments along retained (forest) edges.
+    // Roots: primary outputs first (the paper starts at an arbitrary
+    // primary output), then any still-unvisited net, each aligned to its
+    // own minlevel.
+    let roots = netlist
+        .primary_outputs()
+        .iter()
+        .copied()
+        .chain(netlist.net_ids());
+    for root in roots {
+        if alignment.net_align[root] != UNASSIGNED {
+            continue;
+        }
+        let mut stack = vec![(Vertex::Net(root), levels.net_minlevel[root] as i32)];
+        while let Some((vertex, value)) = stack.pop() {
+            match vertex {
+                Vertex::Net(net) => {
+                    if alignment.net_align[net] != UNASSIGNED {
+                        continue;
+                    }
+                    alignment.net_align[net] = value;
+                    for &edge in graph.incident(vertex) {
+                        if removed_edges.contains(&edge) {
+                            continue;
+                        }
+                        let e = graph.edges[edge];
+                        let gate_value = match e.role {
+                            PinRole::Output => value,
+                            PinRole::Input => value + 1,
+                        };
+                        stack.push((Vertex::Gate(e.gate), gate_value));
+                    }
+                }
+                Vertex::Gate(gate) => {
+                    if alignment.gate_align[gate.index()] != UNASSIGNED {
+                        continue;
+                    }
+                    alignment.gate_align[gate.index()] = value;
+                    for &edge in graph.incident(vertex) {
+                        if removed_edges.contains(&edge) {
+                            continue;
+                        }
+                        let e = graph.edges[edge];
+                        let net_value = match e.role {
+                            PinRole::Output => value,
+                            PinRole::Input => value - 1,
+                        };
+                        stack.push((Vertex::Net(e.net), net_value));
+                    }
+                }
+            }
+        }
+    }
+    // Gates in components with no net vertex cannot exist (every gate
+    // has an output net), so everything is assigned now. Still, guard:
+    for gid in netlist.gate_ids() {
+        if alignment.gate_align[gid.index()] == UNASSIGNED {
+            alignment.gate_align[gid.index()] = alignment.net_align[netlist.gate(gid).output];
+        }
+    }
+
+    // Strictness pass: lower everything so align < minlevel everywhere
+    // (left shifts read previous-vector bits below the minlevel).
+    let mut delta = 0i32;
+    for net in netlist.net_ids() {
+        delta = delta.max(alignment.net_align[net] - (levels.net_minlevel[net] as i32 - 1));
+    }
+    for gid in netlist.gate_ids() {
+        delta = delta.max(
+            alignment.gate_align[gid.index()] - (levels.gate_minlevel[gid.index()] as i32 - 1),
+        );
+    }
+    if delta > 0 {
+        alignment.lower_all(delta);
+    }
+
+    debug_assert!(
+        alignment.validate(netlist, &levels).is_ok(),
+        "{:?}",
+        alignment.validate(netlist, &levels)
+    );
+    Ok(CycleBreaking {
+        alignment,
+        removed_edges,
+        lowered_by: delta.max(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::generators::iscas::Iscas85;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn tree_network_needs_no_shifts() {
+        let nl = uds_netlist::generators::trees::reduction_tree(GateKind::Xor, 8).unwrap();
+        let result = align(&nl).unwrap();
+        assert!(result.removed_edges.is_empty());
+        assert_eq!(result.alignment.retained_shifts(&nl), 0);
+    }
+
+    #[test]
+    fn fig11_retains_one_shift() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.gate(GateKind::Not, &[a], "B").unwrap();
+        let c = b.gate(GateKind::And, &[a, bn], "C").unwrap();
+        b.output(c);
+        let nl = b.finish().unwrap();
+        let result = align(&nl).unwrap();
+        assert_eq!(result.removed_edges.len(), 1);
+        assert_eq!(result.alignment.retained_shifts(&nl), 1);
+    }
+
+    #[test]
+    fn zero_weight_cycle_breaks_without_shift() {
+        // Two gates sharing both inputs: the removed edge re-joins two
+        // vertices whose alignments already agree — no shift retained.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.gate(GateKind::And, &[a, c], "x").unwrap();
+        let y = b.gate(GateKind::Or, &[a, c], "y").unwrap();
+        b.output(x);
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let result = align(&nl).unwrap();
+        assert_eq!(result.removed_edges.len(), 1);
+        assert_eq!(result.alignment.retained_shifts(&nl), 0);
+    }
+
+    #[test]
+    fn alignments_validate_on_the_suite() {
+        for circuit in [Iscas85::C432, Iscas85::C499, Iscas85::C880] {
+            let nl = circuit.build();
+            let levels = uds_netlist::levelize(&nl).unwrap();
+            let result = align(&nl).unwrap();
+            result.alignment.validate(&nl, &levels).unwrap();
+        }
+    }
+
+    #[test]
+    fn expands_bit_fields_beyond_path_tracing() {
+        // The paper's Fig. 22 point: cycle breaking expands bit-fields,
+        // path tracing never does.
+        for circuit in [Iscas85::C432, Iscas85::C880] {
+            let nl = circuit.build();
+            let levels = uds_netlist::levelize(&nl).unwrap();
+            let cb = align(&nl).unwrap().alignment.stats(&nl, &levels);
+            let pt = crate::path_tracing::align(&nl)
+                .unwrap()
+                .stats(&nl, &levels);
+            assert!(
+                cb.max_width_bits > pt.max_width_bits,
+                "{circuit}: cycle-breaking width {} !> path-tracing {}",
+                cb.max_width_bits,
+                pt.max_width_bits
+            );
+        }
+    }
+
+    #[test]
+    fn removed_edge_count_is_cyclomatic() {
+        // F = E - V + C on a connected example: Fig. 11 has E=5, V=5,
+        // C=1 -> F=1; checked again here on a reconvergent diamond.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let x = b.gate(GateKind::Not, &[a], "x").unwrap();
+        let y = b.gate(GateKind::Buf, &[a], "y").unwrap();
+        let z = b.gate(GateKind::And, &[x, y], "z").unwrap();
+        b.output(z);
+        let nl = b.finish().unwrap();
+        // V = 4 nets + 3 gates = 7; E = 2+2+3 = 7; C = 1 -> F = 1.
+        let result = align(&nl).unwrap();
+        assert_eq!(result.removed_edges.len(), 1);
+    }
+}

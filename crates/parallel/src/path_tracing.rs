@@ -1,0 +1,214 @@
+//! The path-tracing shift-elimination algorithm (§4, Fig. 17).
+//!
+//! Alignments propagate *up* the network from the primary outputs:
+//! each primary output starts at its minimum PC-set value (its
+//! minlevel); a net forces its driving gate to its own alignment; a gate
+//! forces each input to its alignment minus one; an assignment only ever
+//! *lowers* an alignment, and lowered vertices are re-traced.
+//!
+//! Because alignments are only ever forced **up** the network, the
+//! bit-field can never expand (the paper's width argument), only right
+//! shifts are generated, and fanout-free regions simulate without any
+//! shifts at all.
+
+use uds_netlist::{levelize, LevelizeError, Netlist};
+
+use crate::Alignment;
+
+/// Runs path tracing and returns the resulting alignment.
+///
+/// Nets outside every primary-output cone (dead logic) are seeded with
+/// their own minlevel, which keeps the width bound intact.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] for cyclic or sequential netlists.
+///
+/// # Example
+///
+/// The paper's Fig. 11 network retains exactly one shift:
+///
+/// ```
+/// use uds_netlist::{NetlistBuilder, GateKind};
+/// use uds_parallel::path_tracing;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new();
+/// let a = b.input("A");
+/// let bn = b.gate(GateKind::Not, &[a], "B")?;
+/// let c = b.gate(GateKind::And, &[a, bn], "C")?;
+/// b.output(c);
+/// let nl = b.finish()?;
+/// let alignment = path_tracing::align(&nl)?;
+/// assert_eq!(alignment.retained_shifts(&nl), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn align(netlist: &Netlist) -> Result<Alignment, LevelizeError> {
+    let levels = levelize(netlist)?;
+    const UNASSIGNED: i32 = i32::MAX / 2;
+
+    let mut alignment = Alignment {
+        net_align: vec![UNASSIGNED; netlist.net_count()],
+        gate_align: vec![UNASSIGNED; netlist.gate_count()],
+    };
+
+    // The recursive net_align/gate_align of Fig. 17, iteratively.
+    #[derive(Clone, Copy)]
+    enum Visit {
+        Net(uds_netlist::NetId, i32),
+        Gate(uds_netlist::GateId, i32),
+    }
+    let mut stack: Vec<Visit> = Vec::new();
+
+    let trace = |alignment: &mut Alignment, stack: &mut Vec<Visit>| {
+        while let Some(visit) = stack.pop() {
+            match visit {
+                Visit::Net(net, new_alignment) => {
+                    if new_alignment < alignment.net_align[net] {
+                        alignment.net_align[net] = new_alignment;
+                        if let Some(driver) = netlist.driver(net) {
+                            stack.push(Visit::Gate(driver, new_alignment));
+                        }
+                    }
+                }
+                Visit::Gate(gate, new_alignment) => {
+                    if new_alignment < alignment.gate_align[gate.index()] {
+                        alignment.gate_align[gate.index()] = new_alignment;
+                        for &input in &netlist.gate(gate).inputs {
+                            stack.push(Visit::Net(input, new_alignment - 1));
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    for &po in netlist.primary_outputs() {
+        stack.push(Visit::Net(po, levels.net_minlevel[po] as i32));
+        trace(&mut alignment, &mut stack);
+    }
+
+    // Dead or unmonitored cones: seed each still-unassigned net at its
+    // own minlevel. The same up-forcing invariant (align ≤ minlevel)
+    // holds, so validation and the width bound are preserved.
+    for net in netlist.net_ids() {
+        if alignment.net_align[net] == UNASSIGNED {
+            stack.push(Visit::Net(net, levels.net_minlevel[net] as i32));
+            trace(&mut alignment, &mut stack);
+        }
+    }
+    // Any gate still unassigned drives only already-aligned nets via a
+    // path that never lowered it; align it with its output.
+    for gid in netlist.gate_ids() {
+        if alignment.gate_align[gid.index()] == UNASSIGNED {
+            alignment.gate_align[gid.index()] = alignment.net_align[netlist.gate(gid).output];
+        }
+    }
+
+    debug_assert!(alignment.validate(netlist, &levels).is_ok());
+    Ok(alignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitfield::WORD_BITS;
+    use uds_netlist::generators::iscas::Iscas85;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn fig10_chain_eliminates_all_shifts() {
+        // D = A & B; E = D & C with E's minlevel 1: alignments E=1,
+        // D/C=0, A/B=-1 — zero retained shifts (the paper's Fig. 10).
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.input("B");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, bn], "D").unwrap();
+        let e = b.gate(GateKind::And, &[d, c], "E").unwrap();
+        b.output(e);
+        let nl = b.finish().unwrap();
+        let alignment = align(&nl).unwrap();
+        assert_eq!(alignment.retained_shifts(&nl), 0);
+        assert_eq!(alignment.net_align[e], 1);
+        assert_eq!(alignment.net_align[d], 0);
+        assert_eq!(alignment.net_align[c], 0);
+        assert_eq!(alignment.net_align[a], -1);
+        assert_eq!(alignment.net_align[bn], -1);
+        // Width shrinks from 3 to 2 as the paper notes.
+        let levels = uds_netlist::levelize(&nl).unwrap();
+        let stats = alignment.stats(&nl, &levels);
+        assert_eq!(stats.max_width_bits, 2);
+    }
+
+    #[test]
+    fn fanout_free_regions_have_no_shifts() {
+        // A balanced XOR tree has no reconvergent fanout: zero shifts.
+        let nl = uds_netlist::generators::trees::reduction_tree(GateKind::Xor, 16).unwrap();
+        let alignment = align(&nl).unwrap();
+        assert_eq!(alignment.retained_shifts(&nl), 0);
+    }
+
+    #[test]
+    fn only_right_shifts_are_generated() {
+        for circuit in [Iscas85::C432, Iscas85::C880, Iscas85::C1908] {
+            let nl = circuit.build();
+            let alignment = align(&nl).unwrap();
+            for gid in nl.gate_ids() {
+                assert_eq!(alignment.output_shift(&nl, gid), 0, "{circuit}");
+                for &input in &nl.gate(gid).inputs {
+                    assert!(
+                        alignment.input_shift(gid, input) <= 0,
+                        "{circuit}: left shift at {gid}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_expands_the_bit_field() {
+        for circuit in [Iscas85::C432, Iscas85::C499, Iscas85::C1908, Iscas85::C2670] {
+            let nl = circuit.build();
+            let levels = uds_netlist::levelize(&nl).unwrap();
+            let alignment = align(&nl).unwrap();
+            let stats = alignment.stats(&nl, &levels);
+            let unoptimized_width = levels.depth + 1;
+            assert!(
+                stats.max_width_bits <= unoptimized_width,
+                "{circuit}: {} > {unoptimized_width}",
+                stats.max_width_bits
+            );
+            assert!(
+                stats.max_width_words <= unoptimized_width.div_ceil(WORD_BITS),
+                "{circuit}"
+            );
+        }
+    }
+
+    #[test]
+    fn retains_fewer_shifts_than_gates() {
+        for circuit in [Iscas85::C432, Iscas85::C880] {
+            let nl = circuit.build();
+            let alignment = align(&nl).unwrap();
+            let retained = alignment.retained_shifts(&nl);
+            assert!(
+                retained < nl.gate_count(),
+                "{circuit}: {retained} >= {}",
+                nl.gate_count()
+            );
+            assert!(retained > 0, "{circuit}: realistic circuits keep some");
+        }
+    }
+
+    #[test]
+    fn alignments_satisfy_validation() {
+        for circuit in Iscas85::ALL {
+            let nl = circuit.build();
+            let levels = uds_netlist::levelize(&nl).unwrap();
+            let alignment = align(&nl).unwrap();
+            alignment.validate(&nl, &levels).unwrap();
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The straight-line word-op program and its executor.
+//!
+//! Compiled parallel-technique simulations lower to a flat list of
+//! fixed-shape operations over a dense `u32` arena. The op inventory
+//! mirrors the statements the paper's code generator emits — per-word
+//! bit-parallel gate evaluations, one-bit shift-merges (Fig. 6/8),
+//! initialization loads, trimming's broadcast fills (Fig. 9), and the
+//! multi-bit input-alignment shifts of the shift-eliminated compiler
+//! (Fig. 18) — so op counts and execution time track generated-code size
+//! and speed the way the paper's tables do.
+
+use uds_netlist::GateKind;
+
+use crate::bitfield::WORD_BITS;
+
+/// One word-level operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum WOp {
+    /// `arena[dst] = kind(arena[operands...])` — one word of a
+    /// bit-parallel gate evaluation.
+    Eval {
+        kind: GateKind,
+        dst: u32,
+        first_operand: u32,
+        operand_count: u16,
+    },
+    /// `arena[dst] |= arena[src] << 1` — low word of a unit-delay
+    /// shift-merge (preserves bit 0, the time-zero value).
+    MergeShl1Low { dst: u32, src: u32 },
+    /// `arena[dst] |= (arena[src] << 1) | (arena[carry] >> 31)` — upper
+    /// word of a multi-word shift-merge (Fig. 8).
+    MergeShl1 { dst: u32, src: u32, carry: u32 },
+    /// `arena[dst] = broadcast(bit of arena[src])` — trimming's fills:
+    /// low-order constant words and gap words (Fig. 9).
+    BroadcastBit { dst: u32, src: u32, bit: u8 },
+    /// `arena[dst] = (arena[src] >> bit) & 1` — unoptimized per-vector
+    /// initialization: the final value moves into the low-order bit.
+    ExtractBit { dst: u32, src: u32, bit: u8 },
+    /// `arena[dst] = 0`.
+    Zero { dst: u32 },
+    /// Broadcast primary input `index` through `words` words at `dst`.
+    InputBroadcast { dst: u32, words: u16, index: u16 },
+    /// Aligned primary-input load: the low `neg_bits` bits (negative
+    /// times) keep the *previous* input value; all remaining bits get
+    /// the new one (§4's negative alignments).
+    InputAligned {
+        dst: u32,
+        words: u16,
+        neg_bits: u16,
+        index: u16,
+    },
+    /// Materialize a shifted presentation of a field (Fig. 18: shifts at
+    /// gate inputs; also output re-alignment under cycle breaking).
+    /// Presented bit `i` is source bit `i - shift`, with bottom/top-bit
+    /// replication outside `0..src_width`.
+    ShiftField {
+        dst: u32,
+        dst_words: u16,
+        src: u32,
+        src_width: u32,
+        shift: i32,
+    },
+}
+
+/// A compiled parallel-technique program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub(crate) struct Program {
+    pub ops: Vec<WOp>,
+    /// Shared operand pool for [`WOp::Eval`].
+    pub operands: Vec<u32>,
+    /// Total arena words (fields + scratch).
+    pub arena_words: usize,
+    pub input_count: usize,
+}
+
+impl Program {
+    /// Executes one input vector.
+    pub fn run(&self, arena: &mut [u32], inputs: &[bool]) {
+        debug_assert_eq!(inputs.len(), self.input_count);
+        debug_assert_eq!(arena.len(), self.arena_words);
+        for op in &self.ops {
+            match *op {
+                WOp::Eval {
+                    kind,
+                    dst,
+                    first_operand,
+                    operand_count,
+                } => {
+                    let operands = &self.operands
+                        [first_operand as usize..(first_operand as usize + operand_count as usize)];
+                    arena[dst as usize] = eval_word(kind, operands, arena);
+                }
+                WOp::MergeShl1Low { dst, src } => {
+                    arena[dst as usize] |= arena[src as usize] << 1;
+                }
+                WOp::MergeShl1 { dst, src, carry } => {
+                    arena[dst as usize] |=
+                        (arena[src as usize] << 1) | (arena[carry as usize] >> (WORD_BITS - 1));
+                }
+                WOp::BroadcastBit { dst, src, bit } => {
+                    let value = arena[src as usize] >> bit & 1;
+                    arena[dst as usize] = value.wrapping_neg();
+                }
+                WOp::ExtractBit { dst, src, bit } => {
+                    arena[dst as usize] = arena[src as usize] >> bit & 1;
+                }
+                WOp::Zero { dst } => arena[dst as usize] = 0,
+                WOp::InputBroadcast { dst, words, index } => {
+                    let fill = (inputs[index as usize] as u32).wrapping_neg();
+                    for w in 0..words {
+                        arena[(dst + u32::from(w)) as usize] = fill;
+                    }
+                }
+                WOp::InputAligned {
+                    dst,
+                    words,
+                    neg_bits,
+                    index,
+                } =>
+
+{
+                    // The previous value currently occupies every
+                    // non-negative-time bit; bit `neg_bits` is time 0.
+                    let prev_word = arena[(dst + u32::from(neg_bits) / WORD_BITS) as usize];
+                    let prev = (prev_word >> (u32::from(neg_bits) % WORD_BITS) & 1).wrapping_neg();
+                    let new = (inputs[index as usize] as u32).wrapping_neg();
+                    for w in 0..u32::from(words) {
+                        let word_low_bit = w * WORD_BITS;
+                        let word = if u32::from(neg_bits) >= word_low_bit + WORD_BITS {
+                            prev
+                        } else if u32::from(neg_bits) <= word_low_bit {
+                            new
+                        } else {
+                            let split = u32::from(neg_bits) - word_low_bit;
+                            let mask = (1u32 << split) - 1;
+                            (prev & mask) | (new & !mask)
+                        };
+                        arena[(dst + w) as usize] = word;
+                    }
+                }
+                WOp::ShiftField {
+                    dst,
+                    dst_words,
+                    src,
+                    src_width,
+                    shift,
+                } => shift_field(arena, dst, dst_words, src, src_width, shift),
+            }
+        }
+    }
+}
+
+fn eval_word(kind: GateKind, operands: &[u32], arena: &[u32]) -> u32 {
+    match kind {
+        GateKind::And => operands.iter().fold(!0u32, |acc, &s| acc & arena[s as usize]),
+        GateKind::Nand => !operands.iter().fold(!0u32, |acc, &s| acc & arena[s as usize]),
+        GateKind::Or => operands.iter().fold(0u32, |acc, &s| acc | arena[s as usize]),
+        GateKind::Nor => !operands.iter().fold(0u32, |acc, &s| acc | arena[s as usize]),
+        GateKind::Xor => operands.iter().fold(0u32, |acc, &s| acc ^ arena[s as usize]),
+        GateKind::Xnor => !operands.iter().fold(0u32, |acc, &s| acc ^ arena[s as usize]),
+        GateKind::Not => !arena[operands[0] as usize],
+        GateKind::Buf => arena[operands[0] as usize],
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+        GateKind::Dff => unreachable!("sequential gates are rejected at compile time"),
+    }
+}
+
+/// Writes a shifted presentation of a field: presented bit `i` is source
+/// bit `i - shift`, bits below 0 replicating bit 0 and bits at or above
+/// `src_width` replicating bit `src_width - 1`. Fill words and the
+/// sanitized top word are computed once per call, so the per-word funnel
+/// is two shifts and an OR — the same cost as the shift statements the
+/// paper's code generator emits.
+#[inline]
+fn shift_field(arena: &mut [u32], dst: u32, dst_words: u16, src: u32, src_width: u32, shift: i32) {
+    debug_assert!(
+        dst + u32::from(dst_words) <= src || src + src_width.div_ceil(WORD_BITS) <= dst,
+        "shift source and destination must not overlap"
+    );
+    let top_bit = src_width - 1;
+    let top_word_index = top_bit / WORD_BITS;
+    let bottom_fill = (arena[src as usize] & 1).wrapping_neg();
+    let raw_top = arena[(src + top_word_index) as usize];
+    let top_fill = (raw_top >> (top_bit % WORD_BITS) & 1).wrapping_neg();
+    let valid = top_bit % WORD_BITS + 1;
+    let sanitized_top = if valid < WORD_BITS {
+        let mask = (1u32 << valid) - 1;
+        (raw_top & mask) | (top_fill & !mask)
+    } else {
+        raw_top
+    };
+
+    let word_at = |arena: &[u32], index: i64| -> u32 {
+        if index < 0 {
+            bottom_fill
+        } else if index as u32 > top_word_index {
+            top_fill
+        } else if index as u32 == top_word_index {
+            sanitized_top
+        } else {
+            arena[(src + index as u32) as usize]
+        }
+    };
+
+    let offset = (-shift).rem_euclid(WORD_BITS as i32) as u32;
+    // start(w) = w*32 - shift = (low_index(w))*32 + offset
+    let base_index = (i64::from(-shift) - i64::from(offset)) / i64::from(WORD_BITS);
+    if offset == 0 {
+        for w in 0..i64::from(dst_words) {
+            let word = word_at(arena, base_index + w);
+            arena[(dst + w as u32) as usize] = word;
+        }
+    } else {
+        for w in 0..i64::from(dst_words) {
+            let lo = word_at(arena, base_index + w);
+            let hi = word_at(arena, base_index + w + 1);
+            arena[(dst + w as u32) as usize] = (lo >> offset) | (hi << (WORD_BITS - offset));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_shl1_carries_across_words() {
+        let program = Program {
+            ops: vec![
+                WOp::MergeShl1Low { dst: 2, src: 0 },
+                WOp::MergeShl1 {
+                    dst: 3,
+                    src: 1,
+                    carry: 0,
+                },
+            ],
+            operands: vec![],
+            arena_words: 4,
+            input_count: 0,
+        };
+        let mut arena = vec![0x8000_0001, 0b0101, 0, 0];
+        program.run(&mut arena, &[]);
+        assert_eq!(arena[2], 0b10);
+        assert_eq!(arena[3], 0b1011, "carry bit 31 became bit 0");
+    }
+
+    #[test]
+    fn broadcast_and_extract() {
+        let program = Program {
+            ops: vec![
+                WOp::ExtractBit {
+                    dst: 1,
+                    src: 0,
+                    bit: 7,
+                },
+                WOp::BroadcastBit {
+                    dst: 2,
+                    src: 0,
+                    bit: 7,
+                },
+            ],
+            operands: vec![],
+            arena_words: 3,
+            input_count: 0,
+        };
+        let mut arena = vec![1 << 7, 0xDEAD, 0xBEEF];
+        program.run(&mut arena, &[]);
+        assert_eq!(arena[1], 1);
+        assert_eq!(arena[2], !0);
+    }
+
+    #[test]
+    fn input_broadcast_fills_words() {
+        let program = Program {
+            ops: vec![WOp::InputBroadcast {
+                dst: 0,
+                words: 2,
+                index: 0,
+            }],
+            operands: vec![],
+            arena_words: 2,
+            input_count: 1,
+        };
+        let mut arena = vec![0, 0];
+        program.run(&mut arena, &[true]);
+        assert_eq!(arena, vec![!0u32, !0]);
+        program.run(&mut arena, &[false]);
+        assert_eq!(arena, vec![0, 0]);
+    }
+
+    #[test]
+    fn input_aligned_keeps_previous_value_in_negative_bits() {
+        // Field of width 3, align -2: bits 0,1 = times -2,-1; bit 2 = time 0.
+        let program = Program {
+            ops: vec![WOp::InputAligned {
+                dst: 0,
+                words: 1,
+                neg_bits: 2,
+                index: 0,
+            }],
+            operands: vec![],
+            arena_words: 1,
+            input_count: 1,
+        };
+        let mut arena = vec![0u32];
+        program.run(&mut arena, &[true]);
+        // prev was 0 (bit 2 of zeroed arena), new is 1.
+        assert_eq!(arena[0] & 0b111, 0b100);
+        program.run(&mut arena, &[false]);
+        // prev is 1 now, new is 0.
+        assert_eq!(arena[0] & 0b111, 0b011);
+    }
+
+    #[test]
+    fn input_aligned_spanning_words() {
+        // 40 negative bits: words 0 fully prev, word 1 split at bit 8.
+        let program = Program {
+            ops: vec![WOp::InputAligned {
+                dst: 0,
+                words: 2,
+                neg_bits: 40,
+                index: 0,
+            }],
+            operands: vec![],
+            arena_words: 2,
+            input_count: 1,
+        };
+        let mut arena = vec![0u32, 0];
+        program.run(&mut arena, &[true]);
+        assert_eq!(arena[0], 0);
+        assert_eq!(arena[1], !0u32 << 8);
+    }
+
+    #[test]
+    fn shift_field_right_replicates_top() {
+        // src field: width 4 (one word), bits = 0b1010 (t0=0,t1=1,t2=0,t3=1).
+        // Right shift by 2 (shift = -2): presented[i] = src[i + 2]:
+        // presented bits: i0=src2=0, i1=src3=1, i2..=replicate src3=1.
+        let program = Program {
+            ops: vec![WOp::ShiftField {
+                dst: 1,
+                dst_words: 1,
+                src: 0,
+                src_width: 4,
+                shift: -2,
+            }],
+            operands: vec![],
+            arena_words: 2,
+            input_count: 0,
+        };
+        let mut arena = vec![0b1010, 0];
+        program.run(&mut arena, &[]);
+        assert_eq!(arena[1], !0u32 << 1 | 0, "i0=0 then all 1s");
+    }
+
+    #[test]
+    fn shift_field_left_replicates_bottom() {
+        // src bits 0b0110 (t0=0): left shift 2: presented[0..2] = src[0] = 0,
+        // presented[2] = src[0] = 0, presented[3] = src[1] = 1, ...
+        let program = Program {
+            ops: vec![WOp::ShiftField {
+                dst: 1,
+                dst_words: 1,
+                src: 0,
+                src_width: 4,
+                shift: 2,
+            }],
+            operands: vec![],
+            arena_words: 2,
+            input_count: 0,
+        };
+        let mut arena = vec![0b0110, 0];
+        program.run(&mut arena, &[]);
+        // presented[i] = src[i-2] clamped: i=0,1 -> src[0]=0; i=2 -> src[0]=0;
+        // i=3 -> src[1]=1; i=4 -> src[2]=1; i=5 -> src[3]=0; i>=6 -> src[3]=0.
+        assert_eq!(arena[1] & 0x3F, 0b011000);
+    }
+
+    #[test]
+    fn shift_field_across_words() {
+        // 40-bit field over two words; right shift by 8.
+        let program = Program {
+            ops: vec![WOp::ShiftField {
+                dst: 2,
+                dst_words: 2,
+                src: 0,
+                src_width: 40,
+                shift: -8,
+            }],
+            operands: vec![],
+            arena_words: 4,
+            input_count: 0,
+        };
+        let mut arena = vec![0x1234_5678, 0x9A, 0, 0];
+        program.run(&mut arena, &[]);
+        assert_eq!(arena[2], 0x9A12_3456);
+        // Word 1: bits 40.. replicate top bit (bit 39 of src = 1).
+        assert_eq!(arena[3], 0xFFFF_FFFF, "top replication above bit 39");
+    }
+
+    #[test]
+    fn eval_word_all_kinds() {
+        let arena = vec![0b1100u32, 0b1010];
+        let operands = vec![0u32, 1];
+        assert_eq!(eval_word(GateKind::And, &operands, &arena), 0b1000);
+        assert_eq!(eval_word(GateKind::Or, &operands, &arena), 0b1110);
+        assert_eq!(eval_word(GateKind::Xor, &operands, &arena), 0b0110);
+        assert_eq!(eval_word(GateKind::Nand, &operands, &arena), !0b1000u32);
+        assert_eq!(eval_word(GateKind::Not, &operands[..1], &arena), !0b1100u32);
+        assert_eq!(eval_word(GateKind::Const1, &[], &arena), !0u32);
+    }
+}

@@ -1,0 +1,539 @@
+//! The public compiled-simulator API for the parallel technique.
+
+use std::fmt;
+
+use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
+
+use crate::bitfield::FieldLayout;
+use crate::program::Program;
+use crate::{cycle_breaking, path_tracing, Alignment};
+
+/// Which §4 optimizations to apply at compile time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Optimization {
+    /// The unoptimized technique of §3 (Fig. 19's "Parallel Technique").
+    #[default]
+    None,
+    /// Bit-field trimming only (Fig. 20).
+    Trimming,
+    /// Path-tracing shift elimination (Fig. 23).
+    PathTracing,
+    /// Path tracing combined with trimming (Fig. 24, "With Trimming").
+    PathTracingTrimming,
+    /// Cycle-breaking shift elimination (Fig. 23).
+    CycleBreaking,
+    /// Cycle breaking combined with trimming.
+    CycleBreakingTrimming,
+}
+
+impl Optimization {
+    /// All variants, in the order the paper's evaluation discusses them.
+    pub const ALL: [Optimization; 6] = [
+        Optimization::None,
+        Optimization::Trimming,
+        Optimization::PathTracing,
+        Optimization::PathTracingTrimming,
+        Optimization::CycleBreaking,
+        Optimization::CycleBreakingTrimming,
+    ];
+
+    fn trims(self) -> bool {
+        matches!(
+            self,
+            Optimization::Trimming
+                | Optimization::PathTracingTrimming
+                | Optimization::CycleBreakingTrimming
+        )
+    }
+}
+
+impl fmt::Display for Optimization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Optimization::None => "unoptimized",
+            Optimization::Trimming => "trimming",
+            Optimization::PathTracing => "path-tracing",
+            Optimization::PathTracingTrimming => "path-tracing+trimming",
+            Optimization::CycleBreaking => "cycle-breaking",
+            Optimization::CycleBreakingTrimming => "cycle-breaking+trimming",
+        })
+    }
+}
+
+/// Error returned by [`ParallelSimulator::compile`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError(pub LevelizeError);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+impl From<LevelizeError> for CompileError {
+    fn from(err: LevelizeError) -> Self {
+        CompileError(err)
+    }
+}
+
+/// Size metrics of a compiled parallel-technique program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProgramStats {
+    /// Straight-line word operations executed per vector.
+    pub word_ops: usize,
+    /// Arena words (fields + scratch).
+    pub arena_words: usize,
+    /// Shifts retained in the generated code: equals the gate count for
+    /// the unoptimized/trimmed compilers (one per gate simulation), and
+    /// the alignment-derived count for the shift-eliminated ones.
+    pub retained_shifts: usize,
+    /// Words of gate simulation removed by trimming.
+    pub trimmed_words: usize,
+}
+
+/// A compiled unit-delay simulator using the parallel technique (§3–§4).
+///
+/// One call to [`ParallelSimulator::simulate_vector`] computes the whole
+/// unit-delay time history of every net for that vector; read it back
+/// with [`ParallelSimulator::history`] or [`ParallelSimulator::value_at`].
+#[derive(Clone, Debug)]
+pub struct ParallelSimulator {
+    program: Program,
+    arena: Vec<u32>,
+    initial_arena: Vec<u32>,
+    layouts: Vec<FieldLayout>,
+    /// Settled value, before the current vector, of the nets whose
+    /// history below their alignment cannot be read back from the field
+    /// (exactly those with `align == minlevel > 0`; everywhere else bit 0
+    /// recomputes the previous value). Indexed by [`NetId`]; only entries
+    /// listed in `tracked` are refreshed per vector.
+    prev_final: Vec<bool>,
+    tracked: Vec<NetId>,
+    /// Per net: `false` iff history below the alignment is unavailable
+    /// (needs tracking but is not monitored).
+    trackable: Vec<bool>,
+    settled_zero: Vec<bool>,
+    depth: u32,
+    optimization: Optimization,
+    alignment: Option<Alignment>,
+    stats: ProgramStats,
+}
+
+impl ParallelSimulator {
+    /// Compiles a combinational netlist with the given optimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] for cyclic or sequential netlists.
+    pub fn compile(netlist: &Netlist, optimization: Optimization) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, optimization, false)
+    }
+
+    /// Like [`ParallelSimulator::compile`], but keeps every net's history
+    /// fully reconstructible (see [`ParallelSimulator::history`]). Adds a
+    /// small per-vector cost proportional to the number of nets whose
+    /// alignment equals their minlevel; intended for verification
+    /// harnesses.
+    pub fn compile_monitoring_all(
+        netlist: &Netlist,
+        optimization: Optimization,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, optimization, true)
+    }
+
+    fn compile_inner(
+        netlist: &Netlist,
+        optimization: Optimization,
+        monitor_all: bool,
+    ) -> Result<Self, CompileError> {
+        let levels = levelize(netlist)?;
+
+        let (program, layouts, depth, retained_shifts, trimmed_words, alignment) =
+            match optimization {
+                Optimization::None | Optimization::Trimming => {
+                    let compiled = crate::compile::compile(netlist, optimization.trims())?;
+                    (
+                        compiled.program,
+                        compiled.layouts,
+                        compiled.depth,
+                        netlist.gate_count(),
+                        compiled.trimmed_words,
+                        None,
+                    )
+                }
+                Optimization::PathTracing | Optimization::PathTracingTrimming => {
+                    let alignment = path_tracing::align(netlist)?;
+                    let compiled =
+                        crate::compile_aligned::compile(netlist, &alignment, optimization.trims())?;
+                    (
+                        compiled.program,
+                        compiled.layouts,
+                        compiled.depth,
+                        compiled.retained_shifts,
+                        compiled.trimmed_words,
+                        Some(alignment),
+                    )
+                }
+                Optimization::CycleBreaking | Optimization::CycleBreakingTrimming => {
+                    let result = cycle_breaking::align(netlist)?;
+                    let compiled = crate::compile_aligned::compile(
+                        netlist,
+                        &result.alignment,
+                        optimization.trims(),
+                    )?;
+                    (
+                        compiled.program,
+                        compiled.layouts,
+                        compiled.depth,
+                        compiled.retained_shifts,
+                        compiled.trimmed_words,
+                        Some(result.alignment),
+                    )
+                }
+            };
+
+        // Consistent power-up state: settle under all-0 inputs and fill
+        // every bit of every field with the settled value.
+        let mut settled = vec![0u64; netlist.net_count()];
+        for &gid in &levels.topo_gates {
+            let gate = netlist.gate(gid);
+            let bits: Vec<u64> = gate.inputs.iter().map(|&n| settled[n]).collect();
+            settled[gate.output] = gate.kind.eval_words(&bits) & 1;
+        }
+        let settled_zero: Vec<bool> = settled.iter().map(|&v| v != 0).collect();
+        let mut initial_arena = vec![0u32; program.arena_words];
+        for net in netlist.net_ids() {
+            if settled_zero[net.index()] {
+                let layout = &layouts[net];
+                for w in 0..layout.words {
+                    initial_arena[(layout.base + w) as usize] = !0;
+                }
+            }
+        }
+
+        // Nets whose pre-vector settled value must be tracked on the
+        // side to reconstruct history below their alignment: bit 0 of
+        // their field is their first *potential change* (align ==
+        // minlevel), so the previous value is not recomputed anywhere.
+        // With align < minlevel, bit 0 itself holds it. Tracking costs
+        // one bit read per net per vector, so by default only the
+        // monitored nets (the primary outputs — the paper's PRINT set)
+        // are covered; `compile_monitoring_all` covers every net.
+        let needs_tracking = |net: NetId| {
+            let align = layouts[net].align;
+            align > 0 && align == levels.net_minlevel[net] as i32
+        };
+        let tracked: Vec<NetId> = if monitor_all {
+            netlist.net_ids().filter(|&n| needs_tracking(n)).collect()
+        } else {
+            let mut tracked: Vec<NetId> = netlist
+                .primary_outputs()
+                .iter()
+                .copied()
+                .filter(|&n| needs_tracking(n))
+                .collect();
+            tracked.sort_unstable();
+            tracked.dedup();
+            tracked
+        };
+        let mut trackable = vec![true; netlist.net_count()];
+        for net in netlist.net_ids() {
+            if needs_tracking(net) && !tracked.contains(&net) {
+                trackable[net.index()] = false;
+            }
+        }
+
+        let stats = ProgramStats {
+            word_ops: program.ops.len(),
+            arena_words: program.arena_words,
+            retained_shifts,
+            trimmed_words,
+        };
+        Ok(ParallelSimulator {
+            arena: initial_arena.clone(),
+            initial_arena,
+            layouts,
+            prev_final: settled_zero.clone(),
+            tracked,
+            trackable,
+            settled_zero,
+            depth,
+            optimization,
+            alignment,
+            stats,
+            program,
+        })
+    }
+
+    /// Circuit depth; histories cover times `0..=depth()`.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The optimization this simulator was compiled with.
+    pub fn optimization(&self) -> Optimization {
+        self.optimization
+    }
+
+    /// The alignment in effect (None for the unoptimized/trimmed modes).
+    pub fn alignment(&self) -> Option<&Alignment> {
+        self.alignment.as_ref()
+    }
+
+    /// Program size metrics.
+    pub fn stats(&self) -> ProgramStats {
+        self.stats
+    }
+
+    /// The field layout of a net (for inspection and tests).
+    pub fn field_layout(&self, net: NetId) -> FieldLayout {
+        self.layouts[net]
+    }
+
+    /// Internal accessors used by the C emitter.
+    pub(crate) fn program(&self) -> &Program {
+        &self.program
+    }
+
+    pub(crate) fn initial_arena(&self) -> &[u32] {
+        &self.initial_arena
+    }
+
+    /// Restores the consistent power-up state.
+    pub fn reset(&mut self) {
+        self.arena.copy_from_slice(&self.initial_arena);
+        self.prev_final.copy_from_slice(&self.settled_zero);
+    }
+
+    /// Simulates one input vector (parallel to the primary inputs),
+    /// producing the complete time history of every net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn simulate_vector(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.program.input_count,
+            "input vector length must match the primary input count"
+        );
+        for &net in &self.tracked {
+            let layout = &self.layouts[net];
+            self.prev_final[net.index()] = layout.read_bit(&self.arena, layout.final_bit());
+        }
+        self.program.run(&mut self.arena, inputs);
+    }
+
+    /// The final settled value of a net for the last vector.
+    pub fn final_value(&self, net: NetId) -> bool {
+        let layout = &self.layouts[net];
+        layout.read_bit(&self.arena, layout.final_bit())
+    }
+
+    /// The value of `net` at `time` for the last vector: times beyond
+    /// the net's level report the final value; times below the field's
+    /// alignment report the previous vector's settled value, or `None`
+    /// when that value is not reconstructible (the net would need
+    /// monitoring — see [`ParallelSimulator::compile_monitoring_all`]).
+    pub fn value_at(&self, net: NetId, time: u32) -> Option<bool> {
+        let layout = &self.layouts[net];
+        if i64::from(time) < i64::from(layout.align) {
+            // Below the field: the net cannot have changed yet, so this
+            // is the previous vector's settled value. When align is
+            // strictly below the minlevel, bit 0 recomputes it; otherwise
+            // it must have been tracked before this vector ran.
+            if !self.trackable[net.index()] {
+                return None;
+            }
+            if self.tracked.contains(&net) {
+                return Some(self.prev_final[net.index()]);
+            }
+            return Some(layout.read_bit(&self.arena, 0));
+        }
+        Some(layout.read_time(&self.arena, i64::from(time)))
+    }
+
+    /// The complete unit-delay history of `net` for the last vector, at
+    /// times `0..=depth()`, or `None` when the pre-alignment part is not
+    /// reconstructible for this net (monitor it, or compile with
+    /// [`ParallelSimulator::compile_monitoring_all`]).
+    pub fn history(&self, net: NetId) -> Option<Vec<bool>> {
+        (0..=self.depth)
+            .map(|t| self.value_at(net, t))
+            .collect::<Option<Vec<bool>>>()
+    }
+
+    /// Number of value transitions of `net` within its field window
+    /// (times `align ..= level`) for the last vector, computed
+    /// word-parallel directly on the bit-field — the fast analysis §3 of
+    /// the paper sketches with comparison fields. A net never changes
+    /// outside this window, so this is the net's total switching
+    /// activity for the vector.
+    pub fn field_transition_count(&self, net: NetId) -> u32 {
+        let layout = &self.layouts[net];
+        let mut count = 0u32;
+        let mut carry_bit: Option<bool> = None;
+        for w in 0..layout.words {
+            let word = self.arena[(layout.base + w) as usize];
+            // Bits of this word that belong to the field.
+            let valid =
+                (layout.width - w * crate::bitfield::WORD_BITS).min(crate::bitfield::WORD_BITS);
+            // Transitions between adjacent field bits inside the word:
+            // bit i differs from bit i+1, for i in 0..valid-1.
+            let internal = (word ^ (word >> 1)) & low_mask(valid.saturating_sub(1));
+            count += internal.count_ones();
+            // Plus the boundary transition from the previous word's top
+            // field bit to this word's bit 0.
+            if let Some(previous_top) = carry_bit {
+                count += u32::from(previous_top != (word & 1 != 0));
+            }
+            carry_bit = Some(word >> (valid - 1) & 1 != 0);
+        }
+        count
+    }
+
+    /// `true` if `net`'s bit-field is a monotone step (at most one
+    /// transition) — hazard-free for the last vector, per the paper's
+    /// `0…01…1` / `1…10…0` comparison-field criterion.
+    pub fn is_hazard_free(&self, net: NetId) -> bool {
+        self.field_transition_count(net) <= 1
+    }
+}
+
+/// The `bits` low bits set (`bits` ≤ 31 here: it is a within-word count).
+fn low_mask(bits: u32) -> u32 {
+    if bits >= 32 {
+        !0
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    /// Fig. 6's network: D = A & B; E = D & C.
+    fn fig6() -> (Netlist, NetId, NetId) {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.input("B");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, bn], "D").unwrap();
+        let e = b.gate(GateKind::And, &[d, c], "E").unwrap();
+        b.output(e);
+        (b.finish().unwrap(), d, e)
+    }
+
+    #[test]
+    fn fig7_bitfields_match_the_paper() {
+        // Fig. 7: starting from all nets 0, apply A=B=C=1. The paper's
+        // computed bit-fields: D = x110 (times 0..3: 0,1,1), E = xx10
+        // at times 0,1,2: 0,0,1 — i.e. D rises at 1, E at 2.
+        let (nl, d, e) = fig6();
+        let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        sim.simulate_vector(&[true, true, true]);
+        assert_eq!(sim.history(d), Some(vec![false, true, true]));
+        assert_eq!(sim.history(e), Some(vec![false, false, true]));
+        assert!(sim.final_value(e));
+    }
+
+    #[test]
+    fn retention_across_vectors() {
+        let (nl, d, e) = fig6();
+        let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        sim.simulate_vector(&[true, true, true]);
+        // Drop A: E holds its old value through time 1 (old D), falls at 2.
+        sim.simulate_vector(&[false, true, true]);
+        assert_eq!(sim.history(d), Some(vec![true, false, false]));
+        assert_eq!(sim.history(e), Some(vec![true, true, false]));
+    }
+
+    #[test]
+    fn all_optimizations_agree_on_fig6() {
+        let (nl, d, e) = fig6();
+        let mut reference =
+            ParallelSimulator::compile_monitoring_all(&nl, Optimization::None).unwrap();
+        for optimization in Optimization::ALL {
+            let mut sim = ParallelSimulator::compile_monitoring_all(&nl, optimization).unwrap();
+            reference.reset();
+            for pattern in [0b111u32, 0b011, 0b101, 0b000, 0b111, 0b001] {
+                let inputs: Vec<bool> = (0..3).map(|i| pattern >> i & 1 != 0).collect();
+                sim.simulate_vector(&inputs);
+                reference.simulate_vector(&inputs);
+                for net in [d, e] {
+                    assert_eq!(
+                        sim.history(net),
+                        reference.history(net),
+                        "{optimization} diverged on pattern {pattern:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_tracing_eliminates_fig10_shifts() {
+        let (nl, ..) = fig6();
+        let sim = ParallelSimulator::compile(&nl, Optimization::PathTracing).unwrap();
+        assert_eq!(sim.stats().retained_shifts, 0);
+        // And the field width shrank from 3 to 2 (the paper's remark).
+        let alignment = sim.alignment().unwrap();
+        let levels = uds_netlist::levelize(&nl).unwrap();
+        assert_eq!(alignment.stats(&nl, &levels).max_width_bits, 2);
+    }
+
+    #[test]
+    fn unoptimized_counts_one_shift_per_gate() {
+        let (nl, ..) = fig6();
+        let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        assert_eq!(sim.stats().retained_shifts, nl.gate_count());
+    }
+
+    #[test]
+    fn reset_restores_power_up() {
+        let (nl, _, e) = fig6();
+        let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        sim.simulate_vector(&[true, true, true]);
+        assert!(sim.final_value(e));
+        sim.reset();
+        assert!(!sim.final_value(e));
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let x = b.fresh_net();
+        let y = b.fresh_net();
+        b.gate_onto(GateKind::And, &[a, y], x).unwrap();
+        b.gate_onto(GateKind::Not, &[x], y).unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        assert!(ParallelSimulator::compile(&nl, Optimization::None).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "input vector length")]
+    fn wrong_input_length_panics() {
+        let (nl, ..) = fig6();
+        let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        sim.simulate_vector(&[true]);
+    }
+
+    #[test]
+    fn optimization_display_names() {
+        assert_eq!(Optimization::None.to_string(), "unoptimized");
+        assert_eq!(
+            Optimization::PathTracingTrimming.to_string(),
+            "path-tracing+trimming"
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! The undirected network graph of §4 (Fig. 13).
+//!
+//! One vertex per gate and per net; an undirected edge joins a gate to a
+//! net iff the gate uses the net as an input or an output. Cycles of
+//! nonzero weight in this graph are exactly what forces shifts to be
+//! retained; the cycle-breaking algorithm removes back edges found by a
+//! depth-first search until the graph is a forest.
+
+use uds_netlist::{GateId, NetId, Netlist};
+
+/// A vertex of the undirected network graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Vertex {
+    /// A net vertex.
+    Net(NetId),
+    /// A gate vertex.
+    Gate(GateId),
+}
+
+/// How a gate uses the net on one edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PinRole {
+    /// The net is an input of the gate.
+    Input,
+    /// The net is the gate's output.
+    Output,
+}
+
+/// One undirected edge (gate–net).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// The gate endpoint.
+    pub gate: GateId,
+    /// The net endpoint.
+    pub net: NetId,
+    /// Whether the net is an input or the output of the gate.
+    pub role: PinRole,
+}
+
+/// The undirected network graph.
+#[derive(Clone, Debug)]
+pub struct UndirectedGraph {
+    /// All edges, deduplicated (a net on several pins of one gate is a
+    /// single edge, per the paper's set definition).
+    pub edges: Vec<Edge>,
+    /// Adjacency: per net, incident edge indices.
+    net_adjacency: Vec<Vec<usize>>,
+    /// Adjacency: per gate, incident edge indices.
+    gate_adjacency: Vec<Vec<usize>>,
+    nets: usize,
+    gates: usize,
+}
+
+impl UndirectedGraph {
+    /// Builds the graph for a netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut edges = Vec::new();
+        let mut net_adjacency = vec![Vec::new(); netlist.net_count()];
+        let mut gate_adjacency = vec![Vec::new(); netlist.gate_count()];
+        for gid in netlist.gate_ids() {
+            let gate = netlist.gate(gid);
+            let push = |edges: &mut Vec<Edge>,
+                            net_adjacency: &mut Vec<Vec<usize>>,
+                            gate_adjacency: &mut Vec<Vec<usize>>,
+                            net: NetId,
+                            role: PinRole| {
+                let index = edges.len();
+                edges.push(Edge {
+                    gate: gid,
+                    net,
+                    role,
+                });
+                net_adjacency[net].push(index);
+                gate_adjacency[gid.index()].push(index);
+            };
+            let mut seen: Vec<NetId> = Vec::with_capacity(gate.inputs.len());
+            for &input in &gate.inputs {
+                if !seen.contains(&input) {
+                    seen.push(input);
+                    push(
+                        &mut edges,
+                        &mut net_adjacency,
+                        &mut gate_adjacency,
+                        input,
+                        PinRole::Input,
+                    );
+                }
+            }
+            push(
+                &mut edges,
+                &mut net_adjacency,
+                &mut gate_adjacency,
+                gate.output,
+                PinRole::Output,
+            );
+        }
+        UndirectedGraph {
+            edges,
+            net_adjacency,
+            gate_adjacency,
+            nets: netlist.net_count(),
+            gates: netlist.gate_count(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.nets + self.gates
+    }
+
+    /// Edge indices incident to a vertex.
+    pub fn incident(&self, vertex: Vertex) -> &[usize] {
+        match vertex {
+            Vertex::Net(n) => &self.net_adjacency[n],
+            Vertex::Gate(g) => &self.gate_adjacency[g.index()],
+        }
+    }
+
+    /// The endpoint of `edge` opposite to `vertex`.
+    pub fn other_end(&self, edge: usize, vertex: Vertex) -> Vertex {
+        let e = &self.edges[edge];
+        match vertex {
+            Vertex::Net(_) => Vertex::Gate(e.gate),
+            Vertex::Gate(_) => Vertex::Net(e.net),
+        }
+    }
+
+    /// Depth-first search that removes every back edge, leaving a
+    /// spanning forest. Returns the removed edge indices — the paper's
+    /// `F = E − V + C` back-arc count, where `C` is the number of
+    /// connected components.
+    pub fn break_cycles(&self) -> Vec<usize> {
+        let mut removed = Vec::new();
+        let mut visited = vec![false; self.vertex_count()];
+        let mut via_edge: Vec<Option<usize>> = vec![None; self.vertex_count()];
+
+        let all_vertices = (0..self.nets)
+            .map(|n| Vertex::Net(NetId::from_index(n)))
+            .chain((0..self.gates).map(|g| Vertex::Gate(GateId::from_index(g))));
+
+        for start in all_vertices {
+            if visited[self.vertex_index(start)] {
+                continue;
+            }
+            // Iterative DFS.
+            visited[self.vertex_index(start)] = true;
+            let mut stack = vec![start];
+            while let Some(vertex) = stack.pop() {
+                for &edge in self.incident(vertex) {
+                    if via_edge[self.vertex_index(vertex)] == Some(edge) {
+                        continue; // the tree edge we arrived by
+                    }
+                    let neighbor = self.other_end(edge, vertex);
+                    let ni = self.vertex_index(neighbor);
+                    if visited[ni] {
+                        // Back edge: "the most recently traversed edge is
+                        // removed" — unless it is already gone.
+                        if !removed.contains(&edge) {
+                            removed.push(edge);
+                        }
+                    } else {
+                        visited[ni] = true;
+                        via_edge[ni] = Some(edge);
+                        stack.push(neighbor);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Dense index of a vertex (nets first, then gates).
+    pub fn vertex_index(&self, vertex: Vertex) -> usize {
+        match vertex {
+            Vertex::Net(n) => n.index(),
+            Vertex::Gate(g) => self.nets + g.index(),
+        }
+    }
+
+    /// The weight of a simple cycle given as a vertex sequence
+    /// (`cycle[0]` must be a net vertex; the sequence wraps around).
+    /// A nonzero weight is necessary and sufficient for the cycle to
+    /// force a retained shift (§4).
+    ///
+    /// Gate vertices weigh +1 when traversed input→output, −1 when
+    /// output→input, 0 when both neighbors are on the same side; net
+    /// vertices weigh 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence does not alternate net/gate vertices or an
+    /// edge is missing.
+    pub fn cycle_weight(&self, netlist: &Netlist, cycle: &[Vertex]) -> i32 {
+        assert!(!cycle.is_empty(), "cycle must be nonempty");
+        let mut weight = 0;
+        for (pos, &vertex) in cycle.iter().enumerate() {
+            let Vertex::Gate(g) = vertex else { continue };
+            let before = cycle[(pos + cycle.len() - 1) % cycle.len()];
+            let after = cycle[(pos + 1) % cycle.len()];
+            let (Vertex::Net(n_before), Vertex::Net(n_after)) = (before, after) else {
+                panic!("cycle must alternate nets and gates");
+            };
+            let gate = netlist.gate(g);
+            let is_output = |n: NetId| gate.output == n;
+            let role_before = is_output(n_before);
+            let role_after = is_output(n_after);
+            weight += match (role_before, role_after) {
+                (false, true) => 1,  // entered by an input, left by the output
+                (true, false) => -1, // entered by the output, left by an input
+                _ => 0,
+            };
+        }
+        weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    /// Fig. 11: A → NOT → B; AND(A, B) → C. The graph has one cycle
+    /// A–NOT–B–AND–A of weight ±1.
+    fn fig11() -> (Netlist, NetId, NetId, GateId, GateId) {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.gate(GateKind::Not, &[a], "B").unwrap();
+        let c = b.gate(GateKind::And, &[a, bn], "C").unwrap();
+        b.output(c);
+        let nl = b.finish().unwrap();
+        let ng = nl.driver(bn).unwrap();
+        let ag = nl.driver(c).unwrap();
+        (nl, a, bn, ng, ag)
+    }
+
+    use uds_netlist::Netlist;
+
+    #[test]
+    fn fig13_graph_shape() {
+        let (nl, a, bn, ng, ag) = fig11();
+        let graph = UndirectedGraph::new(&nl);
+        // Edges: NOT-A, NOT-B, AND-A, AND-B, AND-C = 5.
+        assert_eq!(graph.edges.len(), 5);
+        assert_eq!(graph.incident(Vertex::Net(a)).len(), 2);
+        assert_eq!(graph.incident(Vertex::Net(bn)).len(), 2);
+        assert_eq!(graph.incident(Vertex::Gate(ag)).len(), 3);
+        assert_eq!(graph.incident(Vertex::Gate(ng)).len(), 2);
+    }
+
+    #[test]
+    fn fig13_cycle_has_weight_one() {
+        let (nl, a, bn, ng, ag) = fig11();
+        let graph = UndirectedGraph::new(&nl);
+        // Traverse A → NOT → B → AND → (back to A).
+        let cycle = [
+            Vertex::Net(a),
+            Vertex::Gate(ng),
+            Vertex::Net(bn),
+            Vertex::Gate(ag),
+        ];
+        let w = graph.cycle_weight(&nl, &cycle);
+        assert_eq!(w.abs(), 1, "Fig. 13's cycle weighs ±1 (got {w})");
+    }
+
+    #[test]
+    fn break_cycles_removes_e_minus_v_plus_c() {
+        let (nl, ..) = fig11();
+        let graph = UndirectedGraph::new(&nl);
+        let removed = graph.break_cycles();
+        // One component containing all 5 vertices and 5 edges: F = 1.
+        assert_eq!(removed.len(), 1);
+    }
+
+    #[test]
+    fn tree_networks_need_no_removal() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.gate(GateKind::And, &[a, c], "x").unwrap();
+        let y = b.gate(GateKind::Not, &[x], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let graph = UndirectedGraph::new(&nl);
+        assert!(graph.break_cycles().is_empty());
+    }
+
+    #[test]
+    fn zero_weight_cycle() {
+        // Two gates sharing both inputs: cycle a-G1-b-G2-a has weight 0
+        // (each gate entered and left by inputs).
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.gate(GateKind::And, &[a, c], "x").unwrap();
+        let y = b.gate(GateKind::Or, &[a, c], "y").unwrap();
+        b.output(x);
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let graph = UndirectedGraph::new(&nl);
+        let g1 = nl.driver(x).unwrap();
+        let g2 = nl.driver(y).unwrap();
+        let cycle = [
+            Vertex::Net(a),
+            Vertex::Gate(g1),
+            Vertex::Net(c),
+            Vertex::Gate(g2),
+        ];
+        assert_eq!(graph.cycle_weight(&nl, &cycle), 0);
+        // The DFS still has to remove one edge to get a forest…
+        assert_eq!(graph.break_cycles().len(), 1);
+    }
+
+    #[test]
+    fn repeated_pins_create_one_edge() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let y = b.gate(GateKind::Xor, &[a, a], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let graph = UndirectedGraph::new(&nl);
+        assert_eq!(graph.edges.len(), 2); // XOR-a, XOR-y
+        assert!(graph.break_cycles().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-validation: every optimization mode of the parallel technique
+//! must produce exactly the event-driven unit-delay waveforms, net by
+//! net, time by time, vector after vector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uds_eventsim::EventDrivenUnitDelay;
+use uds_netlist::generators::iscas::{c17, Iscas85};
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{levelize, Netlist};
+use uds_parallel::{Optimization, ParallelSimulator};
+
+fn crosscheck(nl: &Netlist, optimization: Optimization, vectors: usize, seed: u64) {
+    let depth = levelize(nl).unwrap().depth;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut compiled = ParallelSimulator::compile_monitoring_all(nl, optimization).unwrap();
+    let mut reference = EventDrivenUnitDelay::<bool>::new(nl).unwrap();
+
+    for vector_index in 0..vectors {
+        let inputs: Vec<bool> = (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect();
+
+        let mut waveform: Vec<Vec<bool>> = reference
+            .values()
+            .iter()
+            .map(|&v| vec![v; depth as usize + 1])
+            .collect();
+        reference.simulate_vector_traced(&inputs, |t, net, v| {
+            for slot in &mut waveform[net.index()][t as usize..] {
+                *slot = v;
+            }
+        });
+
+        compiled.simulate_vector(&inputs);
+
+        for net in nl.net_ids() {
+            assert_eq!(
+                compiled.history(net).expect("monitoring all nets"),
+                waveform[net.index()],
+                "{optimization}: history of {} ({net}) diverged on vector {vector_index}",
+                nl.net_name(net)
+            );
+        }
+    }
+}
+
+#[test]
+fn c17_all_modes_match_event_driven() {
+    for optimization in Optimization::ALL {
+        crosscheck(&c17(), optimization, 100, 0xC17);
+    }
+}
+
+#[test]
+fn random_circuits_all_modes() {
+    for seed in 0..6 {
+        let mut config = LayeredConfig::new(format!("p{seed}"), 120, 10);
+        config.seed = seed;
+        config.locality = 0.1 + 0.15 * (seed % 4) as f64;
+        config.xor_fraction = 0.3;
+        let nl = layered(&config).unwrap();
+        for optimization in Optimization::ALL {
+            crosscheck(&nl, optimization, 25, seed);
+        }
+    }
+}
+
+#[test]
+fn deep_circuit_exercises_multiword_fields() {
+    // Depth 75 forces 3-word fields: trimming and carries matter.
+    let mut config = LayeredConfig::new("deep", 160, 75);
+    config.primary_inputs = 6;
+    config.locality = 0.3;
+    let nl = layered(&config).unwrap();
+    for optimization in Optimization::ALL {
+        crosscheck(&nl, optimization, 20, 7);
+    }
+}
+
+#[test]
+fn sparse_deep_circuit_has_gaps() {
+    // High locality at depth 70: PC-sets are narrow bands, so most
+    // fields have genuine low-constant AND gap words.
+    let mut config = LayeredConfig::new("gappy", 150, 70);
+    config.primary_inputs = 8;
+    config.locality = 0.97;
+    config.leak_window = 2;
+    let nl = layered(&config).unwrap();
+    for optimization in [
+        Optimization::Trimming,
+        Optimization::PathTracingTrimming,
+        Optimization::CycleBreakingTrimming,
+    ] {
+        crosscheck(&nl, optimization, 20, 11);
+    }
+}
+
+#[test]
+fn c432_standin_all_modes() {
+    for optimization in Optimization::ALL {
+        crosscheck(&Iscas85::C432.build(), optimization, 8, 0x432);
+    }
+}
+
+#[test]
+fn c1908_standin_multiword() {
+    // 2-word fields per the paper's Fig. 20.
+    let nl = Iscas85::C1908.build();
+    for optimization in [
+        Optimization::None,
+        Optimization::Trimming,
+        Optimization::PathTracingTrimming,
+    ] {
+        crosscheck(&nl, optimization, 4, 0x1908);
+    }
+}
+
+#[test]
+fn pcset_and_parallel_agree() {
+    // The two compiled techniques against each other (final values for
+    // every net, histories for outputs).
+    let mut config = LayeredConfig::new("pair", 200, 15);
+    config.xor_fraction = 0.25;
+    let nl = layered(&config).unwrap();
+    let mut pcset = uds_pcset::PcSetSimulator::compile(&nl).unwrap();
+    let mut parallel = ParallelSimulator::compile(&nl, Optimization::PathTracingTrimming).unwrap();
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..40 {
+        let inputs: Vec<bool> = (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect();
+        pcset.simulate_vector(&inputs);
+        parallel.simulate_vector(&inputs);
+        for net in nl.net_ids() {
+            assert_eq!(pcset.final_value(net), parallel.final_value(net), "{net}");
+        }
+        for &po in nl.primary_outputs() {
+            assert_eq!(pcset.history(po), parallel.history(po));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The word-parallel transition count on raw bit-fields must agree with
+//! a naive scan over the reconstructed history, for every net, on random
+//! circuits and vectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{GateKind, NetlistBuilder};
+use uds_parallel::{Optimization, ParallelSimulator};
+
+#[test]
+fn field_transitions_match_history_scan() {
+    for seed in 0..5u64 {
+        let mut config = LayeredConfig::new("hz", 180, 40);
+        config.seed = seed;
+        config.xor_fraction = 0.4;
+        config.primary_inputs = 8;
+        let nl = layered(&config).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4A2);
+        for optimization in [
+            Optimization::None,
+            Optimization::Trimming,
+            Optimization::PathTracing,
+            Optimization::PathTracingTrimming,
+        ] {
+            let mut sim = ParallelSimulator::compile_monitoring_all(&nl, optimization).unwrap();
+            for _ in 0..6 {
+                let previous: Vec<bool> = nl.net_ids().map(|n| sim.final_value(n)).collect();
+                let inputs: Vec<bool> = (0..8).map(|_| rng.gen()).collect();
+                sim.simulate_vector(&inputs);
+                for net in nl.net_ids() {
+                    let history = sim.history(net).expect("monitoring all nets");
+                    let layout = sim.field_layout(net);
+                    // The naive count: transitions within the
+                    // non-negative part of the field window, plus — for
+                    // fields reaching into negative times (primary
+                    // inputs) — the edge from the previous vector's value
+                    // into time 0, which those fields represent.
+                    let lo = layout.align.max(0) as usize;
+                    let hi = ((layout.align + layout.width as i32 - 1) as usize)
+                        .min(history.len() - 1);
+                    let window = &history[lo..=hi];
+                    let mut naive = window.windows(2).filter(|p| p[0] != p[1]).count() as u32;
+                    if layout.align < 0 && previous[net.index()] != history[0] {
+                        naive += 1;
+                    }
+                    let fast = sim.field_transition_count(net);
+                    assert_eq!(
+                        fast, naive,
+                        "{optimization}: net {net} window {lo}..={hi} history {history:?}"
+                    );
+                    assert_eq!(sim.is_hazard_free(net), fast <= 1);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn classic_static_hazard_is_detected_on_fields() {
+    let mut b = NetlistBuilder::new();
+    let a = b.input("a");
+    let na = b.gate(GateKind::Not, &[a], "na").unwrap();
+    let y = b.gate(GateKind::And, &[a, na], "y").unwrap();
+    b.output(y);
+    let nl = b.finish().unwrap();
+    let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+    sim.simulate_vector(&[false]);
+    assert!(sim.is_hazard_free(y));
+    sim.simulate_vector(&[true]);
+    assert_eq!(sim.field_transition_count(y), 2, "rise then fall");
+    assert!(!sim.is_hazard_free(y));
+}
+
+#[test]
+fn stable_nets_count_zero_transitions() {
+    let mut b = NetlistBuilder::new();
+    let a = b.input("a");
+    let y = b.gate(GateKind::Buf, &[a], "y").unwrap();
+    b.output(y);
+    let nl = b.finish().unwrap();
+    let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+    sim.simulate_vector(&[false]);
+    assert_eq!(sim.field_transition_count(y), 0);
+    sim.simulate_vector(&[true]);
+    assert_eq!(sim.field_transition_count(y), 1, "one clean edge");
+}

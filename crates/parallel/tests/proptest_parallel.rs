@@ -1,0 +1,172 @@
+//! Property-based tests for the parallel technique: alignment-algorithm
+//! invariants and cross-mode equivalence on randomized circuits.
+
+use proptest::prelude::*;
+
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{levelize, Netlist};
+use uds_parallel::{cycle_breaking, path_tracing, Optimization, ParallelSimulator, WORD_BITS};
+
+fn circuit_strategy() -> impl Strategy<Value = (Netlist, u64)> {
+    (1u32..=40, 0usize..=80, 1usize..=10, any::<u64>(), 0.0f64..=1.0).prop_map(
+        |(depth, extra, pis, seed, locality)| {
+            let mut config = LayeredConfig::new("prop", depth as usize + extra, depth);
+            config.primary_inputs = pis;
+            config.primary_outputs = 3;
+            config.seed = seed;
+            config.locality = locality;
+            config.xor_fraction = 0.25;
+            (layered(&config).expect("valid config"), seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn path_tracing_never_expands_fields((nl, _) in circuit_strategy()) {
+        let levels = levelize(&nl).unwrap();
+        let alignment = path_tracing::align(&nl).unwrap();
+        let stats = alignment.stats(&nl, &levels);
+        prop_assert!(stats.max_width_bits <= levels.depth + 1);
+        prop_assert!(
+            stats.max_width_words <= (levels.depth + 1).div_ceil(WORD_BITS)
+        );
+    }
+
+    #[test]
+    fn path_tracing_generates_only_right_shifts((nl, _) in circuit_strategy()) {
+        let alignment = path_tracing::align(&nl).unwrap();
+        for gid in nl.gate_ids() {
+            prop_assert_eq!(alignment.output_shift(&nl, gid), 0);
+            for &input in &nl.gate(gid).inputs {
+                prop_assert!(alignment.input_shift(gid, input) <= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn both_alignments_validate((nl, _) in circuit_strategy()) {
+        let levels = levelize(&nl).unwrap();
+        path_tracing::align(&nl).unwrap().validate(&nl, &levels).unwrap();
+        cycle_breaking::align(&nl)
+            .unwrap()
+            .alignment
+            .validate(&nl, &levels)
+            .unwrap();
+    }
+
+    #[test]
+    fn alignment_never_exceeds_minlevel((nl, _) in circuit_strategy()) {
+        let levels = levelize(&nl).unwrap();
+        let pt = path_tracing::align(&nl).unwrap();
+        for net in nl.net_ids() {
+            prop_assert!(pt.net_align[net] <= levels.net_minlevel[net] as i32);
+        }
+        // Cycle breaking is strict after its lowering pass.
+        let cb = cycle_breaking::align(&nl).unwrap().alignment;
+        for net in nl.net_ids() {
+            prop_assert!(cb.net_align[net] < levels.net_minlevel[net].max(1) as i32 + 1);
+        }
+    }
+
+    #[test]
+    fn retained_shifts_never_exceed_pin_pairs((nl, _) in circuit_strategy()) {
+        // A shift per (gate, distinct input) plus one per gate output is
+        // the absolute ceiling.
+        let ceiling: usize = nl
+            .gates()
+            .iter()
+            .map(|g| {
+                let mut distinct: Vec<_> = Vec::new();
+                for &i in &g.inputs {
+                    if !distinct.contains(&i) {
+                        distinct.push(i);
+                    }
+                }
+                distinct.len() + 1
+            })
+            .sum();
+        for alignment in [
+            path_tracing::align(&nl).unwrap(),
+            cycle_breaking::align(&nl).unwrap().alignment,
+        ] {
+            prop_assert!(alignment.retained_shifts(&nl) <= ceiling);
+        }
+    }
+
+    #[test]
+    fn every_mode_matches_unoptimized_histories(
+        (nl, seed) in circuit_strategy(),
+        vector_count in 1usize..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+        let width = nl.primary_inputs().len();
+        let vectors: Vec<Vec<bool>> = (0..vector_count)
+            .map(|_| (0..width).map(|_| rng.gen()).collect())
+            .collect();
+
+        let mut reference =
+            ParallelSimulator::compile_monitoring_all(&nl, Optimization::None).unwrap();
+        let mut reference_histories: Vec<Vec<Vec<bool>>> = Vec::new();
+        for vector in &vectors {
+            reference.simulate_vector(vector);
+            reference_histories.push(
+                nl.net_ids()
+                    .map(|n| reference.history(n).expect("monitoring all"))
+                    .collect(),
+            );
+        }
+
+        for optimization in [
+            Optimization::Trimming,
+            Optimization::PathTracing,
+            Optimization::PathTracingTrimming,
+            Optimization::CycleBreaking,
+            Optimization::CycleBreakingTrimming,
+        ] {
+            let mut sim =
+                ParallelSimulator::compile_monitoring_all(&nl, optimization).unwrap();
+            for (vector, expected) in vectors.iter().zip(&reference_histories) {
+                sim.simulate_vector(vector);
+                for net in nl.net_ids() {
+                    prop_assert_eq!(
+                        sim.history(net).expect("monitoring all"),
+                        expected[net.index()].clone(),
+                        "{} diverged on {}", optimization, net
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_values_match_zero_delay_oracle(
+        (nl, seed) in circuit_strategy(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let levels = levelize(&nl).unwrap();
+        let mut sim =
+            ParallelSimulator::compile(&nl, Optimization::PathTracingTrimming).unwrap();
+        for _ in 0..3 {
+            let inputs: Vec<bool> =
+                (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect();
+            sim.simulate_vector(&inputs);
+            let mut value = vec![false; nl.net_count()];
+            for (&pi, &b) in nl.primary_inputs().iter().zip(&inputs) {
+                value[pi] = b;
+            }
+            for &gid in &levels.topo_gates {
+                let gate = nl.gate(gid);
+                let bits: Vec<bool> = gate.inputs.iter().map(|&n| value[n]).collect();
+                value[gate.output] = gate.kind.eval_bits(&bits);
+            }
+            for net in nl.net_ids() {
+                prop_assert_eq!(sim.final_value(net), value[net], "net {}", net);
+            }
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! PC-set computation: the worklist algorithm of the paper's §2.
+
+use uds_netlist::{levelize, GateId, LevelizeError, NetId, Netlist};
+
+/// The potential-change set of one net or gate: the sorted set of times
+/// (in gate delays) at which its value is permitted to change, i.e. the
+/// set of path lengths between it and the primary inputs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PcSet {
+    /// Sorted, deduplicated times.
+    times: Vec<u32>,
+}
+
+impl PcSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        PcSet::default()
+    }
+
+    /// The singleton `{0}` assigned to primary inputs and constants.
+    pub fn zero() -> Self {
+        PcSet { times: vec![0] }
+    }
+
+    /// Builds from any iterator of times (sorts and deduplicates).
+    pub fn from_times(times: impl IntoIterator<Item = u32>) -> Self {
+        let mut times: Vec<u32> = times.into_iter().collect();
+        times.sort_unstable();
+        times.dedup();
+        PcSet { times }
+    }
+
+    /// The times, ascending.
+    pub fn times(&self) -> &[u32] {
+        &self.times
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the set is empty (only constant gates' PC-sets are).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Smallest element — the minlevel, for a net's final set.
+    pub fn min(&self) -> Option<u32> {
+        self.times.first().copied()
+    }
+
+    /// Largest element — the level, for a net's final set.
+    pub fn max(&self) -> Option<u32> {
+        self.times.last().copied()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, time: u32) -> bool {
+        self.times.binary_search(&time).is_ok()
+    }
+
+    /// The largest element strictly smaller than `time` — the operand
+    /// lookup of the paper's code generator ("searching the PC-sets of
+    /// the input nets for the largest element that is strictly smaller
+    /// than the PC-element for which code is being generated").
+    pub fn largest_below(&self, time: u32) -> Option<u32> {
+        match self.times.binary_search(&time) {
+            Ok(0) | Err(0) => None,
+            Ok(pos) | Err(pos) => Some(self.times[pos - 1]),
+        }
+    }
+
+    /// The largest element less than or equal to `time` (history
+    /// reconstruction: a net holds its value between potential changes).
+    pub fn largest_at_or_below(&self, time: u32) -> Option<u32> {
+        match self.times.binary_search(&time) {
+            Ok(pos) => Some(self.times[pos]),
+            Err(0) => None,
+            Err(pos) => Some(self.times[pos - 1]),
+        }
+    }
+
+    /// Inserts a single time (used by zero insertion).
+    pub fn insert(&mut self, time: u32) {
+        if let Err(pos) = self.times.binary_search(&time) {
+            self.times.insert(pos, time);
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &PcSet) -> PcSet {
+        let mut merged = Vec::with_capacity(self.times.len() + other.times.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.times.len() && j < other.times.len() {
+            let (a, b) = (self.times[i], other.times[j]);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(a);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.times[i..]);
+        merged.extend_from_slice(&other.times[j..]);
+        PcSet { times: merged }
+    }
+
+    /// A new set with every element incremented by one (a gate's delay).
+    pub fn incremented(&self) -> PcSet {
+        PcSet {
+            times: self.times.iter().map(|&t| t + 1).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for PcSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// PC-sets for every net and gate of a netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PcSets {
+    /// Per-net PC-sets, indexed by [`NetId`].
+    pub net: Vec<PcSet>,
+    /// Per-gate PC-sets, indexed by [`GateId`].
+    pub gate: Vec<PcSet>,
+}
+
+impl PcSets {
+    /// Runs the PC-set algorithm of §2.
+    ///
+    /// Primary inputs, undriven nets and constant-generator outputs get
+    /// `{0}`; a gate's set is the union of its inputs' sets incremented
+    /// by one; a net's set is its driver's set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] for cyclic or sequential netlists.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use uds_netlist::{NetlistBuilder, GateKind};
+    /// use uds_pcset::PcSets;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // Fig. 4: E is driven through paths of lengths 1 and 2.
+    /// let mut b = NetlistBuilder::new();
+    /// let a = b.input("A");
+    /// let bn = b.input("B");
+    /// let c = b.input("C");
+    /// let d = b.gate(GateKind::And, &[a, bn], "D")?;
+    /// let e = b.gate(GateKind::And, &[d, c], "E")?;
+    /// b.output(e);
+    /// let nl = b.finish()?;
+    /// let sets = PcSets::compute(&nl)?;
+    /// assert_eq!(sets.net[d].times(), &[1]);
+    /// assert_eq!(sets.net[e].times(), &[1, 2]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(netlist: &Netlist) -> Result<PcSets, LevelizeError> {
+        // The levelization pass provides the topological gate order (and
+        // rejects cycles / flip-flops); PC-sets then propagate in one
+        // sweep, which is exactly the paper's count-driven worklist with
+        // the queue order fixed.
+        let levels = levelize(netlist)?;
+
+        let mut net: Vec<PcSet> = netlist
+            .net_ids()
+            .map(|n| {
+                if netlist.driver(n).is_none() {
+                    PcSet::zero()
+                } else {
+                    PcSet::new()
+                }
+            })
+            .collect();
+        let mut gate: Vec<PcSet> = vec![PcSet::new(); netlist.gate_count()];
+
+        for &gid in &levels.topo_gates {
+            let g = netlist.gate(gid);
+            let mut union = PcSet::new();
+            for &input in &g.inputs {
+                union = union.union(&net[input]);
+            }
+            let set = union.incremented();
+            // Step 4b of the paper: a net whose union is empty (a
+            // constant generator's output) gets {0}.
+            net[g.output] = if set.is_empty() {
+                PcSet::zero()
+            } else {
+                set.clone()
+            };
+            gate[gid.index()] = set;
+        }
+
+        Ok(PcSets { net, gate })
+    }
+
+    /// Total variables the PC-set compiler will allocate (one per element
+    /// of every net's PC-set), before zero insertion.
+    pub fn variable_count(&self) -> usize {
+        self.net.iter().map(PcSet::len).sum()
+    }
+
+    /// Total gate simulations the compiler will generate (one per element
+    /// of every gate's PC-set).
+    pub fn gate_simulation_count(&self) -> usize {
+        self.gate.iter().map(PcSet::len).sum()
+    }
+
+    /// The PC-set of a net.
+    pub fn of_net(&self, net: NetId) -> &PcSet {
+        &self.net[net]
+    }
+
+    /// The PC-set of a gate.
+    pub fn of_gate(&self, gate: GateId) -> &PcSet {
+        &self.gate[gate.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::{levelize, GateKind, NetlistBuilder};
+
+    /// Builds the network of the paper's Fig. 2/Fig. 3: a 3-input gate
+    /// whose inputs have PC-sets {2}, {3}, {4}.
+    fn fig2() -> (uds_netlist::Netlist, NetId) {
+        let mut b = NetlistBuilder::new();
+        let i = b.input("i");
+        let mut chains = Vec::new();
+        for len in [2u32, 3, 4] {
+            let mut net = i;
+            for step in 0..len {
+                net = b
+                    .gate(GateKind::Buf, &[net], format!("c{len}_{step}"))
+                    .unwrap();
+            }
+            chains.push(net);
+        }
+        let out = b.gate(GateKind::And, &chains, "out").unwrap();
+        b.output(out);
+        (b.finish().unwrap(), out)
+    }
+
+    #[test]
+    fn fig2_gate_has_pc_set_3_4_5() {
+        let (nl, out) = fig2();
+        let sets = PcSets::compute(&nl).unwrap();
+        assert_eq!(sets.net[out].times(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn primary_inputs_get_zero() {
+        let (nl, _) = fig2();
+        let sets = PcSets::compute(&nl).unwrap();
+        for &pi in nl.primary_inputs() {
+            assert_eq!(sets.net[pi].times(), &[0]);
+        }
+    }
+
+    #[test]
+    fn constant_gate_output_gets_zero() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let k = b.gate(GateKind::Const1, &[], "k").unwrap();
+        let y = b.gate(GateKind::Or, &[a, k], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let sets = PcSets::compute(&nl).unwrap();
+        assert_eq!(sets.net[k].times(), &[0]);
+        assert_eq!(sets.net[y].times(), &[1]);
+        // The constant gate itself has an empty PC-set: no simulations.
+        let kg = nl.driver(k).unwrap();
+        assert!(sets.gate[kg.index()].is_empty());
+    }
+
+    #[test]
+    fn pc_set_bounds_match_levels() {
+        // min = minlevel, max = level, size <= level - minlevel + 1
+        // (the paper's §2 invariants), on a nontrivial circuit.
+        let nl = uds_netlist::generators::iscas::Iscas85::C432.build();
+        let sets = PcSets::compute(&nl).unwrap();
+        let levels = levelize(&nl).unwrap();
+        for net in nl.net_ids() {
+            let set = &sets.net[net];
+            assert_eq!(set.min().unwrap(), levels.net_minlevel[net], "{net}");
+            assert_eq!(set.max().unwrap(), levels.net_level[net], "{net}");
+            assert!(
+                set.len() as u32 <= levels.net_level[net] - levels.net_minlevel[net] + 1,
+                "{net}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_and_increment() {
+        let a = PcSet::from_times([1, 3, 5]);
+        let b = PcSet::from_times([2, 3, 4]);
+        assert_eq!(a.union(&b).times(), &[1, 2, 3, 4, 5]);
+        assert_eq!(a.incremented().times(), &[2, 4, 6]);
+        assert_eq!(a.union(&PcSet::new()).times(), a.times());
+    }
+
+    #[test]
+    fn largest_below_and_at_or_below() {
+        let s = PcSet::from_times([0, 3, 7]);
+        assert_eq!(s.largest_below(0), None);
+        assert_eq!(s.largest_below(1), Some(0));
+        assert_eq!(s.largest_below(3), Some(0));
+        assert_eq!(s.largest_below(4), Some(3));
+        assert_eq!(s.largest_below(100), Some(7));
+        assert_eq!(s.largest_at_or_below(3), Some(3));
+        assert_eq!(s.largest_at_or_below(2), Some(0));
+        assert_eq!(PcSet::new().largest_at_or_below(9), None);
+    }
+
+    #[test]
+    fn insert_keeps_order_and_dedups() {
+        let mut s = PcSet::from_times([3, 7]);
+        s.insert(0);
+        s.insert(7);
+        s.insert(5);
+        assert_eq!(s.times(), &[0, 3, 5, 7]);
+    }
+
+    #[test]
+    fn display_is_braced_list() {
+        assert_eq!(PcSet::from_times([3, 7, 15]).to_string(), "{3,7,15}");
+        assert_eq!(PcSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn repeated_pin_does_not_duplicate_times() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let y = b.gate(GateKind::Xor, &[a, a], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let sets = PcSets::compute(&nl).unwrap();
+        assert_eq!(sets.net[y].times(), &[1]);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let (nl, _) = fig2();
+        let sets = PcSets::compute(&nl).unwrap();
+        assert_eq!(
+            sets.variable_count(),
+            sets.net.iter().map(|s| s.len()).sum::<usize>()
+        );
+        assert!(sets.gate_simulation_count() >= nl.gate_count());
+    }
+}

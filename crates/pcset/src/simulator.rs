@@ -1,0 +1,467 @@
+//! The compiled PC-set simulator: compilation and execution.
+
+use std::fmt;
+
+use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
+
+use crate::program::{CopyOp, GateOp, Program};
+use crate::zero_insert::{insert_zeros, ZeroInsertion};
+use crate::PcSets;
+
+/// Error returned by [`PcSetSimulator::compile`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The netlist cannot be levelized (cycle or flip-flop).
+    Levelize(LevelizeError),
+    /// A monitored net id is out of range for the netlist.
+    UnknownMonitor,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Levelize(err) => write!(f, "{err}"),
+            CompileError::UnknownMonitor => write!(f, "monitored net does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Levelize(err) => Some(err),
+            CompileError::UnknownMonitor => None,
+        }
+    }
+}
+
+impl From<LevelizeError> for CompileError {
+    fn from(err: LevelizeError) -> Self {
+        CompileError::Levelize(err)
+    }
+}
+
+/// Size metrics of a compiled PC-set program — the quantities behind the
+/// paper's code-size remarks (">100,000 lines for c6288").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProgramStats {
+    /// Variables allocated (one per (net, PC-element), after zero
+    /// insertion).
+    pub variables: usize,
+    /// Gate simulations generated (one per element of every gate's
+    /// PC-set).
+    pub gate_simulations: usize,
+    /// Retention copies executed per vector.
+    pub retention_copies: usize,
+}
+
+/// A compiled unit-delay simulator using the PC-set method (§2).
+///
+/// Compile once with [`PcSetSimulator::compile`], then call
+/// [`PcSetSimulator::simulate_vector`] per input vector; the complete
+/// unit-delay history of every monitored net is available afterwards via
+/// [`PcSetSimulator::history`].
+///
+/// All state words carry 64 independent streams; see
+/// [`PcSetSimulator::simulate_streams`].
+#[derive(Clone, Debug)]
+pub struct PcSetSimulator {
+    program: Program,
+    arena: Vec<u64>,
+    /// Per net: PC-set times after zero insertion (slots are contiguous
+    /// per net, in time order, starting at `net_base`).
+    net_times: Vec<Vec<u32>>,
+    net_base: Vec<u32>,
+    retention: ZeroInsertion,
+    monitored: Vec<NetId>,
+    input_count: usize,
+    depth: u32,
+    initial_arena: Vec<u64>,
+}
+
+impl PcSetSimulator {
+    /// Compiles a combinational netlist, monitoring its primary outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Levelize`] for cyclic/sequential netlists.
+    pub fn compile(netlist: &Netlist) -> Result<Self, CompileError> {
+        Self::compile_with_monitors(netlist, netlist.primary_outputs())
+    }
+
+    /// Compiles with an explicit set of monitored nets (the paper's
+    /// `PRINT` pseudo-gate inputs). Monitored nets always have a full
+    /// reconstructible history; other nets only expose their final value
+    /// and their values at their own PC times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Levelize`] for cyclic/sequential netlists
+    /// or [`CompileError::UnknownMonitor`] for out-of-range ids.
+    pub fn compile_with_monitors(
+        netlist: &Netlist,
+        monitored: &[NetId],
+    ) -> Result<Self, CompileError> {
+        if monitored.iter().any(|&n| n.index() >= netlist.net_count()) {
+            return Err(CompileError::UnknownMonitor);
+        }
+        let levels = levelize(netlist)?;
+        let mut sets = PcSets::compute(netlist)?;
+        let retention = insert_zeros(netlist, &mut sets, monitored);
+
+        // Slot allocation: contiguous per net, ascending time.
+        let mut net_base = Vec::with_capacity(netlist.net_count());
+        let mut slot_count: u32 = 0;
+        for net in netlist.net_ids() {
+            net_base.push(slot_count);
+            slot_count = slot_count
+                .checked_add(u32::try_from(sets.net[net].len()).expect("PC-set fits u32"))
+                .expect("total PC-set variables fit u32");
+        }
+        let slot_of = |net: NetId, time: u32| -> u32 {
+            let idx = sets.net[net]
+                .times()
+                .binary_search(&time)
+                .expect("slot lookup for a time in the PC-set");
+            net_base[net.index()] + idx as u32
+        };
+
+        // Retention copies: time-0 slot <- final (max-time) slot.
+        let mut init = Vec::with_capacity(retention.retained_count());
+        for net in netlist.net_ids() {
+            if retention.retains[net] {
+                let max = sets.net[net].max().expect("retaining net is nonempty");
+                init.push(CopyOp {
+                    dst: slot_of(net, 0),
+                    src: slot_of(net, max),
+                });
+            }
+        }
+
+        let input_slots: Vec<u32> = netlist
+            .primary_inputs()
+            .iter()
+            .map(|&pi| slot_of(pi, 0))
+            .collect();
+
+        // Gate simulations: levelized order; one op per PC element of the
+        // gate; operands use each input's largest PC element strictly
+        // below the element being generated (Fig. 4).
+        let mut ops = Vec::new();
+        let mut operands = Vec::new();
+        for &gid in &levels.topo_gates {
+            let gate = netlist.gate(gid);
+            for &t in sets.gate[gid.index()].times() {
+                let first_operand = u32::try_from(operands.len()).expect("operand pool fits u32");
+                for &input in &gate.inputs {
+                    let src_time = sets.net[input]
+                        .largest_below(t)
+                        .expect("zero insertion guarantees an operand");
+                    operands.push(slot_of(input, src_time));
+                }
+                ops.push(GateOp {
+                    kind: gate.kind,
+                    dst: slot_of(gate.output, t),
+                    first_operand,
+                    operand_count: gate.inputs.len() as u32,
+                });
+            }
+        }
+
+        let program = Program {
+            init,
+            input_slots,
+            ops,
+            operands,
+            slot_count: slot_count as usize,
+        };
+
+        // Consistent power-up state: the circuit settled under all-0
+        // inputs, broadcast to every slot of each net and all 64 streams.
+        let mut settled = vec![0u64; netlist.net_count()];
+        for &gid in &levels.topo_gates {
+            let gate = netlist.gate(gid);
+            let bits: Vec<u64> = gate.inputs.iter().map(|&n| settled[n]).collect();
+            settled[gate.output] = gate.kind.eval_words(&bits);
+        }
+        let mut initial_arena = vec![0u64; slot_count as usize];
+        for net in netlist.net_ids() {
+            let base = net_base[net.index()] as usize;
+            for k in 0..sets.net[net].len() {
+                initial_arena[base + k] = settled[net];
+            }
+        }
+
+        Ok(PcSetSimulator {
+            arena: initial_arena.clone(),
+            initial_arena,
+            net_times: sets.net.iter().map(|s| s.times().to_vec()).collect(),
+            net_base,
+            retention,
+            monitored: monitored.to_vec(),
+            input_count: netlist.primary_inputs().len(),
+            depth: levels.depth,
+            program,
+        })
+    }
+
+    /// Circuit depth; histories cover times `0..=depth()`.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The monitored nets.
+    pub fn monitored(&self) -> &[NetId] {
+        &self.monitored
+    }
+
+    /// Program size metrics.
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats {
+            variables: self.program.slot_count,
+            gate_simulations: self.program.ops.len(),
+            retention_copies: self.program.init.len(),
+        }
+    }
+
+    /// Restores the consistent power-up state (circuit settled under
+    /// all-zero inputs).
+    pub fn reset(&mut self) {
+        self.arena.copy_from_slice(&self.initial_arena);
+    }
+
+    /// Simulates one input vector (all 64 streams carry the same bits).
+    ///
+    /// `inputs` is parallel to the netlist's primary inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn simulate_vector(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.input_count,
+            "input vector length must match the primary input count"
+        );
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0u64 } else { 0 }).collect();
+        self.program.run(&mut self.arena, &words);
+    }
+
+    /// Simulates 64 independent vector streams at once: bit `k` of
+    /// `inputs[i]` is the value of primary input `i` in stream `k`.
+    /// Stream `k`'s retained values come from stream `k`'s previous call
+    /// — 64 sequences advance in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn simulate_streams(&mut self, inputs: &[u64]) {
+        assert_eq!(
+            inputs.len(),
+            self.input_count,
+            "input vector length must match the primary input count"
+        );
+        self.program.run(&mut self.arena, inputs);
+    }
+
+    /// The final settled value of any net for the last vector (stream 0).
+    pub fn final_value(&self, net: NetId) -> bool {
+        self.final_value_streams(net) & 1 != 0
+    }
+
+    /// Final settled value of `net` in all 64 streams.
+    pub fn final_value_streams(&self, net: NetId) -> u64 {
+        let times = &self.net_times[net.index()];
+        let last = times.len() - 1;
+        self.arena[(self.net_base[net.index()] as usize) + last]
+    }
+
+    /// The value of `net` at time `time` for the last vector (stream 0),
+    /// or `None` if the net's history at that time is not reconstructible
+    /// (the net is unmonitored and has no PC element at or below `time`).
+    pub fn value_at(&self, net: NetId, time: u32) -> Option<bool> {
+        let times = &self.net_times[net.index()];
+        let idx = match times.binary_search(&time) {
+            Ok(idx) => idx,
+            Err(0) => return None,
+            Err(idx) => idx - 1,
+        };
+        Some(self.arena[(self.net_base[net.index()] as usize) + idx] & 1 != 0)
+    }
+
+    /// The complete unit-delay history of `net` for the last vector
+    /// (stream 0), at times `0..=depth()`. Returns `None` when time 0 is
+    /// not reconstructible — monitor the net to guarantee it.
+    pub fn history(&self, net: NetId) -> Option<Vec<bool>> {
+        if self.net_times[net.index()].first() != Some(&0) {
+            return None;
+        }
+        Some(
+            (0..=self.depth)
+                .map(|t| self.value_at(net, t).expect("time 0 exists"))
+                .collect(),
+        )
+    }
+
+    /// `true` if zero insertion forced this net to retain its previous
+    /// vector's value.
+    pub fn retains(&self, net: NetId) -> bool {
+        self.retention.retains[net]
+    }
+
+    /// Internal accessors used by the C emitter.
+    pub(crate) fn program(&self) -> &Program {
+        &self.program
+    }
+
+    pub(crate) fn initial_arena(&self) -> &[u64] {
+        &self.initial_arena
+    }
+
+    pub(crate) fn net_times(&self) -> &[Vec<u32>] {
+        &self.net_times
+    }
+
+    pub(crate) fn net_base(&self) -> &[u32] {
+        &self.net_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    /// The paper's Fig. 4 network.
+    fn fig4() -> (Netlist, NetId, NetId, NetId, NetId, NetId) {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.input("B");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, bn], "D").unwrap();
+        let e = b.gate(GateKind::And, &[d, c], "E").unwrap();
+        b.output(e);
+        (b.finish().unwrap(), a, bn, c, d, e)
+    }
+
+    #[test]
+    fn fig4_variable_allocation_matches_paper() {
+        // Paper: variables A_0, B_0, C_0, D_0, D_1, E_1, E_2 — with our
+        // conservative extension E (monitored) also gets E_0.
+        let (nl, ..) = fig4();
+        let sim = PcSetSimulator::compile(&nl).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.variables, 8);
+        // Gate sims: D at time 1; E at times 1 and 2 => 3 (as in Fig. 4).
+        assert_eq!(stats.gate_simulations, 3);
+        // Retention copies: D_0 = D_1 and E_0 = E_2.
+        assert_eq!(stats.retention_copies, 2);
+    }
+
+    #[test]
+    fn fig4_history_shows_the_intermediate_value() {
+        let (nl, _, _, _, d, e) = fig4();
+        let mut sim = PcSetSimulator::compile(&nl).unwrap();
+        // Settle with A=1,B=1,C=1: D=1, E=1.
+        sim.simulate_vector(&[true, true, true]);
+        assert!(sim.final_value(d));
+        assert!(sim.final_value(e));
+        // Now drop A. D falls at time 1; E sees old D at time 1 (stays 1
+        // at time 1 via E_1 = D_0 & C_0 = 1), then falls at time 2.
+        sim.simulate_vector(&[false, true, true]);
+        let history = sim.history(e).unwrap();
+        assert_eq!(history, vec![true, true, false]);
+        assert!(!sim.final_value(d));
+    }
+
+    #[test]
+    fn unmonitored_net_history_is_none_but_final_value_works() {
+        let (nl, _, _, _, d, _) = fig4();
+        let mut sim = PcSetSimulator::compile(&nl).unwrap();
+        sim.simulate_vector(&[true, true, false]);
+        // D is not monitored but retains (feeds E alongside C)... so it
+        // has a 0 element and history IS available.
+        assert!(sim.history(d).is_some());
+        assert!(sim.final_value(d));
+    }
+
+    #[test]
+    fn value_at_none_before_first_pc_element() {
+        // A net with PC-set {2} and no zero: nothing forces retention.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let x = b.gate(GateKind::Not, &[a], "x").unwrap();
+        let y = b.gate(GateKind::Not, &[x], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        // Monitor nothing to keep PC-sets pristine.
+        let mut sim = PcSetSimulator::compile_with_monitors(&nl, &[]).unwrap();
+        sim.simulate_vector(&[true]);
+        assert_eq!(sim.value_at(x, 0), None);
+        assert_eq!(sim.value_at(x, 1), Some(false));
+        assert_eq!(sim.history(x), None);
+    }
+
+    #[test]
+    fn reset_restores_power_up_state() {
+        let (nl, .., e) = fig4();
+        let mut sim = PcSetSimulator::compile(&nl).unwrap();
+        sim.simulate_vector(&[true, true, true]);
+        assert!(sim.final_value(e));
+        sim.reset();
+        assert!(!sim.final_value(e));
+    }
+
+    #[test]
+    fn streams_run_64_sequences() {
+        let (nl, .., e) = fig4();
+        let mut sim = PcSetSimulator::compile(&nl).unwrap();
+        // Stream k gets A=bit k of 0b10, B=1, C=1.
+        sim.simulate_streams(&[0b10, !0, !0]);
+        let finals = sim.final_value_streams(e);
+        assert_eq!(finals & 1, 0, "stream 0: A=0 -> E=0");
+        assert_eq!(finals >> 1 & 1, 1, "stream 1: A=1 -> E=1");
+    }
+
+    #[test]
+    fn unknown_monitor_is_rejected() {
+        let (nl, ..) = fig4();
+        let bogus = NetId::from_index(nl.net_count());
+        assert_eq!(
+            PcSetSimulator::compile_with_monitors(&nl, &[bogus]).unwrap_err(),
+            CompileError::UnknownMonitor
+        );
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let x = b.fresh_net();
+        let y = b.fresh_net();
+        b.gate_onto(GateKind::And, &[a, y], x).unwrap();
+        b.gate_onto(GateKind::Not, &[x], y).unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        assert!(matches!(
+            PcSetSimulator::compile(&nl),
+            Err(CompileError::Levelize(_))
+        ));
+    }
+
+    #[test]
+    fn constant_gates_hold_their_value() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let k = b.gate(GateKind::Const1, &[], "k").unwrap();
+        let y = b.gate(GateKind::And, &[a, k], "y").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let mut sim = PcSetSimulator::compile(&nl).unwrap();
+        sim.simulate_vector(&[true]);
+        assert!(sim.final_value(y));
+        sim.simulate_vector(&[false]);
+        assert!(!sim.final_value(y));
+        assert!(sim.final_value(k));
+    }
+}

@@ -1,0 +1,158 @@
+//! Zero insertion: marking nets that must retain their previous-vector
+//! value (the paper's Fig. 3).
+//!
+//! When a gate computes its earliest output (at time `m + 1`, where `m`
+//! is the smallest input minlevel), inputs whose own minlevel exceeds `m`
+//! have not changed yet for the current vector — their value *from the
+//! previous input vector* must be used. Adding element 0 to such a net's
+//! PC-set allocates a variable for that retained value and guarantees the
+//! operand search ("largest element strictly below `t`") always succeeds.
+
+use uds_netlist::{levelize, NetId, Netlist};
+
+use crate::PcSets;
+
+/// Result of zero insertion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ZeroInsertion {
+    /// Per net: `true` if element 0 was added (the net must retain its
+    /// previous-vector value across vector boundaries).
+    pub retains: Vec<bool>,
+}
+
+impl ZeroInsertion {
+    /// Number of nets that retain their previous value.
+    pub fn retained_count(&self) -> usize {
+        self.retains.iter().filter(|&&r| r).count()
+    }
+}
+
+/// Performs zero insertion on `sets` in place.
+///
+/// Applies the paper's rule to every gate: if the inputs of a gate do
+/// not have identical minlevels, every input whose minlevel is not
+/// minimal for that gate gets 0 added to its PC-set. The same rule is
+/// applied to `monitored` as if the monitored nets were all inputs of a
+/// single `PRINT` pseudo-gate — and, beyond the paper's minimum, *every*
+/// monitored net gets a zero so that a complete time-0..=depth history
+/// can always be reconstructed for it.
+///
+/// Primary inputs and constant outputs already contain 0 and are
+/// reported as non-retaining (their time-0 variables are written by the
+/// input/constant initialization, not by a retention copy).
+pub fn insert_zeros(netlist: &Netlist, sets: &mut PcSets, monitored: &[NetId]) -> ZeroInsertion {
+    let mut retains = vec![false; netlist.net_count()];
+
+    // The rule compares the *original* minlevels (the paper's Fig. 3).
+    // Reading minima back from the sets being mutated would cascade: a
+    // zero inserted into one net would make sibling inputs of later
+    // gates look late and retain needlessly, order-dependently.
+    let minlevels = levelize(netlist)
+        .expect("PC-sets exist, so the netlist already levelized")
+        .net_minlevel;
+
+    let mark = |sets: &mut PcSets, retains: &mut Vec<bool>, net: NetId| {
+        if netlist.driver(net).is_some() && !sets.net[net].contains(0) {
+            sets.net[net].insert(0);
+            retains[net] = true;
+        }
+    };
+
+    for gid in netlist.gate_ids() {
+        let gate = netlist.gate(gid);
+        let Some(min) = gate.inputs.iter().map(|&n| minlevels[n]).min() else {
+            continue; // constant generator: no inputs
+        };
+        for &input in &gate.inputs {
+            if minlevels[input] > min {
+                mark(&mut *sets, &mut retains, input);
+            }
+        }
+    }
+
+    for &net in monitored {
+        mark(&mut *sets, &mut retains, net);
+    }
+
+    ZeroInsertion { retains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::{GateKind, NetlistBuilder};
+
+    /// The paper's Fig. 4 network.
+    fn fig4() -> (Netlist, NetId, NetId) {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let bn = b.input("B");
+        let c = b.input("C");
+        let d = b.gate(GateKind::And, &[a, bn], "D").unwrap();
+        let e = b.gate(GateKind::And, &[d, c], "E").unwrap();
+        b.output(e);
+        (b.finish().unwrap(), d, e)
+    }
+
+    #[test]
+    fn fig4_d_gets_zero_added() {
+        // E's gate reads D (minlevel 1) and C (minlevel 0): D must retain.
+        let (nl, d, e) = fig4();
+        let mut sets = PcSets::compute(&nl).unwrap();
+        let inserted = insert_zeros(&nl, &mut sets, &[e]);
+        assert!(inserted.retains[d]);
+        assert_eq!(sets.net[d].times(), &[0, 1]);
+        // E is monitored, so it also retains (our conservative extension).
+        assert!(inserted.retains[e]);
+        assert_eq!(sets.net[e].times(), &[0, 1, 2]);
+        assert_eq!(inserted.retained_count(), 2);
+    }
+
+    #[test]
+    fn equal_minlevels_insert_nothing() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let c = b.input("C");
+        let x = b.gate(GateKind::Not, &[a], "X").unwrap();
+        let y = b.gate(GateKind::Not, &[c], "Y").unwrap();
+        let z = b.gate(GateKind::And, &[x, y], "Z").unwrap();
+        b.output(z);
+        let nl = b.finish().unwrap();
+        let mut sets = PcSets::compute(&nl).unwrap();
+        let inserted = insert_zeros(&nl, &mut sets, &[]);
+        assert_eq!(inserted.retained_count(), 0);
+        assert_eq!(sets.net[x].times(), &[1]);
+    }
+
+    #[test]
+    fn primary_inputs_never_marked_retaining() {
+        let (nl, _, e) = fig4();
+        let mut sets = PcSets::compute(&nl).unwrap();
+        let inserted = insert_zeros(&nl, &mut sets, &[e]);
+        for &pi in nl.primary_inputs() {
+            assert!(!inserted.retains[pi]);
+            assert_eq!(sets.net[pi].times(), &[0]);
+        }
+    }
+
+    #[test]
+    fn monitored_net_with_minimal_min_still_gets_zero() {
+        // Our conservative extension: every monitored net retains.
+        let (nl, d, _) = fig4();
+        let mut sets = PcSets::compute(&nl).unwrap();
+        let inserted = insert_zeros(&nl, &mut sets, &[d]);
+        assert!(inserted.retains[d]);
+    }
+
+    #[test]
+    fn idempotent_on_nets_already_containing_zero() {
+        let (nl, d, e) = fig4();
+        let mut sets = PcSets::compute(&nl).unwrap();
+        insert_zeros(&nl, &mut sets, &[e]);
+        let before = sets.clone();
+        let second = insert_zeros(&nl, &mut sets, &[e]);
+        assert_eq!(sets, before);
+        assert_eq!(second.retained_count(), 0);
+        let _ = d;
+    }
+}

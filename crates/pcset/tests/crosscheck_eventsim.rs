@@ -1,0 +1,130 @@
+//! The strongest invariant in the workspace: the compiled PC-set
+//! simulator must produce exactly the same unit-delay waveforms as the
+//! interpreted event-driven simulator, vector after vector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uds_eventsim::EventDrivenUnitDelay;
+use uds_netlist::generators::iscas::{c17, Iscas85};
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{levelize, Netlist};
+use uds_pcset::PcSetSimulator;
+
+/// Runs `vectors` random vectors through both simulators, comparing the
+/// full history of every monitored (primary output) net and the final
+/// value of every net.
+fn crosscheck(nl: &Netlist, vectors: usize, seed: u64) {
+    let depth = levelize(nl).unwrap().depth;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut compiled = PcSetSimulator::compile(nl).unwrap();
+    let mut reference = EventDrivenUnitDelay::<bool>::new(nl).unwrap();
+
+    for vector_index in 0..vectors {
+        let inputs: Vec<bool> = (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect();
+
+        // Reference: trace every change into a dense waveform.
+        let mut waveform: Vec<Vec<bool>> = reference
+            .values()
+            .iter()
+            .map(|&v| vec![v; depth as usize + 1])
+            .collect();
+        reference.simulate_vector_traced(&inputs, |t, net, v| {
+            for slot in &mut waveform[net.index()][t as usize..] {
+                *slot = v;
+            }
+        });
+
+        compiled.simulate_vector(&inputs);
+
+        for net in nl.net_ids() {
+            assert_eq!(
+                compiled.final_value(net),
+                *waveform[net.index()].last().unwrap(),
+                "final value of {} ({net}) diverged on vector {vector_index}",
+                nl.net_name(net)
+            );
+        }
+        for &po in nl.primary_outputs() {
+            let history = compiled.history(po).expect("outputs are monitored");
+            assert_eq!(
+                history,
+                waveform[po.index()],
+                "history of {} diverged on vector {vector_index}",
+                nl.net_name(po)
+            );
+        }
+    }
+}
+
+#[test]
+fn c17_full_history_matches_event_driven() {
+    crosscheck(&c17(), 200, 0xC17);
+}
+
+#[test]
+fn random_circuits_match_event_driven() {
+    for seed in 0..8 {
+        let mut config = LayeredConfig::new(format!("x{seed}"), 150, 12);
+        config.seed = seed;
+        config.locality = 0.2 + 0.1 * (seed % 5) as f64;
+        config.xor_fraction = 0.3;
+        let nl = layered(&config).unwrap();
+        crosscheck(&nl, 40, seed);
+    }
+}
+
+#[test]
+fn deep_narrow_circuit_matches() {
+    let mut config = LayeredConfig::new("deep", 120, 60);
+    config.primary_inputs = 4;
+    config.locality = 0.0;
+    let nl = layered(&config).unwrap();
+    crosscheck(&nl, 50, 99);
+}
+
+#[test]
+fn c432_standin_matches_event_driven() {
+    crosscheck(&Iscas85::C432.build(), 25, 0x432);
+}
+
+#[test]
+fn c880_standin_matches_event_driven() {
+    crosscheck(&Iscas85::C880.build(), 10, 0x880);
+}
+
+#[test]
+fn value_at_matches_event_driven_at_pc_times() {
+    // Beyond monitored outputs: every net's value at each of its PC
+    // times must agree with the reference waveform.
+    let nl = c17();
+    let depth = levelize(&nl).unwrap().depth;
+    let sets = uds_pcset::PcSets::compute(&nl).unwrap();
+    let mut compiled = PcSetSimulator::compile(&nl).unwrap();
+    let mut reference = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    for _ in 0..100 {
+        let inputs: Vec<bool> = (0..5).map(|_| rng.gen()).collect();
+        let mut waveform: Vec<Vec<bool>> = reference
+            .values()
+            .iter()
+            .map(|&v| vec![v; depth as usize + 1])
+            .collect();
+        reference.simulate_vector_traced(&inputs, |t, net, v| {
+            for slot in &mut waveform[net.index()][t as usize..] {
+                *slot = v;
+            }
+        });
+        compiled.simulate_vector(&inputs);
+        for net in nl.net_ids() {
+            for &t in sets.net[net].times() {
+                assert_eq!(
+                    compiled.value_at(net, t),
+                    Some(waveform[net.index()][t as usize]),
+                    "net {net} at time {t}"
+                );
+            }
+        }
+    }
+}

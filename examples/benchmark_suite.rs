@@ -1,0 +1,68 @@
+//! Mini version of the paper's Fig. 19: run the ISCAS-85-like suite
+//! through the interpreted baseline and both compiled techniques and
+//! print a timing table.
+//!
+//! Run with: `cargo run --release --example benchmark_suite [vectors]`
+//! (default 500 vectors; the paper used 5,000 — see the `tables` binary
+//! in `uds-bench` for the full reproduction).
+
+use std::time::Instant;
+
+use unit_delay_sim::core::vectors::RandomVectors;
+use unit_delay_sim::netlist::generators::iscas::Iscas85;
+use unit_delay_sim::eventsim::ConventionalEventDriven;
+use unit_delay_sim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vectors: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(500);
+
+    println!("{vectors} random vectors per circuit (times in ms)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14}",
+        "circuit", "event-3v", "event-2v", "pc-set", "parallel"
+    );
+
+    for circuit in Iscas85::ALL {
+        let nl = circuit.build();
+        let inputs = nl.primary_inputs().len();
+
+        let time = |run: &mut dyn FnMut(&[bool])| -> f64 {
+            let stimulus: Vec<Vec<bool>> = RandomVectors::new(inputs, 0xF16).take(vectors).collect();
+            let start = Instant::now();
+            for vector in &stimulus {
+                run(vector);
+            }
+            start.elapsed().as_secs_f64() * 1e3
+        };
+
+        let mut e3 = ConventionalEventDriven::<unit_delay_sim::netlist::Logic3>::new(&nl)?;
+        let t_e3 = time(&mut |v| {
+            let l3: Vec<_> = v.iter().map(|&b| b.into()).collect();
+            e3.simulate_vector(&l3);
+        });
+        let mut e2 = ConventionalEventDriven::<bool>::new(&nl)?;
+        let t_e2 = time(&mut |v| {
+            e2.simulate_vector(v);
+        });
+        let mut pc = PcSetSimulator::compile(&nl)?;
+        let t_pc = time(&mut |v| pc.simulate_vector(v));
+        let mut par = ParallelSimulator::compile(&nl, Optimization::None)?;
+        let t_par = time(&mut |v| par.simulate_vector(v));
+
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>14.1}",
+            circuit.to_string(),
+            t_e3,
+            t_e2,
+            t_pc,
+            t_par
+        );
+    }
+    println!("\nExpected shape (paper Fig. 19): event-3v slowest, pc-set ~4x");
+    println!("faster than event-driven, parallel ~10x faster.");
+    Ok(())
+}

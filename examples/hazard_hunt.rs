@@ -1,0 +1,63 @@
+//! Hazard hunting with the parallel technique: because one compiled pass
+//! yields the *complete* unit-delay history of every net, glitch
+//! detection is a post-processing scan (the analysis §3 of the paper
+//! sketches with comparison fields).
+//!
+//! Run with: `cargo run --release --example hazard_hunt`
+
+use unit_delay_sim::core::hazard::{self, Activity};
+use unit_delay_sim::core::vectors::RandomVectors;
+use unit_delay_sim::netlist::generators::alu::alu;
+use unit_delay_sim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-bit ALU: the select lines fan out everywhere, so operation
+    // switches race against data paths — fertile ground for hazards.
+    let nl = alu(8)?;
+    let mut sim = ParallelSimulator::compile(&nl, Optimization::PathTracingTrimming)?;
+
+    let mut static_hazards = 0usize;
+    let mut dynamic_hazards = 0usize;
+    let mut worst: Option<(usize, hazard::Hazard)> = None;
+
+    let vectors = 2_000;
+    for (index, vector) in RandomVectors::new(nl.primary_inputs().len(), 0xA10)
+        .take(vectors)
+        .enumerate()
+    {
+        sim.simulate_vector(&vector);
+        for found in hazard::scan(&nl, &sim) {
+            match found.activity {
+                Activity::StaticHazard => static_hazards += 1,
+                Activity::DynamicHazard => dynamic_hazards += 1,
+                _ => {}
+            }
+            let transitions = found
+                .history
+                .windows(2)
+                .filter(|p| p[0] != p[1])
+                .count();
+            let is_worse = worst
+                .as_ref()
+                .map(|(_, w)| {
+                    transitions > w.history.windows(2).filter(|p| p[0] != p[1]).count()
+                })
+                .unwrap_or(true);
+            if is_worse {
+                worst = Some((index, found));
+            }
+        }
+    }
+
+    println!("scanned {vectors} random vectors on `{}`:", nl.name());
+    println!("  static hazards (pulses):    {static_hazards}");
+    println!("  dynamic hazards (stutters): {dynamic_hazards}");
+    if let Some((vector_index, hazard)) = worst {
+        let bits: String = hazard.history.iter().map(|&b| char::from(b'0' + b as u8)).collect();
+        println!(
+            "  busiest net: {} on vector {vector_index}: {bits}",
+            nl.net_name(hazard.net),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! `udsim` — command-line front end for the compiled unit-delay
+//! simulators.
+//!
+//! ```text
+//! udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]
+//! udsim stats    FILE.bench
+//! udsim codegen  FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]
+//! udsim cone     FILE.bench OUTPUT_NET [...]   # fan-in cone as .bench on stdout
+//! udsim engines
+//! ```
+//!
+//! `FILE.bench` is an ISCAS-85/89 `.bench` netlist (`-` reads stdin).
+//! Sequential netlists are cut at their flip-flops automatically for
+//! `stats`; `simulate` and `codegen` require combinational input.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use unit_delay_sim::core::vcd::VcdRecorder;
+use unit_delay_sim::core::vectors::RandomVectors;
+use unit_delay_sim::core::{build_simulator, Engine};
+use unit_delay_sim::netlist::stats::CircuitStats;
+use unit_delay_sim::parallel::{self, Optimization, ParallelSimulator};
+use unit_delay_sim::pcset::{self, PcSetSimulator};
+use unit_delay_sim::prelude::{bench_format, Netlist};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("udsim: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let rest: Vec<String> = args.collect();
+    match command.as_str() {
+        "simulate" => simulate(&rest),
+        "stats" => stats(&rest),
+        "codegen" => codegen(&rest),
+        "cone" => cone(&rest),
+        "engines" => {
+            for engine in Engine::ALL {
+                println!("{engine}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            eprintln!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]\n  \
+     udsim stats FILE.bench\n  \
+     udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n  \
+     udsim cone FILE.bench OUTPUT_NET [...]\n  \
+     udsim engines"
+        .to_owned()
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    bench_format::parse(&text, name).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_engine(name: &str) -> Result<Engine, String> {
+    Engine::ALL
+        .into_iter()
+        .find(|e| e.to_string() == name)
+        .ok_or_else(|| {
+            let names: Vec<String> = Engine::ALL.iter().map(|e| e.to_string()).collect();
+            format!("unknown engine `{name}` (expected one of: {})", names.join(", "))
+        })
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut engine = Engine::ParallelPathTracingTrimming;
+    let mut vectors = 16usize;
+    let mut seed = 1990u64;
+    let mut vcd_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--engine" => engine = parse_engine(iter.next().ok_or("--engine needs a value")?)?,
+            "--vectors" => {
+                vectors = iter
+                    .next()
+                    .ok_or("--vectors needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--vectors: {e}"))?;
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--vcd" => vcd_path = Some(iter.next().ok_or("--vcd needs a path")?.clone()),
+            other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
+                file = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing FILE.bench")?;
+    let nl = load(&file)?;
+
+    let mut sim = build_simulator(&nl, engine).map_err(|e| e.to_string())?;
+    let mut recorder = vcd_path
+        .as_ref()
+        .map(|_| VcdRecorder::new(&nl, nl.primary_outputs().to_vec()));
+
+    println!(
+        "# {}: {} gates, {} inputs, {} outputs, engine {engine}",
+        nl.name(),
+        nl.gate_count(),
+        nl.primary_inputs().len(),
+        nl.primary_outputs().len()
+    );
+    let header: Vec<&str> = nl.primary_outputs().iter().map(|&n| nl.net_name(n)).collect();
+    println!("# vector -> {}", header.join(" "));
+    for (index, vector) in RandomVectors::new(nl.primary_inputs().len(), seed)
+        .take(vectors)
+        .enumerate()
+    {
+        sim.simulate_vector(&vector);
+        if let Some(recorder) = recorder.as_mut() {
+            recorder.record(sim.as_ref());
+        }
+        let input_bits: String = vector.iter().map(|&b| char::from(b'0' + b as u8)).collect();
+        let output_bits: String = nl
+            .primary_outputs()
+            .iter()
+            .map(|&n| char::from(b'0' + sim.final_value(n) as u8))
+            .collect();
+        println!("{index:>6} {input_bits} -> {output_bits}");
+    }
+    if let (Some(path), Some(recorder)) = (vcd_path, recorder) {
+        std::fs::write(&path, recorder.render()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("missing FILE.bench")?;
+    let nl = load(file)?;
+    let combinational = if nl.is_sequential() {
+        let cut = unit_delay_sim::netlist::sequential::cut_flip_flops(&nl)
+            .map_err(|e| e.to_string())?;
+        println!("sequential circuit: {} flip-flops cut", cut.state_bits());
+        cut.combinational
+    } else {
+        nl
+    };
+    let stats = CircuitStats::compute(&combinational).map_err(|e| e.to_string())?;
+    println!("{stats}");
+
+    let pcset = PcSetSimulator::compile(&combinational).map_err(|e| e.to_string())?;
+    let program = pcset.stats();
+    println!(
+        "pc-set: {} variables, {} gate simulations, {} retention copies",
+        program.variables, program.gate_simulations, program.retention_copies
+    );
+    for optimization in [Optimization::None, Optimization::PathTracingTrimming] {
+        let sim = ParallelSimulator::compile(&combinational, optimization)
+            .map_err(|e| e.to_string())?;
+        let s = sim.stats();
+        println!(
+            "parallel ({optimization}): {} word ops, {} retained shifts, {} arena words",
+            s.word_ops, s.retained_shifts, s.arena_words
+        );
+    }
+    Ok(())
+}
+
+fn cone(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("missing FILE.bench")?;
+    let roots = &args[1..];
+    if roots.is_empty() {
+        return Err("missing OUTPUT_NET name(s)".to_owned());
+    }
+    let nl = load(file)?;
+    let root_ids: Vec<_> = roots
+        .iter()
+        .map(|name| {
+            nl.find_net(name)
+                .ok_or_else(|| format!("no net named `{name}` in {file}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let cone = unit_delay_sim::netlist::cone::extract(&nl, &root_ids);
+    eprintln!(
+        "# cone of {}: {} of {} gates",
+        roots.join(", "),
+        cone.netlist.gate_count(),
+        nl.gate_count()
+    );
+    print!("{}", bench_format::write(&cone.netlist));
+    Ok(())
+}
+
+fn codegen(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut technique = "parallel".to_owned();
+    let mut optimization = Optimization::None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--technique" => {
+                technique = iter.next().ok_or("--technique needs a value")?.clone();
+            }
+            "--opt" => {
+                optimization = match iter.next().ok_or("--opt needs a value")?.as_str() {
+                    "none" => Optimization::None,
+                    "trim" => Optimization::Trimming,
+                    "pt" => Optimization::PathTracing,
+                    "pt-trim" => Optimization::PathTracingTrimming,
+                    "cb" => Optimization::CycleBreaking,
+                    other => return Err(format!("unknown optimization `{other}`")),
+                };
+            }
+            other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
+                file = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing FILE.bench")?;
+    let nl = load(&file)?;
+    match technique.as_str() {
+        "pc-set" | "pcset" => {
+            let sim = PcSetSimulator::compile(&nl).map_err(|e| e.to_string())?;
+            print!("{}", pcset::codegen_c::emit(&nl, &sim));
+        }
+        "parallel" => {
+            let sim =
+                ParallelSimulator::compile(&nl, optimization).map_err(|e| e.to_string())?;
+            print!("{}", parallel::codegen_c::emit(&nl, &sim));
+        }
+        other => return Err(format!("unknown technique `{other}`")),
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # unit-delay-sim
+//!
+//! A reproduction of Peter M. Maurer's *"Two New Techniques for
+//! Unit-Delay Compiled Simulation"* (DAC 1990) as a Rust workspace:
+//! compiled unit-delay logic simulation without an event queue.
+//!
+//! This facade crate re-exports the workspace's crates under stable
+//! names:
+//!
+//! * [`netlist`] — circuit substrate: gate model, ISCAS-85 `.bench`
+//!   format, levelization, generators, the calibrated ISCAS-85-like
+//!   benchmark suite;
+//! * [`eventsim`] — interpreted event-driven and zero-delay baselines;
+//! * [`pcset`] — the PC-set method (§2 of the paper);
+//! * [`parallel`] — the parallel technique (§3) with bit-field trimming
+//!   and shift elimination (§4);
+//! * [`core`] — the engine-agnostic simulator trait, stimulus
+//!   generators, waveforms, hazard analysis and cross-validation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use unit_delay_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a circuit (or parse a `.bench` file).
+//! let mut b = NetlistBuilder::named("demo");
+//! let a = b.input("a");
+//! let bn = b.input("b");
+//! let na = b.gate(GateKind::Not, &[a], "na")?;
+//! let y = b.gate(GateKind::And, &[na, bn], "y")?;
+//! b.output(y);
+//! let nl = b.finish()?;
+//!
+//! // Compile with the paper's fastest configuration and simulate.
+//! let mut sim = ParallelSimulator::compile(&nl, Optimization::PathTracingTrimming)?;
+//! sim.simulate_vector(&[false, true]);
+//! assert!(sim.final_value(y));
+//! // The complete unit-delay waveform of y for that vector:
+//! println!("{:?}", sim.history(y).expect("primary outputs are monitored"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use uds_core as core;
+pub use uds_eventsim as eventsim;
+pub use uds_netlist as netlist;
+pub use uds_parallel as parallel;
+pub use uds_pcset as pcset;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use uds_core::{build_simulator, Engine, UnitDelaySimulator};
+    pub use uds_eventsim::EventDrivenUnitDelay;
+    pub use uds_netlist::{
+        bench_format, generators, levelize, GateKind, NetId, Netlist, NetlistBuilder,
+    };
+    pub use uds_parallel::{Optimization, ParallelSimulator};
+    pub use uds_pcset::{PcSetSimulator, PcSets};
+}

@@ -1,0 +1,181 @@
+//! Deterministic regression checks for the paper's evaluation shapes.
+//!
+//! The wall-clock tables live in `uds-bench`; these tests pin the
+//! *deterministic* quantities those tables rest on — generated-code
+//! size, word-op counts, retained shifts, bit-field widths — so a
+//! regression in any compiler shows up as a test failure rather than a
+//! silently different benchmark table.
+
+use unit_delay_sim::netlist::generators::iscas::Iscas85;
+use unit_delay_sim::netlist::levelize;
+use unit_delay_sim::parallel::{cycle_breaking, path_tracing, Optimization, ParallelSimulator};
+use unit_delay_sim::pcset::PcSetSimulator;
+
+fn word_ops(nl: &unit_delay_sim::prelude::Netlist, optimization: Optimization) -> usize {
+    ParallelSimulator::compile(nl, optimization)
+        .expect("suite circuits are combinational")
+        .stats()
+        .word_ops
+}
+
+#[test]
+fn trimming_never_adds_ops_and_helps_multiword() {
+    // Fig. 20's shape: no-op on 1-word circuits, 20-40% off on
+    // multi-word ones.
+    for circuit in Iscas85::ALL {
+        let nl = circuit.build();
+        let unopt = word_ops(&nl, Optimization::None);
+        let trimmed = word_ops(&nl, Optimization::Trimming);
+        assert!(trimmed <= unopt, "{circuit}");
+        if circuit.target().words == 1 {
+            assert_eq!(trimmed, unopt, "{circuit}: trimming must be a no-op");
+        } else {
+            let gain = 1.0 - trimmed as f64 / unopt as f64;
+            assert!(
+                (0.10..=0.60).contains(&gain),
+                "{circuit}: trimming gain {gain:.2} outside the plausible band"
+            );
+        }
+    }
+}
+
+#[test]
+fn shift_elimination_halves_the_ops_on_average() {
+    // Fig. 24's shape: path tracing + trimming removes 33-80% of ops,
+    // averaging ~50% (the paper's 47% runtime gain).
+    let mut total_gain = 0.0;
+    for circuit in Iscas85::ALL {
+        let nl = circuit.build();
+        let unopt = word_ops(&nl, Optimization::None);
+        let optimized = word_ops(&nl, Optimization::PathTracingTrimming);
+        let gain = 1.0 - optimized as f64 / unopt as f64;
+        assert!(
+            (0.25..=0.85).contains(&gain),
+            "{circuit}: combined gain {gain:.2} outside the paper band (24%..84%)"
+        );
+        total_gain += gain;
+    }
+    let average = total_gain / 10.0;
+    assert!(
+        (0.40..=0.60).contains(&average),
+        "average gain {average:.2} drifted from the paper's 47%"
+    );
+}
+
+#[test]
+fn cycle_breaking_is_worse_than_path_tracing() {
+    // Fig. 23's conclusion: bit-field expansion negates cycle breaking's
+    // eliminated shifts on the larger circuits.
+    let mut cycle_breaking_wins = 0;
+    for circuit in Iscas85::ALL {
+        let nl = circuit.build();
+        let pt = word_ops(&nl, Optimization::PathTracing);
+        let cb = word_ops(&nl, Optimization::CycleBreaking);
+        if cb < pt {
+            cycle_breaking_wins += 1;
+        }
+    }
+    assert!(
+        cycle_breaking_wins <= 3,
+        "cycle breaking won {cycle_breaking_wins}/10 circuits; the paper has it losing almost everywhere"
+    );
+}
+
+#[test]
+fn path_tracing_never_expands_widths_cycle_breaking_does() {
+    // Fig. 22's prose claims.
+    let mut cb_expanded = 0;
+    for circuit in Iscas85::ALL {
+        let nl = circuit.build();
+        let levels = levelize(&nl).unwrap();
+        let unopt_width = levels.depth + 1;
+        let pt = path_tracing::align(&nl).unwrap().stats(&nl, &levels);
+        let cb = cycle_breaking::align(&nl)
+            .unwrap()
+            .alignment
+            .stats(&nl, &levels);
+        assert!(pt.max_width_bits <= unopt_width, "{circuit}");
+        if cb.max_width_bits > unopt_width {
+            cb_expanded += 1;
+        }
+    }
+    assert!(
+        cb_expanded >= 7,
+        "cycle breaking expanded only {cb_expanded}/10 bit-fields; the paper reports it expanding greatly"
+    );
+}
+
+#[test]
+fn retained_shifts_orderings() {
+    // Fig. 21's shape: both algorithms retain fewer shifts than
+    // one-per-gate; unoptimized equals the gate count exactly.
+    for circuit in Iscas85::ALL {
+        let nl = circuit.build();
+        let levels = levelize(&nl).unwrap();
+        let pt = path_tracing::align(&nl).unwrap();
+        pt.validate(&nl, &levels).unwrap();
+        let retained = pt.retained_shifts(&nl);
+        assert!(
+            retained < nl.gate_count(),
+            "{circuit}: path tracing retained {retained} >= {} gates",
+            nl.gate_count()
+        );
+    }
+}
+
+#[test]
+fn pcset_code_size_dwarfs_parallel() {
+    // §3's motivation: the PC-set method generates far more code. The
+    // paper's c6288 figure is >100k lines; the stand-in must stay in
+    // that regime and the parallel technique must cut it by >2x.
+    use unit_delay_sim::parallel::codegen_c as par_c;
+    use unit_delay_sim::pcset::codegen_c as pc_c;
+    let nl = Iscas85::C6288.build();
+    let pcset = PcSetSimulator::compile(&nl).unwrap();
+    let parallel = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+    let pcset_lines = pc_c::line_count(&nl, &pcset);
+    let parallel_lines = par_c::line_count(&nl, &parallel);
+    assert!(
+        pcset_lines > 100_000,
+        "c6288 pc-set code shrank to {pcset_lines} lines"
+    );
+    assert!(
+        parallel_lines * 2 < pcset_lines,
+        "parallel ({parallel_lines}) no longer dwarfed by pc-set ({pcset_lines})"
+    );
+}
+
+#[test]
+fn c2670_pc_sets_stay_anomalously_small() {
+    // Fig. 19's anomaly depends on this calibration: c2670's PC-sets
+    // are tiny relative to its size.
+    let c2670 = Iscas85::C2670.build();
+    let c3540 = Iscas85::C3540.build();
+    let sims_per_gate = |nl: &unit_delay_sim::prelude::Netlist| {
+        let sim = PcSetSimulator::compile(nl).unwrap();
+        sim.stats().gate_simulations as f64 / nl.gate_count() as f64
+    };
+    assert!(
+        sims_per_gate(&c2670) * 3.0 < sims_per_gate(&c3540),
+        "c2670's PC-sets are no longer anomalously small"
+    );
+}
+
+#[test]
+fn suite_calibration_is_stable() {
+    // The published statistics every table depends on.
+    for circuit in Iscas85::ALL {
+        let nl = circuit.build();
+        let target = circuit.target();
+        let levels = levelize(&nl).unwrap();
+        assert_eq!(
+            ((levels.depth as usize + 1) + 31) / 32,
+            target.words,
+            "{circuit}: word count drifted"
+        );
+        if circuit != Iscas85::C6288 {
+            assert_eq!(nl.gate_count(), target.gates, "{circuit}: gate count drifted");
+            assert_eq!(levels.depth, target.depth, "{circuit}: depth drifted");
+        }
+    }
+}
