@@ -14,17 +14,14 @@ fn bench(c: &mut Criterion) {
         let nl = circuit.build();
         let stim = stimulus(&nl, 100);
         for optimization in [Optimization::None, Optimization::Trimming] {
-            group.bench_function(
-                BenchmarkId::new(format!("{optimization}"), circuit),
-                |b| {
-                    let mut sim = ParallelSimulator::compile(&nl, optimization).unwrap();
-                    b.iter(|| {
-                        for v in &stim {
-                            sim.simulate_vector(v);
-                        }
-                    });
-                },
-            );
+            group.bench_function(BenchmarkId::new(format!("{optimization}"), circuit), |b| {
+                let mut sim = ParallelSimulator::compile(&nl, optimization).unwrap();
+                b.iter(|| {
+                    for v in &stim {
+                        sim.simulate_vector(v);
+                    }
+                });
+            });
         }
     }
     group.finish();

@@ -17,17 +17,14 @@ fn bench(c: &mut Criterion) {
             Optimization::PathTracing,
             Optimization::CycleBreaking,
         ] {
-            group.bench_function(
-                BenchmarkId::new(format!("{optimization}"), circuit),
-                |b| {
-                    let mut sim = ParallelSimulator::compile(&nl, optimization).unwrap();
-                    b.iter(|| {
-                        for v in &stim {
-                            sim.simulate_vector(v);
-                        }
-                    });
-                },
-            );
+            group.bench_function(BenchmarkId::new(format!("{optimization}"), circuit), |b| {
+                let mut sim = ParallelSimulator::compile(&nl, optimization).unwrap();
+                b.iter(|| {
+                    for v in &stim {
+                        sim.simulate_vector(v);
+                    }
+                });
+            });
         }
     }
     group.finish();

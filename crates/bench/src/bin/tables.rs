@@ -73,8 +73,15 @@ fn usage(message: &str) -> ! {
 fn fig19(vectors: usize) {
     println!("\n== Fig. 19: simulation time, {vectors} random vectors (measured s | paper s) ==");
     let mut table = Table::new(&[
-        "circuit", "interp-3v", "interp-2v", "pc-set", "parallel", "pc speedup", "par speedup",
-        "paper pc", "paper par",
+        "circuit",
+        "interp-3v",
+        "interp-2v",
+        "pc-set",
+        "parallel",
+        "pc speedup",
+        "par speedup",
+        "paper pc",
+        "paper par",
     ]);
     let (mut pc_total, mut par_total) = (0.0, 0.0);
     for (circuit, nl) in suite() {
@@ -181,7 +188,9 @@ fn fig22() {
 
 fn fig23(vectors: usize) {
     println!("\n== Fig. 23: shift elimination, {vectors} vectors ==");
-    println!("== (paper: path-tracing gains 24%..84%; cycle-breaking loses on all but the smallest) ==");
+    println!(
+        "== (paper: path-tracing gains 24%..84%; cycle-breaking loses on all but the smallest) =="
+    );
     let mut table = Table::new(&[
         "circuit",
         "unopt",
@@ -273,13 +282,15 @@ fn zero_delay(vectors: usize) {
 }
 
 fn codesize() {
-    println!("\n== generated-code size (lines of emitted C; §3: \"over 100,000 lines for c6288\") ==");
+    println!(
+        "\n== generated-code size (lines of emitted C; §3: \"over 100,000 lines for c6288\") =="
+    );
     let mut table = Table::new(&["circuit", "pc-set", "parallel", "parallel+pt"]);
     for circuit in [Iscas85::C432, Iscas85::C1908, Iscas85::C6288] {
         let nl = circuit.build();
         let pc = uds_pcset::PcSetSimulator::compile(&nl).expect("combinational");
-        let par =
-            uds_parallel::ParallelSimulator::compile(&nl, Optimization::None).expect("combinational");
+        let par = uds_parallel::ParallelSimulator::compile(&nl, Optimization::None)
+            .expect("combinational");
         let pt = uds_parallel::ParallelSimulator::compile(&nl, Optimization::PathTracing)
             .expect("combinational");
         table.row(vec![

@@ -1,0 +1,495 @@
+//! Guarded execution: budget-enforced compilation, panic containment,
+//! and graceful degradation across a chain of engines.
+//!
+//! The compiled techniques are the fast path; the interpreted
+//! event-driven baseline is the robust one. [`GuardedSimulator`] runs
+//! the fastest engine that fits a [`ResourceLimits`] budget and falls
+//! back down [`GuardedSimulator::DEFAULT_CHAIN`] whenever an engine
+//! fails to compile, blows its budget, or panics mid-run — replaying
+//! the vector log into the next engine so retention state stays
+//! consistent. Every fallback is recorded; nothing fails silently.
+//!
+//! Panics are contained with [`std::panic::catch_unwind`]: a buggy
+//! engine surfaces as [`SimErrorKind::EnginePanicked`] instead of
+//! killing the batch.
+
+// SimError deliberately carries full context (phase, engine, circuit,
+// cause chain) and only travels on cold failure paths, so clippy's
+// Err-size heuristic trades the wrong way here.
+#![allow(clippy::result_large_err)]
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+
+use uds_netlist::{NetId, Netlist, ResourceLimits};
+use uds_parallel::{Optimization, ParallelSimulator};
+use uds_pcset::PcSetSimulator;
+
+use crate::error::{SimError, SimErrorKind, SimPhase};
+use crate::{crosscheck, Engine, TracedEventSim, UnitDelaySimulator};
+
+/// Renders a panic payload to text (panics carry `&str` or `String`;
+/// anything else gets a placeholder).
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Builds engines for a [`GuardedSimulator`]. The default factory
+/// compiles the real engines; the chaos harness substitutes faulty ones.
+pub trait EngineFactory {
+    /// Builds `engine` under `limits`, panic-contained.
+    fn build(
+        &self,
+        netlist: &Netlist,
+        engine: Engine,
+        limits: &ResourceLimits,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError>;
+}
+
+/// The factory that compiles the workspace's real engines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DefaultEngineFactory;
+
+impl EngineFactory for DefaultEngineFactory {
+    fn build(
+        &self,
+        netlist: &Netlist,
+        engine: Engine,
+        limits: &ResourceLimits,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        build_engine_with_limits(netlist, engine, limits)
+    }
+}
+
+/// Builds any engine under a resource budget, with compile-time panic
+/// containment. Budget violations surface as [`SimErrorKind::Budget`],
+/// panics as [`SimErrorKind::EnginePanicked`]; every error carries the
+/// engine.
+pub fn build_engine_with_limits(
+    netlist: &Netlist,
+    engine: Engine,
+    limits: &ResourceLimits,
+) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+    let attach = |e: SimError| {
+        if e.engine.is_none() {
+            e.with_engine(engine)
+        } else {
+            e
+        }
+    };
+    let build = || -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        Ok(match engine {
+            Engine::EventDriven => {
+                // The baseline has no compiler, but the budget still
+                // applies: its waveform store is nets × (depth + 1).
+                let levels = uds_netlist::levelize(netlist)?;
+                limits.check_depth(levels.depth)?;
+                limits.check_gates(netlist.gate_count())?;
+                limits.check_inputs(netlist.primary_inputs().len())?;
+                limits.check_memory(
+                    (netlist.net_count() as u64).saturating_mul(u64::from(levels.depth) + 1),
+                )?;
+                limits.check_deadline()?;
+                Box::new(TracedEventSim::new(netlist)?)
+            }
+            Engine::PcSet => Box::new(PcSetSimulator::compile_with_limits(netlist, limits)?),
+            Engine::Parallel
+            | Engine::ParallelTrimming
+            | Engine::ParallelPathTracing
+            | Engine::ParallelPathTracingTrimming
+            | Engine::ParallelCycleBreaking => {
+                let optimization = match engine {
+                    Engine::Parallel => Optimization::None,
+                    Engine::ParallelTrimming => Optimization::Trimming,
+                    Engine::ParallelPathTracing => Optimization::PathTracing,
+                    Engine::ParallelPathTracingTrimming => Optimization::PathTracingTrimming,
+                    _ => Optimization::CycleBreaking,
+                };
+                Box::new(ParallelSimulator::compile_with_limits(
+                    netlist,
+                    optimization,
+                    limits,
+                )?)
+            }
+        })
+    };
+    match panic::catch_unwind(AssertUnwindSafe(build)) {
+        Ok(result) => result.map_err(attach),
+        Err(payload) => Err(SimError::new(
+            SimErrorKind::EnginePanicked {
+                message: panic_message(payload),
+            },
+            SimPhase::Compile,
+        )
+        .with_engine(engine)),
+    }
+}
+
+/// A fallback that fired: the engine given up on and why.
+#[derive(Debug)]
+pub struct FiredFallback {
+    /// The engine that failed.
+    pub from: Engine,
+    /// What went wrong with it.
+    pub error: SimError,
+}
+
+/// A budget-enforced, panic-contained simulator with graceful
+/// degradation down a chain of engines.
+///
+/// Construction tries each engine in the chain until one compiles
+/// within budget. Per-vector runs are panic-contained: a mid-run panic
+/// triggers a fallback, and the full vector log is replayed into the
+/// next engine so retained state (each vector's dependence on the
+/// previous one) is preserved bit-exactly.
+pub struct GuardedSimulator {
+    netlist: Netlist,
+    limits: ResourceLimits,
+    chain: Vec<Engine>,
+    position: usize,
+    active: Box<dyn UnitDelaySimulator>,
+    factory: Box<dyn EngineFactory>,
+    fired: Vec<FiredFallback>,
+    replay: Vec<Vec<bool>>,
+}
+
+impl std::fmt::Debug for GuardedSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardedSimulator")
+            .field("chain", &self.chain)
+            .field("active", &self.active_engine())
+            .field("fallbacks_fired", &self.fired.len())
+            .field("vectors_run", &self.replay.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GuardedSimulator {
+    /// The default degradation order: fastest compiled engine first,
+    /// the interpreted baseline as the engine of last resort.
+    pub const DEFAULT_CHAIN: [Engine; 4] = [
+        Engine::ParallelPathTracingTrimming,
+        Engine::Parallel,
+        Engine::PcSet,
+        Engine::EventDriven,
+    ];
+
+    /// Builds with the default chain and factory.
+    pub fn new(netlist: &Netlist, limits: ResourceLimits) -> Result<Self, SimError> {
+        Self::with_chain(netlist, limits, &Self::DEFAULT_CHAIN)
+    }
+
+    /// Builds with an explicit chain (tried in order).
+    pub fn with_chain(
+        netlist: &Netlist,
+        limits: ResourceLimits,
+        chain: &[Engine],
+    ) -> Result<Self, SimError> {
+        Self::with_factory(netlist, limits, chain, Box::new(DefaultEngineFactory))
+    }
+
+    /// Builds with an explicit chain and engine factory (the chaos
+    /// harness injects faulty factories here).
+    pub fn with_factory(
+        netlist: &Netlist,
+        limits: ResourceLimits,
+        chain: &[Engine],
+        factory: Box<dyn EngineFactory>,
+    ) -> Result<Self, SimError> {
+        assert!(!chain.is_empty(), "fallback chain must name an engine");
+        let mut fired = Vec::new();
+        for (position, &engine) in chain.iter().enumerate() {
+            match factory.build(netlist, engine, &limits) {
+                Ok(active) => {
+                    return Ok(GuardedSimulator {
+                        netlist: netlist.clone(),
+                        limits,
+                        chain: chain.to_vec(),
+                        position,
+                        active,
+                        factory,
+                        fired,
+                        replay: Vec::new(),
+                    })
+                }
+                Err(error) => fired.push(FiredFallback {
+                    from: engine,
+                    error,
+                }),
+            }
+        }
+        Err(SimError::new(
+            SimErrorKind::ChainExhausted(fired.into_iter().map(|f| f.error).collect()),
+            SimPhase::Compile,
+        ))
+    }
+
+    /// The engine currently executing vectors.
+    pub fn active_engine(&self) -> Engine {
+        self.chain[self.position]
+    }
+
+    /// Every fallback that fired, in order (compile-time and run-time).
+    pub fn fallbacks(&self) -> &[FiredFallback] {
+        &self.fired
+    }
+
+    /// Number of vectors successfully simulated so far.
+    pub fn vectors_run(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// The active engine as a trait object — for consumers like the VCD
+    /// recorder that take any [`UnitDelaySimulator`].
+    pub fn active_simulator(&self) -> &dyn UnitDelaySimulator {
+        self.active.as_ref()
+    }
+
+    /// Simulates one vector, panic-contained. On an engine panic the
+    /// chain degrades: the remaining engines are tried in order, each
+    /// fed the complete vector log before the current vector. Returns
+    /// the engine that (finally) ran the vector.
+    pub fn simulate_vector(&mut self, inputs: &[bool]) -> Result<Engine, SimError> {
+        let expected = self.netlist.primary_inputs().len();
+        if inputs.len() != expected {
+            return Err(SimError::new(
+                SimErrorKind::VectorWidth {
+                    expected,
+                    got: inputs.len(),
+                },
+                SimPhase::Run,
+            )
+            .with_engine(self.active_engine()));
+        }
+        self.limits
+            .check_deadline()
+            .map_err(|e| SimError::new(SimErrorKind::Budget(e), SimPhase::Run))?;
+        loop {
+            let active = &mut self.active;
+            let run = panic::catch_unwind(AssertUnwindSafe(|| active.simulate_vector(inputs)));
+            match run {
+                Ok(()) => {
+                    self.replay.push(inputs.to_vec());
+                    return Ok(self.active_engine());
+                }
+                Err(payload) => {
+                    let error = SimError::new(
+                        SimErrorKind::EnginePanicked {
+                            message: panic_message(payload),
+                        },
+                        SimPhase::Run,
+                    )
+                    .with_engine(self.active_engine());
+                    self.degrade(error)?;
+                }
+            }
+        }
+    }
+
+    /// Abandons the active engine for the given reason and brings up
+    /// the next one in the chain that can compile *and* replay the
+    /// vector log. Errors with [`SimErrorKind::ChainExhausted`] when no
+    /// engine remains.
+    fn degrade(&mut self, error: SimError) -> Result<(), SimError> {
+        self.fired.push(FiredFallback {
+            from: self.active_engine(),
+            error,
+        });
+        for position in self.position + 1..self.chain.len() {
+            let engine = self.chain[position];
+            let candidate = self
+                .factory
+                .build(&self.netlist, engine, &self.limits)
+                .and_then(|mut sim| {
+                    let replayed = panic::catch_unwind(AssertUnwindSafe(|| {
+                        for vector in &self.replay {
+                            sim.simulate_vector(vector);
+                        }
+                    }));
+                    match replayed {
+                        Ok(()) => Ok(sim),
+                        Err(payload) => Err(SimError::new(
+                            SimErrorKind::EnginePanicked {
+                                message: panic_message(payload),
+                            },
+                            SimPhase::Run,
+                        )
+                        .with_engine(engine)),
+                    }
+                });
+            match candidate {
+                Ok(sim) => {
+                    self.active = sim;
+                    self.position = position;
+                    return Ok(());
+                }
+                Err(error) => self.fired.push(FiredFallback {
+                    from: engine,
+                    error,
+                }),
+            }
+        }
+        Err(SimError::new(
+            SimErrorKind::ChainExhausted(self.fired.iter().map(|f| f.error.clone()).collect()),
+            SimPhase::Run,
+        ))
+    }
+
+    /// The settled value of a net for the last vector.
+    pub fn final_value(&self, net: NetId) -> bool {
+        self.active.final_value(net)
+    }
+
+    /// The history of a net for the last vector, where the active
+    /// engine tracks it.
+    pub fn history(&self, net: NetId) -> Option<Vec<bool>> {
+        self.active.history(net)
+    }
+
+    /// Circuit depth.
+    pub fn depth(&self) -> u32 {
+        self.active.depth()
+    }
+
+    /// Cross-checks the surviving engine against a fresh event-driven
+    /// baseline by replaying the complete vector log through both
+    /// (using [`crosscheck::run`]), panic-contained. A divergence is a
+    /// [`SimErrorKind::Mismatch`]; agreement means every answer this
+    /// simulator produced is bit-exact with the baseline.
+    pub fn crosscheck_baseline(&self) -> Result<(), SimError> {
+        let engine = self.active_engine();
+        let baseline: Box<dyn UnitDelaySimulator> = Box::new(
+            TracedEventSim::new(&self.netlist)
+                .map_err(|e| SimError::from(e).with_engine(engine))?,
+        );
+        let candidate = self.factory.build(&self.netlist, engine, &self.limits)?;
+        let mut sims = vec![baseline, candidate];
+        let netlist = &self.netlist;
+        let replay = &self.replay;
+        let checked = panic::catch_unwind(AssertUnwindSafe(|| {
+            crosscheck::run(netlist, &mut sims, replay.iter().cloned())
+        }));
+        match checked {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(mismatch)) => Err(SimError::from(mismatch).with_engine(engine)),
+            Err(payload) => Err(SimError::new(
+                SimErrorKind::EnginePanicked {
+                    message: panic_message(payload),
+                },
+                SimPhase::CrossCheck,
+            )
+            .with_engine(engine)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FailureClass;
+    use uds_netlist::generators::iscas::c17;
+
+    #[test]
+    fn prefers_the_fastest_engine_within_budget() {
+        let nl = c17();
+        let guarded = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        assert_eq!(guarded.active_engine(), Engine::ParallelPathTracingTrimming);
+        assert!(guarded.fallbacks().is_empty());
+    }
+
+    /// A chain of `n` buffers: depth n, trivially correct, deep enough
+    /// to defeat small word budgets.
+    fn buffer_chain(n: usize) -> uds_netlist::Netlist {
+        use uds_netlist::{GateKind, NetlistBuilder};
+        let mut b = NetlistBuilder::new();
+        let mut prev = b.input("a");
+        for i in 0..n {
+            prev = b.gate(GateKind::Buf, &[prev], format!("b{i}")).unwrap();
+        }
+        b.output(prev);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn degrades_when_budget_rejects_compiled_engines() {
+        // A one-word budget the unoptimized parallel engine cannot
+        // satisfy on a circuit deeper than 31 (uniform fields span the
+        // whole depth) — pc-set has no bit-fields and takes over.
+        let nl = buffer_chain(40);
+        let limits = ResourceLimits {
+            max_field_words: Some(1),
+            ..ResourceLimits::unlimited()
+        };
+        let chain = [Engine::Parallel, Engine::PcSet, Engine::EventDriven];
+        let mut guarded = GuardedSimulator::with_chain(&nl, limits, &chain).unwrap();
+        assert_eq!(guarded.active_engine(), Engine::PcSet);
+        let fired: Vec<Engine> = guarded.fallbacks().iter().map(|f| f.from).collect();
+        assert_eq!(fired, vec![Engine::Parallel]);
+        for fallback in guarded.fallbacks() {
+            assert_eq!(fallback.error.class(), FailureClass::Budget);
+        }
+        // The survivor still answers correctly.
+        guarded.simulate_vector(&[true]).unwrap();
+        guarded.crosscheck_baseline().unwrap();
+    }
+
+    #[test]
+    fn guarded_results_match_baseline() {
+        let nl = c17();
+        let mut guarded = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        for pattern in 0u32..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
+            guarded.simulate_vector(&inputs).unwrap();
+        }
+        assert_eq!(guarded.vectors_run(), 32);
+        guarded.crosscheck_baseline().unwrap();
+    }
+
+    #[test]
+    fn wrong_vector_width_is_typed_not_a_panic() {
+        let nl = c17();
+        let mut guarded = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        let err = guarded.simulate_vector(&[true]).unwrap_err();
+        assert_eq!(err.class(), FailureClass::Usage);
+        assert!(guarded.fallbacks().is_empty(), "no fallback on bad input");
+    }
+
+    #[test]
+    fn chain_exhaustion_reports_every_failure() {
+        let nl = c17();
+        let limits = ResourceLimits {
+            max_depth: Some(1),
+            ..ResourceLimits::unlimited()
+        };
+        let err = GuardedSimulator::new(&nl, limits).unwrap_err();
+        assert_eq!(err.class(), FailureClass::Budget);
+        match err.kind {
+            SimErrorKind::ChainExhausted(errors) => {
+                assert_eq!(errors.len(), GuardedSimulator::DEFAULT_CHAIN.len());
+            }
+            other => panic!("expected chain exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_engine_contains_budget_errors_per_engine() {
+        let nl = c17();
+        let limits = ResourceLimits {
+            max_gates: Some(1),
+            ..ResourceLimits::unlimited()
+        };
+        for engine in Engine::ALL {
+            let err = build_engine_with_limits(&nl, engine, &limits)
+                .err()
+                .expect("a one-gate budget rejects c17");
+            assert_eq!(err.class(), FailureClass::Budget, "{engine}");
+            assert_eq!(err.engine, Some(engine));
+        }
+    }
+}

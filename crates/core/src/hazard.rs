@@ -117,10 +117,8 @@ mod tests {
         for width in 1u32..=10 {
             for pattern in 0u64..(1 << width) {
                 let history: Vec<bool> = (0..width).map(|i| pattern >> i & 1 != 0).collect();
-                let hazard_free = matches!(
-                    classify(&history),
-                    Activity::Stable | Activity::CleanEdge
-                );
+                let hazard_free =
+                    matches!(classify(&history), Activity::Stable | Activity::CleanEdge);
                 assert_eq!(
                     is_monotone_step(pattern, width),
                     hazard_free,

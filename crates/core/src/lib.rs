@@ -15,7 +15,12 @@
 //!   histories (the analysis §3 of the paper sketches for the parallel
 //!   technique's bit-fields);
 //! * [`crosscheck`] — the workspace's strongest invariant as a library
-//!   function: run N engines in lockstep and demand identical waveforms.
+//!   function: run N engines in lockstep and demand identical waveforms;
+//! * [`error`], [`guard`], [`chaos`] — the guarded execution layer: a
+//!   unified failure taxonomy ([`SimError`]), budget-enforced and
+//!   panic-contained engine construction with graceful degradation
+//!   ([`GuardedSimulator`]), and deterministic fault injection for
+//!   proving no failure is ever silent.
 //!
 //! # Example
 //!
@@ -36,7 +41,10 @@
 //! # }
 //! ```
 
+pub mod chaos;
 pub mod crosscheck;
+pub mod error;
+pub mod guard;
 pub mod hazard;
 pub mod sequential;
 mod simulator;
@@ -44,4 +52,8 @@ pub mod vcd;
 pub mod vectors;
 pub mod waveform;
 
-pub use simulator::{build_simulator, BuildSimulatorError, Engine, TracedEventSim, UnitDelaySimulator};
+pub use error::{FailureClass, SimError, SimErrorKind, SimPhase};
+pub use guard::{build_engine_with_limits, GuardedSimulator};
+pub use simulator::{
+    build_simulator, BuildSimulatorError, Engine, TracedEventSim, UnitDelaySimulator,
+};

@@ -169,15 +169,21 @@ mod tests {
     fn counter3() -> (Netlist, Vec<NetId>) {
         let mut b = NetlistBuilder::named("ctr3");
         let en = b.input("en");
-        let q: Vec<NetId> = (0..3).map(|i| b.get_or_create_net(&format!("q{i}"))).collect();
+        let q: Vec<NetId> = (0..3)
+            .map(|i| b.get_or_create_net(&format!("q{i}")))
+            .collect();
         let mut carry = en;
-        for i in 0..3 {
-            let d = b.gate(GateKind::Xor, &[q[i], carry], format!("d{i}")).unwrap();
-            b.gate_onto(GateKind::Dff, &[d], q[i]).unwrap();
+        for (i, &qi) in q.iter().enumerate() {
+            let d = b
+                .gate(GateKind::Xor, &[qi, carry], format!("d{i}"))
+                .unwrap();
+            b.gate_onto(GateKind::Dff, &[d], qi).unwrap();
             if i < 2 {
-                carry = b.gate(GateKind::And, &[q[i], carry], format!("c{i}")).unwrap();
+                carry = b
+                    .gate(GateKind::And, &[qi, carry], format!("c{i}"))
+                    .unwrap();
             }
-            b.output(q[i]);
+            b.output(qi);
         }
         (b.finish().unwrap(), q)
     }
@@ -185,7 +191,11 @@ mod tests {
     #[test]
     fn counter_counts_on_every_engine() {
         let (nl, q) = counter3();
-        for engine in [Engine::PcSet, Engine::Parallel, Engine::ParallelPathTracingTrimming] {
+        for engine in [
+            Engine::PcSet,
+            Engine::Parallel,
+            Engine::ParallelPathTracingTrimming,
+        ] {
             let mut sim = SequentialSimulator::new(&nl, engine).unwrap();
             for expected in 1..=10u32 {
                 sim.clock(&[true]);

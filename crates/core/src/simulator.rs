@@ -256,7 +256,9 @@ pub fn build_simulator(
         Engine::EventDriven => {
             Box::new(TracedEventSim::new(netlist).map_err(|e| err(e.to_string()))?)
         }
-        Engine::PcSet => Box::new(PcSetSimulator::compile(netlist).map_err(|e| err(e.to_string()))?),
+        Engine::PcSet => {
+            Box::new(PcSetSimulator::compile(netlist).map_err(|e| err(e.to_string()))?)
+        }
         Engine::Parallel => Box::new(
             ParallelSimulator::compile(netlist, Optimization::None)
                 .map_err(|e| err(e.to_string()))?,

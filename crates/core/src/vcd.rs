@@ -116,8 +116,7 @@ impl VcdRecorder {
                     let value = history[t as usize];
                     if last[net_index] != Some(value) {
                         if !stamped {
-                            let _ =
-                                writeln!(out, "#{}", frame_index as u64 * window + t);
+                            let _ = writeln!(out, "#{}", frame_index as u64 * window + t);
                             stamped = true;
                         }
                         let _ = writeln!(out, "{}{}", value as u8, ids[net_index]);
@@ -199,7 +198,10 @@ mod tests {
         let vcd = recorder.render();
         // One initial value statement only; the stable second frame adds
         // nothing.
-        let changes = vcd.lines().filter(|l| l.starts_with('0') || l.starts_with('1')).count();
+        let changes = vcd
+            .lines()
+            .filter(|l| l.starts_with('0') || l.starts_with('1'))
+            .count();
         assert_eq!(changes, 1, "{vcd}");
     }
 }

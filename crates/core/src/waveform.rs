@@ -50,7 +50,10 @@ impl Waveform {
 
     /// Number of transitions.
     pub fn transition_count(&self) -> usize {
-        self.values.windows(2).filter(|pair| pair[0] != pair[1]).count()
+        self.values
+            .windows(2)
+            .filter(|pair| pair[0] != pair[1])
+            .count()
     }
 
     /// `true` if the net never changed during this vector.

@@ -28,9 +28,9 @@ fn every_engine_rejects_cycles_and_flip_flops() {
     for nl in [cyclic(), sequential()] {
         for engine in Engine::ALL {
             let result = build_simulator(&nl, engine);
-            let err = result.err().unwrap_or_else(|| {
-                panic!("{engine} accepted the {} netlist", nl.name())
-            });
+            let err = result
+                .err()
+                .unwrap_or_else(|| panic!("{engine} accepted the {} netlist", nl.name()));
             let text = err.to_string();
             assert!(
                 text.contains("cycle") || text.contains("sequential"),
@@ -149,7 +149,7 @@ fn wide_fanin_gates_work_everywhere() {
     let nl = b.finish().unwrap();
     for engine in Engine::ALL {
         let mut sim = build_simulator(&nl, engine).unwrap();
-        sim.simulate_vector(&vec![true; 12]);
+        sim.simulate_vector(&[true; 12]);
         assert!(!sim.final_value(y), "{engine}: all-ones NAND");
         let mut vector = vec![true; 12];
         vector[7] = false;

@@ -103,7 +103,11 @@ impl<L: LogicFamily> ConventionalEventDriven<L> {
         // Wheel size: events only ever land one unit ahead, but keep a
         // full revolution of depth + 2 slots like a general simulator.
         let wheel_slots = levels.depth as usize + 2;
-        let models = netlist.gates().iter().map(|g| model_for::<L>(g.kind)).collect();
+        let models = netlist
+            .gates()
+            .iter()
+            .map(|g| model_for::<L>(g.kind))
+            .collect();
         Ok(ConventionalEventDriven {
             value: initial_state.clone(),
             last_scheduled: initial_state.clone(),

@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn initial_values_differ_by_family() {
-        assert_eq!(<bool as LogicFamily>::initial(), false);
+        assert!(!<bool as LogicFamily>::initial());
         assert_eq!(<Logic3 as LogicFamily>::initial(), Logic3::X);
     }
 }

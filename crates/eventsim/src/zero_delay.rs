@@ -181,8 +181,8 @@ impl ZeroDelayCompiled {
             self.arena[slot as usize] = bit as u64;
         }
         for op in &self.ops {
-            let operands =
-                &self.operands[op.first_operand as usize..(op.first_operand + op.operand_count) as usize];
+            let operands = &self.operands
+                [op.first_operand as usize..(op.first_operand + op.operand_count) as usize];
             let value = match op.kind {
                 GateKind::And => operands
                     .iter()
@@ -255,9 +255,7 @@ mod tests {
             let mut interp = ZeroDelayInterpreted::new(&nl).unwrap();
             let mut compiled = ZeroDelayCompiled::compile(&nl).unwrap();
             for _ in 0..20 {
-                let inputs: Vec<bool> = (0..nl.primary_inputs().len())
-                    .map(|_| rng.gen())
-                    .collect();
+                let inputs: Vec<bool> = (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect();
                 interp.simulate_vector(&inputs);
                 compiled.simulate_vector(&inputs);
                 for &po in nl.primary_outputs() {

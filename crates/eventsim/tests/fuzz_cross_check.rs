@@ -16,7 +16,9 @@ fn fuzz_conventional_vs_optimized_xor_heavy() {
         let mut opt = EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         'outer: for _ in 0..300 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let p = (state >> 33) as u32;
             let inputs: Vec<bool> = (0..5).map(|i| p >> i & 1 != 0).collect();
             conv.simulate_vector(&inputs);

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use uds_eventsim::{ConventionalEventDriven, EventDrivenUnitDelay};
 use uds_eventsim::zero_delay::{ZeroDelayCompiled, ZeroDelayInterpreted};
+use uds_eventsim::{ConventionalEventDriven, EventDrivenUnitDelay};
 use uds_netlist::generators::random::{layered, LayeredConfig};
 use uds_netlist::{levelize, Logic3, Netlist};
 

@@ -1,16 +1,30 @@
 //! `.bench` parsing.
+//!
+//! The parser is total over arbitrary text: any byte sequence that is
+//! valid UTF-8 either parses into a [`Netlist`] or returns a spanned
+//! [`ParseError`] — it never panics, however adversarial the input
+//! (truncated files, absurd fan-ins, duplicate definitions, garbage
+//! lines). The adversarial corpus in `crates/netlist/tests/` holds it
+//! to that.
 
 use std::fmt;
 
 use crate::{BuildError, GateKind, Netlist, NetlistBuilder};
 
-/// What went wrong on a particular line.
+/// The longest offending-token excerpt an error will quote. Anything
+/// longer (a 10 000-name fan-in list, say) is cut with an ellipsis so
+/// the message stays one line.
+const MAX_TOKEN_EXCERPT: usize = 40;
+
+/// What went wrong at a particular spot.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ParseErrorKind {
     /// The line is not a comment, declaration, or assignment.
     Syntax {
         /// A short description of what was expected.
         expected: &'static str,
+        /// The offending token (excerpted if long).
+        found: String,
     },
     /// The gate keyword is not recognized.
     UnknownGateKind {
@@ -27,20 +41,32 @@ pub enum ParseErrorKind {
     Build(BuildError),
 }
 
-/// Parse error with a 1-based line number.
+/// Parse error spanned to a 1-based line and column. Deferred
+/// structural errors that only surface once the whole file has been
+/// read (from [`NetlistBuilder::finish`]) carry line 0, column 0.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
-    /// 1-based line number in the input text.
+    /// 1-based line number in the input text (0 = whole file).
     pub line: usize,
+    /// 1-based column, counted in characters (0 = whole line).
+    pub column: usize,
     /// The specific problem.
     pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: ", self.line)?;
+        if self.line > 0 {
+            write!(f, "line {}", self.line)?;
+            if self.column > 0 {
+                write!(f, ", column {}", self.column)?;
+            }
+            write!(f, ": ")?;
+        }
         match &self.kind {
-            ParseErrorKind::Syntax { expected } => write!(f, "expected {expected}"),
+            ParseErrorKind::Syntax { expected, found } => {
+                write!(f, "expected {expected}, found `{found}`")
+            }
             ParseErrorKind::UnknownGateKind { keyword } => {
                 write!(f, "unknown gate kind `{keyword}`")
             }
@@ -72,8 +98,9 @@ impl std::error::Error for ParseError {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] with a line number for syntax problems,
-/// unknown gate keywords, and structural builder errors.
+/// Returns a [`ParseError`] spanned to the offending line and column for
+/// syntax problems, unknown gate keywords, and structural builder
+/// errors. Never panics, whatever the input.
 ///
 /// # Example
 ///
@@ -90,20 +117,23 @@ pub fn parse(text: &str, name: &str) -> Result<Netlist, ParseError> {
     let mut b = NetlistBuilder::named(name);
 
     for (index, raw_line) in text.lines().enumerate() {
-        let line_no = index + 1;
+        let span = Span {
+            line: index + 1,
+            raw: raw_line,
+        };
         let line = strip_comment(raw_line).trim();
         if line.is_empty() {
             continue;
         }
 
         if let Some(rest) = strip_keyword_call(line, "INPUT") {
-            let signal = check_name(rest, line_no)?;
+            let signal = check_name(rest, span)?;
             let net = b.get_or_create_net(signal);
             b.declare_input(net);
             continue;
         }
         if let Some(rest) = strip_keyword_call(line, "OUTPUT") {
-            let signal = check_name(rest, line_no)?;
+            let signal = check_name(rest, span)?;
             let net = b.get_or_create_net(signal);
             b.output(net);
             continue;
@@ -111,57 +141,93 @@ pub fn parse(text: &str, name: &str) -> Result<Netlist, ParseError> {
 
         // Assignment: NAME = KIND(arg, ...)
         let Some((lhs, rhs)) = line.split_once('=') else {
-            return Err(ParseError {
-                line: line_no,
-                kind: ParseErrorKind::Syntax {
-                    expected: "INPUT(...), OUTPUT(...), or `name = KIND(...)`",
-                },
-            });
+            return Err(span.syntax("INPUT(...), OUTPUT(...), or `name = KIND(...)`", line));
         };
-        let lhs = check_name(lhs.trim(), line_no)?;
+        let lhs = check_name(lhs.trim(), span)?;
         let rhs = rhs.trim();
         let Some(open) = rhs.find('(') else {
-            return Err(ParseError {
-                line: line_no,
-                kind: ParseErrorKind::Syntax {
-                    expected: "`KIND(arg, ...)` on the right-hand side",
-                },
-            });
+            return Err(span.syntax("`KIND(arg, ...)` on the right-hand side", rhs));
         };
         if !rhs.ends_with(')') {
-            return Err(ParseError {
-                line: line_no,
-                kind: ParseErrorKind::Syntax {
-                    expected: "closing `)`",
-                },
-            });
+            return Err(span.syntax("closing `)`", rhs));
         }
         let keyword = rhs[..open].trim();
-        let kind: GateKind = keyword.parse().map_err(|_| ParseError {
-            line: line_no,
-            kind: ParseErrorKind::UnknownGateKind {
-                keyword: keyword.to_owned(),
-            },
+        let kind: GateKind = keyword.parse().map_err(|_| {
+            span.error_at(
+                keyword,
+                ParseErrorKind::UnknownGateKind {
+                    keyword: excerpt(keyword),
+                },
+            )
         })?;
         let args_text = &rhs[open + 1..rhs.len() - 1];
         let mut inputs = Vec::new();
         if !args_text.trim().is_empty() {
             for arg in args_text.split(',') {
-                let arg = check_name(arg.trim(), line_no)?;
+                let arg = check_name(arg.trim(), span)?;
                 inputs.push(b.get_or_create_net(arg));
             }
         }
         let output = b.get_or_create_net(lhs);
-        b.gate_onto(kind, &inputs, output).map_err(|err| ParseError {
-            line: line_no,
-            kind: ParseErrorKind::Build(err),
-        })?;
+        b.gate_onto(kind, &inputs, output)
+            .map_err(|err| span.error_at(lhs, ParseErrorKind::Build(err)))?;
     }
 
     b.finish().map_err(|err| ParseError {
         line: 0,
+        column: 0,
         kind: ParseErrorKind::Build(err),
     })
+}
+
+/// One source line plus its number — everything needed to span an error
+/// to a column, since every fragment the parser handles borrows from
+/// `raw`.
+#[derive(Clone, Copy)]
+struct Span<'a> {
+    line: usize,
+    raw: &'a str,
+}
+
+impl Span<'_> {
+    /// The 1-based character column where `fragment` starts in this
+    /// line, or 0 when the fragment is not a sub-slice (never the case
+    /// in practice, but misattribution must not panic).
+    fn column_of(self, fragment: &str) -> usize {
+        let base = self.raw.as_ptr() as usize;
+        let frag = fragment.as_ptr() as usize;
+        if frag >= base && frag <= base + self.raw.len() {
+            self.raw[..frag - base].chars().count() + 1
+        } else {
+            0
+        }
+    }
+
+    fn error_at(self, fragment: &str, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            line: self.line,
+            column: self.column_of(fragment),
+            kind,
+        }
+    }
+
+    fn syntax(self, expected: &'static str, found: &str) -> ParseError {
+        self.error_at(
+            found,
+            ParseErrorKind::Syntax {
+                expected,
+                found: excerpt(found),
+            },
+        )
+    }
+}
+
+/// Excerpts a token for an error message, character-boundary safe.
+fn excerpt(token: &str) -> String {
+    match token.char_indices().nth(MAX_TOKEN_EXCERPT) {
+        Some((cut, _)) => format!("{}…", &token[..cut]),
+        None => token.to_owned(),
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -184,18 +250,18 @@ fn strip_keyword_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
     Some(inner.trim())
 }
 
-fn check_name(name: &str, line: usize) -> Result<&str, ParseError> {
+fn check_name<'a>(name: &'a str, span: Span<'_>) -> Result<&'a str, ParseError> {
     let bad = name.is_empty()
         || name
             .chars()
             .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '='));
     if bad {
-        Err(ParseError {
-            line,
-            kind: ParseErrorKind::BadName {
-                name: name.to_owned(),
+        Err(span.error_at(
+            name,
+            ParseErrorKind::BadName {
+                name: excerpt(name),
             },
-        })
+        ))
     } else {
         Ok(name)
     }
@@ -239,9 +305,10 @@ mod tests {
     }
 
     #[test]
-    fn unknown_keyword_is_reported_with_line() {
+    fn unknown_keyword_is_reported_with_line_and_column() {
         let err = parse("INPUT(a)\ny = FROB(a, a)\n", "x").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.column, 5, "FROB starts at column 5");
         assert!(matches!(err.kind, ParseErrorKind::UnknownGateKind { .. }));
     }
 
@@ -249,6 +316,7 @@ mod tests {
     fn syntax_error_is_reported_with_line() {
         let err = parse("INPUT(a)\nthis is nonsense\n", "x").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.column, 1);
         assert!(matches!(err.kind, ParseErrorKind::Syntax { .. }));
     }
 
@@ -256,6 +324,7 @@ mod tests {
     fn missing_close_paren_is_reported() {
         let err = parse("y = AND(a, b\n", "x").unwrap_err();
         assert_eq!(err.line, 1);
+        assert_eq!(err.column, 5, "the unterminated call starts at column 5");
         assert!(matches!(err.kind, ParseErrorKind::Syntax { .. }));
     }
 
@@ -263,6 +332,7 @@ mod tests {
     fn duplicate_driver_is_reported() {
         let err = parse("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n", "x").unwrap_err();
         assert_eq!(err.line, 3);
+        assert_eq!(err.column, 1, "the redefined name is the offender");
         assert!(matches!(
             err.kind,
             ParseErrorKind::Build(BuildError::MultipleDrivers { .. })
@@ -288,9 +358,34 @@ mod tests {
     }
 
     #[test]
-    fn error_messages_carry_line_numbers() {
+    fn error_messages_carry_line_and_column() {
         let err = parse("INPUT(a)\ny = FROB(a)\n", "x").unwrap_err();
-        assert!(err.to_string().starts_with("line 2:"));
+        assert!(err.to_string().starts_with("line 2, column 5:"));
+    }
+
+    #[test]
+    fn syntax_errors_quote_the_offending_token() {
+        let err = parse("what even is this\n", "x").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("`what even is this`"), "{text}");
+    }
+
+    #[test]
+    fn long_offenders_are_excerpted() {
+        let garbage = "x".repeat(500);
+        let err = parse(&format!("{garbage}\n"), "x").unwrap_err();
+        let text = err.to_string();
+        assert!(text.len() < 200, "excerpted, not quoted whole: {text}");
+        assert!(text.contains('…'), "{text}");
+    }
+
+    #[test]
+    fn column_counts_characters_not_bytes() {
+        // Two 2-byte characters precede the bad call; the column must
+        // still be the character index.
+        let err = parse("éé = FROB(a)\n", "x").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 6, "FROB starts at character column 6");
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! `.bench` emission.
 
- 
-
 use crate::Netlist;
 
 /// Renders a netlist as `.bench` text.

@@ -234,7 +234,11 @@ impl FromStr for GateKind {
             "CONST0" => GateKind::Const0,
             "CONST1" => GateKind::Const1,
             "DFF" => GateKind::Dff,
-            _ => return Err(ParseGateKindError { keyword: s.to_owned() }),
+            _ => {
+                return Err(ParseGateKindError {
+                    keyword: s.to_owned(),
+                })
+            }
         })
     }
 }
@@ -282,7 +286,10 @@ impl Logic3 {
         }
     }
 
-    /// Kleene NOT: `X` stays `X`.
+    /// Kleene NOT: `X` stays `X`. An inherent method (not the `Not`
+    /// trait) so it chains postfix in the fold expressions alongside
+    /// `and`/`or`/`xor`, which have no operator traits either.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Logic3 {
         match self {
             Logic3::Zero => Logic3::One,

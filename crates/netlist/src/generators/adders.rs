@@ -207,7 +207,12 @@ mod tests {
         for style in [AdderStyle::NativeXor, AdderStyle::ExpandedXor] {
             let nl = ripple_carry_adder(6, style).unwrap();
             validate::check(&nl, validate::Mode::Combinational).unwrap();
-            for (a, b, cin) in [(0u64, 0u64, false), (63, 1, false), (21, 42, true), (63, 63, true)] {
+            for (a, b, cin) in [
+                (0u64, 0u64, false),
+                (63, 1, false),
+                (21, 42, true),
+                (63, 63, true),
+            ] {
                 let got = add_via(&nl, 6, a, b, cin);
                 assert_eq!(got, a + b + cin as u64, "{a}+{b}+{cin} ({style:?})");
             }
@@ -218,7 +223,12 @@ mod tests {
     fn lookahead_adder_adds() {
         let nl = carry_lookahead_adder(9).unwrap();
         validate::check(&nl, validate::Mode::Combinational).unwrap();
-        for (a, b, cin) in [(0u64, 0, false), (511, 1, false), (300, 211, true), (511, 511, true)] {
+        for (a, b, cin) in [
+            (0u64, 0, false),
+            (511, 1, false),
+            (300, 211, true),
+            (511, 511, true),
+        ] {
             let got = add_via(&nl, 9, a, b, cin);
             assert_eq!(got, a + b + cin as u64, "{a}+{b}+{cin}");
         }
@@ -237,9 +247,7 @@ mod tests {
     fn expanded_xor_is_deeper() {
         let shallow = ripple_carry_adder(8, AdderStyle::NativeXor).unwrap();
         let deep = ripple_carry_adder(8, AdderStyle::ExpandedXor).unwrap();
-        assert!(
-            levelize(&deep).unwrap().depth > levelize(&shallow).unwrap().depth
-        );
+        assert!(levelize(&deep).unwrap().depth > levelize(&shallow).unwrap().depth);
     }
 
     #[test]

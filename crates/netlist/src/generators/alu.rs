@@ -71,11 +71,7 @@ pub fn alu(n: usize) -> Result<Netlist, GenerateError> {
             let t_or = b.gate_fresh(GateKind::And, &[sel_or, or_i])?;
             let t_xor = b.gate_fresh(GateKind::And, &[sel_xor, xor_i])?;
             let t_add = b.gate_fresh(GateKind::And, &[sel_add, sum_i])?;
-            let y = b.gate(
-                GateKind::Or,
-                &[t_and, t_or, t_xor, t_add],
-                format!("y{i}"),
-            )?;
+            let y = b.gate(GateKind::Or, &[t_and, t_or, t_xor, t_add], format!("y{i}"))?;
             b.output(y);
         }
         let cout = b.gate(GateKind::Buf, &[carry], "cout")?;

@@ -70,9 +70,10 @@ pub fn comparator(n: usize) -> Result<Netlist, GenerateError> {
     let (eq, gt, lt) = result.map_err(|e| GenerateError::new(e.to_string()))?;
 
     // Name the outputs by buffering onto named nets.
-    let build_named = |b: &mut NetlistBuilder, src: NetId, name: &str| -> Result<NetId, BuildError> {
-        b.gate(GateKind::Buf, &[src], name)
-    };
+    let build_named = |b: &mut NetlistBuilder,
+                       src: NetId,
+                       name: &str|
+     -> Result<NetId, BuildError> { b.gate(GateKind::Buf, &[src], name) };
     let eq = build_named(&mut b, eq, "eq").map_err(|e| GenerateError::new(e.to_string()))?;
     let gt = build_named(&mut b, gt, "gt").map_err(|e| GenerateError::new(e.to_string()))?;
     let lt = build_named(&mut b, lt, "lt").map_err(|e| GenerateError::new(e.to_string()))?;

@@ -112,7 +112,7 @@ impl Iscas85 {
             primary_outputs,
             gates,
             depth,
-            words: ((depth as usize + 1) + 31) / 32,
+            words: (depth as usize + 1).div_ceil(32),
         }
     }
 
@@ -192,7 +192,7 @@ mod tests {
             if circuit == Iscas85::C6288 {
                 // Structural stand-in: exact function, band-matched depth.
                 let points = levels.depth as usize + 1;
-                assert_eq!((points + 31) / 32, 4, "c6288 depth {}", levels.depth);
+                assert_eq!(points.div_ceil(32), 4, "c6288 depth {}", levels.depth);
                 assert!(
                     (1800..=3400).contains(&nl.gate_count()),
                     "c6288 gates {}",

@@ -61,8 +61,10 @@ fn build(
     // Partial product matrix: pp[j][i] = a_i AND b_j.
     let mut pp = Vec::with_capacity(m);
     for &bj in bb {
-        let row: Result<Vec<NetId>, BuildError> =
-            a.iter().map(|&ai| b.gate_fresh(GateKind::And, &[ai, bj])).collect();
+        let row: Result<Vec<NetId>, BuildError> = a
+            .iter()
+            .map(|&ai| b.gate_fresh(GateKind::And, &[ai, bj]))
+            .collect();
         pp.push(row?);
     }
 
@@ -81,7 +83,7 @@ fn build(
     let mut sum: Vec<NetId> = pp[0].clone();
     let mut carry: Vec<Option<NetId>> = vec![None; n];
 
-    for row in 1..m {
+    for pp_row in pp.iter().skip(1) {
         product.push(sum[0]);
         let mut new_sum = Vec::with_capacity(n);
         let mut new_carry = Vec::with_capacity(n);
@@ -89,7 +91,7 @@ fn build(
             // Operands at weight row + i: this row's partial product,
             // the previous row's sum at one weight higher, and the
             // previous row's carry at the same weight.
-            let p = pp[row][i];
+            let p = pp_row[i];
             let s_above = if i + 1 < n { Some(sum[i + 1]) } else { None };
             let c_above = carry[i];
             let (s, c) = match (s_above, c_above) {
@@ -166,8 +168,8 @@ mod tests {
             .map(|i| format!("a{i}"))
             .chain((0..m).map(|j| format!("b{j}")))
             .collect();
-        for i in 0..n {
-            inputs.insert(names[i].as_str(), a >> i & 1 != 0);
+        for (i, name) in names.iter().take(n).enumerate() {
+            inputs.insert(name.as_str(), a >> i & 1 != 0);
         }
         for j in 0..m {
             inputs.insert(names[n + j].as_str(), b >> j & 1 != 0);

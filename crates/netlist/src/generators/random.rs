@@ -314,7 +314,11 @@ mod tests {
         let mut config = LayeredConfig::new("t", 400, 12);
         config.primary_outputs = 30;
         let nl = layered(&config).unwrap();
-        assert!(nl.primary_outputs().len() >= 30, "{}", nl.primary_outputs().len());
+        assert!(
+            nl.primary_outputs().len() >= 30,
+            "{}",
+            nl.primary_outputs().len()
+        );
     }
 
     #[test]

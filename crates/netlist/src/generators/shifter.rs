@@ -81,7 +81,9 @@ pub fn barrel_shifter(stages: usize) -> Result<Netlist, GenerateError> {
 /// Returns [`GenerateError`] if `n < 2`.
 pub fn priority_encoder(n: usize) -> Result<Netlist, GenerateError> {
     if n < 2 {
-        return Err(GenerateError::new("priority encoder needs at least 2 inputs"));
+        return Err(GenerateError::new(
+            "priority encoder needs at least 2 inputs",
+        ));
     }
     let mut b = NetlistBuilder::named(format!("prienc{n}"));
     let inputs: Vec<NetId> = (0..n).map(|i| b.input(format!("i{i}"))).collect();
@@ -108,11 +110,7 @@ pub fn priority_encoder(n: usize) -> Result<Netlist, GenerateError> {
             };
             b.output(y);
         }
-        let valid = b.gate(
-            GateKind::Buf,
-            &[running.expect("n >= 2")],
-            "valid",
-        )?;
+        let valid = b.gate(GateKind::Buf, &[running.expect("n >= 2")], "valid")?;
         b.output(valid);
         Ok(())
     })();

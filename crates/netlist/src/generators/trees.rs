@@ -128,7 +128,13 @@ pub fn decoder(n: usize) -> Result<Netlist, GenerateError> {
         }
         for k in 0..(1usize << n) {
             let mut terms: Vec<NetId> = (0..n)
-                .map(|bit| if k >> bit & 1 != 0 { addr[bit] } else { not_addr[bit] })
+                .map(|bit| {
+                    if k >> bit & 1 != 0 {
+                        addr[bit]
+                    } else {
+                        not_addr[bit]
+                    }
+                })
                 .collect();
             terms.push(en);
             let y = b.gate(GateKind::And, &terms, format!("y{k}"))?;

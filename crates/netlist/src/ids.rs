@@ -96,6 +96,8 @@ mod tests {
 
     #[test]
     fn ids_index_vectors() {
+        // The Vec indexing impl is exactly what is under test.
+        #[allow(clippy::useless_vec)]
         let v = vec![10, 20, 30];
         assert_eq!(v[NetId::from_index(1)], 20);
         assert_eq!(v[GateId::from_index(2)], 30);

@@ -73,7 +73,10 @@ impl fmt::Display for LevelizeError {
                 unordered_gates.len()
             ),
             LevelizeError::Sequential { gate } => {
-                write!(f, "netlist is sequential (flip-flop at {gate}); cut it first")
+                write!(
+                    f,
+                    "netlist is sequential (flip-flop at {gate}); cut it first"
+                )
             }
         }
     }
@@ -182,8 +185,7 @@ pub fn levelize(netlist: &Netlist) -> Result<Levels, LevelizeError> {
                 gate_level[gate] = 0;
                 gate_minlevel[gate] = 0;
             } else {
-                gate_level[gate] =
-                    inputs.iter().map(|&n| net_level[n]).max().unwrap_or(0) + 1;
+                gate_level[gate] = inputs.iter().map(|&n| net_level[n]).max().unwrap_or(0) + 1;
                 gate_minlevel[gate] =
                     inputs.iter().map(|&n| net_minlevel[n]).min().unwrap_or(0) + 1;
             }

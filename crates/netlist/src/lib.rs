@@ -51,6 +51,7 @@ mod gate;
 pub mod generators;
 mod ids;
 pub mod levelize;
+pub mod limits;
 mod netlist;
 pub mod sequential;
 pub mod stats;
@@ -62,4 +63,5 @@ pub use builder::{BuildError, NetlistBuilder};
 pub use gate::{GateKind, Logic3, ParseGateKindError};
 pub use ids::{GateId, NetId};
 pub use levelize::{levelize, LevelizeError, Levels};
+pub use limits::{LimitExceeded, Resource, ResourceLimits};
 pub use netlist::{Gate, Netlist};

@@ -64,7 +64,11 @@ impl CircuitStats {
             nets: netlist.net_count(),
             by_kind,
             depth: levels.depth,
-            avg_fanin: if gates == 0 { 0.0 } else { pins as f64 / gates as f64 },
+            avg_fanin: if gates == 0 {
+                0.0
+            } else {
+                pins as f64 / gates as f64
+            },
             avg_fanout: if sources == 0 {
                 0.0
             } else {
@@ -78,7 +82,7 @@ impl CircuitStats {
     /// circuit (`ceil((depth + 1) / 32)`), the parenthesized figure in the
     /// paper's Fig. 20 "Levels" column.
     pub fn bitfield_words(&self) -> usize {
-        ((self.depth as usize + 1) + 31) / 32
+        (self.depth as usize + 1).div_ceil(32)
     }
 }
 

@@ -78,7 +78,11 @@ pub struct ValidateError {
 
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "netlist validation failed with {} issue(s):", self.issues.len())?;
+        write!(
+            f,
+            "netlist validation failed with {} issue(s):",
+            self.issues.len()
+        )?;
         for issue in &self.issues {
             write!(f, "\n  - {issue}")?;
         }

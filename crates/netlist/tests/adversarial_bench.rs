@@ -1,0 +1,182 @@
+//! Adversarial `.bench` corpus: the parser must be total — every input
+//! here either parses or returns a spanned [`ParseError`]; none may
+//! panic. The cases are the classic ways a netlist file goes wrong in
+//! the wild: cut off mid-write, duplicated definitions, degenerate
+//! gates, absurd fan-ins, and text that was never a netlist at all.
+
+use uds_netlist::bench_format::{self, ParseError, ParseErrorKind};
+use uds_netlist::{BuildError, GateKind};
+
+/// Parses and demands a typed error, returning it for inspection.
+fn must_fail(text: &str) -> ParseError {
+    match bench_format::parse(text, "adversarial") {
+        Ok(nl) => panic!(
+            "expected a parse error, got a netlist with {} gates",
+            nl.gate_count()
+        ),
+        Err(err) => {
+            // The rendering itself must also never panic.
+            let _ = err.to_string();
+            err
+        }
+    }
+}
+
+/// Parses and tolerates either outcome — the invariant under test is
+/// only "no panic, and errors render".
+fn must_not_panic(text: &str) {
+    if let Err(err) = bench_format::parse(text, "adversarial") {
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn every_truncation_of_a_real_circuit_is_handled() {
+    let text = bench_format::C17;
+    for end in 0..=text.len() {
+        if !text.is_char_boundary(end) {
+            continue;
+        }
+        must_not_panic(&text[..end]);
+    }
+}
+
+#[test]
+fn truncation_mid_token_gives_a_spanned_error() {
+    // Cut inside the gate call: `y = NAN` is a syntax error on line 4,
+    // not a crash and not a silent accept.
+    let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAN";
+    let err = must_fail(text);
+    assert_eq!(err.line, 4);
+    assert!(matches!(err.kind, ParseErrorKind::Syntax { .. }));
+}
+
+#[test]
+fn duplicate_driver_definitions_are_rejected_with_the_second_line() {
+    let text = "INPUT(a)\ny = NOT(a)\ny = BUF(a)\nOUTPUT(y)\n";
+    let err = must_fail(text);
+    assert_eq!(err.line, 3);
+    assert!(matches!(
+        err.kind,
+        ParseErrorKind::Build(BuildError::MultipleDrivers { .. })
+    ));
+}
+
+#[test]
+fn duplicate_input_declarations_are_idempotent() {
+    let text = "INPUT(a)\nINPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = BUF(a)\n";
+    let nl = bench_format::parse(text, "dup-input").unwrap();
+    assert_eq!(nl.primary_inputs().len(), 1);
+}
+
+#[test]
+fn zero_input_gate_is_a_typed_arity_error() {
+    let err = must_fail("OUTPUT(y)\ny = AND()\n");
+    assert_eq!(err.line, 2);
+    assert!(matches!(
+        err.kind,
+        ParseErrorKind::Build(BuildError::BadArity {
+            kind: GateKind::And,
+            got: 0,
+        })
+    ));
+}
+
+#[test]
+fn ten_thousand_fan_in_gate_parses() {
+    // Monstrous but legal: AND is n-ary. The parser must neither choke
+    // nor quote ten thousand names back in any error.
+    let mut text = String::new();
+    let mut args = Vec::new();
+    for i in 0..10_000 {
+        text.push_str(&format!("INPUT(n{i})\n"));
+        args.push(format!("n{i}"));
+    }
+    text.push_str(&format!("y = AND({})\nOUTPUT(y)\n", args.join(", ")));
+    let nl = bench_format::parse(&text, "wide").unwrap();
+    assert_eq!(nl.gate_count(), 1);
+    assert_eq!(nl.primary_inputs().len(), 10_000);
+}
+
+#[test]
+fn ten_thousand_fan_in_garbage_excerpts_its_error() {
+    // Same width, but the keyword is junk: the error message must stay
+    // one short line, not echo the whole argument list.
+    let args = (0..10_000).map(|i| format!("n{i}")).collect::<Vec<_>>();
+    let text = format!("y = ZORK({})\n", args.join(", "));
+    let err = must_fail(&text);
+    assert!(matches!(err.kind, ParseErrorKind::UnknownGateKind { .. }));
+    assert!(err.to_string().len() < 200, "{}", err.to_string().len());
+}
+
+#[test]
+fn unicode_garbage_never_panics() {
+    // Everything valid-UTF-8-but-hostile: BOMs, bidi overrides, NULs,
+    // combining marks, replacement characters, astral-plane names.
+    let corpus: &[&str] = &[
+        "\u{FEFF}INPUT(a)\nOUTPUT(a)\n",
+        "INPUT(\u{202E}a\u{202C})\nOUTPUT(\u{202E}a\u{202C})\n",
+        "IN\u{0}PUT(a)",
+        "INPUT(é̂̃)\nOUTPUT(é̂̃)\n",
+        "\u{FFFD}\u{FFFD}\u{FFFD}",
+        "𝕪 = 𝔸ℕ𝔻(𝕒, 𝕓)",
+        "INPUT(🦀)\nOUTPUT(🦀)\n",
+        "é = ",
+        "=",
+        "()",
+        "y = (",
+        "y = )(",
+        "INPUT((((",
+        "OUTPUT\t(\ta\t)\t",
+    ];
+    for text in corpus {
+        must_not_panic(text);
+    }
+}
+
+#[test]
+fn deterministic_fuzz_never_panics() {
+    // A cheap xorshift fuzzer over a charset chosen to hit every parser
+    // branch: structure characters, keywords-in-pieces, unicode,
+    // newlines. Deterministic, so a failure reproduces.
+    const CHARSET: &[char] = &[
+        'I', 'N', 'P', 'U', 'T', 'O', 'A', 'D', '=', '(', ')', ',', '#', ' ', '\t', '\n', 'a', '0',
+        'é', '🦀', '\u{202E}',
+    ];
+    let mut state: u64 = 0x2545F4914F6CDD1D;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..500 {
+        let len = (next() % 120) as usize;
+        let text: String = (0..len)
+            .map(|_| CHARSET[(next() % CHARSET.len() as u64) as usize])
+            .collect();
+        must_not_panic(&text);
+    }
+}
+
+#[test]
+fn crlf_and_mixed_line_endings_parse() {
+    let text = "INPUT(a)\r\nINPUT(b)\rOUTPUT(y)\r\ny = AND(a, b)\r\n";
+    // `\r` alone is not a line terminator for `str::lines`; the lone-\r
+    // line is garbage and must produce a typed error, while pure CRLF
+    // must parse cleanly.
+    must_not_panic(text);
+    let clean = "INPUT(a)\r\nINPUT(b)\r\nOUTPUT(y)\r\ny = AND(a, b)\r\n";
+    let nl = bench_format::parse(clean, "crlf").unwrap();
+    assert_eq!(nl.gate_count(), 1);
+}
+
+#[test]
+fn writer_output_always_reparses_after_any_char_truncation() {
+    // Round-trip resilience: write a real netlist, truncate at every
+    // character boundary, and demand the parser stays total.
+    let text = bench_format::write(&uds_netlist::generators::iscas::c17());
+    for end in (0..=text.len()).filter(|&e| text.is_char_boundary(e)) {
+        must_not_panic(&text[..end]);
+    }
+}

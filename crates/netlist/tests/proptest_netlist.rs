@@ -10,15 +10,15 @@ use uds_netlist::{bench_format, levelize, validate, GateKind, Netlist};
 /// A proptest strategy producing random-but-valid layered configs.
 fn config_strategy() -> impl Strategy<Value = LayeredConfig> {
     (
-        1u32..=30,      // depth
-        0usize..=200,   // extra gates beyond depth
-        1usize..=40,    // primary inputs
-        0usize..=20,    // primary outputs (minimum)
-        0.0f64..=1.0,   // xor fraction
-        0.0f64..=0.3,   // inverter fraction
-        0.0f64..=1.0,   // locality
-        2usize..=6,     // max fanin
-        any::<u64>(),   // seed
+        1u32..=30,    // depth
+        0usize..=200, // extra gates beyond depth
+        1usize..=40,  // primary inputs
+        0usize..=20,  // primary outputs (minimum)
+        0.0f64..=1.0, // xor fraction
+        0.0f64..=0.3, // inverter fraction
+        0.0f64..=1.0, // locality
+        2usize..=6,   // max fanin
+        any::<u64>(), // seed
     )
         .prop_map(
             |(depth, extra, pis, pos, xor, inv, locality, fanin, seed)| LayeredConfig {
@@ -147,7 +147,7 @@ proptest! {
                 .primary_inputs()
                 .iter()
                 .position(|&pi| nl.net_name(pi) == name);
-            position.map_or(false, |p| pattern >> (p % 64) & 1 != 0)
+            position.is_some_and(|p| pattern >> (p % 64) & 1 != 0)
         };
         let full_inputs: std::collections::HashMap<&str, bool> = nl
             .primary_inputs()

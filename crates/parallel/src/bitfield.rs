@@ -50,22 +50,31 @@ impl FieldLayout {
     /// for times beyond the field (a net never changes after its level)
     /// and the bottom bit for earlier times (it cannot have changed yet).
     pub fn read_time(&self, arena: &[u32], time: i64) -> bool {
-        let offset = (time - i64::from(self.align)).clamp(0, i64::from(self.width) - 1) as u32;
+        // max(0) before clamp: a degenerate zero-width field must not
+        // panic with an inverted clamp range.
+        let top = (i64::from(self.width) - 1).max(0);
+        let offset = (time - i64::from(self.align)).clamp(0, top) as u32;
         self.read_bit(arena, offset)
+    }
+
+    /// The arena index of the word holding field bit `bit`, widened to
+    /// `usize` *before* the add so `base + bit/32` cannot wrap `u32`.
+    fn word_index(&self, bit: u32) -> usize {
+        self.base as usize + (bit / WORD_BITS) as usize
     }
 
     /// Reads field bit `bit` (must be `< width`... clamped to the top
     /// word's valid range by construction).
     pub fn read_bit(&self, arena: &[u32], bit: u32) -> bool {
         debug_assert!(bit < self.width);
-        let word = arena[(self.base + bit / WORD_BITS) as usize];
+        let word = arena[self.word_index(bit)];
         word >> (bit % WORD_BITS) & 1 != 0
     }
 
     /// Writes field bit `bit`.
     pub fn write_bit(&self, arena: &mut [u32], bit: u32, value: bool) {
         debug_assert!(bit < self.width);
-        let word = &mut arena[(self.base + bit / WORD_BITS) as usize];
+        let word = &mut arena[self.word_index(bit)];
         let mask = 1u32 << (bit % WORD_BITS);
         if value {
             *word |= mask;
@@ -76,9 +85,9 @@ impl FieldLayout {
 
     /// The bit index of the final (settled) value: the value at the
     /// net's level, which is the highest time the field represents
-    /// meaningfully (`width - 1`).
+    /// meaningfully (`width - 1`; saturates for zero-width fields).
     pub fn final_bit(&self) -> u32 {
-        self.width - 1
+        self.width.saturating_sub(1)
     }
 }
 

@@ -15,11 +15,13 @@
 //! With trimming enabled, low-constant and gap words are replaced by
 //! single broadcasts and their evaluations/shift parts disappear.
 
-use uds_netlist::{levelize, LevelizeError, Netlist};
+use uds_netlist::limits::{checked_add_u64, checked_mul_u64, narrow_u16, narrow_u32};
+use uds_netlist::{levelize, Netlist, ResourceLimits};
 use uds_pcset::PcSets;
 
 use crate::bitfield::{FieldLayout, WORD_BITS};
 use crate::program::{Program, WOp};
+use crate::simulator::CompileError;
 use crate::trimming::{classify, WordClass};
 
 /// Output of the unoptimized compiler.
@@ -31,18 +33,29 @@ pub(crate) struct Compiled {
     pub trimmed_words: usize,
 }
 
-pub(crate) fn compile(netlist: &Netlist, trim: bool) -> Result<Compiled, LevelizeError> {
+pub(crate) fn compile(
+    netlist: &Netlist,
+    trim: bool,
+    limits: &ResourceLimits,
+) -> Result<Compiled, CompileError> {
     let levels = levelize(netlist)?;
-    let n = levels.depth + 1;
+    let n = narrow_u32(u64::from(levels.depth) + 1)?;
     let words = n.div_ceil(WORD_BITS);
+    limits.check_field_words(words)?;
 
     // Field layout: one uniform field per net, then one scratch field.
+    // `scratch` fitting u32 (checked below) bounds every per-net base.
+    let scratch = narrow_u32(checked_mul_u64(
+        netlist.net_count() as u64,
+        u64::from(words),
+    )?)?;
     let layouts: Vec<FieldLayout> = netlist
         .net_ids()
         .map(|net| FieldLayout::new(net.index() as u32 * words, n, 0))
         .collect();
-    let scratch = netlist.net_count() as u32 * words;
-    let arena_words = (scratch + words) as usize;
+    let arena_words = narrow_u32(checked_add_u64(u64::from(scratch), u64::from(words))?)? as usize;
+    limits.check_memory(checked_mul_u64(arena_words as u64, 4)?)?;
+    limits.check_deadline()?;
 
     let pcsets = if trim {
         Some(PcSets::compute(netlist)?)
@@ -75,14 +88,11 @@ pub(crate) fn compile(netlist: &Netlist, trim: bool) -> Result<Compiled, Leveliz
     let final_word_offset = final_bit / WORD_BITS;
     let final_bit_in_word = (final_bit % WORD_BITS) as u8;
 
-    let narrow = |value: usize, what: &str| -> u16 {
-        u16::try_from(value).unwrap_or_else(|_| panic!("{what} ({value}) exceeds u16"))
-    };
     for (index, &pi) in netlist.primary_inputs().iter().enumerate() {
         ops.push(WOp::InputBroadcast {
             dst: layouts[pi].base,
-            words: narrow(words as usize, "words per field"),
-            index: narrow(index, "primary input index"),
+            words: narrow_u16(words as usize)?,
+            index: narrow_u16(index)?,
         });
     }
     for net in netlist.net_ids() {
@@ -150,7 +160,7 @@ pub(crate) fn compile(netlist: &Netlist, trim: bool) -> Result<Compiled, Leveliz
             if !scratch_needed[w as usize] {
                 continue;
             }
-            let first_operand = u32::try_from(operands.len()).expect("operand pool fits u32");
+            let first_operand = narrow_u32(operands.len() as u64)?;
             for &input in &gate.inputs {
                 operands.push(layouts[input].base + w);
             }
@@ -158,7 +168,7 @@ pub(crate) fn compile(netlist: &Netlist, trim: bool) -> Result<Compiled, Leveliz
                 kind: gate.kind,
                 dst: scratch + w,
                 first_operand,
-                operand_count: narrow(gate.inputs.len(), "gate fan-in"),
+                operand_count: narrow_u16(gate.inputs.len())?,
             });
         }
         for w in 0..words {

@@ -18,11 +18,13 @@
 //! words ... that do not contain PC-set representatives") and gap words
 //! become broadcasts, exactly as in the unoptimized compiler.
 
-use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
+use uds_netlist::limits::{checked_add_u64, checked_mul_u64, narrow_u16, narrow_u32};
+use uds_netlist::{levelize, NetId, Netlist, ResourceLimits};
 use uds_pcset::PcSets;
 
 use crate::bitfield::{FieldLayout, WORD_BITS};
 use crate::program::{Program, WOp};
+use crate::simulator::CompileError;
 use crate::trimming::{classify, WordClass};
 use crate::Alignment;
 
@@ -39,7 +41,8 @@ pub(crate) fn compile(
     netlist: &Netlist,
     alignment: &Alignment,
     trim: bool,
-) -> Result<CompiledAligned, LevelizeError> {
+    limits: &ResourceLimits,
+) -> Result<CompiledAligned, CompileError> {
     let levels = levelize(netlist)?;
     debug_assert!(alignment.validate(netlist, &levels).is_ok());
 
@@ -49,7 +52,11 @@ pub(crate) fn compile(
     for net in netlist.net_ids() {
         let width = alignment.width(&levels, net);
         let layout = FieldLayout::new(next_word, width, alignment.net_align[net]);
-        next_word += layout.words;
+        limits.check_field_words(layout.words)?;
+        next_word = narrow_u32(checked_add_u64(
+            u64::from(next_word),
+            u64::from(layout.words),
+        )?)?;
         layouts.push(layout);
     }
 
@@ -61,9 +68,8 @@ pub(crate) fn compile(
         if alignment.output_shift(netlist, gid) == 0 {
             layouts[out].width
         } else {
-            let width = i64::from(levels.net_level[out])
-                - i64::from(alignment.gate_align[gid.index()])
-                + 1;
+            let width =
+                i64::from(levels.net_level[out]) - i64::from(alignment.gate_align[gid.index()]) + 1;
             u32::try_from(width).expect("gate alignment never exceeds its output's level")
         }
     };
@@ -109,7 +115,7 @@ pub(crate) fn compile(
     for net in netlist.net_ids() {
         if needs_ext[net] {
             ext_word[net] = next_word;
-            next_word += 1;
+            next_word = narrow_u32(checked_add_u64(u64::from(next_word), 1)?)?;
         }
     }
     let ext_broadcast = |net: NetId| -> WOp {
@@ -124,8 +130,16 @@ pub(crate) fn compile(
 
     let scratch_base = next_word;
     let scratch_stride = max_gate_words;
-    let stage_base = scratch_base + max_operands as u32 * scratch_stride;
-    let arena_words = (stage_base + max_gate_words) as usize;
+    let stage_base = narrow_u32(checked_add_u64(
+        u64::from(scratch_base),
+        checked_mul_u64(max_operands as u64, u64::from(scratch_stride))?,
+    )?)?;
+    let arena_words = narrow_u32(checked_add_u64(
+        u64::from(stage_base),
+        u64::from(max_gate_words),
+    )?)? as usize;
+    limits.check_memory(checked_mul_u64(arena_words as u64, 4)?)?;
+    limits.check_deadline()?;
 
     let pcsets = if trim {
         Some(PcSets::compute(netlist)?)
@@ -155,17 +169,14 @@ pub(crate) fn compile(
     let mut trimmed_words = 0usize;
 
     // --- Per-vector initialization -------------------------------------
-    let narrow = |value: usize, what: &str| -> u16 {
-        u16::try_from(value).unwrap_or_else(|_| panic!("{what} ({value}) exceeds u16"))
-    };
     for (index, &pi) in netlist.primary_inputs().iter().enumerate() {
         let layout = &layouts[pi];
-        let neg_bits = narrow((-layout.align).max(0) as usize, "negative-time bits");
+        let neg_bits = narrow_u16((-layout.align).max(0) as usize)?;
         ops.push(WOp::InputAligned {
             dst: layout.base,
-            words: narrow(layout.words as usize, "words per field"),
+            words: narrow_u16(layout.words as usize)?,
             neg_bits,
-            index: narrow(index, "primary input index"),
+            index: narrow_u16(index)?,
         });
         if needs_ext[pi] {
             ops.push(ext_broadcast(pi));
@@ -237,7 +248,7 @@ pub(crate) fn compile(
                 scratch_used += 1;
                 ops.push(WOp::ShiftField {
                     dst,
-                    dst_words: narrow(gate_words as usize, "gate words"),
+                    dst_words: narrow_u16(gate_words as usize)?,
                     src: in_layout.base,
                     src_width: in_layout.width,
                     shift,
@@ -276,8 +287,7 @@ pub(crate) fn compile(
             };
             match class {
                 WordClass::Active => {
-                    let first_operand =
-                        u32::try_from(operands.len()).expect("operand pool fits u32");
+                    let first_operand = narrow_u32(operands.len() as u64)?;
                     for &input in &gate.inputs {
                         operands.push(operand_at(input, w));
                     }
@@ -285,7 +295,7 @@ pub(crate) fn compile(
                         kind: gate.kind,
                         dst: compute_base + w,
                         first_operand,
-                        operand_count: narrow(gate.inputs.len(), "gate fan-in"),
+                        operand_count: narrow_u16(gate.inputs.len())?,
                     });
                 }
                 WordClass::Gap => {
@@ -304,7 +314,7 @@ pub(crate) fn compile(
         if output_shift != 0 {
             ops.push(WOp::ShiftField {
                 dst: out_layout.base,
-                dst_words: narrow(out_layout.words as usize, "output words"),
+                dst_words: narrow_u16(out_layout.words as usize)?,
                 src: stage_base,
                 src_width: compute_width,
                 shift: output_shift,

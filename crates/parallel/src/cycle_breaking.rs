@@ -219,9 +219,7 @@ mod tests {
             let nl = circuit.build();
             let levels = uds_netlist::levelize(&nl).unwrap();
             let cb = align(&nl).unwrap().alignment.stats(&nl, &levels);
-            let pt = crate::path_tracing::align(&nl)
-                .unwrap()
-                .stats(&nl, &levels);
+            let pt = crate::path_tracing::align(&nl).unwrap().stats(&nl, &levels);
             assert!(
                 cb.max_width_bits > pt.max_width_bits,
                 "{circuit}: cycle-breaking width {} !> path-tracing {}",

@@ -116,9 +116,7 @@ impl Program {
                     words,
                     neg_bits,
                     index,
-                } =>
-
-{
+                } => {
                     // The previous value currently occupies every
                     // non-negative-time bit; bit `neg_bits` is time 0.
                     let prev_word = arena[(dst + u32::from(neg_bits) / WORD_BITS) as usize];
@@ -152,12 +150,24 @@ impl Program {
 
 fn eval_word(kind: GateKind, operands: &[u32], arena: &[u32]) -> u32 {
     match kind {
-        GateKind::And => operands.iter().fold(!0u32, |acc, &s| acc & arena[s as usize]),
-        GateKind::Nand => !operands.iter().fold(!0u32, |acc, &s| acc & arena[s as usize]),
-        GateKind::Or => operands.iter().fold(0u32, |acc, &s| acc | arena[s as usize]),
-        GateKind::Nor => !operands.iter().fold(0u32, |acc, &s| acc | arena[s as usize]),
-        GateKind::Xor => operands.iter().fold(0u32, |acc, &s| acc ^ arena[s as usize]),
-        GateKind::Xnor => !operands.iter().fold(0u32, |acc, &s| acc ^ arena[s as usize]),
+        GateKind::And => operands
+            .iter()
+            .fold(!0u32, |acc, &s| acc & arena[s as usize]),
+        GateKind::Nand => !operands
+            .iter()
+            .fold(!0u32, |acc, &s| acc & arena[s as usize]),
+        GateKind::Or => operands
+            .iter()
+            .fold(0u32, |acc, &s| acc | arena[s as usize]),
+        GateKind::Nor => !operands
+            .iter()
+            .fold(0u32, |acc, &s| acc | arena[s as usize]),
+        GateKind::Xor => operands
+            .iter()
+            .fold(0u32, |acc, &s| acc ^ arena[s as usize]),
+        GateKind::Xnor => !operands
+            .iter()
+            .fold(0u32, |acc, &s| acc ^ arena[s as usize]),
         GateKind::Not => !arena[operands[0] as usize],
         GateKind::Buf => arena[operands[0] as usize],
         GateKind::Const0 => 0,
@@ -351,7 +361,7 @@ mod tests {
         };
         let mut arena = vec![0b1010, 0];
         program.run(&mut arena, &[]);
-        assert_eq!(arena[1], !0u32 << 1 | 0, "i0=0 then all 1s");
+        assert_eq!(arena[1], !0u32 << 1, "i0=0 then all 1s");
     }
 
     #[test]

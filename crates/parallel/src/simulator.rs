@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
+use uds_netlist::{levelize, LevelizeError, LimitExceeded, NetId, Netlist, ResourceLimits};
 
 use crate::bitfield::FieldLayout;
 use crate::program::Program;
@@ -62,23 +62,41 @@ impl fmt::Display for Optimization {
 
 /// Error returned by [`ParallelSimulator::compile`].
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct CompileError(pub LevelizeError);
+pub enum CompileError {
+    /// The netlist cannot be levelized (cycle or flip-flop).
+    Levelize(LevelizeError),
+    /// A resource budget was exceeded (depth, gates, field words,
+    /// estimated memory, deadline, or addressable-size arithmetic).
+    Limit(LimitExceeded),
+}
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            CompileError::Levelize(err) => write!(f, "{err}"),
+            CompileError::Limit(err) => write!(f, "{err}"),
+        }
     }
 }
 
 impl std::error::Error for CompileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.0)
+        match self {
+            CompileError::Levelize(err) => Some(err),
+            CompileError::Limit(err) => Some(err),
+        }
     }
 }
 
 impl From<LevelizeError> for CompileError {
     fn from(err: LevelizeError) -> Self {
-        CompileError(err)
+        CompileError::Levelize(err)
+    }
+}
+
+impl From<LimitExceeded> for CompileError {
+    fn from(err: LimitExceeded) -> Self {
+        CompileError::Limit(err)
     }
 }
 
@@ -132,7 +150,20 @@ impl ParallelSimulator {
     ///
     /// Returns [`CompileError`] for cyclic or sequential netlists.
     pub fn compile(netlist: &Netlist, optimization: Optimization) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, optimization, false)
+        Self::compile_inner(netlist, optimization, false, &ResourceLimits::unlimited())
+    }
+
+    /// Like [`ParallelSimulator::compile`], but enforcing a resource
+    /// budget: depth, gate, input, words-per-field, and estimated-memory
+    /// ceilings are checked *before* the corresponding allocations, and
+    /// the sizing arithmetic itself is overflow-checked. Violations
+    /// surface as [`CompileError::Limit`].
+    pub fn compile_with_limits(
+        netlist: &Netlist,
+        optimization: Optimization,
+        limits: &ResourceLimits,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, optimization, false, limits)
     }
 
     /// Like [`ParallelSimulator::compile`], but keeps every net's history
@@ -144,20 +175,35 @@ impl ParallelSimulator {
         netlist: &Netlist,
         optimization: Optimization,
     ) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, optimization, true)
+        Self::compile_inner(netlist, optimization, true, &ResourceLimits::unlimited())
+    }
+
+    /// [`ParallelSimulator::compile_monitoring_all`] under a resource
+    /// budget — the combination verification harnesses want.
+    pub fn compile_monitoring_all_with_limits(
+        netlist: &Netlist,
+        optimization: Optimization,
+        limits: &ResourceLimits,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, optimization, true, limits)
     }
 
     fn compile_inner(
         netlist: &Netlist,
         optimization: Optimization,
         monitor_all: bool,
+        limits: &ResourceLimits,
     ) -> Result<Self, CompileError> {
         let levels = levelize(netlist)?;
+        limits.check_depth(levels.depth)?;
+        limits.check_gates(netlist.gate_count())?;
+        limits.check_inputs(netlist.primary_inputs().len())?;
+        limits.check_deadline()?;
 
         let (program, layouts, depth, retained_shifts, trimmed_words, alignment) =
             match optimization {
                 Optimization::None | Optimization::Trimming => {
-                    let compiled = crate::compile::compile(netlist, optimization.trims())?;
+                    let compiled = crate::compile::compile(netlist, optimization.trims(), limits)?;
                     (
                         compiled.program,
                         compiled.layouts,
@@ -169,8 +215,12 @@ impl ParallelSimulator {
                 }
                 Optimization::PathTracing | Optimization::PathTracingTrimming => {
                     let alignment = path_tracing::align(netlist)?;
-                    let compiled =
-                        crate::compile_aligned::compile(netlist, &alignment, optimization.trims())?;
+                    let compiled = crate::compile_aligned::compile(
+                        netlist,
+                        &alignment,
+                        optimization.trims(),
+                        limits,
+                    )?;
                     (
                         compiled.program,
                         compiled.layouts,
@@ -186,6 +236,7 @@ impl ParallelSimulator {
                         netlist,
                         &result.alignment,
                         optimization.trims(),
+                        limits,
                     )?;
                     (
                         compiled.program,
@@ -526,6 +577,42 @@ mod tests {
         let (nl, ..) = fig6();
         let mut sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
         sim.simulate_vector(&[true]);
+    }
+
+    #[test]
+    fn budget_violations_are_typed() {
+        let (nl, ..) = fig6();
+        let tight = ResourceLimits {
+            max_depth: Some(1),
+            ..ResourceLimits::unlimited()
+        };
+        for optimization in Optimization::ALL {
+            match ParallelSimulator::compile_with_limits(&nl, optimization, &tight) {
+                Err(CompileError::Limit(err)) => {
+                    assert_eq!(err.resource, uds_netlist::Resource::Depth);
+                    assert_eq!(err.needed, 2);
+                    assert_eq!(err.allowed, 1);
+                }
+                other => panic!("{optimization}: expected depth violation, got {other:?}"),
+            }
+        }
+        let roomy = ResourceLimits::production();
+        assert!(ParallelSimulator::compile_with_limits(&nl, Optimization::None, &roomy).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_fails_compilation() {
+        let (nl, ..) = fig6();
+        let limits = ResourceLimits {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..ResourceLimits::unlimited()
+        };
+        match ParallelSimulator::compile_with_limits(&nl, Optimization::None, &limits) {
+            Err(CompileError::Limit(err)) => {
+                assert_eq!(err.resource, uds_netlist::Resource::Deadline)
+            }
+            other => panic!("expected deadline violation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -70,9 +70,8 @@ pub fn classify(layout: &FieldLayout, times: &[u32], minlevel: u32) -> Vec<WordC
     debug_assert!(
         classes
             .iter()
-            .skip_while(|&&c| c == WordClass::LowConstant)
-            .next()
-            .map_or(true, |&c| c == WordClass::Active),
+            .find(|&&c| c != WordClass::LowConstant)
+            .is_none_or(|&c| c == WordClass::Active),
         "the minlevel word is active, so no gap precedes the first active word"
     );
     classes
@@ -81,10 +80,7 @@ pub fn classify(layout: &FieldLayout, times: &[u32], minlevel: u32) -> Vec<WordC
 /// Counts how many words of simulation work trimming removes
 /// (low-constant + gap words).
 pub fn trimmed_words(classes: &[WordClass]) -> usize {
-    classes
-        .iter()
-        .filter(|&&c| c != WordClass::Active)
-        .count()
+    classes.iter().filter(|&&c| c != WordClass::Active).count()
 }
 
 #[cfg(test)]

@@ -60,10 +60,10 @@ impl UndirectedGraph {
         for gid in netlist.gate_ids() {
             let gate = netlist.gate(gid);
             let push = |edges: &mut Vec<Edge>,
-                            net_adjacency: &mut Vec<Vec<usize>>,
-                            gate_adjacency: &mut Vec<Vec<usize>>,
-                            net: NetId,
-                            role: PinRole| {
+                        net_adjacency: &mut Vec<Vec<usize>>,
+                        gate_adjacency: &mut Vec<Vec<usize>>,
+                        net: NetId,
+                        role: PinRole| {
                 let index = edges.len();
                 edges.push(Edge {
                     gate: gid,

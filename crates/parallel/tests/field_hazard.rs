@@ -38,8 +38,8 @@ fn field_transitions_match_history_scan() {
                     // inputs) — the edge from the previous vector's value
                     // into time 0, which those fields represent.
                     let lo = layout.align.max(0) as usize;
-                    let hi = ((layout.align + layout.width as i32 - 1) as usize)
-                        .min(history.len() - 1);
+                    let hi =
+                        ((layout.align + layout.width as i32 - 1) as usize).min(history.len() - 1);
                     let window = &history[lo..=hi];
                     let mut naive = window.windows(2).filter(|p| p[0] != p[1]).count() as u32;
                     if layout.align < 0 && previous[net.index()] != history[0] {

@@ -8,8 +8,14 @@ use uds_netlist::{levelize, Netlist};
 use uds_parallel::{cycle_breaking, path_tracing, Optimization, ParallelSimulator, WORD_BITS};
 
 fn circuit_strategy() -> impl Strategy<Value = (Netlist, u64)> {
-    (1u32..=40, 0usize..=80, 1usize..=10, any::<u64>(), 0.0f64..=1.0).prop_map(
-        |(depth, extra, pis, seed, locality)| {
+    (
+        1u32..=40,
+        0usize..=80,
+        1usize..=10,
+        any::<u64>(),
+        0.0f64..=1.0,
+    )
+        .prop_map(|(depth, extra, pis, seed, locality)| {
             let mut config = LayeredConfig::new("prop", depth as usize + extra, depth);
             config.primary_inputs = pis;
             config.primary_outputs = 3;
@@ -17,8 +23,7 @@ fn circuit_strategy() -> impl Strategy<Value = (Netlist, u64)> {
             config.locality = locality;
             config.xor_fraction = 0.25;
             (layered(&config).expect("valid config"), seed)
-        },
-    )
+        })
 }
 
 proptest! {

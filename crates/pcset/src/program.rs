@@ -66,16 +66,24 @@ impl Program {
             let operands = &self.operands
                 [op.first_operand as usize..(op.first_operand + op.operand_count) as usize];
             let value = match op.kind {
-                GateKind::And => operands.iter().fold(!0u64, |acc, &s| acc & arena[s as usize]),
-                GateKind::Nand => {
-                    !operands.iter().fold(!0u64, |acc, &s| acc & arena[s as usize])
-                }
-                GateKind::Or => operands.iter().fold(0u64, |acc, &s| acc | arena[s as usize]),
-                GateKind::Nor => !operands.iter().fold(0u64, |acc, &s| acc | arena[s as usize]),
-                GateKind::Xor => operands.iter().fold(0u64, |acc, &s| acc ^ arena[s as usize]),
-                GateKind::Xnor => {
-                    !operands.iter().fold(0u64, |acc, &s| acc ^ arena[s as usize])
-                }
+                GateKind::And => operands
+                    .iter()
+                    .fold(!0u64, |acc, &s| acc & arena[s as usize]),
+                GateKind::Nand => !operands
+                    .iter()
+                    .fold(!0u64, |acc, &s| acc & arena[s as usize]),
+                GateKind::Or => operands
+                    .iter()
+                    .fold(0u64, |acc, &s| acc | arena[s as usize]),
+                GateKind::Nor => !operands
+                    .iter()
+                    .fold(0u64, |acc, &s| acc | arena[s as usize]),
+                GateKind::Xor => operands
+                    .iter()
+                    .fold(0u64, |acc, &s| acc ^ arena[s as usize]),
+                GateKind::Xnor => !operands
+                    .iter()
+                    .fold(0u64, |acc, &s| acc ^ arena[s as usize]),
                 GateKind::Not => !arena[operands[0] as usize],
                 GateKind::Buf => arena[operands[0] as usize],
                 GateKind::Const0 => 0,

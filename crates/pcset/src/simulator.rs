@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
+use uds_netlist::limits::narrow_u32;
+use uds_netlist::{levelize, LevelizeError, LimitExceeded, NetId, Netlist, ResourceLimits};
 
 use crate::program::{CopyOp, GateOp, Program};
 use crate::zero_insert::{insert_zeros, ZeroInsertion};
@@ -15,6 +16,9 @@ pub enum CompileError {
     Levelize(LevelizeError),
     /// A monitored net id is out of range for the netlist.
     UnknownMonitor,
+    /// A resource budget was exceeded (depth, gates, estimated memory,
+    /// deadline, or addressable-size arithmetic).
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for CompileError {
@@ -22,6 +26,7 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Levelize(err) => write!(f, "{err}"),
             CompileError::UnknownMonitor => write!(f, "monitored net does not exist"),
+            CompileError::Limit(err) => write!(f, "{err}"),
         }
     }
 }
@@ -31,6 +36,7 @@ impl std::error::Error for CompileError {
         match self {
             CompileError::Levelize(err) => Some(err),
             CompileError::UnknownMonitor => None,
+            CompileError::Limit(err) => Some(err),
         }
     }
 }
@@ -38,6 +44,12 @@ impl std::error::Error for CompileError {
 impl From<LevelizeError> for CompileError {
     fn from(err: LevelizeError) -> Self {
         CompileError::Levelize(err)
+    }
+}
+
+impl From<LimitExceeded> for CompileError {
+    fn from(err: LimitExceeded) -> Self {
+        CompileError::Limit(err)
     }
 }
 
@@ -89,6 +101,17 @@ impl PcSetSimulator {
         Self::compile_with_monitors(netlist, netlist.primary_outputs())
     }
 
+    /// Like [`PcSetSimulator::compile`], but enforcing a resource budget:
+    /// depth, gate, input, and estimated-memory ceilings are checked
+    /// before allocation, and slot arithmetic is overflow-checked.
+    /// Violations surface as [`CompileError::Limit`].
+    pub fn compile_with_limits(
+        netlist: &Netlist,
+        limits: &ResourceLimits,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, netlist.primary_outputs(), limits)
+    }
+
     /// Compiles with an explicit set of monitored nets (the paper's
     /// `PRINT` pseudo-gate inputs). Monitored nets always have a full
     /// reconstructible history; other nets only expose their final value
@@ -102,10 +125,22 @@ impl PcSetSimulator {
         netlist: &Netlist,
         monitored: &[NetId],
     ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, monitored, &ResourceLimits::unlimited())
+    }
+
+    fn compile_inner(
+        netlist: &Netlist,
+        monitored: &[NetId],
+        limits: &ResourceLimits,
+    ) -> Result<Self, CompileError> {
         if monitored.iter().any(|&n| n.index() >= netlist.net_count()) {
             return Err(CompileError::UnknownMonitor);
         }
         let levels = levelize(netlist)?;
+        limits.check_depth(levels.depth)?;
+        limits.check_gates(netlist.gate_count())?;
+        limits.check_inputs(netlist.primary_inputs().len())?;
+        limits.check_deadline()?;
         let mut sets = PcSets::compute(netlist)?;
         let retention = insert_zeros(netlist, &mut sets, monitored);
 
@@ -114,10 +149,11 @@ impl PcSetSimulator {
         let mut slot_count: u32 = 0;
         for net in netlist.net_ids() {
             net_base.push(slot_count);
-            slot_count = slot_count
-                .checked_add(u32::try_from(sets.net[net].len()).expect("PC-set fits u32"))
-                .expect("total PC-set variables fit u32");
+            slot_count = narrow_u32(slot_count as u64 + sets.net[net].len() as u64)?;
         }
+        // One u64 word per slot, both live and power-up copies.
+        limits.check_memory((slot_count as u64).saturating_mul(16))?;
+        limits.check_deadline()?;
         let slot_of = |net: NetId, time: u32| -> u32 {
             let idx = sets.net[net]
                 .times()
@@ -152,7 +188,7 @@ impl PcSetSimulator {
         for &gid in &levels.topo_gates {
             let gate = netlist.gate(gid);
             for &t in sets.gate[gid.index()].times() {
-                let first_operand = u32::try_from(operands.len()).expect("operand pool fits u32");
+                let first_operand = narrow_u32(operands.len() as u64)?;
                 for &input in &gate.inputs {
                     let src_time = sets.net[input]
                         .largest_below(t)
@@ -447,6 +483,24 @@ mod tests {
             PcSetSimulator::compile(&nl),
             Err(CompileError::Levelize(_))
         ));
+    }
+
+    #[test]
+    fn budget_violations_are_typed() {
+        let (nl, ..) = fig4();
+        let tight = ResourceLimits {
+            max_gates: Some(1),
+            ..ResourceLimits::unlimited()
+        };
+        match PcSetSimulator::compile_with_limits(&nl, &tight) {
+            Err(CompileError::Limit(err)) => {
+                assert_eq!(err.resource, uds_netlist::Resource::Gates);
+                assert_eq!(err.needed, 2);
+                assert_eq!(err.allowed, 1);
+            }
+            other => panic!("expected gate-count violation, got {other:?}"),
+        }
+        assert!(PcSetSimulator::compile_with_limits(&nl, &ResourceLimits::production()).is_ok());
     }
 
     #[test]

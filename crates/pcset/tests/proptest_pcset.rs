@@ -13,8 +13,14 @@ fn times_strategy() -> impl Strategy<Value = Vec<u32>> {
 }
 
 fn small_circuit_strategy() -> impl Strategy<Value = (Netlist, u64)> {
-    (1u32..=15, 0usize..=80, 1usize..=12, any::<u64>(), 0.0f64..=1.0).prop_map(
-        |(depth, extra, pis, seed, locality)| {
+    (
+        1u32..=15,
+        0usize..=80,
+        1usize..=12,
+        any::<u64>(),
+        0.0f64..=1.0,
+    )
+        .prop_map(|(depth, extra, pis, seed, locality)| {
             let mut config = LayeredConfig::new("prop", depth as usize + extra, depth);
             config.primary_inputs = pis;
             config.primary_outputs = 4;
@@ -22,8 +28,7 @@ fn small_circuit_strategy() -> impl Strategy<Value = (Netlist, u64)> {
             config.locality = locality;
             config.xor_fraction = 0.3;
             (layered(&config).expect("valid config"), seed)
-        },
-    )
+        })
 }
 
 proptest! {

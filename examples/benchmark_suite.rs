@@ -9,8 +9,8 @@
 use std::time::Instant;
 
 use unit_delay_sim::core::vectors::RandomVectors;
-use unit_delay_sim::netlist::generators::iscas::Iscas85;
 use unit_delay_sim::eventsim::ConventionalEventDriven;
+use unit_delay_sim::netlist::generators::iscas::Iscas85;
 use unit_delay_sim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let inputs = nl.primary_inputs().len();
 
         let time = |run: &mut dyn FnMut(&[bool])| -> f64 {
-            let stimulus: Vec<Vec<bool>> = RandomVectors::new(inputs, 0xF16).take(vectors).collect();
+            let stimulus: Vec<Vec<bool>> =
+                RandomVectors::new(inputs, 0xF16).take(vectors).collect();
             let start = Instant::now();
             for vector in &stimulus {
                 run(vector);

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pcset_big = PcSetSimulator::compile(&big)?;
     let parallel_big = ParallelSimulator::compile(&big, Optimization::None)?;
     println!("generated-code size for {}:", big.name());
-    println!("  pc-set:   {:>8} lines of C", pcset_c::line_count(&big, &pcset_big));
+    println!(
+        "  pc-set:   {:>8} lines of C",
+        pcset_c::line_count(&big, &pcset_big)
+    );
     println!(
         "  parallel: {:>8} lines of C",
         parallel_c::line_count(&big, &parallel_big)

@@ -32,16 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Activity::DynamicHazard => dynamic_hazards += 1,
                 _ => {}
             }
-            let transitions = found
-                .history
-                .windows(2)
-                .filter(|p| p[0] != p[1])
-                .count();
+            let transitions = found.history.windows(2).filter(|p| p[0] != p[1]).count();
             let is_worse = worst
                 .as_ref()
-                .map(|(_, w)| {
-                    transitions > w.history.windows(2).filter(|p| p[0] != p[1]).count()
-                })
+                .map(|(_, w)| transitions > w.history.windows(2).filter(|p| p[0] != p[1]).count())
                 .unwrap_or(true);
             if is_worse {
                 worst = Some((index, found));
@@ -53,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  static hazards (pulses):    {static_hazards}");
     println!("  dynamic hazards (stutters): {dynamic_hazards}");
     if let Some((vector_index, hazard)) = worst {
-        let bits: String = hazard.history.iter().map(|&b| char::from(b'0' + b as u8)).collect();
+        let bits: String = hazard
+            .history
+            .iter()
+            .map(|&b| char::from(b'0' + b as u8))
+            .collect();
         println!(
             "  busiest net: {} on vector {vector_index}: {bits}",
             nl.net_name(hazard.net),

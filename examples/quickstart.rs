@@ -47,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = ParallelSimulator::compile(&nl, Optimization::PathTracingTrimming)?;
     sim.simulate_vector(&[false, true]);
     sim.simulate_vector(&[true, true]);
-    assert_eq!(sim.final_value(y), false);
-    let history = sim.history(y).expect("y is a primary output, fully monitored");
+    assert!(!sim.final_value(y));
+    let history = sim
+        .history(y)
+        .expect("y is a primary output, fully monitored");
     assert!(history.contains(&true), "the glitch is visible");
     println!("\nglitch on y captured: {history:?}");
     Ok(())

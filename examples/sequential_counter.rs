@@ -13,15 +13,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bits = 4;
     let mut b = NetlistBuilder::named("counter4");
     let en = b.input("en");
-    let q: Vec<NetId> = (0..bits).map(|i| b.get_or_create_net(&format!("q{i}"))).collect();
+    let q: Vec<NetId> = (0..bits)
+        .map(|i| b.get_or_create_net(&format!("q{i}")))
+        .collect();
     let mut carry = en;
-    for i in 0..bits {
-        let next = b.gate(GateKind::Xor, &[q[i], carry], format!("d{i}"))?;
-        b.gate_onto(GateKind::Dff, &[next], q[i])?;
+    for (i, &qi) in q.iter().enumerate() {
+        let next = b.gate(GateKind::Xor, &[qi, carry], format!("d{i}"))?;
+        b.gate_onto(GateKind::Dff, &[next], qi)?;
         if i + 1 < bits {
-            carry = b.gate(GateKind::And, &[q[i], carry], format!("c{i}"))?;
+            carry = b.gate(GateKind::And, &[qi, carry], format!("c{i}"))?;
         }
-        b.output(q[i]);
+        b.output(qi);
     }
     let nl = b.finish()?;
     assert!(nl.is_sequential());
@@ -35,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         levelize(&cut.combinational)?.depth
     );
 
-    let mut sim = ParallelSimulator::compile(&cut.combinational, Optimization::PathTracingTrimming)?;
+    let mut sim =
+        ParallelSimulator::compile(&cut.combinational, Optimization::PathTracingTrimming)?;
 
     // Clocking loop: one compiled vector per cycle, feeding each D back
     // into its Q. Input order of the cut circuit: original PIs first,

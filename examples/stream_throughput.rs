@@ -58,12 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(finals >> lane & 1 != 0, expected, "lane {lane} diverged");
     }
 
-    println!(
-        "{}: {} sequences x {} vectors",
-        nl.name(),
-        sequences,
-        steps
-    );
+    println!("{}: {} sequences x {} vectors", nl.name(), sequences, steps);
     println!("  sequential:    {sequential_time:.3} s");
     println!("  64-stream:     {parallel_time:.3} s");
     println!(

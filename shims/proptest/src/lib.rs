@@ -1,0 +1,402 @@
+//! Offline drop-in for the subset of the [`proptest`] crate API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so property tests
+//! run on a vendored engine: each `#[test]` inside [`proptest!`]
+//! generates `ProptestConfig::cases` inputs from a seed derived from
+//! the test's name and asserts the body on each. There is **no
+//! shrinking** — a failure reports the case index, and re-running is
+//! fully deterministic, which is what the workspace's suites rely on.
+//!
+//! Supported surface: range strategies (`1u32..=30`, `0usize..4`,
+//! `0.0f64..=1.0`), `any::<bool | u32 | u64>()`, tuple strategies up to
+//! arity 10, [`Strategy::prop_map`], `prop::sample::select`,
+//! `prop::collection::vec`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, and `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng, Standard};
+
+/// Per-test configuration; only the case count is honored.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs. Unlike the real crate there is no value
+/// tree and no shrinking: `generate` directly yields a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// Uniform over the whole domain of `T`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// `any::<T>()` — uniform over `T`'s domain.
+pub fn any<T: Standard>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// A fixed value (the real crate's `Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy namespaces mirroring `proptest::prop`.
+pub mod prop {
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniform choice from a vector of options.
+        #[derive(Clone, Debug)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+
+        /// Uniform choice from `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when generating from an empty list.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Inclusive length bounds, converted from the range forms the
+        /// real crate's `Into<SizeRange>` accepts (bare integer literals
+        /// included — they infer as `i32`).
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+
+        macro_rules! impl_size_range_from {
+            ($($t:ty),*) => {$(
+                impl From<::std::ops::Range<$t>> for SizeRange {
+                    fn from(r: ::std::ops::Range<$t>) -> Self {
+                        SizeRange {
+                            min: r.start as usize,
+                            max: (r.end as usize).saturating_sub(1),
+                        }
+                    }
+                }
+                impl From<::std::ops::RangeInclusive<$t>> for SizeRange {
+                    fn from(r: ::std::ops::RangeInclusive<$t>) -> Self {
+                        SizeRange {
+                            min: *r.start() as usize,
+                            max: *r.end() as usize,
+                        }
+                    }
+                }
+            )*};
+        }
+        impl_size_range_from!(i32, u32, usize);
+
+        impl From<usize> for SizeRange {
+            fn from(len: usize) -> Self {
+                SizeRange { min: len, max: len }
+            }
+        }
+
+        /// A `Vec` of values with a length drawn from a [`SizeRange`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            length: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.length.min..=self.length.max);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `vec(element, 2..=8)` — a vector whose length is drawn from
+        /// the given size range.
+        pub fn vec<S: Strategy>(element: S, length: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                length: length.into(),
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// A fresh deterministic generator for one case (used by the macro).
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// The property-test macro: each `#[test] fn name(pat in strategy, …)`
+/// becomes a plain test running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::new_rng(
+                        base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                    let strategy = ($($strategy,)+);
+                    let ($($pat,)+) = strategy.generate(&mut rng);
+                    // The closure absorbs prop_assert!'s early returns
+                    // (ControlFlow::Break) without ending the test fn.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::ops::ControlFlow<()> = (|| {
+                        $body
+                        ::std::ops::ControlFlow::Continue(())
+                    })();
+                    let _ = outcome;
+                }
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($pat in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((a, b, f) in (1u32..=5, 0usize..3, 0.0f64..=1.0)) {
+            prop_assert!((1..=5).contains(&a));
+            prop_assert!(b < 3);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn map_and_select(
+            doubled in (1u32..=10).prop_map(|x| x * 2),
+            pick in prop::sample::select(vec![3u8, 5, 7]),
+            items in prop::collection::vec(any::<bool>(), 2..=8),
+        ) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!([3u8, 5, 7].contains(&pick));
+            prop_assert!((2..=8).contains(&items.len()));
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

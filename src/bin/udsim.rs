@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]
+//!                           [--fallback] [--budget SPEC] [--crosscheck]
 //! udsim stats    FILE.bench
 //! udsim codegen  FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]
 //! udsim cone     FILE.bench OUTPUT_NET [...]   # fan-in cone as .bench on stdout
@@ -12,29 +13,88 @@
 //! `FILE.bench` is an ISCAS-85/89 `.bench` netlist (`-` reads stdin).
 //! Sequential netlists are cut at their flip-flops automatically for
 //! `stats`; `simulate` and `codegen` require combinational input.
+//!
+//! `--budget SPEC` caps compiler resources: a comma-separated list of
+//! `depth=N`, `gates=N`, `inputs=N`, `field-words=N`, `memory=N[K|M|G]`,
+//! `deadline-ms=N`, or the single word `production` for the stock
+//! untrusted-input budget. `--fallback` degrades down the engine chain
+//! (`parallel+pt+trim → parallel → pc-set → event-driven`) instead of
+//! failing; `--crosscheck` verifies the surviving engine against a
+//! fresh event-driven baseline after the run.
+//!
+//! ## Exit codes
+//!
+//! Failures exit with the [`FailureClass`] code so scripts can route on
+//! them: 2 usage, 3 parse/read, 4 structural (cycle, uncut flip-flop),
+//! 5 budget exceeded, 6 contained engine panic, 7 cross-check mismatch.
+//! 0 is success; 1 is reserved for unexpected errors.
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
-use unit_delay_sim::core::{build_simulator, Engine};
+use unit_delay_sim::core::{
+    build_engine_with_limits, Engine, FailureClass, GuardedSimulator, SimError,
+};
 use unit_delay_sim::netlist::stats::CircuitStats;
+use unit_delay_sim::netlist::ResourceLimits;
 use unit_delay_sim::parallel::{self, Optimization, ParallelSimulator};
 use unit_delay_sim::pcset::{self, PcSetSimulator};
 use unit_delay_sim::prelude::{bench_format, Netlist};
 
-fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("udsim: {message}");
-            ExitCode::from(2)
+/// A CLI failure: the message for stderr plus the process exit code.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: FailureClass::Usage.exit_code() as u8,
+        }
+    }
+
+    fn class(message: impl Into<String>, class: FailureClass) -> Self {
+        CliError {
+            message: message.into(),
+            code: class.exit_code() as u8,
         }
     }
 }
 
-fn run() -> Result<(), String> {
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::usage(message)
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(err: SimError) -> Self {
+        CliError::class(err.to_string(), err.class())
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("udsim: {}", err.message);
+            ExitCode::from(err.code)
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
     let rest: Vec<String> = args.collect();
@@ -53,85 +113,191 @@ fn run() -> Result<(), String> {
             eprintln!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
     }
 }
 
 fn usage() -> String {
-    "usage:\n  udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]\n  \
+    "usage:\n  udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]\n                  \
+     [--fallback] [--budget SPEC] [--crosscheck]\n  \
      udsim stats FILE.bench\n  \
      udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n  \
      udsim cone FILE.bench OUTPUT_NET [...]\n  \
-     udsim engines"
+     udsim engines\n\n\
+     SPEC: production | depth=N,gates=N,inputs=N,field-words=N,memory=N[K|M|G],deadline-ms=N"
         .to_owned()
 }
 
-fn load(path: &str) -> Result<Netlist, String> {
+fn load(path: &str) -> Result<Netlist, CliError> {
+    let read_failed =
+        |e: std::io::Error| CliError::class(format!("reading {path}: {e}"), FailureClass::Parse);
     let text = if path == "-" {
         let mut buffer = String::new();
         std::io::stdin()
             .read_to_string(&mut buffer)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+            .map_err(read_failed)?;
         buffer
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        std::fs::read_to_string(path).map_err(read_failed)?
     };
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit");
-    bench_format::parse(&text, name).map_err(|e| format!("{path}: {e}"))
+    bench_format::parse(&text, name)
+        .map_err(|e| CliError::class(format!("{path}: {e}"), FailureClass::Parse))
 }
 
-fn parse_engine(name: &str) -> Result<Engine, String> {
+fn parse_engine(name: &str) -> Result<Engine, CliError> {
     Engine::ALL
         .into_iter()
         .find(|e| e.to_string() == name)
         .ok_or_else(|| {
             let names: Vec<String> = Engine::ALL.iter().map(|e| e.to_string()).collect();
-            format!("unknown engine `{name}` (expected one of: {})", names.join(", "))
+            CliError::usage(format!(
+                "unknown engine `{name}` (expected one of: {})",
+                names.join(", ")
+            ))
         })
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
+/// Parses a `--budget` spec (see [`usage`]) into [`ResourceLimits`].
+fn parse_budget(spec: &str) -> Result<ResourceLimits, CliError> {
+    if spec == "production" {
+        return Ok(ResourceLimits::production());
+    }
+    let mut limits = ResourceLimits::unlimited();
+    for item in spec.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (key, value) = item
+            .split_once('=')
+            .ok_or_else(|| CliError::usage(format!("--budget: `{item}` is not `key=value`")))?;
+        let parse_u64 = |v: &str| -> Result<u64, CliError> {
+            v.parse()
+                .map_err(|e| CliError::usage(format!("--budget {key}: {e}")))
+        };
+        match key {
+            "depth" => {
+                limits.max_depth = Some(parse_u64(value)?.try_into().map_err(|_| {
+                    CliError::usage(format!("--budget depth: `{value}` exceeds u32"))
+                })?)
+            }
+            "gates" => limits.max_gates = Some(parse_u64(value)?),
+            "inputs" => limits.max_inputs = Some(parse_u64(value)?),
+            "field-words" => {
+                limits.max_field_words = Some(parse_u64(value)?.try_into().map_err(|_| {
+                    CliError::usage(format!("--budget field-words: `{value}` exceeds u32"))
+                })?)
+            }
+            "memory" => limits.max_memory_bytes = Some(parse_memory(value)?),
+            "deadline-ms" => {
+                limits.deadline = Some(Instant::now() + Duration::from_millis(parse_u64(value)?))
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "--budget: unknown key `{other}` (expected depth, gates, inputs, field-words, memory, deadline-ms)"
+                )))
+            }
+        }
+    }
+    Ok(limits)
+}
+
+/// Parses a byte count with an optional K/M/G (binary) suffix.
+fn parse_memory(value: &str) -> Result<u64, CliError> {
+    let (digits, shift) = match value.as_bytes().last() {
+        Some(b'K' | b'k') => (&value[..value.len() - 1], 10),
+        Some(b'M' | b'm') => (&value[..value.len() - 1], 20),
+        Some(b'G' | b'g') => (&value[..value.len() - 1], 30),
+        _ => (value, 0),
+    };
+    let base: u64 = digits
+        .parse()
+        .map_err(|e| CliError::usage(format!("--budget memory: {e}")))?;
+    base.checked_shl(shift)
+        .filter(|_| base.leading_zeros() >= shift)
+        .ok_or_else(|| CliError::usage(format!("--budget memory: `{value}` overflows u64")))
+}
+
+fn simulate(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
-    let mut engine = Engine::ParallelPathTracingTrimming;
+    let mut engine: Option<Engine> = None;
     let mut vectors = 16usize;
     let mut seed = 1990u64;
     let mut vcd_path: Option<String> = None;
+    let mut fallback = false;
+    let mut crosscheck = false;
+    let mut limits = ResourceLimits::unlimited();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--engine" => engine = parse_engine(iter.next().ok_or("--engine needs a value")?)?,
+            "--engine" => {
+                engine = Some(parse_engine(iter.next().ok_or("--engine needs a value")?)?)
+            }
             "--vectors" => {
                 vectors = iter
                     .next()
                     .ok_or("--vectors needs a value")?
                     .parse()
-                    .map_err(|e| format!("--vectors: {e}"))?;
+                    .map_err(|e| CliError::usage(format!("--vectors: {e}")))?;
             }
             "--seed" => {
                 seed = iter
                     .next()
                     .ok_or("--seed needs a value")?
                     .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
+                    .map_err(|e| CliError::usage(format!("--seed: {e}")))?;
             }
             "--vcd" => vcd_path = Some(iter.next().ok_or("--vcd needs a path")?.clone()),
+            "--fallback" => fallback = true,
+            "--crosscheck" => crosscheck = true,
+            "--budget" => limits = parse_budget(iter.next().ok_or("--budget needs a spec")?)?,
             other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
                 file = Some(other.to_owned());
             }
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
         }
     }
     let file = file.ok_or("missing FILE.bench")?;
     let nl = load(&file)?;
+    let stimulus: Vec<Vec<bool>> = RandomVectors::new(nl.primary_inputs().len(), seed)
+        .take(vectors)
+        .collect();
 
-    let mut sim = build_simulator(&nl, engine).map_err(|e| e.to_string())?;
-    let mut recorder = vcd_path
-        .as_ref()
-        .map(|_| VcdRecorder::new(&nl, nl.primary_outputs().to_vec()));
+    if fallback {
+        let chain = fallback_chain(engine);
+        simulate_guarded(&nl, limits, &chain, &stimulus, vcd_path, crosscheck)
+    } else {
+        if crosscheck {
+            return Err(CliError::usage("--crosscheck requires --fallback"));
+        }
+        let engine = engine.unwrap_or(Engine::ParallelPathTracingTrimming);
+        simulate_single(&nl, engine, &limits, &stimulus, vcd_path)
+    }
+}
 
+/// The degradation chain for `--fallback`: the requested engine first
+/// (when one was named), then the default chain minus duplicates.
+fn fallback_chain(preferred: Option<Engine>) -> Vec<Engine> {
+    let mut chain = Vec::new();
+    if let Some(engine) = preferred {
+        chain.push(engine);
+    }
+    for engine in GuardedSimulator::DEFAULT_CHAIN {
+        if !chain.contains(&engine) {
+            chain.push(engine);
+        }
+    }
+    chain
+}
+
+fn print_header(nl: &Netlist, engine: Engine) {
     println!(
         "# {}: {} gates, {} inputs, {} outputs, engine {engine}",
         nl.name(),
@@ -139,46 +305,141 @@ fn simulate(args: &[String]) -> Result<(), String> {
         nl.primary_inputs().len(),
         nl.primary_outputs().len()
     );
-    let header: Vec<&str> = nl.primary_outputs().iter().map(|&n| nl.net_name(n)).collect();
+    let header: Vec<&str> = nl
+        .primary_outputs()
+        .iter()
+        .map(|&n| nl.net_name(n))
+        .collect();
     println!("# vector -> {}", header.join(" "));
-    for (index, vector) in RandomVectors::new(nl.primary_inputs().len(), seed)
-        .take(vectors)
-        .enumerate()
-    {
-        sim.simulate_vector(&vector);
-        if let Some(recorder) = recorder.as_mut() {
-            recorder.record(sim.as_ref());
-        }
-        let input_bits: String = vector.iter().map(|&b| char::from(b'0' + b as u8)).collect();
-        let output_bits: String = nl
-            .primary_outputs()
-            .iter()
-            .map(|&n| char::from(b'0' + sim.final_value(n) as u8))
-            .collect();
-        println!("{index:>6} {input_bits} -> {output_bits}");
-    }
-    if let (Some(path), Some(recorder)) = (vcd_path, recorder) {
-        std::fs::write(&path, recorder.render()).map_err(|e| format!("writing {path}: {e}"))?;
+}
+
+fn print_row(nl: &Netlist, index: usize, vector: &[bool], finals: impl Fn(&Netlist) -> String) {
+    let input_bits: String = vector.iter().map(|&b| char::from(b'0' + b as u8)).collect();
+    println!("{index:>6} {input_bits} -> {}", finals(nl));
+}
+
+fn write_vcd(path: Option<String>, recorder: Option<VcdRecorder>) -> Result<(), CliError> {
+    if let (Some(path), Some(recorder)) = (path, recorder) {
+        std::fs::write(&path, recorder.render())
+            .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))?;
         eprintln!("wrote {path}");
     }
     Ok(())
 }
 
-fn stats(args: &[String]) -> Result<(), String> {
+fn simulate_single(
+    nl: &Netlist,
+    engine: Engine,
+    limits: &ResourceLimits,
+    stimulus: &[Vec<bool>],
+    vcd_path: Option<String>,
+) -> Result<(), CliError> {
+    let mut sim = build_engine_with_limits(nl, engine, limits)
+        .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+    let mut recorder = vcd_path
+        .as_ref()
+        .map(|_| VcdRecorder::new(nl, nl.primary_outputs().to_vec()));
+    print_header(nl, engine);
+    for (index, vector) in stimulus.iter().enumerate() {
+        sim.simulate_vector(vector);
+        if let Some(recorder) = recorder.as_mut() {
+            recorder.record(sim.as_ref());
+        }
+        print_row(nl, index, vector, |nl| {
+            nl.primary_outputs()
+                .iter()
+                .map(|&n| char::from(b'0' + sim.final_value(n) as u8))
+                .collect()
+        });
+    }
+    write_vcd(vcd_path, recorder)
+}
+
+fn simulate_guarded(
+    nl: &Netlist,
+    limits: ResourceLimits,
+    chain: &[Engine],
+    stimulus: &[Vec<bool>],
+    vcd_path: Option<String>,
+    crosscheck: bool,
+) -> Result<(), CliError> {
+    let mut guarded = GuardedSimulator::with_chain(nl, limits, chain)
+        .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+    report_new_fallbacks(&guarded, 0);
+    let mut recorder = vcd_path
+        .as_ref()
+        .map(|_| VcdRecorder::new(nl, nl.primary_outputs().to_vec()));
+    print_header(nl, guarded.active_engine());
+    let mut seen_fallbacks = guarded.fallbacks().len();
+    for (index, vector) in stimulus.iter().enumerate() {
+        guarded
+            .simulate_vector(vector)
+            .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+        seen_fallbacks = report_new_fallbacks(&guarded, seen_fallbacks);
+        if let Some(recorder) = recorder.as_mut() {
+            recorder.record(guarded.active_simulator());
+        }
+        print_row(nl, index, vector, |nl| {
+            nl.primary_outputs()
+                .iter()
+                .map(|&n| char::from(b'0' + guarded.final_value(n) as u8))
+                .collect()
+        });
+    }
+    if crosscheck {
+        guarded
+            .crosscheck_baseline()
+            .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+        eprintln!(
+            "cross-check: {} agrees with the event-driven baseline over {} vectors",
+            guarded.active_engine(),
+            guarded.vectors_run()
+        );
+    }
+    eprintln!(
+        "engine: {} ({} fallback{} fired)",
+        guarded.active_engine(),
+        guarded.fallbacks().len(),
+        if guarded.fallbacks().len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    write_vcd(vcd_path, recorder)
+}
+
+/// Reports fallbacks fired since `seen` to stderr; returns the new count.
+fn report_new_fallbacks(guarded: &GuardedSimulator, seen: usize) -> usize {
+    let fired = guarded.fallbacks();
+    for fallback in &fired[seen..] {
+        eprintln!(
+            "fallback: {} abandoned ({}): {}",
+            fallback.from,
+            fallback.error.class(),
+            fallback.error
+        );
+    }
+    fired.len()
+}
+
+fn stats(args: &[String]) -> Result<(), CliError> {
     let file = args.first().ok_or("missing FILE.bench")?;
     let nl = load(file)?;
     let combinational = if nl.is_sequential() {
         let cut = unit_delay_sim::netlist::sequential::cut_flip_flops(&nl)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
         println!("sequential circuit: {} flip-flops cut", cut.state_bits());
         cut.combinational
     } else {
         nl
     };
-    let stats = CircuitStats::compute(&combinational).map_err(|e| e.to_string())?;
+    let stats = CircuitStats::compute(&combinational)
+        .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
     println!("{stats}");
 
-    let pcset = PcSetSimulator::compile(&combinational).map_err(|e| e.to_string())?;
+    let pcset = PcSetSimulator::compile(&combinational)
+        .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
     let program = pcset.stats();
     println!(
         "pc-set: {} variables, {} gate simulations, {} retention copies",
@@ -186,7 +447,7 @@ fn stats(args: &[String]) -> Result<(), String> {
     );
     for optimization in [Optimization::None, Optimization::PathTracingTrimming] {
         let sim = ParallelSimulator::compile(&combinational, optimization)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
         let s = sim.stats();
         println!(
             "parallel ({optimization}): {} word ops, {} retained shifts, {} arena words",
@@ -196,18 +457,18 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cone(args: &[String]) -> Result<(), String> {
+fn cone(args: &[String]) -> Result<(), CliError> {
     let file = args.first().ok_or("missing FILE.bench")?;
     let roots = &args[1..];
     if roots.is_empty() {
-        return Err("missing OUTPUT_NET name(s)".to_owned());
+        return Err(CliError::usage("missing OUTPUT_NET name(s)"));
     }
     let nl = load(file)?;
     let root_ids: Vec<_> = roots
         .iter()
         .map(|name| {
             nl.find_net(name)
-                .ok_or_else(|| format!("no net named `{name}` in {file}"))
+                .ok_or_else(|| CliError::usage(format!("no net named `{name}` in {file}")))
         })
         .collect::<Result<_, _>>()?;
     let cone = unit_delay_sim::netlist::cone::extract(&nl, &root_ids);
@@ -221,7 +482,7 @@ fn cone(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn codegen(args: &[String]) -> Result<(), String> {
+fn codegen(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
     let mut technique = "parallel".to_owned();
     let mut optimization = Optimization::None;
@@ -238,28 +499,31 @@ fn codegen(args: &[String]) -> Result<(), String> {
                     "pt" => Optimization::PathTracing,
                     "pt-trim" => Optimization::PathTracingTrimming,
                     "cb" => Optimization::CycleBreaking,
-                    other => return Err(format!("unknown optimization `{other}`")),
+                    other => {
+                        return Err(CliError::usage(format!("unknown optimization `{other}`")))
+                    }
                 };
             }
             other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
                 file = Some(other.to_owned());
             }
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
         }
     }
     let file = file.ok_or("missing FILE.bench")?;
     let nl = load(&file)?;
     match technique.as_str() {
         "pc-set" | "pcset" => {
-            let sim = PcSetSimulator::compile(&nl).map_err(|e| e.to_string())?;
+            let sim = PcSetSimulator::compile(&nl)
+                .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
             print!("{}", pcset::codegen_c::emit(&nl, &sim));
         }
         "parallel" => {
-            let sim =
-                ParallelSimulator::compile(&nl, optimization).map_err(|e| e.to_string())?;
+            let sim = ParallelSimulator::compile(&nl, optimization)
+                .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
             print!("{}", parallel::codegen_c::emit(&nl, &sim));
         }
-        other => return Err(format!("unknown technique `{other}`")),
+        other => return Err(CliError::usage(format!("unknown technique `{other}`"))),
     }
     Ok(())
 }

@@ -1,0 +1,209 @@
+//! End-to-end tests of the `udsim` binary: every failure class must
+//! exit with its documented code and say something useful on stderr.
+//! Exit codes are part of the CLI's contract (scripts route on them),
+//! so these tests pin them: 0 success, 2 usage, 3 parse/read,
+//! 4 structural, 5 budget, 6 panic, 7 mismatch.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn udsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_udsim"))
+        .args(args)
+        .output()
+        .expect("udsim binary runs")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// Writes a fixture under the target-scoped temp dir and returns its path.
+fn fixture(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir exists");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("fixture written");
+    path
+}
+
+const C17: &str = "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+                   10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+                   22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+#[test]
+fn success_exits_zero() {
+    let path = fixture("ok.bench", C17);
+    let out = udsim(&["simulate", path.to_str().unwrap(), "--vectors", "2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_file_exits_with_parse_code_and_names_the_file() {
+    let out = udsim(&["simulate", "definitely-not-here.bench"]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = stderr(&out);
+    assert!(err.contains("definitely-not-here.bench"), "{err}");
+}
+
+#[test]
+fn malformed_bench_exits_with_parse_code_and_a_span() {
+    let path = fixture("garbage.bench", "INPUT(a)\nwhat even is this\n");
+    let out = udsim(&["simulate", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = stderr(&out);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn cyclic_netlist_exits_with_structural_code() {
+    let path = fixture(
+        "cycle.bench",
+        "INPUT(a)\nOUTPUT(y)\ny = AND(x, a)\nx = AND(y, a)\n",
+    );
+    let out = udsim(&["simulate", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("cycle") || err.contains("Cycle"), "{err}");
+}
+
+#[test]
+fn sequential_netlist_exits_with_structural_code() {
+    let path = fixture("seq.bench", "INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n");
+    let out = udsim(&["simulate", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_engine_exits_with_usage_code_and_lists_engines() {
+    let path = fixture("ok2.bench", C17);
+    let out = udsim(&["simulate", path.to_str().unwrap(), "--engine", "warp-drive"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("warp-drive"), "{err}");
+    assert!(err.contains("pc-set"), "should list valid engines: {err}");
+}
+
+#[test]
+fn exhausted_budget_exits_with_budget_code() {
+    let path = fixture("ok3.bench", C17);
+    let out = udsim(&["simulate", path.to_str().unwrap(), "--budget", "depth=1"]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("budget exceeded"), "{err}");
+    assert!(err.contains("depth"), "{err}");
+}
+
+#[test]
+fn exhausted_budget_with_fallback_still_exits_budget_when_nothing_fits() {
+    // depth=1 rejects every engine in the chain, including the
+    // event-driven baseline — the chain exhausts with the budget class.
+    let path = fixture("ok4.bench", C17);
+    let out = udsim(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--fallback",
+        "--budget",
+        "depth=1",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+}
+
+#[test]
+fn fallback_degrades_and_reports_on_stderr() {
+    // A 40-deep buffer chain with a one-word field budget: the
+    // unoptimized parallel engine cannot fit, path tracing can. Asking
+    // for `parallel` with --fallback must degrade, succeed, and say so.
+    let mut text = String::from("INPUT(a)\n");
+    let mut prev = "a".to_owned();
+    for i in 0..40 {
+        text.push_str(&format!("b{i} = BUF({prev})\n"));
+        prev = format!("b{i}");
+    }
+    text.push_str(&format!("OUTPUT({prev})\n"));
+    let path = fixture("chain.bench", &text);
+    let out = udsim(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--fallback",
+        "--engine",
+        "parallel",
+        "--budget",
+        "field-words=1",
+        "--crosscheck",
+        "--vectors",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("fallback: parallel abandoned"), "{err}");
+    assert!(err.contains("cross-check"), "{err}");
+}
+
+#[test]
+fn crosscheck_without_fallback_is_a_usage_error() {
+    let path = fixture("ok5.bench", C17);
+    let out = udsim(&["simulate", path.to_str().unwrap(), "--crosscheck"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_budget_spec_is_a_usage_error() {
+    let path = fixture("ok6.bench", C17);
+    for spec in [
+        "depth",
+        "depth=abc",
+        "frobs=3",
+        "memory=999999999999999999G",
+    ] {
+        let out = udsim(&["simulate", path.to_str().unwrap(), "--budget", spec]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "spec `{spec}`: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn budget_spec_accepts_production_and_suffixed_memory() {
+    let path = fixture("ok7.bench", C17);
+    for spec in [
+        "production",
+        "memory=256M,depth=4096",
+        "gates=1000,inputs=64",
+    ] {
+        let out = udsim(&[
+            "simulate",
+            path.to_str().unwrap(),
+            "--budget",
+            spec,
+            "--vectors",
+            "1",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "spec `{spec}`: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn engines_subcommand_lists_every_engine() {
+    let out = udsim(&["engines"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for name in ["event-driven", "pc-set", "parallel", "parallel+pt+trim"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn unknown_command_exits_with_usage_code() {
+    let out = udsim(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+}

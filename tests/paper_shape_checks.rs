@@ -169,12 +169,16 @@ fn suite_calibration_is_stable() {
         let target = circuit.target();
         let levels = levelize(&nl).unwrap();
         assert_eq!(
-            ((levels.depth as usize + 1) + 31) / 32,
+            (levels.depth as usize + 1).div_ceil(32),
             target.words,
             "{circuit}: word count drifted"
         );
         if circuit != Iscas85::C6288 {
-            assert_eq!(nl.gate_count(), target.gates, "{circuit}: gate count drifted");
+            assert_eq!(
+                nl.gate_count(),
+                target.gates,
+                "{circuit}: gate count drifted"
+            );
             assert_eq!(levels.depth, target.depth, "{circuit}: depth drifted");
         }
     }

@@ -24,7 +24,9 @@ fn c17_exhaustive_pairs() {
     // Every consecutive pair of the 32 patterns, in both orders.
     let nl = c17();
     let mut sims = all_engines(&nl);
-    let stimulus: Vec<Vec<bool>> = Exhaustive::new(5).chain(Exhaustive::new(5).skip(1)).collect();
+    let stimulus: Vec<Vec<bool>> = Exhaustive::new(5)
+        .chain(Exhaustive::new(5).skip(1))
+        .collect();
     crosscheck::run(&nl, &mut sims, stimulus).unwrap();
 }
 
@@ -136,7 +138,9 @@ fn cone_extraction_preserves_behavior_under_all_engines() {
             .iter()
             .map(|&pi| {
                 let name = cone.netlist.net_name(pi);
-                let original = nl.find_net(name).expect("cone inputs exist in the full circuit");
+                let original = nl
+                    .find_net(name)
+                    .expect("cone inputs exist in the full circuit");
                 let position = nl
                     .primary_inputs()
                     .iter()
