@@ -3,18 +3,25 @@
 //! ```text
 //! cargo run --release -p uds-bench --bin tables -- all
 //! cargo run --release -p uds-bench --bin tables -- fig19 --vectors 5000
-//! cargo run --release -p uds-bench --bin tables -- fig21
+//! cargo run --release -p uds-bench --bin tables -- fig21 --json
 //! ```
 //!
 //! Subcommands: `fig19`, `fig20`, `fig21`, `fig22`, `fig23`, `fig24`,
 //! `zero-delay`, `codesize`, `all`. Options: `--vectors N` (default
-//! 5000, as in the paper) and `--quick` (500 vectors).
+//! 5000, as in the paper), `--quick` (500 vectors), and `--json`
+//! (additionally write each table as `BENCH_<name>.json` in the current
+//! directory, schema `uds-bench-v1`).
+//!
+//! Timed cells show the minimum of [`runner::TIMING_REPS`] repetitions
+//! after a warmup pass (the JSON carries min and median); static
+//! columns come from the compilers' telemetry gauges.
 
 use std::env;
 
 use uds_bench::paper;
-use uds_bench::runner::{self, suite};
+use uds_bench::runner::{self, suite, Timing};
 use uds_bench::table::{ratio, seconds, Table};
+use uds_core::telemetry::json::Json;
 use uds_netlist::generators::iscas::Iscas85;
 use uds_parallel::Optimization;
 
@@ -22,6 +29,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut vectors = 5000usize;
     let mut command = String::from("all");
+    let mut json = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -32,6 +40,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--vectors needs a number"));
             }
             "--quick" => vectors = 500,
+            "--json" => json = true,
             "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "zero-delay"
             | "codesize" | "all" => command = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
@@ -39,23 +48,23 @@ fn main() {
     }
 
     match command.as_str() {
-        "fig19" => fig19(vectors),
-        "fig20" => fig20(vectors),
-        "fig21" => fig21(),
-        "fig22" => fig22(),
-        "fig23" => fig23(vectors),
-        "fig24" => fig24(vectors),
-        "zero-delay" => zero_delay(vectors),
-        "codesize" => codesize(),
+        "fig19" => fig19(vectors, json),
+        "fig20" => fig20(vectors, json),
+        "fig21" => fig21(json),
+        "fig22" => fig22(json),
+        "fig23" => fig23(vectors, json),
+        "fig24" => fig24(vectors, json),
+        "zero-delay" => zero_delay(vectors, json),
+        "codesize" => codesize(json),
         "all" => {
-            fig19(vectors);
-            zero_delay(vectors);
-            fig20(vectors);
-            fig21();
-            fig22();
-            fig23(vectors);
-            fig24(vectors);
-            codesize();
+            fig19(vectors, json);
+            zero_delay(vectors, json);
+            fig20(vectors, json);
+            fig21(json);
+            fig22(json);
+            fig23(vectors, json);
+            fig24(vectors, json);
+            codesize(json);
         }
         _ => unreachable!("validated above"),
     }
@@ -65,12 +74,45 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|all] \
-         [--vectors N | --quick]"
+         [--vectors N | --quick] [--json]"
     );
     std::process::exit(2);
 }
 
-fn fig19(vectors: usize) {
+/// Table cell for a timing: the minimum repetition, in seconds.
+fn best(timing: Timing) -> String {
+    seconds(timing.min_s)
+}
+
+/// JSON value for a timing: both the minimum and the median.
+fn timing_json(timing: Timing) -> Json {
+    Json::obj([
+        ("min_s", Json::Float(timing.min_s)),
+        ("median_s", Json::Float(timing.median_s)),
+    ])
+}
+
+/// Writes a figure's rows as `BENCH_<name>.json` in the current
+/// directory.
+fn write_json(name: &str, vectors: Option<usize>, rows: Vec<Json>) {
+    let mut doc = vec![
+        ("schema".to_owned(), Json::Str("uds-bench-v1".to_owned())),
+        ("figure".to_owned(), Json::Str(name.to_owned())),
+    ];
+    if let Some(vectors) = vectors {
+        doc.push(("vectors".to_owned(), Json::UInt(vectors as u64)));
+    }
+    doc.push(("rows".to_owned(), Json::Arr(rows)));
+    let path = format!("BENCH_{name}.json");
+    let mut rendered = Json::Obj(doc).render();
+    rendered.push('\n');
+    match std::fs::write(&path, rendered) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("error: writing {path}: {e}"),
+    }
+}
+
+fn fig19(vectors: usize, json: bool) {
     println!("\n== Fig. 19: simulation time, {vectors} random vectors (measured s | paper s) ==");
     let mut table = Table::new(&[
         "circuit",
@@ -83,23 +125,34 @@ fn fig19(vectors: usize) {
         "paper pc",
         "paper par",
     ]);
+    let mut rows = Vec::new();
     let (mut pc_total, mut par_total) = (0.0, 0.0);
     for (circuit, nl) in suite() {
         let m = runner::fig19(&nl, vectors);
         let p = paper::fig19(circuit);
-        pc_total += m.interpreted_3v / m.pc_set.max(1e-9);
-        par_total += m.interpreted_3v / m.parallel.max(1e-9);
+        pc_total += m.interpreted_3v.min_s / m.pc_set.min_s.max(1e-9);
+        par_total += m.interpreted_3v.min_s / m.parallel.min_s.max(1e-9);
         table.row(vec![
             circuit.to_string(),
-            seconds(m.interpreted_3v),
-            seconds(m.interpreted_2v),
-            seconds(m.pc_set),
-            seconds(m.parallel),
-            ratio(m.interpreted_3v, m.pc_set),
-            ratio(m.interpreted_3v, m.parallel),
+            best(m.interpreted_3v),
+            best(m.interpreted_2v),
+            best(m.pc_set),
+            best(m.parallel),
+            ratio(m.interpreted_3v.min_s, m.pc_set.min_s),
+            ratio(m.interpreted_3v.min_s, m.parallel.min_s),
             ratio(p.interpreted_3v, p.pc_set),
             ratio(p.interpreted_3v, p.parallel),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("interpreted_3v", timing_json(m.interpreted_3v)),
+            ("interpreted_2v", timing_json(m.interpreted_2v)),
+            ("pc_set", timing_json(m.pc_set)),
+            ("parallel", timing_json(m.parallel)),
+            ("paper_interpreted_3v_s", Json::Float(p.interpreted_3v)),
+            ("paper_pc_set_s", Json::Float(p.pc_set)),
+            ("paper_parallel_s", Json::Float(p.parallel)),
+        ]));
     }
     println!("{}", Table::render(&table));
     println!(
@@ -109,9 +162,12 @@ fn fig19(vectors: usize) {
         par_total / 10.0,
         paper::claims::PARALLEL_SPEEDUP
     );
+    if json {
+        write_json("fig19", Some(vectors), rows);
+    }
 }
 
-fn fig20(vectors: usize) {
+fn fig20(vectors: usize, json: bool) {
     println!("\n== Fig. 20: bit-field trimming, {vectors} vectors ==");
     println!("== op gain = generated-statement reduction (the faithful 1990 proxy) ==");
     let mut table = Table::new(&[
@@ -123,6 +179,7 @@ fn fig20(vectors: usize) {
         "op gain",
         "paper gain",
     ]);
+    let mut rows = Vec::new();
     for (circuit, nl) in suite() {
         let (levels, words) = runner::levels_and_words(&nl);
         let unopt = runner::time_parallel(&nl, Optimization::None, vectors);
@@ -133,17 +190,29 @@ fn fig20(vectors: usize) {
         table.row(vec![
             circuit.to_string(),
             format!("{levels}({words})"),
-            seconds(unopt),
-            seconds(trimmed),
-            percent_gain(unopt, trimmed),
+            best(unopt),
+            best(trimmed),
+            percent_gain(unopt.min_s, trimmed.min_s),
             percent_gain(unopt_ops as f64, trimmed_ops as f64),
             percent_gain(p.parallel, p.trimming),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("levels", Json::UInt(levels.into())),
+            ("field_words", Json::UInt(words.into())),
+            ("unoptimized", timing_json(unopt)),
+            ("trimming", timing_json(trimmed)),
+            ("unoptimized_word_ops", Json::UInt(unopt_ops as u64)),
+            ("trimming_word_ops", Json::UInt(trimmed_ops as u64)),
+        ]));
     }
     println!("{}", Table::render(&table));
+    if json {
+        write_json("fig20", Some(vectors), rows);
+    }
 }
 
-fn fig21() {
+fn fig21(json: bool) {
     println!("\n== Fig. 21: retained shifts (measured | paper) ==");
     let mut table = Table::new(&[
         "circuit",
@@ -154,6 +223,7 @@ fn fig21() {
         "paper pt",
         "paper cb",
     ]);
+    let mut rows = Vec::new();
     for (circuit, nl) in suite() {
         let a = runner::shift_analysis(&nl);
         let p = paper::fig21(circuit);
@@ -166,14 +236,36 @@ fn fig21() {
             p.path_tracing.to_string(),
             p.cycle_breaking.to_string(),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            (
+                "unoptimized_shifts",
+                Json::UInt(a.unoptimized_shifts as u64),
+            ),
+            (
+                "path_tracing_shifts",
+                Json::UInt(a.path_tracing_shifts as u64),
+            ),
+            (
+                "cycle_breaking_shifts",
+                Json::UInt(a.cycle_breaking_shifts as u64),
+            ),
+            ("paper_unoptimized", Json::UInt(p.unoptimized as u64)),
+            ("paper_path_tracing", Json::UInt(p.path_tracing as u64)),
+            ("paper_cycle_breaking", Json::UInt(p.cycle_breaking as u64)),
+        ]));
     }
     println!("{}", Table::render(&table));
+    if json {
+        write_json("fig21", None, rows);
+    }
 }
 
-fn fig22() {
+fn fig22(json: bool) {
     println!("\n== Fig. 22: bit-field widths in bits (the paper's rows did not survive; ==");
     println!("==          expected shape: path-tracing <= unoptimized << cycle-breaking) ==");
     let mut table = Table::new(&["circuit", "unopt", "path-tracing", "cycle-breaking"]);
+    let mut rows = Vec::new();
     for (circuit, nl) in suite() {
         let a = runner::shift_analysis(&nl);
         table.row(vec![
@@ -182,11 +274,26 @@ fn fig22() {
             a.path_tracing_width.to_string(),
             a.cycle_breaking_width.to_string(),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("unoptimized_width", Json::UInt(a.unoptimized_width.into())),
+            (
+                "path_tracing_width",
+                Json::UInt(a.path_tracing_width.into()),
+            ),
+            (
+                "cycle_breaking_width",
+                Json::UInt(a.cycle_breaking_width.into()),
+            ),
+        ]));
     }
     println!("{}", Table::render(&table));
+    if json {
+        write_json("fig22", None, rows);
+    }
 }
 
-fn fig23(vectors: usize) {
+fn fig23(vectors: usize, json: bool) {
     println!("\n== Fig. 23: shift elimination, {vectors} vectors ==");
     println!(
         "== (paper: path-tracing gains 24%..84%; cycle-breaking loses on all but the smallest) =="
@@ -200,6 +307,7 @@ fn fig23(vectors: usize) {
         "pt op gain",
         "cb op gain",
     ]);
+    let mut rows = Vec::new();
     for (circuit, nl) in suite() {
         let unopt = runner::time_parallel(&nl, Optimization::None, vectors);
         let pt = runner::time_parallel(&nl, Optimization::PathTracing, vectors);
@@ -209,18 +317,30 @@ fn fig23(vectors: usize) {
         let cb_ops = runner::word_ops(&nl, Optimization::CycleBreaking) as f64;
         table.row(vec![
             circuit.to_string(),
-            seconds(unopt),
-            seconds(pt),
-            seconds(cb),
-            percent_gain(unopt, pt),
+            best(unopt),
+            best(pt),
+            best(cb),
+            percent_gain(unopt.min_s, pt.min_s),
             percent_gain(unopt_ops, pt_ops),
             percent_gain(unopt_ops, cb_ops),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("unoptimized", timing_json(unopt)),
+            ("path_tracing", timing_json(pt)),
+            ("cycle_breaking", timing_json(cb)),
+            ("unoptimized_word_ops", Json::UInt(unopt_ops as u64)),
+            ("path_tracing_word_ops", Json::UInt(pt_ops as u64)),
+            ("cycle_breaking_word_ops", Json::UInt(cb_ops as u64)),
+        ]));
     }
     println!("{}", Table::render(&table));
+    if json {
+        write_json("fig23", Some(vectors), rows);
+    }
 }
 
-fn fig24(vectors: usize) {
+fn fig24(vectors: usize, json: bool) {
     println!("\n== Fig. 24: shift elimination + trimming, {vectors} vectors ==");
     let mut table = Table::new(&[
         "circuit",
@@ -231,6 +351,7 @@ fn fig24(vectors: usize) {
         "op gain",
         "paper gain",
     ]);
+    let mut rows = Vec::new();
     let mut gain_total = 0.0;
     for (circuit, nl) in suite() {
         let unopt = runner::time_parallel(&nl, Optimization::None, vectors);
@@ -242,13 +363,24 @@ fn fig24(vectors: usize) {
         gain_total += 1.0 - both_ops / unopt_ops;
         table.row(vec![
             circuit.to_string(),
-            seconds(unopt),
-            seconds(pt),
-            seconds(both),
-            percent_gain(unopt, both),
+            best(unopt),
+            best(pt),
+            best(both),
+            percent_gain(unopt.min_s, both.min_s),
             percent_gain(unopt_ops, both_ops),
             percent_gain(p.unoptimized, p.with_trimming),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("unoptimized", timing_json(unopt)),
+            ("path_tracing", timing_json(pt)),
+            ("path_tracing_trimming", timing_json(both)),
+            ("unoptimized_word_ops", Json::UInt(unopt_ops as u64)),
+            (
+                "path_tracing_trimming_word_ops",
+                Json::UInt(both_ops as u64),
+            ),
+        ]));
     }
     println!("{}", Table::render(&table));
     println!(
@@ -256,21 +388,30 @@ fn fig24(vectors: usize) {
         100.0 * gain_total / 10.0,
         100.0 * paper::claims::SHIFT_ELIM_TRIM_AVG_IMPROVEMENT
     );
+    if json {
+        write_json("fig24", Some(vectors), rows);
+    }
 }
 
-fn zero_delay(vectors: usize) {
+fn zero_delay(vectors: usize, json: bool) {
     println!("\n== §5 aside: zero-delay compiled vs interpreted, {vectors} vectors ==");
     let mut table = Table::new(&["circuit", "interpreted", "compiled", "speedup"]);
+    let mut rows = Vec::new();
     let mut total = 0.0;
     for (circuit, nl) in suite() {
         let m = runner::zero_delay(&nl, vectors);
-        total += m.interpreted / m.compiled.max(1e-9);
+        total += m.interpreted.min_s / m.compiled.min_s.max(1e-9);
         table.row(vec![
             circuit.to_string(),
-            seconds(m.interpreted),
-            seconds(m.compiled),
-            ratio(m.interpreted, m.compiled),
+            best(m.interpreted),
+            best(m.compiled),
+            ratio(m.interpreted.min_s, m.compiled.min_s),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("interpreted", timing_json(m.interpreted)),
+            ("compiled", timing_json(m.compiled)),
+        ]));
     }
     println!("{}", Table::render(&table));
     println!(
@@ -279,13 +420,17 @@ fn zero_delay(vectors: usize) {
         total / 10.0,
         paper::claims::ZERO_DELAY_SPEEDUP
     );
+    if json {
+        write_json("zero-delay", Some(vectors), rows);
+    }
 }
 
-fn codesize() {
+fn codesize(json: bool) {
     println!(
         "\n== generated-code size (lines of emitted C; §3: \"over 100,000 lines for c6288\") =="
     );
     let mut table = Table::new(&["circuit", "pc-set", "parallel", "parallel+pt"]);
+    let mut rows = Vec::new();
     for circuit in [Iscas85::C432, Iscas85::C1908, Iscas85::C6288] {
         let nl = circuit.build();
         let pc = uds_pcset::PcSetSimulator::compile(&nl).expect("combinational");
@@ -293,14 +438,26 @@ fn codesize() {
             .expect("combinational");
         let pt = uds_parallel::ParallelSimulator::compile(&nl, Optimization::PathTracing)
             .expect("combinational");
+        let pc_lines = uds_pcset::codegen_c::line_count(&nl, &pc);
+        let par_lines = uds_parallel::codegen_c::line_count(&nl, &par);
+        let pt_lines = uds_parallel::codegen_c::line_count(&nl, &pt);
         table.row(vec![
             circuit.to_string(),
-            uds_pcset::codegen_c::line_count(&nl, &pc).to_string(),
-            uds_parallel::codegen_c::line_count(&nl, &par).to_string(),
-            uds_parallel::codegen_c::line_count(&nl, &pt).to_string(),
+            pc_lines.to_string(),
+            par_lines.to_string(),
+            pt_lines.to_string(),
         ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("pc_set_lines", Json::UInt(pc_lines as u64)),
+            ("parallel_lines", Json::UInt(par_lines as u64)),
+            ("parallel_pt_lines", Json::UInt(pt_lines as u64)),
+        ]));
     }
     println!("{}", Table::render(&table));
+    if json {
+        write_json("codesize", None, rows);
+    }
 }
 
 fn percent_gain(before: f64, after: f64) -> String {

@@ -4,20 +4,42 @@
 //! Methodology mirrors §5 of the paper: each circuit is driven with
 //! seeded random vectors; reported times exclude circuit compilation and
 //! stimulus generation (the paper excludes reading vectors, printing
-//! output, and compiling circuit descriptions).
+//! output, and compiling circuit descriptions). Each measurement runs
+//! one untimed warmup pass (page faults, cache and branch-predictor
+//! warming) and then [`TIMING_REPS`] timed repetitions, reporting the
+//! minimum and median — min is the least noise-inflated estimate of the
+//! true cost, the median shows how stable it was.
+//!
+//! Static metrics (word operations, retained shifts, levels/words) are
+//! sourced from the compilers' own telemetry gauges (DESIGN.md §11)
+//! rather than recomputed here, so the tables and `--stats` reports can
+//! never disagree.
 
 use std::time::Instant;
 
 use uds_core::vectors::RandomVectors;
+use uds_core::Telemetry;
 use uds_eventsim::zero_delay::{ZeroDelayCompiled, ZeroDelayInterpreted};
 use uds_eventsim::ConventionalEventDriven;
 use uds_netlist::generators::iscas::Iscas85;
-use uds_netlist::{levelize, Logic3, Netlist};
+use uds_netlist::{Logic3, Netlist, ResourceLimits};
 use uds_parallel::{Optimization, ParallelSimulator};
 use uds_pcset::PcSetSimulator;
 
 /// Stimulus seed used everywhere, so every engine sees the same stream.
 pub const STIMULUS_SEED: u64 = 0x5EED_1990;
+
+/// Timed repetitions per measurement (after one untimed warmup pass).
+pub const TIMING_REPS: usize = 3;
+
+/// One timing measurement over [`TIMING_REPS`] repetitions.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Timing {
+    /// Fastest repetition — the best estimate of the true cost.
+    pub min_s: f64,
+    /// Median repetition — how stable the measurement was.
+    pub median_s: f64,
+}
 
 /// Pre-generates `vectors` random input vectors for `netlist`.
 pub fn stimulus(netlist: &Netlist, vectors: usize) -> Vec<Vec<bool>> {
@@ -26,22 +48,40 @@ pub fn stimulus(netlist: &Netlist, vectors: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
-/// Times `run` over all of `stimulus`, in seconds.
-pub fn time_over(stimulus: &[Vec<bool>], mut run: impl FnMut(&[bool])) -> f64 {
-    let start = Instant::now();
-    for vector in stimulus {
-        run(vector);
+/// Runs `pass` once untimed (warmup), then [`TIMING_REPS`] more times
+/// under the clock.
+pub fn time_passes(mut pass: impl FnMut()) -> Timing {
+    pass();
+    let mut samples: Vec<f64> = (0..TIMING_REPS)
+        .map(|_| {
+            let start = Instant::now();
+            pass();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    Timing {
+        min_s: samples[0],
+        median_s: samples[samples.len() / 2],
     }
-    start.elapsed().as_secs_f64()
 }
 
-/// Measured seconds for one circuit under the four Fig. 19 techniques.
+/// Times `run` over all of `stimulus` (warmup + repetitions).
+pub fn time_over(stimulus: &[Vec<bool>], mut run: impl FnMut(&[bool])) -> Timing {
+    time_passes(|| {
+        for vector in stimulus {
+            run(vector);
+        }
+    })
+}
+
+/// Measured timings for one circuit under the four Fig. 19 techniques.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Fig19Measurement {
-    pub interpreted_3v: f64,
-    pub interpreted_2v: f64,
-    pub pc_set: f64,
-    pub parallel: f64,
+    pub interpreted_3v: Timing,
+    pub interpreted_2v: Timing,
+    pub pc_set: Timing,
+    pub parallel: Timing,
 }
 
 /// Runs the Fig. 19 comparison on one circuit.
@@ -56,11 +96,11 @@ pub fn fig19(netlist: &Netlist, vectors: usize) -> Fig19Measurement {
     // wheel, linked event records, per-pin activation — the cost model
     // of the simulators the paper compares against (DESIGN.md §4).
     let mut e3 = ConventionalEventDriven::<Logic3>::new(netlist).expect("combinational");
-    let start = Instant::now();
-    for vector in &stimulus_3v {
-        e3.simulate_vector(vector);
-    }
-    let interpreted_3v = start.elapsed().as_secs_f64();
+    let interpreted_3v = time_passes(|| {
+        for vector in &stimulus_3v {
+            e3.simulate_vector(vector);
+        }
+    });
 
     let mut e2 = ConventionalEventDriven::<bool>::new(netlist).expect("combinational");
     let interpreted_2v = time_over(&stimulus, |v| {
@@ -81,30 +121,57 @@ pub fn fig19(netlist: &Netlist, vectors: usize) -> Fig19Measurement {
     }
 }
 
-/// Measured seconds for one parallel-technique optimization level.
-pub fn time_parallel(netlist: &Netlist, optimization: Optimization, vectors: usize) -> f64 {
+/// Measured timing for one parallel-technique optimization level.
+pub fn time_parallel(netlist: &Netlist, optimization: Optimization, vectors: usize) -> Timing {
     let stimulus = stimulus(netlist, vectors);
     let mut sim = ParallelSimulator::compile(netlist, optimization).expect("combinational");
     time_over(&stimulus, |v| sim.simulate_vector(v))
 }
 
-/// Straight-line word operations per vector for one optimization level —
-/// the generated-code-size proxy. On the paper's 1990 scalar CPU, runtime
-/// was proportional to this statement count; the op-count reduction is
-/// therefore the faithful reproduction of Figs. 20, 23 and 24, while
-/// wall-clock on a modern out-of-order core compresses per-op
-/// differences (see EXPERIMENTS.md).
-pub fn word_ops(netlist: &Netlist, optimization: Optimization) -> usize {
-    ParallelSimulator::compile(netlist, optimization)
-        .expect("combinational")
-        .stats()
-        .word_ops
+/// Compiles `netlist` at `optimization` with a fresh telemetry registry
+/// attached and returns the registry (holding the compile gauges).
+pub fn parallel_telemetry(netlist: &Netlist, optimization: Optimization) -> Telemetry {
+    let telemetry = Telemetry::new();
+    ParallelSimulator::compile_probed(
+        netlist,
+        optimization,
+        &ResourceLimits::unlimited(),
+        &telemetry,
+    )
+    .expect("combinational");
+    telemetry
 }
 
-/// Fig. 20 static columns: levels (= depth + 1) and words per field.
+/// Reads a gauge the compiler is contractually required to set.
+fn gauge(telemetry: &Telemetry, name: &str) -> u64 {
+    telemetry
+        .gauge_value(name)
+        .unwrap_or_else(|| panic!("compiler did not record gauge `{name}`"))
+}
+
+/// Straight-line word operations per vector for one optimization level —
+/// the generated-code-size proxy, read from the compiler's
+/// `parallel.<opt>.word_ops` telemetry gauge. On the paper's 1990 scalar
+/// CPU, runtime was proportional to this statement count; the op-count
+/// reduction is therefore the faithful reproduction of Figs. 20, 23 and
+/// 24, while wall-clock on a modern out-of-order core compresses per-op
+/// differences (see EXPERIMENTS.md).
+pub fn word_ops(netlist: &Netlist, optimization: Optimization) -> usize {
+    let telemetry = parallel_telemetry(netlist, optimization);
+    gauge(
+        &telemetry,
+        &format!("parallel.{}.word_ops", optimization.key()),
+    ) as usize
+}
+
+/// Fig. 20 static columns: levels (= depth + 1) and words per field,
+/// from the `parallel.levels` / `parallel.field_words` gauges.
 pub fn levels_and_words(netlist: &Netlist) -> (u32, u32) {
-    let depth = levelize(netlist).expect("combinational").depth;
-    ((depth + 1), (depth + 1).div_ceil(32))
+    let telemetry = parallel_telemetry(netlist, Optimization::None);
+    (
+        gauge(&telemetry, "parallel.levels") as u32,
+        gauge(&telemetry, "parallel.field_words") as u32,
+    )
 }
 
 /// Fig. 21/22 static analysis for one circuit.
@@ -120,20 +187,30 @@ pub struct ShiftAnalysis {
     pub cycle_breaking_width: u32,
 }
 
-/// Runs both shift-elimination analyses on one circuit.
+/// Runs both shift-elimination analyses on one circuit, reading the
+/// results from the compilers' telemetry gauges.
 pub fn shift_analysis(netlist: &Netlist) -> ShiftAnalysis {
-    let levels = levelize(netlist).expect("combinational");
-    let pt = uds_parallel::path_tracing::align(netlist).expect("combinational");
-    let cb = uds_parallel::cycle_breaking::align(netlist).expect("combinational");
-    let pt_stats = pt.stats(netlist, &levels);
-    let cb_stats = cb.alignment.stats(netlist, &levels);
+    let telemetry = Telemetry::new();
+    for optimization in [
+        Optimization::None,
+        Optimization::PathTracing,
+        Optimization::CycleBreaking,
+    ] {
+        ParallelSimulator::compile_probed(
+            netlist,
+            optimization,
+            &ResourceLimits::unlimited(),
+            &telemetry,
+        )
+        .expect("combinational");
+    }
     ShiftAnalysis {
-        unoptimized_shifts: netlist.gate_count(),
-        path_tracing_shifts: pt_stats.retained_shifts,
-        cycle_breaking_shifts: cb_stats.retained_shifts,
-        unoptimized_width: levels.depth + 1,
-        path_tracing_width: pt_stats.max_width_bits,
-        cycle_breaking_width: cb_stats.max_width_bits,
+        unoptimized_shifts: gauge(&telemetry, "parallel.none.shifts_retained") as usize,
+        path_tracing_shifts: gauge(&telemetry, "parallel.pt.shifts_retained") as usize,
+        cycle_breaking_shifts: gauge(&telemetry, "parallel.cb.shifts_retained") as usize,
+        unoptimized_width: gauge(&telemetry, "parallel.none.max_width_bits") as u32,
+        path_tracing_width: gauge(&telemetry, "parallel.pt.max_width_bits") as u32,
+        cycle_breaking_width: gauge(&telemetry, "parallel.cb.max_width_bits") as u32,
     }
 }
 
@@ -141,8 +218,8 @@ pub fn shift_analysis(netlist: &Netlist) -> ShiftAnalysis {
 /// compiled levelized zero-delay simulation.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ZeroDelayMeasurement {
-    pub interpreted: f64,
-    pub compiled: f64,
+    pub interpreted: Timing,
+    pub compiled: Timing,
 }
 
 /// Runs the zero-delay comparison on one circuit.
@@ -174,8 +251,12 @@ mod tests {
     fn fig19_measures_all_four_techniques() {
         let nl = Iscas85::C432.build();
         let m = fig19(&nl, 20);
-        for value in [m.interpreted_3v, m.interpreted_2v, m.pc_set, m.parallel] {
-            assert!(value >= 0.0);
+        for timing in [m.interpreted_3v, m.interpreted_2v, m.pc_set, m.parallel] {
+            assert!(timing.min_s >= 0.0);
+            assert!(
+                timing.median_s >= timing.min_s,
+                "median cannot undercut the minimum"
+            );
         }
     }
 

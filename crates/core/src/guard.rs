@@ -21,11 +21,12 @@
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 
-use uds_netlist::{NetId, Netlist, ResourceLimits};
+use uds_netlist::{NetId, Netlist, NoopProbe, Probe, ResourceLimits};
 use uds_parallel::{Optimization, ParallelSimulator};
 use uds_pcset::PcSetSimulator;
 
-use crate::error::{SimError, SimErrorKind, SimPhase};
+use crate::error::{FailureClass, SimError, SimErrorKind, SimPhase};
+use crate::telemetry::Telemetry;
 use crate::{crosscheck, Engine, TracedEventSim, UnitDelaySimulator};
 
 /// Renders a panic payload to text (panics carry `&str` or `String`;
@@ -50,6 +51,21 @@ pub trait EngineFactory {
         engine: Engine,
         limits: &ResourceLimits,
     ) -> Result<Box<dyn UnitDelaySimulator>, SimError>;
+
+    /// Like [`EngineFactory::build`], reporting compile phases and
+    /// static metrics into `probe`. The default ignores the probe so
+    /// existing factories (the chaos harness's faulty ones included)
+    /// keep working unchanged.
+    fn build_probed(
+        &self,
+        netlist: &Netlist,
+        engine: Engine,
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        let _ = probe;
+        self.build(netlist, engine, limits)
+    }
 }
 
 /// The factory that compiles the workspace's real engines.
@@ -65,6 +81,16 @@ impl EngineFactory for DefaultEngineFactory {
     ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
         build_engine_with_limits(netlist, engine, limits)
     }
+
+    fn build_probed(
+        &self,
+        netlist: &Netlist,
+        engine: Engine,
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        build_engine_with_limits_probed(netlist, engine, limits, probe)
+    }
 }
 
 /// Builds any engine under a resource budget, with compile-time panic
@@ -75,6 +101,19 @@ pub fn build_engine_with_limits(
     netlist: &Netlist,
     engine: Engine,
     limits: &ResourceLimits,
+) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+    build_engine_with_limits_probed(netlist, engine, limits, &NoopProbe)
+}
+
+/// Like [`build_engine_with_limits`], reporting compile phases and the
+/// paper's static metrics (PC-set sizes, words trimmed, shifts
+/// retained/eliminated) into `probe` — pass a
+/// [`Telemetry`](crate::telemetry::Telemetry) to collect them.
+pub fn build_engine_with_limits_probed(
+    netlist: &Netlist,
+    engine: Engine,
+    limits: &ResourceLimits,
+    probe: &dyn Probe,
 ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
     let attach = |e: SimError| {
         if e.engine.is_none() {
@@ -98,7 +137,7 @@ pub fn build_engine_with_limits(
                 limits.check_deadline()?;
                 Box::new(TracedEventSim::new(netlist)?)
             }
-            Engine::PcSet => Box::new(PcSetSimulator::compile_with_limits(netlist, limits)?),
+            Engine::PcSet => Box::new(PcSetSimulator::compile_probed(netlist, limits, probe)?),
             Engine::Parallel
             | Engine::ParallelTrimming
             | Engine::ParallelPathTracing
@@ -111,10 +150,11 @@ pub fn build_engine_with_limits(
                     Engine::ParallelPathTracingTrimming => Optimization::PathTracingTrimming,
                     _ => Optimization::CycleBreaking,
                 };
-                Box::new(ParallelSimulator::compile_with_limits(
+                Box::new(ParallelSimulator::compile_probed(
                     netlist,
                     optimization,
                     limits,
+                    probe,
                 )?)
             }
         })
@@ -157,6 +197,19 @@ pub struct GuardedSimulator {
     factory: Box<dyn EngineFactory>,
     fired: Vec<FiredFallback>,
     replay: Vec<Vec<bool>>,
+    telemetry: Option<Telemetry>,
+}
+
+/// Records one fallback into the registry: the degradation itself plus
+/// its failure class (`guard.budget_trips`, `guard.engine_panics`).
+fn note_fallback(telemetry: Option<&Telemetry>, error: &SimError) {
+    let Some(telemetry) = telemetry else { return };
+    telemetry.add("guard.fallbacks", 1);
+    match error.class() {
+        FailureClass::Budget => telemetry.add("guard.budget_trips", 1),
+        FailureClass::Panic => telemetry.add("guard.engine_panics", 1),
+        _ => {}
+    }
 }
 
 impl std::fmt::Debug for GuardedSimulator {
@@ -185,6 +238,22 @@ impl GuardedSimulator {
         Self::with_chain(netlist, limits, &Self::DEFAULT_CHAIN)
     }
 
+    /// Builds with the default chain and factory, reporting compile
+    /// phases, static metrics, and every degradation into `telemetry`.
+    pub fn with_telemetry(
+        netlist: &Netlist,
+        limits: ResourceLimits,
+        telemetry: Telemetry,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            netlist,
+            limits,
+            &Self::DEFAULT_CHAIN,
+            Box::new(DefaultEngineFactory),
+            Some(telemetry),
+        )
+    }
+
     /// Builds with an explicit chain (tried in order).
     pub fn with_chain(
         netlist: &Netlist,
@@ -192,6 +261,22 @@ impl GuardedSimulator {
         chain: &[Engine],
     ) -> Result<Self, SimError> {
         Self::with_factory(netlist, limits, chain, Box::new(DefaultEngineFactory))
+    }
+
+    /// Builds with an explicit chain and telemetry registry.
+    pub fn with_chain_telemetry(
+        netlist: &Netlist,
+        limits: ResourceLimits,
+        chain: &[Engine],
+        telemetry: Telemetry,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            netlist,
+            limits,
+            chain,
+            Box::new(DefaultEngineFactory),
+            Some(telemetry),
+        )
     }
 
     /// Builds with an explicit chain and engine factory (the chaos
@@ -202,10 +287,25 @@ impl GuardedSimulator {
         chain: &[Engine],
         factory: Box<dyn EngineFactory>,
     ) -> Result<Self, SimError> {
+        Self::build(netlist, limits, chain, factory, None)
+    }
+
+    fn build(
+        netlist: &Netlist,
+        limits: ResourceLimits,
+        chain: &[Engine],
+        factory: Box<dyn EngineFactory>,
+        telemetry: Option<Telemetry>,
+    ) -> Result<Self, SimError> {
         assert!(!chain.is_empty(), "fallback chain must name an engine");
+        let noop = NoopProbe;
         let mut fired = Vec::new();
         for (position, &engine) in chain.iter().enumerate() {
-            match factory.build(netlist, engine, &limits) {
+            let probe: &dyn Probe = match &telemetry {
+                Some(t) => t,
+                None => &noop,
+            };
+            match factory.build_probed(netlist, engine, &limits, probe) {
                 Ok(active) => {
                     return Ok(GuardedSimulator {
                         netlist: netlist.clone(),
@@ -216,12 +316,16 @@ impl GuardedSimulator {
                         factory,
                         fired,
                         replay: Vec::new(),
+                        telemetry,
                     })
                 }
-                Err(error) => fired.push(FiredFallback {
-                    from: engine,
-                    error,
-                }),
+                Err(error) => {
+                    note_fallback(telemetry.as_ref(), &error);
+                    fired.push(FiredFallback {
+                        from: engine,
+                        error,
+                    });
+                }
             }
         }
         Err(SimError::new(
@@ -249,6 +353,14 @@ impl GuardedSimulator {
     /// recorder that take any [`UnitDelaySimulator`].
     pub fn active_simulator(&self) -> &dyn UnitDelaySimulator {
         self.active.as_ref()
+    }
+
+    /// Runtime counters of the active engine (see
+    /// [`UnitDelaySimulator::run_counters`]). Counts reset when a
+    /// fallback replaces the engine — the replacement replays the
+    /// vector log, so its totals cover the whole run.
+    pub fn run_counters(&self) -> Vec<(&'static str, u64)> {
+        self.active.run_counters()
     }
 
     /// Simulates one vector, panic-contained. On an engine panic the
@@ -297,15 +409,21 @@ impl GuardedSimulator {
     /// vector log. Errors with [`SimErrorKind::ChainExhausted`] when no
     /// engine remains.
     fn degrade(&mut self, error: SimError) -> Result<(), SimError> {
+        note_fallback(self.telemetry.as_ref(), &error);
         self.fired.push(FiredFallback {
             from: self.active_engine(),
             error,
         });
+        let noop = NoopProbe;
         for position in self.position + 1..self.chain.len() {
             let engine = self.chain[position];
+            let probe: &dyn Probe = match &self.telemetry {
+                Some(t) => t,
+                None => &noop,
+            };
             let candidate = self
                 .factory
-                .build(&self.netlist, engine, &self.limits)
+                .build_probed(&self.netlist, engine, &self.limits, probe)
                 .and_then(|mut sim| {
                     let replayed = panic::catch_unwind(AssertUnwindSafe(|| {
                         for vector in &self.replay {
@@ -325,14 +443,20 @@ impl GuardedSimulator {
                 });
             match candidate {
                 Ok(sim) => {
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry.add("guard.replayed_vectors", self.replay.len() as u64);
+                    }
                     self.active = sim;
                     self.position = position;
                     return Ok(());
                 }
-                Err(error) => self.fired.push(FiredFallback {
-                    from: engine,
-                    error,
-                }),
+                Err(error) => {
+                    note_fallback(self.telemetry.as_ref(), &error);
+                    self.fired.push(FiredFallback {
+                        from: engine,
+                        error,
+                    });
+                }
             }
         }
         Err(SimError::new(
@@ -377,7 +501,12 @@ impl GuardedSimulator {
         }));
         match checked {
             Ok(Ok(())) => Ok(()),
-            Ok(Err(mismatch)) => Err(SimError::from(mismatch).with_engine(engine)),
+            Ok(Err(mismatch)) => {
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry.add("guard.crosscheck_mismatches", 1);
+                }
+                Err(SimError::from(mismatch).with_engine(engine))
+            }
             Err(payload) => Err(SimError::new(
                 SimErrorKind::EnginePanicked {
                     message: panic_message(payload),

@@ -20,7 +20,10 @@
 //!   unified failure taxonomy ([`SimError`]), budget-enforced and
 //!   panic-contained engine construction with graceful degradation
 //!   ([`GuardedSimulator`]), and deterministic fault injection for
-//!   proving no failure is ever silent.
+//!   proving no failure is ever silent;
+//! * [`telemetry`] — the observability layer: hierarchical spans,
+//!   counters/gauges holding the paper's static compile metrics, and a
+//!   schema-stable JSON report (`--stats` in the CLI).
 //!
 //! # Example
 //!
@@ -48,12 +51,14 @@ pub mod guard;
 pub mod hazard;
 pub mod sequential;
 mod simulator;
+pub mod telemetry;
 pub mod vcd;
 pub mod vectors;
 pub mod waveform;
 
 pub use error::{FailureClass, SimError, SimErrorKind, SimPhase};
-pub use guard::{build_engine_with_limits, GuardedSimulator};
+pub use guard::{build_engine_with_limits, build_engine_with_limits_probed, GuardedSimulator};
 pub use simulator::{
     build_simulator, BuildSimulatorError, Engine, TracedEventSim, UnitDelaySimulator,
 };
+pub use telemetry::{SpanNode, Telemetry, TelemetryReport};

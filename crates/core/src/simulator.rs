@@ -39,6 +39,15 @@ pub trait UnitDelaySimulator {
     /// Restores the consistent power-up state (circuit settled under
     /// all-zero inputs).
     fn reset(&mut self);
+
+    /// Engine-specific runtime counters accumulated since construction
+    /// (e.g. events processed by the event-driven baseline), as
+    /// `(name, value)` pairs ready for a telemetry registry. Compiled
+    /// engines do no bookkeeping during simulation — their loop *is*
+    /// straight-line code — so the default is empty.
+    fn run_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 impl UnitDelaySimulator for PcSetSimulator {
@@ -108,6 +117,8 @@ pub struct TracedEventSim {
     inner: EventDrivenUnitDelay<bool>,
     waveform: Vec<Vec<bool>>,
     depth: u32,
+    total_events: u64,
+    total_gate_evaluations: u64,
 }
 
 impl TracedEventSim {
@@ -128,6 +139,8 @@ impl TracedEventSim {
             inner,
             waveform,
             depth,
+            total_events: 0,
+            total_gate_evaluations: 0,
         })
     }
 
@@ -150,11 +163,13 @@ impl UnitDelaySimulator for TracedEventSim {
             let _ = net;
         }
         let waveform = &mut self.waveform;
-        self.inner.simulate_vector_traced(inputs, |t, net, v| {
+        let stats = self.inner.simulate_vector_traced(inputs, |t, net, v| {
             for slot in &mut waveform[net.index()][t as usize..] {
                 *slot = v;
             }
         });
+        self.total_events += stats.events as u64;
+        self.total_gate_evaluations += stats.gate_evaluations as u64;
     }
 
     fn final_value(&self, net: NetId) -> bool {
@@ -176,6 +191,13 @@ impl UnitDelaySimulator for TracedEventSim {
         for (net, row) in self.waveform.iter_mut().enumerate() {
             row.fill(self.inner.value(NetId::from_index(net)));
         }
+    }
+
+    fn run_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("eventsim.events", self.total_events),
+            ("eventsim.gate_evaluations", self.total_gate_evaluations),
+        ]
     }
 }
 

@@ -1,0 +1,434 @@
+//! The telemetry registry: hierarchical spans, counters, gauges,
+//! distributions, and a schema-stable JSON report.
+//!
+//! Maurer's results are *static* code metrics (PC-set sizes,
+//! instructions generated, words trimmed, shifts retained) plus run
+//! times; the engines compute all of those internally. [`Telemetry`]
+//! is the measurement substrate that keeps them: it implements
+//! [`uds_netlist::Probe`], so the pc-set and parallel compilers report
+//! their phases and paper metrics into it, while callers add their own
+//! spans (parse → compile → simulate) and runtime counters around it.
+//! [`Telemetry::snapshot`] freezes everything into a
+//! [`TelemetryReport`] that renders as JSON ([`json::Json`], written
+//! by hand — the workspace builds offline, so no serde).
+//!
+//! Determinism contract: for a fixed netlist, engine, and seed, every
+//! metric in the report is byte-identical across runs *except* the
+//! wall-clock fields, which are exactly the object keys listed in
+//! [`TIMING_KEYS`]. Strip those (see [`json::Json::without_keys`]) and
+//! two identical runs compare equal — the property the harness uses
+//! to diff perf PRs. DESIGN.md §11 documents the span and metric
+//! names.
+//!
+//! Thread safety: the registry is `Clone` (shared handle) and every
+//! method takes `&self` behind a mutex. Span nesting uses one shared
+//! stack, so concurrent spans from *different* threads interleave into
+//! one tree; the workspace's compilers are single-threaded, which
+//! keeps the tree well-formed. Counters, gauges, and distributions
+//! are safe from any thread.
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use uds_netlist::Probe;
+
+use json::Json;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "uds-telemetry-v1";
+
+/// Object keys holding wall-clock measurements — the only fields that
+/// may differ between two identical runs.
+pub const TIMING_KEYS: &[&str] = &["wall_ns"];
+
+/// One finished span: a named wall-clock phase with nested children.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpanNode {
+    /// Phase name (e.g. `"compile"`, `"pcset.codegen"`).
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_ns: u64,
+    /// Phases that ran nested inside this one, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("wall_ns", Json::UInt(self.wall_ns)),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Depth-first search for a span by name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Running summary of a sampled quantity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Distribution {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl Distribution {
+    /// Folds one sample in.
+    pub fn record(&mut self, sample: u64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("min", Json::UInt(self.min)),
+            ("max", Json::UInt(self.max)),
+            ("sum", Json::UInt(self.sum)),
+            ("mean", Json::Float(self.mean())),
+        ])
+    }
+}
+
+/// An in-flight span (still on the stack).
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    start: Instant,
+    children: Vec<SpanNode>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    labels: BTreeMap<String, String>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    distributions: BTreeMap<String, Distribution>,
+    finished: Vec<SpanNode>,
+    stack: Vec<OpenSpan>,
+}
+
+/// The shared telemetry registry. Cheap to clone (all clones share
+/// state); see the module docs for semantics and determinism.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Telemetry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panicking engine is contained by the guard layer; its
+        // poisoned lock must not take the telemetry down with it.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attaches a key/value label (circuit name, engine, command).
+    pub fn label(&self, key: impl Into<String>, value: impl Into<String>) {
+        self.lock().labels.insert(key.into(), value.into());
+    }
+
+    /// Opens a span; it closes (and is recorded) when the guard drops.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let name = name.into();
+        self.span_start_impl(name.clone());
+        SpanGuard {
+            telemetry: self.clone(),
+            name,
+        }
+    }
+
+    fn span_start_impl(&self, name: String) {
+        self.lock().stack.push(OpenSpan {
+            name,
+            start: Instant::now(),
+            children: Vec::new(),
+        });
+    }
+
+    fn span_end_impl(&self, name: &str) {
+        let mut inner = self.lock();
+        let Some(open) = inner.stack.pop() else {
+            debug_assert!(false, "span_end(`{name}`) with no open span");
+            return;
+        };
+        debug_assert_eq!(open.name, name, "span_end out of order");
+        let node = SpanNode {
+            name: open.name,
+            wall_ns: u64::try_from(open.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            children: open.children,
+        };
+        match inner.stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => inner.finished.push(node),
+        }
+    }
+
+    /// Adds `delta` to a monotonic counter (created at 0).
+    pub fn add(&self, name: impl Into<String>, delta: u64) {
+        *self.lock().counters.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge (idempotent; deterministic static metrics).
+    pub fn set_gauge(&self, name: impl Into<String>, value: u64) {
+        self.lock().gauges.insert(name.into(), value);
+    }
+
+    /// Folds a sample into a named distribution.
+    pub fn record(&self, name: impl Into<String>, sample: u64) {
+        self.lock()
+            .distributions
+            .entry(name.into())
+            .or_default()
+            .record(sample);
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Freezes the registry into a report. Spans still open (guards
+    /// alive) are not included — drop them first.
+    pub fn snapshot(&self) -> TelemetryReport {
+        let inner = self.lock();
+        debug_assert!(
+            inner.stack.is_empty(),
+            "snapshot with {} span(s) still open",
+            inner.stack.len()
+        );
+        TelemetryReport {
+            labels: inner.labels.clone(),
+            spans: inner.finished.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            distributions: inner.distributions.clone(),
+        }
+    }
+}
+
+/// The compilers see [`Telemetry`] through the base crate's
+/// [`Probe`] trait; counters map to add semantics, gauges to set.
+impl Probe for Telemetry {
+    fn span_start(&self, name: &str) {
+        self.span_start_impl(name.to_owned());
+    }
+
+    fn span_end(&self, name: &str) {
+        self.span_end_impl(name);
+    }
+
+    fn count(&self, name: &str, delta: u64) {
+        self.add(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: u64) {
+        self.set_gauge(name, value);
+    }
+}
+
+/// RAII guard returned by [`Telemetry::span`].
+#[must_use = "dropping the guard immediately would close the span at once"]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    name: String,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.telemetry.span_end_impl(&self.name);
+    }
+}
+
+/// A frozen snapshot of a [`Telemetry`] registry, renderable as JSON.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TelemetryReport {
+    /// Free-form labels (circuit, engine, command, seed…).
+    pub labels: BTreeMap<String, String>,
+    /// Top-level finished spans in start order.
+    pub spans: Vec<SpanNode>,
+    /// Monotonic runtime counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic static metrics.
+    pub gauges: BTreeMap<String, u64>,
+    /// Sampled distributions.
+    pub distributions: BTreeMap<String, Distribution>,
+}
+
+impl TelemetryReport {
+    /// Depth-first search across all top-level spans.
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// The report as a JSON document (see DESIGN.md §11 for the
+    /// schema). Key order is fixed: `BTreeMap` sources make the
+    /// rendering byte-stable for identical runs.
+    pub fn to_json(&self) -> Json {
+        let string_map = |map: &BTreeMap<String, String>| {
+            Json::Obj(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            )
+        };
+        let uint_map = |map: &BTreeMap<String, u64>| {
+            Json::Obj(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.to_owned())),
+            ("labels", string_map(&self.labels)),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(SpanNode::to_json).collect()),
+            ),
+            ("counters", uint_map(&self.counters)),
+            ("gauges", uint_map(&self.gauges)),
+            (
+                "distributions",
+                Json::Obj(
+                    self.distributions
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the JSON report with a trailing newline.
+    pub fn render_json(&self) -> String {
+        let mut out = self.to_json().render();
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_guard_scope() {
+        let telemetry = Telemetry::new();
+        {
+            let _outer = telemetry.span("compile");
+            {
+                let _inner = telemetry.span("levelize");
+            }
+            let _sibling = telemetry.span("codegen");
+        }
+        let report = telemetry.snapshot();
+        assert_eq!(report.spans.len(), 1);
+        let compile = &report.spans[0];
+        assert_eq!(compile.name, "compile");
+        let names: Vec<&str> = compile.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["levelize", "codegen"]);
+        assert!(report.find_span("levelize").is_some());
+    }
+
+    #[test]
+    fn counters_gauges_and_distributions() {
+        let telemetry = Telemetry::new();
+        telemetry.add("vectors", 3);
+        telemetry.add("vectors", 2);
+        assert_eq!(telemetry.counter("vectors"), 5);
+        telemetry.set_gauge("word_ops", 10);
+        telemetry.set_gauge("word_ops", 10); // idempotent
+        assert_eq!(telemetry.gauge_value("word_ops"), Some(10));
+        telemetry.record("settle", 4);
+        telemetry.record("settle", 2);
+        let report = telemetry.snapshot();
+        let dist = report.distributions["settle"];
+        assert_eq!((dist.count, dist.min, dist.max, dist.sum), (2, 2, 4, 6));
+        assert_eq!(dist.mean(), 3.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let telemetry = Telemetry::new();
+        let handle = telemetry.clone();
+        handle.add("n", 1);
+        assert_eq!(telemetry.counter("n"), 1);
+    }
+
+    #[test]
+    fn report_json_parses_and_is_stable_modulo_timing() {
+        let build = || {
+            let telemetry = Telemetry::new();
+            telemetry.label("circuit", "c17");
+            {
+                let _span = telemetry.span("compile");
+                telemetry.set_gauge("word_ops", 7);
+            }
+            telemetry.add("vectors", 2);
+            telemetry.snapshot().render_json()
+        };
+        let (a, b) = (build(), build());
+        let ja = Json::parse(&a).unwrap().without_keys(TIMING_KEYS);
+        let jb = Json::parse(&b).unwrap().without_keys(TIMING_KEYS);
+        assert_eq!(ja, jb);
+        let doc = Json::parse(&a).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert!(doc.get("spans").unwrap().as_arr().is_some());
+    }
+
+    #[test]
+    fn probe_impl_maps_to_registry() {
+        let telemetry = Telemetry::new();
+        let probe: &dyn Probe = &telemetry;
+        probe.span_start("phase");
+        probe.count("c", 2);
+        probe.gauge("g", 9);
+        probe.span_end("phase");
+        assert_eq!(telemetry.counter("c"), 2);
+        assert_eq!(telemetry.gauge_value("g"), Some(9));
+        assert!(telemetry.snapshot().find_span("phase").is_some());
+    }
+}

@@ -1,0 +1,156 @@
+//! Library-level integration of the telemetry registry with the
+//! engines and the guarded execution layer: compile phases and paper
+//! metrics land in one registry, degradations are counted, and the
+//! JSON report is deterministic modulo wall-clock.
+
+use uds_core::telemetry::json::Json;
+use uds_core::telemetry::TIMING_KEYS;
+use uds_core::{build_engine_with_limits_probed, Engine, GuardedSimulator, Telemetry};
+use uds_netlist::generators::iscas::c17;
+use uds_netlist::{GateKind, NetlistBuilder, ResourceLimits};
+
+/// A chain of `n` buffers: depth n, trivially correct, deep enough to
+/// defeat small word budgets.
+fn buffer_chain(n: usize) -> uds_netlist::Netlist {
+    let mut b = NetlistBuilder::new();
+    let mut prev = b.input("a");
+    for i in 0..n {
+        prev = b.gate(GateKind::Buf, &[prev], format!("b{i}")).unwrap();
+    }
+    b.output(prev);
+    b.finish().unwrap()
+}
+
+#[test]
+fn probed_build_records_compile_phases_and_gauges() {
+    let nl = c17();
+    let telemetry = Telemetry::new();
+    {
+        let _span = telemetry.span("compile");
+        build_engine_with_limits_probed(
+            &nl,
+            Engine::ParallelPathTracingTrimming,
+            &ResourceLimits::unlimited(),
+            &telemetry,
+        )
+        .unwrap();
+    }
+    let report = telemetry.snapshot();
+    let compile = report.find_span("compile").expect("compile span recorded");
+    let children: Vec<&str> = compile.children.iter().map(|c| c.name.as_str()).collect();
+    assert!(
+        children.contains(&"parallel.codegen"),
+        "compiler phases nest under the caller's span: {children:?}"
+    );
+    assert!(report.gauges.contains_key("parallel.pt-trim.word_ops"));
+    assert!(report
+        .gauges
+        .contains_key("parallel.pt-trim.shifts_eliminated"));
+}
+
+#[test]
+fn guarded_degradation_is_counted() {
+    // A one-word budget rejects the unoptimized parallel engine on a
+    // 40-deep chain; pc-set takes over and the registry must show both
+    // the fallback and its budget classification.
+    let nl = buffer_chain(40);
+    let limits = ResourceLimits {
+        max_field_words: Some(1),
+        ..ResourceLimits::unlimited()
+    };
+    let telemetry = Telemetry::new();
+    let chain = [Engine::Parallel, Engine::PcSet, Engine::EventDriven];
+    let mut guarded =
+        GuardedSimulator::with_chain_telemetry(&nl, limits, &chain, telemetry.clone()).unwrap();
+    assert_eq!(guarded.active_engine(), Engine::PcSet);
+    assert_eq!(telemetry.counter("guard.fallbacks"), 1);
+    assert_eq!(telemetry.counter("guard.budget_trips"), 1);
+    // The survivor's compile metrics made it into the same registry.
+    assert!(telemetry.gauge_value("pcset.variables").is_some());
+    guarded.simulate_vector(&[true]).unwrap();
+    guarded.crosscheck_baseline().unwrap();
+    assert_eq!(telemetry.counter("guard.crosscheck_mismatches"), 0);
+}
+
+#[test]
+fn event_driven_engine_reports_run_counters() {
+    let nl = c17();
+    let mut sim = build_engine_with_limits_probed(
+        &nl,
+        Engine::EventDriven,
+        &ResourceLimits::unlimited(),
+        &Telemetry::new(),
+    )
+    .unwrap();
+    assert_eq!(
+        sim.run_counters(),
+        vec![("eventsim.events", 0), ("eventsim.gate_evaluations", 0)]
+    );
+    for pattern in 0u32..8 {
+        let inputs: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
+        sim.simulate_vector(&inputs);
+    }
+    let counters = sim.run_counters();
+    let events = counters
+        .iter()
+        .find(|(n, _)| *n == "eventsim.events")
+        .unwrap()
+        .1;
+    let evals = counters
+        .iter()
+        .find(|(n, _)| *n == "eventsim.gate_evaluations")
+        .unwrap()
+        .1;
+    assert!(events > 0, "8 varied vectors must produce events");
+    assert!(evals > 0, "events on gate inputs must trigger evaluations");
+}
+
+#[test]
+fn compiled_engines_have_no_run_counters() {
+    let nl = c17();
+    for engine in [Engine::PcSet, Engine::ParallelPathTracingTrimming] {
+        let mut sim = build_engine_with_limits_probed(
+            &nl,
+            engine,
+            &ResourceLimits::unlimited(),
+            &Telemetry::new(),
+        )
+        .unwrap();
+        sim.simulate_vector(&[true; 5]);
+        assert!(
+            sim.run_counters().is_empty(),
+            "{engine:?}: compiled loops do no bookkeeping"
+        );
+    }
+}
+
+#[test]
+fn report_is_deterministic_modulo_wall_clock() {
+    let build = || {
+        let nl = c17();
+        let telemetry = Telemetry::new();
+        let mut sim = {
+            let _span = telemetry.span("compile");
+            build_engine_with_limits_probed(
+                &nl,
+                Engine::PcSet,
+                &ResourceLimits::unlimited(),
+                &telemetry,
+            )
+            .unwrap()
+        };
+        {
+            let _span = telemetry.span("simulate");
+            for pattern in 0u32..16 {
+                let inputs: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
+                sim.simulate_vector(&inputs);
+                telemetry.add("run.vectors", 1);
+            }
+        }
+        telemetry.snapshot().render_json()
+    };
+    let (a, b) = (build(), build());
+    assert_ne!(a, b, "wall-clock fields should differ between runs");
+    let strip = |s: &str| Json::parse(s).unwrap().without_keys(TIMING_KEYS).render();
+    assert_eq!(strip(&a), strip(&b));
+}

@@ -53,6 +53,7 @@ mod ids;
 pub mod levelize;
 pub mod limits;
 mod netlist;
+pub mod probe;
 pub mod sequential;
 pub mod stats;
 #[cfg(test)]
@@ -65,3 +66,4 @@ pub use ids::{GateId, NetId};
 pub use levelize::{levelize, LevelizeError, Levels};
 pub use limits::{LimitExceeded, Resource, ResourceLimits};
 pub use netlist::{Gate, Netlist};
+pub use probe::{NoopProbe, Probe, ProbeSpan};

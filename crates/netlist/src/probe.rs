@@ -1,0 +1,128 @@
+//! Compile-time observability hooks.
+//!
+//! The technique crates (`uds-pcset`, `uds-parallel`) compute the
+//! paper's static metrics — PC-set sizes, zero insertions, words
+//! trimmed, shifts retained — in the middle of their compilers and,
+//! historically, threw most of them away. [`Probe`] is the smallest
+//! interface that lets a caller observe those quantities *and* the
+//! phase structure of a compile without inverting the dependency
+//! graph: this crate is the workspace's base, so every compiler can
+//! accept a `&dyn Probe`, while the full telemetry registry (span
+//! timing, JSON export) lives upstream in `uds-core::telemetry` and
+//! implements this trait.
+//!
+//! Conventions:
+//!
+//! * **Spans** are hierarchical wall-clock phases. `span_start`/
+//!   `span_end` must be balanced and properly nested; use
+//!   [`ProbeSpan`] to get that by construction.
+//! * **Gauges** (`gauge`) are *set* semantics: re-recording the same
+//!   deterministic quantity (e.g. compiling the same netlist twice
+//!   under a fallback chain) is idempotent. All static compile
+//!   metrics are gauges.
+//! * **Counters** (`count`) are *add* semantics, reserved for
+//!   monotonic runtime tallies (vectors simulated, events processed,
+//!   fallbacks fired).
+
+/// Observer for compile phases and metrics. See the module docs for
+/// the span/gauge/counter conventions.
+pub trait Probe {
+    /// Opens a nested wall-clock span. Must be closed by a matching
+    /// [`Probe::span_end`].
+    fn span_start(&self, name: &str);
+
+    /// Closes the innermost open span; `name` must match its opener.
+    fn span_end(&self, name: &str);
+
+    /// Adds `delta` to a monotonic counter.
+    fn count(&self, name: &str, delta: u64);
+
+    /// Sets a gauge to `value` (idempotent for deterministic metrics).
+    fn gauge(&self, name: &str, value: u64);
+}
+
+/// The default probe: observes nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    fn span_start(&self, _name: &str) {}
+    fn span_end(&self, _name: &str) {}
+    fn count(&self, _name: &str, _delta: u64) {}
+    fn gauge(&self, _name: &str, _value: u64) {}
+}
+
+/// RAII guard pairing `span_start` with `span_end` — the only way the
+/// compilers open spans, so nesting is balanced by construction even
+/// on early `?` returns.
+pub struct ProbeSpan<'a> {
+    probe: &'a dyn Probe,
+    name: &'static str,
+}
+
+impl<'a> ProbeSpan<'a> {
+    /// Opens `name` on `probe`; closes it when dropped.
+    pub fn new(probe: &'a dyn Probe, name: &'static str) -> Self {
+        probe.span_start(name);
+        ProbeSpan { probe, name }
+    }
+}
+
+impl Drop for ProbeSpan<'_> {
+    fn drop(&mut self) {
+        self.probe.span_end(self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A probe that logs every call, for asserting instrumentation.
+    #[derive(Default)]
+    struct LogProbe {
+        log: RefCell<Vec<String>>,
+    }
+
+    impl Probe for LogProbe {
+        fn span_start(&self, name: &str) {
+            self.log.borrow_mut().push(format!("start {name}"));
+        }
+        fn span_end(&self, name: &str) {
+            self.log.borrow_mut().push(format!("end {name}"));
+        }
+        fn count(&self, name: &str, delta: u64) {
+            self.log.borrow_mut().push(format!("count {name} {delta}"));
+        }
+        fn gauge(&self, name: &str, value: u64) {
+            self.log.borrow_mut().push(format!("gauge {name} {value}"));
+        }
+    }
+
+    #[test]
+    fn probe_span_balances_on_early_exit() {
+        let probe = LogProbe::default();
+        let attempt = |fail: bool| -> Result<(), ()> {
+            let _span = ProbeSpan::new(&probe, "phase");
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        };
+        attempt(true).unwrap_err();
+        attempt(false).unwrap();
+        assert_eq!(
+            *probe.log.borrow(),
+            vec!["start phase", "end phase", "start phase", "end phase"]
+        );
+    }
+
+    #[test]
+    fn noop_probe_is_callable() {
+        let probe = NoopProbe;
+        let _span = ProbeSpan::new(&probe, "x");
+        probe.count("c", 1);
+        probe.gauge("g", 2);
+    }
+}

@@ -2,7 +2,10 @@
 
 use std::fmt;
 
-use uds_netlist::{levelize, LevelizeError, LimitExceeded, NetId, Netlist, ResourceLimits};
+use uds_netlist::{
+    levelize, LevelizeError, LimitExceeded, NetId, Netlist, NoopProbe, Probe, ProbeSpan,
+    ResourceLimits,
+};
 
 use crate::bitfield::FieldLayout;
 use crate::program::Program;
@@ -44,6 +47,19 @@ impl Optimization {
                 | Optimization::PathTracingTrimming
                 | Optimization::CycleBreakingTrimming
         )
+    }
+
+    /// Short stable key used in telemetry gauge names (matches the CLI
+    /// `--opt` tokens): `none`, `trim`, `pt`, `pt-trim`, `cb`, `cb-trim`.
+    pub fn key(self) -> &'static str {
+        match self {
+            Optimization::None => "none",
+            Optimization::Trimming => "trim",
+            Optimization::PathTracing => "pt",
+            Optimization::PathTracingTrimming => "pt-trim",
+            Optimization::CycleBreaking => "cb",
+            Optimization::CycleBreakingTrimming => "cb-trim",
+        }
     }
 }
 
@@ -150,7 +166,27 @@ impl ParallelSimulator {
     ///
     /// Returns [`CompileError`] for cyclic or sequential netlists.
     pub fn compile(netlist: &Netlist, optimization: Optimization) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, optimization, false, &ResourceLimits::unlimited())
+        Self::compile_inner(
+            netlist,
+            optimization,
+            false,
+            &ResourceLimits::unlimited(),
+            &NoopProbe,
+        )
+    }
+
+    /// Like [`ParallelSimulator::compile_with_limits`], but reporting
+    /// compile phases (levelize, alignment, codegen) and the paper's
+    /// static metrics (word ops, words trimmed, shifts retained and
+    /// eliminated, field widths) through `probe`. Gauge names are
+    /// namespaced by [`Optimization::key`]; see DESIGN.md §11.
+    pub fn compile_probed(
+        netlist: &Netlist,
+        optimization: Optimization,
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, optimization, false, limits, probe)
     }
 
     /// Like [`ParallelSimulator::compile`], but enforcing a resource
@@ -163,7 +199,7 @@ impl ParallelSimulator {
         optimization: Optimization,
         limits: &ResourceLimits,
     ) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, optimization, false, limits)
+        Self::compile_inner(netlist, optimization, false, limits, &NoopProbe)
     }
 
     /// Like [`ParallelSimulator::compile`], but keeps every net's history
@@ -175,7 +211,13 @@ impl ParallelSimulator {
         netlist: &Netlist,
         optimization: Optimization,
     ) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, optimization, true, &ResourceLimits::unlimited())
+        Self::compile_inner(
+            netlist,
+            optimization,
+            true,
+            &ResourceLimits::unlimited(),
+            &NoopProbe,
+        )
     }
 
     /// [`ParallelSimulator::compile_monitoring_all`] under a resource
@@ -185,7 +227,7 @@ impl ParallelSimulator {
         optimization: Optimization,
         limits: &ResourceLimits,
     ) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, optimization, true, limits)
+        Self::compile_inner(netlist, optimization, true, limits, &NoopProbe)
     }
 
     fn compile_inner(
@@ -193,8 +235,12 @@ impl ParallelSimulator {
         optimization: Optimization,
         monitor_all: bool,
         limits: &ResourceLimits,
+        probe: &dyn Probe,
     ) -> Result<Self, CompileError> {
-        let levels = levelize(netlist)?;
+        let levels = {
+            let _span = ProbeSpan::new(probe, "parallel.levelize");
+            levelize(netlist)?
+        };
         limits.check_depth(levels.depth)?;
         limits.check_gates(netlist.gate_count())?;
         limits.check_inputs(netlist.primary_inputs().len())?;
@@ -203,6 +249,7 @@ impl ParallelSimulator {
         let (program, layouts, depth, retained_shifts, trimmed_words, alignment) =
             match optimization {
                 Optimization::None | Optimization::Trimming => {
+                    let _span = ProbeSpan::new(probe, "parallel.codegen");
                     let compiled = crate::compile::compile(netlist, optimization.trims(), limits)?;
                     (
                         compiled.program,
@@ -214,7 +261,11 @@ impl ParallelSimulator {
                     )
                 }
                 Optimization::PathTracing | Optimization::PathTracingTrimming => {
-                    let alignment = path_tracing::align(netlist)?;
+                    let alignment = {
+                        let _span = ProbeSpan::new(probe, "parallel.alignment");
+                        path_tracing::align(netlist)?
+                    };
+                    let _span = ProbeSpan::new(probe, "parallel.codegen");
                     let compiled = crate::compile_aligned::compile(
                         netlist,
                         &alignment,
@@ -231,7 +282,11 @@ impl ParallelSimulator {
                     )
                 }
                 Optimization::CycleBreaking | Optimization::CycleBreakingTrimming => {
-                    let result = cycle_breaking::align(netlist)?;
+                    let result = {
+                        let _span = ProbeSpan::new(probe, "parallel.alignment");
+                        cycle_breaking::align(netlist)?
+                    };
+                    let _span = ProbeSpan::new(probe, "parallel.codegen");
                     let compiled = crate::compile_aligned::compile(
                         netlist,
                         &result.alignment,
@@ -249,6 +304,45 @@ impl ParallelSimulator {
                 }
             };
 
+        // The paper's Fig. 20/23/24 static columns, namespaced by
+        // optimization so several compiles can share one report.
+        let key = optimization.key();
+        probe.gauge(
+            &format!("parallel.{key}.word_ops"),
+            program.ops.len() as u64,
+        );
+        probe.gauge(
+            &format!("parallel.{key}.arena_words"),
+            program.arena_words as u64,
+        );
+        probe.gauge(
+            &format!("parallel.{key}.shifts_retained"),
+            retained_shifts as u64,
+        );
+        probe.gauge(
+            &format!("parallel.{key}.shifts_eliminated"),
+            netlist.gate_count().saturating_sub(retained_shifts) as u64,
+        );
+        probe.gauge(
+            &format!("parallel.{key}.words_trimmed"),
+            trimmed_words as u64,
+        );
+        let max_width_bits = match &alignment {
+            Some(alignment) => alignment.stats(netlist, &levels).max_width_bits,
+            None => depth + 1,
+        };
+        probe.gauge(
+            &format!("parallel.{key}.max_width_bits"),
+            u64::from(max_width_bits),
+        );
+        // Fig. 20's opt-independent columns: levels and words per field.
+        probe.gauge("parallel.levels", u64::from(depth) + 1);
+        probe.gauge(
+            "parallel.field_words",
+            u64::from((depth + 1).div_ceil(crate::bitfield::WORD_BITS)),
+        );
+
+        let _power_up_span = ProbeSpan::new(probe, "parallel.power-up");
         // Consistent power-up state: settle under all-0 inputs and fill
         // every bit of every field with the settled value.
         let mut settled = vec![0u64; netlist.net_count()];

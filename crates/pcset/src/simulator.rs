@@ -3,7 +3,10 @@
 use std::fmt;
 
 use uds_netlist::limits::narrow_u32;
-use uds_netlist::{levelize, LevelizeError, LimitExceeded, NetId, Netlist, ResourceLimits};
+use uds_netlist::{
+    levelize, LevelizeError, LimitExceeded, NetId, Netlist, NoopProbe, Probe, ProbeSpan,
+    ResourceLimits,
+};
 
 use crate::program::{CopyOp, GateOp, Program};
 use crate::zero_insert::{insert_zeros, ZeroInsertion};
@@ -109,7 +112,7 @@ impl PcSetSimulator {
         netlist: &Netlist,
         limits: &ResourceLimits,
     ) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, netlist.primary_outputs(), limits)
+        Self::compile_inner(netlist, netlist.primary_outputs(), limits, &NoopProbe)
     }
 
     /// Compiles with an explicit set of monitored nets (the paper's
@@ -125,24 +128,62 @@ impl PcSetSimulator {
         netlist: &Netlist,
         monitored: &[NetId],
     ) -> Result<Self, CompileError> {
-        Self::compile_inner(netlist, monitored, &ResourceLimits::unlimited())
+        Self::compile_inner(netlist, monitored, &ResourceLimits::unlimited(), &NoopProbe)
+    }
+
+    /// Like [`PcSetSimulator::compile_with_limits`], but reporting
+    /// compile phases and the paper's static metrics (PC-set size
+    /// distribution, zero insertions, program size) through `probe`.
+    /// See DESIGN.md §11 for the emitted span and gauge names.
+    pub fn compile_probed(
+        netlist: &Netlist,
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, netlist.primary_outputs(), limits, probe)
     }
 
     fn compile_inner(
         netlist: &Netlist,
         monitored: &[NetId],
         limits: &ResourceLimits,
+        probe: &dyn Probe,
     ) -> Result<Self, CompileError> {
         if monitored.iter().any(|&n| n.index() >= netlist.net_count()) {
             return Err(CompileError::UnknownMonitor);
         }
-        let levels = levelize(netlist)?;
+        let levels = {
+            let _span = ProbeSpan::new(probe, "pcset.levelize");
+            levelize(netlist)?
+        };
         limits.check_depth(levels.depth)?;
         limits.check_gates(netlist.gate_count())?;
         limits.check_inputs(netlist.primary_inputs().len())?;
         limits.check_deadline()?;
-        let mut sets = PcSets::compute(netlist)?;
-        let retention = insert_zeros(netlist, &mut sets, monitored);
+        let mut sets = {
+            let _span = ProbeSpan::new(probe, "pcset.sets");
+            PcSets::compute(netlist)?
+        };
+        let retention = {
+            let _span = ProbeSpan::new(probe, "pcset.zero-insert");
+            insert_zeros(netlist, &mut sets, monitored)
+        };
+
+        // Fig. 4's static picture: the PC-set size distribution after
+        // zero insertion, and how many nets retain across vectors.
+        let (mut max_set, mut total_set) = (0u64, 0u64);
+        for net in netlist.net_ids() {
+            let size = sets.net[net].len() as u64;
+            max_set = max_set.max(size);
+            total_set += size;
+        }
+        probe.gauge("pcset.set_size.nets", netlist.net_count() as u64);
+        probe.gauge("pcset.set_size.max", max_set);
+        probe.gauge("pcset.set_size.total", total_set);
+        probe.gauge("pcset.zero_insertions", retention.retained_count() as u64);
+        probe.gauge("pcset.depth", u64::from(levels.depth));
+
+        let _codegen_span = ProbeSpan::new(probe, "pcset.codegen");
 
         // Slot allocation: contiguous per net, ascending time.
         let mut net_base = Vec::with_capacity(netlist.net_count());
@@ -211,6 +252,10 @@ impl PcSetSimulator {
             operands,
             slot_count: slot_count as usize,
         };
+        // The quantities behind the paper's Fig. 4 / code-size remarks.
+        probe.gauge("pcset.variables", program.slot_count as u64);
+        probe.gauge("pcset.gate_simulations", program.ops.len() as u64);
+        probe.gauge("pcset.retention_copies", program.init.len() as u64);
 
         // Consistent power-up state: the circuit settled under all-0
         // inputs, broadcast to every slot of each net and all 64 streams.

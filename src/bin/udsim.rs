@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]
-//!                           [--fallback] [--budget SPEC] [--crosscheck]
+//!                           [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]
 //! udsim stats    FILE.bench
 //! udsim codegen  FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]
+//!                           [--stats OUT.json]
 //! udsim cone     FILE.bench OUTPUT_NET [...]   # fan-in cone as .bench on stdout
 //! udsim engines
 //! ```
@@ -22,12 +23,20 @@
 //! failing; `--crosscheck` verifies the surviving engine against a
 //! fresh event-driven baseline after the run.
 //!
+//! `--stats OUT.json` writes the telemetry report (span tree, runtime
+//! counters, and the paper's static compile metrics; schema
+//! `uds-telemetry-v1`, DESIGN.md §11) to `OUT.json`. `--stats -`
+//! writes the JSON to stdout and moves the human-readable output to
+//! stderr, so `udsim simulate c.bench --stats - | jq .` works.
+//!
 //! ## Exit codes
 //!
 //! Failures exit with the [`FailureClass`] code so scripts can route on
 //! them: 2 usage, 3 parse/read, 4 structural (cycle, uncut flip-flop),
 //! 5 budget exceeded, 6 contained engine panic, 7 cross-check mismatch.
-//! 0 is success; 1 is reserved for unexpected errors.
+//! 0 is success; 1 is an internal error (a bug in udsim itself — e.g.
+//! an uncontained panic unwinding out of `main`), never produced by
+//! bad input.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -36,10 +45,10 @@ use std::time::{Duration, Instant};
 use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
 use unit_delay_sim::core::{
-    build_engine_with_limits, Engine, FailureClass, GuardedSimulator, SimError,
+    build_engine_with_limits_probed, Engine, FailureClass, GuardedSimulator, SimError, Telemetry,
 };
 use unit_delay_sim::netlist::stats::CircuitStats;
-use unit_delay_sim::netlist::ResourceLimits;
+use unit_delay_sim::netlist::{Probe, ResourceLimits};
 use unit_delay_sim::parallel::{self, Optimization, ParallelSimulator};
 use unit_delay_sim::pcset::{self, PcSetSimulator};
 use unit_delay_sim::prelude::{bench_format, Netlist};
@@ -122,12 +131,16 @@ fn run() -> Result<(), CliError> {
 
 fn usage() -> String {
     "usage:\n  udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]\n                  \
-     [--fallback] [--budget SPEC] [--crosscheck]\n  \
+     [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]\n  \
      udsim stats FILE.bench\n  \
-     udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n  \
+     udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n                 \
+     [--stats OUT.json]\n  \
      udsim cone FILE.bench OUTPUT_NET [...]\n  \
      udsim engines\n\n\
-     SPEC: production | depth=N,gates=N,inputs=N,field-words=N,memory=N[K|M|G],deadline-ms=N"
+     SPEC: production | depth=N,gates=N,inputs=N,field-words=N,memory=N[K|M|G],deadline-ms=N\n\
+     --stats -  writes the telemetry JSON to stdout (human output moves to stderr)\n\n\
+     exit codes: 0 ok, 2 usage, 3 parse, 4 structural, 5 budget, 6 engine panic,\n\
+     7 cross-check mismatch; 1 is an internal error (a udsim bug), never bad input"
         .to_owned()
 }
 
@@ -231,6 +244,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     let mut vectors = 16usize;
     let mut seed = 1990u64;
     let mut vcd_path: Option<String> = None;
+    let mut stats_path: Option<String> = None;
     let mut fallback = false;
     let mut crosscheck = false;
     let mut limits = ResourceLimits::unlimited();
@@ -255,6 +269,9 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
                     .map_err(|e| CliError::usage(format!("--seed: {e}")))?;
             }
             "--vcd" => vcd_path = Some(iter.next().ok_or("--vcd needs a path")?.clone()),
+            "--stats" => {
+                stats_path = Some(iter.next().ok_or("--stats needs a path (or `-`)")?.clone())
+            }
             "--fallback" => fallback = true,
             "--crosscheck" => crosscheck = true,
             "--budget" => limits = parse_budget(iter.next().ok_or("--budget needs a spec")?)?,
@@ -265,21 +282,107 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         }
     }
     let file = file.ok_or("missing FILE.bench")?;
-    let nl = load(&file)?;
+    let telemetry = stats_path.as_ref().map(|_| Telemetry::new());
+    // With `--stats -` the JSON owns stdout; human output moves to stderr.
+    let human = HumanOut {
+        to_stderr: stats_path.as_deref() == Some("-"),
+    };
+    let nl = {
+        let _span = telemetry.as_ref().map(|t| t.span("parse"));
+        load(&file)?
+    };
+    if let Some(t) = &telemetry {
+        t.label("command", "simulate");
+        t.label("circuit", nl.name());
+        t.label("seed", seed.to_string());
+        t.label("vectors", vectors.to_string());
+    }
     let stimulus: Vec<Vec<bool>> = RandomVectors::new(nl.primary_inputs().len(), seed)
         .take(vectors)
         .collect();
 
     if fallback {
         let chain = fallback_chain(engine);
-        simulate_guarded(&nl, limits, &chain, &stimulus, vcd_path, crosscheck)
+        simulate_guarded(
+            &nl,
+            limits,
+            &chain,
+            &stimulus,
+            vcd_path,
+            crosscheck,
+            telemetry.as_ref(),
+            &human,
+        )?;
     } else {
         if crosscheck {
             return Err(CliError::usage("--crosscheck requires --fallback"));
         }
         let engine = engine.unwrap_or(Engine::ParallelPathTracingTrimming);
-        simulate_single(&nl, engine, &limits, &stimulus, vcd_path)
+        simulate_single(
+            &nl,
+            engine,
+            &limits,
+            &stimulus,
+            vcd_path,
+            telemetry.as_ref(),
+            &human,
+        )?;
     }
+
+    if let (Some(path), Some(telemetry)) = (stats_path, telemetry) {
+        collect_static_metrics(&nl, &limits, &telemetry);
+        write_stats(&path, &telemetry)?;
+    }
+    Ok(())
+}
+
+/// Routes the human-readable output: stdout normally, stderr when
+/// `--stats -` has claimed stdout for the JSON report.
+struct HumanOut {
+    to_stderr: bool,
+}
+
+impl HumanOut {
+    fn line(&self, text: String) {
+        if self.to_stderr {
+            eprintln!("{text}");
+        } else {
+            println!("{text}");
+        }
+    }
+}
+
+/// Best-effort pass compiling the techniques the run did not already
+/// cover, so the report always carries the paper's full static-metric
+/// set (PC-set sizes and zero insertions, words trimmed, shifts
+/// retained/eliminated per optimization). Engines the budget rejects
+/// simply leave their gauges absent.
+fn collect_static_metrics(nl: &Netlist, limits: &ResourceLimits, telemetry: &Telemetry) {
+    let _span = telemetry.span("static-metrics");
+    let probe: &dyn Probe = telemetry;
+    let _ = PcSetSimulator::compile_probed(nl, limits, probe);
+    for optimization in [
+        Optimization::None,
+        Optimization::Trimming,
+        Optimization::PathTracing,
+        Optimization::PathTracingTrimming,
+        Optimization::CycleBreaking,
+    ] {
+        let _ = ParallelSimulator::compile_probed(nl, optimization, limits, probe);
+    }
+}
+
+/// Renders the telemetry report to `path` (`-` = stdout).
+fn write_stats(path: &str, telemetry: &Telemetry) -> Result<(), CliError> {
+    let rendered = telemetry.snapshot().render_json();
+    if path == "-" {
+        print!("{rendered}");
+    } else {
+        std::fs::write(path, rendered)
+            .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 /// The degradation chain for `--fallback`: the requested engine first
@@ -297,25 +400,31 @@ fn fallback_chain(preferred: Option<Engine>) -> Vec<Engine> {
     chain
 }
 
-fn print_header(nl: &Netlist, engine: Engine) {
-    println!(
+fn print_header(nl: &Netlist, engine: Engine, human: &HumanOut) {
+    human.line(format!(
         "# {}: {} gates, {} inputs, {} outputs, engine {engine}",
         nl.name(),
         nl.gate_count(),
         nl.primary_inputs().len(),
         nl.primary_outputs().len()
-    );
+    ));
     let header: Vec<&str> = nl
         .primary_outputs()
         .iter()
         .map(|&n| nl.net_name(n))
         .collect();
-    println!("# vector -> {}", header.join(" "));
+    human.line(format!("# vector -> {}", header.join(" ")));
 }
 
-fn print_row(nl: &Netlist, index: usize, vector: &[bool], finals: impl Fn(&Netlist) -> String) {
+fn print_row(
+    nl: &Netlist,
+    index: usize,
+    vector: &[bool],
+    human: &HumanOut,
+    finals: impl Fn(&Netlist) -> String,
+) {
     let input_bits: String = vector.iter().map(|&b| char::from(b'0' + b as u8)).collect();
-    println!("{index:>6} {input_bits} -> {}", finals(nl));
+    human.line(format!("{index:>6} {input_bits} -> {}", finals(nl)));
 }
 
 fn write_vcd(path: Option<String>, recorder: Option<VcdRecorder>) -> Result<(), CliError> {
@@ -327,34 +436,57 @@ fn write_vcd(path: Option<String>, recorder: Option<VcdRecorder>) -> Result<(), 
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate_single(
     nl: &Netlist,
     engine: Engine,
     limits: &ResourceLimits,
     stimulus: &[Vec<bool>],
     vcd_path: Option<String>,
+    telemetry: Option<&Telemetry>,
+    human: &HumanOut,
 ) -> Result<(), CliError> {
-    let mut sim = build_engine_with_limits(nl, engine, limits)
-        .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+    let noop = unit_delay_sim::netlist::NoopProbe;
+    let probe: &dyn Probe = telemetry.map_or(&noop, |t| t as &dyn Probe);
+    let mut sim = {
+        let _span = telemetry.map(|t| t.span("compile"));
+        build_engine_with_limits_probed(nl, engine, limits, probe)
+            .map_err(|e| CliError::from(e.with_circuit(nl.name())))?
+    };
+    if let Some(t) = telemetry {
+        t.label("engine", engine.to_string());
+    }
     let mut recorder = vcd_path
         .as_ref()
         .map(|_| VcdRecorder::new(nl, nl.primary_outputs().to_vec()));
-    print_header(nl, engine);
-    for (index, vector) in stimulus.iter().enumerate() {
-        sim.simulate_vector(vector);
-        if let Some(recorder) = recorder.as_mut() {
-            recorder.record(sim.as_ref());
+    print_header(nl, engine, human);
+    {
+        let _span = telemetry.map(|t| t.span("simulate"));
+        for (index, vector) in stimulus.iter().enumerate() {
+            sim.simulate_vector(vector);
+            if let Some(t) = telemetry {
+                t.add("run.vectors", 1);
+            }
+            if let Some(recorder) = recorder.as_mut() {
+                recorder.record(sim.as_ref());
+            }
+            print_row(nl, index, vector, human, |nl| {
+                nl.primary_outputs()
+                    .iter()
+                    .map(|&n| char::from(b'0' + sim.final_value(n) as u8))
+                    .collect()
+            });
         }
-        print_row(nl, index, vector, |nl| {
-            nl.primary_outputs()
-                .iter()
-                .map(|&n| char::from(b'0' + sim.final_value(n) as u8))
-                .collect()
-        });
+    }
+    if let Some(t) = telemetry {
+        for (name, value) in sim.run_counters() {
+            t.add(name, value);
+        }
     }
     write_vcd(vcd_path, recorder)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate_guarded(
     nl: &Netlist,
     limits: ResourceLimits,
@@ -362,31 +494,56 @@ fn simulate_guarded(
     stimulus: &[Vec<bool>],
     vcd_path: Option<String>,
     crosscheck: bool,
+    telemetry: Option<&Telemetry>,
+    human: &HumanOut,
 ) -> Result<(), CliError> {
-    let mut guarded = GuardedSimulator::with_chain(nl, limits, chain)
-        .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+    let mut guarded = {
+        let _span = telemetry.map(|t| t.span("compile"));
+        match telemetry {
+            Some(t) => GuardedSimulator::with_chain_telemetry(nl, limits, chain, t.clone()),
+            None => GuardedSimulator::with_chain(nl, limits, chain),
+        }
+        .map_err(|e| CliError::from(e.with_circuit(nl.name())))?
+    };
+    if let Some(t) = telemetry {
+        t.label("engine", guarded.active_engine().to_string());
+    }
     report_new_fallbacks(&guarded, 0);
     let mut recorder = vcd_path
         .as_ref()
         .map(|_| VcdRecorder::new(nl, nl.primary_outputs().to_vec()));
-    print_header(nl, guarded.active_engine());
+    print_header(nl, guarded.active_engine(), human);
     let mut seen_fallbacks = guarded.fallbacks().len();
-    for (index, vector) in stimulus.iter().enumerate() {
-        guarded
-            .simulate_vector(vector)
-            .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
-        seen_fallbacks = report_new_fallbacks(&guarded, seen_fallbacks);
-        if let Some(recorder) = recorder.as_mut() {
-            recorder.record(guarded.active_simulator());
+    {
+        let _span = telemetry.map(|t| t.span("simulate"));
+        for (index, vector) in stimulus.iter().enumerate() {
+            guarded
+                .simulate_vector(vector)
+                .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+            if let Some(t) = telemetry {
+                t.add("run.vectors", 1);
+            }
+            seen_fallbacks = report_new_fallbacks(&guarded, seen_fallbacks);
+            if let Some(recorder) = recorder.as_mut() {
+                recorder.record(guarded.active_simulator());
+            }
+            print_row(nl, index, vector, human, |nl| {
+                nl.primary_outputs()
+                    .iter()
+                    .map(|&n| char::from(b'0' + guarded.final_value(n) as u8))
+                    .collect()
+            });
         }
-        print_row(nl, index, vector, |nl| {
-            nl.primary_outputs()
-                .iter()
-                .map(|&n| char::from(b'0' + guarded.final_value(n) as u8))
-                .collect()
-        });
+    }
+    if let Some(t) = telemetry {
+        // The chain may have degraded mid-run; record who survived.
+        t.label("engine", guarded.active_engine().to_string());
+        for (name, value) in guarded.run_counters() {
+            t.add(name, value);
+        }
     }
     if crosscheck {
+        let _span = telemetry.map(|t| t.span("crosscheck"));
         guarded
             .crosscheck_baseline()
             .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
@@ -486,6 +643,7 @@ fn codegen(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
     let mut technique = "parallel".to_owned();
     let mut optimization = Optimization::None;
+    let mut stats_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -504,6 +662,9 @@ fn codegen(args: &[String]) -> Result<(), CliError> {
                     }
                 };
             }
+            "--stats" => {
+                stats_path = Some(iter.next().ok_or("--stats needs a path (or `-`)")?.clone())
+            }
             other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
                 file = Some(other.to_owned());
             }
@@ -511,19 +672,47 @@ fn codegen(args: &[String]) -> Result<(), CliError> {
         }
     }
     let file = file.ok_or("missing FILE.bench")?;
-    let nl = load(&file)?;
-    match technique.as_str() {
-        "pc-set" | "pcset" => {
-            let sim = PcSetSimulator::compile(&nl)
-                .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
-            print!("{}", pcset::codegen_c::emit(&nl, &sim));
+    let telemetry = stats_path.as_ref().map(|_| Telemetry::new());
+    // With `--stats -` the JSON owns stdout; the generated C moves to
+    // stderr.
+    let human = HumanOut {
+        to_stderr: stats_path.as_deref() == Some("-"),
+    };
+    let nl = {
+        let _span = telemetry.as_ref().map(|t| t.span("parse"));
+        load(&file)?
+    };
+    if let Some(t) = &telemetry {
+        t.label("command", "codegen");
+        t.label("circuit", nl.name());
+        t.label("technique", technique.clone());
+    }
+    let noop = unit_delay_sim::netlist::NoopProbe;
+    let probe: &dyn Probe = telemetry.as_ref().map_or(&noop, |t| t as &dyn Probe);
+    let limits = ResourceLimits::unlimited();
+    let emitted = {
+        let _span = telemetry.as_ref().map(|t| t.span("compile"));
+        match technique.as_str() {
+            "pc-set" | "pcset" => {
+                let sim = PcSetSimulator::compile_probed(&nl, &limits, probe)
+                    .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
+                pcset::codegen_c::emit(&nl, &sim)
+            }
+            "parallel" => {
+                let sim = ParallelSimulator::compile_probed(&nl, optimization, &limits, probe)
+                    .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
+                parallel::codegen_c::emit(&nl, &sim)
+            }
+            other => return Err(CliError::usage(format!("unknown technique `{other}`"))),
         }
-        "parallel" => {
-            let sim = ParallelSimulator::compile(&nl, optimization)
-                .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
-            print!("{}", parallel::codegen_c::emit(&nl, &sim));
-        }
-        other => return Err(CliError::usage(format!("unknown technique `{other}`"))),
+    };
+    if human.to_stderr {
+        eprint!("{emitted}");
+    } else {
+        print!("{emitted}");
+    }
+    if let (Some(path), Some(telemetry)) = (stats_path, telemetry) {
+        write_stats(&path, &telemetry)?;
     }
     Ok(())
 }
