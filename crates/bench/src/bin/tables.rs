@@ -7,10 +7,12 @@
 //! ```
 //!
 //! Subcommands: `fig19`, `fig20`, `fig21`, `fig22`, `fig23`, `fig24`,
-//! `zero-delay`, `codesize`, `all`. Options: `--vectors N` (default
-//! 5000, as in the paper), `--quick` (500 vectors), and `--json`
-//! (additionally write each table as `BENCH_<name>.json` in the current
-//! directory, schema `uds-bench-v1`).
+//! `zero-delay`, `codesize`, `parallel`, `all`. Options: `--vectors N`
+//! (default 5000, as in the paper), `--quick` (500 vectors), and
+//! `--json` (additionally write each table as `BENCH_<name>.json` in
+//! the current directory, schema `uds-bench-v1`). `parallel` is the
+//! multi-core scaling sweep: the batch runner at jobs = 1/2/4/8 against
+//! the single-thread parallel+pt+trim baseline.
 //!
 //! Timed cells show the minimum of [`runner::TIMING_REPS`] repetitions
 //! after a warmup pass (the JSON carries min and median); static
@@ -42,7 +44,7 @@ fn main() {
             "--quick" => vectors = 500,
             "--json" => json = true,
             "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "zero-delay"
-            | "codesize" | "all" => command = arg.clone(),
+            | "codesize" | "parallel" | "all" => command = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -56,6 +58,7 @@ fn main() {
         "fig24" => fig24(vectors, json),
         "zero-delay" => zero_delay(vectors, json),
         "codesize" => codesize(json),
+        "parallel" => parallel_scaling(vectors, json),
         "all" => {
             fig19(vectors, json);
             zero_delay(vectors, json);
@@ -65,6 +68,7 @@ fn main() {
             fig23(vectors, json);
             fig24(vectors, json);
             codesize(json);
+            parallel_scaling(vectors, json);
         }
         _ => unreachable!("validated above"),
     }
@@ -73,7 +77,7 @@ fn main() {
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|all] \
+        "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|all] \
          [--vectors N | --quick] [--json]"
     );
     std::process::exit(2);
@@ -457,6 +461,68 @@ fn codesize(json: bool) {
     println!("{}", Table::render(&table));
     if json {
         write_json("codesize", None, rows);
+    }
+}
+
+/// Shard counts the multi-core sweep measures.
+const JOBS_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn parallel_scaling(vectors: usize, json: bool) {
+    println!("\n== multi-core scaling: batch runner, parallel+pt+trim, {vectors} vectors ==");
+    println!("== (seq = single-thread loop; jobs=N shards the stream over N workers, ==");
+    println!("==  each zero-delay-seeded at its boundary; outputs stay bit-identical) ==");
+    let mut table = Table::new(&[
+        "circuit",
+        "seq",
+        "jobs=1",
+        "jobs=2",
+        "jobs=4",
+        "jobs=8",
+        "speedup@4",
+        "speedup@8",
+    ]);
+    let mut rows = Vec::new();
+    for circuit in [Iscas85::C432, Iscas85::C1355, Iscas85::C6288] {
+        let nl = circuit.build();
+        let stimulus = runner::stimulus(&nl, vectors);
+        let sequential = runner::time_parallel(&nl, Optimization::PathTracingTrimming, vectors);
+        let batched: Vec<Timing> = JOBS_SWEEP
+            .iter()
+            .map(|&jobs| runner::time_batch(&nl, &stimulus, jobs))
+            .collect();
+        table.row(vec![
+            circuit.to_string(),
+            best(sequential),
+            best(batched[0]),
+            best(batched[1]),
+            best(batched[2]),
+            best(batched[3]),
+            ratio(sequential.min_s, batched[2].min_s),
+            ratio(sequential.min_s, batched[3].min_s),
+        ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("sequential", timing_json(sequential)),
+            (
+                "batched",
+                Json::Arr(
+                    JOBS_SWEEP
+                        .iter()
+                        .zip(&batched)
+                        .map(|(&jobs, &timing)| {
+                            Json::obj([
+                                ("jobs", Json::UInt(jobs as u64)),
+                                ("timing", timing_json(timing)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    println!("{}", Table::render(&table));
+    if json {
+        write_json("parallel", Some(vectors), rows);
     }
 }
 

@@ -1,0 +1,332 @@
+//! Vector-batched multi-core execution.
+//!
+//! Unit-delay simulation of a vector stream looks inherently
+//! sequential: vector *i* starts from the settled state vector *i - 1*
+//! left behind (retention). The batch runner breaks that dependency
+//! with a cheap **zero-delay prepass**: for a combinational circuit the
+//! unit-delay settled state after vector *i* is exactly the zero-delay
+//! (levelized) evaluation of vector *i* alone — the fixpoint is unique
+//! and history-free (see
+//! [`stable_states`](uds_eventsim::zero_delay::stable_states)). So the
+//! stream splits into contiguous shards, each worker seeds its engine
+//! with the zero-delay state of the vector just before its shard, and
+//! all shards simulate independently — bit-exact with the sequential
+//! run for *any* shard count.
+//!
+//! Each worker owns a [`GuardedSimulator`] fork, so a panicking or
+//! budget-blowing engine degrades only its own shard; the others keep
+//! their fast engines. Shard timings surface as `batch.shard.<k>`
+//! telemetry spans with `batch.shards` / `batch.vectors_per_shard`
+//! gauges.
+
+// SimError is large but cold; see guard.rs.
+#![allow(clippy::result_large_err)]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+
+use uds_eventsim::zero_delay::stable_states;
+use uds_netlist::Netlist;
+
+use crate::error::{SimError, SimErrorKind, SimPhase};
+use crate::guard::GuardedSimulator;
+use crate::telemetry::{SpanNode, Telemetry};
+use crate::Engine;
+
+/// What one shard did: its slice of the stream, wall-clock time, and
+/// how its fallback chain fared.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index (shards partition the stream in order).
+    pub index: usize,
+    /// First vector of the shard (index into the full stream).
+    pub start: usize,
+    /// Vectors the shard simulated.
+    pub vectors: usize,
+    /// Wall-clock simulation time, excluding the prepass.
+    pub wall_ns: u64,
+    /// The engine that survived the shard.
+    pub engine: Engine,
+    /// Fallbacks fired inside this shard alone.
+    pub fallbacks: usize,
+}
+
+/// The assembled result of a batch run.
+#[derive(Clone, Debug)]
+pub struct BatchOutput {
+    /// Per-vector primary-output settled values, in stream order —
+    /// bit-identical to a sequential run regardless of shard count.
+    pub rows: Vec<Vec<bool>>,
+    /// Per-shard execution reports, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+/// What a worker hands back: its output rows and report, or the error
+/// that felled the shard.
+type ShardResult = Result<(Vec<Vec<bool>>, ShardReport), SimError>;
+
+/// Splits `total` vectors into `jobs` contiguous, near-equal shards
+/// (the first `total % jobs` shards get one extra vector). Returns
+/// `(start, len)` pairs; empty shards are dropped.
+fn shard_bounds(total: usize, jobs: usize) -> Vec<(usize, usize)> {
+    let jobs = jobs.clamp(1, total.max(1));
+    let base = total / jobs;
+    let extra = total % jobs;
+    let mut bounds = Vec::with_capacity(jobs);
+    let mut start = 0;
+    for k in 0..jobs {
+        let len = base + usize::from(k < extra);
+        if len > 0 {
+            bounds.push((start, len));
+            start += len;
+        }
+    }
+    bounds
+}
+
+/// Runs `vectors` through forks of `prototype`, sharded across `jobs`
+/// worker threads, and returns per-vector primary-output rows exactly
+/// as a sequential run would produce them.
+///
+/// `prototype` should be freshly built (its current engine state is the
+/// power-up state shard 0 starts from). Pass the session's [`Telemetry`]
+/// to collect per-shard spans and gauges.
+///
+/// # Errors
+///
+/// Any vector of the wrong width is a usage error; a zero-delay prepass
+/// failure surfaces as its structural class; a shard whose entire
+/// fallback chain dies returns that shard's [`SimError`].
+pub fn run_batch(
+    netlist: &Netlist,
+    prototype: &GuardedSimulator,
+    vectors: &[Vec<bool>],
+    jobs: usize,
+    telemetry: Option<&Telemetry>,
+) -> Result<BatchOutput, SimError> {
+    let expected = netlist.primary_inputs().len();
+    for vector in vectors {
+        if vector.len() != expected {
+            return Err(SimError::new(
+                SimErrorKind::VectorWidth {
+                    expected,
+                    got: vector.len(),
+                },
+                SimPhase::Run,
+            ));
+        }
+    }
+    let bounds = shard_bounds(vectors.len(), jobs);
+    if let Some(telemetry) = telemetry {
+        telemetry.set_gauge("batch.shards", bounds.len() as u64);
+        telemetry.set_gauge(
+            "batch.vectors_per_shard",
+            bounds.iter().map(|&(_, len)| len as u64).max().unwrap_or(0),
+        );
+    }
+    if vectors.is_empty() {
+        return Ok(BatchOutput {
+            rows: Vec::new(),
+            shards: Vec::new(),
+        });
+    }
+
+    // Zero-delay prepass: the stable state at each shard boundary.
+    // Shard 0 starts from power-up; shard k > 0 from the settled state
+    // of the vector just before it — one levelized evaluation each.
+    let boundary_vectors: Vec<&[bool]> = bounds[1..]
+        .iter()
+        .map(|&(start, _)| vectors[start - 1].as_slice())
+        .collect();
+    let seeds = {
+        let _span = telemetry.map(|t| t.span("batch.prepass"));
+        stable_states(netlist, boundary_vectors)?
+    };
+
+    let outputs = netlist.primary_outputs().to_vec();
+    let mut results: Vec<Option<ShardResult>> = (0..bounds.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(bounds.len());
+        for (shard, &(start, len)) in bounds.iter().enumerate() {
+            let mut guard = prototype.fork();
+            let seed = (shard > 0).then(|| seeds[shard - 1].as_slice());
+            let slice = &vectors[start..start + len];
+            let outputs = &outputs;
+            handles.push(scope.spawn(move || {
+                let clock = Instant::now();
+                let body = || -> Result<Vec<Vec<bool>>, SimError> {
+                    if let Some(seed) = seed {
+                        guard.seed_stable(seed);
+                    }
+                    let mut rows = Vec::with_capacity(slice.len());
+                    for vector in slice {
+                        guard.simulate_vector(vector)?;
+                        rows.push(outputs.iter().map(|&po| guard.final_value(po)).collect());
+                    }
+                    Ok(rows)
+                };
+                // The guard contains engine panics itself; this outer
+                // net catches anything above the engine layer so one
+                // shard cannot abort its siblings.
+                let rows = match panic::catch_unwind(AssertUnwindSafe(body)) {
+                    Ok(result) => result?,
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_owned());
+                        return Err(SimError::new(
+                            SimErrorKind::EnginePanicked { message },
+                            SimPhase::Run,
+                        ));
+                    }
+                };
+                Ok((
+                    rows,
+                    ShardReport {
+                        index: shard,
+                        start,
+                        vectors: len,
+                        wall_ns: u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        engine: guard.active_engine(),
+                        fallbacks: guard.fallbacks().len(),
+                    },
+                ))
+            }));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().unwrap_or_else(|payload| {
+                panic::resume_unwind(payload);
+            }));
+        }
+    });
+
+    let mut rows = Vec::with_capacity(vectors.len());
+    let mut shards = Vec::with_capacity(bounds.len());
+    for result in results.into_iter().flatten() {
+        let (shard_rows, report) = result?;
+        rows.extend(shard_rows);
+        if let Some(telemetry) = telemetry {
+            telemetry.attach_span(SpanNode {
+                name: format!("batch.shard.{}", report.index),
+                wall_ns: report.wall_ns,
+                children: Vec::new(),
+            });
+            telemetry.add("batch.shard_fallbacks", report.fallbacks as u64);
+        }
+        shards.push(report);
+    }
+    Ok(BatchOutput { rows, shards })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardedSimulator;
+    use uds_netlist::generators::iscas::c17;
+    use uds_netlist::ResourceLimits;
+
+    fn stimulus(vectors: usize) -> Vec<Vec<bool>> {
+        // A fixed LCG keeps the stream deterministic without rand.
+        let mut state = 0x5EED_1990_u64;
+        (0..vectors)
+            .map(|_| {
+                (0..5)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        state >> 63 != 0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn sequential_rows(vectors: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let nl = c17();
+        let mut guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        vectors
+            .iter()
+            .map(|v| {
+                guard.simulate_vector(v).unwrap();
+                nl.primary_outputs()
+                    .iter()
+                    .map(|&po| guard.final_value(po))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_bounds_partition_the_stream() {
+        for total in [0usize, 1, 2, 7, 100] {
+            for jobs in [1usize, 2, 3, 8, 200] {
+                let bounds = shard_bounds(total, jobs);
+                let mut next = 0;
+                for &(start, len) in &bounds {
+                    assert_eq!(start, next, "contiguous");
+                    assert!(len > 0, "no empty shards");
+                    next += len;
+                }
+                assert_eq!(next, total, "total={total} jobs={jobs}");
+                if total > 0 {
+                    let max = bounds.iter().map(|&(_, l)| l).max().unwrap();
+                    let min = bounds.iter().map(|&(_, l)| l).min().unwrap();
+                    assert!(max - min <= 1, "near-equal: total={total} jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rows_match_sequential_for_any_shard_count() {
+        let nl = c17();
+        let vectors = stimulus(23);
+        let expected = sequential_rows(&vectors);
+        for jobs in [1usize, 2, 5, 23, 64] {
+            let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+            let out = run_batch(&nl, &guard, &vectors, jobs, None).unwrap();
+            assert_eq!(out.rows, expected, "jobs={jobs}");
+            assert_eq!(
+                out.shards.iter().map(|s| s.vectors).sum::<usize>(),
+                vectors.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let nl = c17();
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        let out = run_batch(&nl, &guard, &[], 4, None).unwrap();
+        assert!(out.rows.is_empty());
+        assert!(out.shards.is_empty());
+    }
+
+    #[test]
+    fn wrong_width_vector_is_a_usage_error_before_any_thread_spawns() {
+        let nl = c17();
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        let err = run_batch(&nl, &guard, &[vec![true; 3]], 2, None).unwrap_err();
+        assert_eq!(err.class(), crate::FailureClass::Usage);
+    }
+
+    #[test]
+    fn telemetry_gains_shard_spans_and_gauges() {
+        let nl = c17();
+        let vectors = stimulus(10);
+        let telemetry = Telemetry::new();
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        run_batch(&nl, &guard, &vectors, 3, Some(&telemetry)).unwrap();
+        assert_eq!(telemetry.gauge_value("batch.shards"), Some(3));
+        assert_eq!(telemetry.gauge_value("batch.vectors_per_shard"), Some(4));
+        let report = telemetry.snapshot();
+        for shard in 0..3 {
+            assert!(
+                report.find_span(&format!("batch.shard.{shard}")).is_some(),
+                "missing span for shard {shard}"
+            );
+        }
+        assert!(report.find_span("batch.prepass").is_some());
+    }
+}

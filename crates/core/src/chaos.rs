@@ -210,10 +210,26 @@ impl UnitDelaySimulator for ChaosSimulator {
         self.inner.reset();
         self.vectors_seen = 0;
     }
+
+    fn seed_stable(&mut self, stable: &[bool]) {
+        // Fault coordinates stay relative to this wrapper's own vector
+        // count — a seed moves the *state*, not the sabotage schedule.
+        self.inner.seed_stable(stable);
+    }
+
+    fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
+        Box::new(ChaosSimulator {
+            inner: self.inner.clone_box(),
+            vectors_seen: self.vectors_seen,
+            panic_at: self.panic_at,
+            corrupt_from: self.corrupt_from,
+        })
+    }
 }
 
 /// An [`EngineFactory`] executing a [`FaultPlan`]: engines the plan
 /// names come up sabotaged; everything else builds normally.
+#[derive(Clone)]
 pub struct ChaosFactory {
     plan: FaultPlan,
     inner: DefaultEngineFactory,
@@ -224,7 +240,7 @@ impl ChaosFactory {
     pub fn new(plan: FaultPlan) -> Self {
         ChaosFactory {
             plan,
-            inner: DefaultEngineFactory,
+            inner: DefaultEngineFactory::default(),
         }
     }
 }
@@ -274,6 +290,10 @@ impl EngineFactory for ChaosFactory {
         } else {
             Ok(sim)
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn EngineFactory> {
+        Box::new(self.clone())
     }
 }
 

@@ -57,6 +57,12 @@ pub enum SimErrorKind {
     Structural(LevelizeError),
     /// A monitored net does not exist (PC-set method).
     UnknownMonitor,
+    /// The netlist has more gate pins than a compiled program can
+    /// address — structurally too large, not a bug (exit 4, not 6).
+    PinCountOverflow {
+        /// How many pins the netlist has.
+        pins: usize,
+    },
     /// A resource budget was exceeded.
     Budget(LimitExceeded),
     /// An engine panicked; the payload is the panic message. The panic
@@ -170,6 +176,7 @@ impl SimError {
             SimErrorKind::Build(_) => FailureClass::Parse,
             SimErrorKind::Structural(_) => FailureClass::Structural,
             SimErrorKind::UnknownMonitor => FailureClass::Usage,
+            SimErrorKind::PinCountOverflow { .. } => FailureClass::Structural,
             SimErrorKind::Budget(_) => FailureClass::Budget,
             SimErrorKind::EnginePanicked { .. } => FailureClass::Panic,
             SimErrorKind::VectorWidth { .. } => FailureClass::Usage,
@@ -197,6 +204,10 @@ impl fmt::Display for SimError {
             SimErrorKind::Build(err) => write!(f, "{err}"),
             SimErrorKind::Structural(err) => write!(f, "{err}"),
             SimErrorKind::UnknownMonitor => write!(f, "monitored net does not exist"),
+            SimErrorKind::PinCountOverflow { pins } => write!(
+                f,
+                "netlist has {pins} gate pins, more than a compiled program can address"
+            ),
             SimErrorKind::Budget(err) => write!(f, "{err}"),
             SimErrorKind::EnginePanicked { message } => {
                 write!(f, "engine panicked (contained): {message}")
@@ -257,6 +268,18 @@ impl From<uds_pcset::CompileError> for SimError {
             uds_pcset::CompileError::Limit(e) => SimErrorKind::Budget(e),
         };
         SimError::new(kind, SimPhase::Compile).with_engine(Engine::PcSet)
+    }
+}
+
+impl From<uds_eventsim::ZeroDelayCompileError> for SimError {
+    fn from(err: uds_eventsim::ZeroDelayCompileError) -> Self {
+        let kind = match err {
+            uds_eventsim::ZeroDelayCompileError::Levelize(e) => SimErrorKind::Structural(e),
+            uds_eventsim::ZeroDelayCompileError::PinCountOverflow { pins } => {
+                SimErrorKind::PinCountOverflow { pins }
+            }
+        };
+        SimError::new(kind, SimPhase::Compile)
     }
 }
 

@@ -22,12 +22,12 @@ use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 
 use uds_netlist::{NetId, Netlist, NoopProbe, Probe, ResourceLimits};
-use uds_parallel::{Optimization, ParallelSimulator};
+use uds_parallel::{Optimization, ParallelSim, Word};
 use uds_pcset::PcSetSimulator;
 
 use crate::error::{FailureClass, SimError, SimErrorKind, SimPhase};
 use crate::telemetry::Telemetry;
-use crate::{crosscheck, Engine, TracedEventSim, UnitDelaySimulator};
+use crate::{crosscheck, Engine, TracedEventSim, UnitDelaySimulator, WordWidth};
 
 /// Renders a panic payload to text (panics carry `&str` or `String`;
 /// anything else gets a placeholder).
@@ -43,7 +43,10 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
 
 /// Builds engines for a [`GuardedSimulator`]. The default factory
 /// compiles the real engines; the chaos harness substitutes faulty ones.
-pub trait EngineFactory {
+///
+/// Factories are `Send` and cloneable so [`GuardedSimulator::fork`] can
+/// hand each batch worker a guard that degrades the same way.
+pub trait EngineFactory: Send {
     /// Builds `engine` under `limits`, panic-contained.
     fn build(
         &self,
@@ -66,11 +69,24 @@ pub trait EngineFactory {
         let _ = probe;
         self.build(netlist, engine, limits)
     }
+
+    /// Clones the factory behind the trait object.
+    fn clone_box(&self) -> Box<dyn EngineFactory>;
 }
 
 /// The factory that compiles the workspace's real engines.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct DefaultEngineFactory;
+pub struct DefaultEngineFactory {
+    /// Arena word width for the parallel-family engines.
+    pub word: WordWidth,
+}
+
+impl DefaultEngineFactory {
+    /// A factory compiling parallel engines at the given word width.
+    pub fn with_word(word: WordWidth) -> Self {
+        DefaultEngineFactory { word }
+    }
+}
 
 impl EngineFactory for DefaultEngineFactory {
     fn build(
@@ -79,7 +95,7 @@ impl EngineFactory for DefaultEngineFactory {
         engine: Engine,
         limits: &ResourceLimits,
     ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
-        build_engine_with_limits(netlist, engine, limits)
+        build_engine_with_limits_word(netlist, engine, limits, self.word)
     }
 
     fn build_probed(
@@ -89,7 +105,11 @@ impl EngineFactory for DefaultEngineFactory {
         limits: &ResourceLimits,
         probe: &dyn Probe,
     ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
-        build_engine_with_limits_probed(netlist, engine, limits, probe)
+        build_engine_with_limits_probed_word(netlist, engine, limits, probe, self.word)
+    }
+
+    fn clone_box(&self) -> Box<dyn EngineFactory> {
+        Box::new(*self)
     }
 }
 
@@ -105,6 +125,16 @@ pub fn build_engine_with_limits(
     build_engine_with_limits_probed(netlist, engine, limits, &NoopProbe)
 }
 
+/// [`build_engine_with_limits`] at an explicit parallel word width.
+pub fn build_engine_with_limits_word(
+    netlist: &Netlist,
+    engine: Engine,
+    limits: &ResourceLimits,
+    word: WordWidth,
+) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+    build_engine_with_limits_probed_word(netlist, engine, limits, &NoopProbe, word)
+}
+
 /// Like [`build_engine_with_limits`], reporting compile phases and the
 /// paper's static metrics (PC-set sizes, words trimmed, shifts
 /// retained/eliminated) into `probe` — pass a
@@ -114,6 +144,18 @@ pub fn build_engine_with_limits_probed(
     engine: Engine,
     limits: &ResourceLimits,
     probe: &dyn Probe,
+) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+    build_engine_with_limits_probed_word(netlist, engine, limits, probe, WordWidth::default())
+}
+
+/// [`build_engine_with_limits_probed`] at an explicit parallel word
+/// width (the width only affects the parallel-family engines).
+pub fn build_engine_with_limits_probed_word(
+    netlist: &Netlist,
+    engine: Engine,
+    limits: &ResourceLimits,
+    probe: &dyn Probe,
+    word: WordWidth,
 ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
     let attach = |e: SimError| {
         if e.engine.is_none() {
@@ -150,12 +192,23 @@ pub fn build_engine_with_limits_probed(
                     Engine::ParallelPathTracingTrimming => Optimization::PathTracingTrimming,
                     _ => Optimization::CycleBreaking,
                 };
-                Box::new(ParallelSimulator::compile_probed(
-                    netlist,
-                    optimization,
-                    limits,
-                    probe,
-                )?)
+                fn compile<W: Word>(
+                    netlist: &Netlist,
+                    optimization: Optimization,
+                    limits: &ResourceLimits,
+                    probe: &dyn Probe,
+                ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+                    Ok(Box::new(ParallelSim::<W>::compile_probed(
+                        netlist,
+                        optimization,
+                        limits,
+                        probe,
+                    )?))
+                }
+                match word {
+                    WordWidth::W32 => compile::<u32>(netlist, optimization, limits, probe)?,
+                    WordWidth::W64 => compile::<u64>(netlist, optimization, limits, probe)?,
+                }
             }
         })
     };
@@ -197,6 +250,10 @@ pub struct GuardedSimulator {
     factory: Box<dyn EngineFactory>,
     fired: Vec<FiredFallback>,
     replay: Vec<Vec<bool>>,
+    /// Stable state applied before any vector (see
+    /// [`GuardedSimulator::seed_stable`]); a degradation must re-apply
+    /// it to the fresh engine before replaying the vector log.
+    seed: Option<Vec<bool>>,
     telemetry: Option<Telemetry>,
 }
 
@@ -249,7 +306,7 @@ impl GuardedSimulator {
             netlist,
             limits,
             &Self::DEFAULT_CHAIN,
-            Box::new(DefaultEngineFactory),
+            Box::new(DefaultEngineFactory::default()),
             Some(telemetry),
         )
     }
@@ -260,7 +317,12 @@ impl GuardedSimulator {
         limits: ResourceLimits,
         chain: &[Engine],
     ) -> Result<Self, SimError> {
-        Self::with_factory(netlist, limits, chain, Box::new(DefaultEngineFactory))
+        Self::with_factory(
+            netlist,
+            limits,
+            chain,
+            Box::new(DefaultEngineFactory::default()),
+        )
     }
 
     /// Builds with an explicit chain and telemetry registry.
@@ -274,7 +336,7 @@ impl GuardedSimulator {
             netlist,
             limits,
             chain,
-            Box::new(DefaultEngineFactory),
+            Box::new(DefaultEngineFactory::default()),
             Some(telemetry),
         )
     }
@@ -288,6 +350,19 @@ impl GuardedSimulator {
         factory: Box<dyn EngineFactory>,
     ) -> Result<Self, SimError> {
         Self::build(netlist, limits, chain, factory, None)
+    }
+
+    /// Builds with an explicit chain, engine factory, *and* telemetry
+    /// registry — the fully general constructor (the CLI uses it to
+    /// combine `--word`-aware factories with `--stats`).
+    pub fn with_factory_telemetry(
+        netlist: &Netlist,
+        limits: ResourceLimits,
+        chain: &[Engine],
+        factory: Box<dyn EngineFactory>,
+        telemetry: Telemetry,
+    ) -> Result<Self, SimError> {
+        Self::build(netlist, limits, chain, factory, Some(telemetry))
     }
 
     fn build(
@@ -316,6 +391,7 @@ impl GuardedSimulator {
                         factory,
                         fired,
                         replay: Vec::new(),
+                        seed: None,
                         telemetry,
                     })
                 }
@@ -337,6 +413,39 @@ impl GuardedSimulator {
     /// The engine currently executing vectors.
     pub fn active_engine(&self) -> Engine {
         self.chain[self.position]
+    }
+
+    /// Seeds the guard with a stable state (parallel to the netlist's
+    /// nets), as if every vector leading there had been simulated. The
+    /// vector log restarts from the seed, so a later degradation seeds
+    /// the replacement engine the same way before replaying — results
+    /// stay bit-exact across fallbacks. The batch runner seeds each
+    /// shard with the zero-delay settled state of its boundary vector.
+    pub fn seed_stable(&mut self, stable: &[bool]) {
+        self.active.seed_stable(stable);
+        self.seed = Some(stable.to_vec());
+        self.replay.clear();
+    }
+
+    /// A fresh guard sharing this one's netlist, budget, chain,
+    /// factory, and active engine (cloned with its compiled program),
+    /// but with an empty vector log and no telemetry registry — workers
+    /// report timings back to the coordinating thread instead of
+    /// contending on a shared registry. Fallbacks already fired are not
+    /// inherited; each fork degrades independently.
+    pub fn fork(&self) -> GuardedSimulator {
+        GuardedSimulator {
+            netlist: self.netlist.clone(),
+            limits: self.limits,
+            chain: self.chain.clone(),
+            position: self.position,
+            active: self.active.clone_box(),
+            factory: self.factory.clone_box(),
+            fired: Vec::new(),
+            replay: Vec::new(),
+            seed: self.seed.clone(),
+            telemetry: None,
+        }
     }
 
     /// Every fallback that fired, in order (compile-time and run-time).
@@ -426,6 +535,9 @@ impl GuardedSimulator {
                 .build_probed(&self.netlist, engine, &self.limits, probe)
                 .and_then(|mut sim| {
                     let replayed = panic::catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(seed) = &self.seed {
+                            sim.seed_stable(seed);
+                        }
                         for vector in &self.replay {
                             sim.simulate_vector(vector);
                         }
@@ -488,11 +600,15 @@ impl GuardedSimulator {
     /// simulator produced is bit-exact with the baseline.
     pub fn crosscheck_baseline(&self) -> Result<(), SimError> {
         let engine = self.active_engine();
-        let baseline: Box<dyn UnitDelaySimulator> = Box::new(
+        let mut baseline: Box<dyn UnitDelaySimulator> = Box::new(
             TracedEventSim::new(&self.netlist)
                 .map_err(|e| SimError::from(e).with_engine(engine))?,
         );
-        let candidate = self.factory.build(&self.netlist, engine, &self.limits)?;
+        let mut candidate = self.factory.build(&self.netlist, engine, &self.limits)?;
+        if let Some(seed) = &self.seed {
+            baseline.seed_stable(seed);
+            candidate.seed_stable(seed);
+        }
         let mut sims = vec![baseline, candidate];
         let netlist = &self.netlist;
         let replay = &self.replay;

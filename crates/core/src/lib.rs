@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod chaos;
 pub mod crosscheck;
 pub mod error;
@@ -56,9 +57,15 @@ pub mod vcd;
 pub mod vectors;
 pub mod waveform;
 
+pub use batch::{run_batch, BatchOutput, ShardReport};
 pub use error::{FailureClass, SimError, SimErrorKind, SimPhase};
-pub use guard::{build_engine_with_limits, build_engine_with_limits_probed, GuardedSimulator};
+pub use guard::{
+    build_engine_with_limits, build_engine_with_limits_probed,
+    build_engine_with_limits_probed_word, build_engine_with_limits_word, DefaultEngineFactory,
+    GuardedSimulator,
+};
 pub use simulator::{
-    build_simulator, BuildSimulatorError, Engine, TracedEventSim, UnitDelaySimulator,
+    build_simulator, build_simulator_with_word, BuildSimulatorError, Engine, TracedEventSim,
+    UnitDelaySimulator, WordWidth,
 };
 pub use telemetry::{SpanNode, Telemetry, TelemetryReport};

@@ -4,7 +4,7 @@ use std::fmt;
 
 use uds_eventsim::EventDrivenUnitDelay;
 use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
-use uds_parallel::{Optimization, ParallelSimulator};
+use uds_parallel::{Optimization, ParallelSim, Word};
 use uds_pcset::PcSetSimulator;
 
 /// A unit-delay simulator: feed vectors, read back settled values and
@@ -13,7 +13,11 @@ use uds_pcset::PcSetSimulator;
 /// Implemented by the PC-set simulator, every optimization level of the
 /// parallel technique, and the traced event-driven baseline, so
 /// comparison harnesses and examples can be written once.
-pub trait UnitDelaySimulator {
+///
+/// Engines are `Send` and cloneable (via [`Self::clone_box`]) so the
+/// batch runner can hand each worker thread its own copy of a compiled
+/// engine without recompiling per shard.
+pub trait UnitDelaySimulator: Send {
     /// Short engine name for reports (e.g. `"pc-set"`).
     fn engine_name(&self) -> &'static str;
 
@@ -39,6 +43,22 @@ pub trait UnitDelaySimulator {
     /// Restores the consistent power-up state (circuit settled under
     /// all-zero inputs).
     fn reset(&mut self);
+
+    /// Replaces the engine's state with an arbitrary stable state
+    /// (`stable` is parallel to the netlist's nets), as if every vector
+    /// leading to that state had already been simulated. The batch
+    /// runner uses this to seed each shard with the zero-delay settled
+    /// state of the vector preceding it.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `stable.len()` differs from the net
+    /// count.
+    fn seed_stable(&mut self, stable: &[bool]);
+
+    /// Clones the engine behind the trait object, preserving its
+    /// compiled program and current state.
+    fn clone_box(&self) -> Box<dyn UnitDelaySimulator>;
 
     /// Engine-specific runtime counters accumulated since construction
     /// (e.g. events processed by the event-driven baseline), as
@@ -74,9 +94,17 @@ impl UnitDelaySimulator for PcSetSimulator {
     fn reset(&mut self) {
         PcSetSimulator::reset(self);
     }
+
+    fn seed_stable(&mut self, stable: &[bool]) {
+        PcSetSimulator::seed_stable(self, stable);
+    }
+
+    fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
+        Box::new(self.clone())
+    }
 }
 
-impl UnitDelaySimulator for ParallelSimulator {
+impl<W: Word> UnitDelaySimulator for ParallelSim<W> {
     fn engine_name(&self) -> &'static str {
         match self.optimization() {
             Optimization::None => "parallel",
@@ -89,23 +117,31 @@ impl UnitDelaySimulator for ParallelSimulator {
     }
 
     fn simulate_vector(&mut self, inputs: &[bool]) {
-        ParallelSimulator::simulate_vector(self, inputs);
+        ParallelSim::simulate_vector(self, inputs);
     }
 
     fn final_value(&self, net: NetId) -> bool {
-        ParallelSimulator::final_value(self, net)
+        ParallelSim::final_value(self, net)
     }
 
     fn history(&self, net: NetId) -> Option<Vec<bool>> {
-        ParallelSimulator::history(self, net)
+        ParallelSim::history(self, net)
     }
 
     fn depth(&self) -> u32 {
-        ParallelSimulator::depth(self)
+        ParallelSim::depth(self)
     }
 
     fn reset(&mut self) {
-        ParallelSimulator::reset(self);
+        ParallelSim::reset(self);
+    }
+
+    fn seed_stable(&mut self, stable: &[bool]) {
+        ParallelSim::seed_stable(self, stable);
+    }
+
+    fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
+        Box::new(self.clone())
     }
 }
 
@@ -193,6 +229,17 @@ impl UnitDelaySimulator for TracedEventSim {
         }
     }
 
+    fn seed_stable(&mut self, stable: &[bool]) {
+        self.inner.seed_values(stable);
+        for (row, &value) in self.waveform.iter_mut().zip(stable) {
+            row.fill(value);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
+        Box::new(self.clone())
+    }
+
     fn run_counters(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("eventsim.events", self.total_events),
@@ -247,6 +294,44 @@ impl fmt::Display for Engine {
     }
 }
 
+/// Arena word width for the parallel technique. The paper's machine
+/// model packs time steps into 32-bit words; 64-bit words halve the
+/// word-op count of every multi-word field on deep circuits. Other
+/// engines ignore the width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum WordWidth {
+    /// 32-bit arena words (the default, matching the paper).
+    #[default]
+    W32,
+    /// 64-bit arena words.
+    W64,
+}
+
+impl WordWidth {
+    /// Bits per arena word.
+    pub fn bits(self) -> u32 {
+        match self {
+            WordWidth::W32 => 32,
+            WordWidth::W64 => 64,
+        }
+    }
+
+    /// Parses `"32"` / `"64"`.
+    pub fn parse(s: &str) -> Option<WordWidth> {
+        match s {
+            "32" => Some(WordWidth::W32),
+            "64" => Some(WordWidth::W64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WordWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
 /// Error from [`build_simulator`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BuildSimulatorError {
@@ -264,7 +349,8 @@ impl fmt::Display for BuildSimulatorError {
 
 impl std::error::Error for BuildSimulatorError {}
 
-/// Builds any engine as a boxed [`UnitDelaySimulator`].
+/// Builds any engine as a boxed [`UnitDelaySimulator`] with the default
+/// 32-bit arena words.
 ///
 /// # Errors
 ///
@@ -273,35 +359,56 @@ pub fn build_simulator(
     netlist: &Netlist,
     engine: Engine,
 ) -> Result<Box<dyn UnitDelaySimulator>, BuildSimulatorError> {
+    build_simulator_with_word(netlist, engine, WordWidth::default())
+}
+
+/// Builds any engine as a boxed [`UnitDelaySimulator`]. Parallel-family
+/// engines pack their bit-fields into words of the requested width;
+/// other engines ignore it.
+///
+/// # Errors
+///
+/// Returns [`BuildSimulatorError`] for cyclic or sequential netlists.
+pub fn build_simulator_with_word(
+    netlist: &Netlist,
+    engine: Engine,
+    word: WordWidth,
+) -> Result<Box<dyn UnitDelaySimulator>, BuildSimulatorError> {
+    fn parallel<W: Word>(
+        netlist: &Netlist,
+        optimization: Optimization,
+        engine: Engine,
+    ) -> Result<Box<dyn UnitDelaySimulator>, BuildSimulatorError> {
+        Ok(Box::new(
+            ParallelSim::<W>::compile(netlist, optimization).map_err(|e| BuildSimulatorError {
+                engine,
+                reason: e.to_string(),
+            })?,
+        ))
+    }
+
     let err = |reason: String| BuildSimulatorError { engine, reason };
-    Ok(match engine {
+    let optimization = match engine {
         Engine::EventDriven => {
-            Box::new(TracedEventSim::new(netlist).map_err(|e| err(e.to_string()))?)
+            return Ok(Box::new(
+                TracedEventSim::new(netlist).map_err(|e| err(e.to_string()))?,
+            ))
         }
         Engine::PcSet => {
-            Box::new(PcSetSimulator::compile(netlist).map_err(|e| err(e.to_string()))?)
+            return Ok(Box::new(
+                PcSetSimulator::compile(netlist).map_err(|e| err(e.to_string()))?,
+            ))
         }
-        Engine::Parallel => Box::new(
-            ParallelSimulator::compile(netlist, Optimization::None)
-                .map_err(|e| err(e.to_string()))?,
-        ),
-        Engine::ParallelTrimming => Box::new(
-            ParallelSimulator::compile(netlist, Optimization::Trimming)
-                .map_err(|e| err(e.to_string()))?,
-        ),
-        Engine::ParallelPathTracing => Box::new(
-            ParallelSimulator::compile(netlist, Optimization::PathTracing)
-                .map_err(|e| err(e.to_string()))?,
-        ),
-        Engine::ParallelPathTracingTrimming => Box::new(
-            ParallelSimulator::compile(netlist, Optimization::PathTracingTrimming)
-                .map_err(|e| err(e.to_string()))?,
-        ),
-        Engine::ParallelCycleBreaking => Box::new(
-            ParallelSimulator::compile(netlist, Optimization::CycleBreaking)
-                .map_err(|e| err(e.to_string()))?,
-        ),
-    })
+        Engine::Parallel => Optimization::None,
+        Engine::ParallelTrimming => Optimization::Trimming,
+        Engine::ParallelPathTracing => Optimization::PathTracing,
+        Engine::ParallelPathTracingTrimming => Optimization::PathTracingTrimming,
+        Engine::ParallelCycleBreaking => Optimization::CycleBreaking,
+    };
+    match word {
+        WordWidth::W32 => parallel::<u32>(netlist, optimization, engine),
+        WordWidth::W64 => parallel::<u64>(netlist, optimization, engine),
+    }
 }
 
 #[cfg(test)]

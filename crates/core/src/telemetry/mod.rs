@@ -201,6 +201,18 @@ impl Telemetry {
         }
     }
 
+    /// Attaches an already-finished span tree under the currently open
+    /// span (or at the top level when none is open). Lets work timed
+    /// off-thread — batch workers time their shards with plain
+    /// [`Instant`]s — appear in the single-threaded span hierarchy.
+    pub fn attach_span(&self, node: SpanNode) {
+        let mut inner = self.lock();
+        match inner.stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => inner.finished.push(node),
+        }
+    }
+
     /// Adds `delta` to a monotonic counter (created at 0).
     pub fn add(&self, name: impl Into<String>, delta: u64) {
         *self.lock().counters.entry(name.into()).or_insert(0) += delta;

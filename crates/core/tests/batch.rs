@@ -1,0 +1,165 @@
+//! Exactness contract of the batch runner: sharded execution must be
+//! byte-identical to sequential for every engine, shard count, and
+//! word width — including while chaos faults knock engines over
+//! mid-shard. Seeded and dependency-free (stimulus comes from
+//! [`RandomVectors`]).
+
+use uds_core::chaos::{ChaosFactory, Fault, FaultPlan};
+use uds_core::vectors::RandomVectors;
+use uds_core::{run_batch, DefaultEngineFactory, Engine, GuardedSimulator, Telemetry, WordWidth};
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{Netlist, ResourceLimits};
+
+/// A circuit deep enough that 32-bit parallel fields span two words and
+/// retention (each vector starting from the last one's settled state)
+/// actually matters.
+fn circuit() -> Netlist {
+    let mut config = LayeredConfig::new("batch-prop", 220, 40);
+    config.primary_inputs = 8;
+    config.seed = 0xBA7C;
+    config.locality = 0.4;
+    config.xor_fraction = 0.25;
+    layered(&config).unwrap()
+}
+
+fn stimulus(nl: &Netlist, vectors: usize) -> Vec<Vec<bool>> {
+    RandomVectors::new(nl.primary_inputs().len(), 0x5EED_1990)
+        .take(vectors)
+        .collect()
+}
+
+/// Primary-output rows from a plain sequential run of `chain`.
+fn sequential_rows(
+    nl: &Netlist,
+    chain: &[Engine],
+    word: WordWidth,
+    vectors: &[Vec<bool>],
+) -> Vec<Vec<bool>> {
+    let factory = Box::new(DefaultEngineFactory::with_word(word));
+    let mut guard =
+        GuardedSimulator::with_factory(nl, ResourceLimits::production(), chain, factory).unwrap();
+    vectors
+        .iter()
+        .map(|v| {
+            guard.simulate_vector(v).unwrap();
+            nl.primary_outputs()
+                .iter()
+                .map(|&po| guard.final_value(po))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn batch_is_byte_identical_for_every_engine_job_count_and_width() {
+    let nl = circuit();
+    let vectors = stimulus(&nl, 40);
+    for engine in [
+        Engine::ParallelPathTracingTrimming,
+        Engine::Parallel,
+        Engine::PcSet,
+        Engine::EventDriven,
+    ] {
+        let chain = [engine];
+        for word in [WordWidth::W32, WordWidth::W64] {
+            let expected = sequential_rows(&nl, &chain, word, &vectors);
+            for jobs in [1usize, 2, 7] {
+                let factory = Box::new(DefaultEngineFactory::with_word(word));
+                let prototype = GuardedSimulator::with_factory(
+                    &nl,
+                    ResourceLimits::production(),
+                    &chain,
+                    factory,
+                )
+                .unwrap();
+                let out = run_batch(&nl, &prototype, &vectors, jobs, None).unwrap();
+                assert_eq!(
+                    out.rows, expected,
+                    "{engine} diverged at word={word} jobs={jobs}"
+                );
+                assert_eq!(out.shards.len(), jobs.min(vectors.len()));
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_stays_exact_while_chaos_panics_an_engine_in_every_shard() {
+    let nl = circuit();
+    let vectors = stimulus(&nl, 30);
+    // The expected answers come from an unsabotaged sequential run.
+    let expected = sequential_rows(
+        &nl,
+        &GuardedSimulator::DEFAULT_CHAIN,
+        WordWidth::W32,
+        &vectors,
+    );
+    // The lead engine panics at its third vector — in *each* shard,
+    // since fault coordinates are engine-local. Every worker must
+    // degrade independently and still produce the exact rows.
+    let plan = FaultPlan::single(
+        "panic-mid-shard",
+        Fault::RunPanicAt {
+            engine: Engine::ParallelPathTracingTrimming,
+            vector: 2,
+        },
+    );
+    for jobs in [1usize, 2, 7] {
+        let telemetry = Telemetry::new();
+        let prototype = GuardedSimulator::with_factory_telemetry(
+            &nl,
+            ResourceLimits::production(),
+            &GuardedSimulator::DEFAULT_CHAIN,
+            Box::new(ChaosFactory::new(plan.clone())),
+            telemetry.clone(),
+        )
+        .unwrap();
+        let out = run_batch(&nl, &prototype, &vectors, jobs, Some(&telemetry)).unwrap();
+        assert_eq!(out.rows, expected, "jobs={jobs}");
+        for shard in &out.shards {
+            assert!(
+                shard.fallbacks > 0,
+                "jobs={jobs}: shard {} never hit its injected panic",
+                shard.index
+            );
+            assert_ne!(
+                shard.engine,
+                Engine::ParallelPathTracingTrimming,
+                "jobs={jobs}"
+            );
+        }
+        assert_eq!(
+            telemetry.counter("batch.shard_fallbacks"),
+            out.shards.iter().map(|s| s.fallbacks as u64).sum::<u64>()
+        );
+    }
+}
+
+#[test]
+fn forked_guards_inherit_the_prototype_seed() {
+    // Seeding the prototype then batching a *suffix* of the stream must
+    // equal the corresponding suffix of the sequential run — the fork
+    // carries the seed into shard 0, the prepass covers the rest.
+    let nl = circuit();
+    let vectors = stimulus(&nl, 20);
+    let expected = sequential_rows(
+        &nl,
+        &GuardedSimulator::DEFAULT_CHAIN,
+        WordWidth::W32,
+        &vectors,
+    );
+    let settled = uds_eventsim::zero_delay::stable_states(&nl, [vectors[9].as_slice()])
+        .unwrap()
+        .remove(0);
+    let factory = Box::new(DefaultEngineFactory::default());
+    let mut prototype = GuardedSimulator::with_factory(
+        &nl,
+        ResourceLimits::production(),
+        &GuardedSimulator::DEFAULT_CHAIN,
+        factory,
+    )
+    .unwrap();
+    prototype.seed_stable(&settled);
+    let out = run_batch(&nl, &prototype, &vectors[10..], 3, None).unwrap();
+    assert_eq!(out.rows.as_slice(), &expected[10..]);
+}

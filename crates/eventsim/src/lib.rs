@@ -38,3 +38,4 @@ pub mod zero_delay;
 pub use conventional::ConventionalEventDriven;
 pub use logic_family::LogicFamily;
 pub use unit_delay::{EventDrivenUnitDelay, SimStats};
+pub use zero_delay::{ZeroDelayCompileError, ZeroDelayCompiled};

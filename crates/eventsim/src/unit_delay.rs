@@ -108,6 +108,26 @@ impl<L: LogicFamily> EventDrivenUnitDelay<L> {
         self.next.clear();
     }
 
+    /// Overwrites every net's value with `values` (indexed by [`NetId`])
+    /// and discards pending events, as if the circuit had settled in
+    /// exactly that state. The caller is responsible for `values` being
+    /// a consistent (settled) assignment; seeding an unsettled one makes
+    /// the next vector's waveform start from it regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the net count.
+    pub fn seed_values(&mut self, values: &[L]) {
+        assert_eq!(
+            values.len(),
+            self.value.len(),
+            "seed length must match the net count"
+        );
+        self.value.copy_from_slice(values);
+        self.current.clear();
+        self.next.clear();
+    }
+
     /// Simulates one input vector to settlement.
     ///
     /// `inputs` is parallel to [`Netlist::primary_inputs`]. Internal nets

@@ -13,7 +13,50 @@
 //!   (the in-process equivalent of the paper's generated C of Fig. 1) and
 //!   replays that program per vector.
 
+use std::fmt;
+
 use uds_netlist::{levelize, GateKind, LevelizeError, NetId, Netlist};
+
+/// Error returned by [`ZeroDelayCompiled::compile`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ZeroDelayCompileError {
+    /// The netlist cannot be levelized (cycle or flip-flop).
+    Levelize(LevelizeError),
+    /// The netlist's total pin count overflows the `u32` operand pool —
+    /// a structural impossibility for the compiled program, not a
+    /// crash-worthy one.
+    PinCountOverflow {
+        /// The offending pin count.
+        pins: usize,
+    },
+}
+
+impl fmt::Display for ZeroDelayCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZeroDelayCompileError::Levelize(err) => write!(f, "{err}"),
+            ZeroDelayCompileError::PinCountOverflow { pins } => write!(
+                f,
+                "netlist has {pins} pins, more than the compiled operand pool can address"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ZeroDelayCompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ZeroDelayCompileError::Levelize(err) => Some(err),
+            ZeroDelayCompileError::PinCountOverflow { .. } => None,
+        }
+    }
+}
+
+impl From<LevelizeError> for ZeroDelayCompileError {
+    fn from(err: LevelizeError) -> Self {
+        ZeroDelayCompileError::Levelize(err)
+    }
+}
 
 /// A primitive gate model bound through a function-pointer table, as in
 /// table-driven interpreted simulators (see `ConventionalEventDriven`).
@@ -136,14 +179,22 @@ impl ZeroDelayCompiled {
     ///
     /// # Errors
     ///
-    /// Returns [`LevelizeError`] for cyclic or sequential netlists.
-    pub fn compile(netlist: &Netlist) -> Result<Self, LevelizeError> {
+    /// Returns [`ZeroDelayCompileError::Levelize`] for cyclic or
+    /// sequential netlists, and
+    /// [`ZeroDelayCompileError::PinCountOverflow`] when the operand pool
+    /// would exceed `u32` addressing — a typed structural failure, not a
+    /// panic.
+    pub fn compile(netlist: &Netlist) -> Result<Self, ZeroDelayCompileError> {
         let levels = levelize(netlist)?;
         let mut ops = Vec::with_capacity(netlist.gate_count());
         let mut operands = Vec::with_capacity(netlist.pin_count());
         for &gid in &levels.topo_gates {
             let gate = netlist.gate(gid);
-            let first_operand = u32::try_from(operands.len()).expect("pin count fits u32");
+            let first_operand = u32::try_from(operands.len()).map_err(|_| {
+                ZeroDelayCompileError::PinCountOverflow {
+                    pins: netlist.pin_count(),
+                }
+            })?;
             for &input in &gate.inputs {
                 operands.push(input.index() as u32);
             }
@@ -217,10 +268,53 @@ impl ZeroDelayCompiled {
         self.arena[net.index()] & 1 != 0
     }
 
+    /// Snapshot of the current value of every net, indexed by [`NetId`].
+    pub fn values(&self) -> Vec<bool> {
+        self.arena.iter().map(|&v| v & 1 != 0).collect()
+    }
+
     /// Number of straight-line ops in the compiled program (= gate count).
     pub fn op_count(&self) -> usize {
         self.ops.len()
     }
+}
+
+/// The zero-delay settled state of each given input vector: one
+/// `Vec<bool>` per vector, indexed by [`NetId`], primary inputs
+/// included.
+///
+/// For a combinational (levelizable) netlist this is also the
+/// **unit-delay** settled state after simulating that vector — the
+/// levelized fixpoint is unique and history-free, so the state a
+/// unit-delay engine retains between vectors depends only on the last
+/// vector applied. That equivalence is what lets a batched runner cut a
+/// vector stream at arbitrary points: seeding a shard's engine with the
+/// stable state of the vector *before* the cut reproduces the sequential
+/// run bit-for-bit (DESIGN.md's sharding-exactness argument).
+///
+/// # Errors
+///
+/// Returns [`ZeroDelayCompileError`] for netlists the zero-delay
+/// compiler rejects.
+///
+/// # Panics
+///
+/// Panics if a vector's length differs from the primary input count.
+pub fn stable_states<'a, I>(
+    netlist: &Netlist,
+    vectors: I,
+) -> Result<Vec<Vec<bool>>, ZeroDelayCompileError>
+where
+    I: IntoIterator<Item = &'a [bool]>,
+{
+    let mut compiled = ZeroDelayCompiled::compile(netlist)?;
+    Ok(vectors
+        .into_iter()
+        .map(|vector| {
+            compiled.simulate_vector(vector);
+            compiled.values()
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -294,5 +388,52 @@ mod tests {
         let nl = c17();
         let mut compiled = ZeroDelayCompiled::compile(&nl).unwrap();
         compiled.simulate_vector(&[true]);
+    }
+
+    /// The sharding-exactness property [`stable_states`] documents: the
+    /// zero-delay state of a vector equals the unit-delay settled state
+    /// after that vector, *whatever* was simulated before it.
+    #[test]
+    fn stable_states_match_unit_delay_settled_values() {
+        use rand::{Rng, SeedableRng};
+        let nl = Iscas85::C432.build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+        let vectors: Vec<Vec<bool>> = (0..12)
+            .map(|_| (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect())
+            .collect();
+        let states = stable_states(&nl, vectors.iter().map(Vec::as_slice)).unwrap();
+        let mut unit_delay = crate::EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        for (vector, state) in vectors.iter().zip(&states) {
+            unit_delay.simulate_vector(vector);
+            assert_eq!(unit_delay.values(), state.as_slice());
+        }
+    }
+
+    #[test]
+    fn seeded_unit_delay_reproduces_the_sequential_run() {
+        use rand::{Rng, SeedableRng};
+        let nl = c17();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let vectors: Vec<Vec<bool>> = (0..10)
+            .map(|_| (0..5).map(|_| rng.gen()).collect())
+            .collect();
+        // Sequential reference over all 10 vectors.
+        let mut reference = crate::EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        let mut expected = Vec::new();
+        for vector in &vectors {
+            reference.simulate_vector(vector);
+            expected.push(reference.values().to_vec());
+        }
+        // A "shard" starting at vector 6, seeded from vector 5's stable
+        // state, must continue identically.
+        let seed = stable_states(&nl, [vectors[5].as_slice()])
+            .unwrap()
+            .remove(0);
+        let mut shard = crate::EventDrivenUnitDelay::<bool>::new(&nl).unwrap();
+        shard.seed_values(&seed);
+        for (vector, expected) in vectors[6..].iter().zip(&expected[6..]) {
+            shard.simulate_vector(vector);
+            assert_eq!(shard.values(), expected.as_slice());
+        }
     }
 }

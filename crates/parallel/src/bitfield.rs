@@ -1,36 +1,48 @@
 //! Bit-field layout: one field per net, one bit per time unit, packed
-//! into 32-bit words exactly as the paper's implementation does.
+//! into machine words exactly as the paper's implementation does.
 
-/// Bits per machine word. The paper's implementation and its tables
-/// (1/2/4 words per field) are in terms of 32-bit words, so the arena
-/// word type is `u32`.
+use crate::word::Word;
+
+/// Bits per machine word in the paper's own implementation. Its tables
+/// (1/2/4 words per field) are in terms of 32-bit words, so `u32` is the
+/// default arena word type; see [`Word`] for the 64-bit option.
 pub const WORD_BITS: u32 = 32;
 
 /// Placement of one net's bit-field inside the word arena.
 ///
-/// Bit `i` of the field (bit `i % 32` of word `base + i / 32`)
-/// represents the net's value at time `align + i`. In the unoptimized
-/// technique `align` is 0 for every net; shift elimination assigns
-/// differing (possibly negative) alignments.
+/// Bit `i` of the field (bit `i % B` of word `base + i / B`, for a
+/// `B`-bit arena word) represents the net's value at time `align + i`.
+/// In the unoptimized technique `align` is 0 for every net; shift
+/// elimination assigns differing (possibly negative) alignments.
+///
+/// The word size is fixed at construction (`words` is derived from it);
+/// the accessors are generic and must be used with the same word type
+/// the layout was built for.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FieldLayout {
     /// First word of the field in the arena.
     pub base: u32,
     /// Field width in bits (time points covered).
     pub width: u32,
-    /// Words allocated (`ceil(width / 32)`).
+    /// Words allocated (`ceil(width / word_bits)`).
     pub words: u32,
     /// Time represented by bit 0.
     pub align: i32,
 }
 
 impl FieldLayout {
-    /// Creates a layout; `words` is derived from `width`.
+    /// Creates a layout over [`WORD_BITS`]-bit (32-bit) words; `words`
+    /// is derived from `width`.
     pub fn new(base: u32, width: u32, align: i32) -> Self {
+        Self::with_word_bits(base, width, align, WORD_BITS)
+    }
+
+    /// Creates a layout over `word_bits`-bit words.
+    pub fn with_word_bits(base: u32, width: u32, align: i32, word_bits: u32) -> Self {
         FieldLayout {
             base,
             width,
-            words: width.div_ceil(WORD_BITS),
+            words: width.div_ceil(word_bits),
             align,
         }
     }
@@ -49,7 +61,7 @@ impl FieldLayout {
     /// Reads the bit for `time` from the arena, replicating the top bit
     /// for times beyond the field (a net never changes after its level)
     /// and the bottom bit for earlier times (it cannot have changed yet).
-    pub fn read_time(&self, arena: &[u32], time: i64) -> bool {
+    pub fn read_time<W: Word>(&self, arena: &[W], time: i64) -> bool {
         // max(0) before clamp: a degenerate zero-width field must not
         // panic with an inverted clamp range.
         let top = (i64::from(self.width) - 1).max(0);
@@ -58,24 +70,23 @@ impl FieldLayout {
     }
 
     /// The arena index of the word holding field bit `bit`, widened to
-    /// `usize` *before* the add so `base + bit/32` cannot wrap `u32`.
-    fn word_index(&self, bit: u32) -> usize {
-        self.base as usize + (bit / WORD_BITS) as usize
+    /// `usize` *before* the add so the sum cannot wrap `u32`.
+    fn word_index<W: Word>(&self, bit: u32) -> usize {
+        self.base as usize + (bit / W::BITS) as usize
     }
 
     /// Reads field bit `bit` (must be `< width`... clamped to the top
     /// word's valid range by construction).
-    pub fn read_bit(&self, arena: &[u32], bit: u32) -> bool {
+    pub fn read_bit<W: Word>(&self, arena: &[W], bit: u32) -> bool {
         debug_assert!(bit < self.width);
-        let word = arena[self.word_index(bit)];
-        word >> (bit % WORD_BITS) & 1 != 0
+        arena[self.word_index::<W>(bit)].bit(bit % W::BITS)
     }
 
     /// Writes field bit `bit`.
-    pub fn write_bit(&self, arena: &mut [u32], bit: u32, value: bool) {
+    pub fn write_bit<W: Word>(&self, arena: &mut [W], bit: u32, value: bool) {
         debug_assert!(bit < self.width);
-        let word = &mut arena[self.word_index(bit)];
-        let mask = 1u32 << (bit % WORD_BITS);
+        let word = &mut arena[self.word_index::<W>(bit)];
+        let mask = W::ONE << (bit % W::BITS);
         if value {
             *word |= mask;
         } else {
@@ -104,6 +115,13 @@ mod tests {
     }
 
     #[test]
+    fn wider_words_halve_the_count() {
+        assert_eq!(FieldLayout::with_word_bits(0, 33, 0, 64).words, 1);
+        assert_eq!(FieldLayout::with_word_bits(0, 65, 0, 64).words, 2);
+        assert_eq!(FieldLayout::with_word_bits(0, 125, 0, 64).words, 2);
+    }
+
+    #[test]
     fn bit_of_time_respects_alignment() {
         let f = FieldLayout::new(0, 4, -1);
         assert_eq!(f.bit_of_time(-1), Some(0));
@@ -127,6 +145,20 @@ mod tests {
         assert_eq!(arena[2], 1 << 3);
         f.write_bit(&mut arena, 35, false);
         assert!(!f.read_bit(&arena, 35));
+    }
+
+    #[test]
+    fn read_write_bits_in_u64_words() {
+        let f = FieldLayout::with_word_bits(0, 70, 0, 64);
+        assert_eq!(f.words, 2);
+        let mut arena = vec![0u64; 2];
+        f.write_bit(&mut arena, 63, true);
+        f.write_bit(&mut arena, 64, true);
+        assert_eq!(arena[0], 1 << 63);
+        assert_eq!(arena[1], 1);
+        assert!(f.read_bit(&arena, 63));
+        assert!(f.read_bit(&arena, 64));
+        assert!(!f.read_bit(&arena, 65));
     }
 
     #[test]

@@ -13,9 +13,12 @@ use std::fmt::Write as _;
 use uds_netlist::{GateKind, Netlist};
 
 use crate::program::WOp;
-use crate::ParallelSimulator;
+use crate::word::Word;
+use crate::ParallelSim;
 
-/// Emits the compiled program as a C translation unit.
+/// Emits the compiled program as a C translation unit. The `word`
+/// typedef and shift-merge carry counts follow the simulator's word
+/// width (`uint32_t` / `uint64_t`).
 ///
 /// `simulator` must have been compiled from `netlist` (they are matched
 /// by net count only; compiling from a different netlist of equal size
@@ -25,7 +28,7 @@ use crate::ParallelSimulator;
 ///
 /// Panics if the arena implied by `simulator` is smaller than the
 /// netlist requires.
-pub fn emit(netlist: &Netlist, simulator: &ParallelSimulator) -> String {
+pub fn emit<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> String {
     let program = simulator.program();
     // Name every arena word: field words get net-derived names,
     // scratch words get t<k>. Sanitized stems are deduplicated (and the
@@ -67,13 +70,17 @@ pub fn emit(netlist: &Netlist, simulator: &ParallelSimulator) -> String {
         simulator.optimization()
     );
     let _ = writeln!(out, "#include <stdint.h>");
-    let _ = writeln!(out, "typedef uint32_t word;");
+    let _ = writeln!(out, "typedef {} word;", W::C_TYPE);
     // Initializers reproduce the simulator's consistent power-up state
     // (every field filled with the value the circuit settles to under
     // all-zero inputs), so the first vector's retained bits are right.
     let initial = simulator.initial_arena();
     for (slot, name) in names.iter().enumerate() {
-        let value = if initial[slot] != 0 { "~(word)0" } else { "0" };
+        let value = if initial[slot] != W::ZERO {
+            "~(word)0"
+        } else {
+            "0"
+        };
         let _ = writeln!(out, "static word {name} = {value};");
     }
     let _ = writeln!(out);
@@ -107,8 +114,11 @@ pub fn emit(netlist: &Netlist, simulator: &ParallelSimulator) -> String {
             WOp::MergeShl1 { dst, src, carry } => {
                 let _ = writeln!(
                     out,
-                    "    {} |= ({} << 1) | ({} >> 31);",
-                    names[dst as usize], names[src as usize], names[carry as usize]
+                    "    {} |= ({} << 1) | ({} >> {});",
+                    names[dst as usize],
+                    names[src as usize],
+                    names[carry as usize],
+                    W::BITS - 1
                 );
             }
             WOp::BroadcastBit { dst, src, bit } => {
@@ -173,7 +183,7 @@ pub fn emit(netlist: &Netlist, simulator: &ParallelSimulator) -> String {
 }
 
 /// Number of lines [`emit`] produces.
-pub fn line_count(netlist: &Netlist, simulator: &ParallelSimulator) -> usize {
+pub fn line_count<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> usize {
     emit(netlist, simulator).lines().count()
 }
 
@@ -211,7 +221,7 @@ fn sanitize(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Optimization;
+    use crate::{Optimization, ParallelSimulator, ParallelSimulator64};
     use uds_netlist::{GateKind, NetlistBuilder};
 
     fn fig6() -> Netlist {
@@ -290,6 +300,20 @@ mod tests {
         // all-ones so the first vector's retained bit 0 is correct.
         assert!(code.contains("static word y = ~(word)0;"), "{code}");
         assert!(code.contains("static word a = 0;"), "{code}");
+    }
+
+    #[test]
+    fn emitted_word_type_follows_the_width() {
+        let nl = fig6();
+        let sim32 = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let sim64 = ParallelSimulator64::compile(&nl, Optimization::None).unwrap();
+        assert!(emit(&nl, &sim32).contains("typedef uint32_t word;"));
+        let code64 = emit(&nl, &sim64);
+        assert!(code64.contains("typedef uint64_t word;"), "{code64}");
+        assert!(
+            !code64.contains(">> 31"),
+            "carry must use bit 63:\n{code64}"
+        );
     }
 
     #[test]

@@ -19,10 +19,11 @@ use uds_netlist::limits::{checked_add_u64, checked_mul_u64, narrow_u16, narrow_u
 use uds_netlist::{levelize, Netlist, ResourceLimits};
 use uds_pcset::PcSets;
 
-use crate::bitfield::{FieldLayout, WORD_BITS};
+use crate::bitfield::FieldLayout;
 use crate::program::{Program, WOp};
 use crate::simulator::CompileError;
-use crate::trimming::{classify, WordClass};
+use crate::trimming::{classify_words, WordClass};
+use crate::word::Word;
 
 /// Output of the unoptimized compiler.
 pub(crate) struct Compiled {
@@ -33,14 +34,14 @@ pub(crate) struct Compiled {
     pub trimmed_words: usize,
 }
 
-pub(crate) fn compile(
+pub(crate) fn compile<W: Word>(
     netlist: &Netlist,
     trim: bool,
     limits: &ResourceLimits,
 ) -> Result<Compiled, CompileError> {
     let levels = levelize(netlist)?;
     let n = narrow_u32(u64::from(levels.depth) + 1)?;
-    let words = n.div_ceil(WORD_BITS);
+    let words = n.div_ceil(W::BITS);
     limits.check_field_words(words)?;
 
     // Field layout: one uniform field per net, then one scratch field.
@@ -51,10 +52,10 @@ pub(crate) fn compile(
     )?)?;
     let layouts: Vec<FieldLayout> = netlist
         .net_ids()
-        .map(|net| FieldLayout::new(net.index() as u32 * words, n, 0))
+        .map(|net| FieldLayout::with_word_bits(net.index() as u32 * words, n, 0, W::BITS))
         .collect();
     let arena_words = narrow_u32(checked_add_u64(u64::from(scratch), u64::from(words))?)? as usize;
-    limits.check_memory(checked_mul_u64(arena_words as u64, 4)?)?;
+    limits.check_memory(checked_mul_u64(arena_words as u64, u64::from(W::BITS / 8))?)?;
     limits.check_deadline()?;
 
     let pcsets = if trim {
@@ -67,7 +68,7 @@ pub(crate) fn compile(
             .net_ids()
             .map(|net| {
                 let times = sets.net[net].times();
-                classify(&layouts[net], times, times[0])
+                classify_words::<W>(&layouts[net], times, times[0])
             })
             .collect(),
         None => Vec::new(),
@@ -85,8 +86,8 @@ pub(crate) fn compile(
 
     // --- Per-vector initialization -------------------------------------
     let final_bit = n - 1;
-    let final_word_offset = final_bit / WORD_BITS;
-    let final_bit_in_word = (final_bit % WORD_BITS) as u8;
+    let final_word_offset = final_bit / W::BITS;
+    let final_bit_in_word = (final_bit % W::BITS) as u8;
 
     for (index, &pi) in netlist.primary_inputs().iter().enumerate() {
         ops.push(WOp::InputBroadcast {
@@ -106,7 +107,7 @@ pub(crate) fn compile(
         match class_of(net, 0) {
             WordClass::LowConstant => {
                 // Broadcast the previous final value through every
-                // low-constant word (the minlevel is >= 32).
+                // low-constant word (the minlevel is >= the word size).
                 for w in 0..words {
                     if class_of(net, w) == WordClass::LowConstant {
                         ops.push(WOp::BroadcastBit {
@@ -191,7 +192,7 @@ pub(crate) fn compile(
                     ops.push(WOp::BroadcastBit {
                         dst: out_base + w,
                         src: out_base + w - 1,
-                        bit: (WORD_BITS - 1) as u8,
+                        bit: (W::BITS - 1) as u8,
                     });
                 }
                 WordClass::LowConstant => {} // initialization covered it

@@ -22,10 +22,11 @@ use uds_netlist::limits::{checked_add_u64, checked_mul_u64, narrow_u16, narrow_u
 use uds_netlist::{levelize, NetId, Netlist, ResourceLimits};
 use uds_pcset::PcSets;
 
-use crate::bitfield::{FieldLayout, WORD_BITS};
+use crate::bitfield::FieldLayout;
 use crate::program::{Program, WOp};
 use crate::simulator::CompileError;
-use crate::trimming::{classify, WordClass};
+use crate::trimming::{classify_words, WordClass};
+use crate::word::Word;
 use crate::Alignment;
 
 /// Output of the aligned compiler.
@@ -37,7 +38,7 @@ pub(crate) struct CompiledAligned {
     pub trimmed_words: usize,
 }
 
-pub(crate) fn compile(
+pub(crate) fn compile<W: Word>(
     netlist: &Netlist,
     alignment: &Alignment,
     trim: bool,
@@ -51,7 +52,8 @@ pub(crate) fn compile(
     let mut next_word = 0u32;
     for net in netlist.net_ids() {
         let width = alignment.width(&levels, net);
-        let layout = FieldLayout::new(next_word, width, alignment.net_align[net]);
+        let layout =
+            FieldLayout::with_word_bits(next_word, width, alignment.net_align[net], W::BITS);
         limits.check_field_words(layout.words)?;
         next_word = narrow_u32(checked_add_u64(
             u64::from(next_word),
@@ -79,7 +81,7 @@ pub(crate) fn compile(
     // largest gate.
     let max_gate_words = netlist
         .gate_ids()
-        .map(|g| compute_width_of(g).div_ceil(WORD_BITS))
+        .map(|g| compute_width_of(g).div_ceil(W::BITS))
         .max()
         .unwrap_or(1);
     let max_operands = netlist
@@ -104,7 +106,7 @@ pub(crate) fn compile(
     // whole widened copy per gate.
     let mut needs_ext = vec![false; netlist.net_count()];
     for gid in netlist.gate_ids() {
-        let gate_words = compute_width_of(gid).div_ceil(WORD_BITS);
+        let gate_words = compute_width_of(gid).div_ceil(W::BITS);
         for &input in &netlist.gate(gid).inputs {
             if alignment.input_shift(gid, input) == 0 && layouts[input].words < gate_words {
                 needs_ext[input] = true;
@@ -123,8 +125,8 @@ pub(crate) fn compile(
         let final_bit = layout.final_bit();
         WOp::BroadcastBit {
             dst: ext_word[net],
-            src: layout.base + final_bit / WORD_BITS,
-            bit: (final_bit % WORD_BITS) as u8,
+            src: layout.base + final_bit / W::BITS,
+            bit: (final_bit % W::BITS) as u8,
         }
     };
 
@@ -138,7 +140,7 @@ pub(crate) fn compile(
         u64::from(stage_base),
         u64::from(max_gate_words),
     )?)? as usize;
-    limits.check_memory(checked_mul_u64(arena_words as u64, 4)?)?;
+    limits.check_memory(checked_mul_u64(arena_words as u64, u64::from(W::BITS / 8))?)?;
     limits.check_deadline()?;
 
     let pcsets = if trim {
@@ -151,7 +153,7 @@ pub(crate) fn compile(
             .net_ids()
             .map(|net| {
                 let times = sets.net[net].times();
-                classify(&layouts[net], times, times[0])
+                classify_words::<W>(&layouts[net], times, times[0])
             })
             .collect(),
         None => Vec::new(),
@@ -193,8 +195,8 @@ pub(crate) fn compile(
                 if class_of(net, w) == WordClass::LowConstant {
                     ops.push(WOp::BroadcastBit {
                         dst: layout.base + w,
-                        src: layout.base + final_bit / WORD_BITS,
-                        bit: (final_bit % WORD_BITS) as u8,
+                        src: layout.base + final_bit / W::BITS,
+                        bit: (final_bit % W::BITS) as u8,
                     });
                 }
             }
@@ -207,7 +209,7 @@ pub(crate) fn compile(
         let out = gate.output;
         let out_layout = layouts[out];
         let compute_width = compute_width_of(gid);
-        let gate_words = compute_width.div_ceil(WORD_BITS);
+        let gate_words = compute_width.div_ceil(W::BITS);
         let output_shift = alignment.output_shift(netlist, gid);
         if output_shift != 0 {
             retained_shifts += 1;
@@ -303,7 +305,7 @@ pub(crate) fn compile(
                     ops.push(WOp::BroadcastBit {
                         dst: out_layout.base + w,
                         src: out_layout.base + w - 1,
-                        bit: (WORD_BITS - 1) as u8,
+                        bit: (W::BITS - 1) as u8,
                     });
                 }
                 WordClass::LowConstant => {

@@ -58,7 +58,11 @@ mod program;
 mod simulator;
 pub mod trimming;
 pub mod undirected;
+mod word;
 
 pub use alignment::{Alignment, AlignmentStats, ShiftKind};
 pub use bitfield::{FieldLayout, WORD_BITS};
-pub use simulator::{CompileError, Optimization, ParallelSimulator, ProgramStats};
+pub use simulator::{
+    CompileError, Optimization, ParallelSim, ParallelSimulator, ParallelSimulator64, ProgramStats,
+};
+pub use word::Word;

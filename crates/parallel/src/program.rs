@@ -1,17 +1,22 @@
 //! The straight-line word-op program and its executor.
 //!
 //! Compiled parallel-technique simulations lower to a flat list of
-//! fixed-shape operations over a dense `u32` arena. The op inventory
+//! fixed-shape operations over a dense word arena. The op inventory
 //! mirrors the statements the paper's code generator emits — per-word
 //! bit-parallel gate evaluations, one-bit shift-merges (Fig. 6/8),
 //! initialization loads, trimming's broadcast fills (Fig. 9), and the
 //! multi-bit input-alignment shifts of the shift-eliminated compiler
 //! (Fig. 18) — so op counts and execution time track generated-code size
 //! and speed the way the paper's tables do.
+//!
+//! The op encodings bake in the word size the program was compiled for
+//! (word counts, bit positions), so [`Program::run`] must be driven with
+//! the same [`Word`] type the compiler used; [`crate::ParallelSim`]
+//! pairs them by construction.
 
 use uds_netlist::GateKind;
 
-use crate::bitfield::WORD_BITS;
+use crate::word::Word;
 
 /// One word-level operation.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -27,8 +32,8 @@ pub(crate) enum WOp {
     /// `arena[dst] |= arena[src] << 1` — low word of a unit-delay
     /// shift-merge (preserves bit 0, the time-zero value).
     MergeShl1Low { dst: u32, src: u32 },
-    /// `arena[dst] |= (arena[src] << 1) | (arena[carry] >> 31)` — upper
-    /// word of a multi-word shift-merge (Fig. 8).
+    /// `arena[dst] |= (arena[src] << 1) | (arena[carry] >> (B-1))` —
+    /// upper word of a multi-word shift-merge (Fig. 8).
     MergeShl1 { dst: u32, src: u32, carry: u32 },
     /// `arena[dst] = broadcast(bit of arena[src])` — trimming's fills:
     /// low-order constant words and gap words (Fig. 9).
@@ -74,8 +79,9 @@ pub(crate) struct Program {
 }
 
 impl Program {
-    /// Executes one input vector.
-    pub fn run(&self, arena: &mut [u32], inputs: &[bool]) {
+    /// Executes one input vector. `W` must be the word type the program
+    /// was compiled for.
+    pub fn run<W: Word>(&self, arena: &mut [W], inputs: &[bool]) {
         debug_assert_eq!(inputs.len(), self.input_count);
         debug_assert_eq!(arena.len(), self.arena_words);
         for op in &self.ops {
@@ -91,22 +97,23 @@ impl Program {
                     arena[dst as usize] = eval_word(kind, operands, arena);
                 }
                 WOp::MergeShl1Low { dst, src } => {
-                    arena[dst as usize] |= arena[src as usize] << 1;
+                    let merged = arena[src as usize] << 1;
+                    arena[dst as usize] |= merged;
                 }
                 WOp::MergeShl1 { dst, src, carry } => {
-                    arena[dst as usize] |=
-                        (arena[src as usize] << 1) | (arena[carry as usize] >> (WORD_BITS - 1));
+                    let merged =
+                        (arena[src as usize] << 1) | (arena[carry as usize] >> (W::BITS - 1));
+                    arena[dst as usize] |= merged;
                 }
                 WOp::BroadcastBit { dst, src, bit } => {
-                    let value = arena[src as usize] >> bit & 1;
-                    arena[dst as usize] = value.wrapping_neg();
+                    arena[dst as usize] = W::splat(arena[src as usize].bit(u32::from(bit)));
                 }
                 WOp::ExtractBit { dst, src, bit } => {
-                    arena[dst as usize] = arena[src as usize] >> bit & 1;
+                    arena[dst as usize] = (arena[src as usize] >> u32::from(bit)) & W::ONE;
                 }
-                WOp::Zero { dst } => arena[dst as usize] = 0,
+                WOp::Zero { dst } => arena[dst as usize] = W::ZERO,
                 WOp::InputBroadcast { dst, words, index } => {
-                    let fill = (inputs[index as usize] as u32).wrapping_neg();
+                    let fill = W::splat(inputs[index as usize]);
                     for w in 0..words {
                         arena[(dst + u32::from(w)) as usize] = fill;
                     }
@@ -119,18 +126,17 @@ impl Program {
                 } => {
                     // The previous value currently occupies every
                     // non-negative-time bit; bit `neg_bits` is time 0.
-                    let prev_word = arena[(dst + u32::from(neg_bits) / WORD_BITS) as usize];
-                    let prev = (prev_word >> (u32::from(neg_bits) % WORD_BITS) & 1).wrapping_neg();
-                    let new = (inputs[index as usize] as u32).wrapping_neg();
+                    let prev_word = arena[(dst + u32::from(neg_bits) / W::BITS) as usize];
+                    let prev = W::splat(prev_word.bit(u32::from(neg_bits) % W::BITS));
+                    let new = W::splat(inputs[index as usize]);
                     for w in 0..u32::from(words) {
-                        let word_low_bit = w * WORD_BITS;
-                        let word = if u32::from(neg_bits) >= word_low_bit + WORD_BITS {
+                        let word_low_bit = w * W::BITS;
+                        let word = if u32::from(neg_bits) >= word_low_bit + W::BITS {
                             prev
                         } else if u32::from(neg_bits) <= word_low_bit {
                             new
                         } else {
-                            let split = u32::from(neg_bits) - word_low_bit;
-                            let mask = (1u32 << split) - 1;
+                            let mask = W::low_mask(u32::from(neg_bits) - word_low_bit);
                             (prev & mask) | (new & !mask)
                         };
                         arena[(dst + w) as usize] = word;
@@ -148,30 +154,30 @@ impl Program {
     }
 }
 
-fn eval_word(kind: GateKind, operands: &[u32], arena: &[u32]) -> u32 {
+fn eval_word<W: Word>(kind: GateKind, operands: &[u32], arena: &[W]) -> W {
     match kind {
         GateKind::And => operands
             .iter()
-            .fold(!0u32, |acc, &s| acc & arena[s as usize]),
+            .fold(W::ONES, |acc, &s| acc & arena[s as usize]),
         GateKind::Nand => !operands
             .iter()
-            .fold(!0u32, |acc, &s| acc & arena[s as usize]),
+            .fold(W::ONES, |acc, &s| acc & arena[s as usize]),
         GateKind::Or => operands
             .iter()
-            .fold(0u32, |acc, &s| acc | arena[s as usize]),
+            .fold(W::ZERO, |acc, &s| acc | arena[s as usize]),
         GateKind::Nor => !operands
             .iter()
-            .fold(0u32, |acc, &s| acc | arena[s as usize]),
+            .fold(W::ZERO, |acc, &s| acc | arena[s as usize]),
         GateKind::Xor => operands
             .iter()
-            .fold(0u32, |acc, &s| acc ^ arena[s as usize]),
+            .fold(W::ZERO, |acc, &s| acc ^ arena[s as usize]),
         GateKind::Xnor => !operands
             .iter()
-            .fold(0u32, |acc, &s| acc ^ arena[s as usize]),
+            .fold(W::ZERO, |acc, &s| acc ^ arena[s as usize]),
         GateKind::Not => !arena[operands[0] as usize],
         GateKind::Buf => arena[operands[0] as usize],
-        GateKind::Const0 => 0,
-        GateKind::Const1 => !0,
+        GateKind::Const0 => W::ZERO,
+        GateKind::Const1 => W::ONES,
         GateKind::Dff => unreachable!("sequential gates are rejected at compile time"),
     }
 }
@@ -183,25 +189,29 @@ fn eval_word(kind: GateKind, operands: &[u32], arena: &[u32]) -> u32 {
 /// is two shifts and an OR — the same cost as the shift statements the
 /// paper's code generator emits.
 #[inline]
-fn shift_field(arena: &mut [u32], dst: u32, dst_words: u16, src: u32, src_width: u32, shift: i32) {
+fn shift_field<W: Word>(
+    arena: &mut [W],
+    dst: u32,
+    dst_words: u16,
+    src: u32,
+    src_width: u32,
+    shift: i32,
+) {
     debug_assert!(
-        dst + u32::from(dst_words) <= src || src + src_width.div_ceil(WORD_BITS) <= dst,
+        dst + u32::from(dst_words) <= src || src + src_width.div_ceil(W::BITS) <= dst,
         "shift source and destination must not overlap"
     );
     let top_bit = src_width - 1;
-    let top_word_index = top_bit / WORD_BITS;
-    let bottom_fill = (arena[src as usize] & 1).wrapping_neg();
+    let top_word_index = top_bit / W::BITS;
+    let bottom_fill = W::splat(arena[src as usize].bit(0));
     let raw_top = arena[(src + top_word_index) as usize];
-    let top_fill = (raw_top >> (top_bit % WORD_BITS) & 1).wrapping_neg();
-    let valid = top_bit % WORD_BITS + 1;
-    let sanitized_top = if valid < WORD_BITS {
-        let mask = (1u32 << valid) - 1;
-        (raw_top & mask) | (top_fill & !mask)
-    } else {
-        raw_top
-    };
+    let top_fill = W::splat(raw_top.bit(top_bit % W::BITS));
+    // `valid` is in 1..=BITS; at the full-word boundary the mask is all
+    // ones and the top word passes through unchanged.
+    let mask = W::low_mask(top_bit % W::BITS + 1);
+    let sanitized_top = (raw_top & mask) | (top_fill & !mask);
 
-    let word_at = |arena: &[u32], index: i64| -> u32 {
+    let word_at = |arena: &[W], index: i64| -> W {
         if index < 0 {
             bottom_fill
         } else if index as u32 > top_word_index {
@@ -213,9 +223,9 @@ fn shift_field(arena: &mut [u32], dst: u32, dst_words: u16, src: u32, src_width:
         }
     };
 
-    let offset = (-shift).rem_euclid(WORD_BITS as i32) as u32;
-    // start(w) = w*32 - shift = (low_index(w))*32 + offset
-    let base_index = (i64::from(-shift) - i64::from(offset)) / i64::from(WORD_BITS);
+    let offset = (-shift).rem_euclid(W::BITS as i32) as u32;
+    // start(w) = w*B - shift = (low_index(w))*B + offset
+    let base_index = (i64::from(-shift) - i64::from(offset)) / i64::from(W::BITS);
     if offset == 0 {
         for w in 0..i64::from(dst_words) {
             let word = word_at(arena, base_index + w);
@@ -225,7 +235,7 @@ fn shift_field(arena: &mut [u32], dst: u32, dst_words: u16, src: u32, src_width:
         for w in 0..i64::from(dst_words) {
             let lo = word_at(arena, base_index + w);
             let hi = word_at(arena, base_index + w + 1);
-            arena[(dst + w as u32) as usize] = (lo >> offset) | (hi << (WORD_BITS - offset));
+            arena[(dst + w as u32) as usize] = (lo >> offset) | (hi << (W::BITS - offset));
         }
     }
 }
@@ -249,10 +259,31 @@ mod tests {
             arena_words: 4,
             input_count: 0,
         };
-        let mut arena = vec![0x8000_0001, 0b0101, 0, 0];
+        let mut arena = vec![0x8000_0001u32, 0b0101, 0, 0];
         program.run(&mut arena, &[]);
         assert_eq!(arena[2], 0b10);
         assert_eq!(arena[3], 0b1011, "carry bit 31 became bit 0");
+    }
+
+    #[test]
+    fn merge_shl1_carries_across_u64_words() {
+        let program = Program {
+            ops: vec![
+                WOp::MergeShl1Low { dst: 2, src: 0 },
+                WOp::MergeShl1 {
+                    dst: 3,
+                    src: 1,
+                    carry: 0,
+                },
+            ],
+            operands: vec![],
+            arena_words: 4,
+            input_count: 0,
+        };
+        let mut arena = vec![0x8000_0000_0000_0001u64, 0b0101, 0, 0];
+        program.run(&mut arena, &[]);
+        assert_eq!(arena[2], 0b10);
+        assert_eq!(arena[3], 0b1011, "carry bit 63 became bit 0");
     }
 
     #[test]
@@ -274,7 +305,7 @@ mod tests {
             arena_words: 3,
             input_count: 0,
         };
-        let mut arena = vec![1 << 7, 0xDEAD, 0xBEEF];
+        let mut arena = vec![1u32 << 7, 0xDEAD, 0xBEEF];
         program.run(&mut arena, &[]);
         assert_eq!(arena[1], 1);
         assert_eq!(arena[2], !0);
@@ -292,7 +323,7 @@ mod tests {
             arena_words: 2,
             input_count: 1,
         };
-        let mut arena = vec![0, 0];
+        let mut arena = vec![0u32, 0];
         program.run(&mut arena, &[true]);
         assert_eq!(arena, vec![!0u32, !0]);
         program.run(&mut arena, &[false]);
@@ -343,6 +374,26 @@ mod tests {
     }
 
     #[test]
+    fn input_aligned_split_lands_differently_in_u64_words() {
+        // The same 40 negative bits fit inside one 64-bit word: the
+        // split mask is exercised at bit 40 instead of a word boundary.
+        let program = Program {
+            ops: vec![WOp::InputAligned {
+                dst: 0,
+                words: 1,
+                neg_bits: 40,
+                index: 0,
+            }],
+            operands: vec![],
+            arena_words: 1,
+            input_count: 1,
+        };
+        let mut arena = vec![0u64];
+        program.run(&mut arena, &[true]);
+        assert_eq!(arena[0], !0u64 << 40);
+    }
+
+    #[test]
     fn shift_field_right_replicates_top() {
         // src field: width 4 (one word), bits = 0b1010 (t0=0,t1=1,t2=0,t3=1).
         // Right shift by 2 (shift = -2): presented[i] = src[i + 2]:
@@ -359,7 +410,7 @@ mod tests {
             arena_words: 2,
             input_count: 0,
         };
-        let mut arena = vec![0b1010, 0];
+        let mut arena = vec![0b1010u32, 0];
         program.run(&mut arena, &[]);
         assert_eq!(arena[1], !0u32 << 1, "i0=0 then all 1s");
     }
@@ -380,7 +431,7 @@ mod tests {
             arena_words: 2,
             input_count: 0,
         };
-        let mut arena = vec![0b0110, 0];
+        let mut arena = vec![0b0110u32, 0];
         program.run(&mut arena, &[]);
         // presented[i] = src[i-2] clamped: i=0,1 -> src[0]=0; i=2 -> src[0]=0;
         // i=3 -> src[1]=1; i=4 -> src[2]=1; i=5 -> src[3]=0; i>=6 -> src[3]=0.
@@ -402,11 +453,35 @@ mod tests {
             arena_words: 4,
             input_count: 0,
         };
-        let mut arena = vec![0x1234_5678, 0x9A, 0, 0];
+        let mut arena = vec![0x1234_5678u32, 0x9A, 0, 0];
         program.run(&mut arena, &[]);
         assert_eq!(arena[2], 0x9A12_3456);
         // Word 1: bits 40.. replicate top bit (bit 39 of src = 1).
         assert_eq!(arena[3], 0xFFFF_FFFF, "top replication above bit 39");
+    }
+
+    #[test]
+    fn shift_field_with_full_top_word() {
+        // A 32-bit-wide source exercises the `valid == BITS` boundary of
+        // the top-word sanitization mask: `low_mask(32)` must be all
+        // ones, not a shift panic (the consolidated-helper regression).
+        let program = Program {
+            ops: vec![WOp::ShiftField {
+                dst: 1,
+                dst_words: 1,
+                src: 0,
+                src_width: 32,
+                shift: -1,
+            }],
+            operands: vec![],
+            arena_words: 2,
+            input_count: 0,
+        };
+        let mut arena = vec![0x8000_0001u32, 0];
+        program.run(&mut arena, &[]);
+        // presented[i] = src[i+1]: bits 0..=30 of src>>1, bit 31
+        // replicates src bit 31 (= 1).
+        assert_eq!(arena[1], 0xC000_0000);
     }
 
     #[test]

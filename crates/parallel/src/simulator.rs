@@ -9,6 +9,7 @@ use uds_netlist::{
 
 use crate::bitfield::FieldLayout;
 use crate::program::Program;
+use crate::word::Word;
 use crate::{cycle_breaking, path_tracing, Alignment};
 
 /// Which §4 optimizations to apply at compile time.
@@ -76,7 +77,7 @@ impl fmt::Display for Optimization {
     }
 }
 
-/// Error returned by [`ParallelSimulator::compile`].
+/// Error returned by [`ParallelSim::compile`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CompileError {
     /// The netlist cannot be levelized (cycle or flip-flop).
@@ -133,14 +134,19 @@ pub struct ProgramStats {
 
 /// A compiled unit-delay simulator using the parallel technique (§3–§4).
 ///
-/// One call to [`ParallelSimulator::simulate_vector`] computes the whole
+/// One call to [`ParallelSim::simulate_vector`] computes the whole
 /// unit-delay time history of every net for that vector; read it back
-/// with [`ParallelSimulator::history`] or [`ParallelSimulator::value_at`].
+/// with [`ParallelSim::history`] or [`ParallelSim::value_at`].
+///
+/// The word type `W` fixes the arena width: [`u32`] reproduces the
+/// paper's tables, [`u64`] halves the word count of multi-word fields
+/// on 64-bit hosts. [`ParallelSimulator`] / [`ParallelSimulator64`]
+/// name the two instantiations.
 #[derive(Clone, Debug)]
-pub struct ParallelSimulator {
+pub struct ParallelSim<W: Word = u32> {
     program: Program,
-    arena: Vec<u32>,
-    initial_arena: Vec<u32>,
+    arena: Vec<W>,
+    initial_arena: Vec<W>,
     layouts: Vec<FieldLayout>,
     /// Settled value, before the current vector, of the nets whose
     /// history below their alignment cannot be read back from the field
@@ -159,7 +165,14 @@ pub struct ParallelSimulator {
     stats: ProgramStats,
 }
 
-impl ParallelSimulator {
+/// The paper's 32-bit-word instantiation of [`ParallelSim`] — the
+/// default everywhere a width is not explicitly requested.
+pub type ParallelSimulator = ParallelSim<u32>;
+
+/// The 64-bit-word instantiation of [`ParallelSim`].
+pub type ParallelSimulator64 = ParallelSim<u64>;
+
+impl<W: Word> ParallelSim<W> {
     /// Compiles a combinational netlist with the given optimization.
     ///
     /// # Errors
@@ -175,7 +188,7 @@ impl ParallelSimulator {
         )
     }
 
-    /// Like [`ParallelSimulator::compile_with_limits`], but reporting
+    /// Like [`ParallelSim::compile_with_limits`], but reporting
     /// compile phases (levelize, alignment, codegen) and the paper's
     /// static metrics (word ops, words trimmed, shifts retained and
     /// eliminated, field widths) through `probe`. Gauge names are
@@ -189,7 +202,7 @@ impl ParallelSimulator {
         Self::compile_inner(netlist, optimization, false, limits, probe)
     }
 
-    /// Like [`ParallelSimulator::compile`], but enforcing a resource
+    /// Like [`ParallelSim::compile`], but enforcing a resource
     /// budget: depth, gate, input, words-per-field, and estimated-memory
     /// ceilings are checked *before* the corresponding allocations, and
     /// the sizing arithmetic itself is overflow-checked. Violations
@@ -202,8 +215,8 @@ impl ParallelSimulator {
         Self::compile_inner(netlist, optimization, false, limits, &NoopProbe)
     }
 
-    /// Like [`ParallelSimulator::compile`], but keeps every net's history
-    /// fully reconstructible (see [`ParallelSimulator::history`]). Adds a
+    /// Like [`ParallelSim::compile`], but keeps every net's history
+    /// fully reconstructible (see [`ParallelSim::history`]). Adds a
     /// small per-vector cost proportional to the number of nets whose
     /// alignment equals their minlevel; intended for verification
     /// harnesses.
@@ -220,7 +233,7 @@ impl ParallelSimulator {
         )
     }
 
-    /// [`ParallelSimulator::compile_monitoring_all`] under a resource
+    /// [`ParallelSim::compile_monitoring_all`] under a resource
     /// budget — the combination verification harnesses want.
     pub fn compile_monitoring_all_with_limits(
         netlist: &Netlist,
@@ -250,7 +263,8 @@ impl ParallelSimulator {
             match optimization {
                 Optimization::None | Optimization::Trimming => {
                     let _span = ProbeSpan::new(probe, "parallel.codegen");
-                    let compiled = crate::compile::compile(netlist, optimization.trims(), limits)?;
+                    let compiled =
+                        crate::compile::compile::<W>(netlist, optimization.trims(), limits)?;
                     (
                         compiled.program,
                         compiled.layouts,
@@ -266,7 +280,7 @@ impl ParallelSimulator {
                         path_tracing::align(netlist)?
                     };
                     let _span = ProbeSpan::new(probe, "parallel.codegen");
-                    let compiled = crate::compile_aligned::compile(
+                    let compiled = crate::compile_aligned::compile::<W>(
                         netlist,
                         &alignment,
                         optimization.trims(),
@@ -287,7 +301,7 @@ impl ParallelSimulator {
                         cycle_breaking::align(netlist)?
                     };
                     let _span = ProbeSpan::new(probe, "parallel.codegen");
-                    let compiled = crate::compile_aligned::compile(
+                    let compiled = crate::compile_aligned::compile::<W>(
                         netlist,
                         &result.alignment,
                         optimization.trims(),
@@ -339,7 +353,7 @@ impl ParallelSimulator {
         probe.gauge("parallel.levels", u64::from(depth) + 1);
         probe.gauge(
             "parallel.field_words",
-            u64::from((depth + 1).div_ceil(crate::bitfield::WORD_BITS)),
+            u64::from((depth + 1).div_ceil(W::BITS)),
         );
 
         let _power_up_span = ProbeSpan::new(probe, "parallel.power-up");
@@ -352,12 +366,12 @@ impl ParallelSimulator {
             settled[gate.output] = gate.kind.eval_words(&bits) & 1;
         }
         let settled_zero: Vec<bool> = settled.iter().map(|&v| v != 0).collect();
-        let mut initial_arena = vec![0u32; program.arena_words];
+        let mut initial_arena = vec![W::ZERO; program.arena_words];
         for net in netlist.net_ids() {
             if settled_zero[net.index()] {
                 let layout = &layouts[net];
                 for w in 0..layout.words {
-                    initial_arena[(layout.base + w) as usize] = !0;
+                    initial_arena[(layout.base + w) as usize] = W::ONES;
                 }
             }
         }
@@ -400,7 +414,7 @@ impl ParallelSimulator {
             retained_shifts,
             trimmed_words,
         };
-        Ok(ParallelSimulator {
+        Ok(ParallelSim {
             arena: initial_arena.clone(),
             initial_arena,
             layouts,
@@ -419,6 +433,11 @@ impl ParallelSimulator {
     /// Circuit depth; histories cover times `0..=depth()`.
     pub fn depth(&self) -> u32 {
         self.depth
+    }
+
+    /// Bits per arena word this simulator was compiled for.
+    pub fn word_bits(&self) -> u32 {
+        W::BITS
     }
 
     /// The optimization this simulator was compiled with.
@@ -446,7 +465,7 @@ impl ParallelSimulator {
         &self.program
     }
 
-    pub(crate) fn initial_arena(&self) -> &[u32] {
+    pub(crate) fn initial_arena(&self) -> &[W] {
         &self.initial_arena
     }
 
@@ -454,6 +473,35 @@ impl ParallelSimulator {
     pub fn reset(&mut self) {
         self.arena.copy_from_slice(&self.initial_arena);
         self.prev_final.copy_from_slice(&self.settled_zero);
+    }
+
+    /// Overwrites the retained state as if the previous vector had
+    /// settled to `stable` (one value per net, primary inputs included).
+    ///
+    /// Every bit of every field is filled with the net's stable value —
+    /// exactly the shape [`ParallelSim::reset`] produces for the
+    /// all-zero settled state — so the next vector's retained bits
+    /// (initialization extracts, negative-alignment input bits,
+    /// trimming's low-constant broadcasts) read the seeded values.
+    /// Scratch and extension words need no seeding: they are written
+    /// before any read within each vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stable.len()` differs from the net count.
+    pub fn seed_stable(&mut self, stable: &[bool]) {
+        assert_eq!(
+            stable.len(),
+            self.layouts.len(),
+            "seed length must match the net count"
+        );
+        for (layout, &value) in self.layouts.iter().zip(stable) {
+            let fill = W::splat(value);
+            for w in 0..layout.words {
+                self.arena[(layout.base + w) as usize] = fill;
+            }
+        }
+        self.prev_final.copy_from_slice(stable);
     }
 
     /// Simulates one input vector (parallel to the primary inputs),
@@ -485,7 +533,7 @@ impl ParallelSimulator {
     /// the net's level report the final value; times below the field's
     /// alignment report the previous vector's settled value, or `None`
     /// when that value is not reconstructible (the net would need
-    /// monitoring — see [`ParallelSimulator::compile_monitoring_all`]).
+    /// monitoring — see [`ParallelSim::compile_monitoring_all`]).
     pub fn value_at(&self, net: NetId, time: u32) -> Option<bool> {
         let layout = &self.layouts[net];
         if i64::from(time) < i64::from(layout.align) {
@@ -507,7 +555,7 @@ impl ParallelSimulator {
     /// The complete unit-delay history of `net` for the last vector, at
     /// times `0..=depth()`, or `None` when the pre-alignment part is not
     /// reconstructible for this net (monitor it, or compile with
-    /// [`ParallelSimulator::compile_monitoring_all`]).
+    /// [`ParallelSim::compile_monitoring_all`]).
     pub fn history(&self, net: NetId) -> Option<Vec<bool>> {
         (0..=self.depth)
             .map(|t| self.value_at(net, t))
@@ -527,18 +575,17 @@ impl ParallelSimulator {
         for w in 0..layout.words {
             let word = self.arena[(layout.base + w) as usize];
             // Bits of this word that belong to the field.
-            let valid =
-                (layout.width - w * crate::bitfield::WORD_BITS).min(crate::bitfield::WORD_BITS);
+            let valid = (layout.width - w * W::BITS).min(W::BITS);
             // Transitions between adjacent field bits inside the word:
             // bit i differs from bit i+1, for i in 0..valid-1.
-            let internal = (word ^ (word >> 1)) & low_mask(valid.saturating_sub(1));
+            let internal = (word ^ (word >> 1)) & W::low_mask(valid.saturating_sub(1));
             count += internal.count_ones();
             // Plus the boundary transition from the previous word's top
             // field bit to this word's bit 0.
             if let Some(previous_top) = carry_bit {
-                count += u32::from(previous_top != (word & 1 != 0));
+                count += u32::from(previous_top != word.bit(0));
             }
-            carry_bit = Some(word >> (valid - 1) & 1 != 0);
+            carry_bit = Some(word.bit(valid - 1));
         }
         count
     }
@@ -548,15 +595,6 @@ impl ParallelSimulator {
     /// `0…01…1` / `1…10…0` comparison-field criterion.
     pub fn is_hazard_free(&self, net: NetId) -> bool {
         self.field_transition_count(net) <= 1
-    }
-}
-
-/// The `bits` low bits set (`bits` ≤ 31 here: it is a within-word count).
-fn low_mask(bits: u32) -> u32 {
-    if bits >= 32 {
-        !0
-    } else {
-        (1u32 << bits) - 1
     }
 }
 

@@ -16,7 +16,8 @@
 //! Trimming has no effect on single-word fields, exactly as the paper's
 //! Fig. 20 shows (c432–c1355 unchanged).
 
-use crate::bitfield::{FieldLayout, WORD_BITS};
+use crate::bitfield::FieldLayout;
+use crate::word::Word;
 
 /// Classification of one word of a bit-field.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,20 +32,32 @@ pub enum WordClass {
     Active,
 }
 
-/// Classifies every word of a field.
+/// Classifies every word of a 32-bit-word field (the default width).
 ///
 /// `times` is the net's PC-set (ascending), `minlevel` its smallest
 /// element. Bit `i` of the field represents time `layout.align + i`.
+pub fn classify(layout: &FieldLayout, times: &[u32], minlevel: u32) -> Vec<WordClass> {
+    classify_words::<u32>(layout, times, minlevel)
+}
+
+/// Classifies every word of a field packed into `W` words — the word
+/// size must match the one the layout was built for, since it decides
+/// which times share a word (a 64-bit word trims less often but trims
+/// twice as much when it does).
 ///
 /// Invariants (checked by debug assertions): the word containing the
 /// level (the field's top bit) is always active, and no gap ever
 /// precedes the first active word — below the minlevel everything is
 /// low-constant.
-pub fn classify(layout: &FieldLayout, times: &[u32], minlevel: u32) -> Vec<WordClass> {
+pub fn classify_words<W: Word>(
+    layout: &FieldLayout,
+    times: &[u32],
+    minlevel: u32,
+) -> Vec<WordClass> {
     let mut classes = Vec::with_capacity(layout.words as usize);
     for w in 0..layout.words {
-        let first_time = i64::from(layout.align) + i64::from(w) * i64::from(WORD_BITS);
-        let last_time = (first_time + i64::from(WORD_BITS) - 1)
+        let first_time = i64::from(layout.align) + i64::from(w) * i64::from(W::BITS);
+        let last_time = (first_time + i64::from(W::BITS) - 1)
             .min(i64::from(layout.align) + i64::from(layout.width) - 1);
         if last_time < i64::from(minlevel) {
             classes.push(WordClass::LowConstant);
@@ -140,6 +153,20 @@ mod tests {
         let classes0 = classify(&layout0, &[70, 120], 70);
         assert_eq!(classes0[0], WordClass::LowConstant);
         assert_eq!(classes0[1], WordClass::LowConstant);
+    }
+
+    #[test]
+    fn wider_words_merge_classes() {
+        // minlevel 70, level 130 over 64-bit words: word 0 (times
+        // 0..=63) is all below the minlevel, words 1 and 2 are active —
+        // the u32 classification's two low-constant words collapse into
+        // one twice-as-wide skip.
+        let layout = FieldLayout::with_word_bits(0, 131, 0, 64);
+        let classes = classify_words::<u64>(&layout, &[70, 100, 130], 70);
+        assert_eq!(
+            classes,
+            vec![WordClass::LowConstant, WordClass::Active, WordClass::Active]
+        );
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Word-boundary regression: circuits whose depth straddles the arena
+//! word size (31/32/33 levels for `u32`, 63/64/65 for `u64`) exercise
+//! every full-word corner of the low-mask helper — field widths equal to
+//! the word size, shift-merge carries into a fresh word, and top-word
+//! sanitization masks covering the whole word. Both word widths must
+//! reproduce the event-driven unit-delay waveforms exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uds_eventsim::EventDrivenUnitDelay;
+use uds_netlist::generators::random::{layered, LayeredConfig};
+use uds_netlist::{levelize, Netlist};
+use uds_parallel::{Optimization, ParallelSim, Word};
+
+fn crosscheck<W: Word>(nl: &Netlist, optimization: Optimization, vectors: usize, seed: u64) {
+    let depth = levelize(nl).unwrap().depth;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut compiled = ParallelSim::<W>::compile_monitoring_all(nl, optimization).unwrap();
+    let mut reference = EventDrivenUnitDelay::<bool>::new(nl).unwrap();
+
+    for vector_index in 0..vectors {
+        let inputs: Vec<bool> = (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect();
+
+        let mut waveform: Vec<Vec<bool>> = reference
+            .values()
+            .iter()
+            .map(|&v| vec![v; depth as usize + 1])
+            .collect();
+        reference.simulate_vector_traced(&inputs, |t, net, v| {
+            for slot in &mut waveform[net.index()][t as usize..] {
+                *slot = v;
+            }
+        });
+
+        compiled.simulate_vector(&inputs);
+
+        for net in nl.net_ids() {
+            assert_eq!(
+                compiled.history(net).expect("monitoring all nets"),
+                waveform[net.index()],
+                "{optimization} ({} -bit words): history of {} ({net}) diverged on vector \
+                 {vector_index}",
+                W::BITS,
+                nl.net_name(net)
+            );
+        }
+    }
+}
+
+fn boundary_circuit(depth: u32) -> Netlist {
+    let mut config = LayeredConfig::new(format!("boundary{depth}"), 170, depth);
+    config.primary_inputs = 6;
+    config.seed = u64::from(depth);
+    config.locality = 0.4;
+    config.xor_fraction = 0.25;
+    let nl = layered(&config).unwrap();
+    assert_eq!(
+        levelize(&nl).unwrap().depth,
+        depth,
+        "generator hit the target depth"
+    );
+    nl
+}
+
+/// Depths 31/32/33: one-word fields, exactly-full fields, and the first
+/// two-word fields for 32-bit words (all still one word for 64-bit).
+#[test]
+fn u32_word_boundary_depths() {
+    for depth in [31, 32, 33] {
+        let nl = boundary_circuit(depth);
+        for optimization in Optimization::ALL {
+            crosscheck::<u32>(&nl, optimization, 6, u64::from(depth));
+            crosscheck::<u64>(&nl, optimization, 6, u64::from(depth));
+        }
+    }
+}
+
+/// Depths 63/64/65: the same boundary for 64-bit words (and 2/3-word
+/// fields for 32-bit ones).
+#[test]
+fn u64_word_boundary_depths() {
+    for depth in [63, 64, 65] {
+        let nl = boundary_circuit(depth);
+        for optimization in Optimization::ALL {
+            crosscheck::<u32>(&nl, optimization, 4, u64::from(depth));
+            crosscheck::<u64>(&nl, optimization, 4, u64::from(depth));
+        }
+    }
+}
+
+/// The two widths also agree with each other bit-for-bit on every final
+/// value, across a longer vector stream with retention in play.
+#[test]
+fn widths_agree_on_retained_streams() {
+    let nl = boundary_circuit(33);
+    let mut sim32 = ParallelSim::<u32>::compile(&nl, Optimization::PathTracingTrimming).unwrap();
+    let mut sim64 = ParallelSim::<u64>::compile(&nl, Optimization::PathTracingTrimming).unwrap();
+    assert_eq!(sim32.word_bits(), 32);
+    assert_eq!(sim64.word_bits(), 64);
+    let mut rng = StdRng::seed_from_u64(0x3364);
+    for _ in 0..50 {
+        let inputs: Vec<bool> = (0..nl.primary_inputs().len()).map(|_| rng.gen()).collect();
+        sim32.simulate_vector(&inputs);
+        sim64.simulate_vector(&inputs);
+        for net in nl.net_ids() {
+            assert_eq!(sim32.final_value(net), sim64.final_value(net), "{net}");
+        }
+    }
+}

@@ -311,6 +311,30 @@ impl PcSetSimulator {
         self.arena.copy_from_slice(&self.initial_arena);
     }
 
+    /// Replaces the power-up state with an arbitrary stable state
+    /// (`stable` is parallel to the netlist's nets), so a simulation can
+    /// resume mid-stream as if every earlier vector had been applied.
+    /// Only the retained final bits influence later vectors, but every
+    /// slot is filled for consistency with [`Self::reset`]'s invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stable.len()` differs from the net count.
+    pub fn seed_stable(&mut self, stable: &[bool]) {
+        assert_eq!(
+            stable.len(),
+            self.net_times.len(),
+            "seed length must match the net count"
+        );
+        for (net, &value) in stable.iter().enumerate() {
+            let base = self.net_base[net] as usize;
+            let fill = if value { !0u64 } else { 0 };
+            for slot in &mut self.arena[base..base + self.net_times[net].len()] {
+                *slot = fill;
+            }
+        }
+    }
+
     /// Simulates one input vector (all 64 streams carry the same bits).
     ///
     /// `inputs` is parallel to the netlist's primary inputs.

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]
-//!                           [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]
+//!                           [--jobs N] [--word 32|64] [--fallback] [--budget SPEC]
+//!                           [--crosscheck] [--stats OUT.json]
 //! udsim stats    FILE.bench
 //! udsim codegen  FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]
 //!                           [--stats OUT.json]
@@ -22,6 +23,14 @@
 //! (`parallel+pt+trim → parallel → pc-set → event-driven`) instead of
 //! failing; `--crosscheck` verifies the surviving engine against a
 //! fresh event-driven baseline after the run.
+//!
+//! `--jobs N` shards the vector stream across N worker threads, each
+//! owning its own engine; a zero-delay prepass seeds every shard so the
+//! printed rows are byte-identical to a sequential run for any N. With
+//! `--jobs`, `--crosscheck` re-runs the stream sequentially and
+//! verifies the batch output against it (`--vcd` needs the sequential
+//! waveform and cannot be combined with `--jobs`). `--word 64` packs
+//! the parallel engines' bit-fields into 64-bit words instead of 32.
 //!
 //! `--stats OUT.json` writes the telemetry report (span tree, runtime
 //! counters, and the paper's static compile metrics; schema
@@ -45,7 +54,8 @@ use std::time::{Duration, Instant};
 use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
 use unit_delay_sim::core::{
-    build_engine_with_limits_probed, Engine, FailureClass, GuardedSimulator, SimError, Telemetry,
+    build_engine_with_limits_probed_word, run_batch, DefaultEngineFactory, Engine, FailureClass,
+    GuardedSimulator, SimError, Telemetry, WordWidth,
 };
 use unit_delay_sim::netlist::stats::CircuitStats;
 use unit_delay_sim::netlist::{Probe, ResourceLimits};
@@ -131,7 +141,7 @@ fn run() -> Result<(), CliError> {
 
 fn usage() -> String {
     "usage:\n  udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]\n                  \
-     [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]\n  \
+     [--jobs N] [--word 32|64] [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]\n  \
      udsim stats FILE.bench\n  \
      udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n                 \
      [--stats OUT.json]\n  \
@@ -247,12 +257,29 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     let mut stats_path: Option<String> = None;
     let mut fallback = false;
     let mut crosscheck = false;
+    let mut jobs: Option<usize> = None;
+    let mut word = WordWidth::default();
     let mut limits = ResourceLimits::unlimited();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--engine" => {
                 engine = Some(parse_engine(iter.next().ok_or("--engine needs a value")?)?)
+            }
+            "--jobs" => {
+                let value = iter.next().ok_or("--jobs needs a worker count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--jobs: {e}")))?;
+                if parsed == 0 {
+                    return Err(CliError::usage("--jobs: worker count must be at least 1"));
+                }
+                jobs = Some(parsed);
+            }
+            "--word" => {
+                let value = iter.next().ok_or("--word needs a width (32 or 64)")?;
+                word = WordWidth::parse(value)
+                    .ok_or_else(|| CliError::usage(format!("--word: `{value}` is not 32 or 64")))?;
             }
             "--vectors" => {
                 vectors = iter
@@ -301,12 +328,35 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         .take(vectors)
         .collect();
 
-    if fallback {
+    if let Some(jobs) = jobs {
+        if vcd_path.is_some() {
+            return Err(CliError::usage(
+                "--vcd needs the sequential waveform and cannot be combined with --jobs",
+            ));
+        }
+        let chain = if fallback {
+            fallback_chain(engine)
+        } else {
+            vec![engine.unwrap_or(Engine::ParallelPathTracingTrimming)]
+        };
+        simulate_batch(
+            &nl,
+            limits,
+            &chain,
+            word,
+            &stimulus,
+            jobs,
+            crosscheck,
+            telemetry.as_ref(),
+            &human,
+        )?;
+    } else if fallback {
         let chain = fallback_chain(engine);
         simulate_guarded(
             &nl,
             limits,
             &chain,
+            word,
             &stimulus,
             vcd_path,
             crosscheck,
@@ -315,13 +365,16 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         )?;
     } else {
         if crosscheck {
-            return Err(CliError::usage("--crosscheck requires --fallback"));
+            return Err(CliError::usage(
+                "--crosscheck requires --fallback or --jobs",
+            ));
         }
         let engine = engine.unwrap_or(Engine::ParallelPathTracingTrimming);
         simulate_single(
             &nl,
             engine,
             &limits,
+            word,
             &stimulus,
             vcd_path,
             telemetry.as_ref(),
@@ -441,6 +494,7 @@ fn simulate_single(
     nl: &Netlist,
     engine: Engine,
     limits: &ResourceLimits,
+    word: WordWidth,
     stimulus: &[Vec<bool>],
     vcd_path: Option<String>,
     telemetry: Option<&Telemetry>,
@@ -450,7 +504,7 @@ fn simulate_single(
     let probe: &dyn Probe = telemetry.map_or(&noop, |t| t as &dyn Probe);
     let mut sim = {
         let _span = telemetry.map(|t| t.span("compile"));
-        build_engine_with_limits_probed(nl, engine, limits, probe)
+        build_engine_with_limits_probed_word(nl, engine, limits, probe, word)
             .map_err(|e| CliError::from(e.with_circuit(nl.name())))?
     };
     if let Some(t) = telemetry {
@@ -491,6 +545,7 @@ fn simulate_guarded(
     nl: &Netlist,
     limits: ResourceLimits,
     chain: &[Engine],
+    word: WordWidth,
     stimulus: &[Vec<bool>],
     vcd_path: Option<String>,
     crosscheck: bool,
@@ -499,9 +554,12 @@ fn simulate_guarded(
 ) -> Result<(), CliError> {
     let mut guarded = {
         let _span = telemetry.map(|t| t.span("compile"));
+        let factory = Box::new(DefaultEngineFactory::with_word(word));
         match telemetry {
-            Some(t) => GuardedSimulator::with_chain_telemetry(nl, limits, chain, t.clone()),
-            None => GuardedSimulator::with_chain(nl, limits, chain),
+            Some(t) => {
+                GuardedSimulator::with_factory_telemetry(nl, limits, chain, factory, t.clone())
+            }
+            None => GuardedSimulator::with_factory(nl, limits, chain, factory),
         }
         .map_err(|e| CliError::from(e.with_circuit(nl.name())))?
     };
@@ -564,6 +622,95 @@ fn simulate_guarded(
         }
     );
     write_vcd(vcd_path, recorder)
+}
+
+/// `--jobs N`: shards the stream across worker threads (each owning a
+/// fork of a guarded engine, seeded by the zero-delay prepass) and
+/// prints the assembled rows — byte-identical to the sequential paths
+/// above for any N. With `--crosscheck`, re-runs sequentially and
+/// verifies the batch output row by row.
+#[allow(clippy::too_many_arguments)]
+fn simulate_batch(
+    nl: &Netlist,
+    limits: ResourceLimits,
+    chain: &[Engine],
+    word: WordWidth,
+    stimulus: &[Vec<bool>],
+    jobs: usize,
+    crosscheck: bool,
+    telemetry: Option<&Telemetry>,
+    human: &HumanOut,
+) -> Result<(), CliError> {
+    let attach = |e: SimError| CliError::from(e.with_circuit(nl.name()));
+    let prototype = {
+        let _span = telemetry.map(|t| t.span("compile"));
+        let factory = Box::new(DefaultEngineFactory::with_word(word));
+        match telemetry {
+            Some(t) => {
+                GuardedSimulator::with_factory_telemetry(nl, limits, chain, factory, t.clone())
+            }
+            None => GuardedSimulator::with_factory(nl, limits, chain, factory),
+        }
+        .map_err(attach)?
+    };
+    if let Some(t) = telemetry {
+        t.label("engine", prototype.active_engine().to_string());
+        t.label("jobs", jobs.to_string());
+    }
+    report_new_fallbacks(&prototype, 0);
+    print_header(nl, prototype.active_engine(), human);
+    let out = {
+        let _span = telemetry.map(|t| t.span("simulate"));
+        run_batch(nl, &prototype, stimulus, jobs, telemetry).map_err(attach)?
+    };
+    if let Some(t) = telemetry {
+        t.add("run.vectors", out.rows.len() as u64);
+    }
+    for (index, (vector, row)) in stimulus.iter().zip(&out.rows).enumerate() {
+        print_row(nl, index, vector, human, |_| {
+            row.iter().map(|&b| char::from(b'0' + b as u8)).collect()
+        });
+    }
+    for shard in &out.shards {
+        eprintln!(
+            "shard {}: vectors {}..{} on {} ({} fallback{}, {:.1} ms)",
+            shard.index,
+            shard.start,
+            shard.start + shard.vectors,
+            shard.engine,
+            shard.fallbacks,
+            if shard.fallbacks == 1 { "" } else { "s" },
+            shard.wall_ns as f64 / 1e6
+        );
+    }
+    if crosscheck {
+        let _span = telemetry.map(|t| t.span("crosscheck"));
+        let factory = Box::new(DefaultEngineFactory::with_word(word));
+        let mut reference =
+            GuardedSimulator::with_factory(nl, limits, chain, factory).map_err(attach)?;
+        for (index, vector) in stimulus.iter().enumerate() {
+            reference.simulate_vector(vector).map_err(attach)?;
+            let row: Vec<bool> = nl
+                .primary_outputs()
+                .iter()
+                .map(|&po| reference.final_value(po))
+                .collect();
+            if row != out.rows[index] {
+                return Err(CliError::class(
+                    format!(
+                        "batch output diverges from the sequential run at vector {index} \
+                         (--jobs {jobs})"
+                    ),
+                    FailureClass::Mismatch,
+                ));
+            }
+        }
+        eprintln!(
+            "cross-check: batch (--jobs {jobs}) matches the sequential run over {} vectors",
+            stimulus.len()
+        );
+    }
+    Ok(())
 }
 
 /// Reports fallbacks fired since `seen` to stderr; returns the new count.

@@ -192,6 +192,93 @@ fn budget_spec_accepts_production_and_suffixed_memory() {
 }
 
 #[test]
+fn unwritable_stats_path_exits_with_usage_code() {
+    let path = fixture("ok8.bench", C17);
+    let out = udsim(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--vectors",
+        "1",
+        "--stats",
+        "/nonexistent-dir-for-udsim-test/out.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("out.json"), "should name the path: {err}");
+}
+
+#[test]
+fn batch_output_is_byte_identical_to_sequential() {
+    let path = fixture("batch.bench", C17);
+    let sequential = udsim(&["simulate", path.to_str().unwrap(), "--vectors", "20"]);
+    assert_eq!(sequential.status.code(), Some(0), "{}", stderr(&sequential));
+    let batched = udsim(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--vectors",
+        "20",
+        "--jobs",
+        "3",
+    ]);
+    assert_eq!(batched.status.code(), Some(0), "{}", stderr(&batched));
+    assert_eq!(
+        sequential.stdout, batched.stdout,
+        "--jobs 3 must not change a single output byte"
+    );
+    assert!(stderr(&batched).contains("shard"), "{}", stderr(&batched));
+}
+
+#[test]
+fn batch_crosscheck_passes_and_reports() {
+    let path = fixture("batch2.bench", C17);
+    let out = udsim(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--vectors",
+        "16",
+        "--jobs",
+        "2",
+        "--crosscheck",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("cross-check"), "{err}");
+    assert!(err.contains("matches the sequential run"), "{err}");
+}
+
+#[test]
+fn batch_with_vcd_is_a_usage_error() {
+    let path = fixture("batch3.bench", C17);
+    let vcd = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("batch3.vcd");
+    let out = udsim(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--vcd",
+        vcd.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--vcd"), "{}", stderr(&out));
+}
+
+#[test]
+fn zero_jobs_is_a_usage_error() {
+    let path = fixture("batch4.bench", C17);
+    let out = udsim(&["simulate", path.to_str().unwrap(), "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_word_width_is_a_usage_error() {
+    let path = fixture("batch5.bench", C17);
+    let out = udsim(&["simulate", path.to_str().unwrap(), "--word", "48"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("48"), "{err}");
+}
+
+#[test]
 fn engines_subcommand_lists_every_engine() {
     let out = udsim(&["engines"]);
     assert_eq!(out.status.code(), Some(0));
