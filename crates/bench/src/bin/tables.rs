@@ -4,19 +4,25 @@
 //! cargo run --release -p uds-bench --bin tables -- all
 //! cargo run --release -p uds-bench --bin tables -- fig19 --vectors 5000
 //! cargo run --release -p uds-bench --bin tables -- fig21 --json
+//! cargo run --release -p uds-bench --bin tables -- fig19 --quick --json - | jq .
 //! ```
 //!
 //! Subcommands: `fig19`, `fig20`, `fig21`, `fig22`, `fig23`, `fig24`,
 //! `zero-delay`, `codesize`, `parallel`, `all`. Options: `--vectors N`
 //! (default 5000, as in the paper), `--quick` (500 vectors), and
 //! `--json` (additionally write each table as `BENCH_<name>.json` in
-//! the current directory, schema `uds-bench-v1`). `parallel` is the
-//! multi-core scaling sweep: the batch runner at jobs = 1/2/4/8 against
-//! the single-thread parallel+pt+trim baseline.
+//! the current directory, schema `uds-bench-v1`). `--json -` streams
+//! the JSON documents to stdout instead — the rendered tables then move
+//! to stderr, the same stdout contract as `udsim --stats -`. `parallel`
+//! is the multi-core scaling sweep: the batch runner at jobs = 1/2/4/8
+//! against the single-thread parallel+pt+trim baseline.
 //!
 //! Timed cells show the minimum of [`runner::TIMING_REPS`] repetitions
 //! after a warmup pass (the JSON carries min and median); static
-//! columns come from the compilers' telemetry gauges.
+//! columns come from the compilers' telemetry gauges. Fig. 19 carries
+//! the measured activity factor (toggles / (nets × depth × vectors)) —
+//! the event-driven baseline's work scales with it, the compiled
+//! techniques' does not, so it contextualizes each circuit's speedup.
 
 use std::env;
 
@@ -24,15 +30,62 @@ use uds_bench::paper;
 use uds_bench::runner::{self, suite, Timing};
 use uds_bench::table::{ratio, seconds, Table};
 use uds_core::telemetry::json::Json;
+use uds_core::{write_text, HumanOut, StreamContract};
 use uds_netlist::generators::iscas::Iscas85;
 use uds_parallel::Optimization;
+
+/// Where `--json` documents go.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JsonDest {
+    /// `BENCH_<name>.json` files in the current directory.
+    Files,
+    /// Streamed to stdout (`--json -`); tables move to stderr.
+    Stdout,
+}
+
+/// This invocation's output routing: rendered tables through the shared
+/// human sink, JSON documents to files or stdout.
+struct Output {
+    human: HumanOut,
+    json: Option<JsonDest>,
+}
+
+impl Output {
+    /// Prints one table line through the stdout contract.
+    fn line(&self, text: impl std::fmt::Display) {
+        self.human.line(text);
+    }
+
+    /// Emits a figure's rows as one `uds-bench-v1` document, when
+    /// `--json` was given.
+    fn write_json(&self, name: &str, vectors: Option<usize>, rows: Vec<Json>) {
+        let Some(dest) = self.json else { return };
+        let mut doc = vec![
+            ("schema".to_owned(), Json::Str("uds-bench-v1".to_owned())),
+            ("figure".to_owned(), Json::Str(name.to_owned())),
+        ];
+        if let Some(vectors) = vectors {
+            doc.push(("vectors".to_owned(), Json::UInt(vectors as u64)));
+        }
+        doc.push(("rows".to_owned(), Json::Arr(rows)));
+        let mut rendered = Json::Obj(doc).render();
+        rendered.push('\n');
+        let path = match dest {
+            JsonDest::Stdout => "-".to_owned(),
+            JsonDest::Files => format!("BENCH_{name}.json"),
+        };
+        if let Err(e) = write_text(&path, &rendered) {
+            eprintln!("error: writing {path}: {e}");
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut vectors = 5000usize;
     let mut command = String::from("all");
-    let mut json = false;
-    let mut iter = args.iter();
+    let mut json: Option<JsonDest> = None;
+    let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--vectors" => {
@@ -42,33 +95,53 @@ fn main() {
                     .unwrap_or_else(|| usage("--vectors needs a number"));
             }
             "--quick" => vectors = 500,
-            "--json" => json = true,
+            "--json" => {
+                // `--json -` streams to stdout; bare `--json` keeps the
+                // historical per-figure files.
+                json = Some(if iter.peek().map(|a| a.as_str()) == Some("-") {
+                    iter.next();
+                    JsonDest::Stdout
+                } else {
+                    JsonDest::Files
+                });
+            }
             "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "zero-delay"
             | "codesize" | "parallel" | "all" => command = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
 
+    // The same stdout contract as udsim's stream flags: `--json -`
+    // claims stdout and the rendered tables move to stderr.
+    let mut contract = StreamContract::new();
+    if json == Some(JsonDest::Stdout) {
+        contract.claim("--json", "-").unwrap_or_else(|e| usage(&e));
+    }
+    let out = Output {
+        human: contract.human(),
+        json,
+    };
+
     match command.as_str() {
-        "fig19" => fig19(vectors, json),
-        "fig20" => fig20(vectors, json),
-        "fig21" => fig21(json),
-        "fig22" => fig22(json),
-        "fig23" => fig23(vectors, json),
-        "fig24" => fig24(vectors, json),
-        "zero-delay" => zero_delay(vectors, json),
-        "codesize" => codesize(json),
-        "parallel" => parallel_scaling(vectors, json),
+        "fig19" => fig19(vectors, &out),
+        "fig20" => fig20(vectors, &out),
+        "fig21" => fig21(&out),
+        "fig22" => fig22(&out),
+        "fig23" => fig23(vectors, &out),
+        "fig24" => fig24(vectors, &out),
+        "zero-delay" => zero_delay(vectors, &out),
+        "codesize" => codesize(&out),
+        "parallel" => parallel_scaling(vectors, &out),
         "all" => {
-            fig19(vectors, json);
-            zero_delay(vectors, json);
-            fig20(vectors, json);
-            fig21(json);
-            fig22(json);
-            fig23(vectors, json);
-            fig24(vectors, json);
-            codesize(json);
-            parallel_scaling(vectors, json);
+            fig19(vectors, &out);
+            zero_delay(vectors, &out);
+            fig20(vectors, &out);
+            fig21(&out);
+            fig22(&out);
+            fig23(vectors, &out);
+            fig24(vectors, &out);
+            codesize(&out);
+            parallel_scaling(vectors, &out);
         }
         _ => unreachable!("validated above"),
     }
@@ -78,7 +151,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|all] \
-         [--vectors N | --quick] [--json]"
+         [--vectors N | --quick] [--json [-]]"
     );
     std::process::exit(2);
 }
@@ -96,30 +169,16 @@ fn timing_json(timing: Timing) -> Json {
     ])
 }
 
-/// Writes a figure's rows as `BENCH_<name>.json` in the current
-/// directory.
-fn write_json(name: &str, vectors: Option<usize>, rows: Vec<Json>) {
-    let mut doc = vec![
-        ("schema".to_owned(), Json::Str("uds-bench-v1".to_owned())),
-        ("figure".to_owned(), Json::Str(name.to_owned())),
-    ];
-    if let Some(vectors) = vectors {
-        doc.push(("vectors".to_owned(), Json::UInt(vectors as u64)));
-    }
-    doc.push(("rows".to_owned(), Json::Arr(rows)));
-    let path = format!("BENCH_{name}.json");
-    let mut rendered = Json::Obj(doc).render();
-    rendered.push('\n');
-    match std::fs::write(&path, rendered) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("error: writing {path}: {e}"),
-    }
-}
-
-fn fig19(vectors: usize, json: bool) {
-    println!("\n== Fig. 19: simulation time, {vectors} random vectors (measured s | paper s) ==");
+fn fig19(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== Fig. 19: simulation time, {vectors} random vectors (measured s | paper s) =="
+    ));
+    out.line(
+        "== activity = measured toggles/(nets*depth*vectors); event-driven work scales with it ==",
+    );
     let mut table = Table::new(&[
         "circuit",
+        "activity",
         "interp-3v",
         "interp-2v",
         "pc-set",
@@ -133,11 +192,13 @@ fn fig19(vectors: usize, json: bool) {
     let (mut pc_total, mut par_total) = (0.0, 0.0);
     for (circuit, nl) in suite() {
         let m = runner::fig19(&nl, vectors);
+        let activity = runner::activity_factor(&nl, vectors);
         let p = paper::fig19(circuit);
         pc_total += m.interpreted_3v.min_s / m.pc_set.min_s.max(1e-9);
         par_total += m.interpreted_3v.min_s / m.parallel.min_s.max(1e-9);
         table.row(vec![
             circuit.to_string(),
+            format!("{activity:.4}"),
             best(m.interpreted_3v),
             best(m.interpreted_2v),
             best(m.pc_set),
@@ -149,6 +210,7 @@ fn fig19(vectors: usize, json: bool) {
         ]);
         rows.push(Json::obj([
             ("circuit", Json::Str(circuit.to_string())),
+            ("activity_factor", Json::Float(activity)),
             ("interpreted_3v", timing_json(m.interpreted_3v)),
             ("interpreted_2v", timing_json(m.interpreted_2v)),
             ("pc_set", timing_json(m.pc_set)),
@@ -158,22 +220,22 @@ fn fig19(vectors: usize, json: bool) {
             ("paper_parallel_s", Json::Float(p.parallel)),
         ]));
     }
-    println!("{}", Table::render(&table));
-    println!(
+    out.line(Table::render(&table));
+    out.line(format!(
         "average speedup vs interpreted 3v: pc-set {:.1}x (paper ~{:.0}x), parallel {:.1}x (paper ~{:.0}x)",
         pc_total / 10.0,
         paper::claims::PC_SET_SPEEDUP,
         par_total / 10.0,
         paper::claims::PARALLEL_SPEEDUP
-    );
-    if json {
-        write_json("fig19", Some(vectors), rows);
-    }
+    ));
+    out.write_json("fig19", Some(vectors), rows);
 }
 
-fn fig20(vectors: usize, json: bool) {
-    println!("\n== Fig. 20: bit-field trimming, {vectors} vectors ==");
-    println!("== op gain = generated-statement reduction (the faithful 1990 proxy) ==");
+fn fig20(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== Fig. 20: bit-field trimming, {vectors} vectors =="
+    ));
+    out.line("== op gain = generated-statement reduction (the faithful 1990 proxy) ==");
     let mut table = Table::new(&[
         "circuit",
         "levels(words)",
@@ -210,14 +272,12 @@ fn fig20(vectors: usize, json: bool) {
             ("trimming_word_ops", Json::UInt(trimmed_ops as u64)),
         ]));
     }
-    println!("{}", Table::render(&table));
-    if json {
-        write_json("fig20", Some(vectors), rows);
-    }
+    out.line(Table::render(&table));
+    out.write_json("fig20", Some(vectors), rows);
 }
 
-fn fig21(json: bool) {
-    println!("\n== Fig. 21: retained shifts (measured | paper) ==");
+fn fig21(out: &Output) {
+    out.line("\n== Fig. 21: retained shifts (measured | paper) ==");
     let mut table = Table::new(&[
         "circuit",
         "unopt",
@@ -259,15 +319,13 @@ fn fig21(json: bool) {
             ("paper_cycle_breaking", Json::UInt(p.cycle_breaking as u64)),
         ]));
     }
-    println!("{}", Table::render(&table));
-    if json {
-        write_json("fig21", None, rows);
-    }
+    out.line(Table::render(&table));
+    out.write_json("fig21", None, rows);
 }
 
-fn fig22(json: bool) {
-    println!("\n== Fig. 22: bit-field widths in bits (the paper's rows did not survive; ==");
-    println!("==          expected shape: path-tracing <= unoptimized << cycle-breaking) ==");
+fn fig22(out: &Output) {
+    out.line("\n== Fig. 22: bit-field widths in bits (the paper's rows did not survive; ==");
+    out.line("==          expected shape: path-tracing <= unoptimized << cycle-breaking) ==");
     let mut table = Table::new(&["circuit", "unopt", "path-tracing", "cycle-breaking"]);
     let mut rows = Vec::new();
     for (circuit, nl) in suite() {
@@ -291,16 +349,16 @@ fn fig22(json: bool) {
             ),
         ]));
     }
-    println!("{}", Table::render(&table));
-    if json {
-        write_json("fig22", None, rows);
-    }
+    out.line(Table::render(&table));
+    out.write_json("fig22", None, rows);
 }
 
-fn fig23(vectors: usize, json: bool) {
-    println!("\n== Fig. 23: shift elimination, {vectors} vectors ==");
-    println!(
-        "== (paper: path-tracing gains 24%..84%; cycle-breaking loses on all but the smallest) =="
+fn fig23(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== Fig. 23: shift elimination, {vectors} vectors =="
+    ));
+    out.line(
+        "== (paper: path-tracing gains 24%..84%; cycle-breaking loses on all but the smallest) ==",
     );
     let mut table = Table::new(&[
         "circuit",
@@ -338,14 +396,14 @@ fn fig23(vectors: usize, json: bool) {
             ("cycle_breaking_word_ops", Json::UInt(cb_ops as u64)),
         ]));
     }
-    println!("{}", Table::render(&table));
-    if json {
-        write_json("fig23", Some(vectors), rows);
-    }
+    out.line(Table::render(&table));
+    out.write_json("fig23", Some(vectors), rows);
 }
 
-fn fig24(vectors: usize, json: bool) {
-    println!("\n== Fig. 24: shift elimination + trimming, {vectors} vectors ==");
+fn fig24(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== Fig. 24: shift elimination + trimming, {vectors} vectors =="
+    ));
     let mut table = Table::new(&[
         "circuit",
         "unopt",
@@ -386,19 +444,19 @@ fn fig24(vectors: usize, json: bool) {
             ),
         ]));
     }
-    println!("{}", Table::render(&table));
-    println!(
+    out.line(Table::render(&table));
+    out.line(format!(
         "average op-count improvement: {:.0}% (paper runtime improvement: {:.0}%)",
         100.0 * gain_total / 10.0,
         100.0 * paper::claims::SHIFT_ELIM_TRIM_AVG_IMPROVEMENT
-    );
-    if json {
-        write_json("fig24", Some(vectors), rows);
-    }
+    ));
+    out.write_json("fig24", Some(vectors), rows);
 }
 
-fn zero_delay(vectors: usize, json: bool) {
-    println!("\n== §5 aside: zero-delay compiled vs interpreted, {vectors} vectors ==");
+fn zero_delay(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== §5 aside: zero-delay compiled vs interpreted, {vectors} vectors =="
+    ));
     let mut table = Table::new(&["circuit", "interpreted", "compiled", "speedup"]);
     let mut rows = Vec::new();
     let mut total = 0.0;
@@ -417,21 +475,19 @@ fn zero_delay(vectors: usize, json: bool) {
             ("compiled", timing_json(m.compiled)),
         ]));
     }
-    println!("{}", Table::render(&table));
-    println!(
+    out.line(Table::render(&table));
+    out.line(format!(
         "average speedup: {:.1}x (paper: ~{:.0}x — theirs compares compiled C to a full\n\
          interpreter; our \"interpreted\" levelized loop is already fairly tight)",
         total / 10.0,
         paper::claims::ZERO_DELAY_SPEEDUP
-    );
-    if json {
-        write_json("zero-delay", Some(vectors), rows);
-    }
+    ));
+    out.write_json("zero-delay", Some(vectors), rows);
 }
 
-fn codesize(json: bool) {
-    println!(
-        "\n== generated-code size (lines of emitted C; §3: \"over 100,000 lines for c6288\") =="
+fn codesize(out: &Output) {
+    out.line(
+        "\n== generated-code size (lines of emitted C; §3: \"over 100,000 lines for c6288\") ==",
     );
     let mut table = Table::new(&["circuit", "pc-set", "parallel", "parallel+pt"]);
     let mut rows = Vec::new();
@@ -458,19 +514,19 @@ fn codesize(json: bool) {
             ("parallel_pt_lines", Json::UInt(pt_lines as u64)),
         ]));
     }
-    println!("{}", Table::render(&table));
-    if json {
-        write_json("codesize", None, rows);
-    }
+    out.line(Table::render(&table));
+    out.write_json("codesize", None, rows);
 }
 
 /// Shard counts the multi-core sweep measures.
 const JOBS_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
-fn parallel_scaling(vectors: usize, json: bool) {
-    println!("\n== multi-core scaling: batch runner, parallel+pt+trim, {vectors} vectors ==");
-    println!("== (seq = single-thread loop; jobs=N shards the stream over N workers, ==");
-    println!("==  each zero-delay-seeded at its boundary; outputs stay bit-identical) ==");
+fn parallel_scaling(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== multi-core scaling: batch runner, parallel+pt+trim, {vectors} vectors =="
+    ));
+    out.line("== (seq = single-thread loop; jobs=N shards the stream over N workers, ==");
+    out.line("==  each zero-delay-seeded at its boundary; outputs stay bit-identical) ==");
     let mut table = Table::new(&[
         "circuit",
         "seq",
@@ -520,10 +576,8 @@ fn parallel_scaling(vectors: usize, json: bool) {
             ),
         ]));
     }
-    println!("{}", Table::render(&table));
-    if json {
-        write_json("parallel", Some(vectors), rows);
-    }
+    out.line(Table::render(&table));
+    out.write_json("parallel", Some(vectors), rows);
 }
 
 fn percent_gain(before: f64, after: f64) -> String {

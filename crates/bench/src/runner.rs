@@ -18,7 +18,10 @@
 use std::time::Instant;
 
 use uds_core::vectors::RandomVectors;
-use uds_core::{run_batch, DefaultEngineFactory, Engine, GuardedSimulator, Telemetry, WordWidth};
+use uds_core::{
+    run_batch, ActivityProfiler, DefaultEngineFactory, Engine, GuardedSimulator, Telemetry,
+    WordWidth,
+};
 use uds_eventsim::zero_delay::{ZeroDelayCompiled, ZeroDelayInterpreted};
 use uds_eventsim::ConventionalEventDriven;
 use uds_netlist::generators::iscas::Iscas85;
@@ -232,6 +235,28 @@ pub fn time_batch(netlist: &Netlist, stimulus: &[Vec<bool>], jobs: usize) -> Tim
     })
 }
 
+/// Measured activity factor of one circuit under the bench stimulus:
+/// total toggles / (nets × depth × vectors), profiled word-parallel
+/// from a monitoring parallel+pt+trim engine's bit-fields. The
+/// event-driven technique's per-vector cost is proportional to this
+/// fraction while the compiled techniques' cost is fixed, so it is the
+/// context column for the Fig. 19 compiled-vs-interpreted comparison:
+/// the lower the activity, the more work the event queue avoids and
+/// the smaller the compiled speedup.
+pub fn activity_factor(netlist: &Netlist, vectors: usize) -> f64 {
+    let stimulus = stimulus(netlist, vectors);
+    let levels = uds_netlist::levelize(netlist).expect("combinational");
+    let mut sim =
+        ParallelSimulator::compile_monitoring_all(netlist, Optimization::PathTracingTrimming)
+            .expect("combinational");
+    let mut profiler = ActivityProfiler::for_netlist(netlist, &levels);
+    for vector in &stimulus {
+        sim.simulate_vector(vector);
+        profiler.record_vector(&sim);
+    }
+    profiler.activity_factor()
+}
+
 /// Zero-delay comparison (the §5 aside): seconds for interpreted vs
 /// compiled levelized zero-delay simulation.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -306,6 +331,14 @@ mod tests {
         let timing = time_batch(&nl, &stimulus, 2);
         assert!(timing.min_s >= 0.0);
         assert!(timing.median_s >= timing.min_s);
+    }
+
+    #[test]
+    fn activity_factor_is_in_the_unit_interval_and_deterministic() {
+        let nl = Iscas85::C432.build();
+        let a = activity_factor(&nl, 50);
+        assert!(a > 0.0 && a < 1.0, "c432 under random stimulus: {a}");
+        assert_eq!(a, activity_factor(&nl, 50), "same stimulus, same factor");
     }
 
     #[test]

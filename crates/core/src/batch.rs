@@ -30,6 +30,7 @@ use uds_netlist::Netlist;
 
 use crate::error::{SimError, SimErrorKind, SimPhase};
 use crate::guard::GuardedSimulator;
+use crate::progress::{BatchProbe, Heartbeat, NoopBatchProbe};
 use crate::telemetry::{SpanNode, Telemetry};
 use crate::Engine;
 
@@ -43,6 +44,10 @@ pub struct ShardReport {
     pub start: usize,
     /// Vectors the shard simulated.
     pub vectors: usize,
+    /// When the shard started, in nanoseconds since the telemetry
+    /// registry's epoch (0 when the run carried no telemetry) — what
+    /// places `batch.shard.<k>` spans on the exported timeline.
+    pub start_ns: u64,
     /// Wall-clock simulation time, excluding the prepass.
     pub wall_ns: u64,
     /// The engine that survived the shard.
@@ -67,8 +72,10 @@ type ShardResult = Result<(Vec<Vec<bool>>, ShardReport), SimError>;
 
 /// Splits `total` vectors into `jobs` contiguous, near-equal shards
 /// (the first `total % jobs` shards get one extra vector). Returns
-/// `(start, len)` pairs; empty shards are dropped.
-fn shard_bounds(total: usize, jobs: usize) -> Vec<(usize, usize)> {
+/// `(start, len)` pairs; empty shards are dropped. Public so batch
+/// observers (the activity profiler) can size per-shard state to the
+/// exact partition the runner will use.
+pub fn shard_bounds(total: usize, jobs: usize) -> Vec<(usize, usize)> {
     let jobs = jobs.clamp(1, total.max(1));
     let base = total / jobs;
     let extra = total % jobs;
@@ -103,6 +110,33 @@ pub fn run_batch(
     vectors: &[Vec<bool>],
     jobs: usize,
     telemetry: Option<&Telemetry>,
+) -> Result<BatchOutput, SimError> {
+    run_batch_observed(
+        netlist,
+        prototype,
+        vectors,
+        jobs,
+        telemetry,
+        &NoopBatchProbe,
+    )
+}
+
+/// [`run_batch`] with a [`BatchProbe`] observing the workers: periodic
+/// per-shard heartbeats (`--progress` in the CLI) and/or a borrow of
+/// each shard's engine after every vector (the activity profiler).
+/// Both hooks are capability-gated, so a probe that wants neither costs
+/// nothing in the per-vector loop.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_observed(
+    netlist: &Netlist,
+    prototype: &GuardedSimulator,
+    vectors: &[Vec<bool>],
+    jobs: usize,
+    telemetry: Option<&Telemetry>,
+    probe: &dyn BatchProbe,
 ) -> Result<BatchOutput, SimError> {
     let expected = netlist.primary_inputs().len();
     for vector in vectors {
@@ -144,6 +178,10 @@ pub fn run_batch(
     };
 
     let outputs = netlist.primary_outputs().to_vec();
+    let epoch = telemetry.map(Telemetry::epoch);
+    let heartbeats = probe.wants_heartbeats();
+    let observe_vectors = probe.wants_vectors();
+    let interval = probe.heartbeat_interval();
     let mut results: Vec<Option<ShardResult>> = (0..bounds.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(bounds.len());
@@ -154,14 +192,46 @@ pub fn run_batch(
             let outputs = &outputs;
             handles.push(scope.spawn(move || {
                 let clock = Instant::now();
+                let start_ns = epoch
+                    .map(|epoch| {
+                        u64::try_from(clock.saturating_duration_since(epoch).as_nanos())
+                            .unwrap_or(u64::MAX)
+                    })
+                    .unwrap_or(0);
+                let beat = |guard: &GuardedSimulator, done: usize, finished: bool| {
+                    probe.heartbeat(&Heartbeat {
+                        shard,
+                        done,
+                        total: len,
+                        wall_ns: u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        engine: guard.active_engine(),
+                        fallbacks: guard.fallbacks().len(),
+                        finished,
+                    });
+                };
                 let body = || -> Result<Vec<Vec<bool>>, SimError> {
                     if let Some(seed) = seed {
                         guard.seed_stable(seed);
                     }
+                    if heartbeats {
+                        beat(&guard, 0, false);
+                    }
+                    let mut last_beat = Instant::now();
                     let mut rows = Vec::with_capacity(slice.len());
-                    for vector in slice {
+                    for (done, vector) in slice.iter().enumerate() {
                         guard.simulate_vector(vector)?;
                         rows.push(outputs.iter().map(|&po| guard.final_value(po)).collect());
+                        if observe_vectors {
+                            probe.vector_done(shard, guard.active_simulator());
+                        }
+                        if heartbeats {
+                            let finished = done + 1 == slice.len();
+                            let now = Instant::now();
+                            if finished || now.duration_since(last_beat) >= interval {
+                                last_beat = now;
+                                beat(&guard, done + 1, finished);
+                            }
+                        }
                     }
                     Ok(rows)
                 };
@@ -188,6 +258,7 @@ pub fn run_batch(
                         index: shard,
                         start,
                         vectors: len,
+                        start_ns,
                         wall_ns: u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
                         engine: guard.active_engine(),
                         fallbacks: guard.fallbacks().len(),
@@ -210,7 +281,11 @@ pub fn run_batch(
         if let Some(telemetry) = telemetry {
             telemetry.attach_span(SpanNode {
                 name: format!("batch.shard.{}", report.index),
+                start_ns: report.start_ns,
                 wall_ns: report.wall_ns,
+                // Worker spans get their own timeline lane: tid 0 is
+                // the coordinating thread's span stack.
+                tid: report.index as u64 + 1,
                 children: Vec::new(),
             });
             telemetry.add("batch.shard_fallbacks", report.fallbacks as u64);
@@ -309,6 +384,78 @@ mod tests {
         let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
         let err = run_batch(&nl, &guard, &[vec![true; 3]], 2, None).unwrap_err();
         assert_eq!(err.class(), crate::FailureClass::Usage);
+    }
+
+    #[test]
+    fn observed_batch_fires_heartbeats_and_vector_hooks() {
+        use crate::progress::{BatchProbe, Heartbeat};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder {
+            beats: Mutex<Vec<Heartbeat>>,
+            vectors: Mutex<Vec<usize>>,
+        }
+        impl BatchProbe for Recorder {
+            fn wants_heartbeats(&self) -> bool {
+                true
+            }
+            fn heartbeat(&self, beat: &Heartbeat) {
+                self.beats.lock().unwrap().push(*beat);
+            }
+            fn wants_vectors(&self) -> bool {
+                true
+            }
+            fn vector_done(&self, shard: usize, _sim: &dyn crate::UnitDelaySimulator) {
+                self.vectors.lock().unwrap().push(shard);
+            }
+        }
+
+        let nl = c17();
+        let vectors = stimulus(10);
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        let recorder = Recorder::default();
+        let out = run_batch_observed(&nl, &guard, &vectors, 3, None, &recorder).unwrap();
+        assert_eq!(
+            out.rows,
+            sequential_rows(&vectors),
+            "probe must not perturb"
+        );
+        let beats = recorder.beats.lock().unwrap();
+        for shard in 0..3 {
+            assert!(
+                beats
+                    .iter()
+                    .any(|b| b.shard == shard && b.finished && b.done == b.total),
+                "shard {shard} must emit a final heartbeat"
+            );
+        }
+        assert_eq!(
+            recorder.vectors.lock().unwrap().len(),
+            vectors.len(),
+            "one vector_done per vector"
+        );
+    }
+
+    #[test]
+    fn shard_spans_carry_distinct_thread_ids() {
+        let nl = c17();
+        let vectors = stimulus(10);
+        let telemetry = Telemetry::new();
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        run_batch(&nl, &guard, &vectors, 2, Some(&telemetry)).unwrap();
+        let report = telemetry.snapshot();
+        let mut tids: Vec<u64> = (0..2)
+            .map(|shard| {
+                report
+                    .find_span(&format!("batch.shard.{shard}"))
+                    .expect("shard span")
+                    .tid
+            })
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids, vec![1, 2], "each shard on its own timeline lane");
     }
 
     #[test]

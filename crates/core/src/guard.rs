@@ -113,6 +113,113 @@ impl EngineFactory for DefaultEngineFactory {
     }
 }
 
+/// A factory that compiles every engine with **all nets monitored**, so
+/// per-net histories — and therefore toggle streams — are available on
+/// every net regardless of which engine survives the chain. This is the
+/// activity profiler's factory: the default one lets path tracing prune
+/// untracked fields, which is faster but leaves most nets unobservable.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonitoringEngineFactory {
+    /// Arena word width for the parallel-family engines.
+    pub word: WordWidth,
+}
+
+impl MonitoringEngineFactory {
+    /// A monitoring factory at the given word width.
+    pub fn with_word(word: WordWidth) -> Self {
+        MonitoringEngineFactory { word }
+    }
+}
+
+impl EngineFactory for MonitoringEngineFactory {
+    fn build(
+        &self,
+        netlist: &Netlist,
+        engine: Engine,
+        limits: &ResourceLimits,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        self.build_probed(netlist, engine, limits, &NoopProbe)
+    }
+
+    fn build_probed(
+        &self,
+        netlist: &Netlist,
+        engine: Engine,
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        let attach = |e: SimError| {
+            if e.engine.is_none() {
+                e.with_engine(engine)
+            } else {
+                e
+            }
+        };
+        let word = self.word;
+        let build = || -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+            Ok(match engine {
+                // The baseline traces every net already; budget checks
+                // match the default factory's.
+                Engine::EventDriven => {
+                    return build_engine_with_limits_probed_word(
+                        netlist, engine, limits, probe, word,
+                    )
+                }
+                Engine::PcSet => {
+                    let all: Vec<NetId> = netlist.net_ids().collect();
+                    Box::new(PcSetSimulator::compile_probed_with_monitors(
+                        netlist, &all, limits, probe,
+                    )?)
+                }
+                Engine::Parallel
+                | Engine::ParallelTrimming
+                | Engine::ParallelPathTracing
+                | Engine::ParallelPathTracingTrimming
+                | Engine::ParallelCycleBreaking => {
+                    let optimization = match engine {
+                        Engine::Parallel => Optimization::None,
+                        Engine::ParallelTrimming => Optimization::Trimming,
+                        Engine::ParallelPathTracing => Optimization::PathTracing,
+                        Engine::ParallelPathTracingTrimming => Optimization::PathTracingTrimming,
+                        _ => Optimization::CycleBreaking,
+                    };
+                    fn compile<W: Word>(
+                        netlist: &Netlist,
+                        optimization: Optimization,
+                        limits: &ResourceLimits,
+                        probe: &dyn Probe,
+                    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+                        Ok(Box::new(ParallelSim::<W>::compile_monitoring_all_probed(
+                            netlist,
+                            optimization,
+                            limits,
+                            probe,
+                        )?))
+                    }
+                    match word {
+                        WordWidth::W32 => compile::<u32>(netlist, optimization, limits, probe)?,
+                        WordWidth::W64 => compile::<u64>(netlist, optimization, limits, probe)?,
+                    }
+                }
+            })
+        };
+        match panic::catch_unwind(AssertUnwindSafe(build)) {
+            Ok(result) => result.map_err(attach),
+            Err(payload) => Err(SimError::new(
+                SimErrorKind::EnginePanicked {
+                    message: panic_message(payload),
+                },
+                SimPhase::Compile,
+            )
+            .with_engine(engine)),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn EngineFactory> {
+        Box::new(*self)
+    }
+}
+
 /// Builds any engine under a resource budget, with compile-time panic
 /// containment. Budget violations surface as [`SimErrorKind::Budget`],
 /// panics as [`SimErrorKind::EnginePanicked`]; every error carries the
@@ -719,6 +826,25 @@ mod tests {
                 assert_eq!(errors.len(), GuardedSimulator::DEFAULT_CHAIN.len());
             }
             other => panic!("expected chain exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitoring_factory_makes_every_net_observable_on_every_engine() {
+        let nl = c17();
+        let limits = ResourceLimits::production();
+        for engine in Engine::ALL {
+            let mut sim = MonitoringEngineFactory::default()
+                .build(&nl, engine, &limits)
+                .unwrap();
+            sim.simulate_vector(&[true, false, true, false, true]);
+            for net in nl.net_ids() {
+                assert!(
+                    sim.for_each_toggle(net, &mut |_| {}).is_some(),
+                    "{engine}: net {} must expose a toggle stream",
+                    nl.net_name(net)
+                );
+            }
         }
     }
 

@@ -46,6 +46,21 @@ pub fn classify(history: &[bool]) -> Activity {
     }
 }
 
+/// Classifies a net's vector activity from its toggle count alone —
+/// no history materialization. Works because unit-delay histories make
+/// the endpoints a parity function of the transitions: an even count
+/// returns to the initial value, an odd one ends opposite. Agrees with
+/// [`classify`] on every history; the activity profiler uses it on
+/// word-parallel popcounts.
+pub fn classify_toggle_count(toggles: u32) -> Activity {
+    match (toggles, toggles.is_multiple_of(2)) {
+        (0, _) => Activity::Stable,
+        (1, _) => Activity::CleanEdge,
+        (_, true) => Activity::StaticHazard,
+        (_, false) => Activity::DynamicHazard,
+    }
+}
+
 /// The paper's comparison-field test on a packed history: the `width`
 /// low bits of `field` are hazard-free iff they equal `0…01…1` or
 /// `1…10…0` or a constant — i.e. at most one transition.
@@ -122,6 +137,21 @@ mod tests {
                 assert_eq!(
                     is_monotone_step(pattern, width),
                     hazard_free,
+                    "width {width} pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_count_classification_matches_history_classification() {
+        for width in 1u32..=10 {
+            for pattern in 0u64..(1 << width) {
+                let history: Vec<bool> = (0..width).map(|i| pattern >> i & 1 != 0).collect();
+                let toggles = history.windows(2).filter(|p| p[0] != p[1]).count() as u32;
+                assert_eq!(
+                    classify_toggle_count(toggles),
+                    classify(&history),
                     "width {width} pattern {pattern:b}"
                 );
             }

@@ -23,7 +23,12 @@
 //!   proving no failure is ever silent;
 //! * [`telemetry`] — the observability layer: hierarchical spans,
 //!   counters/gauges holding the paper's static compile metrics, and a
-//!   schema-stable JSON report (`--stats` in the CLI).
+//!   schema-stable JSON report (`--stats` in the CLI), with a Chrome
+//!   `trace_event` timeline exporter ([`telemetry::trace`]);
+//! * [`activity`], [`progress`], [`stream`] — runtime observability:
+//!   word-parallel toggle profiling (`udsim profile`), live batch
+//!   heartbeats (`--progress`), and the shared stdout contract every
+//!   `-` stream flag obeys.
 //!
 //! # Example
 //!
@@ -44,28 +49,37 @@
 //! # }
 //! ```
 
+pub mod activity;
 pub mod batch;
 pub mod chaos;
 pub mod crosscheck;
 pub mod error;
 pub mod guard;
 pub mod hazard;
+pub mod progress;
 pub mod sequential;
 mod simulator;
+pub mod stream;
 pub mod telemetry;
 pub mod vcd;
 pub mod vectors;
 pub mod waveform;
 
-pub use batch::{run_batch, BatchOutput, ShardReport};
+pub use activity::{ActivityProfiler, ActivityReport, BatchActivityObserver, ACTIVITY_SCHEMA};
+pub use batch::{run_batch, run_batch_observed, shard_bounds, BatchOutput, ShardReport};
 pub use error::{FailureClass, SimError, SimErrorKind, SimPhase};
 pub use guard::{
     build_engine_with_limits, build_engine_with_limits_probed,
     build_engine_with_limits_probed_word, build_engine_with_limits_word, DefaultEngineFactory,
-    GuardedSimulator,
+    GuardedSimulator, MonitoringEngineFactory,
+};
+pub use progress::{
+    BatchProbe, FanoutProbe, Heartbeat, NdjsonProgress, NoopBatchProbe, PROGRESS_SCHEMA,
 };
 pub use simulator::{
     build_simulator, build_simulator_with_word, BuildSimulatorError, Engine, TracedEventSim,
     UnitDelaySimulator, WordWidth,
 };
+pub use stream::{open_sink, write_text, HumanOut, StreamContract};
+pub use telemetry::trace::{chrome_trace, render_chrome_trace};
 pub use telemetry::{SpanNode, Telemetry, TelemetryReport};

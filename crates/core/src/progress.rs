@@ -1,0 +1,291 @@
+//! Live observation hooks for the batch runner.
+//!
+//! [`run_batch_observed`](crate::batch::run_batch_observed) threads a
+//! [`BatchProbe`] through its workers. The probe is opt-in at two
+//! granularities, each gated by a cheap capability check so the default
+//! ([`NoopBatchProbe`]) costs nothing in the hot loop:
+//!
+//! * **heartbeats** — periodic per-shard progress records (vectors
+//!   done, throughput, fallback state), throttled to
+//!   [`BatchProbe::heartbeat_interval`] plus one final record per
+//!   shard;
+//! * **per-vector observation** — a borrow of the shard's engine after
+//!   every vector, which is how the activity profiler folds toggle
+//!   counts out of state the engine already holds.
+//!
+//! [`NdjsonProgress`] is the CLI's heartbeat sink: one JSON object per
+//! line (`uds-progress-v1`), flushed per record so `--progress -` can
+//! be tailed live.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::telemetry::json::Json;
+use crate::{Engine, UnitDelaySimulator};
+
+/// Schema tag of [`NdjsonProgress`] records.
+pub const PROGRESS_SCHEMA: &str = "uds-progress-v1";
+
+/// One progress record from one shard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Heartbeat {
+    /// The reporting shard.
+    pub shard: usize,
+    /// Vectors the shard has finished.
+    pub done: usize,
+    /// Vectors the shard owns in total.
+    pub total: usize,
+    /// Wall-clock time since the shard started.
+    pub wall_ns: u64,
+    /// The engine currently running the shard (may change as the
+    /// fallback chain degrades).
+    pub engine: Engine,
+    /// Fallbacks fired inside the shard so far.
+    pub fallbacks: usize,
+    /// `true` on the shard's final record.
+    pub finished: bool,
+}
+
+impl Heartbeat {
+    /// Throughput so far, in vectors per second (0 before any time has
+    /// passed).
+    pub fn vectors_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.done as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// What a batch observer wants to see. All methods default to "nothing"
+/// so implementors opt into exactly the hooks they need.
+///
+/// Probes are shared by every worker thread concurrently, hence
+/// `Sync`; implementations own their interior synchronization (see
+/// [`BatchActivityObserver`](crate::activity::BatchActivityObserver)
+/// for the per-shard-lock pattern that avoids contention).
+pub trait BatchProbe: Sync {
+    /// Opt into [`BatchProbe::heartbeat`] calls.
+    fn wants_heartbeats(&self) -> bool {
+        false
+    }
+
+    /// Minimum spacing between a shard's heartbeats (the final record
+    /// always fires).
+    fn heartbeat_interval(&self) -> Duration {
+        Duration::from_millis(100)
+    }
+
+    /// A shard progress record. Called from worker threads.
+    fn heartbeat(&self, beat: &Heartbeat) {
+        let _ = beat;
+    }
+
+    /// Opt into [`BatchProbe::vector_done`] calls.
+    fn wants_vectors(&self) -> bool {
+        false
+    }
+
+    /// The shard's engine, right after it simulated a vector. Called
+    /// from worker threads; the borrow ends before the next vector
+    /// starts.
+    fn vector_done(&self, shard: usize, sim: &dyn UnitDelaySimulator) {
+        let _ = (shard, sim);
+    }
+}
+
+/// The probe that observes nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopBatchProbe;
+
+impl BatchProbe for NoopBatchProbe {}
+
+/// Streams heartbeats as newline-delimited JSON (`uds-progress-v1`),
+/// one object per line, flushed per record.
+pub struct NdjsonProgress {
+    out: Mutex<Box<dyn Write + Send>>,
+    interval: Duration,
+}
+
+impl NdjsonProgress {
+    /// Streams to `out` at the default ~100 ms cadence.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self::with_interval(out, Duration::from_millis(100))
+    }
+
+    /// Streams to `out`, spacing each shard's records at least
+    /// `interval` apart.
+    pub fn with_interval(out: Box<dyn Write + Send>, interval: Duration) -> Self {
+        NdjsonProgress {
+            out: Mutex::new(out),
+            interval,
+        }
+    }
+
+    /// Renders one heartbeat as its NDJSON line (no trailing newline).
+    pub fn render(beat: &Heartbeat) -> String {
+        Json::obj([
+            ("schema", Json::Str(PROGRESS_SCHEMA.to_owned())),
+            ("shard", Json::UInt(beat.shard as u64)),
+            ("done", Json::UInt(beat.done as u64)),
+            ("total", Json::UInt(beat.total as u64)),
+            ("wall_ns", Json::UInt(beat.wall_ns)),
+            ("vectors_per_sec", Json::Float(beat.vectors_per_sec())),
+            ("engine", Json::Str(beat.engine.to_string())),
+            ("fallbacks", Json::UInt(beat.fallbacks as u64)),
+            ("finished", Json::Bool(beat.finished)),
+        ])
+        .render()
+    }
+}
+
+impl BatchProbe for NdjsonProgress {
+    fn wants_heartbeats(&self) -> bool {
+        true
+    }
+
+    fn heartbeat_interval(&self) -> Duration {
+        self.interval
+    }
+
+    fn heartbeat(&self, beat: &Heartbeat) {
+        let line = Self::render(beat);
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // A dead sink (closed pipe) must not kill the batch; progress
+        // is best-effort by design.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// Fans one batch run out to several probes (e.g. an activity observer
+/// *and* a progress stream). Capability checks take the union; the
+/// heartbeat cadence is the fastest requested.
+pub struct FanoutProbe<'a> {
+    probes: Vec<&'a dyn BatchProbe>,
+}
+
+impl<'a> FanoutProbe<'a> {
+    /// Combines the given probes.
+    pub fn new(probes: Vec<&'a dyn BatchProbe>) -> Self {
+        FanoutProbe { probes }
+    }
+}
+
+impl BatchProbe for FanoutProbe<'_> {
+    fn wants_heartbeats(&self) -> bool {
+        self.probes.iter().any(|p| p.wants_heartbeats())
+    }
+
+    fn heartbeat_interval(&self) -> Duration {
+        self.probes
+            .iter()
+            .filter(|p| p.wants_heartbeats())
+            .map(|p| p.heartbeat_interval())
+            .min()
+            .unwrap_or(Duration::from_millis(100))
+    }
+
+    fn heartbeat(&self, beat: &Heartbeat) {
+        for probe in &self.probes {
+            if probe.wants_heartbeats() {
+                probe.heartbeat(beat);
+            }
+        }
+    }
+
+    fn wants_vectors(&self) -> bool {
+        self.probes.iter().any(|p| p.wants_vectors())
+    }
+
+    fn vector_done(&self, shard: usize, sim: &dyn UnitDelaySimulator) {
+        for probe in &self.probes {
+            if probe.wants_vectors() {
+                probe.vector_done(shard, sim);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_lines_are_parseable_and_schema_tagged() {
+        let beat = Heartbeat {
+            shard: 2,
+            done: 50,
+            total: 100,
+            wall_ns: 1_000_000_000,
+            engine: Engine::EventDriven,
+            fallbacks: 1,
+            finished: false,
+        };
+        let line = NdjsonProgress::render(&beat);
+        let json = Json::parse(&line).expect("NDJSON lines are valid JSON");
+        let obj = json.as_obj().unwrap();
+        let field = |k: &str| obj.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(field("schema").as_str(), Some(PROGRESS_SCHEMA));
+        assert_eq!(field("shard").as_u64(), Some(2));
+        assert_eq!(field("done").as_u64(), Some(50));
+        assert_eq!(field("vectors_per_sec").as_f64(), Some(50.0));
+        assert!(!line.contains('\n'), "one record per line");
+    }
+
+    #[test]
+    fn throughput_handles_zero_time() {
+        let beat = Heartbeat {
+            shard: 0,
+            done: 0,
+            total: 10,
+            wall_ns: 0,
+            engine: Engine::Parallel,
+            fallbacks: 0,
+            finished: false,
+        };
+        assert_eq!(beat.vectors_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sink_collects_flushed_lines() {
+        use std::sync::Arc;
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = Shared::default();
+        let progress = NdjsonProgress::new(Box::new(sink.clone()));
+        assert!(progress.wants_heartbeats());
+        assert!(!progress.wants_vectors());
+        for shard in 0..3 {
+            progress.heartbeat(&Heartbeat {
+                shard,
+                done: shard + 1,
+                total: 4,
+                wall_ns: 1000,
+                engine: Engine::PcSet,
+                fallbacks: 0,
+                finished: shard == 2,
+            });
+        }
+        let bytes = sink.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            Json::parse(line).expect("every line parses standalone");
+        }
+    }
+}

@@ -68,6 +68,26 @@ pub trait UnitDelaySimulator: Send {
     fn run_counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Visits every toggle of `net` for the last vector — each time `t`
+    /// in `1..=depth()` where the net's value differs from its value at
+    /// `t - 1` — and returns the toggle count, or `None` exactly when
+    /// [`UnitDelaySimulator::history`] returns `None`. The default
+    /// derives toggles from the history; the parallel engine overrides
+    /// it with a word-parallel popcount over its bit-fields. Visit
+    /// order is unspecified: shift-eliminated fields do not map bit
+    /// positions to times monotonically.
+    fn for_each_toggle(&self, net: NetId, visit: &mut dyn FnMut(u32)) -> Option<u32> {
+        let history = self.history(net)?;
+        let mut count = 0u32;
+        for (t, pair) in history.windows(2).enumerate() {
+            if pair[0] != pair[1] {
+                count += 1;
+                visit(t as u32 + 1);
+            }
+        }
+        Some(count)
+    }
 }
 
 impl UnitDelaySimulator for PcSetSimulator {
@@ -143,6 +163,10 @@ impl<W: Word> UnitDelaySimulator for ParallelSim<W> {
     fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
         Box::new(self.clone())
     }
+
+    fn for_each_toggle(&self, net: NetId, visit: &mut dyn FnMut(u32)) -> Option<u32> {
+        ParallelSim::for_each_toggle_in_field(self, net, visit)
+    }
 }
 
 /// The interpreted event-driven baseline wrapped to record complete
@@ -154,6 +178,7 @@ pub struct TracedEventSim {
     waveform: Vec<Vec<bool>>,
     depth: u32,
     total_events: u64,
+    total_toggles: u64,
     total_gate_evaluations: u64,
 }
 
@@ -176,6 +201,7 @@ impl TracedEventSim {
             waveform,
             depth,
             total_events: 0,
+            total_toggles: 0,
             total_gate_evaluations: 0,
         })
     }
@@ -205,6 +231,7 @@ impl UnitDelaySimulator for TracedEventSim {
             }
         });
         self.total_events += stats.events as u64;
+        self.total_toggles += stats.toggles as u64;
         self.total_gate_evaluations += stats.gate_evaluations as u64;
     }
 
@@ -243,6 +270,7 @@ impl UnitDelaySimulator for TracedEventSim {
     fn run_counters(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("eventsim.events", self.total_events),
+            ("eventsim.toggles", self.total_toggles),
             ("eventsim.gate_evaluations", self.total_gate_evaluations),
         ]
     }

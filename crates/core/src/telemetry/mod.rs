@@ -28,6 +28,7 @@
 //! are safe from any thread.
 
 pub mod json;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -42,15 +43,24 @@ pub const SCHEMA: &str = "uds-telemetry-v1";
 
 /// Object keys holding wall-clock measurements — the only fields that
 /// may differ between two identical runs.
-pub const TIMING_KEYS: &[&str] = &["wall_ns"];
+pub const TIMING_KEYS: &[&str] = &["wall_ns", "start_ns"];
+
+/// Warning counter bumped when a gauge is re-registered under a
+/// different value (see [`Telemetry::set_gauge`]).
+pub const GAUGE_CONFLICTS: &str = "telemetry.gauge_conflicts";
 
 /// One finished span: a named wall-clock phase with nested children.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SpanNode {
     /// Phase name (e.g. `"compile"`, `"pcset.codegen"`).
     pub name: String,
+    /// Start time in nanoseconds since the registry's [`Telemetry::epoch`].
+    pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub wall_ns: u64,
+    /// Logical thread id for timeline export: 0 for the registry's own
+    /// span stack, nonzero for spans attached from worker threads.
+    pub tid: u64,
     /// Phases that ran nested inside this one, in start order.
     pub children: Vec<SpanNode>,
 }
@@ -59,7 +69,9 @@ impl SpanNode {
     fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::Str(self.name.clone())),
+            ("start_ns", Json::UInt(self.start_ns)),
             ("wall_ns", Json::UInt(self.wall_ns)),
+            ("tid", Json::UInt(self.tid)),
             (
                 "children",
                 Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
@@ -131,14 +143,30 @@ struct OpenSpan {
     children: Vec<SpanNode>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
+    /// Time zero for every `start_ns` in the registry (creation time).
+    epoch: Instant,
     labels: BTreeMap<String, String>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     distributions: BTreeMap<String, Distribution>,
     finished: Vec<SpanNode>,
     stack: Vec<OpenSpan>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            epoch: Instant::now(),
+            labels: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            distributions: BTreeMap::new(),
+            finished: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
 }
 
 /// The shared telemetry registry. Cheap to clone (all clones share
@@ -190,15 +218,29 @@ impl Telemetry {
             return;
         };
         debug_assert_eq!(open.name, name, "span_end out of order");
+        let start_ns = u64::try_from(open.start.saturating_duration_since(inner.epoch).as_nanos())
+            .unwrap_or(u64::MAX);
         let node = SpanNode {
             name: open.name,
+            start_ns,
             wall_ns: u64::try_from(open.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            tid: 0,
             children: open.children,
         };
         match inner.stack.last_mut() {
             Some(parent) => parent.children.push(node),
             None => inner.finished.push(node),
         }
+    }
+
+    /// Time zero of the registry: every [`SpanNode::start_ns`] counts
+    /// nanoseconds from this instant. Worker threads timing spans with
+    /// their own [`Instant`]s use it to place [`attach_span`] nodes on
+    /// the same timeline.
+    ///
+    /// [`attach_span`]: Telemetry::attach_span
+    pub fn epoch(&self) -> Instant {
+        self.lock().epoch
     }
 
     /// Attaches an already-finished span tree under the currently open
@@ -213,14 +255,30 @@ impl Telemetry {
         }
     }
 
-    /// Adds `delta` to a monotonic counter (created at 0).
+    /// Adds `delta` to a monotonic counter (created at 0). Saturates at
+    /// `u64::MAX` — a pegged counter is visible, a wrapped one lies.
     pub fn add(&self, name: impl Into<String>, delta: u64) {
-        *self.lock().counters.entry(name.into()).or_insert(0) += delta;
+        let mut inner = self.lock();
+        let slot = inner.counters.entry(name.into()).or_insert(0);
+        *slot = slot.saturating_add(delta);
     }
 
     /// Sets a gauge (idempotent; deterministic static metrics).
+    ///
+    /// Re-registering a gauge under a *different* value is a contract
+    /// violation (two writers disagree about a supposedly deterministic
+    /// metric): the last write wins, but the conflict is surfaced by
+    /// bumping the [`GAUGE_CONFLICTS`] counter so reports show it.
     pub fn set_gauge(&self, name: impl Into<String>, value: u64) {
-        self.lock().gauges.insert(name.into(), value);
+        let mut inner = self.lock();
+        let previous = inner.gauges.insert(name.into(), value);
+        if previous.is_some_and(|p| p != value) {
+            let warn = inner
+                .counters
+                .entry(GAUGE_CONFLICTS.to_owned())
+                .or_insert(0);
+            *warn = warn.saturating_add(1);
+        }
     }
 
     /// Folds a sample into a named distribution.

@@ -1,0 +1,184 @@
+//! Chrome `trace_event` timeline export for the telemetry span tree.
+//!
+//! Converts a [`TelemetryReport`]'s spans into the Trace Event Format
+//! that `chrome://tracing` and Perfetto load: one `ph:"X"` (complete)
+//! event per span with microsecond `ts`/`dur`, plus `ph:"M"` metadata
+//! events naming the process and each logical thread. Spans recorded on
+//! the registry's own stack carry `tid` 0 ("main"); spans attached from
+//! worker threads ([`Telemetry::attach_span`]) keep their own `tid`, so
+//! `batch.shard.<k>` timelines render as separate rows.
+//!
+//! Zero dependencies: the document is built from [`Json`] and rendered
+//! by the same hand-rolled writer as `uds-telemetry-v1` reports.
+//!
+//! [`Telemetry::attach_span`]: super::Telemetry::attach_span
+
+use super::json::Json;
+use super::{SpanNode, TelemetryReport};
+
+/// Nanoseconds → the format's microsecond unit, keeping sub-µs detail.
+fn micros(ns: u64) -> Json {
+    Json::Float(ns as f64 / 1_000.0)
+}
+
+/// A `ph:"M"` metadata event (process or thread naming).
+fn metadata(name: &str, tid: u64, value: &str) -> Json {
+    Json::obj([
+        ("name", Json::Str(name.to_owned())),
+        ("ph", Json::Str("M".to_owned())),
+        ("pid", Json::UInt(1)),
+        ("tid", Json::UInt(tid)),
+        ("args", Json::obj([("name", Json::Str(value.to_owned()))])),
+    ])
+}
+
+/// Emits `span` and its children as `ph:"X"` complete events.
+///
+/// Children inherit the parent's `tid` unless they carry their own
+/// nonzero one (attached worker spans keep their thread).
+fn emit(span: &SpanNode, inherited_tid: u64, events: &mut Vec<Json>) {
+    let tid = if span.tid != 0 {
+        span.tid
+    } else {
+        inherited_tid
+    };
+    events.push(Json::obj([
+        ("name", Json::Str(span.name.clone())),
+        ("ph", Json::Str("X".to_owned())),
+        ("ts", micros(span.start_ns)),
+        ("dur", micros(span.wall_ns)),
+        ("pid", Json::UInt(1)),
+        ("tid", Json::UInt(tid)),
+    ]));
+    for child in &span.children {
+        emit(child, tid, events);
+    }
+}
+
+/// First span name carried by `tid` in depth-first order — the thread's
+/// display name in the timeline.
+fn first_name_with_tid(spans: &[SpanNode], tid: u64) -> Option<&str> {
+    for span in spans {
+        if span.tid == tid {
+            return Some(&span.name);
+        }
+        if let Some(name) = first_name_with_tid(&span.children, tid) {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Collects every distinct `tid` in the tree (sorted, deduplicated).
+fn collect_tids(spans: &[SpanNode], tids: &mut Vec<u64>) {
+    for span in spans {
+        if !tids.contains(&span.tid) {
+            tids.push(span.tid);
+        }
+        collect_tids(&span.children, tids);
+    }
+}
+
+/// Builds the Chrome trace document for a frozen report.
+///
+/// The result is the Trace Event Format's object form:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`, with metadata
+/// events first and span events in depth-first start order.
+pub fn chrome_trace(report: &TelemetryReport) -> Json {
+    let mut events = Vec::new();
+    let process = report.labels.get("command").map_or("udsim", String::as_str);
+    events.push(metadata("process_name", 0, process));
+    let mut tids = Vec::new();
+    collect_tids(&report.spans, &mut tids);
+    tids.sort_unstable();
+    for &tid in &tids {
+        let thread = if tid == 0 {
+            "main".to_owned()
+        } else {
+            first_name_with_tid(&report.spans, tid)
+                .map_or_else(|| format!("worker {tid}"), str::to_owned)
+        };
+        events.push(metadata("thread_name", tid, &thread));
+    }
+    for span in &report.spans {
+        emit(span, 0, &mut events);
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_owned())),
+    ])
+}
+
+/// Renders the Chrome trace as a JSON string with a trailing newline.
+pub fn render_chrome_trace(report: &TelemetryReport) -> String {
+    let mut out = chrome_trace(report).render();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Telemetry;
+    use super::*;
+
+    #[test]
+    fn spans_become_complete_events_with_thread_metadata() {
+        let telemetry = Telemetry::new();
+        {
+            let _outer = telemetry.span("simulate");
+            let _inner = telemetry.span("compile");
+        }
+        telemetry.attach_span(SpanNode {
+            name: "batch.shard.0".to_owned(),
+            start_ns: 10,
+            wall_ns: 5,
+            tid: 1,
+            children: Vec::new(),
+        });
+        let doc = chrome_trace(&telemetry.snapshot());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let of_phase = |ph: &str| -> Vec<&Json> {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .collect()
+        };
+        assert_eq!(of_phase("X").len(), 3);
+        let names: Vec<&str> = of_phase("M")
+            .iter()
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(names.contains(&"main"));
+        assert!(names.contains(&"batch.shard.0"));
+        let shard = of_phase("X")
+            .into_iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("batch.shard.0"))
+            .unwrap();
+        assert_eq!(shard.get("tid").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn children_inherit_the_parent_tid() {
+        let telemetry = Telemetry::new();
+        telemetry.attach_span(SpanNode {
+            name: "batch.shard.2".to_owned(),
+            start_ns: 0,
+            wall_ns: 9,
+            tid: 3,
+            children: vec![SpanNode {
+                name: "inner".to_owned(),
+                start_ns: 1,
+                wall_ns: 2,
+                tid: 0,
+                children: Vec::new(),
+            }],
+        });
+        let doc = chrome_trace(&telemetry.snapshot());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let inner = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("inner"))
+            .unwrap();
+        assert_eq!(inner.get("tid").and_then(Json::as_u64), Some(3));
+    }
+}

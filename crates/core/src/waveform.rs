@@ -38,22 +38,31 @@ impl Waveform {
         self.values[0]
     }
 
+    /// Invokes `visit(t)` for every time `t` at which the value differs
+    /// from `t - 1`, in ascending order, and returns how many there were
+    /// — the streaming form of [`Waveform::transitions`] the activity
+    /// profiler folds into its histograms without allocating.
+    pub fn for_each_transition(&self, visit: &mut dyn FnMut(u32)) -> usize {
+        let mut count = 0;
+        for (i, pair) in self.values.windows(2).enumerate() {
+            if pair[0] != pair[1] {
+                count += 1;
+                visit(i as u32 + 1);
+            }
+        }
+        count
+    }
+
     /// Times `t` at which the value differs from `t - 1`.
     pub fn transitions(&self) -> Vec<u32> {
-        self.values
-            .windows(2)
-            .enumerate()
-            .filter(|(_, pair)| pair[0] != pair[1])
-            .map(|(i, _)| i as u32 + 1)
-            .collect()
+        let mut times = Vec::new();
+        self.for_each_transition(&mut |t| times.push(t));
+        times
     }
 
     /// Number of transitions.
     pub fn transition_count(&self) -> usize {
-        self.values
-            .windows(2)
-            .filter(|pair| pair[0] != pair[1])
-            .count()
+        self.for_each_transition(&mut |_| {})
     }
 
     /// `true` if the net never changed during this vector.

@@ -84,25 +84,63 @@ fn event_driven_engine_reports_run_counters() {
     .unwrap();
     assert_eq!(
         sim.run_counters(),
-        vec![("eventsim.events", 0), ("eventsim.gate_evaluations", 0)]
+        vec![
+            ("eventsim.events", 0),
+            ("eventsim.toggles", 0),
+            ("eventsim.gate_evaluations", 0)
+        ]
     );
     for pattern in 0u32..8 {
         let inputs: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
         sim.simulate_vector(&inputs);
     }
     let counters = sim.run_counters();
-    let events = counters
-        .iter()
-        .find(|(n, _)| *n == "eventsim.events")
-        .unwrap()
-        .1;
-    let evals = counters
-        .iter()
-        .find(|(n, _)| *n == "eventsim.gate_evaluations")
-        .unwrap()
-        .1;
+    let counter = |name: &str| counters.iter().find(|(n, _)| *n == name).unwrap().1;
+    let events = counter("eventsim.events");
+    let toggles = counter("eventsim.toggles");
+    let evals = counter("eventsim.gate_evaluations");
     assert!(events > 0, "8 varied vectors must produce events");
     assert!(evals > 0, "events on gate inputs must trigger evaluations");
+    assert!(toggles > 0, "varied vectors must toggle nets");
+    assert!(
+        toggles <= events,
+        "toggles are the committed events at time >= 1"
+    );
+}
+
+#[test]
+fn counters_saturate_instead_of_wrapping() {
+    let telemetry = Telemetry::new();
+    telemetry.add("overflow.prone", u64::MAX - 1);
+    telemetry.add("overflow.prone", 5);
+    assert_eq!(
+        telemetry.counter("overflow.prone"),
+        u64::MAX,
+        "a counter at the ceiling must pin there, not wrap to 3"
+    );
+    telemetry.add("overflow.prone", 1);
+    assert_eq!(telemetry.counter("overflow.prone"), u64::MAX);
+}
+
+#[test]
+fn gauge_reregistration_under_a_new_value_is_surfaced() {
+    use uds_core::telemetry::GAUGE_CONFLICTS;
+
+    let telemetry = Telemetry::new();
+    telemetry.set_gauge("parallel.word_ops", 100);
+    // Re-registering the same value is idempotent, not a conflict.
+    telemetry.set_gauge("parallel.word_ops", 100);
+    assert_eq!(telemetry.counter(GAUGE_CONFLICTS), 0);
+    // A different value wins (last write), but the disagreement is
+    // counted so a report with conflicting producers is detectable.
+    telemetry.set_gauge("parallel.word_ops", 200);
+    assert_eq!(telemetry.gauge_value("parallel.word_ops"), Some(200));
+    assert_eq!(telemetry.counter(GAUGE_CONFLICTS), 1);
+    telemetry.set_gauge("parallel.word_ops", 300);
+    assert_eq!(telemetry.counter(GAUGE_CONFLICTS), 2);
+    // The warning counter itself appears in the snapshot.
+    let report = telemetry.snapshot();
+    assert_eq!(report.counters.get(GAUGE_CONFLICTS), Some(&2));
 }
 
 #[test]

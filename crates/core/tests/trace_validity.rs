@@ -1,0 +1,131 @@
+//! S4: the exported Chrome trace is valid — structurally, numerically,
+//! and through the hand-rolled JSON reader.
+//!
+//! Perfetto and `chrome://tracing` silently drop malformed events, so
+//! these checks are the difference between "a file was written" and "a
+//! timeline renders": every span name survives escaping, `ts`/`dur`
+//! are non-negative microseconds, per-thread timelines are monotone in
+//! depth-first order, and the whole document round-trips through
+//! [`Json::parse`].
+
+use uds_core::telemetry::json::Json;
+use uds_core::{chrome_trace, render_chrome_trace, SpanNode, Telemetry};
+
+/// A registry exercising the paths that can break a trace: nested main
+///-stack spans, attached worker spans on distinct threads, and names
+/// that need escaping.
+fn busy_telemetry() -> Telemetry {
+    let telemetry = Telemetry::new();
+    telemetry.label("command", "simulate \"quoted\"\ttab");
+    {
+        let _outer = telemetry.span("simulate");
+        {
+            let _compile = telemetry.span("compile \"c17.bench\"");
+            let _nested = telemetry.span("parallel.codegen");
+        }
+        let _run = telemetry.span("run\nwith\nnewlines");
+    }
+    for shard in 0..3u64 {
+        telemetry.attach_span(SpanNode {
+            name: format!("batch.shard.{shard}"),
+            start_ns: 1_000 + shard * 10,
+            wall_ns: 2_500,
+            tid: shard + 1,
+            children: vec![SpanNode {
+                name: format!("seed\\{shard}\u{1}ctrl"),
+                start_ns: 1_200 + shard * 10,
+                wall_ns: 100,
+                tid: 0,
+                children: Vec::new(),
+            }],
+        });
+    }
+    telemetry
+}
+
+fn events(doc: &Json) -> &[Json] {
+    doc.get("traceEvents")
+        .expect("traceEvents key")
+        .as_arr()
+        .expect("traceEvents is an array")
+}
+
+#[test]
+fn rendered_trace_parses_and_round_trips() {
+    let rendered = render_chrome_trace(&busy_telemetry().snapshot());
+    assert!(rendered.ends_with('\n'));
+    let parsed = Json::parse(rendered.trim_end()).expect("exported trace must parse");
+    // Render → parse → render is a fixpoint: escaping is consistent.
+    assert_eq!(parsed.render(), rendered.trim_end());
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+}
+
+#[test]
+fn special_characters_in_span_names_survive_escaping() {
+    let report = busy_telemetry().snapshot();
+    let doc = Json::parse(&render_chrome_trace(&report)).expect("parses");
+    let names: Vec<&str> = events(&doc)
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    // Quotes, newlines, backslashes, and raw control characters all
+    // come back byte-identical after a render/parse round trip.
+    assert!(names.contains(&"compile \"c17.bench\""), "{names:?}");
+    assert!(names.contains(&"run\nwith\nnewlines"), "{names:?}");
+    assert!(names.contains(&"seed\\0\u{1}ctrl"), "{names:?}");
+    let process = events(&doc)
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+        .and_then(|e| e.get("args")?.get("name")?.as_str());
+    assert_eq!(process, Some("simulate \"quoted\"\ttab"));
+}
+
+#[test]
+fn timestamps_are_non_negative_and_monotone_per_thread() {
+    let doc = chrome_trace(&busy_telemetry().snapshot());
+    let mut last_ts_by_tid: Vec<(u64, f64)> = Vec::new();
+    let mut complete_events = 0;
+    for event in events(&doc) {
+        let ph = event.get("ph").and_then(Json::as_str).expect("ph");
+        assert!(matches!(ph, "X" | "M"), "only complete/metadata events");
+        assert_eq!(event.get("pid").and_then(Json::as_u64), Some(1));
+        let tid = event.get("tid").and_then(Json::as_u64).expect("tid");
+        if ph != "X" {
+            continue;
+        }
+        complete_events += 1;
+        let ts = event.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = event.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!(ts >= 0.0 && ts.is_finite(), "ts {ts}");
+        assert!(dur >= 0.0 && dur.is_finite(), "dur {dur}");
+        match last_ts_by_tid.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, last)) => {
+                assert!(
+                    ts >= *last,
+                    "tid {tid}: event at ts {ts} emitted after ts {last} — \
+                     depth-first order must be start-time order per thread"
+                );
+                *last = ts;
+            }
+            None => last_ts_by_tid.push((tid, ts)),
+        }
+    }
+    // 4 main-stack spans + 3 shards × (span + child).
+    assert_eq!(complete_events, 10);
+    // Threads 0 (main) and 1..=3 (shards) all appeared.
+    let mut tids: Vec<u64> = last_ts_by_tid.iter().map(|(t, _)| *t).collect();
+    tids.sort_unstable();
+    assert_eq!(tids, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn empty_report_is_still_a_valid_trace() {
+    let report = Telemetry::new().snapshot();
+    let doc = Json::parse(&render_chrome_trace(&report)).expect("parses");
+    // Just the process_name metadata event; loaders accept it.
+    assert_eq!(events(&doc).len(), 1);
+}

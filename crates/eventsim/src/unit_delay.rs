@@ -21,6 +21,11 @@ use crate::LogicFamily;
 pub struct SimStats {
     /// Net-change events processed (events that actually changed a value).
     pub events: usize,
+    /// Net toggles: committed changes at time `>= 1`. Primary-input
+    /// changes land at time 0 — the vector *starts* there, the net does
+    /// not switch mid-settling — so `toggles <= events`, and the count
+    /// matches toggles derived from any engine's unit-delay history.
+    pub toggles: usize,
     /// Gate evaluations performed.
     pub gate_evaluations: usize,
     /// The last time unit at which anything changed.
@@ -179,6 +184,7 @@ impl<L: LogicFamily> EventDrivenUnitDelay<L> {
                     self.value[net] = new_value;
                     changed.push(net);
                     stats.events += 1;
+                    stats.toggles += usize::from(time >= 1);
                     stats.settle_time = time;
                     on_change(time, net, new_value);
                 }

@@ -243,6 +243,18 @@ impl<W: Word> ParallelSim<W> {
         Self::compile_inner(netlist, optimization, true, limits, &NoopProbe)
     }
 
+    /// [`ParallelSim::compile_monitoring_all_with_limits`] reporting
+    /// compile phases and static metrics through `probe` — what the
+    /// activity profiler uses so every net's toggles are observable.
+    pub fn compile_monitoring_all_probed(
+        netlist: &Netlist,
+        optimization: Optimization,
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, optimization, true, limits, probe)
+    }
+
     fn compile_inner(
         netlist: &Netlist,
         optimization: Optimization,
@@ -595,6 +607,79 @@ impl<W: Word> ParallelSim<W> {
     /// `0…01…1` / `1…10…0` comparison-field criterion.
     pub fn is_hazard_free(&self, net: NetId) -> bool {
         self.field_transition_count(net) <= 1
+    }
+
+    /// Visits every *history* toggle of `net` for the last vector —
+    /// each time `t` in `1..=depth()` where the net's unit-delay value
+    /// differs from its value at `t - 1` — and returns the toggle
+    /// count, computed word-parallel on the bit-field
+    /// (`popcount(f ^ (f >> 1))` per word) instead of materializing the
+    /// history. Returns `None` exactly when [`ParallelSim::history`]
+    /// does (the pre-alignment part is not reconstructible).
+    ///
+    /// Unlike [`ParallelSim::field_transition_count`], which counts
+    /// transitions anywhere in the field window, this is
+    /// alignment-aware at both ends so it agrees bit-for-bit with a
+    /// toggle count derived from `history()`: pairs below time 0
+    /// (negative alignment places field bits before the vector starts)
+    /// are masked off, and for positive alignment the boundary step
+    /// from the pre-field value to bit 0 is checked separately.
+    pub fn for_each_toggle_in_field(&self, net: NetId, visit: &mut dyn FnMut(u32)) -> Option<u32> {
+        if !self.trackable[net.index()] {
+            return None;
+        }
+        let layout = &self.layouts[net];
+        if layout.words == 0 {
+            return Some(0);
+        }
+        let mut count = 0u32;
+        // Toggle at `align` itself (align >= 1): the step from the value
+        // just below the field — value_at(align - 1), which history()
+        // also reports — to field bit 0.
+        if layout.align >= 1 {
+            let below = self
+                .value_at(net, (layout.align - 1) as u32)
+                .expect("trackable net has a value below its alignment");
+            if below != layout.read_bit(&self.arena, 0) {
+                count += 1;
+                visit(layout.align as u32);
+            }
+        }
+        // Pair p (field bits p, p+1) is a toggle at time align + p + 1;
+        // pairs with p < skip land at time <= 0 and are not history.
+        let skip = u32::try_from(-i64::from(layout.align.min(0))).expect("align fits");
+        let mut previous_top: Option<bool> = None;
+        for w in 0..layout.words {
+            let word = self.arena[(layout.base + w) as usize];
+            let bit_offset = w * W::BITS;
+            let valid = (layout.width - bit_offset).min(W::BITS);
+            // Bit i of `xor` set <=> pair (bit_offset + i) toggles.
+            let mut xor = (word ^ (word >> 1)) & W::low_mask(valid.saturating_sub(1));
+            if skip > bit_offset {
+                xor &= !W::low_mask((skip - bit_offset).min(W::BITS));
+            }
+            count += xor.count_ones();
+            while xor != W::ZERO {
+                let i = xor.trailing_zeros();
+                let time = i64::from(layout.align) + i64::from(bit_offset + i) + 1;
+                visit(u32::try_from(time).expect("masked pairs land at positive times"));
+                xor &= !W::low_mask((i + 1).min(W::BITS));
+            }
+            // The cross-word pair (bit_offset - 1): previous word's top
+            // field bit against this word's bit 0.
+            if let Some(top) = previous_top {
+                let pair = bit_offset - 1;
+                if pair >= skip && top != word.bit(0) {
+                    count += 1;
+                    visit(
+                        u32::try_from(i64::from(layout.align) + i64::from(pair) + 1)
+                            .expect("cross-word pair lands at a positive time"),
+                    );
+                }
+            }
+            previous_top = Some(word.bit(valid - 1));
+        }
+        Some(count)
     }
 }
 

@@ -58,6 +58,10 @@ pub trait Word:
 
     /// Number of set bits.
     fn count_ones(self) -> u32;
+
+    /// Number of trailing zero bits (`BITS` for the zero word) — the
+    /// activity profiler walks set bits with it.
+    fn trailing_zeros(self) -> u32;
 }
 
 macro_rules! impl_word {
@@ -96,6 +100,11 @@ macro_rules! impl_word {
             #[inline]
             fn count_ones(self) -> u32 {
                 <$ty>::count_ones(self)
+            }
+
+            #[inline]
+            fn trailing_zeros(self) -> u32 {
+                <$ty>::trailing_zeros(self)
             }
         }
     };

@@ -143,6 +143,19 @@ impl PcSetSimulator {
         Self::compile_inner(netlist, netlist.primary_outputs(), limits, probe)
     }
 
+    /// [`PcSetSimulator::compile_with_monitors`] under a resource budget
+    /// and with compile phases reported through `probe` — the fully
+    /// general constructor. The activity profiler monitors every net so
+    /// each one's history (and therefore its toggle count) exists.
+    pub fn compile_probed_with_monitors(
+        netlist: &Netlist,
+        monitored: &[NetId],
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+    ) -> Result<Self, CompileError> {
+        Self::compile_inner(netlist, monitored, limits, probe)
+    }
+
     fn compile_inner(
         netlist: &Netlist,
         monitored: &[NetId],

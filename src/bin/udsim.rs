@@ -54,11 +54,13 @@ use std::time::{Duration, Instant};
 use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
 use unit_delay_sim::core::{
-    build_engine_with_limits_probed_word, run_batch, DefaultEngineFactory, Engine, FailureClass,
-    GuardedSimulator, SimError, Telemetry, WordWidth,
+    build_engine_with_limits_probed_word, open_sink, render_chrome_trace, run_batch_observed,
+    write_text, ActivityProfiler, BatchActivityObserver, BatchProbe, DefaultEngineFactory, Engine,
+    FailureClass, FanoutProbe, GuardedSimulator, HumanOut, MonitoringEngineFactory, NdjsonProgress,
+    NoopBatchProbe, SimError, StreamContract, Telemetry, WordWidth,
 };
 use unit_delay_sim::netlist::stats::CircuitStats;
-use unit_delay_sim::netlist::{Probe, ResourceLimits};
+use unit_delay_sim::netlist::{levelize, Probe, ResourceLimits};
 use unit_delay_sim::parallel::{self, Optimization, ParallelSimulator};
 use unit_delay_sim::pcset::{self, PcSetSimulator};
 use unit_delay_sim::prelude::{bench_format, Netlist};
@@ -119,6 +121,7 @@ fn run() -> Result<(), CliError> {
     let rest: Vec<String> = args.collect();
     match command.as_str() {
         "simulate" => simulate(&rest),
+        "profile" => profile(&rest),
         "stats" => stats(&rest),
         "codegen" => codegen(&rest),
         "cone" => cone(&rest),
@@ -141,14 +144,20 @@ fn run() -> Result<(), CliError> {
 
 fn usage() -> String {
     "usage:\n  udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]\n                  \
-     [--jobs N] [--word 32|64] [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]\n  \
+     [--jobs N] [--word 32|64] [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]\n                  \
+     [--trace OUT.json] [--progress OUT.ndjson]\n  \
+     udsim profile FILE.bench [--engine NAME] [--vectors N] [--seed S] [--jobs N] [--word 32|64]\n                 \
+     [--top K] [--json OUT.json] [--trace OUT.json] [--progress OUT.ndjson]\n  \
      udsim stats FILE.bench\n  \
      udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n                 \
      [--stats OUT.json]\n  \
      udsim cone FILE.bench OUTPUT_NET [...]\n  \
      udsim engines\n\n\
      SPEC: production | depth=N,gates=N,inputs=N,field-words=N,memory=N[K|M|G],deadline-ms=N\n\
-     --stats -  writes the telemetry JSON to stdout (human output moves to stderr)\n\n\
+     stream flags (--stats, --trace, --progress, --json) accept `-` for stdout; at most one\n\
+     per invocation may claim it, and human output then moves to stderr.\n\
+     --trace exports the telemetry span tree as Chrome trace_event JSON (load in Perfetto);\n\
+     --progress streams per-shard NDJSON heartbeats during --jobs batch runs.\n\n\
      exit codes: 0 ok, 2 usage, 3 parse, 4 structural, 5 budget, 6 engine panic,\n\
      7 cross-check mismatch; 1 is an internal error (a udsim bug), never bad input"
         .to_owned()
@@ -255,6 +264,8 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     let mut seed = 1990u64;
     let mut vcd_path: Option<String> = None;
     let mut stats_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut progress_path: Option<String> = None;
     let mut fallback = false;
     let mut crosscheck = false;
     let mut jobs: Option<usize> = None;
@@ -299,6 +310,16 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
             "--stats" => {
                 stats_path = Some(iter.next().ok_or("--stats needs a path (or `-`)")?.clone())
             }
+            "--trace" => {
+                trace_path = Some(iter.next().ok_or("--trace needs a path (or `-`)")?.clone())
+            }
+            "--progress" => {
+                progress_path = Some(
+                    iter.next()
+                        .ok_or("--progress needs a path (or `-`)")?
+                        .clone(),
+                )
+            }
             "--fallback" => fallback = true,
             "--crosscheck" => crosscheck = true,
             "--budget" => limits = parse_budget(iter.next().ok_or("--budget needs a spec")?)?,
@@ -309,11 +330,19 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         }
     }
     let file = file.ok_or("missing FILE.bench")?;
-    let telemetry = stats_path.as_ref().map(|_| Telemetry::new());
-    // With `--stats -` the JSON owns stdout; human output moves to stderr.
-    let human = HumanOut {
-        to_stderr: stats_path.as_deref() == Some("-"),
-    };
+    if progress_path.is_some() && jobs.is_none() {
+        return Err(CliError::usage(
+            "--progress streams batch heartbeats and requires --jobs",
+        ));
+    }
+    // The stream flags share stdout under one contract: at most one `-`,
+    // and any `-` moves the human output to stderr.
+    let human = stream_contract(&[
+        ("--stats", stats_path.as_deref()),
+        ("--trace", trace_path.as_deref()),
+        ("--progress", progress_path.as_deref()),
+    ])?;
+    let telemetry = (stats_path.is_some() || trace_path.is_some()).then(Telemetry::new);
     let nl = {
         let _span = telemetry.as_ref().map(|t| t.span("parse"));
         load(&file)?
@@ -339,6 +368,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         } else {
             vec![engine.unwrap_or(Engine::ParallelPathTracingTrimming)]
         };
+        let progress = progress_sink(progress_path.as_deref())?;
         simulate_batch(
             &nl,
             limits,
@@ -348,6 +378,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
             jobs,
             crosscheck,
             telemetry.as_ref(),
+            progress.as_ref().map(|p| p as &dyn BatchProbe),
             &human,
         )?;
     } else if fallback {
@@ -382,27 +413,38 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         )?;
     }
 
-    if let (Some(path), Some(telemetry)) = (stats_path, telemetry) {
-        collect_static_metrics(&nl, &limits, &telemetry);
-        write_stats(&path, &telemetry)?;
+    if let Some(telemetry) = &telemetry {
+        if let Some(path) = &stats_path {
+            collect_static_metrics(&nl, &limits, telemetry);
+            write_stats(path, telemetry)?;
+        }
+        if let Some(path) = &trace_path {
+            write_trace(path, telemetry)?;
+        }
     }
     Ok(())
 }
 
-/// Routes the human-readable output: stdout normally, stderr when
-/// `--stats -` has claimed stdout for the JSON report.
-struct HumanOut {
-    to_stderr: bool,
-}
-
-impl HumanOut {
-    fn line(&self, text: String) {
-        if self.to_stderr {
-            eprintln!("{text}");
-        } else {
-            println!("{text}");
+/// Applies the shared stdout contract to this invocation's stream
+/// flags and returns the routed human-output sink.
+fn stream_contract(flags: &[(&str, Option<&str>)]) -> Result<HumanOut, CliError> {
+    let mut contract = StreamContract::new();
+    for &(flag, dest) in flags {
+        if let Some(dest) = dest {
+            contract.claim(flag, dest).map_err(CliError::usage)?;
         }
     }
+    Ok(contract.human())
+}
+
+/// Opens the `--progress` NDJSON sink, if requested.
+fn progress_sink(path: Option<&str>) -> Result<Option<NdjsonProgress>, CliError> {
+    path.map(|dest| {
+        open_sink(dest)
+            .map(NdjsonProgress::new)
+            .map_err(|e| CliError::class(format!("opening {dest}: {e}"), FailureClass::Usage))
+    })
+    .transpose()
 }
 
 /// Best-effort pass compiling the techniques the run did not already
@@ -427,15 +469,15 @@ fn collect_static_metrics(nl: &Netlist, limits: &ResourceLimits, telemetry: &Tel
 
 /// Renders the telemetry report to `path` (`-` = stdout).
 fn write_stats(path: &str, telemetry: &Telemetry) -> Result<(), CliError> {
-    let rendered = telemetry.snapshot().render_json();
-    if path == "-" {
-        print!("{rendered}");
-    } else {
-        std::fs::write(path, rendered)
-            .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))?;
-        eprintln!("wrote {path}");
-    }
-    Ok(())
+    write_text(path, &telemetry.snapshot().render_json())
+        .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))
+}
+
+/// Renders the telemetry span tree as Chrome trace_event JSON to
+/// `path` (`-` = stdout). Load the file in Perfetto / chrome://tracing.
+fn write_trace(path: &str, telemetry: &Telemetry) -> Result<(), CliError> {
+    write_text(path, &render_chrome_trace(&telemetry.snapshot()))
+        .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))
 }
 
 /// The degradation chain for `--fallback`: the requested engine first
@@ -639,6 +681,7 @@ fn simulate_batch(
     jobs: usize,
     crosscheck: bool,
     telemetry: Option<&Telemetry>,
+    probe: Option<&dyn BatchProbe>,
     human: &HumanOut,
 ) -> Result<(), CliError> {
     let attach = |e: SimError| CliError::from(e.with_circuit(nl.name()));
@@ -661,7 +704,15 @@ fn simulate_batch(
     print_header(nl, prototype.active_engine(), human);
     let out = {
         let _span = telemetry.map(|t| t.span("simulate"));
-        run_batch(nl, &prototype, stimulus, jobs, telemetry).map_err(attach)?
+        run_batch_observed(
+            nl,
+            &prototype,
+            stimulus,
+            jobs,
+            telemetry,
+            probe.unwrap_or(&NoopBatchProbe),
+        )
+        .map_err(attach)?
     };
     if let Some(t) = telemetry {
         t.add("run.vectors", out.rows.len() as u64);
@@ -709,6 +760,202 @@ fn simulate_batch(
             "cross-check: batch (--jobs {jobs}) matches the sequential run over {} vectors",
             stimulus.len()
         );
+    }
+    Ok(())
+}
+
+/// `udsim profile`: simulates a random stream with every net monitored
+/// and reports toggle activity — total toggles, the activity factor
+/// (toggles / (nets × depth × vectors)), the hottest nets, and per-level
+/// / per-time histograms. The profile is a pure function of circuit and
+/// stimulus: byte-identical across engines, word widths and `--jobs`.
+fn profile(args: &[String]) -> Result<(), CliError> {
+    let mut file = None;
+    let mut engine: Option<Engine> = None;
+    let mut vectors = 256usize;
+    let mut seed = 1990u64;
+    let mut jobs: Option<usize> = None;
+    let mut word = WordWidth::default();
+    let mut top = 10usize;
+    let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut progress_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--engine" => {
+                engine = Some(parse_engine(iter.next().ok_or("--engine needs a value")?)?)
+            }
+            "--vectors" => {
+                vectors = iter
+                    .next()
+                    .ok_or("--vectors needs a value")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--vectors: {e}")))?;
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--seed: {e}")))?;
+            }
+            "--jobs" => {
+                let value = iter.next().ok_or("--jobs needs a worker count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--jobs: {e}")))?;
+                if parsed == 0 {
+                    return Err(CliError::usage("--jobs: worker count must be at least 1"));
+                }
+                jobs = Some(parsed);
+            }
+            "--word" => {
+                let value = iter.next().ok_or("--word needs a width (32 or 64)")?;
+                word = WordWidth::parse(value)
+                    .ok_or_else(|| CliError::usage(format!("--word: `{value}` is not 32 or 64")))?;
+            }
+            "--top" => {
+                top = iter
+                    .next()
+                    .ok_or("--top needs a count")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--top: {e}")))?;
+            }
+            "--json" => {
+                json_path = Some(iter.next().ok_or("--json needs a path (or `-`)")?.clone())
+            }
+            "--trace" => {
+                trace_path = Some(iter.next().ok_or("--trace needs a path (or `-`)")?.clone())
+            }
+            "--progress" => {
+                progress_path = Some(
+                    iter.next()
+                        .ok_or("--progress needs a path (or `-`)")?
+                        .clone(),
+                )
+            }
+            other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
+                file = Some(other.to_owned());
+            }
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let file = file.ok_or("missing FILE.bench")?;
+    if progress_path.is_some() && jobs.is_none() {
+        return Err(CliError::usage(
+            "--progress streams batch heartbeats and requires --jobs",
+        ));
+    }
+    let human = stream_contract(&[
+        ("--json", json_path.as_deref()),
+        ("--trace", trace_path.as_deref()),
+        ("--progress", progress_path.as_deref()),
+    ])?;
+    let telemetry = trace_path.as_ref().map(|_| Telemetry::new());
+    let nl = {
+        let _span = telemetry.as_ref().map(|t| t.span("parse"));
+        load(&file)?
+    };
+    let levels = levelize(&nl)
+        .map_err(|e| CliError::class(format!("{file}: {e}"), FailureClass::Structural))?;
+    let engine = engine.unwrap_or(Engine::ParallelPathTracingTrimming);
+    if let Some(t) = &telemetry {
+        t.label("command", "profile");
+        t.label("circuit", nl.name());
+        t.label("engine", engine.to_string());
+        t.label("seed", seed.to_string());
+        t.label("vectors", vectors.to_string());
+    }
+    let stimulus: Vec<Vec<bool>> = RandomVectors::new(nl.primary_inputs().len(), seed)
+        .take(vectors)
+        .collect();
+    let limits = ResourceLimits::unlimited();
+    let build = || {
+        let _span = telemetry.as_ref().map(|t| t.span("compile"));
+        // The monitoring factory keeps every net observable, whichever
+        // engine measures — that is what makes the totals engine-exact.
+        let factory = Box::new(MonitoringEngineFactory::with_word(word));
+        match &telemetry {
+            Some(t) => {
+                GuardedSimulator::with_factory_telemetry(&nl, limits, &[engine], factory, t.clone())
+            }
+            None => GuardedSimulator::with_factory(&nl, limits, &[engine], factory),
+        }
+        .map_err(|e| CliError::from(e.with_circuit(nl.name())))
+    };
+
+    let profiler = if let Some(jobs) = jobs {
+        let prototype = build()?;
+        let observer = BatchActivityObserver::new(&nl, &levels, stimulus.len(), jobs);
+        let progress = progress_sink(progress_path.as_deref())?;
+        let mut probes: Vec<&dyn BatchProbe> = vec![&observer];
+        if let Some(progress) = &progress {
+            probes.push(progress);
+        }
+        let fanout = FanoutProbe::new(probes);
+        {
+            let _span = telemetry.as_ref().map(|t| t.span("simulate"));
+            run_batch_observed(
+                &nl,
+                &prototype,
+                &stimulus,
+                jobs,
+                telemetry.as_ref(),
+                &fanout,
+            )
+            .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+        }
+        observer.merged()
+    } else {
+        let mut guard = build()?;
+        let mut profiler = ActivityProfiler::for_netlist(&nl, &levels);
+        let _span = telemetry.as_ref().map(|t| t.span("simulate"));
+        for vector in &stimulus {
+            guard
+                .simulate_vector(vector)
+                .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+            profiler.record_vector(guard.active_simulator());
+        }
+        profiler
+    };
+
+    let mut report = profiler.report(&nl, &levels, top);
+    report.label("engine", engine.to_string());
+    report.label("word", word.bits().to_string());
+    report.label("jobs", jobs.unwrap_or(1).to_string());
+    report.label("seed", seed.to_string());
+
+    human.line(format!(
+        "# {}: {} nets, depth {}, {} vectors on {engine}",
+        nl.name(),
+        report.nets,
+        report.depth,
+        report.vectors
+    ));
+    human.line(format!(
+        "total toggles:   {}  (activity factor {:.6})",
+        report.total_toggles, report.activity_factor
+    ));
+    if report.unobserved_nets > 0 {
+        human.line(format!("unobserved nets: {}", report.unobserved_nets));
+    }
+    human.line(format!("hottest {} nets:", report.hot_nets.len()));
+    for hot in &report.hot_nets {
+        human.line(format!(
+            "  {:>10} toggles  level {:>3}  {}",
+            hot.toggles, hot.level, hot.net
+        ));
+    }
+
+    if let Some(path) = &json_path {
+        let mut rendered = report.to_json().render();
+        rendered.push('\n');
+        write_text(path, &rendered)
+            .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))?;
+    }
+    if let (Some(path), Some(telemetry)) = (&trace_path, &telemetry) {
+        write_trace(path, telemetry)?;
     }
     Ok(())
 }
@@ -822,9 +1069,7 @@ fn codegen(args: &[String]) -> Result<(), CliError> {
     let telemetry = stats_path.as_ref().map(|_| Telemetry::new());
     // With `--stats -` the JSON owns stdout; the generated C moves to
     // stderr.
-    let human = HumanOut {
-        to_stderr: stats_path.as_deref() == Some("-"),
-    };
+    let human = stream_contract(&[("--stats", stats_path.as_deref())])?;
     let nl = {
         let _span = telemetry.as_ref().map(|t| t.span("parse"));
         load(&file)?
