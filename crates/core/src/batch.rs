@@ -159,6 +159,20 @@ pub fn run_batch_observed(
         );
     }
     if vectors.is_empty() {
+        // Even a degenerate batch announces completion: consumers keyed
+        // on `finished` (progress bars, the NDJSON stream) must never
+        // wait on a batch that will say nothing.
+        if probe.wants_heartbeats() {
+            probe.heartbeat(&Heartbeat {
+                shard: 0,
+                done: 0,
+                total: 0,
+                wall_ns: 0,
+                engine: prototype.active_engine(),
+                fallbacks: 0,
+                finished: true,
+            });
+        }
         return Ok(BatchOutput {
             rows: Vec::new(),
             shards: Vec::new(),
@@ -376,6 +390,32 @@ mod tests {
         let out = run_batch(&nl, &guard, &[], 4, None).unwrap();
         assert!(out.rows.is_empty());
         assert!(out.shards.is_empty());
+    }
+
+    #[test]
+    fn empty_stream_still_announces_completion() {
+        use crate::progress::{BatchProbe, Heartbeat};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<Heartbeat>>);
+        impl BatchProbe for Recorder {
+            fn wants_heartbeats(&self) -> bool {
+                true
+            }
+            fn heartbeat(&self, beat: &Heartbeat) {
+                self.0.lock().unwrap().push(*beat);
+            }
+        }
+
+        let nl = c17();
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        let recorder = Recorder::default();
+        run_batch_observed(&nl, &guard, &[], 4, None, &recorder).unwrap();
+        let beats = recorder.0.lock().unwrap();
+        assert_eq!(beats.len(), 1, "exactly one completion record");
+        assert!(beats[0].finished);
+        assert_eq!((beats[0].done, beats[0].total), (0, 0));
     }
 
     #[test]

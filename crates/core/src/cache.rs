@@ -1,0 +1,257 @@
+//! An observable LRU cache of compiled engines.
+//!
+//! CVC's central argument (PAPERS.md) is that compiled simulation wins
+//! when the compiled artifact is *reused*; for a resident daemon that
+//! means repeated requests for the same circuit must skip the compile
+//! entirely. [`EngineCache`] keeps recently compiled
+//! [`GuardedSimulator`] prototypes keyed by [`CacheKey`] — the
+//! canonical netlist hash, the requested engine (or the auto chain),
+//! and the arena word width — and hands out forks, so every request
+//! gets a private engine in its power-up state while the compiled
+//! program is shared.
+//!
+//! The cache is its own telemetry surface: `cache.hits`,
+//! `cache.misses`, and `cache.evictions` counters plus a
+//! `cache.entries` level gauge, all visible in `/metrics` and the
+//! `--stats` snapshot. Eviction is least-recently-used with a linear
+//! scan — capacities are tens of circuits, not millions, and the scan
+//! is dwarfed by a single vector's simulation.
+
+use std::sync::Mutex;
+
+use uds_netlist::{bench_format, Netlist};
+
+use crate::guard::GuardedSimulator;
+use crate::telemetry::Telemetry;
+use crate::{Engine, WordWidth};
+
+/// Hashes a netlist's *canonical* `.bench` rendering (64-bit FNV-1a),
+/// so two textual spellings of the same circuit share a cache entry and
+/// a request log line identifies its circuit stably.
+pub fn netlist_hash(netlist: &Netlist) -> u64 {
+    fnv1a(bench_format::write(netlist).as_bytes())
+}
+
+/// 64-bit FNV-1a over raw bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What a compiled prototype was compiled *for*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheKey {
+    /// [`netlist_hash`] of the circuit.
+    pub netlist_hash: u64,
+    /// The pinned engine, or `None` for the default fallback chain.
+    pub engine: Option<Engine>,
+    /// Arena word width of the parallel-family engines.
+    pub word: WordWidth,
+}
+
+struct Entry {
+    key: CacheKey,
+    prototype: GuardedSimulator,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache of compiled engine prototypes. All methods
+/// take `&self`; handlers on different connections share one cache.
+pub struct EngineCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    telemetry: Telemetry,
+}
+
+impl EngineCache {
+    /// An empty cache holding at most `capacity` prototypes (a capacity
+    /// of 0 disables caching: every lookup misses, every insert
+    /// evicts nothing and stores nothing). Counters and the entries
+    /// gauge report into `telemetry`.
+    pub fn new(capacity: usize, telemetry: Telemetry) -> Self {
+        telemetry.set_level("cache.entries", 0);
+        EngineCache {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tick: 0,
+            }),
+            capacity,
+            telemetry,
+        }
+    }
+
+    /// Resident prototypes.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up; a hit returns a fresh fork of the cached
+    /// prototype (power-up state, empty vector log) and refreshes its
+    /// recency. Bumps `cache.hits` or `cache.misses`.
+    pub fn lookup(&self, key: &CacheKey) -> Option<GuardedSimulator> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.iter_mut().find(|e| e.key == *key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let fork = entry.prototype.fork();
+                self.telemetry.add("cache.hits", 1);
+                Some(fork)
+            }
+            None => {
+                self.telemetry.add("cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly compiled prototype, evicting the
+    /// least-recently-used entry when full. Re-inserting an existing
+    /// key replaces the prototype (no eviction counted).
+    pub fn insert(&self, key: CacheKey, prototype: GuardedSimulator) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+            entry.prototype = prototype;
+            entry.last_used = tick;
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            let victim = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("a full cache has a victim");
+            inner.entries.swap_remove(victim);
+            self.telemetry.add("cache.evictions", 1);
+        }
+        inner.entries.push(Entry {
+            key,
+            prototype,
+            last_used: tick,
+        });
+        self.telemetry
+            .set_level("cache.entries", inner.entries.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uds_netlist::generators::iscas::c17;
+    use uds_netlist::ResourceLimits;
+
+    fn key(hash: u64) -> CacheKey {
+        CacheKey {
+            netlist_hash: hash,
+            engine: None,
+            word: WordWidth::default(),
+        }
+    }
+
+    fn prototype() -> GuardedSimulator {
+        GuardedSimulator::new(&c17(), ResourceLimits::production()).unwrap()
+    }
+
+    #[test]
+    fn hash_is_stable_and_spelling_invariant() {
+        use uds_netlist::bench_format;
+        let nl = c17();
+        let h = netlist_hash(&nl);
+        assert_eq!(h, netlist_hash(&nl), "deterministic");
+        // Re-parse the canonical rendering: same circuit, same hash.
+        let reparsed = bench_format::parse(&bench_format::write(&nl), nl.name()).unwrap();
+        assert_eq!(h, netlist_hash(&reparsed));
+    }
+
+    #[test]
+    fn hit_returns_a_fork_and_counts() {
+        let telemetry = Telemetry::new();
+        let cache = EngineCache::new(4, telemetry.clone());
+        assert!(cache.lookup(&key(1)).is_none());
+        cache.insert(key(1), prototype());
+        let mut fork = cache.lookup(&key(1)).expect("hit");
+        fork.simulate_vector(&[true, false, true, false, true])
+            .unwrap();
+        assert_eq!(telemetry.counter("cache.hits"), 1);
+        assert_eq!(telemetry.counter("cache.misses"), 1);
+        assert_eq!(telemetry.gauge_value("cache.entries"), Some(1));
+    }
+
+    #[test]
+    fn keys_distinguish_engine_and_word() {
+        let cache = EngineCache::new(8, Telemetry::new());
+        cache.insert(key(1), prototype());
+        let other_engine = CacheKey {
+            engine: Some(Engine::PcSet),
+            ..key(1)
+        };
+        let other_word = CacheKey {
+            word: WordWidth::W64,
+            ..key(1)
+        };
+        assert!(cache.lookup(&other_engine).is_none());
+        assert!(cache.lookup(&other_word).is_none());
+        assert!(cache.lookup(&key(1)).is_some());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let telemetry = Telemetry::new();
+        let cache = EngineCache::new(2, telemetry.clone());
+        cache.insert(key(1), prototype());
+        cache.insert(key(2), prototype());
+        assert!(cache.lookup(&key(1)).is_some()); // 2 is now LRU
+        cache.insert(key(3), prototype());
+        assert!(cache.lookup(&key(2)).is_none(), "2 was evicted");
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(3)).is_some());
+        assert_eq!(telemetry.counter("cache.evictions"), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let telemetry = Telemetry::new();
+        let cache = EngineCache::new(0, telemetry.clone());
+        cache.insert(key(1), prototype());
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key(1)).is_none());
+        assert_eq!(telemetry.counter("cache.evictions"), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let telemetry = Telemetry::new();
+        let cache = EngineCache::new(2, telemetry.clone());
+        cache.insert(key(1), prototype());
+        cache.insert(key(1), prototype());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(telemetry.counter("cache.evictions"), 0);
+    }
+}

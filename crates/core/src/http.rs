@@ -1,0 +1,332 @@
+//! A hand-rolled HTTP/1.1 server core for the simulation daemon.
+//!
+//! The workspace builds fully offline, so the service layer gets the
+//! same treatment as the JSON, VCD, and trace writers: a small,
+//! dependency-free implementation of exactly the subset we serve.
+//! [`read_request`] parses one request (request line, headers, and a
+//! `Content-Length`-delimited body) off any [`Read`]; [`Response`]
+//! renders one `Connection: close` response. Every connection carries
+//! one request — the daemon's clients are scrapers and batch
+//! submitters, not browsers, so keep-alive buys nothing and a closed
+//! connection is an unambiguous end-of-response marker.
+//!
+//! Hard limits make the parser safe on untrusted sockets: the request
+//! head (request line + headers) is capped at [`MAX_HEAD_BYTES`], the
+//! body at a caller-chosen ceiling, and both reject early with a typed
+//! [`HttpError`] that maps onto a 4xx status.
+
+use std::io::{self, Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path plus any query string).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps onto the 4xx
+/// status the server should answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or framing.
+    Bad(String),
+    /// Request head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// Declared body length exceeded the server's ceiling.
+    BodyTooLarge { declared: u64, limit: u64 },
+    /// A body-bearing method arrived without `Content-Length`.
+    LengthRequired,
+    /// The socket failed or closed mid-request.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Bad(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::LengthRequired => 411,
+            HttpError::Io(_) => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Bad(what) => write!(f, "bad request: {what}"),
+            HttpError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::LengthRequired => write!(f, "Content-Length required"),
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads the request head byte-by-byte until the blank line. One-byte
+/// reads are fine here: callers hand in a buffered stream, and the head
+/// is at most [`MAX_HEAD_BYTES`].
+fn read_head(stream: &mut impl Read) -> Result<String, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed mid-head".to_owned()));
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+    String::from_utf8(head).map_err(|_| HttpError::Bad("head is not UTF-8".to_owned()))
+}
+
+/// Reads one HTTP/1.x request from `stream`. Bodies are accepted only
+/// with `Content-Length` (no chunked encoding) and only up to
+/// `max_body` bytes.
+///
+/// # Errors
+///
+/// Any framing violation, over-limit head or body, or socket failure.
+pub fn read_request(stream: &mut impl Read, max_body: u64) -> Result<Request, HttpError> {
+    let head = read_head(stream)?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Bad("empty request".to_owned()))?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(HttpError::Bad(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version `{version}`")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines.take_while(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Bad(
+            "chunked bodies are not supported".to_owned(),
+        ));
+    }
+    let declared = match request.header("content-length") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| HttpError::Bad(format!("bad Content-Length `{v}`")))?,
+        None if request.method == "POST" || request.method == "PUT" => {
+            return Err(HttpError::LengthRequired)
+        }
+        None => 0,
+    };
+    if declared > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; declared as usize];
+    stream.read_exact(&mut body)?;
+    Ok(Request { body, ..request })
+}
+
+/// One response, rendered with `Content-Length` and
+/// `Connection: close`.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Writes the response (status line, headers, body) to `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures pass through.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length() {
+        let req = parse("POST /simulate HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let err = parse("POST /simulate HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn oversized_body_is_413_before_reading_it() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let raw = format!(
+            "GET /x HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        let err = read_request(&mut Cursor::new(raw.into_bytes()), 1024).unwrap_err();
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let req = parse("GET /metrics HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn response_renders_status_line_headers_and_body() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

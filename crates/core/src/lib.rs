@@ -28,7 +28,13 @@
 //! * [`activity`], [`progress`], [`stream`] — runtime observability:
 //!   word-parallel toggle profiling (`udsim profile`), live batch
 //!   heartbeats (`--progress`), and the shared stdout contract every
-//!   `-` stream flag obeys.
+//!   `-` stream flag obeys;
+//! * [`http`], [`cache`], [`serve`] — the service layer: a
+//!   dependency-free HTTP/1.1 core, an observable LRU of compiled
+//!   engine prototypes, and the `udsim serve` daemon that exposes
+//!   simulation over `POST /simulate` with Prometheus `/metrics`
+//!   (rendered by [`telemetry::prom`]), health probes, and structured
+//!   request logs.
 //!
 //! # Example
 //!
@@ -51,13 +57,16 @@
 
 pub mod activity;
 pub mod batch;
+pub mod cache;
 pub mod chaos;
 pub mod crosscheck;
 pub mod error;
 pub mod guard;
 pub mod hazard;
+pub mod http;
 pub mod progress;
 pub mod sequential;
+pub mod serve;
 mod simulator;
 pub mod stream;
 pub mod telemetry;
@@ -67,6 +76,7 @@ pub mod waveform;
 
 pub use activity::{ActivityProfiler, ActivityReport, BatchActivityObserver, ACTIVITY_SCHEMA};
 pub use batch::{run_batch, run_batch_observed, shard_bounds, BatchOutput, ShardReport};
+pub use cache::{netlist_hash, CacheKey, EngineCache};
 pub use error::{FailureClass, SimError, SimErrorKind, SimPhase};
 pub use guard::{
     build_engine_with_limits, build_engine_with_limits_probed,
@@ -76,10 +86,13 @@ pub use guard::{
 pub use progress::{
     BatchProbe, FanoutProbe, Heartbeat, NdjsonProgress, NoopBatchProbe, PROGRESS_SCHEMA,
 };
+pub use serve::{
+    install_signal_handlers, ServeConfig, ShutdownHandle, SimServer, REQLOG_SCHEMA, SERVE_SCHEMA,
+};
 pub use simulator::{
     build_simulator, build_simulator_with_word, BuildSimulatorError, Engine, TracedEventSim,
     UnitDelaySimulator, WordWidth,
 };
 pub use stream::{open_sink, write_text, HumanOut, StreamContract};
 pub use telemetry::trace::{chrome_trace, render_chrome_trace};
-pub use telemetry::{SpanNode, Telemetry, TelemetryReport};
+pub use telemetry::{record_build_info, SpanNode, Telemetry, TelemetryReport, BUILD_INFO_GAUGE};

@@ -1,0 +1,863 @@
+//! The resident simulation daemon behind `udsim serve`.
+//!
+//! Every other entry point in the workspace is a one-shot run: parse,
+//! compile, simulate, exit — the compiled artifact dies with the
+//! process. [`SimServer`] keeps it alive: a long-running HTTP service
+//! (on the hand-rolled [`crate::http`] core) that compiles once per
+//! distinct circuit, caches the compiled prototype in an
+//! [`EngineCache`], and serves every later request with a fork — the
+//! compiled-reuse payoff the paper's straight-line code exists for.
+//!
+//! Endpoints:
+//!
+//! | Route                | Answer |
+//! |----------------------|--------|
+//! | `POST /simulate`     | run a netlist + vector batch, JSON reply (`uds-serve-v1`) |
+//! | `GET /metrics`       | live telemetry in Prometheus text exposition |
+//! | `GET /healthz`       | liveness: `200 ok` while the process can answer at all |
+//! | `GET /readyz`        | readiness: `200 ready` while accepting work, `503 draining` during shutdown |
+//! | `POST /quitquitquit` | graceful shutdown (only with [`ServeConfig::allow_quit`]) |
+//!
+//! Every request emits one `uds-reqlog-v1` NDJSON line to the optional
+//! request-log sink. Shutdown — SIGTERM/SIGINT (via
+//! [`install_signal_handlers`]) or `/quitquitquit` — stops accepting,
+//! drains in-flight connections, and returns from [`SimServer::run`] so
+//! the caller can flush a final telemetry snapshot.
+//!
+//! Telemetry: the daemon never opens spans on the shared registry
+//! (handler threads would interleave one span stack); compile times are
+//! attached as finished `serve.compile` spans with the connection id as
+//! their timeline lane. A cache hit therefore leaves *no* compile span
+//! — the observable proof that recompilation was skipped.
+
+// SimError is large but cold; see guard.rs.
+#![allow(clippy::result_large_err)]
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use uds_netlist::{bench_format, Netlist, ResourceLimits};
+
+use crate::cache::{netlist_hash, CacheKey, EngineCache};
+use crate::error::{FailureClass, SimError};
+use crate::guard::{DefaultEngineFactory, GuardedSimulator};
+use crate::http::{read_request, Request, Response};
+use crate::telemetry::json::Json;
+use crate::telemetry::{prom, SpanNode, Telemetry};
+use crate::{run_batch, Engine, WordWidth};
+
+/// Schema tag on every request-log line.
+pub const REQLOG_SCHEMA: &str = "uds-reqlog-v1";
+
+/// Schema tag on every `POST /simulate` response.
+pub const SERVE_SCHEMA: &str = "uds-serve-v1";
+
+/// Signal-handler flag: SIGTERM/SIGINT land here (a handler may only
+/// do an atomic store), and every running server polls it.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGTERM or SIGINT was received (after
+/// [`install_signal_handlers`]).
+pub fn signal_shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Routes SIGTERM and SIGINT into a graceful drain. Hand-rolled
+/// against libc's `signal` (std links libc on unix already); the
+/// handler is async-signal-safe — one relaxed store.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// No signals to install off unix; `/quitquitquit` still drains.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// Tuning knobs for a [`SimServer`].
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Compiled prototypes kept resident (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Whether `POST /quitquitquit` is honored (else 403).
+    pub allow_quit: bool,
+    /// Compile budget enforced per request — untrusted input.
+    pub limits: ResourceLimits,
+    /// Word width when a request names none.
+    pub default_word: WordWidth,
+    /// Worker threads per request when a request names none.
+    pub default_jobs: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: u64,
+    /// Largest accepted vector batch per request.
+    pub max_vectors: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_capacity: 64,
+            allow_quit: false,
+            limits: ResourceLimits::production(),
+            default_word: WordWidth::default(),
+            default_jobs: 1,
+            max_body_bytes: 16 << 20,
+            max_vectors: 1 << 20,
+        }
+    }
+}
+
+/// The HTTP status a [`SimError`] answers with: bad requests are the
+/// client's fault (4xx), contained engine failures are ours (5xx).
+fn status_for(class: FailureClass) -> u16 {
+    match class {
+        FailureClass::Usage | FailureClass::Parse => 400,
+        FailureClass::Structural | FailureClass::Budget => 422,
+        _ => 500,
+    }
+}
+
+/// One parsed `POST /simulate` body.
+struct SimRequest {
+    netlist: Netlist,
+    stimulus: Vec<Vec<bool>>,
+    engine: Option<Engine>,
+    word: WordWidth,
+    jobs: usize,
+}
+
+/// Fields a handler contributes to its request-log line.
+#[derive(Default)]
+struct LogFacts {
+    circuit: Option<String>,
+    netlist_hash: Option<u64>,
+    engine: Option<String>,
+    cache: Option<&'static str>,
+    vectors: Option<usize>,
+    fallbacks: Option<usize>,
+    error: Option<String>,
+}
+
+/// A long-running simulation service bound to one listener.
+pub struct SimServer {
+    listener: TcpListener,
+    config: ServeConfig,
+    telemetry: Telemetry,
+    cache: EngineCache,
+    shutdown: Arc<AtomicBool>,
+    reqlog: Option<Mutex<Box<dyn Write + Send>>>,
+    connections: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// A clonable handle that asks a running server to drain and stop.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests a graceful drain; [`SimServer::run`] returns once every
+    /// in-flight request finished.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+impl SimServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// prepares the service. Counters, the cache, and build facts all
+    /// report into `telemetry`; `reqlog`, when given, receives one
+    /// NDJSON line per request.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures pass through.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        telemetry: Telemetry,
+        reqlog: Option<Box<dyn Write + Send>>,
+    ) -> std::io::Result<SimServer> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = EngineCache::new(config.cache_capacity, telemetry.clone());
+        telemetry.set_level("serve.in_flight", 0);
+        Ok(SimServer {
+            listener,
+            config,
+            telemetry,
+            cache,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            reqlog: reqlog.map(Mutex::new),
+            connections: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address (the real port when bound to `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Socket introspection failures pass through.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers a graceful drain from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal_shutdown_requested()
+    }
+
+    /// Serves until shutdown is requested (handle, `/quitquitquit`, or
+    /// a signal), then stops accepting and drains in-flight requests
+    /// before returning. The caller owns the final telemetry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Only listener-level failures (the nonblocking switch); per-
+    /// connection errors are answered, logged, and counted instead.
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            while !self.draining() {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        scope.spawn(move || self.handle_connection(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {
+                        self.telemetry.add("serve.accept_errors", 1);
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+            // Scope exit joins every handler: the drain barrier.
+        });
+        Ok(())
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let conn = self.connections.fetch_add(1, Ordering::Relaxed) + 1;
+        let level = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.telemetry.set_level("serve.in_flight", level);
+        let clock = Instant::now();
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+
+        let mut reader = BufReader::new(&stream);
+        let (request, response, facts) = match read_request(&mut reader, self.config.max_body_bytes)
+        {
+            Ok(request) => {
+                let (response, facts) = self.route(&request, conn);
+                (Some(request), response, facts)
+            }
+            Err(error) => (
+                None,
+                Response::text(error.status(), format!("{error}\n")),
+                LogFacts {
+                    error: Some(error.to_string()),
+                    ..LogFacts::default()
+                },
+            ),
+        };
+        let mut out = &stream;
+        let _ = response.write_to(&mut out);
+
+        self.telemetry.add("serve.requests", 1);
+        if response.status >= 400 {
+            self.telemetry.add("serve.http_errors", 1);
+        }
+        let wall_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.log_request(request.as_ref(), response.status, wall_ns, &facts);
+        let level = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.telemetry.set_level("serve.in_flight", level);
+    }
+
+    fn route(&self, request: &Request, conn: u64) -> (Response, LogFacts) {
+        let no_facts = LogFacts::default();
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => (Response::text(200, "ok\n"), no_facts),
+            ("GET", "/readyz") => {
+                if self.draining() {
+                    (Response::text(503, "draining\n"), no_facts)
+                } else {
+                    (Response::text(200, "ready\n"), no_facts)
+                }
+            }
+            ("GET", "/metrics") => {
+                let body = prom::render(&self.telemetry.snapshot());
+                (
+                    Response {
+                        status: 200,
+                        content_type: prom::CONTENT_TYPE,
+                        body: body.into_bytes(),
+                    },
+                    no_facts,
+                )
+            }
+            ("POST", "/simulate") => self.simulate(request, conn),
+            ("POST", "/quitquitquit") => {
+                if self.config.allow_quit {
+                    self.shutdown.store(true, Ordering::Relaxed);
+                    (Response::text(200, "draining, goodbye\n"), no_facts)
+                } else {
+                    (
+                        Response::text(403, "shutdown endpoint disabled (run with --allow-quit)\n"),
+                        no_facts,
+                    )
+                }
+            }
+            (_, "/healthz" | "/readyz" | "/metrics" | "/simulate" | "/quitquitquit") => (
+                Response::text(405, format!("{} not allowed here\n", request.method)),
+                no_facts,
+            ),
+            (_, path) => (
+                Response::text(404, format!("no route for {path}\n")),
+                no_facts,
+            ),
+        }
+    }
+
+    /// `POST /simulate`: parse, check the cache, (maybe) compile, run,
+    /// answer. The simulation rows for a given request body are
+    /// byte-identical whether the engine came from the cache or a fresh
+    /// compile — forks always start from power-up state.
+    fn simulate(&self, request: &Request, conn: u64) -> (Response, LogFacts) {
+        let mut facts = LogFacts::default();
+        let parsed = match self.parse_simulate(&request.body) {
+            Ok(parsed) => parsed,
+            Err((status, message)) => {
+                facts.error = Some(message.clone());
+                return (error_response(status, &message), facts);
+            }
+        };
+        let hash = netlist_hash(&parsed.netlist);
+        facts.circuit = Some(parsed.netlist.name().to_owned());
+        facts.netlist_hash = Some(hash);
+        facts.vectors = Some(parsed.stimulus.len());
+        let key = CacheKey {
+            netlist_hash: hash,
+            engine: parsed.engine,
+            word: parsed.word,
+        };
+
+        let (mut guard, cache_state) = match self.cache.lookup(&key) {
+            Some(fork) => (fork, "hit"),
+            None => {
+                let compile_clock = Instant::now();
+                let start_ns = u64::try_from(
+                    compile_clock
+                        .saturating_duration_since(self.telemetry.epoch())
+                        .as_nanos(),
+                )
+                .unwrap_or(u64::MAX);
+                let chain: Vec<Engine> = match parsed.engine {
+                    Some(engine) => vec![engine],
+                    None => GuardedSimulator::DEFAULT_CHAIN.to_vec(),
+                };
+                let factory = Box::new(DefaultEngineFactory::with_word(parsed.word));
+                let prototype = match GuardedSimulator::with_factory(
+                    &parsed.netlist,
+                    self.config.limits,
+                    &chain,
+                    factory,
+                ) {
+                    Ok(prototype) => prototype,
+                    Err(error) => {
+                        let status = status_for(error.class());
+                        let message = error.to_string();
+                        facts.error = Some(message.clone());
+                        self.telemetry.add("serve.compile_errors", 1);
+                        return (error_response(status, &message), facts);
+                    }
+                };
+                // Finished-span attach keeps the shared span stack
+                // untouched by handler threads; a cache hit attaches
+                // nothing, which is the no-recompile proof.
+                self.telemetry.attach_span(SpanNode {
+                    name: "serve.compile".to_owned(),
+                    start_ns,
+                    wall_ns: u64::try_from(compile_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    tid: conn,
+                    children: Vec::new(),
+                });
+                let fork = prototype.fork();
+                self.cache.insert(key, prototype);
+                (fork, "miss")
+            }
+        };
+        facts.cache = Some(cache_state);
+
+        let sim_clock = Instant::now();
+        let outputs = parsed.netlist.primary_outputs().to_vec();
+        let mut run = || -> Result<(Vec<Vec<bool>>, usize, Engine), SimError> {
+            if parsed.jobs > 1 {
+                let out = run_batch(&parsed.netlist, &guard, &parsed.stimulus, parsed.jobs, None)?;
+                let fallbacks = out.shards.iter().map(|s| s.fallbacks).sum();
+                Ok((out.rows, fallbacks, guard.active_engine()))
+            } else {
+                let mut rows = Vec::with_capacity(parsed.stimulus.len());
+                for vector in &parsed.stimulus {
+                    guard.simulate_vector(vector)?;
+                    rows.push(outputs.iter().map(|&po| guard.final_value(po)).collect());
+                }
+                Ok((rows, guard.fallbacks().len(), guard.active_engine()))
+            }
+        };
+        let (rows, fallbacks, engine) = match run() {
+            Ok(done) => done,
+            Err(error) => {
+                let status = status_for(error.class());
+                let message = error.to_string();
+                facts.error = Some(message.clone());
+                self.telemetry.add("serve.simulate_errors", 1);
+                return (error_response(status, &message), facts);
+            }
+        };
+        let wall_ns = u64::try_from(sim_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.telemetry.record("serve.simulate_wall_ns", wall_ns);
+        self.telemetry.add("serve.vectors", rows.len() as u64);
+        self.telemetry.add("serve.fallbacks", fallbacks as u64);
+        facts.engine = Some(engine.to_string());
+        facts.fallbacks = Some(fallbacks);
+
+        let row_strings: Vec<Json> = rows
+            .iter()
+            .map(|row| {
+                Json::Str(
+                    row.iter()
+                        .map(|&b| char::from(b'0' + u8::from(b)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let body = Json::obj([
+            ("schema", Json::Str(SERVE_SCHEMA.to_owned())),
+            ("circuit", Json::Str(parsed.netlist.name().to_owned())),
+            ("netlist_hash", Json::Str(format!("{hash:016x}"))),
+            ("engine", Json::Str(engine.to_string())),
+            ("word_bits", Json::UInt(u64::from(parsed.word.bits()))),
+            ("jobs", Json::UInt(parsed.jobs as u64)),
+            ("cache", Json::Str(cache_state.to_owned())),
+            ("vectors", Json::UInt(rows.len() as u64)),
+            ("fallbacks", Json::UInt(fallbacks as u64)),
+            ("rows", Json::Arr(row_strings)),
+            ("wall_ns", Json::UInt(wall_ns)),
+        ]);
+        let mut text = body.render();
+        text.push('\n');
+        (Response::json(200, text), facts)
+    }
+
+    /// Parses a `POST /simulate` body. Errors are `(status, message)`.
+    fn parse_simulate(&self, body: &[u8]) -> Result<SimRequest, (u16, String)> {
+        let bad = |msg: String| (400u16, msg);
+        let text =
+            std::str::from_utf8(body).map_err(|_| bad("request body is not UTF-8".to_owned()))?;
+        let doc = Json::parse(text).map_err(|e| bad(format!("request body: {e}")))?;
+        let bench = doc
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field `bench`".to_owned()))?;
+        let name = doc.get("name").and_then(Json::as_str).unwrap_or("request");
+        let netlist =
+            bench_format::parse(bench, name).map_err(|e| bad(format!("bench netlist: {e}")))?;
+
+        let engine = match doc.get("engine").and_then(Json::as_str) {
+            Some(wanted) => Some(
+                Engine::ALL
+                    .into_iter()
+                    .find(|e| e.to_string() == wanted)
+                    .ok_or_else(|| bad(format!("unknown engine `{wanted}`")))?,
+            ),
+            None => None,
+        };
+        let word = match doc.get("word").and_then(Json::as_u64) {
+            Some(32) => WordWidth::W32,
+            Some(64) => WordWidth::W64,
+            Some(other) => return Err(bad(format!("`word` must be 32 or 64, not {other}"))),
+            None => self.config.default_word,
+        };
+        let jobs = match doc.get("jobs").and_then(Json::as_u64) {
+            Some(0) => return Err(bad("`jobs` must be at least 1".to_owned())),
+            Some(n) if n > 256 => return Err(bad("`jobs` is capped at 256".to_owned())),
+            Some(n) => n as usize,
+            None => self.config.default_jobs,
+        };
+
+        let stimulus = match (doc.get("vectors"), doc.get("random")) {
+            (Some(explicit), None) => {
+                let rows = explicit
+                    .as_arr()
+                    .ok_or_else(|| bad("`vectors` must be an array of bit arrays".to_owned()))?;
+                if rows.len() > self.config.max_vectors {
+                    return Err(bad(format!(
+                        "{} vectors exceed the per-request cap of {}",
+                        rows.len(),
+                        self.config.max_vectors
+                    )));
+                }
+                rows.iter()
+                    .map(|row| {
+                        row.as_arr()
+                            .ok_or_else(|| bad("each vector must be a bit array".to_owned()))?
+                            .iter()
+                            .map(|bit| match bit {
+                                Json::UInt(0) => Ok(false),
+                                Json::UInt(1) => Ok(true),
+                                Json::Bool(b) => Ok(*b),
+                                other => {
+                                    Err(bad(format!("vector bits must be 0/1, not {other:?}")))
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect::<Result<Vec<Vec<bool>>, _>>()?
+            }
+            (None, Some(random)) => {
+                let count = random
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("`random` needs an integer `count`".to_owned()))?;
+                if count as usize > self.config.max_vectors {
+                    return Err(bad(format!(
+                        "{count} vectors exceed the per-request cap of {}",
+                        self.config.max_vectors
+                    )));
+                }
+                let seed = random.get("seed").and_then(Json::as_u64).unwrap_or(1990);
+                crate::vectors::RandomVectors::new(netlist.primary_inputs().len(), seed)
+                    .take(count as usize)
+                    .collect()
+            }
+            (Some(_), Some(_)) => {
+                return Err(bad("give `vectors` or `random`, not both".to_owned()))
+            }
+            (None, None) => {
+                return Err(bad(
+                    "missing stimulus: give `vectors` (bit arrays) or `random` {count, seed}"
+                        .to_owned(),
+                ))
+            }
+        };
+
+        Ok(SimRequest {
+            netlist,
+            stimulus,
+            engine,
+            word,
+            jobs,
+        })
+    }
+
+    /// Emits one `uds-reqlog-v1` NDJSON line, best-effort (a dead log
+    /// sink must not take the service down).
+    fn log_request(&self, request: Option<&Request>, status: u16, wall_ns: u64, facts: &LogFacts) {
+        let Some(reqlog) = &self.reqlog else { return };
+        let mut members = vec![
+            ("schema".to_owned(), Json::Str(REQLOG_SCHEMA.to_owned())),
+            (
+                "method".to_owned(),
+                Json::Str(request.map_or("-", |r| r.method.as_str()).to_owned()),
+            ),
+            (
+                "path".to_owned(),
+                Json::Str(request.map_or("-", |r| r.path.as_str()).to_owned()),
+            ),
+            ("status".to_owned(), Json::UInt(u64::from(status))),
+            ("wall_ns".to_owned(), Json::UInt(wall_ns)),
+        ];
+        if let Some(circuit) = &facts.circuit {
+            members.push(("circuit".to_owned(), Json::Str(circuit.clone())));
+        }
+        if let Some(hash) = facts.netlist_hash {
+            members.push(("netlist_hash".to_owned(), Json::Str(format!("{hash:016x}"))));
+        }
+        if let Some(engine) = &facts.engine {
+            members.push(("engine".to_owned(), Json::Str(engine.clone())));
+        }
+        if let Some(cache) = facts.cache {
+            members.push(("cache".to_owned(), Json::Str(cache.to_owned())));
+        }
+        if let Some(vectors) = facts.vectors {
+            members.push(("vectors".to_owned(), Json::UInt(vectors as u64)));
+        }
+        if let Some(fallbacks) = facts.fallbacks {
+            members.push(("fallbacks".to_owned(), Json::UInt(fallbacks as u64)));
+        }
+        if let Some(error) = &facts.error {
+            members.push(("error".to_owned(), Json::Str(error.clone())));
+        }
+        let line = Json::Obj(members).render();
+        let mut out = reqlog.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    let mut text = Json::obj([("error", Json::Str(message.to_owned()))]).render();
+    text.push('\n');
+    Response::json(status, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    const C17: &str = "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+                       10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+                       22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    /// A shared byte sink for capturing the request log.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// One raw HTTP exchange against `addr`; returns (status, body).
+    fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        let status: u16 = reply
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .expect("numeric status");
+        let body = reply
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        exchange(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    fn with_server<T>(
+        config: ServeConfig,
+        telemetry: Telemetry,
+        reqlog: Option<Box<dyn Write + Send>>,
+        body: impl FnOnce(SocketAddr) -> T,
+    ) -> T {
+        let server = SimServer::bind("127.0.0.1:0", config, telemetry, reqlog).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        std::thread::scope(|scope| {
+            let runner = scope.spawn(|| server.run().expect("serve"));
+            let result = body(addr);
+            handle.request();
+            runner.join().expect("server thread");
+            result
+        })
+    }
+
+    fn simulate_body(engine: Option<&str>) -> String {
+        let engine_field = engine
+            .map(|e| format!("\"engine\":\"{e}\","))
+            .unwrap_or_default();
+        format!(
+            "{{\"bench\":{},{engine_field}\"vectors\":[[0,1,0,1,0],[1,1,1,1,1],[0,0,0,0,0]]}}",
+            Json::Str(C17.to_owned()).render()
+        )
+    }
+
+    #[test]
+    fn health_ready_metrics_and_unknown_routes() {
+        with_server(ServeConfig::default(), Telemetry::new(), None, |addr| {
+            assert_eq!(get(addr, "/healthz"), (200, "ok\n".to_owned()));
+            assert_eq!(get(addr, "/readyz"), (200, "ready\n".to_owned()));
+            let (status, metrics) = get(addr, "/metrics");
+            assert_eq!(status, 200);
+            assert!(
+                metrics.contains("# TYPE uds_serve_in_flight gauge"),
+                "{metrics}"
+            );
+            assert_eq!(get(addr, "/nope").0, 404);
+            assert_eq!(post(addr, "/healthz", "x").0, 405);
+            assert_eq!(post(addr, "/quitquitquit", "").0, 403, "quit is gated");
+        });
+    }
+
+    #[test]
+    fn simulate_misses_then_hits_with_identical_rows() {
+        let telemetry = Telemetry::new();
+        let log = Shared::default();
+        let (first, second) = with_server(
+            ServeConfig::default(),
+            telemetry.clone(),
+            Some(Box::new(log.clone())),
+            |addr| {
+                let first = post(addr, "/simulate", &simulate_body(None));
+                let second = post(addr, "/simulate", &simulate_body(None));
+                (first, second)
+            },
+        );
+        assert_eq!(first.0, 200, "{}", first.1);
+        assert_eq!(second.0, 200, "{}", second.1);
+        let a = Json::parse(&first.1).unwrap();
+        let b = Json::parse(&second.1).unwrap();
+        assert_eq!(a.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(b.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(
+            a.get("rows").unwrap(),
+            b.get("rows").unwrap(),
+            "cached runs are byte-identical"
+        );
+        assert_eq!(telemetry.counter("cache.hits"), 1);
+        assert_eq!(telemetry.counter("cache.misses"), 1);
+        assert_eq!(telemetry.counter("serve.vectors"), 6);
+        // Exactly one compile span despite two requests: the hit
+        // skipped recompilation.
+        let report = telemetry.snapshot();
+        let compiles = report
+            .spans
+            .iter()
+            .filter(|s| s.name == "serve.compile")
+            .count();
+        assert_eq!(compiles, 1);
+        // The request log carries one line per request, schema-tagged.
+        let bytes = log.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let doc = Json::parse(line).expect("reqlog line parses");
+            assert_eq!(doc.get("schema").unwrap().as_str(), Some(REQLOG_SCHEMA));
+            assert_eq!(doc.get("path").unwrap().as_str(), Some("/simulate"));
+            assert_eq!(doc.get("status").unwrap().as_u64(), Some(200));
+            assert!(doc.get("netlist_hash").is_some());
+        }
+    }
+
+    #[test]
+    fn simulate_matches_direct_engine_rows() {
+        let (status, body) = with_server(ServeConfig::default(), Telemetry::new(), None, |addr| {
+            post(addr, "/simulate", &simulate_body(Some("event-driven")))
+        });
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("engine").unwrap().as_str(), Some("event-driven"));
+        // Against a directly built engine.
+        let nl = bench_format::parse(C17, "request").unwrap();
+        let mut sim = crate::build_simulator(&nl, Engine::EventDriven).unwrap();
+        let stimulus = [
+            [false, true, false, true, false],
+            [true, true, true, true, true],
+            [false, false, false, false, false],
+        ];
+        let expected: Vec<String> = stimulus
+            .iter()
+            .map(|v| {
+                sim.simulate_vector(v);
+                nl.primary_outputs()
+                    .iter()
+                    .map(|&po| char::from(b'0' + u8::from(sim.final_value(po))))
+                    .collect()
+            })
+            .collect();
+        let rows: Vec<&str> = doc
+            .get("rows")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|r| r.as_str().unwrap())
+            .collect();
+        assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn bad_requests_are_client_errors() {
+        with_server(ServeConfig::default(), Telemetry::new(), None, |addr| {
+            let (status, body) = post(addr, "/simulate", "this is not json");
+            assert_eq!(status, 400, "{body}");
+            let (status, _) = post(addr, "/simulate", "{\"bench\":\"INPUT(a)\\nbroken\"}");
+            assert_eq!(status, 400);
+            let wrong_width = format!(
+                "{{\"bench\":{},\"vectors\":[[1]]}}",
+                Json::Str(C17.to_owned()).render()
+            );
+            let (status, body) = post(addr, "/simulate", &wrong_width);
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("error"));
+        });
+    }
+
+    #[test]
+    fn quit_endpoint_drains_when_allowed() {
+        let config = ServeConfig {
+            allow_quit: true,
+            ..ServeConfig::default()
+        };
+        let server = SimServer::bind("127.0.0.1:0", config, Telemetry::new(), None).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let runner = scope.spawn(|| server.run().expect("serve"));
+            let (status, _) = post(addr, "/quitquitquit", "");
+            assert_eq!(status, 200);
+            runner.join().expect("run() returns after quit");
+        });
+    }
+
+    #[test]
+    fn batch_requests_match_sequential_requests() {
+        let body = format!(
+            "{{\"bench\":{},\"random\":{{\"count\":37,\"seed\":7}},\"jobs\":3}}",
+            Json::Str(C17.to_owned()).render()
+        );
+        let sequential = body.replace(",\"jobs\":3", "");
+        let (rows_batch, rows_seq) =
+            with_server(ServeConfig::default(), Telemetry::new(), None, |addr| {
+                let (status, batch) = post(addr, "/simulate", &body);
+                assert_eq!(status, 200, "{batch}");
+                let (status, seq) = post(addr, "/simulate", &sequential);
+                assert_eq!(status, 200, "{seq}");
+                (batch, seq)
+            });
+        let batch = Json::parse(&rows_batch).unwrap();
+        let seq = Json::parse(&rows_seq).unwrap();
+        assert_eq!(batch.get("jobs").unwrap().as_u64(), Some(3));
+        assert_eq!(batch.get("rows").unwrap(), seq.get("rows").unwrap());
+    }
+}

@@ -28,6 +28,7 @@
 //! are safe from any thread.
 
 pub mod json;
+pub mod prom;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -281,6 +282,16 @@ impl Telemetry {
         }
     }
 
+    /// Updates a *level* gauge: a quantity that legitimately moves over
+    /// a process's lifetime (resident cache entries, in-flight
+    /// requests). Unlike [`Telemetry::set_gauge`], changing the value
+    /// is not a conflict — level gauges are expected to change — so
+    /// [`GAUGE_CONFLICTS`] is never bumped. Levels share the gauge
+    /// namespace and render identically in reports.
+    pub fn set_level(&self, name: impl Into<String>, value: u64) {
+        self.lock().gauges.insert(name.into(), value);
+    }
+
     /// Folds a sample into a named distribution.
     pub fn record(&self, name: impl Into<String>, sample: u64) {
         self.lock()
@@ -317,6 +328,30 @@ impl Telemetry {
             distributions: inner.distributions.clone(),
         }
     }
+}
+
+/// Name of the build-information gauge (value is always 1; the build
+/// facts ride as `build.*` labels — the standard Prometheus
+/// `*_build_info` idiom, which [`prom`] renders as labels on
+/// `uds_build_info`).
+pub const BUILD_INFO_GAUGE: &str = "build_info";
+
+/// Registers the standard build-info gauge: `build_info = 1` plus
+/// `build.version` / `build.word_bits` / `build.profile` labels, so
+/// every `--stats` report and `/metrics` scrape identifies the binary
+/// that produced it.
+pub fn record_build_info(telemetry: &Telemetry, word_bits: u32) {
+    telemetry.set_gauge(BUILD_INFO_GAUGE, 1);
+    telemetry.label("build.version", env!("CARGO_PKG_VERSION"));
+    telemetry.label("build.word_bits", word_bits.to_string());
+    telemetry.label(
+        "build.profile",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
 }
 
 /// The compilers see [`Telemetry`] through the base crate's
@@ -487,6 +522,33 @@ mod tests {
         let doc = Json::parse(&a).unwrap();
         assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
         assert!(doc.get("spans").unwrap().as_arr().is_some());
+    }
+
+    #[test]
+    fn level_gauges_move_without_conflict() {
+        let telemetry = Telemetry::new();
+        telemetry.set_level("cache.entries", 1);
+        telemetry.set_level("cache.entries", 5);
+        telemetry.set_level("cache.entries", 2);
+        assert_eq!(telemetry.gauge_value("cache.entries"), Some(2));
+        assert_eq!(telemetry.counter(GAUGE_CONFLICTS), 0);
+    }
+
+    #[test]
+    fn build_info_gauge_and_labels() {
+        let telemetry = Telemetry::new();
+        record_build_info(&telemetry, 64);
+        assert_eq!(telemetry.gauge_value(BUILD_INFO_GAUGE), Some(1));
+        let report = telemetry.snapshot();
+        assert_eq!(report.labels["build.word_bits"], "64");
+        assert!(!report.labels["build.version"].is_empty());
+        assert!(matches!(
+            report.labels["build.profile"].as_str(),
+            "debug" | "release"
+        ));
+        // Registering twice is idempotent — no gauge conflict.
+        record_build_info(&telemetry, 64);
+        assert_eq!(telemetry.counter(GAUGE_CONFLICTS), 0);
     }
 
     #[test]

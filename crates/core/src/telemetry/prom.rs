@@ -1,0 +1,260 @@
+//! Prometheus text-exposition bridge for [`TelemetryReport`].
+//!
+//! `GET /metrics` on the simulation daemon renders the live registry in
+//! the Prometheus text format (version 0.0.4): counters as `counter`,
+//! gauges as `gauge`, distributions as `summary` (min and max exposed
+//! as the 0 and 1 quantiles, which a running min/max tracks exactly).
+//! Hand-rolled like the JSON and trace writers — the workspace builds
+//! offline, so no client library.
+//!
+//! Naming: every metric is prefixed `uds_` and sanitized to the legal
+//! charset `[a-zA-Z0-9_:]` (dots and dashes in telemetry names become
+//! underscores, so `guard.fallbacks` scrapes as `uds_guard_fallbacks`).
+//! Should two telemetry names sanitize to the same metric name, the
+//! first one exported wins (counters before gauges before
+//! distributions, alphabetical within each) and the rest drop — a metric
+//! name must not repeat its `# TYPE` line — and the drop is surfaced
+//! through the `uds_prom_name_collisions` counter.
+//!
+//! The [`BUILD_INFO_GAUGE`] gets the standard treatment: its `build.*`
+//! labels render as label pairs on `uds_build_info` (value 1), e.g.
+//! `uds_build_info{profile="release",version="0.1.0",word_bits="32"} 1`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use super::{TelemetryReport, BUILD_INFO_GAUGE};
+
+/// Content-Type of the rendered exposition, for HTTP responses.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Prefix applied to every exported metric name.
+pub const METRIC_PREFIX: &str = "uds_";
+
+/// Maps a telemetry name onto the Prometheus metric-name charset:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, prefixed with [`METRIC_PREFIX`].
+pub fn metric_name(telemetry_name: &str) -> String {
+    let mut out = String::with_capacity(METRIC_PREFIX.len() + telemetry_name.len());
+    out.push_str(METRIC_PREFIX);
+    for c in telemetry_name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a HELP line: backslash and newline (per the exposition
+/// format, HELP text does not escape quotes).
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, newline, and double quote.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One exported metric family, fully rendered except for its name.
+struct Family {
+    kind: &'static str,
+    help: String,
+    /// `(label-block-or-empty, suffix, value)` sample lines.
+    samples: Vec<(String, &'static str, String)>,
+}
+
+/// Renders a frozen report in the Prometheus text exposition format.
+/// Deterministic for a deterministic report: families sort by metric
+/// name, and within a family samples keep their natural order.
+pub fn render(report: &TelemetryReport) -> String {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut collisions = 0u64;
+    let mut insert = |name: String, family: Family, collisions: &mut u64| {
+        use std::collections::btree_map::Entry;
+        match families.entry(name) {
+            Entry::Occupied(_) => *collisions += 1,
+            Entry::Vacant(slot) => {
+                slot.insert(family);
+            }
+        }
+    };
+
+    for (name, value) in &report.counters {
+        insert(
+            metric_name(name),
+            Family {
+                kind: "counter",
+                help: format!("telemetry counter `{}`", escape_help(name)),
+                samples: vec![(String::new(), "", value.to_string())],
+            },
+            &mut collisions,
+        );
+    }
+    for (name, value) in &report.gauges {
+        if name == BUILD_INFO_GAUGE {
+            continue; // rendered with labels below
+        }
+        insert(
+            metric_name(name),
+            Family {
+                kind: "gauge",
+                help: format!("telemetry gauge `{}`", escape_help(name)),
+                samples: vec![(String::new(), "", value.to_string())],
+            },
+            &mut collisions,
+        );
+    }
+    for (name, dist) in &report.distributions {
+        insert(
+            metric_name(name),
+            Family {
+                kind: "summary",
+                help: format!("telemetry distribution `{}`", escape_help(name)),
+                samples: vec![
+                    ("{quantile=\"0\"}".to_owned(), "", dist.min.to_string()),
+                    ("{quantile=\"1\"}".to_owned(), "", dist.max.to_string()),
+                    (String::new(), "_sum", dist.sum.to_string()),
+                    (String::new(), "_count", dist.count.to_string()),
+                ],
+            },
+            &mut collisions,
+        );
+    }
+    if report.gauges.contains_key(BUILD_INFO_GAUGE) {
+        let labels: Vec<String> = report
+            .labels
+            .iter()
+            .filter_map(|(key, value)| {
+                let fact = key.strip_prefix("build.")?;
+                Some(format!("{fact}=\"{}\"", escape_label_value(value)))
+            })
+            .collect();
+        let block = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", labels.join(","))
+        };
+        insert(
+            metric_name(BUILD_INFO_GAUGE),
+            Family {
+                kind: "gauge",
+                help: "build facts of the serving binary (value is always 1)".to_owned(),
+                samples: vec![(block, "", "1".to_owned())],
+            },
+            &mut collisions,
+        );
+    }
+    if collisions > 0 {
+        families.insert(
+            format!("{METRIC_PREFIX}prom_name_collisions"),
+            Family {
+                kind: "counter",
+                help: "telemetry names dropped because they sanitized to an already-exported \
+                       metric name"
+                    .to_owned(),
+                samples: vec![(String::new(), "", collisions.to_string())],
+            },
+        );
+    }
+
+    let mut out = String::new();
+    for (name, family) in &families {
+        let _ = writeln!(out, "# HELP {name} {}", family.help);
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+        for (labels, suffix, value) in &family.samples {
+            let _ = writeln!(out, "{name}{suffix}{labels} {value}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{record_build_info, Telemetry};
+
+    #[test]
+    fn sanitizes_names_to_the_legal_charset() {
+        assert_eq!(metric_name("guard.fallbacks"), "uds_guard_fallbacks");
+        assert_eq!(
+            metric_name("parallel.pt-trim.word_ops"),
+            "uds_parallel_pt_trim_word_ops"
+        );
+        assert_eq!(metric_name("a b/c"), "uds_a_b_c");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let telemetry = Telemetry::new();
+        telemetry.add("cache.hits", 3);
+        telemetry.set_gauge("batch.shards", 4);
+        telemetry.record("serve.wall_ns", 10);
+        telemetry.record("serve.wall_ns", 30);
+        let text = render(&telemetry.snapshot());
+        assert!(text.contains("# TYPE uds_cache_hits counter\nuds_cache_hits 3\n"));
+        assert!(text.contains("# TYPE uds_batch_shards gauge\nuds_batch_shards 4\n"));
+        assert!(text.contains("# TYPE uds_serve_wall_ns summary\n"));
+        assert!(text.contains("uds_serve_wall_ns{quantile=\"0\"} 10\n"));
+        assert!(text.contains("uds_serve_wall_ns{quantile=\"1\"} 30\n"));
+        assert!(text.contains("uds_serve_wall_ns_sum 40\n"));
+        assert!(text.contains("uds_serve_wall_ns_count 2\n"));
+    }
+
+    #[test]
+    fn build_info_renders_with_labels() {
+        let telemetry = Telemetry::new();
+        record_build_info(&telemetry, 32);
+        let text = render(&telemetry.snapshot());
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("uds_build_info{"))
+            .expect("build info sample");
+        assert!(line.contains("word_bits=\"32\""), "{line}");
+        assert!(line.contains("profile="), "{line}");
+        assert!(line.contains("version="), "{line}");
+        assert!(line.ends_with("} 1"), "{line}");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn colliding_names_are_dropped_and_counted() {
+        let telemetry = Telemetry::new();
+        telemetry.add("cache.hits", 1);
+        telemetry.add("cache-hits", 2);
+        let text = render(&telemetry.snapshot());
+        let samples: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("uds_cache_hits "))
+            .collect();
+        // `cache-hits` sorts before `cache.hits`, so it exports first
+        // and wins; the later name drops.
+        assert_eq!(samples, ["uds_cache_hits 2"], "first exported name wins");
+        assert!(text.contains("uds_prom_name_collisions 1\n"));
+    }
+
+    #[test]
+    fn exposition_ends_every_line_with_newline() {
+        let telemetry = Telemetry::new();
+        telemetry.add("n", 1);
+        let text = render(&telemetry.snapshot());
+        assert!(text.ends_with('\n'));
+        assert!(!text.contains("\n\n"), "no blank lines");
+    }
+}

@@ -1,0 +1,335 @@
+//! S5: the `/metrics` exposition is valid Prometheus text format —
+//! structurally, lexically, and through a hand-rolled exposition
+//! parser (the same discipline `trace_validity.rs` applies to Chrome
+//! traces: a scraper silently drops what it cannot parse, so these
+//! checks are the difference between "bytes were served" and "a
+//! dashboard renders").
+//!
+//! Checked against the text exposition format v0.0.4: metric names in
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names in `[a-zA-Z_][a-zA-Z0-9_]*`,
+//! one `# HELP` and one `# TYPE` per family (before its samples),
+//! label values escaped (`\\`, `\n`, `\"`) and round-tripping exactly,
+//! summaries carrying `quantile` series plus `_sum`/`_count`.
+
+use std::collections::BTreeMap;
+
+use uds_core::telemetry::prom::{escape_label_value, metric_name, render, CONTENT_TYPE};
+use uds_core::{record_build_info, Telemetry};
+
+/// One parsed sample line.
+#[derive(Debug, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: String,
+}
+
+/// A parsed exposition: HELP/TYPE per family plus samples in order.
+#[derive(Debug, Default)]
+struct Exposition {
+    help: BTreeMap<String, String>,
+    kind: BTreeMap<String, String>,
+    samples: Vec<Sample>,
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a `key="value"` label block body, undoing the exposition
+/// escapes. Panics (failing the test) on any malformed byte.
+fn parse_labels(block: &str) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest.find('=').expect("label has `=`");
+        let name = &rest[..eq];
+        assert!(is_valid_label_name(name), "label name `{name}`");
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .expect("label value opens with a quote");
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let (i, c) = chars.next().expect("label value closes");
+            match c {
+                '"' => break i,
+                '\\' => match chars.next().expect("escape has a target").1 {
+                    'n' => value.push('\n'),
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    other => panic!("unknown escape `\\{other}`"),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((name.to_owned(), value));
+        rest = &rest[close + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    labels
+}
+
+/// Parses a full exposition document, asserting line-level conformance
+/// as it goes.
+fn parse_exposition(text: &str) -> Exposition {
+    let mut doc = Exposition::default();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "no blank lines in the exposition");
+        if let Some(comment) = line.strip_prefix("# ") {
+            let (keyword, rest) = comment.split_once(' ').expect("comment keyword");
+            let (name, payload) = rest.split_once(' ').expect("comment metric name");
+            match keyword {
+                "HELP" => {
+                    assert!(
+                        doc.help
+                            .insert(name.to_owned(), payload.to_owned())
+                            .is_none(),
+                        "HELP repeated for {name}"
+                    );
+                }
+                "TYPE" => {
+                    assert!(
+                        matches!(payload, "counter" | "gauge" | "summary" | "histogram"),
+                        "unknown TYPE `{payload}` for {name}"
+                    );
+                    assert!(
+                        doc.kind
+                            .insert(name.to_owned(), payload.to_owned())
+                            .is_none(),
+                        "TYPE repeated for {name}"
+                    );
+                }
+                other => panic!("unknown comment keyword `{other}`"),
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let (name, labels) = match series.split_once('{') {
+            Some((name, block)) => (
+                name,
+                parse_labels(block.strip_suffix('}').expect("label block closes")),
+            ),
+            None => (series, Vec::new()),
+        };
+        assert!(is_valid_metric_name(name), "metric name `{name}`");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("sample value `{value}`: {e}"));
+        doc.samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value: value.to_owned(),
+        });
+    }
+    doc
+}
+
+/// The metric family a sample belongs to (summaries expose `_sum` and
+/// `_count` series under their family name).
+fn family_of<'a>(doc: &Exposition, sample_name: &'a str) -> &'a str {
+    for suffix in ["_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if doc.kind.get(base).is_some_and(|k| k == "summary") {
+                return base;
+            }
+        }
+    }
+    sample_name
+}
+
+/// A registry exercising every exported shape: counters, gauges, a
+/// distribution, build info with labels that need escaping, and a
+/// sanitized name collision.
+fn busy_telemetry() -> Telemetry {
+    let telemetry = Telemetry::new();
+    telemetry.add("cache.hits", 7);
+    telemetry.add("cache.misses", 2);
+    telemetry.add("serve.requests", 9);
+    telemetry.set_gauge("batch.shards", 4);
+    telemetry.set_level("serve.in_flight", 1);
+    telemetry.record("serve.simulate_wall_ns", 1_200);
+    telemetry.record("serve.simulate_wall_ns", 800);
+    telemetry.record("serve.simulate_wall_ns", 2_000);
+    record_build_info(&telemetry, 64);
+    telemetry.label("build.nasty", "quote \" slash \\ newline \n done");
+    // Two telemetry names that sanitize to one metric name.
+    telemetry.add("guard.fallbacks", 1);
+    telemetry.add("guard/fallbacks", 1);
+    telemetry
+}
+
+#[test]
+fn content_type_pins_the_exposition_version() {
+    assert_eq!(CONTENT_TYPE, "text/plain; version=0.0.4; charset=utf-8");
+}
+
+#[test]
+fn every_family_has_help_and_type_before_its_samples() {
+    let text = render(&busy_telemetry().snapshot());
+    let doc = parse_exposition(&text);
+    assert!(!doc.samples.is_empty());
+    let lines: Vec<&str> = text.lines().collect();
+    for sample in &doc.samples {
+        let family = family_of(&doc, &sample.name);
+        assert!(doc.help.contains_key(family), "{family} has HELP");
+        assert!(doc.kind.contains_key(family), "{family} has TYPE");
+        // TYPE precedes the first sample of its family.
+        let type_at = lines
+            .iter()
+            .position(|l| l.starts_with(&format!("# TYPE {family} ")))
+            .expect("TYPE line present");
+        let sample_at = lines
+            .iter()
+            .position(|l| {
+                !l.starts_with('#')
+                    && l.strip_prefix(sample.name.as_str())
+                        .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+            })
+            .expect("sample line present");
+        assert!(type_at < sample_at, "{family}: TYPE after a sample");
+    }
+    // And no orphaned metadata: every HELP/TYPE family has samples.
+    for family in doc.kind.keys() {
+        assert!(
+            doc.samples
+                .iter()
+                .any(|s| family_of(&doc, &s.name) == family),
+            "{family} has no samples"
+        );
+    }
+}
+
+#[test]
+fn names_and_labels_stay_in_the_legal_charsets() {
+    let text = render(&busy_telemetry().snapshot());
+    let doc = parse_exposition(&text);
+    for sample in &doc.samples {
+        assert!(is_valid_metric_name(&sample.name), "{}", sample.name);
+        assert!(sample.name.starts_with("uds_"), "{}", sample.name);
+        for (label, _) in &sample.labels {
+            assert!(is_valid_label_name(label), "{label}");
+        }
+    }
+    // The sanitizer itself is total: arbitrary telemetry names map in.
+    for hostile in ["a b", "x/y.z", "über-metric", "1starts_with_digit", ""] {
+        assert!(is_valid_metric_name(&metric_name(hostile)), "{hostile:?}");
+    }
+}
+
+#[test]
+fn label_values_round_trip_through_escaping() {
+    let nasty = "quote \" slash \\ newline \n done";
+    let text = render(&busy_telemetry().snapshot());
+    let doc = parse_exposition(&text);
+    let build_info = doc
+        .samples
+        .iter()
+        .find(|s| s.name == "uds_build_info")
+        .expect("build info sample");
+    assert_eq!(build_info.value, "1", "build_info is the constant-1 idiom");
+    let roundtripped = build_info
+        .labels
+        .iter()
+        .find(|(k, _)| k == "nasty")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(roundtripped, Some(nasty), "escaping must invert exactly");
+    // And the escaper agrees with the parser's grammar in isolation.
+    assert_eq!(
+        parse_labels(&format!("x=\"{}\"", escape_label_value(nasty))),
+        vec![("x".to_owned(), nasty.to_owned())]
+    );
+}
+
+#[test]
+fn summaries_expose_min_max_sum_count_consistently() {
+    let text = render(&busy_telemetry().snapshot());
+    let doc = parse_exposition(&text);
+    assert_eq!(
+        doc.kind
+            .get("uds_serve_simulate_wall_ns")
+            .map(String::as_str),
+        Some("summary")
+    );
+    let series: BTreeMap<String, &str> = doc
+        .samples
+        .iter()
+        .filter(|s| s.name.starts_with("uds_serve_simulate_wall_ns"))
+        .map(|s| {
+            let tag = match s.labels.first() {
+                Some((k, v)) => format!("{}:{k}={v}", s.name),
+                None => s.name.clone(),
+            };
+            (tag, s.value.as_str())
+        })
+        .collect();
+    assert_eq!(
+        series.get("uds_serve_simulate_wall_ns:quantile=0").copied(),
+        Some("800"),
+        "quantile 0 is the running min"
+    );
+    assert_eq!(
+        series.get("uds_serve_simulate_wall_ns:quantile=1").copied(),
+        Some("2000"),
+        "quantile 1 is the running max"
+    );
+    assert_eq!(
+        series.get("uds_serve_simulate_wall_ns_sum").copied(),
+        Some("4000")
+    );
+    assert_eq!(
+        series.get("uds_serve_simulate_wall_ns_count").copied(),
+        Some("3")
+    );
+}
+
+#[test]
+fn no_duplicate_series_and_collisions_are_counted() {
+    let text = render(&busy_telemetry().snapshot());
+    let doc = parse_exposition(&text);
+    let mut seen = std::collections::HashSet::new();
+    for sample in &doc.samples {
+        assert!(
+            seen.insert(format!("{}{:?}", sample.name, sample.labels)),
+            "duplicate series {}",
+            sample.name
+        );
+    }
+    // `guard.fallbacks` and `guard/fallbacks` collide; one survives and
+    // the drop is observable.
+    let fallbacks: Vec<&Sample> = doc
+        .samples
+        .iter()
+        .filter(|s| s.name == "uds_guard_fallbacks")
+        .collect();
+    assert_eq!(fallbacks.len(), 1);
+    let collisions = doc
+        .samples
+        .iter()
+        .find(|s| s.name == "uds_prom_name_collisions")
+        .expect("collision counter exported");
+    assert_eq!(collisions.value, "1");
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    let telemetry = busy_telemetry();
+    let report = telemetry.snapshot();
+    assert_eq!(render(&report), render(&report));
+    // A fresh registry with the same recordings renders identically.
+    assert_eq!(render(&report), render(&busy_telemetry().snapshot()));
+}

@@ -9,6 +9,8 @@
 //! udsim codegen  FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]
 //!                           [--stats OUT.json]
 //! udsim cone     FILE.bench OUTPUT_NET [...]   # fan-in cone as .bench on stdout
+//! udsim serve    [--addr HOST:PORT] [--cache N] [--allow-quit] [--reqlog OUT.ndjson]
+//!                [--stats OUT.json] [--budget SPEC] [--word 32|64] [--jobs N]
 //! udsim engines
 //! ```
 //!
@@ -38,6 +40,15 @@
 //! writes the JSON to stdout and moves the human-readable output to
 //! stderr, so `udsim simulate c.bench --stats - | jq .` works.
 //!
+//! `udsim serve` runs the simulation daemon (DESIGN.md §14): circuits
+//! POSTed to `/simulate` compile once into an LRU cache of engine
+//! prototypes and every later request forks the cached artifact; live
+//! telemetry scrapes at `GET /metrics` in the Prometheus text format;
+//! `/healthz` and `/readyz` answer liveness and readiness probes. The
+//! daemon drains gracefully on SIGTERM/SIGINT (or `POST /quitquitquit`
+//! with `--allow-quit`), then writes the final `--stats` snapshot.
+//! `--reqlog` streams one `uds-reqlog-v1` NDJSON line per request.
+//!
 //! ## Exit codes
 //!
 //! Failures exit with the [`FailureClass`] code so scripts can route on
@@ -54,10 +65,11 @@ use std::time::{Duration, Instant};
 use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
 use unit_delay_sim::core::{
-    build_engine_with_limits_probed_word, open_sink, render_chrome_trace, run_batch_observed,
-    write_text, ActivityProfiler, BatchActivityObserver, BatchProbe, DefaultEngineFactory, Engine,
-    FailureClass, FanoutProbe, GuardedSimulator, HumanOut, MonitoringEngineFactory, NdjsonProgress,
-    NoopBatchProbe, SimError, StreamContract, Telemetry, WordWidth,
+    build_engine_with_limits_probed_word, install_signal_handlers, open_sink, record_build_info,
+    render_chrome_trace, run_batch_observed, write_text, ActivityProfiler, BatchActivityObserver,
+    BatchProbe, DefaultEngineFactory, Engine, FailureClass, FanoutProbe, GuardedSimulator,
+    HumanOut, MonitoringEngineFactory, NdjsonProgress, NoopBatchProbe, ServeConfig, SimError,
+    SimServer, StreamContract, Telemetry, WordWidth,
 };
 use unit_delay_sim::netlist::stats::CircuitStats;
 use unit_delay_sim::netlist::{levelize, Probe, ResourceLimits};
@@ -125,6 +137,7 @@ fn run() -> Result<(), CliError> {
         "stats" => stats(&rest),
         "codegen" => codegen(&rest),
         "cone" => cone(&rest),
+        "serve" => serve(&rest),
         "engines" => {
             for engine in Engine::ALL {
                 println!("{engine}");
@@ -145,19 +158,25 @@ fn run() -> Result<(), CliError> {
 fn usage() -> String {
     "usage:\n  udsim simulate FILE.bench [--engine NAME] [--vectors N] [--seed S] [--vcd OUT.vcd]\n                  \
      [--jobs N] [--word 32|64] [--fallback] [--budget SPEC] [--crosscheck] [--stats OUT.json]\n                  \
-     [--trace OUT.json] [--progress OUT.ndjson]\n  \
+     [--trace OUT.json] [--progress OUT.ndjson] [--progress-interval MS]\n  \
      udsim profile FILE.bench [--engine NAME] [--vectors N] [--seed S] [--jobs N] [--word 32|64]\n                 \
-     [--top K] [--json OUT.json] [--trace OUT.json] [--progress OUT.ndjson]\n  \
+     [--top K] [--json OUT.json] [--trace OUT.json] [--progress OUT.ndjson]\n                 \
+     [--progress-interval MS]\n  \
      udsim stats FILE.bench\n  \
      udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n                 \
      [--stats OUT.json]\n  \
      udsim cone FILE.bench OUTPUT_NET [...]\n  \
+     udsim serve [--addr HOST:PORT] [--cache N] [--allow-quit] [--reqlog OUT.ndjson]\n              \
+     [--stats OUT.json] [--budget SPEC] [--word 32|64] [--jobs N]\n  \
      udsim engines\n\n\
      SPEC: production | depth=N,gates=N,inputs=N,field-words=N,memory=N[K|M|G],deadline-ms=N\n\
-     stream flags (--stats, --trace, --progress, --json) accept `-` for stdout; at most one\n\
-     per invocation may claim it, and human output then moves to stderr.\n\
+     stream flags (--stats, --trace, --progress, --json, --reqlog) accept `-` for stdout; at\n\
+     most one per invocation may claim it, and human output then moves to stderr.\n\
      --trace exports the telemetry span tree as Chrome trace_event JSON (load in Perfetto);\n\
-     --progress streams per-shard NDJSON heartbeats during --jobs batch runs.\n\n\
+     --progress streams per-shard NDJSON heartbeats during --jobs batch runs, at least\n\
+     --progress-interval ms apart (default 100).\n\
+     serve answers POST /simulate, GET /metrics (Prometheus), GET /healthz, GET /readyz;\n\
+     --cache N keeps N compiled prototypes resident (default 64, 0 disables).\n\n\
      exit codes: 0 ok, 2 usage, 3 parse, 4 structural, 5 budget, 6 engine panic,\n\
      7 cross-check mismatch; 1 is an internal error (a udsim bug), never bad input"
         .to_owned()
@@ -266,6 +285,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     let mut stats_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut progress_path: Option<String> = None;
+    let mut progress_interval: Option<Duration> = None;
     let mut fallback = false;
     let mut crosscheck = false;
     let mut jobs: Option<usize> = None;
@@ -320,6 +340,12 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
                         .clone(),
                 )
             }
+            "--progress-interval" => {
+                progress_interval = Some(parse_progress_interval(
+                    iter.next()
+                        .ok_or("--progress-interval needs milliseconds")?,
+                )?)
+            }
             "--fallback" => fallback = true,
             "--crosscheck" => crosscheck = true,
             "--budget" => limits = parse_budget(iter.next().ok_or("--budget needs a spec")?)?,
@@ -333,6 +359,11 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     if progress_path.is_some() && jobs.is_none() {
         return Err(CliError::usage(
             "--progress streams batch heartbeats and requires --jobs",
+        ));
+    }
+    if progress_interval.is_some() && progress_path.is_none() {
+        return Err(CliError::usage(
+            "--progress-interval paces the --progress stream and requires it",
         ));
     }
     // The stream flags share stdout under one contract: at most one `-`,
@@ -352,6 +383,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         t.label("circuit", nl.name());
         t.label("seed", seed.to_string());
         t.label("vectors", vectors.to_string());
+        record_build_info(t, word.bits());
     }
     let stimulus: Vec<Vec<bool>> = RandomVectors::new(nl.primary_inputs().len(), seed)
         .take(vectors)
@@ -368,7 +400,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         } else {
             vec![engine.unwrap_or(Engine::ParallelPathTracingTrimming)]
         };
-        let progress = progress_sink(progress_path.as_deref())?;
+        let progress = progress_sink(progress_path.as_deref(), progress_interval)?;
         simulate_batch(
             &nl,
             limits,
@@ -437,14 +469,30 @@ fn stream_contract(flags: &[(&str, Option<&str>)]) -> Result<HumanOut, CliError>
     Ok(contract.human())
 }
 
-/// Opens the `--progress` NDJSON sink, if requested.
-fn progress_sink(path: Option<&str>) -> Result<Option<NdjsonProgress>, CliError> {
+/// Opens the `--progress` NDJSON sink, if requested, paced at
+/// `--progress-interval` (default ~100 ms).
+fn progress_sink(
+    path: Option<&str>,
+    interval: Option<Duration>,
+) -> Result<Option<NdjsonProgress>, CliError> {
     path.map(|dest| {
         open_sink(dest)
-            .map(NdjsonProgress::new)
+            .map(|out| match interval {
+                Some(interval) => NdjsonProgress::with_interval(out, interval),
+                None => NdjsonProgress::new(out),
+            })
             .map_err(|e| CliError::class(format!("opening {dest}: {e}"), FailureClass::Usage))
     })
     .transpose()
+}
+
+/// Parses a `--progress-interval` value in milliseconds (0 = every
+/// heartbeat).
+fn parse_progress_interval(value: &str) -> Result<Duration, CliError> {
+    value
+        .parse::<u64>()
+        .map(Duration::from_millis)
+        .map_err(|e| CliError::usage(format!("--progress-interval: {e}")))
 }
 
 /// Best-effort pass compiling the techniques the run did not already
@@ -780,6 +828,7 @@ fn profile(args: &[String]) -> Result<(), CliError> {
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut progress_path: Option<String> = None;
+    let mut progress_interval: Option<Duration> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -835,6 +884,12 @@ fn profile(args: &[String]) -> Result<(), CliError> {
                         .clone(),
                 )
             }
+            "--progress-interval" => {
+                progress_interval = Some(parse_progress_interval(
+                    iter.next()
+                        .ok_or("--progress-interval needs milliseconds")?,
+                )?)
+            }
             other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
                 file = Some(other.to_owned());
             }
@@ -845,6 +900,11 @@ fn profile(args: &[String]) -> Result<(), CliError> {
     if progress_path.is_some() && jobs.is_none() {
         return Err(CliError::usage(
             "--progress streams batch heartbeats and requires --jobs",
+        ));
+    }
+    if progress_interval.is_some() && progress_path.is_none() {
+        return Err(CliError::usage(
+            "--progress-interval paces the --progress stream and requires it",
         ));
     }
     let human = stream_contract(&[
@@ -866,6 +926,7 @@ fn profile(args: &[String]) -> Result<(), CliError> {
         t.label("engine", engine.to_string());
         t.label("seed", seed.to_string());
         t.label("vectors", vectors.to_string());
+        record_build_info(t, word.bits());
     }
     let stimulus: Vec<Vec<bool>> = RandomVectors::new(nl.primary_inputs().len(), seed)
         .take(vectors)
@@ -888,7 +949,7 @@ fn profile(args: &[String]) -> Result<(), CliError> {
     let profiler = if let Some(jobs) = jobs {
         let prototype = build()?;
         let observer = BatchActivityObserver::new(&nl, &levels, stimulus.len(), jobs);
-        let progress = progress_sink(progress_path.as_deref())?;
+        let progress = progress_sink(progress_path.as_deref(), progress_interval)?;
         let mut probes: Vec<&dyn BatchProbe> = vec![&observer];
         if let Some(progress) = &progress {
             probes.push(progress);
@@ -1033,6 +1094,98 @@ fn cone(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `udsim serve`: the long-running simulation daemon. Binds `--addr`
+/// (`:0` picks an ephemeral port, announced on stderr), serves until a
+/// shutdown signal or `/quitquitquit`, drains in-flight requests, and
+/// only then writes the final `--stats` snapshot — so the snapshot is
+/// the complete story of the daemon's lifetime.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let mut addr = "127.0.0.1:1990".to_owned();
+    let mut cache_capacity = 64usize;
+    let mut allow_quit = false;
+    let mut reqlog_path: Option<String> = None;
+    let mut stats_path: Option<String> = None;
+    let mut word = WordWidth::default();
+    let mut jobs = 1usize;
+    let mut limits = ResourceLimits::production();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = iter.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--cache" => {
+                cache_capacity = iter
+                    .next()
+                    .ok_or("--cache needs an entry count")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--cache: {e}")))?;
+            }
+            "--allow-quit" => allow_quit = true,
+            "--reqlog" => {
+                reqlog_path = Some(iter.next().ok_or("--reqlog needs a path (or `-`)")?.clone())
+            }
+            "--stats" => {
+                stats_path = Some(iter.next().ok_or("--stats needs a path (or `-`)")?.clone())
+            }
+            "--budget" => limits = parse_budget(iter.next().ok_or("--budget needs a spec")?)?,
+            "--word" => {
+                let value = iter.next().ok_or("--word needs a width (32 or 64)")?;
+                word = WordWidth::parse(value)
+                    .ok_or_else(|| CliError::usage(format!("--word: `{value}` is not 32 or 64")))?;
+            }
+            "--jobs" => {
+                let value = iter.next().ok_or("--jobs needs a worker count")?;
+                jobs = value
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--jobs: {e}")))?;
+                if jobs == 0 {
+                    return Err(CliError::usage("--jobs: worker count must be at least 1"));
+                }
+            }
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    // The daemon's own narration always goes to stderr; stdout belongs
+    // to whichever stream flag claims it. The contract still enforces
+    // the at-most-one-`-` rule between --reqlog and --stats.
+    stream_contract(&[
+        ("--reqlog", reqlog_path.as_deref()),
+        ("--stats", stats_path.as_deref()),
+    ])?;
+    let telemetry = Telemetry::new();
+    telemetry.label("command", "serve");
+    record_build_info(&telemetry, word.bits());
+    let reqlog = reqlog_path
+        .as_deref()
+        .map(|dest| {
+            open_sink(dest)
+                .map_err(|e| CliError::class(format!("opening {dest}: {e}"), FailureClass::Usage))
+        })
+        .transpose()?;
+    let config = ServeConfig {
+        cache_capacity,
+        allow_quit,
+        limits,
+        default_word: word,
+        default_jobs: jobs,
+        ..ServeConfig::default()
+    };
+    install_signal_handlers();
+    let server = SimServer::bind(&*addr, config, telemetry.clone(), reqlog)
+        .map_err(|e| CliError::class(format!("binding {addr}: {e}"), FailureClass::Usage))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::class(format!("binding {addr}: {e}"), FailureClass::Usage))?;
+    eprintln!("udsim: listening on http://{local}");
+    server
+        .run()
+        .map_err(|e| CliError::class(format!("serving on {local}: {e}"), FailureClass::Usage))?;
+    if let Some(path) = &stats_path {
+        write_stats(path, &telemetry)?;
+    }
+    eprintln!("udsim: drained, goodbye");
+    Ok(())
+}
+
 fn codegen(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
     let mut technique = "parallel".to_owned();
@@ -1078,6 +1231,7 @@ fn codegen(args: &[String]) -> Result<(), CliError> {
         t.label("command", "codegen");
         t.label("circuit", nl.name());
         t.label("technique", technique.clone());
+        record_build_info(t, WordWidth::default().bits());
     }
     let noop = unit_delay_sim::netlist::NoopProbe;
     let probe: &dyn Probe = telemetry.as_ref().map_or(&noop, |t| t as &dyn Probe);

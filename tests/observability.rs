@@ -167,6 +167,89 @@ fn progress_streams_parseable_heartbeats_to_stdout() {
 }
 
 #[test]
+fn short_batches_still_emit_a_final_heartbeat() {
+    // A batch this small finishes well inside one heartbeat interval;
+    // the completion record must arrive anyway — even for zero vectors.
+    for vectors in ["0", "1"] {
+        let bench = fixture("short17.bench", C17);
+        let out = udsim(&[
+            "simulate",
+            bench.to_str().unwrap(),
+            "--vectors",
+            vectors,
+            "--jobs",
+            "2",
+            "--progress",
+            "-",
+            "--progress-interval",
+            "60000",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("utf-8");
+        let beats: Vec<Json> = stdout
+            .lines()
+            .map(|line| Json::parse(line).expect("heartbeat parses"))
+            .collect();
+        assert!(!beats.is_empty(), "--vectors {vectors} was silent");
+        assert!(
+            beats
+                .iter()
+                .any(|b| b.get("finished") == Some(&Json::Bool(true))),
+            "--vectors {vectors} never announced completion: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn progress_interval_zero_reports_every_vector() {
+    let bench = fixture("eager17.bench", C17);
+    let out = udsim(&[
+        "simulate",
+        bench.to_str().unwrap(),
+        "--vectors",
+        "40",
+        "--jobs",
+        "2",
+        "--progress",
+        "-",
+        "--progress-interval",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    // 40 vectors + 2 final records, each a valid heartbeat.
+    assert_eq!(stdout.lines().count(), 42, "{stdout}");
+    for line in stdout.lines() {
+        let beat = Json::parse(line).expect("heartbeat parses");
+        assert_eq!(
+            beat.get("schema").and_then(Json::as_str),
+            Some(PROGRESS_SCHEMA)
+        );
+    }
+}
+
+#[test]
+fn progress_interval_requires_progress() {
+    let bench = fixture("lonely17.bench", C17);
+    let out = udsim(&[
+        "simulate",
+        bench.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--progress-interval",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--progress-interval"), "{err}");
+}
+
+#[test]
 fn two_stream_flags_cannot_both_claim_stdout() {
     let bench = fixture("clash17.bench", C17);
     let out = udsim(&[

@@ -1,0 +1,307 @@
+//! End-to-end contract of `udsim serve`: a real daemon process on an
+//! ephemeral port, driven over raw TCP. Pins the parts scripts and
+//! scrapers depend on — the stderr `listening on` announcement, the
+//! health/readiness probes, Prometheus `/metrics`, the compile-once
+//! cache behavior (hit counter moves, rows stay byte-identical), the
+//! `uds-reqlog-v1` request log, HTTP error statuses, and a clean
+//! drain + final `--stats` snapshot through `/quitquitquit`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use unit_delay_sim::core::telemetry::json::Json;
+
+const C17: &str = "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+                   10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+                   22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir exists");
+    dir.join(name)
+}
+
+/// A running daemon plus the address it announced. Killed on drop so a
+/// failing test never leaks the process.
+struct Daemon {
+    child: Child,
+    addr: String,
+    stderr: BufReader<std::process::ChildStderr>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_udsim"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--allow-quit"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("announcement line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no announcement in {line:?}"))
+        .trim()
+        .to_owned();
+    Daemon {
+        child,
+        addr,
+        stderr,
+    }
+}
+
+/// One raw HTTP/1.1 exchange; returns (status, body).
+fn exchange(addr: &str, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("full response");
+    let status = reply
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn simulate_body() -> String {
+    format!(
+        "{{\"bench\":{},\"name\":\"c17\",\"vectors\":[[0,1,0,1,0],[1,1,1,1,1]]}}",
+        Json::Str(C17.to_owned()).render()
+    )
+}
+
+/// Asks the daemon to drain and waits for a clean exit.
+fn quit(mut daemon: Daemon) {
+    let (status, _) = post(&daemon.addr, "/quitquitquit", "");
+    assert_eq!(status, 200);
+    let exit = daemon.child.wait().expect("daemon exits");
+    assert_eq!(exit.code(), Some(0), "clean shutdown exits 0");
+    let mut rest = String::new();
+    daemon
+        .stderr
+        .read_to_string(&mut rest)
+        .expect("stderr drains");
+    assert!(rest.contains("goodbye"), "{rest}");
+}
+
+#[test]
+fn lifecycle_probes_metrics_and_errors() {
+    let daemon = spawn_daemon(&[]);
+    let addr = &daemon.addr;
+
+    assert_eq!(get(addr, "/healthz"), (200, "ok\n".to_owned()));
+    assert_eq!(get(addr, "/readyz"), (200, "ready\n".to_owned()));
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("# TYPE uds_build_info gauge"), "{metrics}");
+    assert!(metrics.contains("uds_serve_requests"), "{metrics}");
+
+    assert_eq!(get(addr, "/no-such-route").0, 404);
+    assert_eq!(post(addr, "/metrics", "x").0, 405);
+    assert_eq!(post(addr, "/simulate", "not json").0, 400);
+    let (status, body) = post(addr, "/simulate", "{\"bench\":\"INPUT(a)\\ngarbage\"}");
+    assert_eq!(status, 400, "{body}");
+    // Raw protocol violations answer with their own 4xx family.
+    assert_eq!(
+        exchange(addr, "POST /simulate HTTP/1.1\r\nHost: t\r\n\r\n").0,
+        411,
+        "POST without Content-Length"
+    );
+
+    quit(daemon);
+}
+
+#[test]
+fn cache_serves_repeats_without_recompiling() {
+    let reqlog = tmpfile("serve_reqlog.ndjson");
+    let stats = tmpfile("serve_stats.json");
+    let daemon = spawn_daemon(&[
+        "--reqlog",
+        reqlog.to_str().unwrap(),
+        "--stats",
+        stats.to_str().unwrap(),
+    ]);
+    let addr = &daemon.addr;
+
+    let (status, first) = post(addr, "/simulate", &simulate_body());
+    assert_eq!(status, 200, "{first}");
+    let (status, second) = post(addr, "/simulate", &simulate_body());
+    assert_eq!(status, 200, "{second}");
+
+    let a = Json::parse(first.trim()).expect("first response parses");
+    let b = Json::parse(second.trim()).expect("second response parses");
+    assert_eq!(a.get("schema").unwrap().as_str(), Some("uds-serve-v1"));
+    assert_eq!(a.get("circuit").unwrap().as_str(), Some("c17"));
+    assert_eq!(a.get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(b.get("cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        a.get("rows").unwrap(),
+        b.get("rows").unwrap(),
+        "cached answers are byte-identical"
+    );
+    assert_eq!(
+        a.get("netlist_hash").unwrap().as_str(),
+        b.get("netlist_hash").unwrap().as_str()
+    );
+
+    // The hit is observable in /metrics before shutdown.
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("uds_cache_hits 1"), "{metrics}");
+    assert!(metrics.contains("uds_cache_misses 1"), "{metrics}");
+    assert!(metrics.contains("uds_cache_entries 1"), "{metrics}");
+
+    quit(daemon);
+
+    // The final stats snapshot: exactly one serve.compile span for two
+    // requests — the recompile never happened — plus the counters.
+    let stats_doc = Json::parse(
+        std::fs::read_to_string(&stats)
+            .expect("stats written")
+            .trim(),
+    )
+    .expect("stats parse");
+    let spans = stats_doc.get("spans").expect("spans").as_arr().unwrap();
+    let compiles = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(Json::as_str) == Some("serve.compile"))
+        .count();
+    assert_eq!(compiles, 1, "one compile for two identical requests");
+    let counters = stats_doc.get("counters").expect("counters");
+    assert_eq!(counters.get("cache.hits").unwrap().as_u64(), Some(1));
+    // Two simulates, the /metrics scrape, and the quit itself.
+    assert_eq!(counters.get("serve.requests").unwrap().as_u64(), Some(4));
+
+    // The request log: one schema-tagged line per request, in order.
+    let log = std::fs::read_to_string(&reqlog).expect("reqlog written");
+    let lines: Vec<Json> = log
+        .lines()
+        .map(|l| Json::parse(l).expect("reqlog line parses"))
+        .collect();
+    assert_eq!(lines.len(), 4, "{log}");
+    for line in &lines {
+        assert_eq!(line.get("schema").unwrap().as_str(), Some("uds-reqlog-v1"));
+        assert!(line.get("status").unwrap().as_u64().is_some());
+        assert!(line.get("wall_ns").unwrap().as_u64().is_some());
+    }
+    assert_eq!(lines[0].get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(lines[1].get("cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        lines[0].get("netlist_hash").unwrap().as_str(),
+        lines[1].get("netlist_hash").unwrap().as_str()
+    );
+    assert_eq!(lines[2].get("path").unwrap().as_str(), Some("/metrics"));
+    assert_eq!(
+        lines[3].get("path").unwrap().as_str(),
+        Some("/quitquitquit")
+    );
+}
+
+#[test]
+fn quit_is_forbidden_without_the_flag() {
+    // Spawn without --allow-quit: need a bespoke spawn.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_udsim"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("announcement line");
+    let addr = line.split("http://").nth(1).expect("announcement").trim();
+    let (status, body) = post(addr, "/quitquitquit", "");
+    assert_eq!(status, 403, "{body}");
+    // Still alive and serving afterwards.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[test]
+fn engine_and_jobs_requests_agree_with_defaults() {
+    let daemon = spawn_daemon(&[]);
+    let addr = &daemon.addr;
+
+    let base = simulate_body();
+    let pinned = base.replacen(
+        "\"vectors\"",
+        "\"engine\":\"event-driven\",\"jobs\":2,\"vectors\"",
+        1,
+    );
+    let (status, default_reply) = post(addr, "/simulate", &base);
+    assert_eq!(status, 200, "{default_reply}");
+    let (status, pinned_reply) = post(addr, "/simulate", &pinned);
+    assert_eq!(status, 200, "{pinned_reply}");
+    let a = Json::parse(default_reply.trim()).unwrap();
+    let b = Json::parse(pinned_reply.trim()).unwrap();
+    assert_eq!(b.get("engine").unwrap().as_str(), Some("event-driven"));
+    assert_eq!(b.get("jobs").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        a.get("rows").unwrap(),
+        b.get("rows").unwrap(),
+        "every engine and sharding computes the same rows"
+    );
+    // A different engine is a different cache key: both were misses.
+    assert_eq!(a.get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(b.get("cache").unwrap().as_str(), Some("miss"));
+
+    quit(daemon);
+}
+
+#[test]
+fn unknown_engine_and_bad_vectors_are_client_errors() {
+    let daemon = spawn_daemon(&[]);
+    let addr = &daemon.addr;
+
+    let bad_engine =
+        simulate_body().replacen("\"vectors\"", "\"engine\":\"warp-drive\",\"vectors\"", 1);
+    let (status, body) = post(addr, "/simulate", &bad_engine);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("warp-drive"), "{body}");
+
+    let wrong_width = format!(
+        "{{\"bench\":{},\"vectors\":[[1,0]]}}",
+        Json::Str(C17.to_owned()).render()
+    );
+    let (status, body) = post(addr, "/simulate", &wrong_width);
+    assert_eq!(status, 400, "{body}");
+
+    let no_stimulus = format!("{{\"bench\":{}}}", Json::Str(C17.to_owned()).render());
+    let (status, body) = post(addr, "/simulate", &no_stimulus);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("stimulus"), "{body}");
+
+    quit(daemon);
+}

@@ -93,6 +93,21 @@ fn report_carries_schema_spans_counters_and_gauges() {
     assert_eq!(labels.get("circuit").unwrap().as_str(), Some("stats17"));
     assert_eq!(labels.get("command").unwrap().as_str(), Some("simulate"));
     assert!(labels.get("engine").is_some());
+
+    // Build facts: the constant-1 gauge plus who/what built the binary.
+    assert_eq!(gauges.get("build_info").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        labels.get("build.version").unwrap().as_str(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert_eq!(labels.get("build.word_bits").unwrap().as_str(), Some("32"));
+    assert!(
+        matches!(
+            labels.get("build.profile").unwrap().as_str(),
+            Some("debug" | "release")
+        ),
+        "{labels:?}"
+    );
 }
 
 #[test]
