@@ -28,6 +28,7 @@ use std::time::Instant;
 use uds_eventsim::zero_delay::stable_states;
 use uds_netlist::Netlist;
 
+use crate::cancel::CancelToken;
 use crate::error::{SimError, SimErrorKind, SimPhase};
 use crate::guard::GuardedSimulator;
 use crate::progress::{BatchProbe, Heartbeat, NoopBatchProbe};
@@ -138,6 +139,37 @@ pub fn run_batch_observed(
     telemetry: Option<&Telemetry>,
     probe: &dyn BatchProbe,
 ) -> Result<BatchOutput, SimError> {
+    run_batch_cancellable(
+        netlist,
+        prototype,
+        vectors,
+        jobs,
+        telemetry,
+        probe,
+        &CancelToken::new(),
+    )
+}
+
+/// [`run_batch_observed`] with cooperative cancellation: every worker
+/// polls `cancel` between vectors, so a tripped token (an explicit
+/// cancel or a passed deadline) stops the batch within one vector per
+/// shard. The interrupted run returns [`SimErrorKind::Cancelled`]
+/// carrying how many vectors the reporting worker had finished — the
+/// partial-work figure the serve daemon's timeout telemetry records.
+///
+/// # Errors
+///
+/// As [`run_batch`], plus [`SimErrorKind::Cancelled`] when the token
+/// trips mid-run.
+pub fn run_batch_cancellable(
+    netlist: &Netlist,
+    prototype: &GuardedSimulator,
+    vectors: &[Vec<bool>],
+    jobs: usize,
+    telemetry: Option<&Telemetry>,
+    probe: &dyn BatchProbe,
+    cancel: &CancelToken,
+) -> Result<BatchOutput, SimError> {
     let expected = netlist.primary_inputs().len();
     for vector in vectors {
         if vector.len() != expected {
@@ -233,6 +265,15 @@ pub fn run_batch_observed(
                     let mut last_beat = Instant::now();
                     let mut rows = Vec::with_capacity(slice.len());
                     for (done, vector) in slice.iter().enumerate() {
+                        if let Some(cause) = cancel.cause() {
+                            return Err(SimError::new(
+                                SimErrorKind::Cancelled {
+                                    cause,
+                                    vectors_done: done,
+                                },
+                                SimPhase::Run,
+                            ));
+                        }
                         guard.simulate_vector(vector)?;
                         rows.push(outputs.iter().map(|&po| guard.final_value(po)).collect());
                         if observe_vectors {
@@ -475,6 +516,52 @@ mod tests {
             vectors.len(),
             "one vector_done per vector"
         );
+    }
+
+    #[test]
+    fn tripped_token_stops_the_batch_as_budget_class() {
+        use crate::cancel::{CancelCause, CancelToken};
+        use crate::progress::NoopBatchProbe;
+
+        let nl = c17();
+        let vectors = stimulus(40);
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = run_batch_cancellable(&nl, &guard, &vectors, 2, None, &NoopBatchProbe, &cancel)
+            .unwrap_err();
+        assert_eq!(err.class(), crate::FailureClass::Budget);
+        match err.kind {
+            SimErrorKind::Cancelled {
+                cause,
+                vectors_done,
+            } => {
+                assert_eq!(cause, CancelCause::Cancelled);
+                assert_eq!(vectors_done, 0, "tripped before the first vector");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_token_leaves_the_batch_bit_exact() {
+        use crate::cancel::CancelToken;
+        use crate::progress::NoopBatchProbe;
+
+        let nl = c17();
+        let vectors = stimulus(23);
+        let guard = GuardedSimulator::new(&nl, ResourceLimits::production()).unwrap();
+        let out = run_batch_cancellable(
+            &nl,
+            &guard,
+            &vectors,
+            3,
+            None,
+            &NoopBatchProbe,
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(out.rows, sequential_rows(&vectors));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Cooperative cancellation for long-running simulation work.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle that batch workers
+//! poll between vectors. It trips for one of two reasons:
+//!
+//! * **explicit cancellation** — someone called [`CancelToken::cancel`]
+//!   (the serve daemon's `DELETE /jobs/:id`, a dropped client);
+//! * **a deadline** — the token was built with
+//!   [`CancelToken::with_deadline`] and the wall clock passed it (the
+//!   daemon's per-request timeout).
+//!
+//! Polling costs one relaxed atomic load plus, when a deadline is set,
+//! one `Instant::now()` — cheap enough to check every vector, which
+//! bounds how much work survives a cancellation to a single vector per
+//! worker. A tripped token stays tripped; tokens are one-shot by
+//! design so a cancelled job can never resume.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a [`CancelToken`] tripped.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CancelCause::Cancelled => "cancelled",
+            CancelCause::DeadlineExceeded => "deadline exceeded",
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A clonable cancellation handle; all clones share one trip state.
+///
+/// The default token never trips on its own and is free to poll — the
+/// "no cancellation" case threads it through unconditionally.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only trips on an explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that also trips once the wall clock passes `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Trips the token. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Why the token has tripped, or `None` while work may continue.
+    ///
+    /// An explicit [`CancelToken::cancel`] wins over a passed deadline
+    /// when both hold — the explicit signal is the intentional one.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelCause::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(CancelCause::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// `true` once the token has tripped for any cause.
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let token = CancelToken::new();
+        assert_eq!(token.cause(), None);
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_trips_every_clone() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert_eq!(clone.cause(), Some(CancelCause::Cancelled));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn passed_deadline_trips() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(token.cause(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_stays_live_and_cancel_wins() {
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(token.cause(), None);
+        token.cancel();
+        assert_eq!(token.cause(), Some(CancelCause::Cancelled));
+    }
+}

@@ -12,6 +12,7 @@ use std::fmt;
 use uds_netlist::bench_format::ParseError;
 use uds_netlist::{BuildError, LevelizeError, LimitExceeded};
 
+use crate::cancel::CancelCause;
 use crate::crosscheck::Mismatch;
 use crate::Engine;
 
@@ -77,6 +78,16 @@ pub enum SimErrorKind {
         expected: usize,
         /// What the vector supplied.
         got: usize,
+    },
+    /// The run was stopped cooperatively before finishing — an explicit
+    /// cancellation or a passed deadline ([`crate::cancel`]). Work up
+    /// to `vectors_done` completed and is accounted for; nothing after
+    /// it ran.
+    Cancelled {
+        /// Why the token tripped.
+        cause: CancelCause,
+        /// Vectors the interrupted worker finished before stopping.
+        vectors_done: usize,
     },
     /// Two engines disagreed on a value or history.
     Mismatch(Mismatch),
@@ -180,6 +191,9 @@ impl SimError {
             SimErrorKind::Budget(_) => FailureClass::Budget,
             SimErrorKind::EnginePanicked { .. } => FailureClass::Panic,
             SimErrorKind::VectorWidth { .. } => FailureClass::Usage,
+            // A tripped deadline is a blown time budget; an explicit
+            // cancel routes the same way (the caller asked, exit 5).
+            SimErrorKind::Cancelled { .. } => FailureClass::Budget,
             SimErrorKind::Mismatch(_) => FailureClass::Mismatch,
             SimErrorKind::ChainExhausted(errors) => errors
                 .last()
@@ -216,6 +230,10 @@ impl fmt::Display for SimError {
                 f,
                 "input vector has {got} bits but the circuit has {expected} primary inputs"
             ),
+            SimErrorKind::Cancelled {
+                cause,
+                vectors_done,
+            } => write!(f, "run stopped ({cause}) after {vectors_done} vectors"),
             SimErrorKind::Mismatch(err) => write!(f, "{err}"),
             SimErrorKind::ChainExhausted(errors) => {
                 write!(f, "every engine in the fallback chain failed:")?;

@@ -5,15 +5,20 @@
 //! dependency-free implementation of exactly the subset we serve.
 //! [`read_request`] parses one request (request line, headers, and a
 //! `Content-Length`-delimited body) off any [`Read`]; [`Response`]
-//! renders one `Connection: close` response. Every connection carries
-//! one request — the daemon's clients are scrapers and batch
-//! submitters, not browsers, so keep-alive buys nothing and a closed
-//! connection is an unambiguous end-of-response marker.
+//! renders one `Content-Length`-framed response whose `Connection`
+//! header the caller picks at write time. Connections are persistent
+//! by HTTP/1.1 default — scrapers poll `/metrics` every few seconds
+//! and batch submitters page job results, so reusing the connection
+//! skips a TCP handshake per request — and the explicit
+//! `Content-Length` framing makes responses self-delimiting, so
+//! keep-alive needs no chunked encoding.
 //!
 //! Hard limits make the parser safe on untrusted sockets: the request
 //! head (request line + headers) is capped at [`MAX_HEAD_BYTES`], the
 //! body at a caller-chosen ceiling, and both reject early with a typed
-//! [`HttpError`] that maps onto a 4xx status.
+//! [`HttpError`] that maps onto a 4xx status. Socket timeouts surface
+//! as their own variants so the connection loop can tell an idle peer
+//! (reap silently) from a slowloris mid-head stall (answer 408).
 
 use std::io::{self, Read, Write};
 
@@ -31,6 +36,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty without a `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this
+    /// one: HTTP/1.1 defaults to keep-alive unless the client sent
+    /// `Connection: close`; HTTP/1.0 requires an explicit
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -55,20 +65,47 @@ pub enum HttpError {
     BodyTooLarge { declared: u64, limit: u64 },
     /// A body-bearing method arrived without `Content-Length`.
     LengthRequired,
+    /// The peer closed the connection cleanly before sending any
+    /// byte of a request — the normal end of a keep-alive exchange,
+    /// not a protocol violation. No response is owed.
+    Closed,
+    /// The socket read timed out. `mid_request` distinguishes a
+    /// slowloris-style stall (bytes arrived, then silence — answer
+    /// 408) from a connection that simply sat idle between requests
+    /// (reap silently).
+    TimedOut {
+        /// Whether any bytes of the request had arrived.
+        mid_request: bool,
+    },
     /// The socket failed or closed mid-request.
     Io(io::Error),
 }
 
 impl HttpError {
-    /// The HTTP status this error answers with.
+    /// The HTTP status this error answers with. [`HttpError::Closed`]
+    /// and an idle [`HttpError::TimedOut`] owe no response at all —
+    /// the connection loop checks [`HttpError::deserves_response`]
+    /// first.
     pub fn status(&self) -> u16 {
         match self {
             HttpError::Bad(_) => 400,
             HttpError::HeadTooLarge => 431,
             HttpError::BodyTooLarge { .. } => 413,
             HttpError::LengthRequired => 411,
+            HttpError::Closed => 400,
+            HttpError::TimedOut { .. } => 408,
             HttpError::Io(_) => 400,
         }
+    }
+
+    /// Whether the peer should be sent an error response before the
+    /// connection closes. A clean close or an idle timeout means the
+    /// peer walked away — writing to it is wasted (or impossible).
+    pub fn deserves_response(&self) -> bool {
+        !matches!(
+            self,
+            HttpError::Closed | HttpError::TimedOut { mid_request: false } | HttpError::Io(_)
+        )
     }
 }
 
@@ -83,6 +120,9 @@ impl std::fmt::Display for HttpError {
                 write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
             }
             HttpError::LengthRequired => write!(f, "Content-Length required"),
+            HttpError::Closed => write!(f, "connection closed between requests"),
+            HttpError::TimedOut { mid_request: true } => write!(f, "read timed out mid-request"),
+            HttpError::TimedOut { mid_request: false } => write!(f, "connection idled out"),
             HttpError::Io(e) => write!(f, "i/o: {e}"),
         }
     }
@@ -98,13 +138,30 @@ impl From<io::Error> for HttpError {
 
 /// Reads the request head byte-by-byte until the blank line. One-byte
 /// reads are fine here: callers hand in a buffered stream, and the head
-/// is at most [`MAX_HEAD_BYTES`].
+/// is at most [`MAX_HEAD_BYTES`]. A clean close or a timeout before
+/// the first byte is the peer idling out, not a malformed request.
 fn read_head(stream: &mut impl Read) -> Result<String, HttpError> {
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     loop {
-        let n = stream.read(&mut byte)?;
+        let n = match stream.read(&mut byte) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                return Err(HttpError::TimedOut {
+                    mid_request: !head.is_empty(),
+                })
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
         if n == 0 {
+            if head.is_empty() {
+                return Err(HttpError::Closed);
+            }
             return Err(HttpError::Bad("connection closed mid-head".to_owned()));
         }
         head.push(byte[0]);
@@ -152,11 +209,17 @@ pub fn read_request(stream: &mut impl Read, max_body: u64) -> Result<Request, Ht
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let request = Request {
+    let mut request = Request {
         method: method.to_owned(),
         path: path.to_owned(),
         headers,
         body: Vec::new(),
+        keep_alive: false,
+    };
+    request.keep_alive = match request.header("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => version != "HTTP/1.0", // 1.1+ is persistent by default
     };
     if request
         .header("transfer-encoding")
@@ -182,18 +245,30 @@ pub fn read_request(stream: &mut impl Read, max_body: u64) -> Result<Request, Ht
         });
     }
     let mut body = vec![0u8; declared as usize];
-    stream.read_exact(&mut body)?;
+    stream.read_exact(&mut body).map_err(|e| {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            HttpError::TimedOut { mid_request: true }
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
     Ok(Request { body, ..request })
 }
 
-/// One response, rendered with `Content-Length` and
-/// `Connection: close`.
+/// One response, rendered with explicit `Content-Length` framing and
+/// the `Connection` disposition the caller picks at write time.
 #[derive(Clone, Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` of the body.
     pub content_type: &'static str,
+    /// Extra headers beyond the framing set (`Retry-After`,
+    /// `Location`, …), in write order.
+    pub extra_headers: Vec<(&'static str, String)>,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -204,6 +279,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -213,24 +289,41 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            extra_headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
 
-    /// Writes the response (status line, headers, body) to `stream`.
+    /// Adds one extra header (builder style). The value must already
+    /// be a legal header value — no folding or escaping happens here.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Writes the response (status line, headers, body) to `stream`,
+    /// announcing `Connection: keep-alive` or `close` per the caller's
+    /// decision — the caller, not the response, knows whether the
+    /// connection loop will read another request.
     ///
     /// # Errors
     ///
     /// Socket write failures pass through.
-    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -240,16 +333,23 @@ impl Response {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        410 => "Gone",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -320,13 +420,82 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_follows_version_defaults_and_connection_header() {
+        let cases = [
+            ("GET / HTTP/1.1\r\n\r\n", true),
+            ("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            ("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n", true),
+            ("GET / HTTP/1.0\r\n\r\n", false),
+            ("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+        ];
+        for (raw, expected) in cases {
+            assert_eq!(parse(raw).unwrap().keep_alive, expected, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_closed_not_bad() {
+        let err = parse("").unwrap_err();
+        assert!(matches!(err, HttpError::Closed), "{err:?}");
+        assert!(!err.deserves_response());
+        // But EOF after a partial head is a protocol violation.
+        let err = parse("GET / HT").unwrap_err();
+        assert!(matches!(err, HttpError::Bad(_)), "{err:?}");
+        assert!(err.deserves_response());
+    }
+
+    #[test]
+    fn timeouts_split_idle_from_slowloris() {
+        struct TimesOut(Vec<u8>);
+        impl Read for TimesOut {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Err(io::Error::from(io::ErrorKind::WouldBlock));
+                }
+                buf[0] = self.0.remove(0);
+                Ok(1)
+            }
+        }
+        let idle = read_request(&mut TimesOut(Vec::new()), 1024).unwrap_err();
+        assert!(
+            matches!(idle, HttpError::TimedOut { mid_request: false }),
+            "{idle:?}"
+        );
+        assert!(!idle.deserves_response(), "idle peers are reaped silently");
+        let stalled = read_request(&mut TimesOut(b"GET / H".to_vec()), 1024).unwrap_err();
+        assert!(
+            matches!(stalled, HttpError::TimedOut { mid_request: true }),
+            "{stalled:?}"
+        );
+        assert_eq!(stalled.status(), 408);
+        assert!(stalled.deserves_response());
+    }
+
+    #[test]
     fn response_renders_status_line_headers_and_body() {
         let mut out = Vec::new();
-        Response::json(200, "{}").write_to(&mut out).unwrap();
+        Response::json(200, "{}").write_to(&mut out, false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn response_can_keep_alive_and_carry_extra_headers() {
+        let mut out = Vec::new();
+        Response::text(429, "busy")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nbusy"));
     }
 }

@@ -29,12 +29,15 @@
 //!   word-parallel toggle profiling (`udsim profile`), live batch
 //!   heartbeats (`--progress`), and the shared stdout contract every
 //!   `-` stream flag obeys;
-//! * [`http`], [`cache`], [`serve`] — the service layer: a
-//!   dependency-free HTTP/1.1 core, an observable LRU of compiled
-//!   engine prototypes, and the `udsim serve` daemon that exposes
+//! * [`http`], [`cache`], [`serve`], [`loadgen`] — the service layer:
+//!   a dependency-free HTTP/1.1 core with keep-alive, an observable
+//!   LRU of compiled engine prototypes, the `udsim serve` daemon (a
+//!   bounded worker pool with admission control, per-request
+//!   deadlines via [`cancel`], and an async job API) exposing
 //!   simulation over `POST /simulate` with Prometheus `/metrics`
 //!   (rendered by [`telemetry::prom`]), health probes, and structured
-//!   request logs.
+//!   request logs — plus the `udsim loadgen` client fleet that proves
+//!   the overload behavior.
 //!
 //! # Example
 //!
@@ -58,12 +61,14 @@
 pub mod activity;
 pub mod batch;
 pub mod cache;
+pub mod cancel;
 pub mod chaos;
 pub mod crosscheck;
 pub mod error;
 pub mod guard;
 pub mod hazard;
 pub mod http;
+pub mod loadgen;
 pub mod progress;
 pub mod sequential;
 pub mod serve;
@@ -75,19 +80,24 @@ pub mod vectors;
 pub mod waveform;
 
 pub use activity::{ActivityProfiler, ActivityReport, BatchActivityObserver, ACTIVITY_SCHEMA};
-pub use batch::{run_batch, run_batch_observed, shard_bounds, BatchOutput, ShardReport};
+pub use batch::{
+    run_batch, run_batch_cancellable, run_batch_observed, shard_bounds, BatchOutput, ShardReport,
+};
 pub use cache::{netlist_hash, CacheKey, EngineCache};
+pub use cancel::{CancelCause, CancelToken};
 pub use error::{FailureClass, SimError, SimErrorKind, SimPhase};
 pub use guard::{
     build_engine_with_limits, build_engine_with_limits_probed,
     build_engine_with_limits_probed_word, build_engine_with_limits_word, DefaultEngineFactory,
     GuardedSimulator, MonitoringEngineFactory,
 };
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, LOADGEN_SCHEMA};
 pub use progress::{
     BatchProbe, FanoutProbe, Heartbeat, NdjsonProgress, NoopBatchProbe, PROGRESS_SCHEMA,
 };
 pub use serve::{
-    install_signal_handlers, ServeConfig, ShutdownHandle, SimServer, REQLOG_SCHEMA, SERVE_SCHEMA,
+    install_signal_handlers, ServeConfig, ShutdownHandle, SimServer, JOB_SCHEMA, REQLOG_SCHEMA,
+    SERVE_SCHEMA,
 };
 pub use simulator::{
     build_simulator, build_simulator_with_word, BuildSimulatorError, Engine, TracedEventSim,
@@ -95,4 +105,6 @@ pub use simulator::{
 };
 pub use stream::{open_sink, write_text, HumanOut, StreamContract};
 pub use telemetry::trace::{chrome_trace, render_chrome_trace};
-pub use telemetry::{record_build_info, SpanNode, Telemetry, TelemetryReport, BUILD_INFO_GAUGE};
+pub use telemetry::{
+    record_build_info, Histogram, SpanNode, Telemetry, TelemetryReport, BUILD_INFO_GAUGE,
+};

@@ -136,6 +136,80 @@ impl Distribution {
     }
 }
 
+/// Fixed-bucket latency histogram with cumulative Prometheus
+/// semantics: `bounds` are inclusive upper bucket edges (strictly
+/// increasing), `counts[i]` holds the samples with
+/// `sample <= bounds[i]` that fell in no earlier bucket, and the final
+/// slot of `counts` is the `+Inf` overflow bucket. Unlike
+/// [`Distribution`] (a running min/max/sum summary), a histogram keeps
+/// enough shape to read SLO percentiles off a scrape.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    /// Inclusive upper bucket edges, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; `bounds.len() + 1` entries, the last
+    /// being the overflow (`+Inf`) bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Samples recorded.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given upper bounds. Bounds are
+    /// sorted and deduplicated, so any bucket layout is accepted.
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Folds one sample into its bucket.
+    pub fn observe(&mut self, sample: u64) {
+        let bucket = self.bounds.partition_point(|&bound| bound < sample);
+        self.counts[bucket] += 1;
+        self.sum = self.sum.saturating_add(sample);
+        self.count += 1;
+    }
+
+    /// Cumulative count of samples at or under each bound, ending with
+    /// the total — the exact `_bucket{le=...}` series Prometheus
+    /// expects, `+Inf` last.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut running = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                running += c;
+                running
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "bounds",
+                Json::Arr(self.bounds.iter().map(|&b| Json::UInt(b)).collect()),
+            ),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("sum", Json::UInt(self.sum)),
+            ("count", Json::UInt(self.count)),
+        ])
+    }
+}
+
 /// An in-flight span (still on the stack).
 #[derive(Debug)]
 struct OpenSpan {
@@ -152,6 +226,7 @@ struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     distributions: BTreeMap<String, Distribution>,
+    histograms: BTreeMap<String, Histogram>,
     finished: Vec<SpanNode>,
     stack: Vec<OpenSpan>,
 }
@@ -164,6 +239,7 @@ impl Default for Inner {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             distributions: BTreeMap::new(),
+            histograms: BTreeMap::new(),
             finished: Vec::new(),
             stack: Vec::new(),
         }
@@ -301,6 +377,23 @@ impl Telemetry {
             .record(sample);
     }
 
+    /// Folds a sample into a named fixed-bucket histogram. The first
+    /// observation fixes the bucket layout; `bounds` is ignored on
+    /// every later call, so one call site's layout wins and samples
+    /// from all writers land in the same buckets.
+    pub fn observe_histogram(&self, name: impl Into<String>, bounds: &[u64], sample: u64) {
+        self.lock()
+            .histograms
+            .entry(name.into())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(sample);
+    }
+
+    /// A snapshot of a named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
     /// Current value of a counter (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.lock().counters.get(name).copied().unwrap_or(0)
@@ -326,6 +419,7 @@ impl Telemetry {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
             distributions: inner.distributions.clone(),
+            histograms: inner.histograms.clone(),
         }
     }
 }
@@ -400,6 +494,8 @@ pub struct TelemetryReport {
     pub gauges: BTreeMap<String, u64>,
     /// Sampled distributions.
     pub distributions: BTreeMap<String, Distribution>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 impl TelemetryReport {
@@ -439,6 +535,15 @@ impl TelemetryReport {
                 "distributions",
                 Json::Obj(
                     self.distributions
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
                         .iter()
                         .map(|(k, v)| (k.clone(), v.to_json()))
                         .collect(),
@@ -493,6 +598,27 @@ mod tests {
         let dist = report.distributions["settle"];
         assert_eq!((dist.count, dist.min, dist.max, dist.sum), (2, 2, 4, 6));
         assert_eq!(dist.mean(), 3.0);
+    }
+
+    #[test]
+    fn histograms_bucket_cumulatively() {
+        let telemetry = Telemetry::new();
+        let bounds = [5, 10, 50];
+        telemetry.observe_histogram("req_ms", &bounds, 3);
+        telemetry.observe_histogram("req_ms", &bounds, 5); // inclusive edge
+        telemetry.observe_histogram("req_ms", &bounds, 7);
+        telemetry.observe_histogram("req_ms", &bounds, 999); // overflow
+        let histo = telemetry.histogram("req_ms").unwrap();
+        assert_eq!(histo.counts, vec![2, 1, 0, 1]);
+        assert_eq!(histo.cumulative(), vec![2, 3, 3, 4]);
+        assert_eq!((histo.sum, histo.count), (1014, 4));
+        // Later callers cannot re-shape the buckets.
+        telemetry.observe_histogram("req_ms", &[1], 2);
+        let histo = telemetry.histogram("req_ms").unwrap();
+        assert_eq!(histo.bounds, vec![5, 10, 50]);
+        assert_eq!(histo.count, 5);
+        // Unsorted bounds with duplicates normalize.
+        assert_eq!(Histogram::new(&[10, 5, 10]).bounds, vec![5, 10]);
     }
 
     #[test]

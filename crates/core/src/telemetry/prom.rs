@@ -3,7 +3,10 @@
 //! `GET /metrics` on the simulation daemon renders the live registry in
 //! the Prometheus text format (version 0.0.4): counters as `counter`,
 //! gauges as `gauge`, distributions as `summary` (min and max exposed
-//! as the 0 and 1 quantiles, which a running min/max tracks exactly).
+//! as the 0 and 1 quantiles, which a running min/max tracks exactly),
+//! and fixed-bucket histograms as `histogram` (cumulative
+//! `_bucket{le=...}` series ending at `+Inf`, plus `_sum`/`_count` —
+//! the shape `histogram_quantile()` consumes for SLO math).
 //! Hand-rolled like the JSON and trace writers — the workspace builds
 //! offline, so no client library.
 //!
@@ -11,8 +14,8 @@
 //! charset `[a-zA-Z0-9_:]` (dots and dashes in telemetry names become
 //! underscores, so `guard.fallbacks` scrapes as `uds_guard_fallbacks`).
 //! Should two telemetry names sanitize to the same metric name, the
-//! first one exported wins (counters before gauges before
-//! distributions, alphabetical within each) and the rest drop — a metric
+//! first one exported wins (counters, then gauges, then histograms,
+//! then distributions, alphabetical within each) and the rest drop — a metric
 //! name must not repeat its `# TYPE` line — and the drop is surfaced
 //! through the `uds_prom_name_collisions` counter.
 //!
@@ -115,6 +118,30 @@ pub fn render(report: &TelemetryReport) -> String {
             &mut collisions,
         );
     }
+    for (name, histo) in &report.histograms {
+        let mut samples: Vec<(String, &'static str, String)> = histo
+            .bounds
+            .iter()
+            .zip(histo.cumulative())
+            .map(|(bound, cum)| (format!("{{le=\"{bound}\"}}"), "_bucket", cum.to_string()))
+            .collect();
+        samples.push((
+            "{le=\"+Inf\"}".to_owned(),
+            "_bucket",
+            histo.count.to_string(),
+        ));
+        samples.push((String::new(), "_sum", histo.sum.to_string()));
+        samples.push((String::new(), "_count", histo.count.to_string()));
+        insert(
+            metric_name(name),
+            Family {
+                kind: "histogram",
+                help: format!("telemetry histogram `{}`", escape_help(name)),
+                samples,
+            },
+            &mut collisions,
+        );
+    }
     for (name, dist) in &report.distributions {
         insert(
             metric_name(name),
@@ -209,6 +236,22 @@ mod tests {
         assert!(text.contains("uds_serve_wall_ns{quantile=\"1\"} 30\n"));
         assert!(text.contains("uds_serve_wall_ns_sum 40\n"));
         assert!(text.contains("uds_serve_wall_ns_count 2\n"));
+    }
+
+    #[test]
+    fn renders_histograms_with_cumulative_buckets() {
+        let telemetry = Telemetry::new();
+        let bounds = [5, 50];
+        telemetry.observe_histogram("serve.request_ms", &bounds, 2);
+        telemetry.observe_histogram("serve.request_ms", &bounds, 40);
+        telemetry.observe_histogram("serve.request_ms", &bounds, 900);
+        let text = render(&telemetry.snapshot());
+        assert!(text.contains("# TYPE uds_serve_request_ms histogram\n"));
+        assert!(text.contains("uds_serve_request_ms_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("uds_serve_request_ms_bucket{le=\"50\"} 2\n"));
+        assert!(text.contains("uds_serve_request_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("uds_serve_request_ms_sum 942\n"));
+        assert!(text.contains("uds_serve_request_ms_count 3\n"));
     }
 
     #[test]

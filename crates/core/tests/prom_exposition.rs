@@ -140,13 +140,23 @@ fn parse_exposition(text: &str) -> Exposition {
 }
 
 /// The metric family a sample belongs to (summaries expose `_sum` and
-/// `_count` series under their family name).
+/// `_count` series under their family name; histograms additionally
+/// expose `_bucket`).
 fn family_of<'a>(doc: &Exposition, sample_name: &'a str) -> &'a str {
     for suffix in ["_sum", "_count"] {
         if let Some(base) = sample_name.strip_suffix(suffix) {
-            if doc.kind.get(base).is_some_and(|k| k == "summary") {
+            if doc
+                .kind
+                .get(base)
+                .is_some_and(|k| k == "summary" || k == "histogram")
+            {
                 return base;
             }
+        }
+    }
+    if let Some(base) = sample_name.strip_suffix("_bucket") {
+        if doc.kind.get(base).is_some_and(|k| k == "histogram") {
+            return base;
         }
     }
     sample_name
@@ -165,6 +175,11 @@ fn busy_telemetry() -> Telemetry {
     telemetry.record("serve.simulate_wall_ns", 1_200);
     telemetry.record("serve.simulate_wall_ns", 800);
     telemetry.record("serve.simulate_wall_ns", 2_000);
+    let slo = [5, 50, 500];
+    telemetry.observe_histogram("serve.request_ms", &slo, 2);
+    telemetry.observe_histogram("serve.request_ms", &slo, 30);
+    telemetry.observe_histogram("serve.request_ms", &slo, 30);
+    telemetry.observe_histogram("serve.request_ms", &slo, 9_000);
     record_build_info(&telemetry, 64);
     telemetry.label("build.nasty", "quote \" slash \\ newline \n done");
     // Two telemetry names that sanitize to one metric name.
@@ -295,6 +310,51 @@ fn summaries_expose_min_max_sum_count_consistently() {
         series.get("uds_serve_simulate_wall_ns_count").copied(),
         Some("3")
     );
+}
+
+#[test]
+fn histograms_expose_monotone_buckets_ending_at_inf() {
+    let text = render(&busy_telemetry().snapshot());
+    let doc = parse_exposition(&text);
+    assert_eq!(
+        doc.kind.get("uds_serve_request_ms").map(String::as_str),
+        Some("histogram")
+    );
+    let buckets: Vec<(&str, f64)> = doc
+        .samples
+        .iter()
+        .filter(|s| s.name == "uds_serve_request_ms_bucket")
+        .map(|s| {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .expect("bucket has an le label");
+            (le, s.value.parse::<f64>().unwrap())
+        })
+        .collect();
+    assert_eq!(
+        buckets,
+        vec![("5", 1.0), ("50", 3.0), ("500", 3.0), ("+Inf", 4.0)],
+        "cumulative counts over the declared bounds"
+    );
+    assert!(
+        buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+        "bucket series must be monotone"
+    );
+    let count = doc
+        .samples
+        .iter()
+        .find(|s| s.name == "uds_serve_request_ms_count")
+        .expect("_count series");
+    assert_eq!(count.value, "4", "+Inf bucket equals _count");
+    let sum = doc
+        .samples
+        .iter()
+        .find(|s| s.name == "uds_serve_request_ms_sum")
+        .expect("_sum series");
+    assert_eq!(sum.value, "9062");
 }
 
 #[test]

@@ -11,6 +11,11 @@
 //! udsim cone     FILE.bench OUTPUT_NET [...]   # fan-in cone as .bench on stdout
 //! udsim serve    [--addr HOST:PORT] [--cache N] [--allow-quit] [--reqlog OUT.ndjson]
 //!                [--stats OUT.json] [--budget SPEC] [--word 32|64] [--jobs N]
+//!                [--workers N] [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS]
+//!                [--keep-alive-max N] [--request-timeout-ms MS] [--rate-limit R]
+//!                [--max-jobs N] [--job-ttl-s S]
+//! udsim loadgen  [--addr HOST:PORT] [--bench FILE.bench] [--vectors N] [--seed S] [--jobs N]
+//!                [--path P] [--concurrency N] [--rate R] [--duration-ms MS] [--json OUT.json]
 //! udsim engines
 //! ```
 //!
@@ -40,14 +45,28 @@
 //! writes the JSON to stdout and moves the human-readable output to
 //! stderr, so `udsim simulate c.bench --stats - | jq .` works.
 //!
-//! `udsim serve` runs the simulation daemon (DESIGN.md §14): circuits
-//! POSTed to `/simulate` compile once into an LRU cache of engine
-//! prototypes and every later request forks the cached artifact; live
-//! telemetry scrapes at `GET /metrics` in the Prometheus text format;
-//! `/healthz` and `/readyz` answer liveness and readiness probes. The
-//! daemon drains gracefully on SIGTERM/SIGINT (or `POST /quitquitquit`
-//! with `--allow-quit`), then writes the final `--stats` snapshot.
+//! `udsim serve` runs the simulation daemon (DESIGN.md §14–15):
+//! circuits POSTed to `/simulate` compile once into an LRU cache of
+//! engine prototypes and every later request forks the cached
+//! artifact; live telemetry scrapes at `GET /metrics` in the
+//! Prometheus text format; `/healthz` and `/readyz` answer liveness
+//! and readiness probes. Connections are HTTP/1.1 keep-alive, served
+//! by a bounded pool of `--workers` threads behind a `--queue`-deep
+//! admission queue: a full queue sheds with `429` + `Retry-After`,
+//! `--rate-limit` token-buckets work-bearing requests per peer IP,
+//! and `--request-timeout-ms` cancels an overlong simulation
+//! cooperatively, answering `504` with the partial-work count. `POST
+//! /jobs` submits the same body asynchronously (`GET /jobs/:id` for
+//! progress, `/jobs/:id/result` for paged rows, `DELETE` to cancel),
+//! bounded by `--max-jobs` and `--job-ttl-s`. The daemon drains
+//! gracefully on SIGTERM/SIGINT (or `POST /quitquitquit` with
+//! `--allow-quit`), then writes the final `--stats` snapshot.
 //! `--reqlog` streams one `uds-reqlog-v1` NDJSON line per request.
+//!
+//! `udsim loadgen` applies closed- or open-loop load to a running
+//! daemon and reports per-status counts and latency percentiles as
+//! `uds-loadgen-v1` JSON (`--json`) — the tool that turns overload
+//! behavior into a CI assertion.
 //!
 //! ## Exit codes
 //!
@@ -66,10 +85,10 @@ use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
 use unit_delay_sim::core::{
     build_engine_with_limits_probed_word, install_signal_handlers, open_sink, record_build_info,
-    render_chrome_trace, run_batch_observed, write_text, ActivityProfiler, BatchActivityObserver,
-    BatchProbe, DefaultEngineFactory, Engine, FailureClass, FanoutProbe, GuardedSimulator,
-    HumanOut, MonitoringEngineFactory, NdjsonProgress, NoopBatchProbe, ServeConfig, SimError,
-    SimServer, StreamContract, Telemetry, WordWidth,
+    render_chrome_trace, run_batch_observed, run_loadgen, write_text, ActivityProfiler,
+    BatchActivityObserver, BatchProbe, DefaultEngineFactory, Engine, FailureClass, FanoutProbe,
+    GuardedSimulator, HumanOut, LoadgenConfig, MonitoringEngineFactory, NdjsonProgress,
+    NoopBatchProbe, ServeConfig, SimError, SimServer, StreamContract, Telemetry, WordWidth,
 };
 use unit_delay_sim::netlist::stats::CircuitStats;
 use unit_delay_sim::netlist::{levelize, Probe, ResourceLimits};
@@ -138,6 +157,7 @@ fn run() -> Result<(), CliError> {
         "codegen" => codegen(&rest),
         "cone" => cone(&rest),
         "serve" => serve(&rest),
+        "loadgen" => loadgen(&rest),
         "engines" => {
             for engine in Engine::ALL {
                 println!("{engine}");
@@ -167,7 +187,11 @@ fn usage() -> String {
      [--stats OUT.json]\n  \
      udsim cone FILE.bench OUTPUT_NET [...]\n  \
      udsim serve [--addr HOST:PORT] [--cache N] [--allow-quit] [--reqlog OUT.ndjson]\n              \
-     [--stats OUT.json] [--budget SPEC] [--word 32|64] [--jobs N]\n  \
+     [--stats OUT.json] [--budget SPEC] [--word 32|64] [--jobs N] [--workers N] [--queue N]\n              \
+     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--keep-alive-max N]\n              \
+     [--request-timeout-ms MS] [--rate-limit R] [--max-jobs N] [--job-ttl-s S]\n  \
+     udsim loadgen [--addr HOST:PORT] [--bench FILE.bench] [--vectors N] [--seed S] [--jobs N]\n                \
+     [--path P] [--concurrency N] [--rate R] [--duration-ms MS] [--json OUT.json]\n  \
      udsim engines\n\n\
      SPEC: production | depth=N,gates=N,inputs=N,field-words=N,memory=N[K|M|G],deadline-ms=N\n\
      stream flags (--stats, --trace, --progress, --json, --reqlog) accept `-` for stdout; at\n\
@@ -175,8 +199,11 @@ fn usage() -> String {
      --trace exports the telemetry span tree as Chrome trace_event JSON (load in Perfetto);\n\
      --progress streams per-shard NDJSON heartbeats during --jobs batch runs, at least\n\
      --progress-interval ms apart (default 100).\n\
-     serve answers POST /simulate, GET /metrics (Prometheus), GET /healthz, GET /readyz;\n\
-     --cache N keeps N compiled prototypes resident (default 64, 0 disables).\n\n\
+     serve answers POST /simulate, POST /jobs (+ GET/DELETE /jobs/:id), GET /metrics\n\
+     (Prometheus), GET /healthz, GET /readyz; --cache N keeps N compiled prototypes resident\n\
+     (default 64, 0 disables); --workers sizes the pool (0 = cores); a full --queue sheds 429.\n\
+     loadgen is closed-loop unless --rate sets open-loop arrivals; --bench makes the fleet\n\
+     POST real work, otherwise it GETs --path (default /healthz).\n\n\
      exit codes: 0 ok, 2 usage, 3 parse, 4 structural, 5 budget, 6 engine panic,\n\
      7 cross-check mismatch; 1 is an internal error (a udsim bug), never bad input"
         .to_owned()
@@ -1108,6 +1135,12 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let mut word = WordWidth::default();
     let mut jobs = 1usize;
     let mut limits = ResourceLimits::production();
+    let mut config = ServeConfig::default();
+    let parse_num = |flag: &str, value: &str| -> Result<u64, CliError> {
+        value
+            .parse()
+            .map_err(|e| CliError::usage(format!("{flag}: {e}")))
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -1141,6 +1174,47 @@ fn serve(args: &[String]) -> Result<(), CliError> {
                     return Err(CliError::usage("--jobs: worker count must be at least 1"));
                 }
             }
+            "--workers" => {
+                let value = iter.next().ok_or("--workers needs a thread count")?;
+                config.workers = parse_num("--workers", value)? as usize;
+            }
+            "--queue" => {
+                let value = iter.next().ok_or("--queue needs a depth")?;
+                config.queue_depth = parse_num("--queue", value)?.max(1) as usize;
+            }
+            "--read-timeout-ms" => {
+                let value = iter.next().ok_or("--read-timeout-ms needs milliseconds")?;
+                config.read_timeout = Duration::from_millis(parse_num("--read-timeout-ms", value)?);
+            }
+            "--idle-timeout-ms" => {
+                let value = iter.next().ok_or("--idle-timeout-ms needs milliseconds")?;
+                config.idle_timeout = Duration::from_millis(parse_num("--idle-timeout-ms", value)?);
+            }
+            "--keep-alive-max" => {
+                let value = iter
+                    .next()
+                    .ok_or("--keep-alive-max needs a request count")?;
+                config.keep_alive_max = parse_num("--keep-alive-max", value)?.max(1);
+            }
+            "--request-timeout-ms" => {
+                let value = iter
+                    .next()
+                    .ok_or("--request-timeout-ms needs milliseconds")?;
+                let ms = parse_num("--request-timeout-ms", value)?;
+                config.request_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--rate-limit" => {
+                let value = iter.next().ok_or("--rate-limit needs requests/second")?;
+                config.rate_limit_per_s = parse_num("--rate-limit", value)? as u32;
+            }
+            "--max-jobs" => {
+                let value = iter.next().ok_or("--max-jobs needs a job count")?;
+                config.max_jobs = parse_num("--max-jobs", value)?.max(1) as usize;
+            }
+            "--job-ttl-s" => {
+                let value = iter.next().ok_or("--job-ttl-s needs seconds")?;
+                config.job_ttl = Duration::from_secs(parse_num("--job-ttl-s", value)?);
+            }
             other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
         }
     }
@@ -1167,7 +1241,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         limits,
         default_word: word,
         default_jobs: jobs,
-        ..ServeConfig::default()
+        ..config
     };
     install_signal_handlers();
     let server = SimServer::bind(&*addr, config, telemetry.clone(), reqlog)
@@ -1183,6 +1257,129 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         write_stats(path, &telemetry)?;
     }
     eprintln!("udsim: drained, goodbye");
+    Ok(())
+}
+
+/// `udsim loadgen`: drive a running daemon with a client fleet and
+/// report per-status counts plus latency percentiles
+/// (`uds-loadgen-v1`). Closed loop by default; `--rate` switches to
+/// paced open-loop arrivals. `--bench` turns the campaign into real
+/// `POST /simulate` work (random stimulus built client-side);
+/// otherwise it probes `GET /healthz`-style read paths.
+fn loadgen(args: &[String]) -> Result<(), CliError> {
+    use unit_delay_sim::core::telemetry::json::Json;
+
+    let mut config = LoadgenConfig::default();
+    let mut bench_path: Option<String> = None;
+    let mut path_override: Option<String> = None;
+    let mut vectors = 16u64;
+    let mut seed = 1990u64;
+    let mut jobs: Option<u64> = None;
+    let mut json_path: Option<String> = None;
+    let parse_num = |flag: &str, value: &str| -> Result<u64, CliError> {
+        value
+            .parse()
+            .map_err(|e| CliError::usage(format!("{flag}: {e}")))
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = iter.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--path" => {
+                path_override = Some(iter.next().ok_or("--path needs a request path")?.clone())
+            }
+            "--bench" => bench_path = Some(iter.next().ok_or("--bench needs FILE.bench")?.clone()),
+            "--vectors" => {
+                vectors = parse_num("--vectors", iter.next().ok_or("--vectors needs a count")?)?;
+            }
+            "--seed" => {
+                seed = parse_num("--seed", iter.next().ok_or("--seed needs a value")?)?;
+            }
+            "--jobs" => {
+                jobs = Some(parse_num(
+                    "--jobs",
+                    iter.next().ok_or("--jobs needs a count")?,
+                )?);
+            }
+            "--concurrency" => {
+                config.concurrency = parse_num(
+                    "--concurrency",
+                    iter.next().ok_or("--concurrency needs a worker count")?,
+                )?
+                .max(1) as usize;
+            }
+            "--rate" => {
+                config.rate_per_s =
+                    parse_num("--rate", iter.next().ok_or("--rate needs requests/second")?)? as u32;
+            }
+            "--duration-ms" => {
+                config.duration = Duration::from_millis(parse_num(
+                    "--duration-ms",
+                    iter.next().ok_or("--duration-ms needs milliseconds")?,
+                )?);
+            }
+            "--json" => {
+                json_path = Some(iter.next().ok_or("--json needs a path (or `-`)")?.clone())
+            }
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let human = stream_contract(&[("--json", json_path.as_deref())])?;
+
+    if let Some(bench) = &bench_path {
+        // Validate the netlist client-side (a typo'd path should fail
+        // here, not as a storm of 400s), then ship the raw text.
+        let nl = load(bench)?;
+        let text = if bench == "-" {
+            return Err(CliError::usage("--bench cannot read stdin for loadgen"));
+        } else {
+            std::fs::read_to_string(bench).map_err(|e| {
+                CliError::class(format!("reading {bench}: {e}"), FailureClass::Parse)
+            })?
+        };
+        let mut members = vec![
+            ("bench".to_owned(), Json::Str(text)),
+            ("name".to_owned(), Json::Str(nl.name().to_owned())),
+            (
+                "random".to_owned(),
+                Json::obj([("count", Json::UInt(vectors)), ("seed", Json::UInt(seed))]),
+            ),
+        ];
+        if let Some(jobs) = jobs {
+            members.push(("jobs".to_owned(), Json::UInt(jobs)));
+        }
+        config.body = Json::Obj(members).render();
+        config.method = "POST".to_owned();
+        config.path = path_override.unwrap_or_else(|| "/simulate".to_owned());
+    } else if let Some(path) = path_override {
+        config.path = path;
+    }
+
+    let report = run_loadgen(&config);
+    human.line(format!(
+        "{} loop: {} requests, {} transport errors in {:.2}s ({:.1} req/s)",
+        report.mode,
+        report.requests,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+        report.throughput_per_s()
+    ));
+    for (status, count) in &report.status_counts {
+        human.line(format!("  {status}: {count}"));
+    }
+    human.line(format!(
+        "  latency p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  max {:.2}ms",
+        report.latency_ns["p50"] as f64 / 1e6,
+        report.latency_ns["p90"] as f64 / 1e6,
+        report.latency_ns["p99"] as f64 / 1e6,
+        report.latency_ns["max"] as f64 / 1e6,
+    ));
+    if let Some(dest) = &json_path {
+        let mut text = report.to_json().render();
+        text.push('\n');
+        write_text(dest, &text)
+            .map_err(|e| CliError::class(format!("writing {dest}: {e}"), FailureClass::Usage))?;
+    }
     Ok(())
 }
 

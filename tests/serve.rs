@@ -82,14 +82,18 @@ fn exchange(addr: &str, raw: &str) -> (u16, String) {
 }
 
 fn get(addr: &str, path: &str) -> (u16, String) {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )

@@ -1,0 +1,425 @@
+//! Overload and lifecycle contract of `udsim serve`: a real daemon on
+//! an ephemeral port, driven over raw TCP into the corners the happy
+//! path never visits — a saturated admission queue (429 +
+//! `Retry-After`), a blown per-request deadline (504 with partial-work
+//! accounting), keep-alive connection reuse with a clean close, an
+//! observable drain (`/readyz` flips to 503 while queued work
+//! finishes), and async-job cancellation that actually stops the run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use unit_delay_sim::core::telemetry::json::Json;
+use unit_delay_sim::netlist::bench_format;
+use unit_delay_sim::netlist::generators::random::{layered, LayeredConfig};
+
+const C17: &str = "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+                   10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+                   22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir exists");
+    dir.join(name)
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    stderr: BufReader<std::process::ChildStderr>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_udsim"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--allow-quit"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("announcement line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no announcement in {line:?}"))
+        .trim()
+        .to_owned();
+    Daemon {
+        child,
+        addr,
+        stderr,
+    }
+}
+
+/// One raw one-shot exchange (`Connection: close`); returns
+/// (status, headers, body).
+fn exchange(addr: &str, raw: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("full response");
+    split_response(&reply)
+}
+
+fn split_response(reply: &str) -> (u16, String, String) {
+    let status = reply
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let (head, body) = reply.split_once("\r\n\r\n").unwrap_or((reply, ""));
+    (status, head.to_owned(), body.to_owned())
+}
+
+fn get(addr: &str, path: &str) -> (u16, String, String) {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn delete(addr: &str, path: &str) -> (u16, String, String) {
+    exchange(
+        addr,
+        &format!("DELETE {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// A body that keeps a worker busy for a while: the per-vector cancel
+/// checks make the exact runtime irrelevant as long as it is "long".
+fn heavy_body(count: u64) -> String {
+    format!(
+        "{{\"bench\":{},\"name\":\"c17\",\"random\":{{\"count\":{count},\"seed\":9}}}}",
+        Json::Str(C17.to_owned()).render()
+    )
+}
+
+/// Reads one Content-Length-framed response off a keep-alive stream.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("response line") > 0,
+            "unexpected EOF"
+        );
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    let length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_owned)
+        })
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).unwrap();
+    (status, head, String::from_utf8(body).unwrap())
+}
+
+fn quit(mut daemon: Daemon) {
+    let (status, _, _) = post(&daemon.addr, "/quitquitquit", "");
+    assert_eq!(status, 200);
+    let exit = daemon.child.wait().expect("daemon exits");
+    assert_eq!(exit.code(), Some(0), "clean shutdown exits 0");
+    let mut rest = String::new();
+    daemon
+        .stderr
+        .read_to_string(&mut rest)
+        .expect("stderr drains");
+    assert!(rest.contains("goodbye"), "{rest}");
+}
+
+#[test]
+fn saturated_queue_sheds_with_retry_after() {
+    // One worker, a queue of one: the third concurrent connection has
+    // nowhere to go and must be shed by the acceptor immediately.
+    let daemon = spawn_daemon(&[
+        "--workers",
+        "1",
+        "--queue",
+        "1",
+        "--idle-timeout-ms",
+        "3000",
+    ]);
+    let addr = &daemon.addr;
+
+    // Connection A occupies the only worker for its keep-alive life.
+    let a = TcpStream::connect(addr.as_str()).unwrap();
+    let mut a_reader = BufReader::new(a.try_clone().unwrap());
+    (&a).write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_one_response(&mut a_reader);
+    assert_eq!(status, 200, "worker owns connection A");
+
+    // Connection B fills the queue (it never even sends a byte).
+    let b = TcpStream::connect(addr.as_str()).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Connection C: queue full, shed instantly with 429 + Retry-After
+    // without the client sending anything.
+    let mut c = TcpStream::connect(addr.as_str()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut shed = String::new();
+    c.read_to_string(&mut shed).expect("shed response");
+    let (status, head, body) = split_response(&shed);
+    assert_eq!(status, 429, "{shed}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(body.contains("overloaded"), "{body}");
+
+    // Freeing the worker lets the queued connection B get served: the
+    // queue delayed it, never dropped it.
+    drop(a_reader);
+    drop(c);
+    (&b).write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut served = String::new();
+    (&b).read_to_string(&mut served).expect("b served");
+    assert_eq!(split_response(&served).0, 200, "{served}");
+    drop(b);
+
+    quit(daemon);
+}
+
+#[test]
+fn blown_deadline_answers_504_with_partial_work() {
+    let stats = tmpfile("deadline_stats.json");
+    let daemon = spawn_daemon(&[
+        "--request-timeout-ms",
+        "1",
+        "--stats",
+        stats.to_str().unwrap(),
+    ]);
+    let addr = &daemon.addr;
+
+    let (status, _, body) = post(addr, "/simulate", &heavy_body(1_000_000));
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("deadline exceeded"), "{body}");
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("uds_serve_timeouts 1"), "{metrics}");
+    // The latency SLO histogram saw the request.
+    assert!(
+        metrics.contains("uds_serve_request_ms_bucket{le=\"+Inf\"}"),
+        "{metrics}"
+    );
+
+    quit(daemon);
+    // The final snapshot carries the partial-work disposition too.
+    let stats_doc = Json::parse(std::fs::read_to_string(&stats).unwrap().trim()).unwrap();
+    let counters = stats_doc.get("counters").expect("counters");
+    assert_eq!(counters.get("serve.timeouts").unwrap().as_u64(), Some(1));
+    assert!(counters.get("serve.timeout_vectors_done").is_some());
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_many_requests() {
+    let reqlog = tmpfile("keepalive_reqlog.ndjson");
+    let daemon = spawn_daemon(&["--reqlog", reqlog.to_str().unwrap()]);
+    let addr = &daemon.addr;
+
+    let stream = TcpStream::connect(addr.as_str()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..3 {
+        (&stream)
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_one_response(&mut reader);
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert!(head.to_ascii_lowercase().contains("keep-alive"), "{head}");
+    }
+    (&stream)
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "{head}"
+    );
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server closed cleanly after close");
+    drop(stream);
+
+    quit(daemon);
+    // All four requests logged against the same connection id with
+    // ascending per-connection ordinals.
+    let log = std::fs::read_to_string(&reqlog).unwrap();
+    let lines: Vec<Json> = log
+        .lines()
+        .map(|l| Json::parse(l).expect("reqlog parses"))
+        .filter(|l| l.get("path").and_then(Json::as_str) == Some("/healthz"))
+        .collect();
+    assert_eq!(lines.len(), 4, "{log}");
+    let conn = lines[0].get("connection_id").unwrap().as_u64().unwrap();
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(line.get("connection_id").unwrap().as_u64(), Some(conn));
+        assert_eq!(
+            line.get("requests_on_connection").unwrap().as_u64(),
+            Some(i as u64 + 1)
+        );
+    }
+}
+
+#[test]
+fn drain_flips_readyz_and_finishes_queued_work() {
+    let stats = tmpfile("drain_stats.json");
+    let daemon = spawn_daemon(&[
+        "--workers",
+        "3",
+        "--idle-timeout-ms",
+        "3000",
+        "--stats",
+        stats.to_str().unwrap(),
+    ]);
+    let addr = &daemon.addr;
+
+    // A keep-alive connection pins one worker, guaranteeing the drain
+    // stays open long enough to observe.
+    let holder = TcpStream::connect(addr.as_str()).unwrap();
+    let mut holder_reader = BufReader::new(holder.try_clone().unwrap());
+    (&holder)
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    assert_eq!(read_one_response(&mut holder_reader).0, 200);
+
+    // Queue real work, then ask for the drain.
+    let (status, _, submitted) = post(addr, "/jobs", &heavy_body(20_000));
+    assert_eq!(status, 202, "{submitted}");
+    let (status, _, _) = post(addr, "/quitquitquit", "");
+    assert_eq!(status, 200);
+
+    // The drain is observable: readiness flips, work is refused with a
+    // retry hint, but the daemon still answers.
+    let (status, _, body) = get(addr, "/readyz");
+    assert_eq!((status, body.as_str()), (503, "draining\n"));
+    let (status, head, _) = post(addr, "/simulate", &heavy_body(1));
+    assert_eq!(status, 503, "drain sheds new work");
+    assert!(head.contains("Retry-After"), "{head}");
+
+    // Release the pinned worker; the daemon finishes the job and exits.
+    drop(holder_reader);
+    drop(holder);
+    let mut daemon = daemon;
+    let exit = daemon.child.wait().expect("daemon exits");
+    assert_eq!(exit.code(), Some(0));
+    drop(daemon);
+
+    let stats_doc = Json::parse(std::fs::read_to_string(&stats).unwrap().trim()).unwrap();
+    let counters = stats_doc.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("serve.jobs.completed").unwrap().as_u64(),
+        Some(1),
+        "the queued job finished during the drain"
+    );
+}
+
+#[test]
+fn cancelled_job_stops_and_reports_gone() {
+    // Two workers: the job pins one, the second keeps serving the
+    // status polls and the DELETE (on a one-core box the default pool
+    // size is 1, and every poll would queue behind the job itself).
+    let daemon = spawn_daemon(&["--workers", "2"]);
+    let addr = &daemon.addr;
+
+    // A circuit big enough that even the compiled word-parallel
+    // engines need real time per vector — the cancel must land while
+    // the batch is running. Kept small enough that the *compile* stays
+    // quick: cancellation is cooperative and only polls between
+    // vectors, so an enormous compile would stall the cancel.
+    let heavy = layered(&LayeredConfig::new("heavy", 2_000, 32)).expect("generator");
+    let body = format!(
+        "{{\"bench\":{},\"name\":\"heavy\",\"random\":{{\"count\":1000000,\"seed\":9}}}}",
+        Json::Str(bench_format::write(&heavy)).render()
+    );
+    let (status, _, submitted) = post(addr, "/jobs", &body);
+    assert_eq!(status, 202, "{submitted}");
+    let id = Json::parse(submitted.trim())
+        .unwrap()
+        .get("job")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // Wait for it to actually run, then cancel.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, _, text) = get(addr, &format!("/jobs/{id}"));
+        let state = Json::parse(text.trim())
+            .unwrap()
+            .get("state")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        if state == "running" {
+            break;
+        }
+        assert_ne!(state, "done", "job finished before it could be cancelled");
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, _, body) = delete(addr, &format!("/jobs/{id}"));
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("cancelling"), "{body}");
+
+    // The run stops mid-batch: terminal state `cancelled`, partial
+    // progress, result gone. The wait covers a slow debug-build
+    // compile — the cancel can only land once vectors start.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let final_doc = loop {
+        let (_, _, text) = get(addr, &format!("/jobs/{id}"));
+        let doc = Json::parse(text.trim()).unwrap();
+        let state = doc.get("state").unwrap().as_str().unwrap().to_owned();
+        if state == "cancelled" {
+            break doc;
+        }
+        assert_ne!(state, "done", "cancellation lost the race it must win");
+        assert!(Instant::now() < deadline, "cancel never landed");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let done = final_doc.get("vectors_done").unwrap().as_u64().unwrap();
+    assert!(done < 1_000_000, "run stopped early, not at completion");
+    let (status, _, _) = get(addr, &format!("/jobs/{id}/result"));
+    assert_eq!(status, 410, "cancelled results are gone");
+
+    quit(daemon);
+}
