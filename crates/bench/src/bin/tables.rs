@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Subcommands: `fig19`, `fig20`, `fig21`, `fig22`, `fig23`, `fig24`,
-//! `zero-delay`, `codesize`, `parallel`, `all`. Options: `--vectors N`
+//! `zero-delay`, `codesize`, `parallel`, `all`, and
+//! `compare OLD NEW [--tolerance PCT]`. Options: `--vectors N`
 //! (default 5000, as in the paper), `--quick` (500 vectors), and
 //! `--json` (additionally write each table as `BENCH_<name>.json` in
 //! the current directory, schema `uds-bench-v1`). `--json -` streams
@@ -17,20 +18,34 @@
 //! is the multi-core scaling sweep: the batch runner at jobs = 1/2/4/8
 //! against the single-thread parallel+pt+trim baseline.
 //!
-//! Timed cells show the minimum of [`runner::TIMING_REPS`] repetitions
-//! after a warmup pass (the JSON carries min and median); static
-//! columns come from the compilers' telemetry gauges. Fig. 19 carries
-//! the measured activity factor (toggles / (nets × depth × vectors)) —
-//! the event-driven baseline's work scales with it, the compiled
-//! techniques' does not, so it contextualizes each circuit's speedup.
+//! `compare` is the perf regression gate (DESIGN.md §16): it matches
+//! two `uds-bench-v1` documents cell by cell, normalizes throughput by
+//! their calibration scores, and exits 1 when any cell regressed
+//! beyond the tolerance (default 10%) or went missing — 0 otherwise,
+//! 2 on malformed or mismatched inputs. With `--json` the delta report
+//! lands in `DELTA_<figure>.json` (schema `uds-bench-compare-v1`);
+//! `--json -` streams it to stdout.
+//!
+//! Timed cells show the minimum of [`runner::timing_reps`] repetitions
+//! after a warmup pass; the JSON carries min, median, the
+//! outlier-trimmed mean the compare gate reads, and derived
+//! vectors/sec. When `--json` is active the run is fingerprinted with
+//! the host's [`uds_core::calibrate`] score so baselines recorded on
+//! different machines stay comparable. Static columns come from the
+//! compilers' telemetry gauges. Fig. 19 carries the measured activity
+//! factor (toggles / (nets × depth × vectors)) — the event-driven
+//! baseline's work scales with it, the compiled techniques' does not,
+//! so it contextualizes each circuit's speedup.
 
 use std::env;
+use std::fs;
 
+use uds_bench::compare::{self, DEFAULT_TOLERANCE_PCT};
 use uds_bench::paper;
 use uds_bench::runner::{self, suite, Timing};
 use uds_bench::table::{ratio, seconds, Table};
 use uds_core::telemetry::json::Json;
-use uds_core::{write_text, HumanOut, StreamContract};
+use uds_core::{write_text, HumanOut, StreamContract, WordWidth};
 use uds_netlist::generators::iscas::Iscas85;
 use uds_parallel::Optimization;
 
@@ -48,6 +63,10 @@ enum JsonDest {
 struct Output {
     human: HumanOut,
     json: Option<JsonDest>,
+    /// The machine fingerprint stamped into every document this run
+    /// writes (measured once, before any figure, so the score is not
+    /// polluted by a warm bench loop). `None` when `--json` is off.
+    calibration: Option<Json>,
 }
 
 impl Output {
@@ -67,6 +86,9 @@ impl Output {
         if let Some(vectors) = vectors {
             doc.push(("vectors".to_owned(), Json::UInt(vectors as u64)));
         }
+        if let Some(calibration) = &self.calibration {
+            doc.push(("calibration".to_owned(), calibration.clone()));
+        }
         doc.push(("rows".to_owned(), Json::Arr(rows)));
         let mut rendered = Json::Obj(doc).render();
         rendered.push('\n');
@@ -80,11 +102,31 @@ impl Output {
     }
 }
 
+/// The host fingerprint for this run: the core calibration plus the
+/// two knobs the bench layer owns (arena word width, timing reps).
+fn fingerprint() -> Json {
+    let calibration = uds_core::calibrate();
+    let Json::Obj(mut members) = calibration.to_json() else {
+        unreachable!("Calibration::to_json returns an object");
+    };
+    members.push((
+        "word_bits".to_owned(),
+        Json::UInt(u64::from(WordWidth::default().bits())),
+    ));
+    members.push((
+        "timing_reps".to_owned(),
+        Json::UInt(runner::timing_reps() as u64),
+    ));
+    Json::Obj(members)
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut vectors = 5000usize;
     let mut command = String::from("all");
     let mut json: Option<JsonDest> = None;
+    let mut tolerance: Option<f64> = None;
+    let mut compare_paths: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -95,6 +137,14 @@ fn main() {
                     .unwrap_or_else(|| usage("--vectors needs a number"));
             }
             "--quick" => vectors = 500,
+            "--tolerance" => {
+                tolerance = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                        .unwrap_or_else(|| usage("--tolerance needs a non-negative percentage")),
+                );
+            }
             "--json" => {
                 // `--json -` streams to stdout; bare `--json` keeps the
                 // historical per-figure files.
@@ -106,9 +156,18 @@ fn main() {
                 });
             }
             "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "zero-delay"
-            | "codesize" | "parallel" | "all" => command = arg.clone(),
+            | "codesize" | "parallel" | "all" | "compare" => command = arg.clone(),
+            other if command == "compare" && !other.starts_with('-') => {
+                compare_paths.push(other.to_owned());
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
+    }
+    if command == "compare" && compare_paths.len() != 2 {
+        usage("compare needs exactly two documents: compare OLD NEW");
+    }
+    if command != "compare" && tolerance.is_some() {
+        usage("--tolerance only applies to `compare`");
     }
 
     // The same stdout contract as udsim's stream flags: `--json -`
@@ -117,10 +176,37 @@ fn main() {
     if json == Some(JsonDest::Stdout) {
         contract.claim("--json", "-").unwrap_or_else(|e| usage(&e));
     }
+    // The fingerprint is measured once, up front, on a quiet machine
+    // state — never needed by `compare`, which reads the fingerprints
+    // already recorded in its input documents.
+    let calibration = (json.is_some() && command != "compare").then(fingerprint);
     let out = Output {
         human: contract.human(),
         json,
+        calibration,
     };
+    if let Some(calibration) = &out.calibration {
+        out.line(format!(
+            "calibration: score {:.3} ({})",
+            calibration
+                .get("score")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            calibration
+                .get("profile")
+                .and_then(Json::as_str)
+                .unwrap_or("?"),
+        ));
+    }
+
+    if command == "compare" {
+        run_compare(
+            &compare_paths[0],
+            &compare_paths[1],
+            tolerance.unwrap_or(DEFAULT_TOLERANCE_PCT),
+            &out,
+        );
+    }
 
     match command.as_str() {
         "fig19" => fig19(vectors, &out),
@@ -151,9 +237,36 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|all] \
-         [--vectors N | --quick] [--json [-]]"
+         [--vectors N | --quick] [--json [-]]\n\
+         \x20      tables compare OLD.json NEW.json [--tolerance PCT] [--json [-]]"
     );
     std::process::exit(2);
+}
+
+/// The `compare` subcommand: parse OLD and NEW, classify every cell,
+/// render the delta, and exit with the gate verdict.
+///
+/// Exit codes: 0 = gate passes, 1 = regressed/missing cells,
+/// 2 = unreadable, malformed, or mismatched documents.
+fn run_compare(old_path: &str, new_path: &str, tolerance: f64, out: &Output) -> ! {
+    let read = |path: &str| {
+        fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("cannot read `{path}`: {e}")))
+    };
+    let report = compare::compare_rendered(&read(old_path), &read(new_path), tolerance)
+        .unwrap_or_else(|e| usage(&e.0));
+    out.line(report.render_table());
+    if let Some(dest) = out.json {
+        let mut rendered = report.to_json().render();
+        rendered.push('\n');
+        let path = match dest {
+            JsonDest::Stdout => "-".to_owned(),
+            JsonDest::Files => format!("DELTA_{}.json", report.figure),
+        };
+        if let Err(e) = write_text(&path, &rendered) {
+            eprintln!("error: writing {path}: {e}");
+        }
+    }
+    std::process::exit(if report.gate_passes() { 0 } else { 1 });
 }
 
 /// Table cell for a timing: the minimum repetition, in seconds.
@@ -161,11 +274,20 @@ fn best(timing: Timing) -> String {
     seconds(timing.min_s)
 }
 
-/// JSON value for a timing: both the minimum and the median.
-fn timing_json(timing: Timing) -> Json {
+/// JSON value for a timing: the raw statistics plus derived
+/// throughput. `trimmed_mean_s` is the statistic `compare` gates on;
+/// `min_s`/`median_s` keep their original meaning for existing
+/// consumers.
+fn timing_json(timing: Timing, vectors: usize) -> Json {
     Json::obj([
         ("min_s", Json::Float(timing.min_s)),
         ("median_s", Json::Float(timing.median_s)),
+        ("trimmed_mean_s", Json::Float(timing.trimmed_mean_s)),
+        ("reps", Json::UInt(timing.reps as u64)),
+        (
+            "vectors_per_s",
+            Json::Float(vectors as f64 / timing.trimmed_mean_s.max(1e-12)),
+        ),
     ])
 }
 
@@ -211,10 +333,10 @@ fn fig19(vectors: usize, out: &Output) {
         rows.push(Json::obj([
             ("circuit", Json::Str(circuit.to_string())),
             ("activity_factor", Json::Float(activity)),
-            ("interpreted_3v", timing_json(m.interpreted_3v)),
-            ("interpreted_2v", timing_json(m.interpreted_2v)),
-            ("pc_set", timing_json(m.pc_set)),
-            ("parallel", timing_json(m.parallel)),
+            ("interpreted_3v", timing_json(m.interpreted_3v, vectors)),
+            ("interpreted_2v", timing_json(m.interpreted_2v, vectors)),
+            ("pc_set", timing_json(m.pc_set, vectors)),
+            ("parallel", timing_json(m.parallel, vectors)),
             ("paper_interpreted_3v_s", Json::Float(p.interpreted_3v)),
             ("paper_pc_set_s", Json::Float(p.pc_set)),
             ("paper_parallel_s", Json::Float(p.parallel)),
@@ -266,8 +388,8 @@ fn fig20(vectors: usize, out: &Output) {
             ("circuit", Json::Str(circuit.to_string())),
             ("levels", Json::UInt(levels.into())),
             ("field_words", Json::UInt(words.into())),
-            ("unoptimized", timing_json(unopt)),
-            ("trimming", timing_json(trimmed)),
+            ("unoptimized", timing_json(unopt, vectors)),
+            ("trimming", timing_json(trimmed, vectors)),
             ("unoptimized_word_ops", Json::UInt(unopt_ops as u64)),
             ("trimming_word_ops", Json::UInt(trimmed_ops as u64)),
         ]));
@@ -388,9 +510,9 @@ fn fig23(vectors: usize, out: &Output) {
         ]);
         rows.push(Json::obj([
             ("circuit", Json::Str(circuit.to_string())),
-            ("unoptimized", timing_json(unopt)),
-            ("path_tracing", timing_json(pt)),
-            ("cycle_breaking", timing_json(cb)),
+            ("unoptimized", timing_json(unopt, vectors)),
+            ("path_tracing", timing_json(pt, vectors)),
+            ("cycle_breaking", timing_json(cb, vectors)),
             ("unoptimized_word_ops", Json::UInt(unopt_ops as u64)),
             ("path_tracing_word_ops", Json::UInt(pt_ops as u64)),
             ("cycle_breaking_word_ops", Json::UInt(cb_ops as u64)),
@@ -434,9 +556,9 @@ fn fig24(vectors: usize, out: &Output) {
         ]);
         rows.push(Json::obj([
             ("circuit", Json::Str(circuit.to_string())),
-            ("unoptimized", timing_json(unopt)),
-            ("path_tracing", timing_json(pt)),
-            ("path_tracing_trimming", timing_json(both)),
+            ("unoptimized", timing_json(unopt, vectors)),
+            ("path_tracing", timing_json(pt, vectors)),
+            ("path_tracing_trimming", timing_json(both, vectors)),
             ("unoptimized_word_ops", Json::UInt(unopt_ops as u64)),
             (
                 "path_tracing_trimming_word_ops",
@@ -471,8 +593,8 @@ fn zero_delay(vectors: usize, out: &Output) {
         ]);
         rows.push(Json::obj([
             ("circuit", Json::Str(circuit.to_string())),
-            ("interpreted", timing_json(m.interpreted)),
-            ("compiled", timing_json(m.compiled)),
+            ("interpreted", timing_json(m.interpreted, vectors)),
+            ("compiled", timing_json(m.compiled, vectors)),
         ]));
     }
     out.line(Table::render(&table));
@@ -558,7 +680,7 @@ fn parallel_scaling(vectors: usize, out: &Output) {
         ]);
         rows.push(Json::obj([
             ("circuit", Json::Str(circuit.to_string())),
-            ("sequential", timing_json(sequential)),
+            ("sequential", timing_json(sequential, vectors)),
             (
                 "batched",
                 Json::Arr(
@@ -568,7 +690,7 @@ fn parallel_scaling(vectors: usize, out: &Output) {
                         .map(|(&jobs, &timing)| {
                             Json::obj([
                                 ("jobs", Json::UInt(jobs as u64)),
-                                ("timing", timing_json(timing)),
+                                ("timing", timing_json(timing, vectors)),
                             ])
                         })
                         .collect(),

@@ -17,8 +17,12 @@
 //!
 //! [`paper`] embeds the numbers the paper reports so the `tables` binary
 //! can print paper-vs-measured side by side; [`runner`] holds the
-//! measurement code shared by the binary and the Criterion benches.
+//! measurement code shared by the binary and the Criterion benches;
+//! [`compare`] is the regression gate behind `tables compare OLD NEW`,
+//! matching cells across two `BENCH_*.json` documents and classifying
+//! every throughput delta (DESIGN.md §16).
 
+pub mod compare;
 pub mod paper;
 pub mod runner;
 pub mod table;

@@ -6,9 +6,11 @@
 //! stimulus generation (the paper excludes reading vectors, printing
 //! output, and compiling circuit descriptions). Each measurement runs
 //! one untimed warmup pass (page faults, cache and branch-predictor
-//! warming) and then [`TIMING_REPS`] timed repetitions, reporting the
-//! minimum and median — min is the least noise-inflated estimate of the
-//! true cost, the median shows how stable it was.
+//! warming) and then [`timing_reps`] timed repetitions, reporting the
+//! minimum, median, and outlier-trimmed mean — min is the least
+//! noise-inflated estimate of the true cost, the median shows how
+//! stable it was, and the trimmed mean is the statistic the
+//! `tables compare` regression gate reads (DESIGN.md §16).
 //!
 //! Static metrics (word operations, retained shifts, levels/words) are
 //! sourced from the compilers' own telemetry gauges (DESIGN.md §11)
@@ -32,16 +34,60 @@ use uds_pcset::PcSetSimulator;
 /// Stimulus seed used everywhere, so every engine sees the same stream.
 pub const STIMULUS_SEED: u64 = 0x5EED_1990;
 
-/// Timed repetitions per measurement (after one untimed warmup pass).
+/// Default timed repetitions per measurement (after one untimed warmup
+/// pass). Override with the `UDS_BENCH_REPS` environment variable
+/// (minimum 1) when recording baselines on a noisy host.
 pub const TIMING_REPS: usize = 3;
 
-/// One timing measurement over [`TIMING_REPS`] repetitions.
+/// Timed repetitions this process uses: [`TIMING_REPS`] unless
+/// `UDS_BENCH_REPS` overrides it.
+pub fn timing_reps() -> usize {
+    std::env::var("UDS_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(TIMING_REPS)
+}
+
+/// One timing measurement over [`timing_reps`] repetitions.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Timing {
     /// Fastest repetition — the best estimate of the true cost.
     pub min_s: f64,
     /// Median repetition — how stable the measurement was.
     pub median_s: f64,
+    /// Mean after dropping the fastest and slowest repetition (plain
+    /// mean under three reps that would leave fewer than one sample) —
+    /// the noise-aware statistic `tables compare` gates on: it ignores
+    /// a single interference spike without letting the optimistic
+    /// minimum hide a real slowdown.
+    pub trimmed_mean_s: f64,
+    /// Repetitions behind the statistics above.
+    pub reps: usize,
+}
+
+impl Timing {
+    /// Folds raw per-repetition samples into the reported statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn from_samples(mut samples: Vec<f64>) -> Timing {
+        assert!(!samples.is_empty(), "at least one timing sample");
+        samples.sort_by(f64::total_cmp);
+        let reps = samples.len();
+        let trimmed: &[f64] = if reps >= 3 {
+            &samples[1..reps - 1]
+        } else {
+            &samples
+        };
+        Timing {
+            min_s: samples[0],
+            median_s: samples[reps / 2],
+            trimmed_mean_s: trimmed.iter().sum::<f64>() / trimmed.len() as f64,
+            reps,
+        }
+    }
 }
 
 /// Pre-generates `vectors` random input vectors for `netlist`.
@@ -51,22 +97,18 @@ pub fn stimulus(netlist: &Netlist, vectors: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
-/// Runs `pass` once untimed (warmup), then [`TIMING_REPS`] more times
+/// Runs `pass` once untimed (warmup), then [`timing_reps`] more times
 /// under the clock.
 pub fn time_passes(mut pass: impl FnMut()) -> Timing {
     pass();
-    let mut samples: Vec<f64> = (0..TIMING_REPS)
+    let samples: Vec<f64> = (0..timing_reps())
         .map(|_| {
             let start = Instant::now();
             pass();
             start.elapsed().as_secs_f64()
         })
         .collect();
-    samples.sort_by(f64::total_cmp);
-    Timing {
-        min_s: samples[0],
-        median_s: samples[samples.len() / 2],
-    }
+    Timing::from_samples(samples)
 }
 
 /// Times `run` over all of `stimulus` (warmup + repetitions).
@@ -300,7 +342,36 @@ mod tests {
                 timing.median_s >= timing.min_s,
                 "median cannot undercut the minimum"
             );
+            assert!(
+                timing.trimmed_mean_s >= timing.min_s,
+                "trimmed mean cannot undercut the minimum"
+            );
+            assert_eq!(timing.reps, timing_reps());
         }
+    }
+
+    #[test]
+    fn timing_statistics_from_samples() {
+        // Five reps: trimmed mean drops the 0.1 outlier and the 0.01
+        // minimum, leaving the stable middle.
+        let t = Timing::from_samples(vec![0.03, 0.01, 0.1, 0.02, 0.04]);
+        assert_eq!(t.min_s, 0.01);
+        assert_eq!(t.median_s, 0.03);
+        assert!(
+            (t.trimmed_mean_s - 0.03).abs() < 1e-12,
+            "{}",
+            t.trimmed_mean_s
+        );
+        assert_eq!(t.reps, 5);
+        // Three reps: the trimmed mean degenerates to the median.
+        let t = Timing::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(
+            (t.min_s, t.median_s, t.trimmed_mean_s, t.reps),
+            (1.0, 2.0, 2.0, 3)
+        );
+        // Fewer than three: plain mean (nothing sane to trim).
+        let t = Timing::from_samples(vec![1.0, 3.0]);
+        assert_eq!(t.trimmed_mean_s, 2.0);
     }
 
     #[test]

@@ -37,7 +37,11 @@
 //!   simulation over `POST /simulate` with Prometheus `/metrics`
 //!   (rendered by [`telemetry::prom`]), health probes, and structured
 //!   request logs — plus the `udsim loadgen` client fleet that proves
-//!   the overload behavior.
+//!   the overload behavior;
+//! * [`perf`] — machine calibration: the ALU/memory microbenchmark
+//!   fingerprint stamped into `BENCH_*.json` baselines (normalizing
+//!   `tables compare` across hosts) and the `uds_perf_class` gauge
+//!   family the daemon self-reports at startup.
 //!
 //! # Example
 //!
@@ -69,6 +73,7 @@ pub mod guard;
 pub mod hazard;
 pub mod http;
 pub mod loadgen;
+pub mod perf;
 pub mod progress;
 pub mod sequential;
 pub mod serve;
@@ -92,6 +97,7 @@ pub use guard::{
     GuardedSimulator, MonitoringEngineFactory,
 };
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, LOADGEN_SCHEMA};
+pub use perf::{calibrate, measure_perf, record_perf_class, Calibration, PerfClass, PerfReport};
 pub use progress::{
     BatchProbe, FanoutProbe, Heartbeat, NdjsonProgress, NoopBatchProbe, PROGRESS_SCHEMA,
 };

@@ -84,11 +84,12 @@ use std::time::{Duration, Instant};
 use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
 use unit_delay_sim::core::{
-    build_engine_with_limits_probed_word, install_signal_handlers, open_sink, record_build_info,
-    render_chrome_trace, run_batch_observed, run_loadgen, write_text, ActivityProfiler,
-    BatchActivityObserver, BatchProbe, DefaultEngineFactory, Engine, FailureClass, FanoutProbe,
-    GuardedSimulator, HumanOut, LoadgenConfig, MonitoringEngineFactory, NdjsonProgress,
-    NoopBatchProbe, ServeConfig, SimError, SimServer, StreamContract, Telemetry, WordWidth,
+    build_engine_with_limits_probed_word, install_signal_handlers, measure_perf, open_sink,
+    record_build_info, record_perf_class, render_chrome_trace, run_batch_observed, run_loadgen,
+    write_text, ActivityProfiler, BatchActivityObserver, BatchProbe, DefaultEngineFactory, Engine,
+    FailureClass, FanoutProbe, GuardedSimulator, HumanOut, LoadgenConfig, MonitoringEngineFactory,
+    NdjsonProgress, NoopBatchProbe, ServeConfig, SimError, SimServer, StreamContract, Telemetry,
+    WordWidth,
 };
 use unit_delay_sim::netlist::stats::CircuitStats;
 use unit_delay_sim::netlist::{levelize, Probe, ResourceLimits};
@@ -1250,6 +1251,21 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::class(format!("binding {addr}: {e}"), FailureClass::Usage))?;
     eprintln!("udsim: listening on http://{local}");
+    // Self-report the host's perf class before serving: calibrate the
+    // machine and warm up on a canonical netlist, then publish the
+    // result as the `uds_perf_class` gauge family and a build_info
+    // label. Early connections simply wait in the accept backlog, so
+    // `/metrics` carries the class from the first served request on.
+    // The announcement above must stay the first stderr line — probes
+    // and tests read it to learn the bound port.
+    let perf = measure_perf();
+    record_perf_class(&telemetry, &perf);
+    eprintln!(
+        "udsim: perf class {} (score {:.3}, warmup {:.0} vectors/s)",
+        perf.class.name(),
+        perf.calibration.score,
+        perf.warmup_vectors_per_s
+    );
     server
         .run()
         .map_err(|e| CliError::class(format!("serving on {local}: {e}"), FailureClass::Usage))?;
