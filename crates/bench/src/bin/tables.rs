@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Subcommands: `fig19`, `fig20`, `fig21`, `fig22`, `fig23`, `fig24`,
-//! `zero-delay`, `codesize`, `parallel`, `all`, and
+//! `zero-delay`, `codesize`, `parallel`, `native`, `all`, and
 //! `compare OLD NEW [--tolerance PCT]`. Options: `--vectors N`
 //! (default 5000, as in the paper), `--quick` (500 vectors), and
 //! `--json` (additionally write each table as `BENCH_<name>.json` in
@@ -16,7 +16,11 @@
 //! the JSON documents to stdout instead — the rendered tables then move
 //! to stderr, the same stdout contract as `udsim --stats -`. `parallel`
 //! is the multi-core scaling sweep: the batch runner at jobs = 1/2/4/8
-//! against the single-thread parallel+pt+trim baseline.
+//! against the single-thread parallel+pt+trim baseline. `native` times
+//! the emitted C compiled with the system `cc` and `dlopen`-loaded
+//! against the in-process parallel+pt+trim interpreter — the paper's
+//! actual deployment model; it prints a visible SKIP (and writes no
+//! JSON) when no C compiler is on `PATH`.
 //!
 //! `compare` is the perf regression gate (DESIGN.md §16): it matches
 //! two `uds-bench-v1` documents cell by cell, normalizes throughput by
@@ -156,7 +160,7 @@ fn main() {
                 });
             }
             "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "zero-delay"
-            | "codesize" | "parallel" | "all" | "compare" => command = arg.clone(),
+            | "codesize" | "parallel" | "native" | "all" | "compare" => command = arg.clone(),
             other if command == "compare" && !other.starts_with('-') => {
                 compare_paths.push(other.to_owned());
             }
@@ -218,6 +222,7 @@ fn main() {
         "zero-delay" => zero_delay(vectors, &out),
         "codesize" => codesize(&out),
         "parallel" => parallel_scaling(vectors, &out),
+        "native" => native(vectors, &out),
         "all" => {
             fig19(vectors, &out);
             zero_delay(vectors, &out);
@@ -228,6 +233,7 @@ fn main() {
             fig24(vectors, &out);
             codesize(&out);
             parallel_scaling(vectors, &out);
+            native(vectors, &out);
         }
         _ => unreachable!("validated above"),
     }
@@ -236,7 +242,7 @@ fn main() {
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|all] \
+        "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|native|all] \
          [--vectors N | --quick] [--json [-]]\n\
          \x20      tables compare OLD.json NEW.json [--tolerance PCT] [--json [-]]"
     );
@@ -620,9 +626,9 @@ fn codesize(out: &Output) {
             .expect("combinational");
         let pt = uds_parallel::ParallelSimulator::compile(&nl, Optimization::PathTracing)
             .expect("combinational");
-        let pc_lines = uds_pcset::codegen_c::line_count(&nl, &pc);
-        let par_lines = uds_parallel::codegen_c::line_count(&nl, &par);
-        let pt_lines = uds_parallel::codegen_c::line_count(&nl, &pt);
+        let pc_lines = uds_pcset::codegen_c::line_count(&nl, &pc).expect("matching netlist");
+        let par_lines = uds_parallel::codegen_c::line_count(&nl, &par).expect("matching netlist");
+        let pt_lines = uds_parallel::codegen_c::line_count(&nl, &pt).expect("matching netlist");
         table.row(vec![
             circuit.to_string(),
             pc_lines.to_string(),
@@ -638,6 +644,39 @@ fn codesize(out: &Output) {
     }
     out.line(Table::render(&table));
     out.write_json("codesize", None, rows);
+}
+
+fn native(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== native engine: emitted C via system cc + dlopen, vs in-process parallel+pt+trim, \
+         {vectors} vectors =="
+    ));
+    out.line("== (the paper's deployment model: the generated C *is* the simulator) ==");
+    if !uds_core::compiler_available() {
+        out.line(
+            "SKIP: no C compiler on PATH (set $UDS_CC to override) — native table not measured",
+        );
+        return;
+    }
+    let mut table = Table::new(&["circuit", "parallel+pt+trim", "native", "native speedup"]);
+    let mut rows = Vec::new();
+    for (circuit, nl) in suite() {
+        let interp = runner::time_parallel(&nl, Optimization::PathTracingTrimming, vectors);
+        let native = runner::time_native(&nl, vectors).expect("compiler probed above");
+        table.row(vec![
+            circuit.to_string(),
+            best(interp),
+            best(native),
+            ratio(interp.min_s, native.min_s),
+        ]);
+        rows.push(Json::obj([
+            ("circuit", Json::Str(circuit.to_string())),
+            ("parallel_pt_trim", timing_json(interp, vectors)),
+            ("native", timing_json(native, vectors)),
+        ]));
+    }
+    out.line(Table::render(&table));
+    out.write_json("native", Some(vectors), rows);
 }
 
 /// Shard counts the multi-core sweep measures.

@@ -173,6 +173,25 @@ pub fn time_parallel(netlist: &Netlist, optimization: Optimization, vectors: usi
     time_over(&stimulus, |v| sim.simulate_vector(v))
 }
 
+/// Measured timing for the native engine: the emitted parallel
+/// (pt+trim) C compiled with the system C compiler and `dlopen`-loaded
+/// (DESIGN.md — the paper's actual deployment model, where the
+/// generated C *is* the simulator). Returns `None` when no C compiler
+/// is on `PATH`, so sweeps print a visible skip instead of failing.
+/// Compilation (both the Rust-side netlist compile and the `cc` run)
+/// happens outside the clock, like every other engine's compile.
+pub fn time_native(netlist: &Netlist, vectors: usize) -> Option<Timing> {
+    if !uds_core::compiler_available() {
+        return None;
+    }
+    let stimulus = stimulus(netlist, vectors);
+    let mut sim = uds_core::build_simulator(netlist, Engine::Native)
+        .expect("native engine builds when a C compiler is present");
+    Some(time_over(&stimulus, |v| {
+        sim.simulate_vector(v);
+    }))
+}
+
 /// Compiles `netlist` at `optimization` with a fresh telemetry registry
 /// attached and returns the registry (holding the compile gauges).
 pub fn parallel_telemetry(netlist: &Netlist, optimization: Optimization) -> Telemetry {

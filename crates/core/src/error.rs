@@ -91,6 +91,15 @@ pub enum SimErrorKind {
     },
     /// Two engines disagreed on a value or history.
     Mismatch(Mismatch),
+    /// The native engine's toolchain is unavailable or failed: no C
+    /// compiler on `PATH`, `cc` rejected the emitted translation unit,
+    /// or the compiled shared object could not be loaded. The guarded
+    /// chain treats this like any other compile failure and degrades
+    /// to an interpreted engine.
+    Toolchain {
+        /// What the toolchain step reported.
+        message: String,
+    },
     /// Every engine in a fallback chain failed; the payload holds the
     /// per-engine errors in chain order.
     ChainExhausted(Vec<SimError>),
@@ -111,6 +120,8 @@ pub enum FailureClass {
     Panic,
     /// Engines disagreed — a correctness failure (exit 7).
     Mismatch,
+    /// The native engine's C toolchain is missing or failed (exit 8).
+    Toolchain,
 }
 
 impl FailureClass {
@@ -123,6 +134,7 @@ impl FailureClass {
             FailureClass::Budget => 5,
             FailureClass::Panic => 6,
             FailureClass::Mismatch => 7,
+            FailureClass::Toolchain => 8,
         }
     }
 }
@@ -136,6 +148,7 @@ impl fmt::Display for FailureClass {
             FailureClass::Budget => "budget",
             FailureClass::Panic => "panic",
             FailureClass::Mismatch => "mismatch",
+            FailureClass::Toolchain => "toolchain",
         })
     }
 }
@@ -195,6 +208,7 @@ impl SimError {
             // cancel routes the same way (the caller asked, exit 5).
             SimErrorKind::Cancelled { .. } => FailureClass::Budget,
             SimErrorKind::Mismatch(_) => FailureClass::Mismatch,
+            SimErrorKind::Toolchain { .. } => FailureClass::Toolchain,
             SimErrorKind::ChainExhausted(errors) => errors
                 .last()
                 .map(SimError::class)
@@ -235,6 +249,9 @@ impl fmt::Display for SimError {
                 vectors_done,
             } => write!(f, "run stopped ({cause}) after {vectors_done} vectors"),
             SimErrorKind::Mismatch(err) => write!(f, "{err}"),
+            SimErrorKind::Toolchain { message } => {
+                write!(f, "native toolchain unavailable or failed: {message}")
+            }
             SimErrorKind::ChainExhausted(errors) => {
                 write!(f, "every engine in the fallback chain failed:")?;
                 for err in errors {
@@ -325,6 +342,7 @@ mod tests {
             FailureClass::Budget,
             FailureClass::Panic,
             FailureClass::Mismatch,
+            FailureClass::Toolchain,
         ];
         let mut codes: Vec<i32> = classes.iter().map(|c| c.exit_code()).collect();
         codes.sort_unstable();

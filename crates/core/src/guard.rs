@@ -158,6 +158,13 @@ impl EngineFactory for MonitoringEngineFactory {
         let word = self.word;
         let build = || -> Result<Box<dyn UnitDelaySimulator>, SimError> {
             Ok(match engine {
+                Engine::Native => crate::native::build_native_monitoring(
+                    netlist,
+                    Engine::ParallelPathTracingTrimming,
+                    word,
+                    limits,
+                    probe,
+                )?,
                 // The baseline traces every net already; budget checks
                 // match the default factory's.
                 Engine::EventDriven => {
@@ -273,6 +280,13 @@ pub fn build_engine_with_limits_probed_word(
     };
     let build = || -> Result<Box<dyn UnitDelaySimulator>, SimError> {
         Ok(match engine {
+            Engine::Native => crate::native::build_native(
+                netlist,
+                Engine::ParallelPathTracingTrimming,
+                word,
+                limits,
+                probe,
+            )?,
             Engine::EventDriven => {
                 // The baseline has no compiler, but the budget still
                 // applies: its waveform store is nets × (depth + 1).
@@ -329,6 +343,26 @@ pub fn build_engine_with_limits_probed_word(
         )
         .with_engine(engine)),
     }
+}
+
+/// The guarded degradation chain headed by `preferred`: the preferred
+/// engine (when given) followed by [`GuardedSimulator::DEFAULT_CHAIN`]
+/// minus duplicates. This is how [`Engine::Native`] — deliberately
+/// absent from the default chain — joins it: `--engine native
+/// --fallback` (and the daemon's `engine=native`) run
+/// `chain_preferring(Some(Engine::Native))`, so a host without a C
+/// toolchain degrades to the interpreted engines instead of failing.
+pub fn chain_preferring(preferred: Option<Engine>) -> Vec<Engine> {
+    let mut chain = Vec::with_capacity(GuardedSimulator::DEFAULT_CHAIN.len() + 1);
+    if let Some(engine) = preferred {
+        chain.push(engine);
+    }
+    for engine in GuardedSimulator::DEFAULT_CHAIN {
+        if Some(engine) != preferred {
+            chain.push(engine);
+        }
+    }
+    chain
 }
 
 /// A fallback that fired: the engine given up on and why.
@@ -810,6 +844,41 @@ mod tests {
         let err = guarded.simulate_vector(&[true]).unwrap_err();
         assert_eq!(err.class(), FailureClass::Usage);
         assert!(guarded.fallbacks().is_empty(), "no fallback on bad input");
+    }
+
+    #[test]
+    fn chain_preferring_prepends_without_duplicates() {
+        assert_eq!(chain_preferring(None), GuardedSimulator::DEFAULT_CHAIN);
+        let native = chain_preferring(Some(Engine::Native));
+        assert_eq!(native[0], Engine::Native);
+        assert_eq!(native[1..], GuardedSimulator::DEFAULT_CHAIN);
+        let already = chain_preferring(Some(Engine::ParallelPathTracingTrimming));
+        assert_eq!(already, GuardedSimulator::DEFAULT_CHAIN);
+    }
+
+    #[test]
+    fn guarded_native_runs_or_degrades_bit_exactly() {
+        // With a C toolchain the native engine heads the chain; without
+        // one the toolchain failure is contained and an interpreted
+        // engine takes over. Either way the answers cross-check.
+        let nl = c17();
+        let chain = chain_preferring(Some(Engine::Native));
+        let mut guarded =
+            GuardedSimulator::with_chain(&nl, ResourceLimits::production(), &chain).unwrap();
+        if crate::native::compiler_available() {
+            assert_eq!(guarded.active_engine(), Engine::Native);
+            assert!(guarded.fallbacks().is_empty());
+        } else {
+            assert_eq!(
+                guarded.fallbacks()[0].error.class(),
+                FailureClass::Toolchain
+            );
+        }
+        for pattern in 0u32..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
+            guarded.simulate_vector(&inputs).unwrap();
+        }
+        guarded.crosscheck_baseline().unwrap();
     }
 
     #[test]

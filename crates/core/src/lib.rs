@@ -73,6 +73,7 @@ pub mod guard;
 pub mod hazard;
 pub mod http;
 pub mod loadgen;
+pub mod native;
 pub mod perf;
 pub mod progress;
 pub mod sequential;
@@ -93,10 +94,11 @@ pub use cancel::{CancelCause, CancelToken};
 pub use error::{FailureClass, SimError, SimErrorKind, SimPhase};
 pub use guard::{
     build_engine_with_limits, build_engine_with_limits_probed,
-    build_engine_with_limits_probed_word, build_engine_with_limits_word, DefaultEngineFactory,
-    GuardedSimulator, MonitoringEngineFactory,
+    build_engine_with_limits_probed_word, build_engine_with_limits_word, chain_preferring,
+    DefaultEngineFactory, GuardedSimulator, MonitoringEngineFactory,
 };
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, LOADGEN_SCHEMA};
+pub use native::{build_native, build_native_monitoring, compiler_available};
 pub use perf::{calibrate, measure_perf, record_perf_class, Calibration, PerfClass, PerfReport};
 pub use progress::{
     BatchProbe, FanoutProbe, Heartbeat, NdjsonProgress, NoopBatchProbe, PROGRESS_SCHEMA,

@@ -1,0 +1,667 @@
+//! The native engine: emitted C, actually compiled and executed.
+//!
+//! Both technique crates emit the paper's C output; this module closes
+//! the loop at runtime. [`build_native`] compiles the chosen engine's
+//! interpreted twin, emits its C translation unit
+//! (`codegen_c::emit_native`), invokes the host C compiler (`cc
+//! -shared -fPIC -O2`), `dlopen`s the shared object, and wraps both in
+//! a [`UnitDelaySimulator`] whose `simulate_one_vector` is machine
+//! code.
+//!
+//! # State handshake
+//!
+//! A shared object's `static word` variables are process-global, and
+//! `dlopen` of the same path returns one handle — two simulators
+//! loading the same artifact would trample each other's retained
+//! state. The authoritative state therefore lives in the interpreted
+//! twin's arena: every vector, under the library's call lock, the
+//! wrapper copies the arena *into* the object (`uds_state_set`), runs
+//! `simulate_one_vector`, and copies it back out (`uds_state_get`).
+//! Two memcpys per vector buy full correctness for clones, seeding,
+//! reset, history readback, and fallback replay — every query path
+//! simply reads the twin.
+//!
+//! # Artifact cache
+//!
+//! Compiled objects land in [`cache_dir`] (`$UDS_NATIVE_CACHE`, or
+//! `uds-native-cache` under the system temp dir) named
+//! `{netlist_hash:016x}-{flavor}-w{bits}.so`, where the hash is the
+//! same canonical-netlist FNV the serve LRU keys on
+//! ([`crate::cache::netlist_hash`]). A fresh process finds the
+//! artifact on disk and skips the `cc` invocation entirely; within a
+//! process an additional registry shares one loaded library per path.
+//! Cache traffic is reported through the build probe as the monotonic
+//! counters `native.cache.memory_hit`, `native.cache.disk_hit`, and
+//! `native.cache.compile`.
+//!
+//! # Degradation
+//!
+//! Every toolchain problem — no `cc` on `PATH`, a compile error, a
+//! `dlopen` failure — is a typed [`SimErrorKind::Toolchain`] (exit
+//! code 8 in the CLI), which the guarded fallback chain treats like
+//! any other compile failure: the run degrades to the interpreted
+//! engines and still exits 0.
+
+// SimError deliberately carries full context and only travels on cold
+// failure paths; see guard.rs for the same trade.
+#![allow(clippy::result_large_err)]
+
+use uds_netlist::{Netlist, Probe, ResourceLimits};
+
+use crate::error::{SimError, SimErrorKind, SimPhase};
+use crate::{Engine, UnitDelaySimulator, WordWidth};
+
+/// A toolchain failure attributed to the native engine.
+fn toolchain_error(message: impl Into<String>) -> SimError {
+    SimError::new(
+        SimErrorKind::Toolchain {
+            message: message.into(),
+        },
+        SimPhase::Compile,
+    )
+    .with_engine(Engine::Native)
+}
+
+/// Builds a native simulator for `flavor` (the engine whose emitted C
+/// is compiled): [`Engine::PcSet`] or any parallel-family engine.
+/// [`Engine::Native`] itself maps to the pt+trim parallel program —
+/// the default chain head. `word` selects the parallel arena width;
+/// the PC-set emitter is always 64-bit.
+///
+/// # Errors
+///
+/// Structural and budget failures surface exactly as the interpreted
+/// twin would report them; toolchain failures (no compiler, compile
+/// error, load error) are [`SimErrorKind::Toolchain`].
+pub fn build_native(
+    netlist: &Netlist,
+    flavor: Engine,
+    word: WordWidth,
+    limits: &ResourceLimits,
+    probe: &dyn Probe,
+) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+    imp::build(netlist, flavor, word, limits, probe, false)
+}
+
+/// [`build_native`] with **all nets monitored** on the twin (the
+/// activity profiler's variant). Monitoring changes the compiled
+/// program, so these artifacts are cached under a distinct flavor key.
+pub fn build_native_monitoring(
+    netlist: &Netlist,
+    flavor: Engine,
+    word: WordWidth,
+    limits: &ResourceLimits,
+    probe: &dyn Probe,
+) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+    imp::build(netlist, flavor, word, limits, probe, true)
+}
+
+/// `true` when the host C compiler (`$UDS_CC`, default `cc`) answers
+/// `--version` — probed once per process. Tests and benches use this
+/// to skip with a visible notice instead of failing on toolchain-free
+/// hosts.
+pub fn compiler_available() -> bool {
+    imp::compiler_available()
+}
+
+/// The on-disk artifact cache directory: `$UDS_NATIVE_CACHE` when set,
+/// otherwise `uds-native-cache` under the system temp dir.
+pub fn cache_dir() -> std::path::PathBuf {
+    match std::env::var_os("UDS_NATIVE_CACHE") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join("uds-native-cache"),
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::collections::HashMap;
+    use std::ffi::CString;
+    use std::os::raw::c_void;
+    use std::path::{Path, PathBuf};
+    use std::process::Command;
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+    use uds_netlist::{NetId, Netlist, Probe, ResourceLimits};
+    use uds_parallel::{Optimization, ParallelSim, Word};
+    use uds_pcset::PcSetSimulator;
+
+    use super::{cache_dir, toolchain_error};
+    use crate::cache::netlist_hash;
+    use crate::error::SimError;
+    use crate::{Engine, UnitDelaySimulator, WordWidth};
+
+    /// The raw loader interface. glibc ships `dlopen` in libc proper,
+    /// so no link flags are needed; the declarations stay local to keep
+    /// the workspace dependency-free.
+    mod dl {
+        use std::os::raw::{c_char, c_int, c_void};
+
+        pub const RTLD_NOW: c_int = 2;
+
+        extern "C" {
+            pub fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+            pub fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+            pub fn dlerror() -> *mut c_char;
+        }
+    }
+
+    /// The last loader error as text (clears the error state).
+    fn dl_error() -> String {
+        // Safety: dlerror returns a static, thread-local buffer or null.
+        unsafe {
+            let msg = dl::dlerror();
+            if msg.is_null() {
+                "unknown dlopen error".to_owned()
+            } else {
+                std::ffi::CStr::from_ptr(msg).to_string_lossy().into_owned()
+            }
+        }
+    }
+
+    /// One loaded shared object: the `dlopen` handle's three exported
+    /// functions plus the call lock that serializes the state
+    /// handshake. The handle is never `dlclose`d — the process-wide
+    /// registry keeps every loaded artifact alive, which is exactly
+    /// the amortization a long-lived daemon wants.
+    pub struct NativeLib {
+        simulate: *mut c_void,
+        state_set: *mut c_void,
+        state_get: *mut c_void,
+        call_lock: Mutex<()>,
+    }
+
+    // Safety: the raw pointers are immutable code addresses; all calls
+    // through them go through `call_lock`.
+    unsafe impl Send for NativeLib {}
+    unsafe impl Sync for NativeLib {}
+
+    fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+        mutex
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl NativeLib {
+        fn open(path: &Path) -> Result<NativeLib, SimError> {
+            use std::os::unix::ffi::OsStrExt;
+            let cpath = CString::new(path.as_os_str().as_bytes())
+                .map_err(|_| toolchain_error("artifact path contains a NUL byte"))?;
+            // Safety: dlopen/dlsym on a path we just compiled; symbol
+            // names are static NUL-terminated literals.
+            unsafe {
+                dl::dlerror();
+                let handle = dl::dlopen(cpath.as_ptr(), dl::RTLD_NOW);
+                if handle.is_null() {
+                    return Err(toolchain_error(format!(
+                        "dlopen of {} failed: {}",
+                        path.display(),
+                        dl_error()
+                    )));
+                }
+                let sym = |name: &'static str| -> Result<*mut c_void, SimError> {
+                    let cname = CString::new(name).expect("static symbol name");
+                    let ptr = dl::dlsym(handle, cname.as_ptr());
+                    if ptr.is_null() {
+                        return Err(toolchain_error(format!(
+                            "{} does not export `{name}`: {}",
+                            path.display(),
+                            dl_error()
+                        )));
+                    }
+                    Ok(ptr)
+                };
+                Ok(NativeLib {
+                    simulate: sym("simulate_one_vector")?,
+                    state_set: sym("uds_state_set")?,
+                    state_get: sym("uds_state_get")?,
+                    call_lock: Mutex::new(()),
+                })
+            }
+        }
+
+        /// One parallel-flavor vector: state in, simulate, state out,
+        /// atomically with respect to every other user of this object.
+        fn call_parallel<W: Word>(&self, arena: &mut [W], pi: &[W]) {
+            let _guard = lock(&self.call_lock);
+            // Safety: the shared object was compiled from this twin's
+            // program, so its arena order and input count match; the
+            // signatures are fixed by the emitter.
+            unsafe {
+                let set: unsafe extern "C" fn(*const W) = std::mem::transmute(self.state_set);
+                let sim: unsafe extern "C" fn(*const W) = std::mem::transmute(self.simulate);
+                let get: unsafe extern "C" fn(*mut W) = std::mem::transmute(self.state_get);
+                set(arena.as_ptr());
+                sim(pi.as_ptr());
+                get(arena.as_mut_ptr());
+            }
+        }
+
+        /// One PC-set-flavor vector (inputs pre-broadcast to stream
+        /// words, monitored finals written to `po`).
+        fn call_pcset(&self, arena: &mut [u64], pi: &[u64], po: &mut [u64]) {
+            let _guard = lock(&self.call_lock);
+            // Safety: as in `call_parallel`; the PC-set emitter's
+            // signature additionally takes the output buffer.
+            unsafe {
+                let set: unsafe extern "C" fn(*const u64) = std::mem::transmute(self.state_set);
+                let sim: unsafe extern "C" fn(*const u64, *mut u64) =
+                    std::mem::transmute(self.simulate);
+                let get: unsafe extern "C" fn(*mut u64) = std::mem::transmute(self.state_get);
+                set(arena.as_ptr());
+                sim(pi.as_ptr(), po.as_mut_ptr());
+                get(arena.as_mut_ptr());
+            }
+        }
+    }
+
+    /// One loaded library per artifact path, process-wide. Shared
+    /// statics make two independent loads of one path hazardous; the
+    /// registry guarantees a single [`NativeLib`] (and so a single
+    /// call lock) per artifact.
+    fn registry() -> &'static Mutex<HashMap<PathBuf, Arc<NativeLib>>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Arc<NativeLib>>>> = OnceLock::new();
+        REGISTRY.get_or_init(Mutex::default)
+    }
+
+    fn compiler() -> String {
+        std::env::var("UDS_CC").unwrap_or_else(|_| "cc".to_owned())
+    }
+
+    pub fn compiler_available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            Command::new(compiler())
+                .arg("--version")
+                .output()
+                .map(|out| out.status.success())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Compiles `source` into `dest` atomically: write the C and the
+    /// object under temp names, `rename` into place, so a concurrent
+    /// process never observes a half-written artifact.
+    fn compile_so(source: &str, dest: &Path) -> Result<(), SimError> {
+        let dir = dest.parent().expect("artifact paths live in the cache dir");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| toolchain_error(format!("cannot create {}: {e}", dir.display())))?;
+        let stem = dest
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("artifact names are ascii");
+        let pid = std::process::id();
+        let c_path = dir.join(format!(".{stem}.{pid}.c"));
+        let so_tmp = dir.join(format!(".{stem}.{pid}.so"));
+        let cleanup = || {
+            let _ = std::fs::remove_file(&c_path);
+            let _ = std::fs::remove_file(&so_tmp);
+        };
+        std::fs::write(&c_path, source)
+            .map_err(|e| toolchain_error(format!("cannot write {}: {e}", c_path.display())))?;
+        let cc = compiler();
+        let output = Command::new(&cc)
+            .args(["-shared", "-fPIC", "-O2", "-o"])
+            .arg(&so_tmp)
+            .arg(&c_path)
+            .output();
+        let output = match output {
+            Ok(output) => output,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                cleanup();
+                return Err(toolchain_error(format!(
+                    "no C compiler: `{cc}` is not on PATH (set $UDS_CC to override)"
+                )));
+            }
+            Err(e) => {
+                cleanup();
+                return Err(toolchain_error(format!("cannot run `{cc}`: {e}")));
+            }
+        };
+        if !output.status.success() {
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            let excerpt: Vec<&str> = stderr.lines().take(8).collect();
+            cleanup();
+            return Err(toolchain_error(format!(
+                "`{cc}` failed ({}): {}",
+                output.status,
+                excerpt.join("; ")
+            )));
+        }
+        let renamed = std::fs::rename(&so_tmp, dest);
+        let _ = std::fs::remove_file(&c_path);
+        renamed.map_err(|e| {
+            let _ = std::fs::remove_file(&so_tmp);
+            toolchain_error(format!("cannot move artifact into {}: {e}", dest.display()))
+        })
+    }
+
+    /// The loaded library for `path`, from (in order) the in-process
+    /// registry, the on-disk artifact cache, or a fresh `cc` run over
+    /// `source`. Reports which tier answered through `probe`.
+    fn get_or_load(
+        path: &Path,
+        source: &str,
+        probe: &dyn Probe,
+    ) -> Result<Arc<NativeLib>, SimError> {
+        // The registry lock is held across compile: a daemon taking
+        // many concurrent requests for one netlist must run `cc` once,
+        // not once per worker.
+        let mut libs = lock(registry());
+        if let Some(lib) = libs.get(path) {
+            probe.count("native.cache.memory_hit", 1);
+            return Ok(Arc::clone(lib));
+        }
+        if path.exists() {
+            probe.count("native.cache.disk_hit", 1);
+        } else {
+            compile_so(source, path)?;
+            probe.count("native.cache.compile", 1);
+        }
+        let lib = Arc::new(NativeLib::open(path)?);
+        libs.insert(path.to_path_buf(), Arc::clone(&lib));
+        Ok(lib)
+    }
+
+    fn artifact_path(hash: u64, flavor: &str, bits: u32, monitoring: bool) -> PathBuf {
+        let mon = if monitoring { "-mon" } else { "" };
+        cache_dir().join(format!("{hash:016x}-{flavor}{mon}-w{bits}.so"))
+    }
+
+    fn flavor_key(optimization: Optimization) -> &'static str {
+        match optimization {
+            Optimization::None => "par-none",
+            Optimization::Trimming => "par-trim",
+            Optimization::PathTracing => "par-pt",
+            Optimization::PathTracingTrimming => "par-pt-trim",
+            Optimization::CycleBreaking => "par-cb",
+            Optimization::CycleBreakingTrimming => "par-cb-trim",
+        }
+    }
+
+    /// The parallel twin + its compiled shared object.
+    struct NativeParallelSim<W: Word> {
+        twin: ParallelSim<W>,
+        lib: Arc<NativeLib>,
+    }
+
+    impl<W: Word> UnitDelaySimulator for NativeParallelSim<W> {
+        fn engine_name(&self) -> &'static str {
+            "native"
+        }
+
+        fn simulate_vector(&mut self, inputs: &[bool]) {
+            let pi: Vec<W> = inputs
+                .iter()
+                .map(|&b| if b { W::ONE } else { W::ZERO })
+                .collect();
+            let lib = &self.lib;
+            self.twin
+                .simulate_vector_with(inputs, |arena| lib.call_parallel(arena, &pi));
+        }
+
+        fn final_value(&self, net: NetId) -> bool {
+            self.twin.final_value(net)
+        }
+
+        fn history(&self, net: NetId) -> Option<Vec<bool>> {
+            self.twin.history(net)
+        }
+
+        fn depth(&self) -> u32 {
+            self.twin.depth()
+        }
+
+        fn reset(&mut self) {
+            self.twin.reset();
+        }
+
+        fn seed_stable(&mut self, stable: &[bool]) {
+            self.twin.seed_stable(stable);
+        }
+
+        fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
+            Box::new(NativeParallelSim {
+                twin: self.twin.clone(),
+                lib: Arc::clone(&self.lib),
+            })
+        }
+
+        fn for_each_toggle(&self, net: NetId, visit: &mut dyn FnMut(u32)) -> Option<u32> {
+            self.twin.for_each_toggle_in_field(net, visit)
+        }
+    }
+
+    /// The PC-set twin + its compiled shared object.
+    struct NativePcSetSim {
+        twin: PcSetSimulator,
+        lib: Arc<NativeLib>,
+        /// Scratch for the emitted `po` buffer (monitored finals) —
+        /// the wrapper reads results from the twin's arena instead.
+        po: Vec<u64>,
+    }
+
+    impl UnitDelaySimulator for NativePcSetSim {
+        fn engine_name(&self) -> &'static str {
+            "native"
+        }
+
+        fn simulate_vector(&mut self, inputs: &[bool]) {
+            let lib = &self.lib;
+            let po = &mut self.po;
+            self.twin
+                .simulate_vector_with(inputs, |arena, words| lib.call_pcset(arena, words, po));
+        }
+
+        fn final_value(&self, net: NetId) -> bool {
+            self.twin.final_value(net)
+        }
+
+        fn history(&self, net: NetId) -> Option<Vec<bool>> {
+            self.twin.history(net)
+        }
+
+        fn depth(&self) -> u32 {
+            self.twin.depth()
+        }
+
+        fn reset(&mut self) {
+            self.twin.reset();
+        }
+
+        fn seed_stable(&mut self, stable: &[bool]) {
+            self.twin.seed_stable(stable);
+        }
+
+        fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
+            Box::new(NativePcSetSim {
+                twin: self.twin.clone(),
+                lib: Arc::clone(&self.lib),
+                po: self.po.clone(),
+            })
+        }
+    }
+
+    pub fn build(
+        netlist: &Netlist,
+        flavor: Engine,
+        word: WordWidth,
+        limits: &ResourceLimits,
+        probe: &dyn Probe,
+        monitoring: bool,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        let hash = netlist_hash(netlist);
+        let optimization = match flavor {
+            Engine::EventDriven => {
+                return Err(toolchain_error(
+                    "the event-driven baseline has no C emitter",
+                ))
+            }
+            Engine::Native => Optimization::PathTracingTrimming,
+            Engine::PcSet => {
+                let twin = if monitoring {
+                    let all: Vec<NetId> = netlist.net_ids().collect();
+                    PcSetSimulator::compile_probed_with_monitors(netlist, &all, limits, probe)?
+                } else {
+                    PcSetSimulator::compile_probed(netlist, limits, probe)?
+                };
+                let source = uds_pcset::codegen_c::emit_native(netlist, &twin)
+                    .map_err(|e| toolchain_error(format!("emit: {e}")))?;
+                let path = artifact_path(hash, "pcset", 64, monitoring);
+                let lib = get_or_load(&path, &source, probe)?;
+                let po = vec![0u64; twin.monitored().len()];
+                return Ok(Box::new(NativePcSetSim { twin, lib, po }));
+            }
+            Engine::Parallel => Optimization::None,
+            Engine::ParallelTrimming => Optimization::Trimming,
+            Engine::ParallelPathTracing => Optimization::PathTracing,
+            Engine::ParallelPathTracingTrimming => Optimization::PathTracingTrimming,
+            Engine::ParallelCycleBreaking => Optimization::CycleBreaking,
+        };
+        fn parallel<W: Word>(
+            netlist: &Netlist,
+            optimization: Optimization,
+            limits: &ResourceLimits,
+            probe: &dyn Probe,
+            hash: u64,
+            monitoring: bool,
+        ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+            let twin = if monitoring {
+                ParallelSim::<W>::compile_monitoring_all_probed(
+                    netlist,
+                    optimization,
+                    limits,
+                    probe,
+                )?
+            } else {
+                ParallelSim::<W>::compile_probed(netlist, optimization, limits, probe)?
+            };
+            let source = uds_parallel::codegen_c::emit_native(netlist, &twin)
+                .map_err(|e| toolchain_error(format!("emit: {e}")))?;
+            let path = artifact_path(hash, flavor_key(optimization), W::BITS, monitoring);
+            let lib = get_or_load(&path, &source, probe)?;
+            Ok(Box::new(NativeParallelSim { twin, lib }))
+        }
+        match word {
+            WordWidth::W32 => {
+                parallel::<u32>(netlist, optimization, limits, probe, hash, monitoring)
+            }
+            WordWidth::W64 => {
+                parallel::<u64>(netlist, optimization, limits, probe, hash, monitoring)
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use uds_netlist::{Netlist, Probe, ResourceLimits};
+
+    use super::toolchain_error;
+    use crate::error::SimError;
+    use crate::{Engine, UnitDelaySimulator, WordWidth};
+
+    pub fn build(
+        _netlist: &Netlist,
+        _flavor: Engine,
+        _word: WordWidth,
+        _limits: &ResourceLimits,
+        _probe: &dyn Probe,
+        _monitoring: bool,
+    ) -> Result<Box<dyn UnitDelaySimulator>, SimError> {
+        Err(toolchain_error(
+            "runtime loading of compiled C requires a Unix host",
+        ))
+    }
+
+    pub fn compiler_available() -> bool {
+        false
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::TracedEventSim;
+    use uds_netlist::generators::iscas::c17;
+    use uds_netlist::NoopProbe;
+
+    /// The missing-compiler test overrides `$UDS_CC`, which every
+    /// native build reads live — hold this across any test that
+    /// touches the toolchain so they cannot interleave.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn skip_notice() -> bool {
+        if compiler_available() {
+            return false;
+        }
+        eprintln!("SKIP: no C compiler on PATH; native-engine test not exercised");
+        true
+    }
+
+    #[test]
+    fn native_matches_the_baseline_on_c17() {
+        let _env = env_lock();
+        if skip_notice() {
+            return;
+        }
+        let nl = c17();
+        let mut native = build_native(
+            &nl,
+            Engine::Native,
+            WordWidth::W32,
+            &ResourceLimits::unlimited(),
+            &NoopProbe,
+        )
+        .unwrap();
+        let mut baseline = TracedEventSim::new(&nl).unwrap();
+        for pattern in 0u32..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
+            native.simulate_vector(&inputs);
+            crate::UnitDelaySimulator::simulate_vector(&mut baseline, &inputs);
+            for &po in nl.primary_outputs() {
+                assert_eq!(
+                    native.final_value(po),
+                    baseline.final_value(po),
+                    "native diverged on {pattern:05b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_compiler_is_a_typed_toolchain_error() {
+        // Point $UDS_CC at a nonexistent binary via a scoped override:
+        // the error must be the toolchain class, never a panic. The
+        // artifact cache would mask the compile step, so use a unique
+        // cache dir.
+        let _env = env_lock();
+        if std::env::var_os("UDS_CC").is_some() {
+            eprintln!("SKIP: $UDS_CC is set; not overriding the toolchain");
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("uds-native-missing-{}", std::process::id()));
+        std::env::set_var("UDS_NATIVE_CACHE", &dir);
+        std::env::set_var("UDS_CC", "uds-no-such-compiler");
+        let result = build_native(
+            &c17(),
+            Engine::Native,
+            WordWidth::W64,
+            &ResourceLimits::unlimited(),
+            &NoopProbe,
+        );
+        std::env::remove_var("UDS_CC");
+        std::env::remove_var("UDS_NATIVE_CACHE");
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = match result {
+            Ok(_) => panic!("a missing compiler cannot build"),
+            Err(err) => err,
+        };
+        assert_eq!(err.class(), crate::FailureClass::Toolchain);
+        assert!(err.to_string().contains("uds-no-such-compiler"), "{err}");
+    }
+}

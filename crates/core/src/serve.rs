@@ -981,6 +981,10 @@ impl SimServer {
                 )
                 .unwrap_or(u64::MAX);
                 let chain: Vec<Engine> = match parsed.engine {
+                    // Native opts into the full degradation chain so a
+                    // host without a C toolchain still answers (the
+                    // fallback is counted, never silent).
+                    Some(Engine::Native) => crate::guard::chain_preferring(Some(Engine::Native)),
                     Some(engine) => vec![engine],
                     None => GuardedSimulator::DEFAULT_CHAIN.to_vec(),
                 };
@@ -1338,10 +1342,7 @@ impl SimServer {
 
         let engine = match doc.get("engine").and_then(Json::as_str) {
             Some(wanted) => Some(
-                Engine::ALL
-                    .into_iter()
-                    .find(|e| e.to_string() == wanted)
-                    .ok_or_else(|| bad(format!("unknown engine `{wanted}`")))?,
+                Engine::parse(wanted).ok_or_else(|| bad(format!("unknown engine `{wanted}`")))?,
             ),
             None => None,
         };
@@ -1523,7 +1524,12 @@ fn job_result_response(id: u64, job: &Job, query: &str) -> Response {
             return error_response(409, &format!("job {id} is still {}", job.state.name()))
         }
     }
-    let outcome = job.outcome.as_ref().expect("done job has an outcome");
+    // A done-state job without an outcome is a broken invariant, but
+    // one request must not kill the worker thread that answers it —
+    // surface it through the failure taxonomy like any other 500.
+    let Some(outcome) = job.outcome.as_ref() else {
+        return error_response(500, &format!("job {id} is done but recorded no outcome"));
+    };
     let mut offset = 0usize;
     let mut limit = 10_000usize;
     for pair in query.split('&').filter(|p| !p.is_empty()) {
@@ -1712,6 +1718,50 @@ mod tests {
             assert_eq!(get(addr, "/nope").0, 404);
             assert_eq!(post(addr, "/healthz", "x").0, 405);
             assert_eq!(post(addr, "/quitquitquit", "").0, 403, "quit is gated");
+        });
+    }
+
+    #[test]
+    fn done_job_without_outcome_answers_500_not_a_panic() {
+        // The invariant break the worker must survive: a job in the
+        // done state whose outcome was never recorded.
+        let job = Job {
+            state: JobState::Done,
+            cancel: CancelToken::new(),
+            request: None,
+            vectors_total: 0,
+            progress: BTreeMap::new(),
+            outcome: None,
+            error: None,
+            finished: None,
+        };
+        let response = job_result_response(7, &job, "");
+        assert_eq!(response.status, 500);
+        let body = String::from_utf8(response.body.clone()).unwrap();
+        assert!(body.contains("no outcome"), "{body}");
+    }
+
+    #[test]
+    fn native_engine_request_serves_or_degrades_gracefully() {
+        // `engine: "native"` heads the degradation chain instead of
+        // being a strict single-engine request: with a C toolchain the
+        // answer comes from compiled C, without one an interpreted
+        // engine answers — never a 4xx/5xx for a missing compiler.
+        with_server(ServeConfig::default(), Telemetry::new(), None, |addr| {
+            let (status, body) = post(addr, "/simulate", &simulate_body(Some("native")));
+            assert_eq!(status, 200, "{body}");
+            let doc = Json::parse(&body).unwrap();
+            let engine = doc.get("engine").unwrap().as_str().unwrap().to_owned();
+            if crate::native::compiler_available() {
+                assert_eq!(engine, "native", "{body}");
+            }
+            let (_, reference) = post(addr, "/simulate", &simulate_body(None));
+            let reference = Json::parse(&reference).unwrap();
+            assert_eq!(
+                doc.get("rows").unwrap(),
+                reference.get("rows").unwrap(),
+                "native answers must match the interpreted engines"
+            );
         });
     }
 

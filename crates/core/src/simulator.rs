@@ -293,10 +293,19 @@ pub enum Engine {
     ParallelPathTracingTrimming,
     /// Parallel with cycle-breaking shift elimination.
     ParallelCycleBreaking,
+    /// The emitted C, actually compiled: `cc` + `dlopen` at runtime,
+    /// driving the parallel pt+trim program as machine code. Requires a
+    /// C toolchain; build through the guarded chain
+    /// ([`crate::guard::build_engine_with_limits`]) so a missing
+    /// compiler degrades to an interpreted engine instead of failing.
+    Native,
 }
 
 impl Engine {
-    /// All engines in comparison order.
+    /// All *interpreted* engines in comparison order. [`Engine::Native`]
+    /// is deliberately absent: it needs a host C toolchain, so
+    /// toolchain-free comparisons, property suites, and fallback chains
+    /// iterate this list and opt into native explicitly.
     pub const ALL: [Engine; 7] = [
         Engine::EventDriven,
         Engine::PcSet,
@@ -306,6 +315,17 @@ impl Engine {
         Engine::ParallelPathTracingTrimming,
         Engine::ParallelCycleBreaking,
     ];
+
+    /// Parses an engine from its display name (`"pc-set"`, `"native"`,
+    /// ...). The inverse of [`Engine`]'s `Display`, covering
+    /// [`Engine::ALL`] plus [`Engine::Native`] — the single name table
+    /// the CLI and the daemon both use.
+    pub fn parse(name: &str) -> Option<Engine> {
+        if name == "native" {
+            return Some(Engine::Native);
+        }
+        Engine::ALL.into_iter().find(|e| e.to_string() == name)
+    }
 }
 
 impl fmt::Display for Engine {
@@ -318,6 +338,7 @@ impl fmt::Display for Engine {
             Engine::ParallelPathTracing => "parallel+pt",
             Engine::ParallelPathTracingTrimming => "parallel+pt+trim",
             Engine::ParallelCycleBreaking => "parallel+cb",
+            Engine::Native => "native",
         })
     }
 }
@@ -432,6 +453,16 @@ pub fn build_simulator_with_word(
         Engine::ParallelPathTracing => Optimization::PathTracing,
         Engine::ParallelPathTracingTrimming => Optimization::PathTracingTrimming,
         Engine::ParallelCycleBreaking => Optimization::CycleBreaking,
+        Engine::Native => {
+            return crate::native::build_native(
+                netlist,
+                Engine::ParallelPathTracingTrimming,
+                word,
+                &uds_netlist::ResourceLimits::unlimited(),
+                &uds_netlist::NoopProbe,
+            )
+            .map_err(|e| err(e.to_string()))
+        }
     };
     match word {
         WordWidth::W32 => parallel::<u32>(netlist, optimization, engine),

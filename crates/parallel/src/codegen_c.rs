@@ -1,14 +1,16 @@
 //! C code emission for the parallel technique — the output format of the
 //! paper's Figs. 6, 8, and 18.
 //!
-//! The emitted translation unit declares one `unsigned` word per field
+//! The emitted translation unit declares one `word` static per arena
 //! word plus the scratch words, and a `simulate_one_vector` function
 //! whose statements correspond one-to-one to the compiled word ops, so
 //! its line count tracks the generated-code-size comparison between the
-//! techniques.
+//! techniques. The output is self-contained — every referenced
+//! identifier is defined in the same translation unit — so `cc` can
+//! compile it directly (the native engine does exactly that).
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 
 use uds_netlist::{GateKind, Netlist};
 
@@ -16,20 +18,102 @@ use crate::program::WOp;
 use crate::word::Word;
 use crate::ParallelSim;
 
+/// Error returned by [`emit`]: the simulator was compiled from a
+/// different netlist than the one it is being emitted against, so the
+/// generated names would be misleading (or out of range).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EmitError {
+    /// The netlist's net count disagrees with the compiled program's.
+    NetlistMismatch {
+        netlist_nets: usize,
+        program_nets: usize,
+    },
+    /// The netlist's primary-input count disagrees with the program's.
+    InputMismatch {
+        netlist_inputs: usize,
+        program_inputs: usize,
+    },
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EmitError::NetlistMismatch {
+                netlist_nets,
+                program_nets,
+            } => write!(
+                f,
+                "simulator was compiled from a different netlist: \
+                 {program_nets} nets in the program, {netlist_nets} in the netlist"
+            ),
+            EmitError::InputMismatch {
+                netlist_inputs,
+                program_inputs,
+            } => write!(
+                f,
+                "simulator was compiled from a different netlist: \
+                 {program_inputs} primary inputs in the program, {netlist_inputs} in the netlist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
 /// Emits the compiled program as a C translation unit. The `word`
 /// typedef and shift-merge carry counts follow the simulator's word
 /// width (`uint32_t` / `uint64_t`).
 ///
-/// `simulator` must have been compiled from `netlist` (they are matched
-/// by net count only; compiling from a different netlist of equal size
-/// produces misleading names).
+/// # Errors
 ///
-/// # Panics
+/// Returns [`EmitError`] when `simulator` was not compiled from
+/// `netlist` (net or primary-input counts disagree).
+pub fn emit<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> Result<String, EmitError> {
+    emit_impl(netlist, simulator, false)
+}
+
+/// Like [`emit`], but additionally exporting `uds_state_set` /
+/// `uds_state_get` functions that copy the whole arena (in arena-index
+/// order) in and out of the shared object — the handshake the native
+/// engine uses to keep the interpreted twin's arena authoritative.
+pub fn emit_native<W: Word>(
+    netlist: &Netlist,
+    simulator: &ParallelSim<W>,
+) -> Result<String, EmitError> {
+    emit_impl(netlist, simulator, true)
+}
+
+/// Number of lines [`emit`] produces.
 ///
-/// Panics if the arena implied by `simulator` is smaller than the
-/// netlist requires.
-pub fn emit<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> String {
+/// # Errors
+///
+/// Returns [`EmitError`] when `simulator` was not compiled from
+/// `netlist`.
+pub fn line_count<W: Word>(
+    netlist: &Netlist,
+    simulator: &ParallelSim<W>,
+) -> Result<usize, EmitError> {
+    Ok(emit(netlist, simulator)?.lines().count())
+}
+
+fn emit_impl<W: Word>(
+    netlist: &Netlist,
+    simulator: &ParallelSim<W>,
+    native: bool,
+) -> Result<String, EmitError> {
     let program = simulator.program();
+    if simulator.layout_count() != netlist.net_count() {
+        return Err(EmitError::NetlistMismatch {
+            netlist_nets: netlist.net_count(),
+            program_nets: simulator.layout_count(),
+        });
+    }
+    if program.input_count != netlist.primary_inputs().len() {
+        return Err(EmitError::InputMismatch {
+            netlist_inputs: netlist.primary_inputs().len(),
+            program_inputs: program.input_count,
+        });
+    }
     // Name every arena word: field words get net-derived names,
     // scratch words get t<k>. Sanitized stems are deduplicated (and the
     // aliases themselves reserved), so no two nets share a C variable.
@@ -62,6 +146,7 @@ pub fn emit<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> String {
         }
     }
 
+    let b = W::BITS;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -118,7 +203,7 @@ pub fn emit<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> String {
                     names[dst as usize],
                     names[src as usize],
                     names[carry as usize],
-                    W::BITS - 1
+                    b - 1
                 );
             }
             WOp::BroadcastBit { dst, src, bit } => {
@@ -153,15 +238,50 @@ pub fn emit<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> String {
                 neg_bits,
                 index,
             } => {
+                // The low `neg_bits` bits keep the previous input value
+                // (read before any word is overwritten); all other bits
+                // get the new one. Word counts and split masks are
+                // compile-time constants, so the load unrolls into
+                // straight-line statements.
+                let neg = u32::from(neg_bits);
+                if neg == 0 {
+                    // No negative times: degenerates to a broadcast.
+                    for w in 0..u32::from(words) {
+                        let _ = writeln!(
+                            out,
+                            "    {} = (word)0 - pi[{index}];",
+                            names[(dst + w) as usize]
+                        );
+                    }
+                    continue;
+                }
+                let prev_word = names[(dst + neg / b) as usize].clone();
                 let _ = writeln!(
                     out,
-                    "    /* input {index}: {neg_bits} previous-value bit(s) */"
+                    "    {{ /* input {index}: {neg_bits} previous-value bit(s) */"
                 );
                 let _ = writeln!(
                     out,
-                    "    load_aligned_input(&{}, {words}, {neg_bits}, pi[{index}]);",
-                    names[dst as usize]
+                    "        const word uds_p = (word)0 - ({prev_word} >> {} & (word)1);",
+                    neg % b
                 );
+                let _ = writeln!(out, "        const word uds_n = (word)0 - pi[{index}];");
+                for w in 0..u32::from(words) {
+                    let name = &names[(dst + w) as usize];
+                    let low = w * b;
+                    if neg >= low + b {
+                        let _ = writeln!(out, "        {name} = uds_p;");
+                    } else if neg <= low {
+                        let _ = writeln!(out, "        {name} = uds_n;");
+                    } else {
+                        let mask = mask_literal(neg - low);
+                        let _ = writeln!(
+                            out,
+                            "        {name} = (uds_p & {mask}) | (uds_n & ~{mask});"
+                        );
+                    }
+                }
+                let _ = writeln!(out, "    }}");
             }
             WOp::ShiftField {
                 dst,
@@ -170,21 +290,110 @@ pub fn emit<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> String {
                 src_width,
                 shift,
             } => {
+                // Materialize a shifted presentation of a field
+                // (Fig. 18). Bottom/top fills and the funnel offsets are
+                // compile-time constants; source and destination never
+                // overlap, so the per-word funnel unrolls directly.
+                let top_bit = src_width - 1;
+                let top_word = top_bit / b;
+                let src_at = |i: i64| -> String {
+                    if i < 0 {
+                        "uds_bf".to_owned()
+                    } else if i as u32 > top_word {
+                        "uds_tf".to_owned()
+                    } else if i as u32 == top_word {
+                        "uds_st".to_owned()
+                    } else {
+                        names[(src + i as u32) as usize].clone()
+                    }
+                };
+                let raw_top = names[(src + top_word) as usize].clone();
+                let _ = writeln!(out, "    {{ /* shifted field presentation ({shift:+}) */");
                 let _ = writeln!(
                     out,
-                    "    shift_field(&{}, {dst_words}, &{}, {src_width}, {shift});",
-                    names[dst as usize], names[src as usize]
+                    "        const word uds_bf = (word)0 - ({} & (word)1);",
+                    names[src as usize]
                 );
+                let _ = writeln!(
+                    out,
+                    "        const word uds_tf = (word)0 - ({raw_top} >> {} & (word)1);",
+                    top_bit % b
+                );
+                if top_bit % b + 1 == b {
+                    // Full top word: the sanitization mask is all ones.
+                    let _ = writeln!(out, "        const word uds_st = {raw_top};");
+                } else {
+                    let mask = mask_literal(top_bit % b + 1);
+                    let _ = writeln!(
+                        out,
+                        "        const word uds_st = ({raw_top} & {mask}) | (uds_tf & ~{mask});"
+                    );
+                }
+                let s = -i64::from(shift);
+                let offset = s.rem_euclid(i64::from(b));
+                let base = (s - offset) / i64::from(b);
+                for w in 0..i64::from(dst_words) {
+                    let dname = names[(dst + w as u32) as usize].clone();
+                    if offset == 0 {
+                        let _ = writeln!(out, "        {dname} = {};", src_at(base + w));
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "        {dname} = ({} >> {offset}) | ({} << {});",
+                            src_at(base + w),
+                            src_at(base + w + 1),
+                            i64::from(b) - offset
+                        );
+                    }
+                }
+                let _ = writeln!(out, "    }}");
             }
         }
     }
     let _ = writeln!(out, "}}");
-    out
+
+    if native {
+        let _ = writeln!(out);
+        let count = program.arena_words;
+        if count > 0 {
+            let pointers: Vec<String> = names.iter().map(|n| format!("&{n}")).collect();
+            let _ = writeln!(
+                out,
+                "static word *const uds_arena[{count}] = {{ {} }};",
+                pointers.join(", ")
+            );
+            let _ = writeln!(out, "\nvoid uds_state_set(const word *state)\n{{");
+            let _ = writeln!(out, "    uint32_t i;");
+            let _ = writeln!(
+                out,
+                "    for (i = 0; i < {count}u; i++) *uds_arena[i] = state[i];"
+            );
+            let _ = writeln!(out, "}}");
+            let _ = writeln!(out, "\nvoid uds_state_get(word *state)\n{{");
+            let _ = writeln!(out, "    uint32_t i;");
+            let _ = writeln!(
+                out,
+                "    for (i = 0; i < {count}u; i++) state[i] = *uds_arena[i];"
+            );
+            let _ = writeln!(out, "}}");
+        } else {
+            let _ = writeln!(
+                out,
+                "void uds_state_set(const word *state) {{ (void)state; }}"
+            );
+            let _ = writeln!(out, "void uds_state_get(word *state) {{ (void)state; }}");
+        }
+    }
+    Ok(out)
 }
 
-/// Number of lines [`emit`] produces.
-pub fn line_count<W: Word>(netlist: &Netlist, simulator: &ParallelSim<W>) -> usize {
-    emit(netlist, simulator).lines().count()
+/// Low-mask constant with the bottom `k` bits set, as a C literal.
+/// Emitted as a hex literal (never a shift expression) so mask
+/// plumbing is not mistaken for a retained `<< 1` merge by code-size
+/// accounting. `k` is always strictly between 0 and the word width.
+fn mask_literal(k: u32) -> String {
+    debug_assert!(k > 0 && k < 128);
+    format!("(word)0x{:x}", (1u128 << k) - 1)
 }
 
 fn gate_expression(kind: GateKind, operands: &[&str]) -> String {
@@ -204,6 +413,65 @@ fn gate_expression(kind: GateKind, operands: &[&str]) -> String {
     }
 }
 
+/// Identifiers the emitted translation unit already claims: C keywords
+/// (a net named `if` or `int` must not produce `static word if`), the
+/// `word` typedef, the `<stdint.h>` type names behind it, the entry
+/// points and their parameters, and the block-local temporaries the
+/// unrolled aligned-load / shifted-presentation statements declare.
+fn is_reserved(name: &str) -> bool {
+    matches!(
+        name,
+        "auto"
+            | "break"
+            | "case"
+            | "char"
+            | "const"
+            | "continue"
+            | "default"
+            | "do"
+            | "double"
+            | "else"
+            | "enum"
+            | "extern"
+            | "float"
+            | "for"
+            | "goto"
+            | "if"
+            | "inline"
+            | "int"
+            | "long"
+            | "register"
+            | "restrict"
+            | "return"
+            | "short"
+            | "signed"
+            | "sizeof"
+            | "static"
+            | "struct"
+            | "switch"
+            | "typedef"
+            | "union"
+            | "unsigned"
+            | "void"
+            | "volatile"
+            | "while"
+            | "word"
+            | "pi"
+            | "po"
+            | "simulate_one_vector"
+            | "uint32_t"
+            | "uint64_t"
+            | "uds_p"
+            | "uds_n"
+            | "uds_bf"
+            | "uds_tf"
+            | "uds_st"
+            | "uds_arena"
+            | "uds_state_get"
+            | "uds_state_set"
+    )
+}
+
 fn sanitize(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 1);
     if name.starts_with(|c: char| c.is_ascii_digit()) {
@@ -214,6 +482,9 @@ fn sanitize(name: &str) -> String {
     }
     if out.is_empty() {
         out.push('s');
+    }
+    if is_reserved(&out) {
+        out.push('_');
     }
     out
 }
@@ -239,7 +510,7 @@ mod tests {
     fn unoptimized_code_has_fig6_shape() {
         let nl = fig6();
         let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
-        let code = emit(&nl, &sim);
+        let code = emit(&nl, &sim).unwrap();
         // Fig. 6: initialization moves the final value into bit 0; each
         // gate is an AND followed by a shift-merge.
         assert!(
@@ -254,7 +525,7 @@ mod tests {
     fn shift_eliminated_code_has_fig10_shape() {
         let nl = fig6();
         let sim = ParallelSimulator::compile(&nl, Optimization::PathTracing).unwrap();
-        let code = emit(&nl, &sim);
+        let code = emit(&nl, &sim).unwrap();
         // Fig. 10: no shifts at all, plain assignments.
         assert!(!code.contains("<< 1"), "{code}");
         assert!(!code.contains("shift_field"), "{code}");
@@ -274,7 +545,7 @@ mod tests {
         b.output(y);
         let nl = b.finish().unwrap();
         let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
-        let code = emit(&nl, &sim);
+        let code = emit(&nl, &sim).unwrap();
         let decls: Vec<&str> = code
             .lines()
             .filter(|l| l.starts_with("static word "))
@@ -288,6 +559,89 @@ mod tests {
     }
 
     #[test]
+    fn reserved_names_cannot_shadow_emitted_identifiers() {
+        // Nets named after C keywords or the emitter's own identifiers
+        // must not produce uncompilable or shadowing declarations.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("if");
+        let c = b.input("word");
+        let d = b.input("pi");
+        let y = b.gate(GateKind::And, &[a, c, d], "int").unwrap();
+        b.output(y);
+        let nl = b.finish().unwrap();
+        let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let code = emit(&nl, &sim).unwrap();
+        for renamed in ["if_", "word_", "pi_", "int_"] {
+            assert!(
+                code.contains(&format!("static word {renamed} = ")),
+                "expected {renamed}:\n{code}"
+            );
+        }
+        for shadowed in [
+            "static word if =",
+            "static word word =",
+            "static word pi =",
+            "static word int =",
+        ] {
+            assert!(!code.contains(shadowed), "emitted `{shadowed}`:\n{code}");
+        }
+    }
+
+    #[test]
+    fn emit_rejects_a_mismatched_netlist() {
+        let nl = fig6();
+        let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let mut b = NetlistBuilder::new();
+        let a = b.input("A");
+        let y = b.gate(GateKind::Not, &[a], "Y").unwrap();
+        b.output(y);
+        let other = b.finish().unwrap();
+        assert!(matches!(
+            emit(&other, &sim),
+            Err(EmitError::NetlistMismatch { .. })
+        ));
+        assert!(line_count(&other, &sim).is_err());
+    }
+
+    #[test]
+    fn native_emit_exports_state_accessors() {
+        let nl = fig6();
+        let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
+        let code = emit_native(&nl, &sim).unwrap();
+        assert!(
+            code.contains("void uds_state_set(const word *state)"),
+            "{code}"
+        );
+        assert!(code.contains("void uds_state_get(word *state)"), "{code}");
+        assert!(code.contains("uds_arena"), "{code}");
+        // The plain emit stays accessor-free: its line count is the
+        // paper's generated-code-size statistic.
+        assert!(!emit(&nl, &sim).unwrap().contains("uds_state_set"));
+    }
+
+    #[test]
+    fn aligned_ops_unroll_without_undefined_references() {
+        // The shift-eliminated compiler's aligned loads and shifted
+        // presentations must emit self-contained statements, not calls
+        // to helper functions that exist nowhere.
+        use uds_netlist::generators::iscas::Iscas85;
+        let nl = Iscas85::C432.build();
+        for optimization in [Optimization::PathTracing, Optimization::CycleBreaking] {
+            let sim = ParallelSimulator::compile(&nl, optimization).unwrap();
+            let code = emit(&nl, &sim).unwrap();
+            assert!(
+                !code.contains("load_aligned_input") && !code.contains("shift_field"),
+                "undefined helper referenced ({optimization}):\n{}",
+                &code[..code.len().min(2000)]
+            );
+        }
+        // Non-vacuous: c432's retained shifts emit the funnel blocks.
+        let sim = ParallelSimulator::compile(&nl, Optimization::PathTracing).unwrap();
+        let code = emit(&nl, &sim).unwrap();
+        assert!(code.contains("uds_"), "expected unrolled blocks:\n{code}");
+    }
+
+    #[test]
     fn declarations_carry_settled_initializers() {
         let mut b = NetlistBuilder::new();
         let a = b.input("a");
@@ -295,7 +649,7 @@ mod tests {
         b.output(y);
         let nl = b.finish().unwrap();
         let sim = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
-        let code = emit(&nl, &sim);
+        let code = emit(&nl, &sim).unwrap();
         // y settles to 1 under all-zero inputs: its field initializes to
         // all-ones so the first vector's retained bit 0 is correct.
         assert!(code.contains("static word y = ~(word)0;"), "{code}");
@@ -307,8 +661,10 @@ mod tests {
         let nl = fig6();
         let sim32 = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
         let sim64 = ParallelSimulator64::compile(&nl, Optimization::None).unwrap();
-        assert!(emit(&nl, &sim32).contains("typedef uint32_t word;"));
-        let code64 = emit(&nl, &sim64);
+        assert!(emit(&nl, &sim32)
+            .unwrap()
+            .contains("typedef uint32_t word;"));
+        let code64 = emit(&nl, &sim64).unwrap();
         assert!(code64.contains("typedef uint64_t word;"), "{code64}");
         assert!(
             !code64.contains(">> 31"),
@@ -321,9 +677,9 @@ mod tests {
         let nl = fig6();
         let unopt = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
         let aligned = ParallelSimulator::compile(&nl, Optimization::PathTracing).unwrap();
-        let shifts = |sim: &ParallelSimulator| emit(&nl, sim).matches("<< 1").count();
+        let shifts = |sim: &ParallelSimulator| emit(&nl, sim).unwrap().matches("<< 1").count();
         assert_eq!(shifts(&unopt), nl.gate_count());
         assert_eq!(shifts(&aligned), 0);
-        assert!(line_count(&nl, &unopt) > 0);
+        assert!(line_count(&nl, &unopt).unwrap() > 0);
     }
 }

@@ -481,6 +481,12 @@ impl<W: Word> ParallelSim<W> {
         &self.initial_arena
     }
 
+    /// Number of per-net field layouts — the net count this simulator
+    /// was compiled for (used by the C emitter's mismatch check).
+    pub(crate) fn layout_count(&self) -> usize {
+        self.layouts.len()
+    }
+
     /// Restores the consistent power-up state.
     pub fn reset(&mut self) {
         self.arena.copy_from_slice(&self.initial_arena);
@@ -533,6 +539,29 @@ impl<W: Word> ParallelSim<W> {
             self.prev_final[net.index()] = layout.read_bit(&self.arena, layout.final_bit());
         }
         self.program.run(&mut self.arena, inputs);
+    }
+
+    /// Like [`ParallelSim::simulate_vector`], but delegating the word
+    /// program itself to `run`, which receives the mutable arena after
+    /// the tracked previous-final values have been latched. The native
+    /// engine uses this to execute its compiled shared object against
+    /// the authoritative arena while every readback path (`history`,
+    /// `final_value`, toggles) keeps working unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn simulate_vector_with(&mut self, inputs: &[bool], run: impl FnOnce(&mut [W])) {
+        assert_eq!(
+            inputs.len(),
+            self.program.input_count,
+            "input vector length must match the primary input count"
+        );
+        for &net in &self.tracked {
+            let layout = &self.layouts[net];
+            self.prev_final[net.index()] = layout.read_bit(&self.arena, layout.final_bit());
+        }
+        run(&mut self.arena);
     }
 
     /// The final settled value of a net for the last vector.

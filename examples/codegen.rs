@@ -22,15 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== PC-set method (paper Fig. 4) ===");
     let pcset = PcSetSimulator::compile(&nl)?;
-    println!("{}", pcset_c::emit(&nl, &pcset));
+    println!("{}", pcset_c::emit(&nl, &pcset)?);
 
     println!("=== parallel technique, unoptimized (paper Fig. 6) ===");
     let parallel = ParallelSimulator::compile(&nl, Optimization::None)?;
-    println!("{}", parallel_c::emit(&nl, &parallel));
+    println!("{}", parallel_c::emit(&nl, &parallel)?);
 
     println!("=== parallel technique, shifts eliminated (paper Fig. 10) ===");
     let optimized = ParallelSimulator::compile(&nl, Optimization::PathTracing)?;
-    println!("{}", parallel_c::emit(&nl, &optimized));
+    println!("{}", parallel_c::emit(&nl, &optimized)?);
 
     // Generated-code size comparison on a real circuit: the paper notes
     // the PC-set method emitted >100k lines for c6288.
@@ -40,11 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generated-code size for {}:", big.name());
     println!(
         "  pc-set:   {:>8} lines of C",
-        pcset_c::line_count(&big, &pcset_big)
+        pcset_c::line_count(&big, &pcset_big)?
     );
     println!(
         "  parallel: {:>8} lines of C",
-        parallel_c::line_count(&big, &parallel_big)
+        parallel_c::line_count(&big, &parallel_big)?
     );
     Ok(())
 }

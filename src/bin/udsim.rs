@@ -72,10 +72,17 @@
 //!
 //! Failures exit with the [`FailureClass`] code so scripts can route on
 //! them: 2 usage, 3 parse/read, 4 structural (cycle, uncut flip-flop),
-//! 5 budget exceeded, 6 contained engine panic, 7 cross-check mismatch.
+//! 5 budget exceeded, 6 contained engine panic, 7 cross-check mismatch,
+//! 8 native toolchain unavailable or failed.
 //! 0 is success; 1 is an internal error (a bug in udsim itself — e.g.
 //! an uncontained panic unwinding out of `main`), never produced by
 //! bad input.
+//!
+//! `--engine native` compiles the emitted C with the system C compiler
+//! (`cc`, or `$UDS_CC`) at runtime and loads it with `dlopen`; it
+//! always runs at the head of the guarded degradation chain, so a
+//! missing compiler falls back to the interpreted engines (exit 0,
+//! fallback counted in `--stats`) rather than failing the run.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -84,12 +91,12 @@ use std::time::{Duration, Instant};
 use unit_delay_sim::core::vcd::VcdRecorder;
 use unit_delay_sim::core::vectors::RandomVectors;
 use unit_delay_sim::core::{
-    build_engine_with_limits_probed_word, install_signal_handlers, measure_perf, open_sink,
-    record_build_info, record_perf_class, render_chrome_trace, run_batch_observed, run_loadgen,
-    write_text, ActivityProfiler, BatchActivityObserver, BatchProbe, DefaultEngineFactory, Engine,
-    FailureClass, FanoutProbe, GuardedSimulator, HumanOut, LoadgenConfig, MonitoringEngineFactory,
-    NdjsonProgress, NoopBatchProbe, ServeConfig, SimError, SimServer, StreamContract, Telemetry,
-    WordWidth,
+    build_engine_with_limits_probed_word, chain_preferring, install_signal_handlers, measure_perf,
+    open_sink, record_build_info, record_perf_class, render_chrome_trace, run_batch_observed,
+    run_loadgen, write_text, ActivityProfiler, BatchActivityObserver, BatchProbe,
+    DefaultEngineFactory, Engine, FailureClass, FanoutProbe, GuardedSimulator, HumanOut,
+    LoadgenConfig, MonitoringEngineFactory, NdjsonProgress, NoopBatchProbe, ServeConfig, SimError,
+    SimServer, StreamContract, Telemetry, WordWidth,
 };
 use unit_delay_sim::netlist::stats::CircuitStats;
 use unit_delay_sim::netlist::{levelize, Probe, ResourceLimits};
@@ -160,6 +167,10 @@ fn run() -> Result<(), CliError> {
         "serve" => serve(&rest),
         "loadgen" => loadgen(&rest),
         "engines" => {
+            // `native` is not in `Engine::ALL` (it is a compilation
+            // strategy over the parallel technique, not an interpreted
+            // engine), but it is a valid `--engine` name, so list it.
+            println!("{}", Engine::Native);
             for engine in Engine::ALL {
                 println!("{engine}");
             }
@@ -205,8 +216,11 @@ fn usage() -> String {
      (default 64, 0 disables); --workers sizes the pool (0 = cores); a full --queue sheds 429.\n\
      loadgen is closed-loop unless --rate sets open-loop arrivals; --bench makes the fleet\n\
      POST real work, otherwise it GETs --path (default /healthz).\n\n\
+     --engine native compiles the emitted C (cc, or $UDS_CC) and dlopens it; without a C\n\
+     compiler the run degrades to the interpreted chain (exit 0, fallback in --stats).\n\n\
      exit codes: 0 ok, 2 usage, 3 parse, 4 structural, 5 budget, 6 engine panic,\n\
-     7 cross-check mismatch; 1 is an internal error (a udsim bug), never bad input"
+     7 cross-check mismatch, 8 native toolchain; 1 is an internal error (a udsim bug),\n\
+     never bad input"
         .to_owned()
 }
 
@@ -231,16 +245,14 @@ fn load(path: &str) -> Result<Netlist, CliError> {
 }
 
 fn parse_engine(name: &str) -> Result<Engine, CliError> {
-    Engine::ALL
-        .into_iter()
-        .find(|e| e.to_string() == name)
-        .ok_or_else(|| {
-            let names: Vec<String> = Engine::ALL.iter().map(|e| e.to_string()).collect();
-            CliError::usage(format!(
-                "unknown engine `{name}` (expected one of: {})",
-                names.join(", ")
-            ))
-        })
+    Engine::parse(name).ok_or_else(|| {
+        let mut names: Vec<String> = Engine::ALL.iter().map(|e| e.to_string()).collect();
+        names.push(Engine::Native.to_string());
+        CliError::usage(format!(
+            "unknown engine `{name}` (expected one of: {})",
+            names.join(", ")
+        ))
+    })
 }
 
 /// Parses a `--budget` spec (see [`usage`]) into [`ResourceLimits`].
@@ -417,13 +429,17 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         .take(vectors)
         .collect();
 
+    // `--engine native` always runs through the guarded chain: a host
+    // without a C compiler degrades to the interpreted engines instead
+    // of failing the run.
+    let native = engine == Some(Engine::Native);
     if let Some(jobs) = jobs {
         if vcd_path.is_some() {
             return Err(CliError::usage(
                 "--vcd needs the sequential waveform and cannot be combined with --jobs",
             ));
         }
-        let chain = if fallback {
+        let chain = if fallback || native {
             fallback_chain(engine)
         } else {
             vec![engine.unwrap_or(Engine::ParallelPathTracingTrimming)]
@@ -441,7 +457,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
             progress.as_ref().map(|p| p as &dyn BatchProbe),
             &human,
         )?;
-    } else if fallback {
+    } else if fallback || native {
         let chain = fallback_chain(engine);
         simulate_guarded(
             &nl,
@@ -556,19 +572,11 @@ fn write_trace(path: &str, telemetry: &Telemetry) -> Result<(), CliError> {
         .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))
 }
 
-/// The degradation chain for `--fallback`: the requested engine first
-/// (when one was named), then the default chain minus duplicates.
+/// The degradation chain for `--fallback` (and `--engine native`): the
+/// requested engine first (when one was named), then the default chain
+/// minus duplicates.
 fn fallback_chain(preferred: Option<Engine>) -> Vec<Engine> {
-    let mut chain = Vec::new();
-    if let Some(engine) = preferred {
-        chain.push(engine);
-    }
-    for engine in GuardedSimulator::DEFAULT_CHAIN {
-        if !chain.contains(&engine) {
-            chain.push(engine);
-        }
-    }
-    chain
+    chain_preferring(preferred)
 }
 
 fn print_header(nl: &Netlist, engine: Engine, human: &HumanOut) {
@@ -1456,11 +1464,13 @@ fn codegen(args: &[String]) -> Result<(), CliError> {
                 let sim = PcSetSimulator::compile_probed(&nl, &limits, probe)
                     .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
                 pcset::codegen_c::emit(&nl, &sim)
+                    .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?
             }
             "parallel" => {
                 let sim = ParallelSimulator::compile_probed(&nl, optimization, &limits, probe)
                     .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?;
                 parallel::codegen_c::emit(&nl, &sim)
+                    .map_err(|e| CliError::class(e.to_string(), FailureClass::Structural))?
             }
             other => return Err(CliError::usage(format!("unknown technique `{other}`"))),
         }

@@ -133,8 +133,8 @@ fn pcset_code_size_dwarfs_parallel() {
     let nl = Iscas85::C6288.build();
     let pcset = PcSetSimulator::compile(&nl).unwrap();
     let parallel = ParallelSimulator::compile(&nl, Optimization::None).unwrap();
-    let pcset_lines = pc_c::line_count(&nl, &pcset);
-    let parallel_lines = par_c::line_count(&nl, &parallel);
+    let pcset_lines = pc_c::line_count(&nl, &pcset).unwrap();
+    let parallel_lines = par_c::line_count(&nl, &parallel).unwrap();
     assert!(
         pcset_lines > 100_000,
         "c6288 pc-set code shrank to {pcset_lines} lines"
