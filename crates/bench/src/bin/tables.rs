@@ -30,6 +30,14 @@
 //! lands in `DELTA_<figure>.json` (schema `uds-bench-compare-v1`);
 //! `--json -` streams it to stdout.
 //!
+//! `trend` is the perf history (DESIGN.md §18):
+//! `trend --append HISTORY.ndjson FIG.json ...` folds each figure
+//! document into one calibration-normalized `uds-bench-trend-v1`
+//! NDJSON line, then scans the whole history for monotone erosion —
+//! a series that slid on each of its last `--window K` (default 5)
+//! runs even though every individual `compare` passed. `--strict`
+//! turns a detected erosion into exit 1.
+//!
 //! Timed cells show the minimum of [`runner::timing_reps`] repetitions
 //! after a warmup pass; the JSON carries min, median, the
 //! outlier-trimmed mean the compare gate reads, and derived
@@ -48,6 +56,7 @@ use uds_bench::compare::{self, DEFAULT_TOLERANCE_PCT};
 use uds_bench::paper;
 use uds_bench::runner::{self, suite, Timing};
 use uds_bench::table::{ratio, seconds, Table};
+use uds_bench::trend::{self, TrendRecord};
 use uds_core::telemetry::json::Json;
 use uds_core::{write_text, HumanOut, StreamContract, WordWidth};
 use uds_netlist::generators::iscas::Iscas85;
@@ -131,6 +140,9 @@ fn main() {
     let mut json: Option<JsonDest> = None;
     let mut tolerance: Option<f64> = None;
     let mut compare_paths: Vec<String> = Vec::new();
+    let mut append = false;
+    let mut strict = false;
+    let mut window: Option<usize> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -159,9 +171,23 @@ fn main() {
                     JsonDest::Files
                 });
             }
+            "--append" => append = true,
+            "--strict" => strict = true,
+            "--window" => {
+                window = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|v: &usize| *v >= trend::MIN_RUN)
+                        .unwrap_or_else(|| {
+                            usage(&format!("--window needs a number >= {}", trend::MIN_RUN))
+                        }),
+                );
+            }
             "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "zero-delay"
-            | "codesize" | "parallel" | "native" | "all" | "compare" => command = arg.clone(),
-            other if command == "compare" && !other.starts_with('-') => {
+            | "codesize" | "parallel" | "native" | "all" | "compare" | "trend" => {
+                command = arg.clone();
+            }
+            other if (command == "compare" || command == "trend") && !other.starts_with('-') => {
                 compare_paths.push(other.to_owned());
             }
             other => usage(&format!("unknown argument `{other}`")),
@@ -172,6 +198,23 @@ fn main() {
     }
     if command != "compare" && tolerance.is_some() {
         usage("--tolerance only applies to `compare`");
+    }
+    if command != "trend" && (append || strict || window.is_some()) {
+        usage("--append/--strict/--window only apply to `trend`");
+    }
+    if command == "trend" {
+        if compare_paths.is_empty() {
+            usage("trend needs a history: trend [--append] HISTORY.ndjson [FIG.json ...]");
+        }
+        if append && compare_paths.len() < 2 {
+            usage("trend --append needs at least one figure document after the history");
+        }
+        if !append && compare_paths.len() > 1 {
+            usage("trend without --append reads only the history file");
+        }
+        if json.is_some() {
+            usage("--json does not apply to `trend` (the history file IS the artifact)");
+        }
     }
 
     // The same stdout contract as udsim's stream flags: `--json -`
@@ -211,6 +254,15 @@ fn main() {
             &out,
         );
     }
+    if command == "trend" {
+        run_trend(
+            &compare_paths[0],
+            if append { &compare_paths[1..] } else { &[] },
+            window.unwrap_or(trend::DEFAULT_WINDOW),
+            strict,
+            &out,
+        );
+    }
 
     match command.as_str() {
         "fig19" => fig19(vectors, &out),
@@ -244,7 +296,8 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|native|all] \
          [--vectors N | --quick] [--json [-]]\n\
-         \x20      tables compare OLD.json NEW.json [--tolerance PCT] [--json [-]]"
+         \x20      tables compare OLD.json NEW.json [--tolerance PCT] [--json [-]]\n\
+         \x20      tables trend [--append] HISTORY.ndjson [FIG.json ...] [--window K] [--strict]"
     );
     std::process::exit(2);
 }
@@ -273,6 +326,53 @@ fn run_compare(old_path: &str, new_path: &str, tolerance: f64, out: &Output) -> 
         }
     }
     std::process::exit(if report.gate_passes() { 0 } else { 1 });
+}
+
+/// The `trend` subcommand (DESIGN.md §18): optionally fold figure
+/// documents into the append-only NDJSON history, then scan the whole
+/// history for monotone erosion — series that slid on every one of
+/// their last `window` runs even though each individual `compare`
+/// gate passed.
+///
+/// Exit codes: 0 = no erosion (or erosion without `--strict`),
+/// 1 = erosion under `--strict`, 2 = unreadable or malformed inputs.
+fn run_trend(
+    history_path: &str,
+    figures: &[String],
+    window: usize,
+    strict: bool,
+    out: &Output,
+) -> ! {
+    for path in figures {
+        let text = fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read `{path}`: {e}")));
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| usage(&format!("cannot parse `{path}`: {e:?}")));
+        let record = TrendRecord::from_doc(&doc).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+        let mut line = record.render();
+        line.push('\n');
+        let appended = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history_path)
+            .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+        if let Err(e) = appended {
+            usage(&format!("cannot append to `{history_path}`: {e}"));
+        }
+        out.line(format!(
+            "appended {} ({} cells) to {history_path}",
+            record.figure,
+            record.cells.len()
+        ));
+    }
+    // A missing history without --append is a usage error; with
+    // --append the file was just created above.
+    let text = fs::read_to_string(history_path)
+        .unwrap_or_else(|e| usage(&format!("cannot read `{history_path}`: {e}")));
+    let history = trend::parse_history(&text).unwrap_or_else(|e| usage(&e.0));
+    let erosions = trend::detect_erosion(&history, window);
+    out.line(trend::render_report(&history, &erosions).trim_end());
+    std::process::exit(if strict && !erosions.is_empty() { 1 } else { 0 });
 }
 
 /// Table cell for a timing: the minimum repetition, in seconds.

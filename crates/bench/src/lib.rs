@@ -20,9 +20,13 @@
 //! measurement code shared by the binary and the Criterion benches;
 //! [`compare`] is the regression gate behind `tables compare OLD NEW`,
 //! matching cells across two `BENCH_*.json` documents and classifying
-//! every throughput delta (DESIGN.md §16).
+//! every throughput delta (DESIGN.md §16); [`trend`] folds figure
+//! documents into the append-only perf history behind
+//! `tables trend` and flags monotone erosion no single compare gate
+//! can see (DESIGN.md §18).
 
 pub mod compare;
 pub mod paper;
 pub mod runner;
 pub mod table;
+pub mod trend;

@@ -1,0 +1,414 @@
+//! The perf trend history: `tables trend --append HISTORY.ndjson FIG.json`.
+//!
+//! `tables compare` answers "did THIS run regress against the
+//! baseline?". It cannot see a slope: five consecutive runs each 3 %
+//! slower than the last all pass a 10 % gate while throughput quietly
+//! erodes 14 %. The trend history closes that gap:
+//!
+//! 1. every `uds-bench-v1` figure document is folded into one
+//!    append-only `uds-bench-trend-v1` NDJSON record — one line per
+//!    figure per run, carrying each timing cell's **calibration
+//!    normalized** throughput (`vectors_per_s / score`) keyed by the
+//!    same `circuit/engine jN wM` identity `compare` uses, plus the
+//!    geometric mean across the figure's cells;
+//! 2. `tables trend HISTORY.ndjson` re-reads the whole history and
+//!    flags **monotone erosion**: any cell (or figure geomean) whose
+//!    last `window` samples are strictly decreasing with at least
+//!    [`MIN_RUN`] points — a slope no single `compare` gate can see;
+//! 3. with `--strict` a flagged erosion exits 1 (CI-fail), otherwise
+//!    the report is informational and exits 0 so the artifact can
+//!    accrue history before the gate has teeth.
+//!
+//! Calibration normalization is what makes records from different
+//! hosts comparable at all: a run on a 2× faster machine lands at the
+//! same normalized height, so a real 3 %/run erosion still shows as a
+//! strictly decreasing series. Records without a fingerprint fall
+//! back to score 1 (same convention as `compare`).
+
+use std::collections::BTreeMap;
+
+use uds_core::telemetry::json::Json;
+
+use crate::compare::{parse_doc, Cell, CompareError};
+
+/// Schema tag on every history line.
+pub const TREND_SCHEMA: &str = "uds-bench-trend-v1";
+
+/// Default number of most-recent samples the erosion detector looks at.
+pub const DEFAULT_WINDOW: usize = 5;
+
+/// Minimum strictly-decreasing run length that counts as erosion.
+/// Two points are a delta, not a trend.
+pub const MIN_RUN: usize = 3;
+
+/// One appended history line: a figure document reduced to its
+/// calibration-normalized throughput cells.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TrendRecord {
+    /// Which figure the source document reproduces.
+    pub figure: String,
+    /// Calibration score of the recording host (1.0 when the source
+    /// document carried no fingerprint).
+    pub score: f64,
+    /// Build profile of the recording binary, when fingerprinted.
+    pub profile: Option<String>,
+    /// `CellKey` display string → normalized vectors/second. Only
+    /// timing cells contribute; static/factor cells are `compare`'s
+    /// exact-match territory and carry no slope.
+    pub cells: BTreeMap<String, f64>,
+    /// Geometric mean of the normalized cells (0 when none).
+    pub geomean: f64,
+}
+
+impl TrendRecord {
+    /// Folds one parsed `uds-bench-v1` document into a history record.
+    ///
+    /// # Errors
+    ///
+    /// [`CompareError`] if the document is not `uds-bench-v1` (same
+    /// rejection `compare` applies — a schema bump must never be
+    /// silently appended).
+    pub fn from_doc(doc: &Json) -> Result<TrendRecord, CompareError> {
+        let parsed = parse_doc(doc)?;
+        let score = parsed.score.unwrap_or(1.0).max(1e-12);
+        let mut cells = BTreeMap::new();
+        for (key, cell) in &parsed.cells {
+            if let Cell::Timing { vectors_per_s, .. } = cell {
+                cells.insert(key.to_string(), vectors_per_s / score);
+            }
+        }
+        let geomean = geometric_mean(cells.values().copied());
+        Ok(TrendRecord {
+            figure: parsed.figure,
+            score,
+            profile: parsed.profile,
+            cells,
+            geomean,
+        })
+    }
+
+    /// Renders the record as one NDJSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut members: Vec<(String, Json)> = vec![
+            ("schema".to_owned(), Json::Str(TREND_SCHEMA.to_owned())),
+            ("figure".to_owned(), Json::Str(self.figure.clone())),
+            ("score".to_owned(), Json::Float(self.score)),
+        ];
+        if let Some(profile) = &self.profile {
+            members.push(("profile".to_owned(), Json::Str(profile.clone())));
+        }
+        let cells = self
+            .cells
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Float(*v)))
+            .collect::<Vec<_>>();
+        members.push(("cells".to_owned(), Json::Obj(cells)));
+        members.push(("geomean".to_owned(), Json::Float(self.geomean)));
+        Json::Obj(members).render()
+    }
+
+    /// Parses one history line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// [`CompareError`] on malformed JSON, a wrong/missing schema
+    /// tag, or a missing figure — corrupt history must fail loudly,
+    /// not silently shorten a series.
+    pub fn parse(line: &str) -> Result<TrendRecord, CompareError> {
+        let doc =
+            Json::parse(line).map_err(|e| CompareError(format!("malformed trend line: {e:?}")))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CompareError("trend line has no `schema` member".into()))?;
+        if schema != TREND_SCHEMA {
+            return Err(CompareError(format!(
+                "trend schema mismatch: expected `{TREND_SCHEMA}`, found `{schema}`"
+            )));
+        }
+        let figure = doc
+            .get("figure")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CompareError("trend line has no `figure` member".into()))?
+            .to_owned();
+        let score = doc.get("score").and_then(Json::as_f64).unwrap_or(1.0);
+        let profile = doc.get("profile").and_then(Json::as_str).map(str::to_owned);
+        let mut cells = BTreeMap::new();
+        if let Some(Json::Obj(members)) = doc.get("cells") {
+            for (key, value) in members {
+                if let Some(v) = value.as_f64() {
+                    cells.insert(key.clone(), v);
+                }
+            }
+        }
+        let geomean = doc
+            .get("geomean")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| geometric_mean(cells.values().copied()));
+        Ok(TrendRecord {
+            figure,
+            score,
+            profile,
+            cells,
+            geomean,
+        })
+    }
+}
+
+/// Parses a whole NDJSON history, skipping blank lines.
+///
+/// # Errors
+///
+/// [`CompareError`] naming the 1-based line of the first bad record.
+pub fn parse_history(text: &str) -> Result<Vec<TrendRecord>, CompareError> {
+    let mut history = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = TrendRecord::parse(line)
+            .map_err(|e| CompareError(format!("history line {}: {}", index + 1, e)))?;
+        history.push(record);
+    }
+    Ok(history)
+}
+
+/// One detected monotone slide.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Erosion {
+    /// Figure the sliding series belongs to.
+    pub figure: String,
+    /// Cell key, or `"geomean"` for the figure-level series.
+    pub cell: String,
+    /// The strictly-decreasing tail values, oldest first.
+    pub values: Vec<f64>,
+    /// Total drop across the run, percent of the oldest value.
+    pub drop_pct: f64,
+}
+
+/// Scans a history for series whose last `window` samples erode
+/// monotonically. Series are grouped per figure; each cell key forms
+/// one series in append order, plus the figure geomean. A series
+/// flags when its examined tail has ≥ [`MIN_RUN`] samples and every
+/// step is strictly decreasing — individual `compare` gates can each
+/// pass while this accumulates.
+pub fn detect_erosion(history: &[TrendRecord], window: usize) -> Vec<Erosion> {
+    let window = window.max(MIN_RUN);
+    // figure → cell → series in append order.
+    let mut series: BTreeMap<String, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
+    for record in history {
+        let figure = series.entry(record.figure.clone()).or_default();
+        for (cell, value) in &record.cells {
+            figure.entry(cell.clone()).or_default().push(*value);
+        }
+        if !record.cells.is_empty() {
+            figure
+                .entry("geomean".to_owned())
+                .or_default()
+                .push(record.geomean);
+        }
+    }
+    let mut erosions = Vec::new();
+    for (figure, cells) in &series {
+        for (cell, values) in cells {
+            let tail = &values[values.len().saturating_sub(window)..];
+            if tail.len() < MIN_RUN {
+                continue;
+            }
+            if tail.windows(2).all(|pair| pair[1] < pair[0]) {
+                let first = tail[0].max(1e-12);
+                let drop_pct = (first - tail[tail.len() - 1]) / first * 100.0;
+                erosions.push(Erosion {
+                    figure: figure.clone(),
+                    cell: cell.clone(),
+                    values: tail.to_vec(),
+                    drop_pct,
+                });
+            }
+        }
+    }
+    erosions
+}
+
+/// Renders the human trend report: per-figure sample counts and any
+/// detected erosions.
+pub fn render_report(history: &[TrendRecord], erosions: &[Erosion]) -> String {
+    let mut runs: BTreeMap<&str, usize> = BTreeMap::new();
+    for record in history {
+        *runs.entry(record.figure.as_str()).or_default() += 1;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trend history: {} records across {} figures\n",
+        history.len(),
+        runs.len()
+    ));
+    for (figure, count) in &runs {
+        out.push_str(&format!("  {figure}: {count} runs\n"));
+    }
+    if erosions.is_empty() {
+        out.push_str("no monotone erosion detected\n");
+    } else {
+        for erosion in erosions {
+            let series = erosion
+                .values
+                .iter()
+                .map(|v| format!("{v:.1}"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push_str(&format!(
+                "EROSION {}/{}: {} ({:.1}% over {} runs)\n",
+                erosion.figure,
+                erosion.cell,
+                series,
+                erosion.drop_pct,
+                erosion.values.len()
+            ));
+        }
+    }
+    out
+}
+
+/// Geometric mean of an iterator of positive values; 0 when empty.
+fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for value in values {
+        log_sum += value.max(1e-12).ln();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(figure: &str, seconds: f64, score: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"uds-bench-v1","figure":"{figure}","vectors":1000,
+                "calibration":{{"score":{score},"profile":"release","word_bits":64}},
+                "rows":[{{"circuit":"c432",
+                          "parallel":{{"min_s":{seconds},"trimmed_mean_s":{seconds}}}}}]}}"#
+        ))
+        .expect("fixture doc parses")
+    }
+
+    fn record(figure: &str, seconds: f64, score: f64) -> TrendRecord {
+        TrendRecord::from_doc(&doc(figure, seconds, score)).expect("fixture folds")
+    }
+
+    #[test]
+    fn from_doc_normalizes_by_calibration_score() {
+        // 1000 vectors / 0.5 s = 2000 v/s, score 2 → normalized 1000.
+        let rec = record("fig19", 0.5, 2.0);
+        assert_eq!(rec.figure, "fig19");
+        let value = rec.cells["c432/parallel j1 w64"];
+        assert!((value - 1000.0).abs() < 1e-6, "normalized {value}");
+        assert!((rec.geomean - 1000.0).abs() < 1e-6);
+        assert_eq!(rec.profile.as_deref(), Some("release"));
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let rec = record("fig19", 0.5, 2.0);
+        let line = rec.render();
+        assert!(line.contains(TREND_SCHEMA));
+        let back = TrendRecord::parse(&line).expect("round trip parses");
+        assert_eq!(back.figure, rec.figure);
+        assert_eq!(back.cells.len(), rec.cells.len());
+        let (a, b) = (
+            back.cells["c432/parallel j1 w64"],
+            rec.cells["c432/parallel j1 w64"],
+        );
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_with_line_number() {
+        let err = parse_history("\n{\"schema\":\"uds-bench-v1\"}\n").expect_err("rejects");
+        assert!(err.0.contains("line 2"), "{}", err.0);
+        assert!(err.0.contains("schema mismatch"), "{}", err.0);
+    }
+
+    #[test]
+    fn strictly_decreasing_tail_flags_erosion_even_when_each_step_is_small() {
+        // Each step is ~3% — every pairwise `compare` at 10% tolerance
+        // would pass — but the series erodes monotonically.
+        let history: Vec<TrendRecord> = [1000.0, 970.0, 941.0, 913.0, 885.0]
+            .iter()
+            .map(|v| record("fig19", 1000.0 / v, 1.0))
+            .collect();
+        let erosions = detect_erosion(&history, DEFAULT_WINDOW);
+        assert!(
+            erosions.iter().any(|e| e.cell == "c432/parallel j1 w64"),
+            "{erosions:?}"
+        );
+        assert!(erosions.iter().any(|e| e.cell == "geomean"));
+        let cell = erosions
+            .iter()
+            .find(|e| e.cell != "geomean")
+            .expect("cell erosion");
+        assert!(cell.drop_pct > 10.0, "cumulative drop {}", cell.drop_pct);
+    }
+
+    #[test]
+    fn noisy_or_short_series_do_not_flag() {
+        // Recovery mid-window breaks monotonicity.
+        let noisy: Vec<TrendRecord> = [1000.0, 970.0, 990.0, 960.0]
+            .iter()
+            .map(|v| record("fig19", 1000.0 / v, 1.0))
+            .collect();
+        assert!(detect_erosion(&noisy, DEFAULT_WINDOW).is_empty());
+        // Two points are a delta, not a trend.
+        let short: Vec<TrendRecord> = [1000.0, 900.0]
+            .iter()
+            .map(|v| record("fig19", 1000.0 / v, 1.0))
+            .collect();
+        assert!(detect_erosion(&short, DEFAULT_WINDOW).is_empty());
+    }
+
+    #[test]
+    fn window_limits_how_far_back_the_detector_looks() {
+        // Long-ago rise followed by a 3-sample slide: window 3 flags,
+        // because only the strictly-decreasing tail is examined.
+        let history: Vec<TrendRecord> = [800.0, 1000.0, 960.0, 920.0]
+            .iter()
+            .map(|v| record("fig19", 1000.0 / v, 1.0))
+            .collect();
+        let erosions = detect_erosion(&history, 3);
+        assert!(!erosions.is_empty());
+        // Window 4 sees the rise and does not flag.
+        assert!(detect_erosion(&history, 4).is_empty());
+    }
+
+    #[test]
+    fn figures_form_independent_series() {
+        let mut history = vec![
+            record("fig19", 1.0, 1.0),
+            record("fig20", 2.0, 1.0),
+            record("fig19", 1.1, 1.0),
+            record("fig20", 1.9, 1.0),
+            record("fig19", 1.2, 1.0),
+        ];
+        // fig19 erodes (seconds rise → v/s fall); fig20 improves.
+        let erosions = detect_erosion(&history, DEFAULT_WINDOW);
+        assert!(erosions.iter().all(|e| e.figure == "fig19"), "{erosions:?}");
+        assert!(!erosions.is_empty());
+        // Report renders both figure counts and the erosion line.
+        history.push(record("fig20", 1.8, 1.0));
+        let report = render_report(&history, &erosions);
+        assert!(report.contains("fig19: 3 runs"));
+        assert!(report.contains("fig20: 3 runs"));
+        assert!(report.contains("EROSION fig19/"));
+    }
+
+    #[test]
+    fn geomean_of_empty_cells_is_zero() {
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+    }
+}

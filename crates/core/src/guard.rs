@@ -449,6 +449,7 @@ impl GuardedSimulator {
             &Self::DEFAULT_CHAIN,
             Box::new(DefaultEngineFactory::default()),
             Some(telemetry),
+            None,
         )
     }
 
@@ -479,6 +480,7 @@ impl GuardedSimulator {
             chain,
             Box::new(DefaultEngineFactory::default()),
             Some(telemetry),
+            None,
         )
     }
 
@@ -490,7 +492,7 @@ impl GuardedSimulator {
         chain: &[Engine],
         factory: Box<dyn EngineFactory>,
     ) -> Result<Self, SimError> {
-        Self::build(netlist, limits, chain, factory, None)
+        Self::build(netlist, limits, chain, factory, None, None)
     }
 
     /// Builds with an explicit chain, engine factory, *and* telemetry
@@ -503,7 +505,25 @@ impl GuardedSimulator {
         factory: Box<dyn EngineFactory>,
         telemetry: Telemetry,
     ) -> Result<Self, SimError> {
-        Self::build(netlist, limits, chain, factory, Some(telemetry))
+        Self::build(netlist, limits, chain, factory, Some(telemetry), None)
+    }
+
+    /// Builds with an explicit chain, factory, and *compile probe*.
+    /// Unlike [`GuardedSimulator::with_factory_telemetry`] — whose
+    /// probe is the shared registry and therefore its shared span
+    /// stack — the probe here can be request-scoped: the serve daemon
+    /// passes one that routes compile phases into a per-request trace
+    /// while forwarding counters to the registry. The guard keeps no
+    /// telemetry handle, so runtime fallbacks are not recorded (the
+    /// caller reads [`GuardedSimulator::fallbacks`] instead).
+    pub fn with_factory_probed(
+        netlist: &Netlist,
+        limits: ResourceLimits,
+        chain: &[Engine],
+        factory: Box<dyn EngineFactory>,
+        probe: &dyn Probe,
+    ) -> Result<Self, SimError> {
+        Self::build(netlist, limits, chain, factory, None, Some(probe))
     }
 
     fn build(
@@ -512,14 +532,16 @@ impl GuardedSimulator {
         chain: &[Engine],
         factory: Box<dyn EngineFactory>,
         telemetry: Option<Telemetry>,
+        compile_probe: Option<&dyn Probe>,
     ) -> Result<Self, SimError> {
         assert!(!chain.is_empty(), "fallback chain must name an engine");
         let noop = NoopProbe;
         let mut fired = Vec::new();
         for (position, &engine) in chain.iter().enumerate() {
-            let probe: &dyn Probe = match &telemetry {
-                Some(t) => t,
-                None => &noop,
+            let probe: &dyn Probe = match (compile_probe, &telemetry) {
+                (Some(p), _) => p,
+                (None, Some(t)) => t,
+                (None, None) => &noop,
             };
             match factory.build_probed(netlist, engine, &limits, probe) {
                 Ok(active) => {

@@ -25,6 +25,15 @@ use std::io::{self, Read, Write};
 /// Maximum bytes of request line + headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// The request/response trace-correlation header: clients may send one
+/// to stamp their own id on a request; the daemon echoes it (or a
+/// generated id) on every response and in its request log and trace
+/// stream.
+pub const TRACE_ID_HEADER: &str = "x-uds-trace-id";
+
+/// Maximum characters of an inbound trace id kept after sanitization.
+pub const TRACE_ID_MAX_LEN: usize = 64;
+
 /// One parsed HTTP request.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -50,6 +59,20 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The inbound [`TRACE_ID_HEADER`], sanitized for safe echoing:
+    /// only `[A-Za-z0-9._-]` survives (anything else drops), capped at
+    /// [`TRACE_ID_MAX_LEN`] characters. `None` when the header is
+    /// absent or nothing survives — the server then mints its own id.
+    pub fn trace_id(&self) -> Option<String> {
+        let raw = self.header(TRACE_ID_HEADER)?;
+        let id: String = raw
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+            .take(TRACE_ID_MAX_LEN)
+            .collect();
+        (!id.is_empty()).then_some(id)
     }
 }
 
@@ -376,6 +399,29 @@ mod tests {
     fn parses_a_post_with_content_length() {
         let req = parse("POST /simulate HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn trace_ids_sanitize_and_cap() {
+        let req = parse("GET / HTTP/1.1\r\nX-Uds-Trace-Id: load-42.b\r\n\r\n").unwrap();
+        assert_eq!(req.trace_id().as_deref(), Some("load-42.b"));
+        // Hostile characters drop; what remains is still usable.
+        let req = parse("GET / HTTP/1.1\r\nx-uds-trace-id: a\"b{c}d\r\n\r\n").unwrap();
+        assert_eq!(req.trace_id().as_deref(), Some("abcd"));
+        // Nothing left after sanitizing → no id at all.
+        let req = parse("GET / HTTP/1.1\r\nx-uds-trace-id: \"{}\"\r\n\r\n").unwrap();
+        assert_eq!(req.trace_id(), None);
+        let req = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.trace_id(), None);
+        // Over-long ids truncate to the cap.
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-uds-trace-id: {}\r\n\r\n",
+            "x".repeat(200)
+        );
+        assert_eq!(
+            parse(&raw).unwrap().trace_id().unwrap().len(),
+            TRACE_ID_MAX_LEN
+        );
     }
 
     #[test]

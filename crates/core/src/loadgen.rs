@@ -89,6 +89,127 @@ pub struct LoadgenReport {
     pub latency_ns: BTreeMap<&'static str, u64>,
     /// Wall clock of the whole campaign.
     pub elapsed: Duration,
+    /// The server's own post-campaign view, scraped from `/metrics`
+    /// after the fleet drained (`None` if the scrape failed — the
+    /// client-side numbers stand on their own).
+    pub server: Option<ServerSample>,
+}
+
+/// A point-in-time scrape of the target daemon's `/metrics`, pairing
+/// the client-side latency picture with the server's perf class and
+/// live rolling throughput — one document answers both "how fast did
+/// requests complete" and "how fast did the server think it was".
+#[derive(Debug, Default, PartialEq)]
+pub struct ServerSample {
+    /// The `uds_perf_class` gauge (calibrated machine-class ordinal).
+    pub perf_class: Option<u64>,
+    /// The `perf_class` label of `uds_build_info` (`"fast"`, …).
+    pub perf_class_name: Option<String>,
+    /// Every live `uds_engine_vectors_per_s{engine,word}` sample — the
+    /// rolling-window rate fed by real traffic, absent until the
+    /// server has simulated something.
+    pub engine_vectors_per_s: Vec<EngineThroughput>,
+}
+
+/// One `uds_engine_vectors_per_s` sample.
+#[derive(Debug, PartialEq)]
+pub struct EngineThroughput {
+    /// The `engine` label.
+    pub engine: String,
+    /// The `word` label (32 or 64).
+    pub word_bits: u64,
+    /// The windowed vectors-per-second rate.
+    pub vectors_per_s: f64,
+}
+
+impl ServerSample {
+    /// The `server` member of the `uds-loadgen-v1` document.
+    pub fn to_json(&self) -> Json {
+        let mut members = Vec::new();
+        if let Some(class) = self.perf_class {
+            members.push(("perf_class".to_owned(), Json::UInt(class)));
+        }
+        if let Some(name) = &self.perf_class_name {
+            members.push(("perf_class_name".to_owned(), Json::Str(name.clone())));
+        }
+        members.push((
+            "engine_vectors_per_s".to_owned(),
+            Json::Arr(
+                self.engine_vectors_per_s
+                    .iter()
+                    .map(|sample| {
+                        Json::obj([
+                            ("engine", Json::Str(sample.engine.clone())),
+                            ("word_bits", Json::UInt(sample.word_bits)),
+                            ("vectors_per_s", Json::Float(sample.vectors_per_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::Obj(members)
+    }
+}
+
+/// The value of `key="…"` inside a Prometheus label block.
+fn label_value(labels: &str, key: &str) -> Option<String> {
+    let marker = format!("{key}=\"");
+    let start = labels.find(&marker)? + marker.len();
+    let rest = &labels[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Extracts the fields [`ServerSample`] cares about from a Prometheus
+/// text exposition. Unknown lines are skipped — the scrape must work
+/// against both older and newer daemons.
+pub fn parse_metrics_sample(metrics: &str) -> ServerSample {
+    let mut sample = ServerSample::default();
+    for line in metrics.lines() {
+        if let Some(value) = line.strip_prefix("uds_perf_class ") {
+            sample.perf_class = value.trim().parse::<f64>().ok().map(|v| v as u64);
+        } else if let Some(rest) = line.strip_prefix("uds_build_info{") {
+            if let Some(name) = label_value(rest, "perf_class") {
+                sample.perf_class_name = Some(name);
+            }
+        } else if let Some(rest) = line.strip_prefix("uds_engine_vectors_per_s{") {
+            let Some((labels, value)) = rest.split_once('}') else {
+                continue;
+            };
+            let (Some(engine), Some(word), Ok(rate)) = (
+                label_value(labels, "engine"),
+                label_value(labels, "word"),
+                value.trim().parse::<f64>(),
+            ) else {
+                continue;
+            };
+            sample.engine_vectors_per_s.push(EngineThroughput {
+                engine,
+                word_bits: word.parse().unwrap_or(0),
+                vectors_per_s: rate,
+            });
+        }
+    }
+    sample
+}
+
+/// One `GET` on a fresh connection, returning the response body.
+fn http_get_body(addr: &str, path: &str, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply)?;
+    let text = String::from_utf8_lossy(&reply);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unframed HTTP response")
+        })?;
+    Ok(body)
 }
 
 impl LoadgenReport {
@@ -113,7 +234,7 @@ impl LoadgenReport {
 
     /// The `uds-loadgen-v1` document.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut doc = Json::obj([
             ("schema", Json::Str(LOADGEN_SCHEMA.to_owned())),
             ("mode", Json::Str(self.mode.to_owned())),
             ("requests", Json::UInt(self.requests)),
@@ -140,7 +261,11 @@ impl LoadgenReport {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        if let (Json::Obj(members), Some(server)) = (&mut doc, &self.server) {
+            members.push(("server".to_owned(), server.to_json()));
+        }
+        doc
     }
 }
 
@@ -269,6 +394,12 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         ("max", latencies.last().copied().unwrap_or(0)),
         ("mean", mean),
     ]);
+    // The fleet is drained; one last scrape captures the server's own
+    // rolling view of the traffic it just absorbed. Best-effort — a
+    // dead or pre-metrics server degrades to `server: None`.
+    let server = http_get_body(&config.addr, "/metrics", config.timeout)
+        .ok()
+        .map(|metrics| parse_metrics_sample(&metrics));
     LoadgenReport {
         mode: if config.rate_per_s > 0 {
             "open"
@@ -280,6 +411,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         status_counts,
         latency_ns,
         elapsed,
+        server,
     }
 }
 
@@ -328,7 +460,32 @@ mod tests {
             let doc = report.to_json();
             assert_eq!(doc.get("schema").unwrap().as_str(), Some(LOADGEN_SCHEMA));
             assert!(doc.get("status_counts").unwrap().get("200").is_some());
+            // The end-of-run scrape reached the live server.
+            assert!(report.server.is_some(), "{report:?}");
+            assert!(doc.get("server").is_some());
         });
+    }
+
+    #[test]
+    fn metrics_scrape_extracts_perf_class_and_rolling_throughput() {
+        let metrics = "# TYPE uds_perf_class gauge\n\
+                       uds_perf_class 2\n\
+                       uds_perf_class_warmup_vectors_per_s 123456\n\
+                       uds_build_info{version=\"0.1.0\",perf_class=\"fast\"} 1\n\
+                       # TYPE uds_engine_vectors_per_s gauge\n\
+                       uds_engine_vectors_per_s{engine=\"native\",word=\"64\"} 1250000.5\n\
+                       uds_engine_vectors_per_s{engine=\"parallel\",word=\"32\"} 300.25\n\
+                       uds_engine_vectors_per_s_ewma{engine=\"native\",word=\"64\"} 99\n";
+        let sample = parse_metrics_sample(metrics);
+        assert_eq!(sample.perf_class, Some(2));
+        assert_eq!(sample.perf_class_name.as_deref(), Some("fast"));
+        assert_eq!(sample.engine_vectors_per_s.len(), 2, "{sample:?}");
+        assert_eq!(sample.engine_vectors_per_s[0].engine, "native");
+        assert_eq!(sample.engine_vectors_per_s[0].word_bits, 64);
+        assert!((sample.engine_vectors_per_s[0].vectors_per_s - 1_250_000.5).abs() < 1e-9);
+        let json = sample.to_json().render();
+        assert!(json.contains("\"perf_class_name\":\"fast\""), "{json}");
+        assert!(json.contains("\"engine\":\"native\""), "{json}");
     }
 
     #[test]

@@ -67,6 +67,22 @@
 //! (`serve.queue_depth`), queue wait (`serve.queue_wait_ms`), end-to-
 //! end latency (`serve.request_ms`), and shed counts (`serve.shed.*`)
 //! export through the same registry as SLO-ready histograms.
+//!
+//! # Request tracing
+//!
+//! Every request carries a trace id: the sanitized inbound
+//! `x-uds-trace-id` header when the client sent one, else a generated
+//! id. The id is echoed on the response, stamped on the `uds-reqlog-v1`
+//! line, and inherited by async jobs submitted under it. Handlers
+//! collect per-phase timings (queue wait, parse, cache lookup, compile,
+//! simulate, serialize) into a private [`RequestTrace`] — never the
+//! shared span stack — and a sink installed with
+//! [`SimServer::set_trace`] streams each finished request's span tree
+//! as Chrome `trace_event` JSON (`udsim serve --trace OUT`), one
+//! timeline lane per connection and per job. The same completions feed
+//! the rolling throughput window ([`Telemetry::record_throughput`]), so
+//! `/metrics` reports live `uds_engine_vectors_per_s` gauges instead of
+//! only the startup warmup number.
 
 // SimError is large but cold; see guard.rs.
 #![allow(clippy::result_large_err)]
@@ -78,16 +94,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use uds_netlist::{bench_format, Netlist, ResourceLimits};
+use uds_netlist::{bench_format, Netlist, Probe, ResourceLimits};
 
 use crate::cache::{netlist_hash, CacheKey, EngineCache};
 use crate::cancel::{CancelCause, CancelToken};
 use crate::error::{FailureClass, SimError, SimErrorKind, SimPhase};
 use crate::guard::{DefaultEngineFactory, GuardedSimulator};
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{read_request, HttpError, Request, Response, TRACE_ID_HEADER};
 use crate::progress::{BatchProbe, Heartbeat, NoopBatchProbe};
 use crate::telemetry::json::Json;
-use crate::telemetry::{prom, SpanNode, Telemetry};
+use crate::telemetry::{prom, trace, SpanNode, Telemetry};
 use crate::{run_batch_cancellable, Engine, WordWidth};
 
 /// Schema tag on every request-log line.
@@ -292,6 +308,248 @@ struct RequestContext {
     queue_wait_ms: u64,
 }
 
+/// Timeline lane offset for async jobs in the exported trace, so job
+/// executions never collide with connection ids.
+const JOB_TRACE_TID: u64 = 1 << 32;
+
+/// Nanoseconds from `epoch` to `at`, saturating (same convention as
+/// the telemetry span clock).
+fn ns_since(epoch: Instant, at: Instant) -> u64 {
+    u64::try_from(at.saturating_duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The per-request span collector. Handler threads must never open
+/// spans on the shared telemetry stack (they would interleave), so
+/// each request accumulates its phases here and the connection loop
+/// folds them into one `serve.request` (or `serve.job`) root exported
+/// to the trace sink and summarized as `phase_ms` on the reqlog line.
+struct RequestTrace {
+    /// The request's trace id (inbound header or generated).
+    id: String,
+    /// The telemetry epoch all `start_ns` values are relative to.
+    epoch: Instant,
+    /// Timeline lane: the connection id, or `JOB_TRACE_TID + job id`.
+    tid: u64,
+    /// Finished phases, in completion order.
+    phases: Vec<SpanNode>,
+}
+
+impl RequestTrace {
+    fn new(id: String, epoch: Instant, tid: u64) -> RequestTrace {
+        RequestTrace {
+            id,
+            epoch,
+            tid,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Times `f` as one phase span.
+    fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let clock = Instant::now();
+        let start_ns = ns_since(self.epoch, clock);
+        let value = f();
+        self.push(SpanNode {
+            name: name.to_owned(),
+            start_ns,
+            wall_ns: u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            tid: 0,
+            children: Vec::new(),
+        });
+        value
+    }
+
+    /// Records a phase that ended just now after `wall_ns` (queue wait,
+    /// measured before the trace existed).
+    fn lead_phase(&mut self, name: &str, wall_ns: u64) {
+        let now_ns = ns_since(self.epoch, Instant::now());
+        self.push(SpanNode {
+            name: name.to_owned(),
+            start_ns: now_ns.saturating_sub(wall_ns),
+            wall_ns,
+            tid: 0,
+            children: Vec::new(),
+        });
+    }
+
+    fn push(&mut self, node: SpanNode) {
+        self.phases.push(node);
+    }
+
+    /// `{"parse": 0.12, "simulate": 3.4, ...}` — phase wall times in
+    /// float milliseconds, keyed by the phase name sans `serve.`.
+    fn phase_ms(&self) -> Json {
+        Json::Obj(
+            self.phases
+                .iter()
+                .map(|phase| {
+                    let short = phase.name.strip_prefix("serve.").unwrap_or(&phase.name);
+                    (short.to_owned(), Json::Float(phase.wall_ns as f64 / 1e6))
+                })
+                .collect(),
+        )
+    }
+
+    /// Folds the collected phases into one root span on this trace's
+    /// timeline lane.
+    fn into_root(self, name: &str, started: Instant, wall_ns: u64) -> SpanNode {
+        SpanNode {
+            name: name.to_owned(),
+            start_ns: ns_since(self.epoch, started),
+            wall_ns,
+            tid: self.tid,
+            children: self.phases,
+        }
+    }
+}
+
+/// A compile-time [`Probe`] for handler threads: counters forward to
+/// the shared registry (surfacing `native.cache.*` and friends in
+/// `/metrics`), spans are captured privately as the compile phase's
+/// children, and gauges are dropped — per-netlist static metrics from
+/// concurrent requests for different circuits would fight over one
+/// global value.
+struct PhaseProbe {
+    telemetry: Telemetry,
+    epoch: Instant,
+    stack: Mutex<Vec<OpenPhase>>,
+    finished: Mutex<Vec<SpanNode>>,
+}
+
+struct OpenPhase {
+    name: String,
+    clock: Instant,
+    start_ns: u64,
+    children: Vec<SpanNode>,
+}
+
+impl PhaseProbe {
+    fn new(telemetry: Telemetry) -> PhaseProbe {
+        let epoch = telemetry.epoch();
+        PhaseProbe {
+            telemetry,
+            epoch,
+            stack: Mutex::new(Vec::new()),
+            finished: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The completed top-level spans (compile sub-phases).
+    fn into_children(self) -> Vec<SpanNode> {
+        self.finished
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Probe for PhaseProbe {
+    fn span_start(&self, name: &str) {
+        let clock = Instant::now();
+        let start_ns = ns_since(self.epoch, clock);
+        self.stack
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(OpenPhase {
+                name: name.to_owned(),
+                clock,
+                start_ns,
+                children: Vec::new(),
+            });
+    }
+
+    fn span_end(&self, _name: &str) {
+        let mut stack = self.stack.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(open) = stack.pop() else { return };
+        let node = SpanNode {
+            name: open.name,
+            start_ns: open.start_ns,
+            wall_ns: u64::try_from(open.clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            tid: 0,
+            children: open.children,
+        };
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => self
+                .finished
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(node),
+        }
+    }
+
+    fn count(&self, name: &str, delta: u64) {
+        self.telemetry.add(name, delta);
+    }
+
+    fn gauge(&self, _name: &str, _value: u64) {}
+}
+
+/// Streams finished request/job span trees as one Chrome `trace_event`
+/// document: preamble on first write, events comma-separated as they
+/// complete, `]}` on [`TraceSink::close`]. A crash mid-stream leaves a
+/// truncated-but-prefix-valid file, the same contract the one-shot
+/// `--trace` export has.
+struct TraceSink {
+    out: Box<dyn Write + Send>,
+    started: bool,
+    wrote_event: bool,
+    seen_tids: Vec<u64>,
+}
+
+impl TraceSink {
+    fn new(out: Box<dyn Write + Send>) -> TraceSink {
+        TraceSink {
+            out,
+            started: false,
+            wrote_event: false,
+            seen_tids: Vec::new(),
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let _ = write!(self.out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        self.write_event(&trace::metadata_event("process_name", 0, "udsim serve"));
+    }
+
+    fn write_event(&mut self, event: &Json) {
+        let separator = if self.wrote_event { "," } else { "" };
+        let _ = write!(self.out, "{separator}\n{}", event.render());
+        self.wrote_event = true;
+    }
+
+    /// Writes `root`'s subtree, naming its timeline lane on first
+    /// sight and stamping the trace id into the root event's `args`.
+    fn write_span(&mut self, root: &SpanNode, trace_id: &str, lane: &str) {
+        self.ensure_started();
+        if !self.seen_tids.contains(&root.tid) {
+            self.seen_tids.push(root.tid);
+            self.write_event(&trace::metadata_event("thread_name", root.tid, lane));
+        }
+        let mut events = Vec::new();
+        trace::span_events(root, &mut events);
+        if let Some(Json::Obj(members)) = events.first_mut() {
+            members.push((
+                "args".to_owned(),
+                Json::obj([("trace_id", Json::Str(trace_id.to_owned()))]),
+            ));
+        }
+        for event in &events {
+            self.write_event(event);
+        }
+        let _ = self.out.flush();
+    }
+
+    fn close(&mut self) {
+        self.ensure_started();
+        let _ = write!(self.out, "\n]}}\n");
+        let _ = self.out.flush();
+    }
+}
+
 /// One unit of work for the pool: a connection to serve through its
 /// keep-alive life, or an async job to execute. Jobs ride the same
 /// bounded queue as connections, so admission control and the thread
@@ -467,6 +725,9 @@ struct Job {
     state: JobState,
     cancel: CancelToken,
     request: Option<SimRequest>,
+    /// Inherited from the submitting request, so one id follows the
+    /// work from submission through async execution.
+    trace_id: String,
     vectors_total: usize,
     progress: BTreeMap<usize, Heartbeat>,
     outcome: Option<SimOutcome>,
@@ -498,7 +759,13 @@ impl JobTable {
 
     /// Registers a queued job, evicting expired finished jobs first.
     /// `None` when the table is at capacity with live entries.
-    fn submit(&self, request: SimRequest, max_jobs: usize, ttl: Duration) -> Option<u64> {
+    fn submit(
+        &self,
+        request: SimRequest,
+        trace_id: String,
+        max_jobs: usize,
+        ttl: Duration,
+    ) -> Option<u64> {
         let now = Instant::now();
         let mut state = self.lock();
         state.jobs.retain(|_, job| {
@@ -520,6 +787,7 @@ impl JobTable {
                 state: JobState::Queued,
                 cancel: CancelToken::new(),
                 request: Some(request),
+                trace_id,
                 vectors_total,
                 progress: BTreeMap::new(),
                 outcome: None,
@@ -565,8 +833,10 @@ pub struct SimServer {
     cache: EngineCache,
     shutdown: Arc<AtomicBool>,
     reqlog: Option<Mutex<Box<dyn Write + Send>>>,
+    trace: Option<Mutex<TraceSink>>,
     connections: AtomicU64,
     in_flight: AtomicU64,
+    trace_seq: AtomicU64,
     queue: WorkQueue,
     jobs: JobTable,
     limiter: RateLimiter,
@@ -612,12 +882,52 @@ impl SimServer {
             cache,
             shutdown: Arc::new(AtomicBool::new(false)),
             reqlog: reqlog.map(Mutex::new),
+            trace: None,
             connections: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            trace_seq: AtomicU64::new(0),
             queue,
             jobs: JobTable::new(),
             limiter: RateLimiter::new(),
         })
+    }
+
+    /// Installs a live trace sink: every finished request and job
+    /// streams its span tree to `out` as Chrome `trace_event` JSON,
+    /// closed into a loadable document when [`SimServer::run`]
+    /// returns. Install before `run` — the sink is part of the
+    /// server's wiring, not a runtime toggle.
+    pub fn set_trace(&mut self, out: Box<dyn Write + Send>) {
+        self.trace = Some(Mutex::new(TraceSink::new(out)));
+    }
+
+    /// A fresh trace id for a request that carried none: a short hash
+    /// of a process-wide sequence number, the connection id, and the
+    /// uptime clock — unique within this server's lifetime and cheap.
+    fn next_trace_id(&self, conn: u64) -> String {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        let uptime_ns = ns_since(self.telemetry.epoch(), Instant::now());
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for word in [seq, conn, uptime_ns] {
+            hash ^= word;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Streams one finished request/job tree to the trace sink, if any.
+    fn export_trace(&self, trace: RequestTrace, name: &str, started: Instant, wall_ns: u64) {
+        let Some(sink) = &self.trace else { return };
+        let lane = if trace.tid >= JOB_TRACE_TID {
+            format!("job {}", trace.tid - JOB_TRACE_TID)
+        } else {
+            format!("conn {}", trace.tid)
+        };
+        let id = trace.id.clone();
+        let root = trace.into_root(name, started, wall_ns);
+        sink.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .write_span(&root, &id, &lane);
     }
 
     /// The bound address (the real port when bound to `:0`).
@@ -641,6 +951,8 @@ impl SimServer {
     fn note_queue_depth(&self) {
         let (depth, _) = self.queue.load();
         self.telemetry.set_level("serve.queue_depth", depth as u64);
+        self.telemetry
+            .observe_rolling("serve.queue_depth", depth as u64);
     }
 
     /// Serves until shutdown is requested (handle, `/quitquitquit`, or
@@ -697,6 +1009,9 @@ impl SimServer {
             self.queue.close();
             // Scope exit joins the workers: the drain barrier.
         });
+        if let Some(sink) = &self.trace {
+            sink.lock().unwrap_or_else(|e| e.into_inner()).close();
+        }
         Ok(())
     }
 
@@ -735,7 +1050,7 @@ impl SimServer {
                     disposition: Some("shed:queue_full"),
                     ..LogFacts::default()
                 };
-                self.finish_request(None, &response, Instant::now(), context, &facts);
+                self.finish_request(None, &response, Instant::now(), context, &facts, None);
             }
             Err(WorkItem::Job(_)) => unreachable!("pushed a Conn"),
         }
@@ -768,19 +1083,20 @@ impl SimServer {
         conn: u64,
         enqueued: Option<Instant>,
     ) {
-        let queue_wait_ms = enqueued.map_or(0, |at| {
-            let wait = at.elapsed();
-            self.telemetry.record(
-                "serve.queue_wait_ns",
-                u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+        let queue_wait_ns = enqueued.map_or(0, |at| {
+            let wait_ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.telemetry.record("serve.queue_wait_ns", wait_ns);
+            self.telemetry.observe_histogram(
+                "serve.queue_wait_ms",
+                LATENCY_BOUNDS_MS,
+                wait_ns / 1_000_000,
             );
-            let ms = u64::try_from(wait.as_millis()).unwrap_or(u64::MAX);
-            self.telemetry
-                .observe_histogram("serve.queue_wait_ms", LATENCY_BOUNDS_MS, ms);
-            ms
+            wait_ns
         });
+        let queue_wait_ms = queue_wait_ns / 1_000_000;
         let level = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         self.telemetry.set_level("serve.in_flight", level);
+        self.telemetry.observe_rolling("serve.in_flight", level);
 
         let mut reader = BufReader::new(&stream);
         let mut served = 0u64;
@@ -800,13 +1116,28 @@ impl SimServer {
                         requests_on_connection: served,
                         queue_wait_ms: if served == 1 { queue_wait_ms } else { 0 },
                     };
-                    let (response, facts) = self.route(&request, peer, context);
+                    let trace_id = request
+                        .trace_id()
+                        .unwrap_or_else(|| self.next_trace_id(conn));
+                    let mut trace = RequestTrace::new(trace_id, self.telemetry.epoch(), conn);
+                    if served == 1 && queue_wait_ns > 0 {
+                        trace.lead_phase("serve.queue_wait", queue_wait_ns);
+                    }
+                    let (response, facts) = self.route(&request, peer, context, &mut trace);
+                    let response = response.with_header(TRACE_ID_HEADER, trace.id.clone());
                     let keep_alive = request.keep_alive
                         && served < self.config.keep_alive_max.max(1)
                         && enqueued.is_some()
                         && !self.draining();
                     let written = response.write_to(&mut (&stream), keep_alive);
-                    self.finish_request(Some(&request), &response, clock, context, &facts);
+                    self.finish_request(
+                        Some(&request),
+                        &response,
+                        clock,
+                        context,
+                        &facts,
+                        Some(trace),
+                    );
                     if written.is_err() || !keep_alive {
                         break;
                     }
@@ -826,7 +1157,7 @@ impl SimServer {
                                 .then_some("timeout"),
                             ..LogFacts::default()
                         };
-                        self.finish_request(None, &response, clock, context, &facts);
+                        self.finish_request(None, &response, clock, context, &facts, None);
                     }
                     break;
                 }
@@ -834,9 +1165,12 @@ impl SimServer {
         }
         let level = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
         self.telemetry.set_level("serve.in_flight", level);
+        self.telemetry.observe_rolling("serve.in_flight", level);
     }
 
-    /// Counts, measures, and logs one answered request.
+    /// Counts, measures, logs, and (when traced) exports one answered
+    /// request. `trace` is `None` only for requests that never reached
+    /// routing (sheds, read errors).
     fn finish_request(
         &self,
         request: Option<&Request>,
@@ -844,6 +1178,7 @@ impl SimServer {
         started: Instant,
         context: RequestContext,
         facts: &LogFacts,
+        trace: Option<RequestTrace>,
     ) {
         self.telemetry.add("serve.requests", 1);
         if response.status >= 400 {
@@ -855,7 +1190,17 @@ impl SimServer {
             LATENCY_BOUNDS_MS,
             wall_ns / 1_000_000,
         );
-        self.log_request(request, response.status, wall_ns, context, facts);
+        self.log_request(
+            request,
+            response.status,
+            wall_ns,
+            context,
+            facts,
+            trace.as_ref(),
+        );
+        if let Some(trace) = trace {
+            self.export_trace(trace, "serve.request", started, wall_ns);
+        }
     }
 
     /// Work-bearing admission: drain first, then the per-peer bucket.
@@ -881,6 +1226,7 @@ impl SimServer {
         request: &Request,
         peer: IpAddr,
         context: RequestContext,
+        trace: &mut RequestTrace,
     ) -> (Response, LogFacts) {
         let no_facts = LogFacts::default();
         let (path, query) = request
@@ -913,14 +1259,14 @@ impl SimServer {
                 if let Some(shed) = self.admission_check(peer, &mut facts) {
                     return (shed, facts);
                 }
-                self.simulate(request, context.conn)
+                self.simulate(request, context.conn, trace)
             }
             ("POST", "/jobs") => {
                 let mut facts = LogFacts::default();
                 if let Some(shed) = self.admission_check(peer, &mut facts) {
                     return (shed, facts);
                 }
-                self.submit_job(request)
+                self.submit_job(request, trace)
             }
             ("GET", jobs_path) if jobs_path.starts_with("/jobs/") => {
                 self.job_get(&jobs_path["/jobs/".len()..], query)
@@ -963,6 +1309,7 @@ impl SimServer {
         cancel: &CancelToken,
         probe: &dyn BatchProbe,
         force_batch: bool,
+        request_trace: &mut RequestTrace,
     ) -> Result<SimOutcome, (FailedAt, SimError)> {
         let hash = netlist_hash(&parsed.netlist);
         let key = CacheKey {
@@ -970,16 +1317,12 @@ impl SimServer {
             engine: parsed.engine,
             word: parsed.word,
         };
-        let (mut guard, cache_state) = match self.cache.lookup(&key) {
+        let lookup = request_trace.phase("serve.cache_lookup", || self.cache.lookup(&key));
+        let (mut guard, cache_state) = match lookup {
             Some(fork) => (fork, "hit"),
             None => {
                 let compile_clock = Instant::now();
-                let start_ns = u64::try_from(
-                    compile_clock
-                        .saturating_duration_since(self.telemetry.epoch())
-                        .as_nanos(),
-                )
-                .unwrap_or(u64::MAX);
+                let start_ns = ns_since(self.telemetry.epoch(), compile_clock);
                 let chain: Vec<Engine> = match parsed.engine {
                     // Native opts into the full degradation chain so a
                     // host without a C toolchain still answers (the
@@ -989,24 +1332,39 @@ impl SimServer {
                     None => GuardedSimulator::DEFAULT_CHAIN.to_vec(),
                 };
                 let factory = Box::new(DefaultEngineFactory::with_word(parsed.word));
-                let prototype = match GuardedSimulator::with_factory(
+                // The phase probe forwards compile counters (the
+                // native cache's memory_hit/disk_hit/compile among
+                // them) into the shared registry and keeps the phase
+                // spans for this request's private tree.
+                let phase_probe = PhaseProbe::new(self.telemetry.clone());
+                let prototype = match GuardedSimulator::with_factory_probed(
                     &parsed.netlist,
                     self.config.limits,
                     &chain,
                     factory,
+                    &phase_probe,
                 ) {
                     Ok(prototype) => prototype,
                     Err(error) => return Err((FailedAt::Compile, error)),
                 };
+                let compile_wall_ns =
+                    u64::try_from(compile_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 // Finished-span attach keeps the shared span stack
                 // untouched by handler threads; a cache hit attaches
                 // nothing, which is the no-recompile proof.
                 self.telemetry.attach_span(SpanNode {
                     name: "serve.compile".to_owned(),
                     start_ns,
-                    wall_ns: u64::try_from(compile_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    wall_ns: compile_wall_ns,
                     tid: conn,
                     children: Vec::new(),
+                });
+                request_trace.push(SpanNode {
+                    name: "serve.compile".to_owned(),
+                    start_ns,
+                    wall_ns: compile_wall_ns,
+                    tid: 0,
+                    children: phase_probe.into_children(),
                 });
                 let fork = prototype.fork();
                 self.cache.insert(key, prototype);
@@ -1016,7 +1374,7 @@ impl SimServer {
 
         let sim_clock = Instant::now();
         let outputs = parsed.netlist.primary_outputs().to_vec();
-        let mut run = || -> Result<(Vec<Vec<bool>>, usize, Engine), SimError> {
+        let run = || -> Result<(Vec<Vec<bool>>, usize, Engine), SimError> {
             if parsed.jobs > 1 || force_batch {
                 let out = run_batch_cancellable(
                     &parsed.netlist,
@@ -1047,11 +1405,20 @@ impl SimServer {
                 Ok((rows, guard.fallbacks().len(), guard.active_engine()))
             }
         };
-        let (rows, fallbacks, engine) = run().map_err(|error| (FailedAt::Run, error))?;
+        let result = request_trace.phase("serve.simulate", run);
+        let (rows, fallbacks, engine) = result.map_err(|error| (FailedAt::Run, error))?;
         let wall_ns = u64::try_from(sim_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.telemetry.record("serve.simulate_wall_ns", wall_ns);
         self.telemetry.add("serve.vectors", rows.len() as u64);
         self.telemetry.add("serve.fallbacks", fallbacks as u64);
+        // Feed the rolling window so `/metrics` reports live
+        // vectors/sec for this engine/word pair, not just the warmup.
+        self.telemetry.record_throughput(
+            &engine.to_string(),
+            parsed.word.bits(),
+            rows.len() as u64,
+            wall_ns,
+        );
         Ok(SimOutcome {
             rows,
             fallbacks,
@@ -1093,9 +1460,14 @@ impl SimServer {
     /// answer. The simulation rows for a given request body are
     /// byte-identical whether the engine came from the cache or a fresh
     /// compile — forks always start from power-up state.
-    fn simulate(&self, request: &Request, conn: u64) -> (Response, LogFacts) {
+    fn simulate(
+        &self,
+        request: &Request,
+        conn: u64,
+        trace: &mut RequestTrace,
+    ) -> (Response, LogFacts) {
         let mut facts = LogFacts::default();
-        let parsed = match self.parse_simulate(&request.body) {
+        let parsed = match trace.phase("serve.parse", || self.parse_simulate(&request.body)) {
             Ok(parsed) => parsed,
             Err((status, message)) => {
                 facts.error = Some(message.clone());
@@ -1110,38 +1482,42 @@ impl SimServer {
             Some(deadline) => CancelToken::with_deadline(Instant::now() + deadline),
             None => CancelToken::new(),
         };
-        let outcome = match self.run_simulation(&parsed, conn, &cancel, &NoopBatchProbe, false) {
-            Ok(outcome) => outcome,
-            Err((at, error)) => return (self.failure_response(at, &error, &mut facts), facts),
-        };
+        let outcome =
+            match self.run_simulation(&parsed, conn, &cancel, &NoopBatchProbe, false, trace) {
+                Ok(outcome) => outcome,
+                Err((at, error)) => return (self.failure_response(at, &error, &mut facts), facts),
+            };
         facts.engine = Some(outcome.engine.to_string());
         facts.fallbacks = Some(outcome.fallbacks);
         facts.cache = Some(outcome.cache);
 
-        let body = Json::obj([
-            ("schema", Json::Str(SERVE_SCHEMA.to_owned())),
-            ("circuit", Json::Str(parsed.netlist.name().to_owned())),
-            ("netlist_hash", Json::Str(format!("{:016x}", outcome.hash))),
-            ("engine", Json::Str(outcome.engine.to_string())),
-            ("word_bits", Json::UInt(u64::from(parsed.word.bits()))),
-            ("jobs", Json::UInt(parsed.jobs as u64)),
-            ("cache", Json::Str(outcome.cache.to_owned())),
-            ("vectors", Json::UInt(outcome.rows.len() as u64)),
-            ("fallbacks", Json::UInt(outcome.fallbacks as u64)),
-            ("rows", rows_json(&outcome.rows, 0, outcome.rows.len())),
-            ("wall_ns", Json::UInt(outcome.wall_ns)),
-        ]);
-        let mut text = body.render();
-        text.push('\n');
+        let text = trace.phase("serve.serialize", || {
+            let body = Json::obj([
+                ("schema", Json::Str(SERVE_SCHEMA.to_owned())),
+                ("circuit", Json::Str(parsed.netlist.name().to_owned())),
+                ("netlist_hash", Json::Str(format!("{:016x}", outcome.hash))),
+                ("engine", Json::Str(outcome.engine.to_string())),
+                ("word_bits", Json::UInt(u64::from(parsed.word.bits()))),
+                ("jobs", Json::UInt(parsed.jobs as u64)),
+                ("cache", Json::Str(outcome.cache.to_owned())),
+                ("vectors", Json::UInt(outcome.rows.len() as u64)),
+                ("fallbacks", Json::UInt(outcome.fallbacks as u64)),
+                ("rows", rows_json(&outcome.rows, 0, outcome.rows.len())),
+                ("wall_ns", Json::UInt(outcome.wall_ns)),
+            ]);
+            let mut text = body.render();
+            text.push('\n');
+            text
+        });
         (Response::json(200, text), facts)
     }
 
     /// `POST /jobs`: parse eagerly (a malformed job fails now, not
     /// asynchronously), register in the bounded table, enqueue on the
     /// same worker queue connections ride.
-    fn submit_job(&self, request: &Request) -> (Response, LogFacts) {
+    fn submit_job(&self, request: &Request, trace: &mut RequestTrace) -> (Response, LogFacts) {
         let mut facts = LogFacts::default();
-        let parsed = match self.parse_simulate(&request.body) {
+        let parsed = match trace.phase("serve.parse", || self.parse_simulate(&request.body)) {
             Ok(parsed) => parsed,
             Err((status, message)) => {
                 facts.error = Some(message.clone());
@@ -1150,10 +1526,12 @@ impl SimServer {
         };
         facts.circuit = Some(parsed.netlist.name().to_owned());
         facts.vectors = Some(parsed.stimulus.len());
-        let Some(id) = self
-            .jobs
-            .submit(parsed, self.config.max_jobs, self.config.job_ttl)
-        else {
+        let Some(id) = self.jobs.submit(
+            parsed,
+            trace.id.clone(),
+            self.config.max_jobs,
+            self.config.job_ttl,
+        ) else {
             self.telemetry.add("serve.shed.jobs_full", 1);
             facts.disposition = Some("shed:jobs_full");
             return (
@@ -1193,7 +1571,7 @@ impl SimServer {
         let Some(job_arc) = self.jobs.get(id) else {
             return;
         };
-        let (parsed, cancel) = {
+        let (parsed, cancel, trace_id) = {
             let mut job = job_arc.lock().unwrap_or_else(|e| e.into_inner());
             if job.cancel.is_cancelled() {
                 job.state = JobState::Cancelled;
@@ -1205,10 +1583,14 @@ impl SimServer {
             let Some(parsed) = job.request.take() else {
                 return;
             };
-            (parsed, job.cancel.clone())
+            (parsed, job.cancel.clone(), job.trace_id.clone())
         };
         let probe = JobProbe { job: &job_arc };
-        let result = self.run_simulation(&parsed, 0, &cancel, &probe, true);
+        let clock = Instant::now();
+        let mut trace = RequestTrace::new(trace_id, self.telemetry.epoch(), JOB_TRACE_TID + id);
+        let result = self.run_simulation(&parsed, 0, &cancel, &probe, true, &mut trace);
+        let job_wall_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.export_trace(trace, "serve.job", clock, job_wall_ns);
         let mut job = job_arc.lock().unwrap_or_else(|e| e.into_inner());
         job.finished = Some(Instant::now());
         match result {
@@ -1433,6 +1815,7 @@ impl SimServer {
         wall_ns: u64,
         context: RequestContext,
         facts: &LogFacts,
+        trace: Option<&RequestTrace>,
     ) {
         let Some(reqlog) = &self.reqlog else { return };
         let mut members = vec![
@@ -1486,6 +1869,12 @@ impl SimServer {
         }
         if let Some(error) = &facts.error {
             members.push(("error".to_owned(), Json::Str(error.clone())));
+        }
+        if let Some(trace) = trace {
+            members.push(("trace_id".to_owned(), Json::Str(trace.id.clone())));
+            if !trace.phases.is_empty() {
+                members.push(("phase_ms".to_owned(), trace.phase_ms()));
+            }
         }
         let line = Json::Obj(members).render();
         let mut out = reqlog.lock().unwrap_or_else(|e| e.into_inner());
@@ -1729,6 +2118,7 @@ mod tests {
             state: JobState::Done,
             cancel: CancelToken::new(),
             request: None,
+            trace_id: "t".to_owned(),
             vectors_total: 0,
             progress: BTreeMap::new(),
             outcome: None,
@@ -2039,6 +2429,147 @@ mod tests {
             // against /result on id+1 which does not exist).
             assert_eq!(get(addr, "/jobs/99999").0, 404);
             assert_eq!(get(addr, "/jobs/not-a-number").0, 404);
+        });
+    }
+
+    #[test]
+    fn trace_id_threads_from_header_to_reqlog_and_response() {
+        let log = Shared::default();
+        let (inbound_head, generated_head) = with_server(
+            ServeConfig::default(),
+            Telemetry::new(),
+            Some(Box::new(log.clone())),
+            |addr| {
+                // A client-supplied id is echoed verbatim...
+                let body = simulate_body(None);
+                let stream = TcpStream::connect(addr).unwrap();
+                (&stream)
+                    .write_all(
+                        format!(
+                            "POST /simulate HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                             x-uds-trace-id: req-abc.123\r\nContent-Length: {}\r\n\r\n{body}",
+                            body.len()
+                        )
+                        .as_bytes(),
+                    )
+                    .unwrap();
+                let mut reader = BufReader::new(&stream);
+                let (status, inbound_head, _) = read_one_response(&mut reader);
+                assert_eq!(status, 200);
+                // ...and a request without one gets a generated id.
+                let stream = TcpStream::connect(addr).unwrap();
+                (&stream)
+                    .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                    .unwrap();
+                let mut reader = BufReader::new(&stream);
+                let (_, generated_head, _) = read_one_response(&mut reader);
+                (inbound_head, generated_head)
+            },
+        );
+        assert!(
+            inbound_head
+                .to_ascii_lowercase()
+                .contains("x-uds-trace-id: req-abc.123"),
+            "{inbound_head}"
+        );
+        let generated = generated_head
+            .to_ascii_lowercase()
+            .lines()
+            .find_map(|l| l.strip_prefix("x-uds-trace-id: ").map(str::to_owned))
+            .expect("generated trace id header");
+        assert_eq!(generated.trim().len(), 16, "{generated}");
+
+        let bytes = log.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let simulate_line = text
+            .lines()
+            .map(|l| Json::parse(l).expect("reqlog line parses"))
+            .find(|doc| doc.get("path").and_then(Json::as_str) == Some("/simulate"))
+            .expect("simulate reqlog line");
+        assert_eq!(
+            simulate_line.get("trace_id").and_then(Json::as_str),
+            Some("req-abc.123")
+        );
+        // Phases sum to no more than the recorded request time.
+        let wall_ns = simulate_line.get("wall_ns").unwrap().as_u64().unwrap();
+        let Some(Json::Obj(phases)) = simulate_line.get("phase_ms") else {
+            panic!("phase_ms missing: {simulate_line:?}");
+        };
+        let keys: Vec<&str> = phases.iter().map(|(k, _)| k.as_str()).collect();
+        for key in ["parse", "cache_lookup", "compile", "simulate", "serialize"] {
+            assert!(keys.contains(&key), "missing phase {key}: {keys:?}");
+        }
+        let sum_ms: f64 = phases.iter().filter_map(|(_, v)| v.as_f64()).sum();
+        assert!(
+            sum_ms <= wall_ns as f64 / 1e6,
+            "phases ({sum_ms} ms) exceed request wall ({wall_ns} ns)"
+        );
+    }
+
+    #[test]
+    fn trace_sink_streams_loadable_chrome_trace() {
+        let sink = Shared::default();
+        let config = ServeConfig {
+            allow_quit: true,
+            ..ServeConfig::default()
+        };
+        let mut server = SimServer::bind("127.0.0.1:0", config, Telemetry::new(), None).unwrap();
+        server.set_trace(Box::new(sink.clone()));
+        let addr = server.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let runner = scope.spawn(|| server.run().expect("serve"));
+            let (status, body) = post(addr, "/simulate", &simulate_body(None));
+            assert_eq!(status, 200, "{body}");
+            let (status, _) = post(addr, "/quitquitquit", "");
+            assert_eq!(status, 200);
+            runner.join().expect("server thread");
+        });
+        let bytes = sink.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let doc = Json::parse(&text).expect("trace document parses after close");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let request_root = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("serve.request"))
+            .expect("serve.request root span");
+        let trace_id = request_root
+            .get("args")
+            .and_then(|a| a.get("trace_id"))
+            .and_then(Json::as_str)
+            .expect("trace id stamped on the root");
+        assert!(!trace_id.is_empty());
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        for name in ["serve.parse", "serve.cache_lookup", "serve.simulate"] {
+            assert!(names.contains(&name), "missing {name}: {names:?}");
+        }
+        // Phase children ride the root's timeline lane.
+        let tid = request_root.get("tid").and_then(Json::as_u64).unwrap();
+        let parse = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("serve.parse"))
+            .unwrap();
+        assert_eq!(parse.get("tid").and_then(Json::as_u64), Some(tid));
+    }
+
+    #[test]
+    fn live_traffic_feeds_the_rolling_throughput_gauge() {
+        let telemetry = Telemetry::new();
+        with_server(ServeConfig::default(), telemetry.clone(), None, |addr| {
+            let (status, body) = post(addr, "/simulate", &simulate_body(None));
+            assert_eq!(status, 200, "{body}");
+            let (status, metrics) = get(addr, "/metrics");
+            assert_eq!(status, 200);
+            let sample = metrics
+                .lines()
+                .find(|l| l.starts_with("uds_engine_vectors_per_s{"))
+                .expect("rolling throughput gauge after traffic");
+            assert!(sample.contains("engine=\""), "{sample}");
+            assert!(sample.contains("word=\""), "{sample}");
+            let value: f64 = sample.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value > 0.0, "{sample}");
         });
     }
 

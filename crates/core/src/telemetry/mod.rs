@@ -29,6 +29,7 @@
 
 pub mod json;
 pub mod prom;
+pub mod rolling;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -229,6 +230,7 @@ struct Inner {
     histograms: BTreeMap<String, Histogram>,
     finished: Vec<SpanNode>,
     stack: Vec<OpenSpan>,
+    rolling: rolling::RollingState,
 }
 
 impl Default for Inner {
@@ -242,6 +244,7 @@ impl Default for Inner {
             histograms: BTreeMap::new(),
             finished: Vec::new(),
             stack: Vec::new(),
+            rolling: rolling::RollingState::default(),
         }
     }
 }
@@ -368,6 +371,30 @@ impl Telemetry {
         self.lock().gauges.insert(name.into(), value);
     }
 
+    /// Folds one completed simulate into the rolling throughput
+    /// sampler: `vectors` results produced in `wall_ns` by `engine` at
+    /// `word_bits`. Snapshots export the per-key window rate and EWMA
+    /// as the labeled gauge families `engine.vectors_per_s` and
+    /// `engine.vectors_per_s.ewma` (see [`rolling`]).
+    pub fn record_throughput(&self, engine: &str, word_bits: u32, vectors: u64, wall_ns: u64) {
+        let mut inner = self.lock();
+        let now_s = inner.epoch.elapsed().as_secs();
+        inner
+            .rolling
+            .record_throughput(engine, word_bits, vectors, wall_ns, now_s);
+    }
+
+    /// Samples a moving level (queue depth, in-flight requests) into
+    /// the rolling sampler. Unlike [`Telemetry::set_level`] — which
+    /// keeps only the latest value — the rolling view exports the
+    /// last-60s mean and an EWMA as the labeled family
+    /// `<name>.rolling{stat}`.
+    pub fn observe_rolling(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        let now_s = inner.epoch.elapsed().as_secs();
+        inner.rolling.observe_level(name, value, now_s);
+    }
+
     /// Folds a sample into a named distribution.
     pub fn record(&self, name: impl Into<String>, sample: u64) {
         self.lock()
@@ -405,7 +432,9 @@ impl Telemetry {
     }
 
     /// Freezes the registry into a report. Spans still open (guards
-    /// alive) are not included — drop them first.
+    /// alive) are not included — drop them first. Rolling samplers are
+    /// folded into labeled gauges at this moment, so every snapshot
+    /// reads a fresh window.
     pub fn snapshot(&self) -> TelemetryReport {
         let inner = self.lock();
         debug_assert!(
@@ -413,15 +442,66 @@ impl Telemetry {
             "snapshot with {} span(s) still open",
             inner.stack.len()
         );
+        let mut labeled_gauges: BTreeMap<String, Vec<LabeledGauge>> = BTreeMap::new();
+        if !inner.rolling.is_empty() {
+            let now_s = inner.epoch.elapsed().as_secs();
+            for ((engine, word), stat) in inner.rolling.throughput_stats(now_s) {
+                let labels = vec![
+                    ("engine".to_owned(), engine),
+                    ("word".to_owned(), word.to_string()),
+                ];
+                labeled_gauges
+                    .entry("engine.vectors_per_s".to_owned())
+                    .or_default()
+                    .push(LabeledGauge {
+                        labels: labels.clone(),
+                        value: stat.window,
+                    });
+                labeled_gauges
+                    .entry("engine.vectors_per_s.ewma".to_owned())
+                    .or_default()
+                    .push(LabeledGauge {
+                        labels,
+                        value: stat.ewma,
+                    });
+            }
+            for (name, stat) in inner.rolling.level_stats(now_s) {
+                labeled_gauges
+                    .entry(format!("{name}.rolling"))
+                    .or_default()
+                    .extend([
+                        LabeledGauge {
+                            labels: vec![("stat".to_owned(), "window_avg".to_owned())],
+                            value: stat.window,
+                        },
+                        LabeledGauge {
+                            labels: vec![("stat".to_owned(), "ewma".to_owned())],
+                            value: stat.ewma,
+                        },
+                    ]);
+            }
+        }
         TelemetryReport {
             labels: inner.labels.clone(),
             spans: inner.finished.clone(),
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
+            labeled_gauges,
             distributions: inner.distributions.clone(),
             histograms: inner.histograms.clone(),
         }
     }
+}
+
+/// One sample of a labeled gauge family: its label pairs (in render
+/// order) plus a floating-point value. Only the rolling samplers
+/// produce these today; plain gauges stay unlabeled integers.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LabeledGauge {
+    /// Label key/value pairs, rendered in this order.
+    pub labels: Vec<(String, String)>,
+    /// The gauge value at snapshot time.
+    pub value: f64,
 }
 
 /// Name of the build-information gauge (value is always 1; the build
@@ -492,6 +572,10 @@ pub struct TelemetryReport {
     pub counters: BTreeMap<String, u64>,
     /// Deterministic static metrics.
     pub gauges: BTreeMap<String, u64>,
+    /// Labeled gauge families from the rolling samplers, keyed by
+    /// family name. Empty (and omitted from JSON) unless live traffic
+    /// was sampled.
+    pub labeled_gauges: BTreeMap<String, Vec<LabeledGauge>>,
     /// Sampled distributions.
     pub distributions: BTreeMap<String, Distribution>,
     /// Fixed-bucket histograms.
@@ -522,17 +606,57 @@ impl TelemetryReport {
                     .collect(),
             )
         };
-        Json::obj([
-            ("schema", Json::Str(SCHEMA.to_owned())),
-            ("labels", string_map(&self.labels)),
+        let mut members = vec![
+            ("schema".to_owned(), Json::Str(SCHEMA.to_owned())),
+            ("labels".to_owned(), string_map(&self.labels)),
             (
-                "spans",
+                "spans".to_owned(),
                 Json::Arr(self.spans.iter().map(SpanNode::to_json).collect()),
             ),
-            ("counters", uint_map(&self.counters)),
-            ("gauges", uint_map(&self.gauges)),
+            ("counters".to_owned(), uint_map(&self.counters)),
+            ("gauges".to_owned(), uint_map(&self.gauges)),
+        ];
+        // Additive: the member exists only when a rolling sampler has
+        // live data, so reports from one-shot runs stay byte-stable.
+        if !self.labeled_gauges.is_empty() {
+            members.push((
+                "labeled_gauges".to_owned(),
+                Json::Obj(
+                    self.labeled_gauges
+                        .iter()
+                        .map(|(family, samples)| {
+                            (
+                                family.clone(),
+                                Json::Arr(
+                                    samples
+                                        .iter()
+                                        .map(|s| {
+                                            Json::obj([
+                                                (
+                                                    "labels",
+                                                    Json::Obj(
+                                                        s.labels
+                                                            .iter()
+                                                            .map(|(k, v)| {
+                                                                (k.clone(), Json::Str(v.clone()))
+                                                            })
+                                                            .collect(),
+                                                    ),
+                                                ),
+                                                ("value", Json::Float(s.value)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        members.extend([
             (
-                "distributions",
+                "distributions".to_owned(),
                 Json::Obj(
                     self.distributions
                         .iter()
@@ -541,7 +665,7 @@ impl TelemetryReport {
                 ),
             ),
             (
-                "histograms",
+                "histograms".to_owned(),
                 Json::Obj(
                     self.histograms
                         .iter()
@@ -549,7 +673,8 @@ impl TelemetryReport {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::Obj(members)
     }
 
     /// Renders the JSON report with a trailing newline.
@@ -675,6 +800,37 @@ mod tests {
         // Registering twice is idempotent — no gauge conflict.
         record_build_info(&telemetry, 64);
         assert_eq!(telemetry.counter(GAUGE_CONFLICTS), 0);
+    }
+
+    #[test]
+    fn rolling_samples_export_as_labeled_gauges() {
+        let telemetry = Telemetry::new();
+        // Nothing sampled → no member in the JSON at all.
+        let report = telemetry.snapshot();
+        assert!(report.labeled_gauges.is_empty());
+        assert!(report.to_json().get("labeled_gauges").is_none());
+
+        telemetry.record_throughput("parallel-pt-trim", 32, 640, 1_000_000);
+        telemetry.observe_rolling("serve.queue_depth", 3);
+        let report = telemetry.snapshot();
+        let vps = &report.labeled_gauges["engine.vectors_per_s"];
+        assert_eq!(vps.len(), 1);
+        assert_eq!(
+            vps[0].labels,
+            vec![
+                ("engine".to_owned(), "parallel-pt-trim".to_owned()),
+                ("word".to_owned(), "32".to_owned()),
+            ]
+        );
+        assert!(vps[0].value > 0.0);
+        assert!(report
+            .labeled_gauges
+            .contains_key("engine.vectors_per_s.ewma"));
+        let depth = &report.labeled_gauges["serve.queue_depth.rolling"];
+        let stats: Vec<&str> = depth.iter().map(|s| s.labels[0].1.as_str()).collect();
+        assert_eq!(stats, ["window_avg", "ewma"]);
+        let doc = Json::parse(&report.render_json()).unwrap();
+        assert!(doc.get("labeled_gauges").is_some());
     }
 
     #[test]

@@ -118,6 +118,32 @@ pub fn render(report: &TelemetryReport) -> String {
             &mut collisions,
         );
     }
+    for (name, samples) in &report.labeled_gauges {
+        insert(
+            metric_name(name),
+            Family {
+                kind: "gauge",
+                help: format!("rolling telemetry gauge `{}`", escape_help(name)),
+                samples: samples
+                    .iter()
+                    .map(|sample| {
+                        let labels: Vec<String> = sample
+                            .labels
+                            .iter()
+                            .map(|(key, value)| format!("{key}=\"{}\"", escape_label_value(value)))
+                            .collect();
+                        let block = if labels.is_empty() {
+                            String::new()
+                        } else {
+                            format!("{{{}}}", labels.join(","))
+                        };
+                        (block, "", format!("{}", sample.value))
+                    })
+                    .collect(),
+            },
+            &mut collisions,
+        );
+    }
     for (name, histo) in &report.histograms {
         let mut samples: Vec<(String, &'static str, String)> = histo
             .bounds
@@ -267,6 +293,33 @@ mod tests {
         assert!(line.contains("profile="), "{line}");
         assert!(line.contains("version="), "{line}");
         assert!(line.ends_with("} 1"), "{line}");
+    }
+
+    #[test]
+    fn rolling_gauges_render_as_labeled_families() {
+        let telemetry = Telemetry::new();
+        telemetry.record_throughput("native", 64, 4096, 2_000_000);
+        telemetry.observe_rolling("serve.in_flight", 2);
+        let text = render(&telemetry.snapshot());
+        assert!(
+            text.contains("# TYPE uds_engine_vectors_per_s gauge\n"),
+            "{text}"
+        );
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("uds_engine_vectors_per_s{"))
+            .expect("throughput sample");
+        assert!(line.contains("engine=\"native\""), "{line}");
+        assert!(line.contains("word=\"64\""), "{line}");
+        assert!(text.contains("uds_engine_vectors_per_s_ewma{"), "{text}");
+        assert!(
+            text.contains("uds_serve_in_flight_rolling{stat=\"window_avg\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("uds_serve_in_flight_rolling{stat=\"ewma\"} 2"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -55,6 +55,22 @@ fn emit(span: &SpanNode, inherited_tid: u64, events: &mut Vec<Json>) {
     }
 }
 
+/// Renders `span`'s subtree as `ph:"X"` complete events, for exporters
+/// that stream events incrementally instead of snapshotting a whole
+/// report (the serve daemon writes each finished request's tree as it
+/// completes). Children inherit `span.tid` unless they carry their own
+/// nonzero one.
+pub fn span_events(span: &SpanNode, events: &mut Vec<Json>) {
+    emit(span, span.tid, events);
+}
+
+/// A `ph:"M"` metadata event naming a process (`tid` 0, name
+/// `process_name`) or thread lane (`thread_name`), for streaming
+/// exporters that build their own preamble.
+pub fn metadata_event(name: &str, tid: u64, value: &str) -> Json {
+    metadata(name, tid, value)
+}
+
 /// First span name carried by `tid` in depth-first order — the thread's
 /// display name in the timeline.
 fn first_name_with_tid(spans: &[SpanNode], tid: u64) -> Option<&str> {

@@ -10,10 +10,10 @@
 //!                           [--stats OUT.json]
 //! udsim cone     FILE.bench OUTPUT_NET [...]   # fan-in cone as .bench on stdout
 //! udsim serve    [--addr HOST:PORT] [--cache N] [--allow-quit] [--reqlog OUT.ndjson]
-//!                [--stats OUT.json] [--budget SPEC] [--word 32|64] [--jobs N]
-//!                [--workers N] [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS]
-//!                [--keep-alive-max N] [--request-timeout-ms MS] [--rate-limit R]
-//!                [--max-jobs N] [--job-ttl-s S]
+//!                [--stats OUT.json] [--trace OUT.json] [--budget SPEC] [--word 32|64]
+//!                [--jobs N] [--workers N] [--queue N] [--read-timeout-ms MS]
+//!                [--idle-timeout-ms MS] [--keep-alive-max N] [--request-timeout-ms MS]
+//!                [--rate-limit R] [--max-jobs N] [--job-ttl-s S]
 //! udsim loadgen  [--addr HOST:PORT] [--bench FILE.bench] [--vectors N] [--seed S] [--jobs N]
 //!                [--path P] [--concurrency N] [--rate R] [--duration-ms MS] [--json OUT.json]
 //! udsim engines
@@ -61,7 +61,11 @@
 //! bounded by `--max-jobs` and `--job-ttl-s`. The daemon drains
 //! gracefully on SIGTERM/SIGINT (or `POST /quitquitquit` with
 //! `--allow-quit`), then writes the final `--stats` snapshot.
-//! `--reqlog` streams one `uds-reqlog-v1` NDJSON line per request.
+//! `--reqlog` streams one `uds-reqlog-v1` NDJSON line per request,
+//! carrying a `trace_id` (the sanitized `x-uds-trace-id` request
+//! header, else generated — always echoed on the response) and a
+//! `phase_ms` breakdown; `serve --trace` streams each finished
+//! request's span tree live as Chrome `trace_event` JSON.
 //!
 //! `udsim loadgen` applies closed- or open-loop load to a running
 //! daemon and reports per-status counts and latency percentiles as
@@ -199,9 +203,10 @@ fn usage() -> String {
      [--stats OUT.json]\n  \
      udsim cone FILE.bench OUTPUT_NET [...]\n  \
      udsim serve [--addr HOST:PORT] [--cache N] [--allow-quit] [--reqlog OUT.ndjson]\n              \
-     [--stats OUT.json] [--budget SPEC] [--word 32|64] [--jobs N] [--workers N] [--queue N]\n              \
-     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--keep-alive-max N]\n              \
-     [--request-timeout-ms MS] [--rate-limit R] [--max-jobs N] [--job-ttl-s S]\n  \
+     [--stats OUT.json] [--trace OUT.json] [--budget SPEC] [--word 32|64] [--jobs N]\n              \
+     [--workers N] [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS]\n              \
+     [--keep-alive-max N] [--request-timeout-ms MS] [--rate-limit R] [--max-jobs N]\n              \
+     [--job-ttl-s S]\n  \
      udsim loadgen [--addr HOST:PORT] [--bench FILE.bench] [--vectors N] [--seed S] [--jobs N]\n                \
      [--path P] [--concurrency N] [--rate R] [--duration-ms MS] [--json OUT.json]\n  \
      udsim engines\n\n\
@@ -213,7 +218,9 @@ fn usage() -> String {
      --progress-interval ms apart (default 100).\n\
      serve answers POST /simulate, POST /jobs (+ GET/DELETE /jobs/:id), GET /metrics\n\
      (Prometheus), GET /healthz, GET /readyz; --cache N keeps N compiled prototypes resident\n\
-     (default 64, 0 disables); --workers sizes the pool (0 = cores); a full --queue sheds 429.\n\
+     (default 64, 0 disables); --workers sizes the pool (0 = cores); a full --queue sheds 429;\n\
+     serve --trace streams each finished request's span tree live (trace ids honor the\n\
+     x-uds-trace-id request header and are echoed on every response).\n\
      loadgen is closed-loop unless --rate sets open-loop arrivals; --bench makes the fleet\n\
      POST real work, otherwise it GETs --path (default /healthz).\n\n\
      --engine native compiles the emitted C (cc, or $UDS_CC) and dlopens it; without a C\n\
@@ -1141,6 +1148,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let mut allow_quit = false;
     let mut reqlog_path: Option<String> = None;
     let mut stats_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut word = WordWidth::default();
     let mut jobs = 1usize;
     let mut limits = ResourceLimits::production();
@@ -1167,6 +1175,9 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             }
             "--stats" => {
                 stats_path = Some(iter.next().ok_or("--stats needs a path (or `-`)")?.clone())
+            }
+            "--trace" => {
+                trace_path = Some(iter.next().ok_or("--trace needs a path (or `-`)")?.clone())
             }
             "--budget" => limits = parse_budget(iter.next().ok_or("--budget needs a spec")?)?,
             "--word" => {
@@ -1229,10 +1240,11 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     }
     // The daemon's own narration always goes to stderr; stdout belongs
     // to whichever stream flag claims it. The contract still enforces
-    // the at-most-one-`-` rule between --reqlog and --stats.
+    // the at-most-one-`-` rule between --reqlog, --stats, and --trace.
     stream_contract(&[
         ("--reqlog", reqlog_path.as_deref()),
         ("--stats", stats_path.as_deref()),
+        ("--trace", trace_path.as_deref()),
     ])?;
     let telemetry = Telemetry::new();
     telemetry.label("command", "serve");
@@ -1253,8 +1265,13 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         ..config
     };
     install_signal_handlers();
-    let server = SimServer::bind(&*addr, config, telemetry.clone(), reqlog)
+    let mut server = SimServer::bind(&*addr, config, telemetry.clone(), reqlog)
         .map_err(|e| CliError::class(format!("binding {addr}: {e}"), FailureClass::Usage))?;
+    if let Some(dest) = trace_path.as_deref() {
+        let sink = open_sink(dest)
+            .map_err(|e| CliError::class(format!("opening {dest}: {e}"), FailureClass::Usage))?;
+        server.set_trace(sink);
+    }
     let local = server
         .local_addr()
         .map_err(|e| CliError::class(format!("binding {addr}: {e}"), FailureClass::Usage))?;
@@ -1398,6 +1415,20 @@ fn loadgen(args: &[String]) -> Result<(), CliError> {
         report.latency_ns["p99"] as f64 / 1e6,
         report.latency_ns["max"] as f64 / 1e6,
     ));
+    if let Some(server) = &report.server {
+        let class = server
+            .perf_class_name
+            .as_deref()
+            .unwrap_or("unknown")
+            .to_owned();
+        human.line(format!("  server perf class: {class}"));
+        for sample in &server.engine_vectors_per_s {
+            human.line(format!(
+                "  server {} w{}: {:.0} vectors/s (rolling)",
+                sample.engine, sample.word_bits, sample.vectors_per_s
+            ));
+        }
+    }
     if let Some(dest) = &json_path {
         let mut text = report.to_json().render();
         text.push('\n');
