@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Subcommands: `fig19`, `fig20`, `fig21`, `fig22`, `fig23`, `fig24`,
-//! `zero-delay`, `codesize`, `parallel`, `native`, `all`, and
-//! `compare OLD NEW [--tolerance PCT]`. Options: `--vectors N`
+//! `zero-delay`, `codesize`, `parallel`, `native`, `hotspots`, `all`,
+//! and `compare OLD NEW [--tolerance PCT]`. Options: `--vectors N`
 //! (default 5000, as in the paper), `--quick` (500 vectors), and
 //! `--json` (additionally write each table as `BENCH_<name>.json` in
 //! the current directory, schema `uds-bench-v1`). `--json -` streams
@@ -20,7 +20,13 @@
 //! the emitted C compiled with the system `cc` and `dlopen`-loaded
 //! against the in-process parallel+pt+trim interpreter — the paper's
 //! actual deployment model; it prints a visible SKIP (and writes no
-//! JSON) when no C compiler is on `PATH`.
+//! JSON) when no C compiler is on `PATH`. `hotspots` runs the per-level
+//! execution profiler (DESIGN.md §19) on both compiled techniques and
+//! shows how well each compiler's static per-level cost model predicts
+//! where the simulate loop's time actually goes — the Pearson
+//! correlation of measured per-level self-time against static op
+//! counts; the gate watches the profiled-run throughput and the static
+//! totals, while the noisy per-level nanoseconds ride along un-gated.
 //!
 //! `compare` is the perf regression gate (DESIGN.md §16): it matches
 //! two `uds-bench-v1` documents cell by cell, normalizes throughput by
@@ -58,7 +64,7 @@ use uds_bench::runner::{self, suite, Timing};
 use uds_bench::table::{ratio, seconds, Table};
 use uds_bench::trend::{self, TrendRecord};
 use uds_core::telemetry::json::Json;
-use uds_core::{write_text, HumanOut, StreamContract, WordWidth};
+use uds_core::{write_text, Engine, HumanOut, StreamContract, WordWidth};
 use uds_netlist::generators::iscas::Iscas85;
 use uds_parallel::Optimization;
 
@@ -184,7 +190,7 @@ fn main() {
                 );
             }
             "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "zero-delay"
-            | "codesize" | "parallel" | "native" | "all" | "compare" | "trend" => {
+            | "codesize" | "parallel" | "native" | "hotspots" | "all" | "compare" | "trend" => {
                 command = arg.clone();
             }
             other if (command == "compare" || command == "trend") && !other.starts_with('-') => {
@@ -275,6 +281,7 @@ fn main() {
         "codesize" => codesize(&out),
         "parallel" => parallel_scaling(vectors, &out),
         "native" => native(vectors, &out),
+        "hotspots" => hotspots(vectors, &out),
         "all" => {
             fig19(vectors, &out);
             zero_delay(vectors, &out);
@@ -286,6 +293,7 @@ fn main() {
             codesize(&out);
             parallel_scaling(vectors, &out);
             native(vectors, &out);
+            hotspots(vectors, &out);
         }
         _ => unreachable!("validated above"),
     }
@@ -294,7 +302,7 @@ fn main() {
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|native|all] \
+        "usage: tables [fig19|fig20|fig21|fig22|fig23|fig24|zero-delay|codesize|parallel|native|hotspots|all] \
          [--vectors N | --quick] [--json [-]]\n\
          \x20      tables compare OLD.json NEW.json [--tolerance PCT] [--json [-]]\n\
          \x20      tables trend [--append] HISTORY.ndjson [FIG.json ...] [--window K] [--strict]"
@@ -841,10 +849,168 @@ fn parallel_scaling(vectors: usize, out: &Output) {
     out.write_json("parallel", Some(vectors), rows);
 }
 
+/// The engines the hotspot figure profiles: both compiled techniques,
+/// at the optimization level each ships under by default.
+const HOTSPOT_ENGINES: [(&str, Engine); 2] = [
+    ("pc_set", Engine::PcSet),
+    ("parallel_pt_trim", Engine::ParallelPathTracingTrimming),
+];
+
+fn hotspots(vectors: usize, out: &Output) {
+    out.line(format!(
+        "\n== hotspots: per-level self-time vs static cost model, {vectors} vectors =="
+    ));
+    out.line("== (corr = Pearson of measured level self_ns against the compiler's ==");
+    out.line("==  static per-level op counts, over gate levels 1..=depth) ==");
+    let mut table = Table::new(&[
+        "circuit",
+        "engine",
+        "profiled",
+        "attributed",
+        "levels",
+        "corr",
+        "hottest",
+    ]);
+    let mut rows = Vec::new();
+    for circuit in [Iscas85::C432, Iscas85::C1908, Iscas85::C6288] {
+        let nl = circuit.build();
+        let mut members = vec![("circuit".to_owned(), Json::Str(circuit.to_string()))];
+        for (label, engine) in HOTSPOT_ENGINES {
+            let (report, timing) = runner::hotspot_profile(&nl, engine, vectors);
+            let attributed = report.measured.total_self_ns();
+            let static_profile = report
+                .static_profile
+                .as_ref()
+                .expect("compiled engines carry a static cost model");
+            // Gate levels only: level 0 is per-vector setup, which the
+            // static model prices differently from the sweep body.
+            let gate_levels = 1..report
+                .measured
+                .levels
+                .len()
+                .min(static_profile.levels.len());
+            let measured_ns: Vec<f64> = gate_levels
+                .clone()
+                .map(|l| report.measured.levels[l].self_ns as f64)
+                .collect();
+            let static_ops: Vec<f64> = gate_levels
+                .clone()
+                .map(|l| static_profile.levels[l].word_ops as f64)
+                .collect();
+            let corr = pearson(&measured_ns, &static_ops);
+            let hottest = report
+                .measured
+                .levels
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, cost)| cost.self_ns)
+                .map_or(0, |(level, _)| level);
+            table.row(vec![
+                circuit.to_string(),
+                label.to_owned(),
+                best(timing),
+                format!(
+                    "{:.0}%",
+                    100.0 * attributed as f64 / report.span_ns.max(1) as f64
+                ),
+                report.measured.levels.len().to_string(),
+                format!("{corr:+.3}"),
+                format!("level_{hottest}"),
+            ]);
+            let level_rows: Vec<Json> = gate_levels
+                .map(|l| {
+                    Json::obj([
+                        ("level", Json::UInt(l as u64)),
+                        ("self_ns", Json::UInt(report.measured.levels[l].self_ns)),
+                        ("word_ops", Json::UInt(report.measured.levels[l].word_ops)),
+                        (
+                            "static_word_ops",
+                            Json::UInt(static_profile.levels[l].word_ops),
+                        ),
+                    ])
+                })
+                .collect();
+            // Gate-watched cells: the profiled-run timing (a timer-
+            // overhead regression shows up as lost throughput) and the
+            // deterministic static totals. The per-level nanoseconds
+            // and the correlation are too noisy to gate exactly, so
+            // they ride inside `<label>_profile`, a shape `compare`
+            // ignores additively.
+            members.push((format!("{label}_profiled"), timing_json(timing, vectors)));
+            members.push((
+                format!("{label}_static_word_ops"),
+                Json::UInt(static_profile.total().word_ops),
+            ));
+            members.push((
+                format!("{label}_levels"),
+                Json::UInt(report.measured.levels.len() as u64),
+            ));
+            members.push((
+                format!("{label}_profile"),
+                Json::obj([
+                    ("correlation", Json::Float(corr)),
+                    ("span_ns", Json::UInt(report.span_ns)),
+                    ("attributed_ns", Json::UInt(attributed)),
+                    ("levels", Json::Arr(level_rows)),
+                ]),
+            ));
+        }
+        rows.push(Json::Obj(members));
+    }
+    out.line(Table::render(&table));
+    out.line(
+        "(attributed = share of the profiled span the level timer assigned to levels; \
+         the rest is guard bookkeeping credited to level 0)",
+    );
+    out.write_json("hotspots", Some(vectors), rows);
+}
+
+/// Pearson correlation coefficient of two equal-length series; 0.0
+/// when either side has no variance (a flat series predicts nothing).
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let (xs, ys) = (&xs[..n], &ys[..n]);
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / n as f64;
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
 fn percent_gain(before: f64, after: f64) -> String {
     if before <= 0.0 {
         "-".to_owned()
     } else {
         format!("{:+.0}%", 100.0 * (1.0 - after / before))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pearson;
+
+    #[test]
+    fn pearson_matches_known_series() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(
+            pearson(&[1.0, 1.0, 1.0], &[2.0, 4.0, 6.0]),
+            0.0,
+            "flat series"
+        );
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0, "degenerate length");
     }
 }

@@ -318,6 +318,41 @@ pub fn activity_factor(netlist: &Netlist, vectors: usize) -> f64 {
     profiler.activity_factor()
 }
 
+/// Profiled per-level measurement for one engine: one untimed warmup,
+/// then [`timing_reps`] fully profiled repetitions of the whole
+/// stimulus. The [`Timing`] is built from each repetition's profiled
+/// span (so the compare gate watches the *profiled* throughput — a
+/// timer-overhead regression shows up here), and the returned report is
+/// the last repetition's merged per-level breakdown with the engine's
+/// static cost model alongside.
+pub fn hotspot_profile(
+    netlist: &Netlist,
+    engine: Engine,
+    vectors: usize,
+) -> (uds_core::hotspot::HotspotReport, Timing) {
+    let stimulus = stimulus(netlist, vectors);
+    let guard = GuardedSimulator::with_factory(
+        netlist,
+        ResourceLimits::unlimited(),
+        &[engine],
+        Box::new(DefaultEngineFactory::with_word(WordWidth::W32)),
+    )
+    .expect("combinational");
+    let word_bits = WordWidth::W32.bits();
+    let run = || {
+        uds_core::hotspot::collect(netlist, &guard, &stimulus, 1, word_bits)
+            .expect("profiled run succeeds")
+    };
+    let mut last = run(); // warmup
+    let samples: Vec<f64> = (0..timing_reps())
+        .map(|_| {
+            last = run();
+            last.span_ns as f64 / 1e9
+        })
+        .collect();
+    (last, Timing::from_samples(samples))
+}
+
 /// Zero-delay comparison (the §5 aside): seconds for interpreted vs
 /// compiled levelized zero-delay simulation.
 #[derive(Clone, Copy, PartialEq, Debug)]

@@ -676,6 +676,77 @@ impl GuardedSimulator {
         }
     }
 
+    /// [`GuardedSimulator::simulate_vector`] with per-level time
+    /// attribution into `profile` (see
+    /// [`UnitDelaySimulator::simulate_vector_leveled`]). Panic
+    /// containment and degradation work exactly as in the unprofiled
+    /// path; a vector that degrades mid-flight leaves whatever partial
+    /// timing the failed engine accumulated in `profile` — self-time is
+    /// observability, not simulation state, so it is never rolled back.
+    ///
+    /// The guard's own per-vector bookkeeping (width/deadline checks,
+    /// panic containment, the replay-log append) happens between the
+    /// engine's timer lifetimes, so this wrapper times the whole call
+    /// and attributes the engine-unattributed remainder to level 0 —
+    /// per-vector setup by definition — keeping the sum contract
+    /// ("everything inside a profiled call lands in some level")
+    /// honest for small circuits where bookkeeping is a visible slice.
+    pub fn simulate_vector_leveled(
+        &mut self,
+        inputs: &[bool],
+        profile: &mut uds_netlist::LevelProfile,
+    ) -> Result<Engine, SimError> {
+        let call_clock = std::time::Instant::now();
+        let attributed_before = profile.total_self_ns();
+        let expected = self.netlist.primary_inputs().len();
+        if inputs.len() != expected {
+            return Err(SimError::new(
+                SimErrorKind::VectorWidth {
+                    expected,
+                    got: inputs.len(),
+                },
+                SimPhase::Run,
+            )
+            .with_engine(self.active_engine()));
+        }
+        self.limits
+            .check_deadline()
+            .map_err(|e| SimError::new(SimErrorKind::Budget(e), SimPhase::Run))?;
+        loop {
+            let active = &mut self.active;
+            let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                active.simulate_vector_leveled(inputs, profile)
+            }));
+            match run {
+                Ok(()) => {
+                    self.replay.push(inputs.to_vec());
+                    let call_ns =
+                        u64::try_from(call_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let engine_ns = profile.total_self_ns() - attributed_before;
+                    profile.ensure_level(0);
+                    profile.levels[0].self_ns += call_ns.saturating_sub(engine_ns);
+                    return Ok(self.active_engine());
+                }
+                Err(payload) => {
+                    let error = SimError::new(
+                        SimErrorKind::EnginePanicked {
+                            message: panic_message(payload),
+                        },
+                        SimPhase::Run,
+                    )
+                    .with_engine(self.active_engine());
+                    self.degrade(error)?;
+                }
+            }
+        }
+    }
+
+    /// The active engine's static per-level cost model, when it has one
+    /// (see [`UnitDelaySimulator::level_static_profile`]).
+    pub fn level_static_profile(&self) -> Option<uds_netlist::LevelProfile> {
+        self.active.level_static_profile()
+    }
+
     /// Abandons the active engine for the given reason and brings up
     /// the next one in the chain that can compile *and* replay the
     /// vector log. Errors with [`SimErrorKind::ChainExhausted`] when no

@@ -71,6 +71,7 @@ pub mod crosscheck;
 pub mod error;
 pub mod guard;
 pub mod hazard;
+pub mod hotspot;
 pub mod http;
 pub mod loadgen;
 pub mod native;
@@ -97,6 +98,7 @@ pub use guard::{
     build_engine_with_limits_probed_word, build_engine_with_limits_word, chain_preferring,
     DefaultEngineFactory, GuardedSimulator, MonitoringEngineFactory,
 };
+pub use hotspot::{HotspotReport, HotspotRing, HotspotSample, HotspotWindow, HOTSPOT_SCHEMA};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, LOADGEN_SCHEMA};
 pub use native::{build_native, build_native_monitoring, compiler_available};
 pub use perf::{calibrate, measure_perf, record_perf_class, Calibration, PerfClass, PerfReport};

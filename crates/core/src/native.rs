@@ -430,6 +430,24 @@ mod imp {
         fn for_each_toggle(&self, net: NetId, visit: &mut dyn FnMut(u32)) -> Option<u32> {
             self.twin.for_each_toggle_in_field(net, visit)
         }
+
+        fn simulate_vector_leveled(
+            &mut self,
+            inputs: &[bool],
+            profile: &mut uds_netlist::LevelProfile,
+        ) {
+            // Per-level attribution needs the segmented interpreter, so
+            // the profiled path runs the twin (same program, same
+            // state) instead of the opaque machine-code loop. Hotspot
+            // reports for `native` therefore describe the interpreted
+            // twin's cost shape — which shares the native code's
+            // per-level structure, just not its constant factor.
+            self.twin.simulate_vector_leveled(inputs, profile);
+        }
+
+        fn level_static_profile(&self) -> Option<uds_netlist::LevelProfile> {
+            Some(self.twin.level_static_profile())
+        }
     }
 
     /// The PC-set twin + its compiled shared object.
@@ -479,6 +497,21 @@ mod imp {
                 lib: Arc::clone(&self.lib),
                 po: self.po.clone(),
             })
+        }
+
+        fn simulate_vector_leveled(
+            &mut self,
+            inputs: &[bool],
+            profile: &mut uds_netlist::LevelProfile,
+        ) {
+            // As in the parallel wrapper: the profiled path runs the
+            // interpreted twin, whose per-level segments mirror the
+            // emitted C's statement order.
+            self.twin.simulate_vector_leveled(inputs, profile);
+        }
+
+        fn level_static_profile(&self) -> Option<uds_netlist::LevelProfile> {
+            Some(self.twin.level_static_profile())
         }
     }
 

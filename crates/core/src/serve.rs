@@ -100,6 +100,7 @@ use crate::cache::{netlist_hash, CacheKey, EngineCache};
 use crate::cancel::{CancelCause, CancelToken};
 use crate::error::{FailureClass, SimError, SimErrorKind, SimPhase};
 use crate::guard::{DefaultEngineFactory, GuardedSimulator};
+use crate::hotspot::{HotspotRing, HotspotSample, HOTSPOT_SCHEMA};
 use crate::http::{read_request, HttpError, Request, Response, TRACE_ID_HEADER};
 use crate::progress::{BatchProbe, Heartbeat, NoopBatchProbe};
 use crate::telemetry::json::Json;
@@ -199,7 +200,23 @@ pub struct ServeConfig {
     pub max_jobs: usize,
     /// How long a finished job's result is kept before TTL eviction.
     pub job_ttl: Duration,
+    /// Per-level hotspot sampling of `/simulate` requests (`--hotspots`).
+    /// Off by default: the profiled path times every level sweep, and a
+    /// daemon that was not asked to self-profile must run the seed-
+    /// identical hot loop.
+    pub hotspots: bool,
 }
+
+/// Samples the serve hotspot ring retains; memory stays bounded by
+/// `capacity × (depth + 1)` level slots regardless of traffic.
+pub const HOTSPOT_RING_CAPACITY: usize = 256;
+
+/// Trailing window `/debug/hotspots` aggregates when the query names
+/// no `window_s`.
+pub const HOTSPOT_WINDOW_DEFAULT_S: u64 = 60;
+
+/// Labeled gauges `/metrics` exposes for the hottest levels.
+pub const HOTSPOT_METRIC_TOP_K: usize = 5;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -220,6 +237,7 @@ impl Default for ServeConfig {
             rate_limit_per_s: 0,
             max_jobs: 64,
             job_ttl: Duration::from_secs(600),
+            hotspots: false,
         }
     }
 }
@@ -378,6 +396,10 @@ impl RequestTrace {
 
     /// `{"parse": 0.12, "simulate": 3.4, ...}` — phase wall times in
     /// float milliseconds, keyed by the phase name sans `serve.`.
+    /// Only phases that actually ran appear: a cache hit carries no
+    /// `compile` key, a parse failure stops at `parse`. Consumers must
+    /// treat the key set as the executed-phase set, never as a fixed
+    /// schema with zeros for skipped work.
     fn phase_ms(&self) -> Json {
         Json::Obj(
             self.phases
@@ -840,6 +862,9 @@ pub struct SimServer {
     queue: WorkQueue,
     jobs: JobTable,
     limiter: RateLimiter,
+    /// `Some` only with [`ServeConfig::hotspots`]: the bounded ring of
+    /// recent per-request level profiles `/debug/hotspots` windows.
+    hotspots: Option<Mutex<HotspotRing>>,
 }
 
 /// A clonable handle that asks a running server to drain and stop.
@@ -875,6 +900,9 @@ impl SimServer {
         telemetry.set_level("serve.queue_depth", 0);
         telemetry.set_level("serve.jobs.resident", 0);
         let queue = WorkQueue::new(config.queue_depth);
+        let hotspots = config
+            .hotspots
+            .then(|| Mutex::new(HotspotRing::new(HOTSPOT_RING_CAPACITY)));
         Ok(SimServer {
             listener,
             config,
@@ -889,6 +917,7 @@ impl SimServer {
             queue,
             jobs: JobTable::new(),
             limiter: RateLimiter::new(),
+            hotspots,
         })
     }
 
@@ -1243,7 +1272,8 @@ impl SimServer {
                 }
             }
             ("GET", "/metrics") => {
-                let body = prom::render(&self.telemetry.snapshot());
+                let mut body = prom::render(&self.telemetry.snapshot());
+                self.append_hotspot_gauges(&mut body);
                 (
                     Response {
                         status: 200,
@@ -1254,6 +1284,7 @@ impl SimServer {
                     no_facts,
                 )
             }
+            ("GET", "/debug/hotspots") => (self.hotspots_get(query), no_facts),
             ("POST", "/simulate") => {
                 let mut facts = LogFacts::default();
                 if let Some(shed) = self.admission_check(peer, &mut facts) {
@@ -1285,7 +1316,11 @@ impl SimServer {
                     )
                 }
             }
-            (_, "/healthz" | "/readyz" | "/metrics" | "/simulate" | "/jobs" | "/quitquitquit") => (
+            (
+                _,
+                "/healthz" | "/readyz" | "/metrics" | "/debug/hotspots" | "/simulate" | "/jobs"
+                | "/quitquitquit",
+            ) => (
                 Response::text(405, format!("{} not allowed here\n", request.method)),
                 no_facts,
             ),
@@ -1374,6 +1409,12 @@ impl SimServer {
 
         let sim_clock = Instant::now();
         let outputs = parsed.netlist.primary_outputs().to_vec();
+        // Hotspot sampling rides the inline single-job loop only: the
+        // batch runner owns its own sharded loop, and async jobs are
+        // about throughput, not per-request profiles. A daemon without
+        // `--hotspots` takes the seed-identical unprofiled path.
+        let sample_hotspots = self.hotspots.is_some() && parsed.jobs <= 1 && !force_batch;
+        let mut hotspot_profile = sample_hotspots.then(uds_netlist::LevelProfile::default);
         let run = || -> Result<(Vec<Vec<bool>>, usize, Engine), SimError> {
             if parsed.jobs > 1 || force_batch {
                 let out = run_batch_cancellable(
@@ -1399,7 +1440,10 @@ impl SimServer {
                             SimPhase::Run,
                         ));
                     }
-                    guard.simulate_vector(vector)?;
+                    match &mut hotspot_profile {
+                        Some(profile) => guard.simulate_vector_leveled(vector, profile)?,
+                        None => guard.simulate_vector(vector)?,
+                    };
                     rows.push(outputs.iter().map(|&po| guard.final_value(po)).collect());
                 }
                 Ok((rows, guard.fallbacks().len(), guard.active_engine()))
@@ -1419,6 +1463,18 @@ impl SimServer {
             rows.len() as u64,
             wall_ns,
         );
+        if let (Some(ring), Some(profile)) = (&self.hotspots, hotspot_profile) {
+            ring.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(HotspotSample {
+                    at: Instant::now(),
+                    engine,
+                    profile,
+                    span_ns: wall_ns,
+                    vectors: rows.len() as u64,
+                });
+            self.telemetry.add("serve.hotspot_samples", 1);
+        }
         Ok(SimOutcome {
             rows,
             fallbacks,
@@ -1427,6 +1483,100 @@ impl SimServer {
             hash,
             wall_ns,
         })
+    }
+
+    /// Appends the `uds_hotspot_level_self_ns{engine,level}` gauge set
+    /// to a rendered `/metrics` body: the hottest
+    /// [`HOTSPOT_METRIC_TOP_K`] levels over the default trailing
+    /// window. No-op (not even the `# TYPE` header) when sampling is
+    /// off, so a default daemon's scrape is byte-identical to before.
+    fn append_hotspot_gauges(&self, body: &mut String) {
+        let Some(ring) = &self.hotspots else { return };
+        let window = ring.lock().unwrap_or_else(|e| e.into_inner()).window(
+            Instant::now(),
+            Duration::from_secs(HOTSPOT_WINDOW_DEFAULT_S),
+        );
+        let top = window.top_levels(HOTSPOT_METRIC_TOP_K);
+        if top.is_empty() {
+            return;
+        }
+        body.push_str(concat!(
+            "# HELP uds_hotspot_level_self_ns Hottest level self-times over the trailing ",
+            "sampling window, nanoseconds.\n",
+            "# TYPE uds_hotspot_level_self_ns gauge\n",
+        ));
+        for (engine, level, self_ns) in top {
+            body.push_str(&format!(
+                "uds_hotspot_level_self_ns{{engine=\"{engine}\",level=\"{level}\"}} {self_ns}\n"
+            ));
+        }
+    }
+
+    /// `GET /debug/hotspots?window_s=S`: the per-engine, per-level
+    /// aggregation of every sampled request in the trailing window
+    /// (default [`HOTSPOT_WINDOW_DEFAULT_S`]). Before any traffic the
+    /// document is empty but valid — same schema, zero samples.
+    fn hotspots_get(&self, query: &str) -> Response {
+        let Some(ring) = &self.hotspots else {
+            return error_response(404, "hotspot sampling disabled (run with --hotspots)");
+        };
+        let mut window_s = HOTSPOT_WINDOW_DEFAULT_S;
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match (key, value.parse::<u64>()) {
+                ("window_s", Ok(s)) if s > 0 => window_s = s.min(86_400),
+                _ => return error_response(400, &format!("bad query parameter `{pair}`")),
+            }
+        }
+        let window = ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .window(Instant::now(), Duration::from_secs(window_s));
+        let engines: Vec<Json> = window
+            .engines
+            .iter()
+            .map(|(engine, profile)| {
+                let total = profile.total();
+                let levels: Vec<Json> = profile
+                    .levels
+                    .iter()
+                    .enumerate()
+                    .map(|(level, cost)| {
+                        Json::obj([
+                            ("level", Json::UInt(level as u64)),
+                            ("self_ns", Json::UInt(cost.self_ns)),
+                            ("word_ops", Json::UInt(cost.word_ops)),
+                            ("gate_evals", Json::UInt(cost.gate_evals)),
+                            ("bytes_touched_est", Json::UInt(cost.bytes_touched_est)),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("engine", Json::Str(engine.to_string())),
+                    ("levels", Json::Arr(levels)),
+                    (
+                        "totals",
+                        Json::obj([
+                            ("self_ns", Json::UInt(total.self_ns)),
+                            ("word_ops", Json::UInt(total.word_ops)),
+                            ("gate_evals", Json::UInt(total.gate_evals)),
+                            ("bytes_touched_est", Json::UInt(total.bytes_touched_est)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let mut text = Json::obj([
+            ("schema", Json::Str(HOTSPOT_SCHEMA.to_owned())),
+            ("window_s", Json::UInt(window_s)),
+            ("samples", Json::UInt(window.samples as u64)),
+            ("vectors", Json::UInt(window.vectors)),
+            ("span_ns", Json::UInt(window.span_ns)),
+            ("engines", Json::Arr(engines)),
+        ])
+        .render();
+        text.push('\n');
+        Response::json(200, text)
     }
 
     /// Folds a failed simulation into counters, log facts, and the
@@ -2503,6 +2653,124 @@ mod tests {
         assert!(
             sum_ms <= wall_ns as f64 / 1e6,
             "phases ({sum_ms} ms) exceed request wall ({wall_ns} ns)"
+        );
+    }
+
+    #[test]
+    fn debug_hotspots_is_gated_empty_before_traffic_and_populated_after() {
+        // Without the opt-in the route does not exist as a data source
+        // and /metrics stays free of hotspot gauges.
+        with_server(ServeConfig::default(), Telemetry::new(), None, |addr| {
+            let (status, body) = get(addr, "/debug/hotspots");
+            assert_eq!(status, 404, "{body}");
+            assert!(body.contains("--hotspots"), "{body}");
+        });
+
+        let config = ServeConfig {
+            hotspots: true,
+            ..ServeConfig::default()
+        };
+        with_server(config, Telemetry::new(), None, |addr| {
+            // Empty-but-valid before any traffic.
+            let (status, body) = get(addr, "/debug/hotspots");
+            assert_eq!(status, 200, "{body}");
+            let doc = Json::parse(&body).expect("valid JSON");
+            assert_eq!(
+                doc.get("schema").and_then(Json::as_str),
+                Some(HOTSPOT_SCHEMA)
+            );
+            assert_eq!(doc.get("samples").and_then(Json::as_u64), Some(0));
+            assert_eq!(
+                doc.get("engines").and_then(Json::as_arr).map(|a| a.len()),
+                Some(0)
+            );
+            assert_eq!(get(addr, "/debug/hotspots?window_s=0").0, 400);
+            assert_eq!(get(addr, "/debug/hotspots?nope=1").0, 400);
+            assert_eq!(post(addr, "/debug/hotspots", "").0, 405);
+
+            // A simulate request lands one sample in the window.
+            let (status, body) = post(addr, "/simulate", &simulate_body(None));
+            assert_eq!(status, 200, "{body}");
+            let (status, body) = get(addr, "/debug/hotspots?window_s=600");
+            assert_eq!(status, 200);
+            let doc = Json::parse(&body).expect("valid JSON");
+            assert_eq!(doc.get("samples").and_then(Json::as_u64), Some(1));
+            assert_eq!(doc.get("vectors").and_then(Json::as_u64), Some(3));
+            let engines = doc.get("engines").and_then(Json::as_arr).unwrap();
+            assert_eq!(engines.len(), 1, "{body}");
+            let levels = engines[0].get("levels").and_then(Json::as_arr).unwrap();
+            assert!(levels.len() >= 4, "c17 has levels 0..=3: {body}");
+            let attributed: u64 = levels
+                .iter()
+                .filter_map(|l| l.get("self_ns").and_then(Json::as_u64))
+                .sum();
+            let span = doc.get("span_ns").and_then(Json::as_u64).unwrap();
+            assert!(attributed > 0, "{body}");
+            assert!(attributed <= span, "{body}");
+
+            // The top-K gauges ride the same scrape as everything else.
+            let (status, metrics) = get(addr, "/metrics");
+            assert_eq!(status, 200);
+            assert!(
+                metrics.contains("# TYPE uds_hotspot_level_self_ns gauge"),
+                "{metrics}"
+            );
+            assert!(
+                metrics.contains("uds_hotspot_level_self_ns{engine=\""),
+                "{metrics}"
+            );
+        });
+    }
+
+    #[test]
+    fn cache_hit_phase_ms_omits_compile() {
+        let log = Shared::default();
+        with_server(
+            ServeConfig::default(),
+            Telemetry::new(),
+            Some(Box::new(log.clone())),
+            |addr| {
+                for _ in 0..2 {
+                    let (status, body) = post(addr, "/simulate", &simulate_body(None));
+                    assert_eq!(status, 200, "{body}");
+                }
+            },
+        );
+        let bytes = log.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("reqlog line parses"))
+            .filter(|doc| doc.get("path").and_then(Json::as_str) == Some("/simulate"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        let executed = [
+            "queue_wait",
+            "parse",
+            "cache_lookup",
+            "compile",
+            "simulate",
+            "serialize",
+        ];
+        for line in &lines {
+            let Some(Json::Obj(phases)) = line.get("phase_ms") else {
+                panic!("phase_ms missing: {line:?}");
+            };
+            // Keys ⊆ the executed-phase universe, never a fixed schema.
+            for (key, _) in phases {
+                assert!(executed.contains(&key.as_str()), "unknown phase {key}");
+            }
+        }
+        let hit = lines
+            .iter()
+            .find(|l| l.get("cache").and_then(Json::as_str) == Some("hit"))
+            .expect("second request hits the prototype cache");
+        let Some(Json::Obj(phases)) = hit.get("phase_ms") else {
+            panic!("phase_ms missing on the cache hit");
+        };
+        assert!(
+            phases.iter().all(|(key, _)| key != "compile"),
+            "a cache hit must not report a compile phase: {phases:?}"
         );
     }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use uds_eventsim::EventDrivenUnitDelay;
-use uds_netlist::{levelize, LevelizeError, NetId, Netlist};
+use uds_netlist::{levelize, LevelProfile, LevelTimer, LevelizeError, NetId, Netlist};
 use uds_parallel::{Optimization, ParallelSim, Word};
 use uds_pcset::PcSetSimulator;
 
@@ -69,6 +69,37 @@ pub trait UnitDelaySimulator: Send {
         Vec::new()
     }
 
+    /// Simulates one input vector while attributing wall time and work
+    /// counts to netlist levels in `profile` (level 0 is per-vector
+    /// setup, levels `1..=depth()` are gate levels). The default times
+    /// the whole vector into level 0, so every engine satisfies the
+    /// attribution contract — all time spent inside the call lands in
+    /// *some* level — even without fine-grained hooks. Engines with a
+    /// level-segmented execution stream override this with chunked
+    /// per-level timing (see `uds_netlist::LevelTimer`).
+    ///
+    /// This is a separate entry point, not a flag on
+    /// [`Self::simulate_vector`]: with profiling off the hot loop is
+    /// byte-for-byte the code it was before profiling existed.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the vector length does not match the
+    /// primary-input count.
+    fn simulate_vector_leveled(&mut self, inputs: &[bool], profile: &mut LevelProfile) {
+        let mut timer = LevelTimer::new(profile);
+        self.simulate_vector(inputs);
+        timer.segment(0, 0, 0, 0);
+    }
+
+    /// The engine's *static* per-level cost model — instruction/word-op
+    /// counts fixed at compile time — or `None` for engines without
+    /// one (the hotspot report uses it to correlate measured time with
+    /// predicted cost). `vectors` is 0 in the returned profile.
+    fn level_static_profile(&self) -> Option<LevelProfile> {
+        None
+    }
+
     /// Visits every toggle of `net` for the last vector — each time `t`
     /// in `1..=depth()` where the net's value differs from its value at
     /// `t - 1` — and returns the toggle count, or `None` exactly when
@@ -122,6 +153,14 @@ impl UnitDelaySimulator for PcSetSimulator {
     fn clone_box(&self) -> Box<dyn UnitDelaySimulator> {
         Box::new(self.clone())
     }
+
+    fn simulate_vector_leveled(&mut self, inputs: &[bool], profile: &mut LevelProfile) {
+        PcSetSimulator::simulate_vector_leveled(self, inputs, profile);
+    }
+
+    fn level_static_profile(&self) -> Option<LevelProfile> {
+        Some(PcSetSimulator::level_static_profile(self))
+    }
 }
 
 impl<W: Word> UnitDelaySimulator for ParallelSim<W> {
@@ -166,6 +205,14 @@ impl<W: Word> UnitDelaySimulator for ParallelSim<W> {
 
     fn for_each_toggle(&self, net: NetId, visit: &mut dyn FnMut(u32)) -> Option<u32> {
         ParallelSim::for_each_toggle_in_field(self, net, visit)
+    }
+
+    fn simulate_vector_leveled(&mut self, inputs: &[bool], profile: &mut LevelProfile) {
+        ParallelSim::simulate_vector_leveled(self, inputs, profile);
+    }
+
+    fn level_static_profile(&self) -> Option<LevelProfile> {
+        Some(ParallelSim::level_static_profile(self))
     }
 }
 
@@ -273,6 +320,29 @@ impl UnitDelaySimulator for TracedEventSim {
             ("eventsim.toggles", self.total_toggles),
             ("eventsim.gate_evaluations", self.total_gate_evaluations),
         ]
+    }
+
+    fn simulate_vector_leveled(&mut self, inputs: &[bool], profile: &mut LevelProfile) {
+        // The waveform rewind is per-vector setup: level-0 work.
+        let rewind = std::time::Instant::now();
+        for row in self.waveform.iter_mut() {
+            let last = *row.last().expect("rows are depth + 1 long");
+            row.fill(last);
+        }
+        let rewind_ns = u64::try_from(rewind.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let waveform = &mut self.waveform;
+        let stats = self
+            .inner
+            .simulate_vector_traced_leveled(inputs, profile, |t, net, v| {
+                for slot in &mut waveform[net.index()][t as usize..] {
+                    *slot = v;
+                }
+            });
+        profile.ensure_level(0);
+        profile.levels[0].self_ns += rewind_ns;
+        self.total_events += stats.events as u64;
+        self.total_toggles += stats.toggles as u64;
+        self.total_gate_evaluations += stats.gate_evaluations as u64;
     }
 }
 

@@ -546,6 +546,10 @@ impl Probe for Telemetry {
     fn gauge(&self, name: &str, value: u64) {
         self.set_gauge(name, value);
     }
+
+    fn record(&self, name: &str, sample: u64) {
+        Telemetry::record(self, name, sample);
+    }
 }
 
 /// RAII guard returned by [`Telemetry::span`].

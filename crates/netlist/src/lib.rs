@@ -51,6 +51,7 @@ mod gate;
 pub mod generators;
 mod ids;
 pub mod levelize;
+pub mod levelprof;
 pub mod limits;
 mod netlist;
 pub mod probe;
@@ -64,6 +65,9 @@ pub use builder::{BuildError, NetlistBuilder};
 pub use gate::{GateKind, Logic3, ParseGateKindError};
 pub use ids::{GateId, NetId};
 pub use levelize::{levelize, LevelizeError, Levels};
+pub use levelprof::{
+    static_profile, LevelCost, LevelProfile, LevelSegment, LevelTimer, SegmentBuilder,
+};
 pub use limits::{LimitExceeded, Resource, ResourceLimits};
 pub use netlist::{Gate, Netlist};
 pub use probe::{NoopProbe, Probe, ProbeSpan};

@@ -39,6 +39,13 @@ pub trait Probe {
 
     /// Sets a gauge to `value` (idempotent for deterministic metrics).
     fn gauge(&self, name: &str, value: u64);
+
+    /// Folds one sample into a named distribution. Default is a no-op
+    /// so existing probes (and tests) keep compiling; the telemetry
+    /// registry overrides it. The compilers use this for per-level
+    /// quantities — one sample per netlist level — where a gauge per
+    /// level would explode the namespace.
+    fn record(&self, _name: &str, _sample: u64) {}
 }
 
 /// The default probe: observes nothing, costs nothing.

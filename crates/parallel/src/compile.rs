@@ -16,7 +16,7 @@
 //! single broadcasts and their evaluations/shift parts disappear.
 
 use uds_netlist::limits::{checked_add_u64, checked_mul_u64, narrow_u16, narrow_u32};
-use uds_netlist::{levelize, Netlist, ResourceLimits};
+use uds_netlist::{levelize, LevelSegment, Netlist, ResourceLimits, SegmentBuilder};
 use uds_pcset::PcSets;
 
 use crate::bitfield::FieldLayout;
@@ -32,6 +32,10 @@ pub(crate) struct Compiled {
     pub depth: u32,
     /// Words of gate simulation skipped by trimming (0 when disabled).
     pub trimmed_words: usize,
+    /// Run-length level segments of the op stream in emission order
+    /// (the init block is level 0); drives the leveled profiling
+    /// executor and the static per-level cost model.
+    pub level_segments: Vec<LevelSegment>,
 }
 
 pub(crate) fn compile<W: Word>(
@@ -83,6 +87,8 @@ pub(crate) fn compile<W: Word>(
     let mut ops = Vec::new();
     let mut operands = Vec::new();
     let mut trimmed_words = 0usize;
+    let mut segments = SegmentBuilder::new();
+    let word_bytes = u64::from(W::BITS / 8);
 
     // --- Per-vector initialization -------------------------------------
     let final_bit = n - 1;
@@ -134,11 +140,27 @@ pub(crate) fn compile<W: Word>(
         }
     }
 
+    // The whole init block is level-0 work. Input broadcasts write
+    // `words` words each; every other init op touches one word.
+    let init_ops = ops.len();
+    let init_word_ops = checked_add_u64(
+        checked_mul_u64(netlist.primary_inputs().len() as u64, u64::from(words))?,
+        (init_ops - netlist.primary_inputs().len()) as u64,
+    )?;
+    segments.emit(
+        0,
+        init_ops,
+        init_word_ops,
+        0,
+        init_word_ops * 2 * word_bytes,
+    );
+
     // --- Gate simulations, levelized order ------------------------------
     for &gid in &levels.topo_gates {
         let gate = netlist.gate(gid);
         let out = gate.output;
         let out_base = layouts[out].base;
+        let gate_ops_start = ops.len();
 
         // Which scratch (intermediate) words are needed: an active word
         // consumes scratch[w] and scratch[w-1] (shift carry).
@@ -198,6 +220,14 @@ pub(crate) fn compile<W: Word>(
                 WordClass::LowConstant => {} // initialization covered it
             }
         }
+        let gate_ops = ops.len() - gate_ops_start;
+        segments.emit(
+            levels.gate_level[gid.index()] as usize,
+            gate_ops,
+            gate_ops as u64,
+            1,
+            gate_ops as u64 * 3 * word_bytes,
+        );
     }
 
     Ok(Compiled {
@@ -210,5 +240,6 @@ pub(crate) fn compile<W: Word>(
         layouts,
         depth: levels.depth,
         trimmed_words,
+        level_segments: segments.finish(),
     })
 }

@@ -19,7 +19,7 @@
 //! become broadcasts, exactly as in the unoptimized compiler.
 
 use uds_netlist::limits::{checked_add_u64, checked_mul_u64, narrow_u16, narrow_u32};
-use uds_netlist::{levelize, NetId, Netlist, ResourceLimits};
+use uds_netlist::{levelize, LevelSegment, NetId, Netlist, ResourceLimits, SegmentBuilder};
 use uds_pcset::PcSets;
 
 use crate::bitfield::FieldLayout;
@@ -36,6 +36,10 @@ pub(crate) struct CompiledAligned {
     pub depth: u32,
     pub retained_shifts: usize,
     pub trimmed_words: usize,
+    /// Run-length level segments of the op stream in emission order
+    /// (the init block is level 0); drives the leveled profiling
+    /// executor and the static per-level cost model.
+    pub level_segments: Vec<LevelSegment>,
 }
 
 pub(crate) fn compile<W: Word>(
@@ -203,11 +207,25 @@ pub(crate) fn compile<W: Word>(
         }
     }
 
+    // The whole init block is level-0 work; weights come from each
+    // op's word span.
+    let mut segments = SegmentBuilder::new();
+    let word_bytes = u64::from(W::BITS / 8);
+    let init_word_ops: u64 = ops.iter().map(WOp::weight).sum();
+    segments.emit(
+        0,
+        ops.len(),
+        init_word_ops,
+        0,
+        init_word_ops * 2 * word_bytes,
+    );
+
     // --- Gate simulations, levelized order ------------------------------
     for &gid in &levels.topo_gates {
         let gate = netlist.gate(gid);
         let out = gate.output;
         let out_layout = layouts[out];
+        let gate_ops_start = ops.len();
         let compute_width = compute_width_of(gid);
         let gate_words = compute_width.div_ceil(W::BITS);
         let output_shift = alignment.output_shift(netlist, gid);
@@ -325,6 +343,14 @@ pub(crate) fn compile<W: Word>(
         if needs_ext[out] {
             ops.push(ext_broadcast(out));
         }
+        let gate_word_ops: u64 = ops[gate_ops_start..].iter().map(WOp::weight).sum();
+        segments.emit(
+            levels.gate_level[gid.index()] as usize,
+            ops.len() - gate_ops_start,
+            gate_word_ops,
+            1,
+            gate_word_ops * 3 * word_bytes,
+        );
     }
 
     Ok(CompiledAligned {
@@ -338,5 +364,6 @@ pub(crate) fn compile<W: Word>(
         depth: levels.depth,
         retained_shifts,
         trimmed_words,
+        level_segments: segments.finish(),
     })
 }

@@ -67,6 +67,19 @@ pub(crate) enum WOp {
     },
 }
 
+impl WOp {
+    /// Approximate word writes this op performs — the static work
+    /// weight the level profiler uses (most ops touch one word; the
+    /// multi-word loads and shifts touch their whole span).
+    pub(crate) fn weight(&self) -> u64 {
+        match *self {
+            WOp::InputBroadcast { words, .. } | WOp::InputAligned { words, .. } => u64::from(words),
+            WOp::ShiftField { dst_words, .. } => u64::from(dst_words),
+            _ => 1,
+        }
+    }
+}
+
 /// A compiled parallel-technique program.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub(crate) struct Program {
@@ -85,6 +98,29 @@ impl Program {
         debug_assert_eq!(inputs.len(), self.input_count);
         debug_assert_eq!(arena.len(), self.arena_words);
         for op in &self.ops {
+            self.exec_op(arena, inputs, op);
+        }
+    }
+
+    /// Executes the ops in `start..end` — one compile-time level
+    /// segment of the op stream. `run` is exactly
+    /// `run_op_range(0..ops.len())`; the leveled profiling executor
+    /// walks the same stream in segments, never reordering ops.
+    pub(crate) fn run_op_range<W: Word>(
+        &self,
+        arena: &mut [W],
+        inputs: &[bool],
+        start: usize,
+        end: usize,
+    ) {
+        for op in &self.ops[start..end] {
+            self.exec_op(arena, inputs, op);
+        }
+    }
+
+    #[inline(always)]
+    fn exec_op<W: Word>(&self, arena: &mut [W], inputs: &[bool], op: &WOp) {
+        {
             match *op {
                 WOp::Eval {
                     kind,

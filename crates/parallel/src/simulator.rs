@@ -3,8 +3,8 @@
 use std::fmt;
 
 use uds_netlist::{
-    levelize, LevelizeError, LimitExceeded, NetId, Netlist, NoopProbe, Probe, ProbeSpan,
-    ResourceLimits,
+    levelize, static_profile, LevelProfile, LevelSegment, LevelTimer, LevelizeError, LimitExceeded,
+    NetId, Netlist, NoopProbe, Probe, ProbeSpan, ResourceLimits,
 };
 
 use crate::bitfield::FieldLayout;
@@ -163,6 +163,10 @@ pub struct ParallelSim<W: Word = u32> {
     optimization: Optimization,
     alignment: Option<Alignment>,
     stats: ProgramStats,
+    /// Run-length level segments of the op stream in emission order
+    /// (segment 0 is the level-0 init block). Drives the leveled
+    /// profiling executor; the plain path never reads it.
+    level_segments: Vec<LevelSegment>,
 }
 
 /// The paper's 32-bit-word instantiation of [`ParallelSim`] — the
@@ -271,7 +275,7 @@ impl<W: Word> ParallelSim<W> {
         limits.check_inputs(netlist.primary_inputs().len())?;
         limits.check_deadline()?;
 
-        let (program, layouts, depth, retained_shifts, trimmed_words, alignment) =
+        let (program, layouts, depth, retained_shifts, trimmed_words, alignment, level_segments) =
             match optimization {
                 Optimization::None | Optimization::Trimming => {
                     let _span = ProbeSpan::new(probe, "parallel.codegen");
@@ -284,6 +288,7 @@ impl<W: Word> ParallelSim<W> {
                         netlist.gate_count(),
                         compiled.trimmed_words,
                         None,
+                        compiled.level_segments,
                     )
                 }
                 Optimization::PathTracing | Optimization::PathTracingTrimming => {
@@ -305,6 +310,7 @@ impl<W: Word> ParallelSim<W> {
                         compiled.retained_shifts,
                         compiled.trimmed_words,
                         Some(alignment),
+                        compiled.level_segments,
                     )
                 }
                 Optimization::CycleBreaking | Optimization::CycleBreakingTrimming => {
@@ -326,6 +332,7 @@ impl<W: Word> ParallelSim<W> {
                         compiled.retained_shifts,
                         compiled.trimmed_words,
                         Some(result.alignment),
+                        compiled.level_segments,
                     )
                 }
             };
@@ -367,6 +374,12 @@ impl<W: Word> ParallelSim<W> {
             "parallel.field_words",
             u64::from((depth + 1).div_ceil(W::BITS)),
         );
+        // The static per-level word-op distribution (one sample per
+        // level) — the measured-vs-static axis of hotspot reports.
+        let level_word_ops = format!("parallel.{key}.level_word_ops");
+        for cost in &static_profile(&level_segments).levels {
+            probe.record(&level_word_ops, cost.word_ops);
+        }
 
         let _power_up_span = ProbeSpan::new(probe, "parallel.power-up");
         // Consistent power-up state: settle under all-0 inputs and fill
@@ -439,6 +452,7 @@ impl<W: Word> ParallelSim<W> {
             alignment,
             stats,
             program,
+            level_segments,
         })
     }
 
@@ -539,6 +553,47 @@ impl<W: Word> ParallelSim<W> {
             self.prev_final[net.index()] = layout.read_bit(&self.arena, layout.final_bit());
         }
         self.program.run(&mut self.arena, inputs);
+    }
+
+    /// As [`ParallelSim::simulate_vector`], but attributing wall time
+    /// and work to netlist levels in `profile` (level 0 holds the
+    /// per-vector initialization). Executes exactly the same word ops
+    /// in exactly the same order as the plain path — the op stream is
+    /// walked in compile-time level segments, with one amortized clock
+    /// read per ~4k word ops (see [`uds_netlist::levelprof`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn simulate_vector_leveled(&mut self, inputs: &[bool], profile: &mut LevelProfile) {
+        assert_eq!(
+            inputs.len(),
+            self.program.input_count,
+            "input vector length must match the primary input count"
+        );
+        let mut timer = LevelTimer::new(profile);
+        for &net in &self.tracked {
+            let layout = &self.layouts[net];
+            self.prev_final[net.index()] = layout.read_bit(&self.arena, layout.final_bit());
+        }
+        for segment in &self.level_segments {
+            self.program
+                .run_op_range(&mut self.arena, inputs, segment.start, segment.end);
+            timer.segment(
+                segment.level,
+                segment.word_ops,
+                segment.gate_evals,
+                segment.bytes_touched_est,
+            );
+        }
+    }
+
+    /// The static per-level cost model of the compiled program (zero
+    /// `self_ns`): per-level word operations, gate sweeps, and
+    /// estimated state bytes — the paper's side of a measured-vs-static
+    /// hotspot comparison.
+    pub fn level_static_profile(&self) -> LevelProfile {
+        static_profile(&self.level_segments)
     }
 
     /// Like [`ParallelSim::simulate_vector`], but delegating the word

@@ -56,42 +56,64 @@ impl Program {
         debug_assert_eq!(inputs.len(), self.input_slots.len());
         debug_assert_eq!(arena.len(), self.slot_count);
 
+        self.run_prologue(arena, inputs);
+        for op in &self.ops {
+            self.exec_op(arena, op);
+        }
+    }
+
+    /// The per-vector prologue of [`Program::run`]: retention copies
+    /// followed by the primary-input stores. Split out so the leveled
+    /// profiling executor can time it as level-0 work; `run` itself
+    /// goes through here too, keeping the two paths one implementation.
+    pub(crate) fn run_prologue(&self, arena: &mut [u64], inputs: &[u64]) {
         for copy in &self.init {
             arena[copy.dst as usize] = arena[copy.src as usize];
         }
         for (&slot, &word) in self.input_slots.iter().zip(inputs) {
             arena[slot as usize] = word;
         }
-        for op in &self.ops {
-            let operands = &self.operands
-                [op.first_operand as usize..(op.first_operand + op.operand_count) as usize];
-            let value = match op.kind {
-                GateKind::And => operands
-                    .iter()
-                    .fold(!0u64, |acc, &s| acc & arena[s as usize]),
-                GateKind::Nand => !operands
-                    .iter()
-                    .fold(!0u64, |acc, &s| acc & arena[s as usize]),
-                GateKind::Or => operands
-                    .iter()
-                    .fold(0u64, |acc, &s| acc | arena[s as usize]),
-                GateKind::Nor => !operands
-                    .iter()
-                    .fold(0u64, |acc, &s| acc | arena[s as usize]),
-                GateKind::Xor => operands
-                    .iter()
-                    .fold(0u64, |acc, &s| acc ^ arena[s as usize]),
-                GateKind::Xnor => !operands
-                    .iter()
-                    .fold(0u64, |acc, &s| acc ^ arena[s as usize]),
-                GateKind::Not => !arena[operands[0] as usize],
-                GateKind::Buf => arena[operands[0] as usize],
-                GateKind::Const0 => 0,
-                GateKind::Const1 => !0,
-                GateKind::Dff => unreachable!("sequential gates are rejected at compile time"),
-            };
-            arena[op.dst as usize] = value;
+    }
+
+    /// Executes the gate ops in `start..end` — one compile-time level
+    /// segment of the op stream. `run` is exactly `run_prologue` plus
+    /// `run_op_range(0..ops.len())`.
+    pub(crate) fn run_op_range(&self, arena: &mut [u64], start: usize, end: usize) {
+        for op in &self.ops[start..end] {
+            self.exec_op(arena, op);
         }
+    }
+
+    #[inline(always)]
+    fn exec_op(&self, arena: &mut [u64], op: &GateOp) {
+        let operands = &self.operands
+            [op.first_operand as usize..(op.first_operand + op.operand_count) as usize];
+        let value = match op.kind {
+            GateKind::And => operands
+                .iter()
+                .fold(!0u64, |acc, &s| acc & arena[s as usize]),
+            GateKind::Nand => !operands
+                .iter()
+                .fold(!0u64, |acc, &s| acc & arena[s as usize]),
+            GateKind::Or => operands
+                .iter()
+                .fold(0u64, |acc, &s| acc | arena[s as usize]),
+            GateKind::Nor => !operands
+                .iter()
+                .fold(0u64, |acc, &s| acc | arena[s as usize]),
+            GateKind::Xor => operands
+                .iter()
+                .fold(0u64, |acc, &s| acc ^ arena[s as usize]),
+            GateKind::Xnor => !operands
+                .iter()
+                .fold(0u64, |acc, &s| acc ^ arena[s as usize]),
+            GateKind::Not => !arena[operands[0] as usize],
+            GateKind::Buf => arena[operands[0] as usize],
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Dff => unreachable!("sequential gates are rejected at compile time"),
+        };
+        arena[op.dst as usize] = value;
     }
 }
 

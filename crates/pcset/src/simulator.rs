@@ -4,8 +4,8 @@ use std::fmt;
 
 use uds_netlist::limits::narrow_u32;
 use uds_netlist::{
-    levelize, LevelizeError, LimitExceeded, NetId, Netlist, NoopProbe, Probe, ProbeSpan,
-    ResourceLimits,
+    levelize, static_profile, LevelProfile, LevelSegment, LevelTimer, LevelizeError, LimitExceeded,
+    NetId, Netlist, NoopProbe, Probe, ProbeSpan, ResourceLimits, SegmentBuilder,
 };
 
 use crate::program::{CopyOp, GateOp, Program};
@@ -92,6 +92,11 @@ pub struct PcSetSimulator {
     input_count: usize,
     depth: u32,
     initial_arena: Vec<u64>,
+    /// Run-length level segments of the op stream in emission order
+    /// (segment 0 is the zero-length level-0 prologue carrying the
+    /// retention-copy/input-store static counts). Drives the leveled
+    /// profiling executor; the plain path never reads it.
+    level_segments: Vec<LevelSegment>,
 }
 
 impl PcSetSimulator {
@@ -239,8 +244,29 @@ impl PcSetSimulator {
         // below the element being generated (Fig. 4).
         let mut ops = Vec::new();
         let mut operands = Vec::new();
+        // Level segments ride along in emission order (topo_gates is a
+        // worklist order, *not* sorted by level, so runs of one level
+        // are recorded rather than assumed). Segment 0 is the level-0
+        // prologue: retention copies plus input stores, zero gate ops.
+        let mut segments = SegmentBuilder::new();
+        segments.emit(
+            0,
+            0,
+            (init.len() + input_slots.len()) as u64,
+            0,
+            (init.len() * 2 + input_slots.len()) as u64 * 8,
+        );
         for &gid in &levels.topo_gates {
             let gate = netlist.gate(gid);
+            let level = levels.gate_level[gid.index()] as usize;
+            let emitted = sets.gate[gid.index()].times().len();
+            segments.emit(
+                level,
+                emitted,
+                emitted as u64,
+                emitted as u64,
+                (emitted * (gate.inputs.len() + 1)) as u64 * 8,
+            );
             for &t in sets.gate[gid.index()].times() {
                 let first_operand = narrow_u32(operands.len() as u64)?;
                 for &input in &gate.inputs {
@@ -256,6 +282,12 @@ impl PcSetSimulator {
                     operand_count: gate.inputs.len() as u32,
                 });
             }
+        }
+        let level_segments = segments.finish();
+        // The static per-level instruction distribution (one sample per
+        // level) — the measured-vs-static axis of hotspot reports.
+        for cost in &static_profile(&level_segments).levels {
+            probe.record("pcset.level_instructions", cost.word_ops);
         }
 
         let program = Program {
@@ -296,6 +328,7 @@ impl PcSetSimulator {
             input_count: netlist.primary_inputs().len(),
             depth: levels.depth,
             program,
+            level_segments,
         })
     }
 
@@ -363,6 +396,45 @@ impl PcSetSimulator {
         );
         let words: Vec<u64> = inputs.iter().map(|&b| if b { !0u64 } else { 0 }).collect();
         self.program.run(&mut self.arena, &words);
+    }
+
+    /// As [`PcSetSimulator::simulate_vector`], but attributing wall
+    /// time and work to netlist levels in `profile` (level 0 holds the
+    /// retention/input prologue). Executes exactly the same ops in
+    /// exactly the same order as the plain path — the op stream is
+    /// walked in compile-time level segments, with one amortized clock
+    /// read per ~4k ops (see [`uds_netlist::levelprof`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn simulate_vector_leveled(&mut self, inputs: &[bool], profile: &mut LevelProfile) {
+        assert_eq!(
+            inputs.len(),
+            self.input_count,
+            "input vector length must match the primary input count"
+        );
+        let mut timer = LevelTimer::new(profile);
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0u64 } else { 0 }).collect();
+        self.program.run_prologue(&mut self.arena, &words);
+        for segment in &self.level_segments {
+            self.program
+                .run_op_range(&mut self.arena, segment.start, segment.end);
+            timer.segment(
+                segment.level,
+                segment.word_ops,
+                segment.gate_evals,
+                segment.bytes_touched_est,
+            );
+        }
+    }
+
+    /// The static per-level cost model of the compiled program (zero
+    /// `self_ns`): per-level generated instructions, gate simulations,
+    /// and estimated state bytes — the paper's side of a
+    /// measured-vs-static hotspot comparison.
+    pub fn level_static_profile(&self) -> LevelProfile {
+        static_profile(&self.level_segments)
     }
 
     /// Simulates one vector with a caller-supplied execution body: the

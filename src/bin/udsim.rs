@@ -13,7 +13,7 @@
 //!                [--stats OUT.json] [--trace OUT.json] [--budget SPEC] [--word 32|64]
 //!                [--jobs N] [--workers N] [--queue N] [--read-timeout-ms MS]
 //!                [--idle-timeout-ms MS] [--keep-alive-max N] [--request-timeout-ms MS]
-//!                [--rate-limit R] [--max-jobs N] [--job-ttl-s S]
+//!                [--rate-limit R] [--max-jobs N] [--job-ttl-s S] [--hotspots]
 //! udsim loadgen  [--addr HOST:PORT] [--bench FILE.bench] [--vectors N] [--seed S] [--jobs N]
 //!                [--path P] [--concurrency N] [--rate R] [--duration-ms MS] [--json OUT.json]
 //! udsim engines
@@ -64,8 +64,14 @@
 //! `--reqlog` streams one `uds-reqlog-v1` NDJSON line per request,
 //! carrying a `trace_id` (the sanitized `x-uds-trace-id` request
 //! header, else generated — always echoed on the response) and a
-//! `phase_ms` breakdown; `serve --trace` streams each finished
-//! request's span tree live as Chrome `trace_event` JSON.
+//! `phase_ms` breakdown holding only the phases that actually ran;
+//! `serve --trace` streams each finished request's span tree live as
+//! Chrome `trace_event` JSON. `--hotspots` turns on per-level
+//! sampling of `/simulate` requests: `GET /debug/hotspots?window_s=S`
+//! aggregates a bounded ring of recent per-request level profiles and
+//! `/metrics` grows `uds_hotspot_level_self_ns{engine,level}` gauges
+//! for the hottest levels, so a hot daemon can be profiled under live
+//! traffic without a restart.
 //!
 //! `udsim loadgen` applies closed- or open-loop load to a running
 //! daemon and reports per-status counts and latency percentiles as
@@ -165,6 +171,7 @@ fn run() -> Result<(), CliError> {
     match command.as_str() {
         "simulate" => simulate(&rest),
         "profile" => profile(&rest),
+        "hotspots" => hotspots(&rest),
         "stats" => stats(&rest),
         "codegen" => codegen(&rest),
         "cone" => cone(&rest),
@@ -198,6 +205,8 @@ fn usage() -> String {
      udsim profile FILE.bench [--engine NAME] [--vectors N] [--seed S] [--jobs N] [--word 32|64]\n                 \
      [--top K] [--json OUT.json] [--trace OUT.json] [--progress OUT.ndjson]\n                 \
      [--progress-interval MS]\n  \
+     udsim hotspots FILE.bench [--engine NAME] [--vectors N] [--seed S] [--jobs N] [--word 32|64]\n                  \
+     [--json OUT.json] [--folded OUT.folded]\n  \
      udsim stats FILE.bench\n  \
      udsim codegen FILE.bench [--technique pc-set|parallel] [--opt none|trim|pt|pt-trim|cb]\n                 \
      [--stats OUT.json]\n  \
@@ -206,7 +215,7 @@ fn usage() -> String {
      [--stats OUT.json] [--trace OUT.json] [--budget SPEC] [--word 32|64] [--jobs N]\n              \
      [--workers N] [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS]\n              \
      [--keep-alive-max N] [--request-timeout-ms MS] [--rate-limit R] [--max-jobs N]\n              \
-     [--job-ttl-s S]\n  \
+     [--job-ttl-s S] [--hotspots]\n  \
      udsim loadgen [--addr HOST:PORT] [--bench FILE.bench] [--vectors N] [--seed S] [--jobs N]\n                \
      [--path P] [--concurrency N] [--rate R] [--duration-ms MS] [--json OUT.json]\n  \
      udsim engines\n\n\
@@ -214,13 +223,18 @@ fn usage() -> String {
      stream flags (--stats, --trace, --progress, --json, --reqlog) accept `-` for stdout; at\n\
      most one per invocation may claim it, and human output then moves to stderr.\n\
      --trace exports the telemetry span tree as Chrome trace_event JSON (load in Perfetto);\n\
+     hotspots attributes simulate self-time to netlist levels (level 0 = per-vector setup):\n\
+     --json writes the uds-hotspot-v1 report, --folded writes collapsed-stack lines\n\
+     (`engine;level_K NANOS`) for flamegraph tools; both accept `-` under the shared contract.\n\
      --progress streams per-shard NDJSON heartbeats during --jobs batch runs, at least\n\
      --progress-interval ms apart (default 100).\n\
      serve answers POST /simulate, POST /jobs (+ GET/DELETE /jobs/:id), GET /metrics\n\
      (Prometheus), GET /healthz, GET /readyz; --cache N keeps N compiled prototypes resident\n\
      (default 64, 0 disables); --workers sizes the pool (0 = cores); a full --queue sheds 429;\n\
      serve --trace streams each finished request's span tree live (trace ids honor the\n\
-     x-uds-trace-id request header and are echoed on every response).\n\
+     x-uds-trace-id request header and are echoed on every response); serve --hotspots\n\
+     samples per-request level profiles into GET /debug/hotspots?window_s=S and tops up\n\
+     /metrics with uds_hotspot_level_self_ns gauges.\n\
      loadgen is closed-loop unless --rate sets open-loop arrivals; --bench makes the fleet\n\
      POST real work, otherwise it GETs --path (default /healthz).\n\n\
      --engine native compiles the emitted C (cc, or $UDS_CC) and dlopens it; without a C\n\
@@ -1064,6 +1078,135 @@ fn profile(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `udsim hotspots`: runs a random stream with per-level profiling on
+/// and reports where the simulate loop's time goes — self-time, word
+/// ops, and gate evaluations per netlist level, with the engine's
+/// static per-level instruction counts alongside. `--json` writes the
+/// `uds-hotspot-v1` document; `--folded` writes collapsed-stack lines
+/// (`engine;level_K NANOS`) that flamegraph tools ingest directly.
+fn hotspots(args: &[String]) -> Result<(), CliError> {
+    let mut file = None;
+    let mut engine: Option<Engine> = None;
+    let mut vectors = 256usize;
+    let mut seed = 1990u64;
+    let mut jobs = 1usize;
+    let mut word = WordWidth::default();
+    let mut json_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--engine" => {
+                engine = Some(parse_engine(iter.next().ok_or("--engine needs a value")?)?)
+            }
+            "--vectors" => {
+                vectors = iter
+                    .next()
+                    .ok_or("--vectors needs a value")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--vectors: {e}")))?;
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--seed: {e}")))?;
+            }
+            "--jobs" => {
+                let value = iter.next().ok_or("--jobs needs a worker count")?;
+                jobs = value
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--jobs: {e}")))?;
+                if jobs == 0 {
+                    return Err(CliError::usage("--jobs: worker count must be at least 1"));
+                }
+            }
+            "--word" => {
+                let value = iter.next().ok_or("--word needs a width (32 or 64)")?;
+                word = WordWidth::parse(value)
+                    .ok_or_else(|| CliError::usage(format!("--word: `{value}` is not 32 or 64")))?;
+            }
+            "--json" => {
+                json_path = Some(iter.next().ok_or("--json needs a path (or `-`)")?.clone())
+            }
+            "--folded" => {
+                folded_path = Some(iter.next().ok_or("--folded needs a path (or `-`)")?.clone())
+            }
+            other if file.is_none() && (other == "-" || !other.starts_with('-')) => {
+                file = Some(other.to_owned());
+            }
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let file = file.ok_or("missing FILE.bench")?;
+    let human = stream_contract(&[
+        ("--json", json_path.as_deref()),
+        ("--folded", folded_path.as_deref()),
+    ])?;
+    let nl = load(&file)?;
+    let engine = engine.unwrap_or(Engine::ParallelPathTracingTrimming);
+    let stimulus: Vec<Vec<bool>> = RandomVectors::new(nl.primary_inputs().len(), seed)
+        .take(vectors)
+        .collect();
+    let limits = ResourceLimits::unlimited();
+    let factory = Box::new(DefaultEngineFactory::with_word(word));
+    let prototype = GuardedSimulator::with_factory(&nl, limits, &[engine], factory)
+        .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+    let report =
+        unit_delay_sim::core::hotspot::collect(&nl, &prototype, &stimulus, jobs, word.bits())
+            .map_err(|e| CliError::from(e.with_circuit(nl.name())))?;
+
+    let total = report.measured.total();
+    human.line(format!(
+        "# {}: {} vectors on {} (word {}, jobs {})",
+        nl.name(),
+        report.vectors,
+        report.engine,
+        report.word_bits,
+        report.jobs
+    ));
+    human.line(format!(
+        "simulate span: {:.3} ms, attributed {:.3} ms ({:.1}%)",
+        report.span_ns as f64 / 1e6,
+        total.self_ns as f64 / 1e6,
+        if report.span_ns > 0 {
+            total.self_ns as f64 / report.span_ns as f64 * 100.0
+        } else {
+            0.0
+        }
+    ));
+    human.line("level  self_ms  share  word_ops  gate_evals".to_owned());
+    for (level, cost) in report.measured.levels.iter().enumerate() {
+        if cost.self_ns == 0 && cost.word_ops == 0 && cost.gate_evals == 0 {
+            continue;
+        }
+        human.line(format!(
+            "{level:>5}  {:>7.3}  {:>4.1}%  {:>8}  {:>10}",
+            cost.self_ns as f64 / 1e6,
+            if total.self_ns > 0 {
+                cost.self_ns as f64 / total.self_ns as f64 * 100.0
+            } else {
+                0.0
+            },
+            cost.word_ops,
+            cost.gate_evals
+        ));
+    }
+
+    if let Some(path) = &json_path {
+        let mut rendered = report.to_json().render();
+        rendered.push('\n');
+        write_text(path, &rendered)
+            .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))?;
+    }
+    if let Some(path) = &folded_path {
+        write_text(path, &report.render_folded())
+            .map_err(|e| CliError::class(format!("writing {path}: {e}"), FailureClass::Usage))?;
+    }
+    Ok(())
+}
+
 /// Reports fallbacks fired since `seen` to stderr; returns the new count.
 fn report_new_fallbacks(guarded: &GuardedSimulator, seen: usize) -> usize {
     let fired = guarded.fallbacks();
@@ -1235,6 +1378,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
                 let value = iter.next().ok_or("--job-ttl-s needs seconds")?;
                 config.job_ttl = Duration::from_secs(parse_num("--job-ttl-s", value)?);
             }
+            "--hotspots" => config.hotspots = true,
             other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
         }
     }

@@ -152,6 +152,10 @@ fn trace_id_propagates_header_to_reqlog_to_response_to_span_tree() {
             .any(|l| l.eq_ignore_ascii_case("x-uds-trace-id: e2e-trace-42")),
         "no echoed trace id in {reply}"
     );
+    // A second, identical request hits the prototype cache — its
+    // reqlog line must *omit* the compile phase, not report it as 0.
+    let reply = post_simulate_traced(&daemon.addr, "e2e-trace-43-hit");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
     quit(daemon);
 
     // The reqlog line carries the id, the request wall time, and the
@@ -171,11 +175,46 @@ fn trace_id_propagates_header_to_reqlog_to_response_to_span_tree() {
         Json::Obj(members) => members,
         other => panic!("phase_ms is not an object: {other:?}"),
     };
+    // The cold request executes the full pipeline...
     for expected in ["parse", "cache_lookup", "compile", "simulate", "serialize"] {
         assert!(
             phases.iter().any(|(name, _)| name == expected),
             "phase_ms misses {expected}: {phase_ms:?}"
         );
+    }
+    // ...and the key set is exactly the executed-phase set: nothing
+    // outside the phase universe, and no zero-filled placeholders.
+    let executed = [
+        "queue_wait",
+        "parse",
+        "cache_lookup",
+        "compile",
+        "simulate",
+        "serialize",
+    ];
+    for (name, _) in phases {
+        assert!(executed.contains(&name.as_str()), "unknown phase {name}");
+    }
+    let hit_line = reqlog
+        .lines()
+        .map(|l| Json::parse(l).expect("reqlog line parses"))
+        .find(|doc| doc.get("trace_id").and_then(Json::as_str) == Some("e2e-trace-43-hit"))
+        .expect("the cache-hit request logs a line");
+    assert_eq!(
+        hit_line.get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "second identical request must hit the cache"
+    );
+    let hit_phases = match hit_line.get("phase_ms").expect("phase_ms on the hit") {
+        Json::Obj(members) => members,
+        other => panic!("phase_ms is not an object: {other:?}"),
+    };
+    assert!(
+        hit_phases.iter().all(|(name, _)| name != "compile"),
+        "a cache hit never ran compile, so the key must be absent: {hit_phases:?}"
+    );
+    for (name, _) in hit_phases {
+        assert!(executed.contains(&name.as_str()), "unknown phase {name}");
     }
 
     // The trace file is one loadable Chrome-trace document whose
